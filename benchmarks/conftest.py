@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table or figure from the paper and prints the
+rows/series (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them inline). Results are also written to ``benchmarks/results/`` so the
+regenerated data survives output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report():
+    """Write an experiment's tables to benchmarks/results/<name>.txt."""
+
+    def write(name: str, result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        tables = result.tables()
+        text = "\n\n".join(table.format() for table in tables)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return write

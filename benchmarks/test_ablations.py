@@ -1,0 +1,12 @@
+"""Bench: ablations on the design choices DESIGN.md calls out."""
+
+from repro.experiments.ablations import run_ablations
+
+
+def test_ablations(benchmark, report):
+    result = benchmark.pedantic(run_ablations, kwargs={"dt_s": 30.0}, rounds=1, iterations=1)
+    # Future knowledge is worth real battery life when the run happens...
+    assert result.oracle_life_h[("oracle", True)] >= result.oracle_life_h[("rbl", True)]
+    # ...and costs nothing when it does not.
+    assert result.oracle_life_h[("oracle", False)] >= result.oracle_life_h[("preserve", False)]
+    report("ablations", result)

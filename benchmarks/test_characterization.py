@@ -1,0 +1,23 @@
+"""Bench: the software-cycler characterization workflow."""
+
+from repro.cell.reference import ReferenceCell, ReferenceCellParams
+from repro.chemistry.characterization import characterize, model_accuracy_pct
+from repro.chemistry.library import battery_by_id, make_cell_params
+
+
+def test_characterization(benchmark):
+    datasheet = make_cell_params(battery_by_id("B05"))
+    battery = ReferenceCell(ReferenceCellParams(base=datasheet))
+    fitted = benchmark.pedantic(
+        characterize,
+        kwargs={"battery": battery, "capacity_c": datasheet.capacity_c},
+        rounds=1,
+        iterations=1,
+    )
+    acc_fitted = model_accuracy_pct(battery, fitted)
+    acc_datasheet = model_accuracy_pct(battery, datasheet)
+    print(
+        f"\nFitted model {acc_fitted:.2f}% accurate vs datasheet {acc_datasheet:.2f}% "
+        f"(paper's Figure 10 regime: ~97.5%)"
+    )
+    assert acc_fitted > acc_datasheet

@@ -1,0 +1,12 @@
+"""Bench: Section 5.3's detach adaptation grid."""
+
+from repro.experiments.detach import run_detach
+
+
+def test_detach(benchmark, report):
+    result = benchmark.pedantic(run_detach, kwargs={"dt_s": 30.0}, rounds=1, iterations=1)
+    aware = result.life_h[("detach-aware", "detach")]
+    blind = result.life_h[("simultaneous", "detach")]
+    print(f"\nDetach-aware extends the detaching user's day by {100 * (aware / blind - 1):.0f}% over detach-blind simultaneous draw")
+    assert aware > blind
+    report("detach", result)

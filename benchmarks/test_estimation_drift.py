@@ -1,0 +1,14 @@
+"""Bench: coulomb-counter drift vs Kalman estimation over a week."""
+
+from repro.experiments.estimation_drift import run_estimation_drift
+
+
+def test_estimation_drift(benchmark, report):
+    result = benchmark.pedantic(run_estimation_drift, rounds=1, iterations=1)
+    print(
+        f"\nAfter a week of partial cycling: coulomb counter off by "
+        f"{100 * result.final_gauge_error:.1f}% SoC, Kalman estimator by "
+        f"{100 * result.final_ekf_error:.1f}%"
+    )
+    assert result.final_ekf_error < result.final_gauge_error
+    report("estimation_drift", result)

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 1 (chemistry comparison, longevity, heat loss)."""
+
+from repro.experiments.fig01_chemistry import run_figure1
+
+
+def test_figure1(benchmark, report):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    retention = result.final_retention_pct
+    assert retention[0.5] > retention[0.7] > retention[1.0]
+    report("fig01_chemistry", result)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 6 (SDB hardware microbenchmarks)."""
+
+from repro.experiments.fig06_microbench import run_figure6
+
+
+def test_figure6(benchmark, report):
+    result = benchmark(run_figure6)
+    assert max(result.error_pct_by_setting.values()) < 0.6
+    report("fig06_microbench", result)

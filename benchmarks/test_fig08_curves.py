@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 8 (OCP and resistance curves)."""
+
+from repro.experiments.fig08_curves import run_figure8
+
+
+def test_figure8(benchmark, report):
+    result = benchmark(run_figure8)
+    assert len(result.ocp_series) == 5
+    assert len(result.resistance_series) == 8
+    report("fig08_curves", result)

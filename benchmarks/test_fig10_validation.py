@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 10 (model vs hardware validation)."""
+
+from repro.experiments.fig10_validation import run_figure10
+
+
+def test_figure10(benchmark, report):
+    result = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
+    assert result.accuracy_pct > 96.0
+    print(f"\nModel accuracy: {result.accuracy_pct:.2f}% (paper: 97.5%)")
+    report("fig10_validation", result)

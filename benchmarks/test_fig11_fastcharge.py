@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 11 (energy density / charge speed / longevity)."""
+
+from repro.experiments.fig11_fastcharge import run_figure11
+
+
+def test_figure11(benchmark, report):
+    result = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
+    m = result.minutes_to_40pct
+    speedup = m["traditional"] / m["sdb"]
+    print(f"\nSDB reaches 40% charge {speedup:.2f}x faster than traditional (paper: ~3x)")
+    assert speedup > 2.0
+    report("fig11_fastcharge", result)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 12 (turbo latency vs energy comparison)."""
+
+from repro.emulator.cpu import CpuPowerLevel
+from repro.experiments.fig12_turbo import run_figure12
+
+
+def test_figure12(benchmark, report):
+    result = benchmark(run_figure12)
+    network_energy = result.energy_norm[("network bottlenecked", CpuPowerLevel.HIGH)]
+    compute_latency = result.latency_norm[("cpu/gpu bottlenecked", CpuPowerLevel.HIGH)]
+    print(
+        f"\nNetwork-bound energy overhead at high power: +{100 * (network_energy - 1):.1f}% "
+        f"(paper: up to 20.6%); compute-bound speedup: {100 * (1 - compute_latency):.1f}% "
+        f"(paper: up to 26%)"
+    )
+    report("fig12_turbo", result)

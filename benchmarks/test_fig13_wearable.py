@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 13 (smart-watch day, two policies)."""
+
+from repro.experiments.fig13_wearable import run_figure13
+
+
+def test_figure13(benchmark, report):
+    result = benchmark.pedantic(run_figure13, kwargs={"dt_s": 20.0}, rounds=1, iterations=1)
+    lives = {name: out.battery_life_h for name, out in result.with_run.items()}
+    p1 = next(v for k, v in lives.items() if "policy1" in k)
+    p2 = next(v for k, v in lives.items() if "policy2" in k)
+    print(f"\nWith the run: preserve policy extends life by {p2 - p1:.2f} h (paper: >1 h)")
+    assert p2 > p1
+    report("fig13_wearable", result)

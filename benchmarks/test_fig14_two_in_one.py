@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 14 (2-in-1 battery management)."""
+
+from repro.experiments.fig14_two_in_one import run_figure14
+
+
+def test_figure14(benchmark, report):
+    result = benchmark.pedantic(run_figure14, kwargs={"dt_s": 30.0}, rounds=1, iterations=1)
+    print(
+        f"\nSimultaneous draw beats cascade by {result.mean_improvement_pct:.1f}% on average, "
+        f"up to {result.max_improvement_pct:.1f}% (paper: 15-25%, up to 22%)"
+    )
+    assert result.mean_improvement_pct > 10.0
+    report("fig14_two_in_one", result)

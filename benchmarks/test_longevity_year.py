@@ -1,0 +1,12 @@
+"""Bench: a (compressed) year of ownership under three directive settings."""
+
+from repro.experiments.longevity_year import run_longevity_year
+
+
+def test_longevity_year(benchmark, report):
+    result = benchmark.pedantic(
+        run_longevity_year, kwargs={"days": 120, "dt_s": 180.0}, rounds=1, iterations=1
+    )
+    ccb_only = result.outcomes["ccb only (p=0.0)"].final_ccb
+    print(f"\nAfter 120 simulated days the CCB-leaning policy holds CCB at {ccb_only:.3f} (target 1.0)")
+    report("longevity_year", result)

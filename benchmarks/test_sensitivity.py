@@ -1,0 +1,9 @@
+"""Bench: the Figure 14 robustness sweep."""
+
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_sensitivity(benchmark, report):
+    result = benchmark.pedantic(run_sensitivity, kwargs={"dt_s": 30.0}, rounds=1, iterations=1)
+    assert result.always_positive
+    report("sensitivity", result)

@@ -1,0 +1,9 @@
+"""Bench: Section 7's single-battery warranty envelope."""
+
+from repro.experiments.single_battery import run_single_battery
+
+
+def test_single_battery(benchmark, report):
+    result = benchmark(run_single_battery)
+    assert len(result.max_charge_c) == 15
+    report("single_battery", result)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 1 (battery characteristics)."""
+
+from repro.experiments.tab01_characteristics import run_table1
+
+
+def test_table1(benchmark, report):
+    result = benchmark(run_table1)
+    assert len(result.characteristics.rows) == 15
+    report("tab01_characteristics", result)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 2 (tradeoffs impacting SDB policies)."""
+
+from repro.experiments.tab02_tradeoffs import run_table2
+
+
+def test_table2(benchmark, report):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    assert result.fast_charge_retention_pct < result.gentle_charge_retention_pct
+    report("tab02_tradeoffs", result)

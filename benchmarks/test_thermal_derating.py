@@ -1,0 +1,14 @@
+"""Bench: the hot-ride thermal derating comparison."""
+
+from repro.experiments.thermal_derating import run_thermal_derating
+
+
+def test_thermal_derating(benchmark, report):
+    result = benchmark.pedantic(run_thermal_derating, kwargs={"dt_s": 10.0}, rounds=1, iterations=1)
+    blind = result.outcomes["nav oracle (temperature-blind)"]
+    derated = result.outcomes["nav oracle + thermal derating"]
+    print(
+        f"\nDerating keeps the HE pack {blind.peak_temps_c[0] - derated.peak_temps_c[0]:.1f} C cooler "
+        f"({derated.peak_temps_c[0]:.1f} vs {blind.peak_temps_c[0]:.1f} C) with the mission intact"
+    )
+    report("thermal_derating", result)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Assistant-scheduled directives (Section 7 / Section 8 future work).
+
+A personal assistant knows the user's calendar: a morning run, desk time
+with a charger, an afternoon flight, evening gaming. The scheduler turns
+that calendar into the paper's two directive parameters hour by hour —
+charge gently overnight, charge flat-out before the flight, stretch the
+useful charge while high-power work is still ahead.
+
+Run:  python examples/assistant_day.py
+"""
+
+from repro.core.scheduler import AssistantScheduler, CalendarEvent, EventKind
+
+
+def main() -> None:
+    events = [
+        CalendarEvent("morning run", EventKind.EXERCISE, 7.0, 8.0, expected_power_w=0.9),
+        CalendarEvent("standup", EventKind.MEETING, 9.5, 10.0),
+        CalendarEvent("desk (charger available)", EventKind.CHARGING, 10.0, 12.0),
+        CalendarEvent("flight to SEA", EventKind.DEPARTURE, 15.0, 17.0),
+        CalendarEvent("evening gaming", EventKind.GAMING, 20.0, 21.5, expected_power_w=20.0),
+    ]
+    scheduler = AssistantScheduler(events)
+
+    print("Calendar:")
+    for event in events:
+        print(f"  {event.start_h:5.1f}-{event.end_h:5.1f}  {event.kind.value:10s}  {event.name}")
+
+    print("\nDirective parameters over the day:")
+    print(f"  {'hour':>5s}  {'charge p':>8s}  {'discharge p':>11s}  note")
+    notes = {
+        2.0: "overnight: spare the batteries (CCB)",
+        6.5: "run ahead of the charger window: stretch charge (RBL)",
+        9.0: "nothing special",
+        13.5: "flight in <2h: charge as fast as possible",
+        18.0: "gaming ahead, no charger until tomorrow",
+        23.5: "overnight again",
+    }
+    for hour in (2.0, 6.5, 9.0, 13.5, 18.0, 23.5):
+        print(
+            f"  {hour:5.1f}  {scheduler.charge_directive(hour):8.2f}  "
+            f"{scheduler.discharge_directive(hour):11.2f}  {notes[hour]}"
+        )
+
+    remaining = scheduler.future_high_power_energy_j(12.0)
+    print(f"\nHigh-power energy still scheduled after noon: {remaining:.0f} J")
+    print("(this reserve signal feeds the Oracle discharge policy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Characterizing an unknown battery (Section 4.3's cycler workflow).
+
+A new battery arrives (played by the high-fidelity reference cell, which
+deviates from its datasheet: +18% resistance, overpotential, OCV
+ripple). The software cycler runs the OCV crawl and GITT pulse
+protocols, fits Thevenin parameters, and validates the fitted model the
+way Figure 10 does — then compares against just trusting the datasheet.
+
+Run:  python examples/characterize_cell.py
+"""
+
+from repro.cell.reference import ReferenceCell, ReferenceCellParams
+from repro.chemistry.characterization import characterize, model_accuracy_pct, pulse_test
+from repro.chemistry.library import battery_by_id, make_cell_params
+
+
+def main() -> None:
+    datasheet = make_cell_params(battery_by_id("B05"))
+    battery = ReferenceCell(ReferenceCellParams(base=datasheet))
+    print(f"Unknown battery on the bench: {battery.name}")
+    print(f"Datasheet says R(50%) = {datasheet.dcir(0.5) * 1000:.1f} mOhm, "
+          f"OCP(50%) = {datasheet.ocp(0.5):.3f} V")
+
+    print("\nGITT pulses:")
+    for soc in (0.2, 0.5, 0.8):
+        pulse = pulse_test(battery, datasheet.capacity_c, soc)
+        print(
+            f"  SoC {soc:.0%}: series {pulse.series_resistance_ohm * 1000:6.1f} mOhm, "
+            f"total {pulse.total_resistance_ohm * 1000:6.1f} mOhm, "
+            f"tau {pulse.relaxation_tau_s:5.1f} s"
+        )
+
+    fitted = characterize(battery, capacity_c=datasheet.capacity_c, name="bench-fitted cell")
+    print(f"\nFitted: R(50%) = {fitted.dcir(0.5) * 1000:.1f} mOhm, "
+          f"OCP(50%) = {fitted.ocp(0.5):.3f} V, "
+          f"R_ct = {fitted.r_ct * 1000:.1f} mOhm, C = {fitted.c_plate:.0f} F")
+
+    acc_fitted = model_accuracy_pct(battery, fitted)
+    acc_datasheet = model_accuracy_pct(battery, datasheet)
+    print(f"\nFigure 10-style validation against this cell:")
+    print(f"  datasheet model: {acc_datasheet:.2f}% accurate (the paper's ~97.5% regime)")
+    print(f"  fitted model:    {acc_fitted:.2f}% accurate")
+    print(
+        "\nCharacterization is why the paper bought cyclers: this specimen's"
+        "\nextra resistance and overpotential are invisible to the datasheet"
+        "\nbut fully captured by the fitted parameters."
+    )
+
+
+if __name__ == "__main__":
+    main()

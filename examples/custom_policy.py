@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Writing your own SDB policy (the extensibility the paper argues for).
+
+"We hope that exposing the appropriate APIs will help system and
+algorithm designers to customize the scheduling algorithms for their
+battery configuration, and user workloads" (Section 3.3). This example
+does exactly that: it implements a new discharge policy from the public
+``DischargePolicy`` protocol — an SoC-equalizing allocator that drains
+all batteries toward a common state of charge — plugs it into the
+runtime unmodified, and races it against the built-ins on the wearable
+day.
+
+Run:  python examples/custom_policy.py
+"""
+
+from typing import List, Sequence
+
+from repro.cell.thevenin import TheveninCell
+from repro.core.policies import PreserveDischargePolicy, RBLDischargePolicy
+from repro.core.policies.base import DischargePolicy, normalize
+from repro.core.runtime import SDBRuntime
+from repro.emulator import SDBEmulator, build_controller
+from repro.workloads.profiles import wearable_day
+
+
+class SocEqualizingPolicy(DischargePolicy):
+    """Drain batteries toward a common SoC.
+
+    Weights each battery by how far its SoC sits above the pack minimum
+    (plus a small floor so the last battery still serves load). Simple,
+    predictable — the kind of policy a vendor might actually ship for a
+    'both gauges fall together' user experience.
+    """
+
+    def __init__(self, floor: float = 0.05):
+        if floor <= 0:
+            raise ValueError("floor must be positive")
+        self.floor = floor
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        lowest = min(cell.soc for cell in cells)
+        weights = [
+            0.0 if cell.is_empty else (cell.soc - lowest) + self.floor
+            for cell in cells
+        ]
+        return normalize(weights)
+
+
+def main() -> None:
+    day = wearable_day()
+    policies = {
+        "built-in: RBL (min losses)": RBLDischargePolicy(),
+        "built-in: preserve Li-ion": PreserveDischargePolicy(0, day.high_power_threshold_w),
+        "custom: SoC equalizer": SocEqualizingPolicy(),
+    }
+    print(f"{'policy':30s}  {'life (h)':>8s}  {'losses (J)':>10s}  final SoCs")
+    for name, policy in policies.items():
+        controller = build_controller("watch")
+        runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=60.0)
+        result = SDBEmulator(controller, runtime, day.trace, dt_s=20.0).run()
+        socs = ", ".join(f"{s:.0%}" for s in result.final_socs())
+        print(f"{name:30s}  {result.battery_life_h:8.2f}  {result.total_loss_j:10.1f}  {socs}")
+    print(
+        "\nThe custom policy needed ~15 lines against the public protocol"
+        "\nand the runtime accepted it unchanged — 'all of these can be"
+        "\nenabled through a software update' (Section 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

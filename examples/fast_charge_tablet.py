@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Fast-charging scenario (Section 5.1 / Figure 11).
+
+A tablet's 8000 mAh budget can be met with high energy-density cells,
+fast-charging cells, or an SDB mix. The example charges each arm from
+empty "as quickly as possible" (the airplane-boarding directive) and
+reports the tradeoff against energy density and longevity.
+
+Run:  python examples/fast_charge_tablet.py
+"""
+
+from repro.experiments.fig11_fastcharge import (
+    ARMS,
+    arm_longevity_pct,
+    charge_curve,
+    pack_energy_density,
+)
+
+
+def main() -> None:
+    print("Pack energy density vs fast-charging share (Figure 11a):")
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        print(f"  {fraction:4.0%} fast  ->  {pack_energy_density(fraction):6.1f} Wh/l")
+
+    print("\nMinutes to reach charge targets from empty (Figure 11b):")
+    curves = {name: charge_curve(ids, profiles) for name, (ids, profiles) in ARMS.items()}
+    print(f"  {'target':>8s}  {'traditional':>12s}  {'SDB 50/50':>10s}  {'all-fast':>9s}")
+    for target in (20, 40, 60, 80):
+        row = [curves[arm].get(target) for arm in ("traditional", "sdb", "all-fast")]
+        cells = "  ".join(f"{v:10.1f}" if v is not None else f"{'-':>10s}" for v in row)
+        print(f"  {target:7d}%  {cells}")
+
+    speedup = curves["traditional"][40] / curves["sdb"][40]
+    print(f"\nSDB reaches 40% charge {speedup:.1f}x faster than the traditional pack")
+    print("while giving up only "
+          f"{100 * (1 - pack_energy_density(0.5) / pack_energy_density(0.0)):.1f}% energy density.")
+
+    print("\nCapacity retained after 1000 cycles (Figure 11c):")
+    for name, (ids, profiles) in ARMS.items():
+        print(f"  {name:12s} {arm_longevity_pct(ids, profiles):5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""A week with a learning OS (Sections 5.2, 5.3, 7 combined).
+
+Days 1-5: the OS watches a smart-watch user who runs most mornings,
+recording each day's high-power episodes into a habit model. Days 6-7:
+the OS drives the SDB runtime with an Oracle policy fed by the *learned*
+reserve signal — no calendar entry, no ground truth — and is compared
+against the loss-minimizing policy and the ground-truth oracle.
+
+Run:  python examples/learning_week.py
+"""
+
+from repro.core.policies import OracleDischargePolicy, RBLDischargePolicy
+from repro.core.prediction import HabitModel
+from repro.core.runtime import SDBRuntime
+from repro.emulator import SDBEmulator, build_controller
+from repro.workloads.profiles import wearable_day
+
+
+def live_one_day(policy, day):
+    controller = build_controller("watch")
+    runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=60.0)
+    return SDBEmulator(controller, runtime, day.trace, dt_s=20.0).run()
+
+
+def main() -> None:
+    model = HabitModel()
+
+    print("Training week (the OS only observes):")
+    history = [True, True, False, True, True]  # ran on 4 of 5 days
+    for day_index, ran in enumerate(history, start=1):
+        day = wearable_day(include_run=ran)
+        if ran:
+            run_energy = day.run_power_w * 1.5 * 3600.0
+            model.observe_day({day.run_start_h + 0.25: run_energy})
+            print(f"  day {day_index}: ran at {day.run_start_h:.0f}:00  (episode recorded)")
+        else:
+            model.observe_day({})
+            print(f"  day {day_index}: quiet day")
+
+    prob = model.probability(9.5)
+    print(f"\nLearned: P(run in the 9 o'clock hour) = {prob:.2f}")
+    print(f"Expected high-power energy after 6:00 = {model.expected_future_energy_j(6.0):.0f} J")
+
+    print("\nTest day (the user runs). Battery life by policy:")
+    day = wearable_day(include_run=True)
+    policies = {
+        "loss-minimizing (no prediction)": RBLDischargePolicy(),
+        "learned oracle (habit model)": OracleDischargePolicy(
+            model.oracle_signal(), efficient_index=0, high_power_threshold_w=day.high_power_threshold_w
+        ),
+        "ground-truth oracle (knows the trace)": OracleDischargePolicy(
+            day.trace.future_energy_above(day.high_power_threshold_w),
+            efficient_index=0,
+            high_power_threshold_w=day.high_power_threshold_w,
+        ),
+    }
+    for name, policy in policies.items():
+        result = live_one_day(policy, day)
+        print(f"  {name:40s} {result.battery_life_h:5.2f} h  (losses {result.total_loss_j:5.0f} J)")
+
+    print(
+        "\nThe learned signal recovers nearly all of the ground-truth"
+        "\noracle's advantage — 'mobile OSes that are aware of a user's"
+        "\nday to day schedule may be able to provide better battery"
+        "\nlife' (Section 5.2), with the schedule learned, not given."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Adaptive overnight charging (Section 3.3's 'charging at night' example).
+
+The user docks the phone at 23:00 and the assistant knows the alarm is at
+07:00. The adaptive session charges gently to 80%, holds there through
+the night, and tops off just before the alarm — compared against eagerly
+charging to 100% at once and sitting full all night.
+
+Run:  python examples/overnight_charge.py
+"""
+
+from repro.cell import new_cell
+from repro.core.charging import AdaptiveChargingSession, ChargePhase
+from repro.hardware import SDBMicrocontroller
+
+NIGHT_HOURS = 8.0
+SUPPLY_W = 18.0
+DT_S = 60.0
+
+
+def make_controller():
+    return SDBMicrocontroller([new_cell("B06", soc=0.18), new_cell("B03", soc=0.18)])
+
+
+def main() -> None:
+    # --- adaptive: fill -> hold at 80% -> top off before the alarm ------
+    adaptive = make_controller()
+    session = AdaptiveChargingSession(adaptive, ready_at_s=NIGHT_HOURS * 3600.0, hold_soc=0.80)
+    phase_log = []
+    t = 0.0
+    while t < NIGHT_HOURS * 3600.0:
+        session.step(t, SUPPLY_W, DT_S)
+        if not phase_log or phase_log[-1][1] is not session.phase:
+            phase_log.append((t, session.phase))
+        t += DT_S
+
+    # --- eager: standard profile the whole night -------------------------
+    eager = make_controller()
+    t = 0.0
+    while t < NIGHT_HOURS * 3600.0:
+        eager.step_charge(SUPPLY_W, DT_S)
+        t += DT_S
+
+    print("Adaptive session phases:")
+    for start, phase in phase_log:
+        print(f"  {start / 3600:5.2f} h  ->  {phase.value}")
+
+    def report(name, mc):
+        socs = ", ".join(f"{c.soc:.0%}" for c in mc.cells)
+        fade = sum(c.aging.state.fade for c in mc.cells)
+        print(f"  {name:10s} final SoC: {socs};  accumulated fade: {fade:.3e}")
+
+    print("\nAt the 07:00 alarm:")
+    report("adaptive", adaptive)
+    report("eager", eager)
+    saved = 1.0 - sum(c.aging.state.fade for c in adaptive.cells) / sum(c.aging.state.fade for c in eager.cells)
+    print(
+        f"\nBoth wake up full; the adaptive session accrued {saved:.0%} less"
+        "\nfade — the Charging Directive Parameter at work: 'a low value"
+        "\nindicates that the user is in no hurry (e.g. charging at night)'."
+    )
+
+
+if __name__ == "__main__":
+    main()

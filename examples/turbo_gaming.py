@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CPU turbo scenario (Section 5.1 / Figure 12).
+
+With a high power-density battery alongside the high energy-density one,
+the OS can unlock higher CPU power levels. Whether it *should* depends on
+the workload: compute-bound work gets real speedups; network-bound work
+just burns energy. The example shows a workload-aware OS picking the
+level per task.
+
+Run:  python examples/turbo_gaming.py
+"""
+
+from repro.emulator.cpu import CpuPowerLevel, Task, TurboCpu
+from repro.experiments.fig12_turbo import battery_loss_j
+
+WORKLOADS = {
+    "email sync": Task(compute_ghz_s=6.0, network_s=30.0),
+    "video call": Task(compute_ghz_s=40.0, network_s=50.0),
+    "web browsing": Task(compute_ghz_s=25.0, network_s=35.0),
+    "photo export": Task(compute_ghz_s=140.0, network_s=5.0),
+    "3D gaming": Task(compute_ghz_s=200.0, network_s=2.0),
+}
+
+
+def pick_level(cpu: TurboCpu, task: Task) -> CpuPowerLevel:
+    """Workload-aware selection: pay for power only when latency improves.
+
+    The OS picks the highest level whose marginal latency win over the
+    next level down exceeds 5% — the dynamic parameter adjustment the
+    paper says a fixed value cannot provide.
+    """
+    levels = [CpuPowerLevel.LOW, CpuPowerLevel.MEDIUM, CpuPowerLevel.HIGH]
+    best = levels[0]
+    for lower, higher in zip(levels, levels[1:]):
+        gain = 1.0 - cpu.run_task(task, higher).latency_s / cpu.run_task(task, lower).latency_s
+        if gain > 0.05:
+            best = higher
+        else:
+            break
+    return best
+
+
+def main() -> None:
+    cpu = TurboCpu()
+    print(f"{'workload':14s}  {'chosen level':12s}  {'latency (s)':>11s}  {'energy (J)':>10s}  vs always-high")
+    for name, task in WORKLOADS.items():
+        level = pick_level(cpu, task)
+        chosen = cpu.run_task(task, level)
+        chosen_energy = chosen.cpu_energy_j + battery_loss_j(level, chosen.mean_power_w, chosen.latency_s)
+        high = cpu.run_task(task, CpuPowerLevel.HIGH)
+        high_energy = high.cpu_energy_j + battery_loss_j(
+            CpuPowerLevel.HIGH, high.mean_power_w, high.latency_s
+        )
+        saved = 100.0 * (1.0 - chosen_energy / high_energy)
+        print(
+            f"{name:14s}  {level.value:12s}  {chosen.latency_s:11.1f}  {chosen_energy:10.0f}"
+            f"  {saved:+5.1f}% energy"
+        )
+    print(
+        "\nA fixed parameter value is not a good solution: the OS must raise"
+        "\nit for compute-bottlenecked tasks and lower it for network-"
+        "\nbottlenecked ones (Section 5.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

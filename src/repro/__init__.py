@@ -1,0 +1,57 @@
+"""Software Defined Batteries — a full reproduction of the SOSP 2015 paper.
+
+SDB lets a mobile device integrate heterogeneous batteries (different
+chemistries) and gives the operating system fine-grain control over the
+fraction of power flowing in and out of each one. This package implements
+the whole stack in simulation:
+
+* :mod:`repro.chemistry` — chemistry types, SoC curves, aging models, and
+  the 15-battery synthetic library;
+* :mod:`repro.cell` — the Thevenin battery model, fuel gauges, reference
+  cells, and traditional series/parallel packs;
+* :mod:`repro.hardware` — the SDB discharging/charging circuits,
+  microcontroller, and a traditional PMIC baseline;
+* :mod:`repro.core` — the paper's contribution: the four SDB APIs, the
+  CCB/RBL metrics, the policy suite, and the OS-resident SDB Runtime;
+* :mod:`repro.emulator` — the multi-battery emulator, device platforms,
+  and the turbo CPU model;
+* :mod:`repro.workloads` — synthetic device power traces;
+* :mod:`repro.experiments` — drivers regenerating every table and figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro.cell import new_cell
+    from repro.core import SDBApi, SDBRuntime
+    from repro.hardware import SDBMicrocontroller
+
+    controller = SDBMicrocontroller([new_cell("B06"), new_cell("B03")])
+    api = SDBApi(controller)
+    api.Discharge(0.8, 0.2)
+    controller.step_discharge(3.0, 60.0)
+    print(api.QueryBatteryStatus())
+"""
+
+from repro.cell import FuelGauge, TheveninCell, new_cell
+from repro.core import SDBApi, SDBRuntime
+from repro.core.metrics import cycle_count_balance, remaining_battery_lifetime_j, wear_ratios
+from repro.emulator import SDBEmulator, build_controller
+from repro.hardware import SDBMicrocontroller, TraditionalPMIC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FuelGauge",
+    "TheveninCell",
+    "new_cell",
+    "SDBApi",
+    "SDBRuntime",
+    "cycle_count_balance",
+    "remaining_battery_lifetime_j",
+    "wear_ratios",
+    "SDBEmulator",
+    "build_controller",
+    "SDBMicrocontroller",
+    "TraditionalPMIC",
+    "__version__",
+]

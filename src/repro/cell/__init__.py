@@ -1,0 +1,38 @@
+"""Cell-level electrical models.
+
+* :mod:`repro.cell.thevenin` — the paper's battery model (Figure 8a): open
+  circuit potential, SoC-dependent internal resistance, and a single RC
+  branch for concentration effects;
+* :mod:`repro.cell.reference` — a richer two-RC model that stands in for
+  the physical cells when validating the Thevenin model (Figure 10);
+* :mod:`repro.cell.fuel_gauge` — coulomb counting, SoC estimation and the
+  paper's cycle-counting rule, backing ``QueryBatteryStatus``;
+* :mod:`repro.cell.pack` — homogeneous series/parallel packs, the
+  traditional topology SDB replaces (Section 2.2).
+"""
+
+from repro.cell.composite import pack_cell, pack_params, parallel_params, series_params
+from repro.cell.fuel_gauge import BatteryStatus, FuelGauge
+from repro.cell.pack import ParallelPack, SeriesPack
+from repro.cell.reference import ReferenceCell, ReferenceCellParams
+from repro.cell.thermal import ThermalModel, ThermalParams
+from repro.cell.thevenin import CellParams, StepResult, TheveninCell, new_cell
+
+__all__ = [
+    "pack_cell",
+    "pack_params",
+    "parallel_params",
+    "series_params",
+    "BatteryStatus",
+    "FuelGauge",
+    "ParallelPack",
+    "SeriesPack",
+    "ReferenceCell",
+    "ReferenceCellParams",
+    "ThermalModel",
+    "ThermalParams",
+    "CellParams",
+    "StepResult",
+    "TheveninCell",
+    "new_cell",
+]

@@ -1,0 +1,100 @@
+"""Cell balancing for homogeneous series packs (Section 2.2 context).
+
+Traditional multi-cell packs (the ones SDB generalizes away from) live or
+die by balance: a series string delivers only as much charge as its
+weakest cell, and manufacturing spread plus uneven self-discharge widen
+SoC gaps over months. Pack electronics therefore *balance*: passive
+balancers bleed the highest cells through a resistor until the string
+converges.
+
+:class:`PassiveBalancer` implements the standard top-balance scheme over
+a :class:`~repro.cell.pack.SeriesPack` and makes the paper's implicit
+contrast concrete: SDB's per-battery channels make this machinery
+unnecessary across *heterogeneous* batteries, because nothing forces
+their currents to match in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cell.pack import SeriesPack
+
+
+@dataclass(frozen=True)
+class BalancerSpec:
+    """Passive (bleed-resistor) balancer parameters.
+
+    Attributes:
+        bleed_current_a: current drawn from a cell while its bleed FET is
+            on (tens to hundreds of mA in real packs).
+        window_soc: cells within this SoC of the pack minimum are left
+            alone (hysteresis against chatter).
+    """
+
+    bleed_current_a: float = 0.05
+    window_soc: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.bleed_current_a <= 0:
+            raise ValueError("bleed current must be positive")
+        if self.window_soc <= 0:
+            raise ValueError("balance window must be positive")
+
+
+class PassiveBalancer:
+    """Top-balances a series pack by bleeding high cells at rest."""
+
+    def __init__(self, pack: SeriesPack, spec: BalancerSpec = BalancerSpec()):
+        self.pack = pack
+        self.spec = spec
+        self.bled_j = 0.0
+
+    def imbalance(self) -> float:
+        """SoC spread of the string (max - min)."""
+        socs = [cell.soc for cell in self.pack.cells]
+        return max(socs) - min(socs)
+
+    def step(self, dt: float) -> List[bool]:
+        """Run the balancer for ``dt`` seconds (pack at rest).
+
+        Returns which cells were bleeding during the step.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        floor = min(cell.soc for cell in self.pack.cells)
+        bleeding = []
+        for cell in self.pack.cells:
+            bleed = cell.soc > floor + self.spec.window_soc and not cell.is_empty
+            bleeding.append(bleed)
+            if bleed:
+                result = cell.step_current(self.spec.bleed_current_a, dt)
+                # Bled energy is pure waste: terminal energy into the
+                # bleed resistor plus the cell's own heat.
+                self.bled_j += result.delivered_j + result.heat_j
+            else:
+                cell.step_current(0.0, dt)
+        return bleeding
+
+    def balance(self, max_hours: float = 48.0, dt: float = 60.0) -> float:
+        """Bleed until the string is inside the balance window.
+
+        Returns the hours taken (``max_hours`` if the window was never
+        reached — e.g. a bleed current too small for the spread).
+        """
+        elapsed = 0.0
+        limit = max_hours * 3600.0
+        while self.imbalance() > self.spec.window_soc and elapsed < limit:
+            self.step(dt)
+            elapsed += dt
+        return elapsed / 3600.0
+
+
+def usable_string_charge_c(pack: SeriesPack) -> float:
+    """Charge a series string can deliver: bounded by its weakest cell.
+
+    The quantity balancing protects — every coulomb of imbalance is a
+    coulomb the string cannot use.
+    """
+    return min(cell.usable_charge_c for cell in pack.cells)

@@ -1,0 +1,73 @@
+"""Pack composition: sS pP packs of one cell as a single battery.
+
+Section 2.2: "similar cells that are connected in series or parallel
+collectively behave more or less like a larger cell", which is why a
+traditional BMS can manage them with single-cell techniques — and why
+SDB can treat a homogeneous *pack* as one managed battery while devoting
+its per-battery channels to genuinely heterogeneous chemistry.
+
+The composition rules for identical cells are parameter algebra:
+
+* **series (s cells)** — same capacity; OCP, DCIR and R_ct scale by s;
+  the RC time constant is preserved (C_plate scales by 1/s).
+* **parallel (p cells)** — same voltage; capacity scales by p; DCIR and
+  R_ct scale by 1/p; C_plate scales by p.
+
+:func:`pack_params` composes both, so a laptop's 2S2P brick becomes one
+:class:`~repro.cell.thevenin.CellParams` usable anywhere a cell is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cell.thevenin import CellParams, TheveninCell
+
+
+def series_params(params: CellParams, s: int) -> CellParams:
+    """Parameters of ``s`` identical cells in series."""
+    if s < 1:
+        raise ValueError("series count must be at least 1")
+    if s == 1:
+        return params
+    return replace(
+        params,
+        name=f"{params.name} [{s}S]",
+        ocp=params.ocp.scaled(float(s)),
+        dcir=params.dcir.scaled(float(s)),
+        r_ct=params.r_ct * s,
+        c_plate=params.c_plate / s,
+    )
+
+
+def parallel_params(params: CellParams, p: int) -> CellParams:
+    """Parameters of ``p`` identical cells in parallel."""
+    if p < 1:
+        raise ValueError("parallel count must be at least 1")
+    if p == 1:
+        return params
+    return replace(
+        params,
+        name=f"{params.name} [{p}P]",
+        capacity_c=params.capacity_c * p,
+        dcir=params.dcir.scaled(1.0 / p),
+        r_ct=params.r_ct / p,
+        c_plate=params.c_plate * p,
+    )
+
+
+def pack_params(params: CellParams, s: int, p: int) -> CellParams:
+    """Parameters of an ``sS pP`` pack of identical cells.
+
+    Order does not matter physically; we apply parallel first so the
+    name reads like a datasheet ("2S2P").
+    """
+    packed = series_params(parallel_params(params, p), s)
+    if s > 1 or p > 1:
+        packed = replace(packed, name=f"{params.name} [{s}S{p}P]")
+    return packed
+
+
+def pack_cell(params: CellParams, s: int = 1, p: int = 1, soc: float = 1.0) -> TheveninCell:
+    """A ready-to-use cell modeling an ``sS pP`` pack."""
+    return TheveninCell(pack_params(params, s, p), soc=soc)

@@ -1,0 +1,117 @@
+"""Model-based state-of-charge estimation (Kalman-filtered fuel gauging).
+
+The paper's battery-model lineage (Section 4.3's references) includes
+SoC estimation with adaptive extended Kalman filters over the Thevenin
+model. A plain coulomb counter drifts with its sense-resistor gain error
+and never recovers between rests; a model-based estimator fuses the
+coulomb count with terminal-voltage measurements through the OCP curve
+and pulls the estimate back continuously.
+
+:class:`KalmanSocEstimator` is a one-state EKF:
+
+* **state**: SoC;
+* **predict**: coulomb counting with the (mis-)measured current;
+* **update**: compare the predicted terminal voltage
+  ``OCP(soc) - I*R(soc) - v_rc_est`` against the measured voltage;
+  the innovation is mapped back through the local OCP slope.
+
+It subscribes to the cell's step stream exactly like the plain
+:class:`~repro.cell.fuel_gauge.FuelGauge`, so swapping estimators under
+``QueryBatteryStatus`` is a one-line change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cell.thevenin import StepResult, TheveninCell
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Tuning of the one-state EKF.
+
+    Attributes:
+        sense_gain_error: fractional current-sense gain error injected
+            into the predict step (the flaw the filter must overcome).
+        sense_offset_a: constant current-sense offset, amps (integrates
+            unconditionally; the classic cause of coulomb-counter drift).
+        process_noise: per-step SoC variance added in predict.
+        voltage_noise: variance of the terminal-voltage measurement, V^2.
+        initial_variance: variance of the initial SoC guess.
+        min_ocp_slope: floor on the OCP slope used in the update; on the
+            flat plateau the voltage barely constrains SoC and the filter
+            must not divide by (near) zero.
+    """
+
+    sense_gain_error: float = 0.01
+    sense_offset_a: float = 0.0
+    process_noise: float = 1e-8
+    voltage_noise: float = 4e-4  # (20 mV)^2
+    initial_variance: float = 1e-2
+    min_ocp_slope: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.process_noise <= 0 or self.voltage_noise <= 0 or self.initial_variance <= 0:
+            raise ValueError("noise variances must be positive")
+        if self.min_ocp_slope <= 0:
+            raise ValueError("minimum OCP slope must be positive")
+
+
+class KalmanSocEstimator:
+    """One-state EKF over the Thevenin model's SoC.
+
+    Args:
+        cell: the cell to estimate (provides the model curves, plays the
+            role of the physical battery producing measurements).
+        config: filter tuning.
+        initial_soc: initial guess (defaults to the truth, as a gauge
+            calibrated at the factory would start).
+    """
+
+    def __init__(self, cell: TheveninCell, config: EstimatorConfig = EstimatorConfig(), initial_soc: float = None):
+        self.cell = cell
+        self.config = config
+        self.soc_estimate = cell.soc if initial_soc is None else float(initial_soc)
+        self.variance = config.initial_variance
+        self.v_rc_estimate = 0.0
+        self.updates = 0
+        cell.add_observer(self.observe)
+
+    def observe(self, step: StepResult) -> None:
+        """Fold one cell step into the estimate (predict + update)."""
+        params = self.cell.params
+        # --- predict: coulomb counting with the flawed current sense ----
+        measured_current = step.current * (1.0 + self.config.sense_gain_error) + self.config.sense_offset_a
+        cap = self.cell.capacity_c
+        if cap > 0:
+            self.soc_estimate -= measured_current * step.dt / cap
+        self.soc_estimate = min(1.0, max(0.0, self.soc_estimate))
+        self.variance += self.config.process_noise
+
+        # Track the RC branch with the same exact update the model uses.
+        tau = params.r_ct * params.c_plate
+        decay = math.exp(-step.dt / tau)
+        self.v_rc_estimate = self.v_rc_estimate * decay + measured_current * params.r_ct * (1.0 - decay)
+
+        # --- update: terminal-voltage innovation -------------------------
+        r = params.dcir(self.soc_estimate) * self.cell.aging.resistance_factor
+        predicted_v = params.ocp(self.soc_estimate) - measured_current * r - self.v_rc_estimate
+        innovation = step.terminal_voltage - predicted_v
+        slope = max(params.ocp.derivative(self.soc_estimate), self.config.min_ocp_slope)
+        gain = self.variance * slope / (slope * slope * self.variance + self.config.voltage_noise)
+        self.soc_estimate = min(1.0, max(0.0, self.soc_estimate + gain * innovation))
+        self.variance *= 1.0 - gain * slope
+        self.updates += 1
+
+    @property
+    def error(self) -> float:
+        """Signed estimation error vs the true SoC."""
+        return self.soc_estimate - self.cell.soc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KalmanSocEstimator(est={self.soc_estimate:.4f}, "
+            f"true={self.cell.soc:.4f}, var={self.variance:.2e})"
+        )

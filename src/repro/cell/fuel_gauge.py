@@ -1,0 +1,118 @@
+"""Fuel gauge: coulomb counting, SoC estimation, battery status reporting.
+
+The paper's fuel gauge "keeps track of the state of charge (SoC) of the
+battery by measuring the voltage across the battery terminals, and the
+current flowing in and out of it" (Section 2.2). The SDB prototype adds a
+custom fuel gauge per battery (a coulomb counter plus controller) so the OS
+can see each heterogeneous cell individually.
+
+:class:`FuelGauge` observes the :class:`~repro.cell.thevenin.StepResult`
+stream of one cell and maintains an *estimated* SoC via coulomb counting
+with a configurable sense-resistor gain error — the estimate drifts the way
+a real gauge does, and is periodically re-anchored when the cell rests at a
+known voltage (OCV correction). ``QueryBatteryStatus`` is built on
+:meth:`FuelGauge.status`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.cell.thevenin import StepResult, TheveninCell
+
+
+@dataclass(frozen=True)
+class BatteryStatus:
+    """One battery's entry in a ``QueryBatteryStatus`` response.
+
+    Mirrors the paper's API: "an array with state of charge, terminal
+    voltages and cycle counts for each battery", extended with the fields
+    the policies consume.
+    """
+
+    name: str
+    soc: float
+    terminal_voltage: float
+    cycle_count: int
+    estimated_soc: float
+    capacity_mah: float
+    wear_ratio: float
+    throughput_wear: float
+    resistance_ohm: float
+    is_empty: bool
+    is_full: bool
+
+
+class FuelGauge:
+    """Per-battery coulomb counter and status reporter.
+
+    Args:
+        cell: the cell this gauge monitors.
+        sense_gain_error: fractional gain error of the current-sense path
+            (e.g. ``0.002`` for a 0.2% sense resistor tolerance). Gain
+            error cancels over closed charge/discharge loops but skews
+            one-directional stretches.
+        sense_offset_a: constant offset of the sense amplifier, amps. An
+            offset integrates unconditionally — including at rest — and is
+            what makes un-anchored coulomb counters drift day after day.
+    """
+
+    def __init__(self, cell: TheveninCell, sense_gain_error: float = 0.002, sense_offset_a: float = 0.0):
+        if abs(sense_gain_error) >= 0.1:
+            raise ValueError("sense gain error above 10% is not a plausible gauge")
+        if abs(sense_offset_a) >= 1.0:
+            raise ValueError("sense offset above 1 A is not a plausible gauge")
+        self.cell = cell
+        self.sense_gain_error = float(sense_gain_error)
+        self.sense_offset_a = float(sense_offset_a)
+        self._estimated_soc = cell.soc
+        self._last_voltage = cell.terminal_voltage()
+        self.total_discharged_c = 0.0
+        self.total_charged_c = 0.0
+        self.total_heat_j = 0.0
+        cell.add_observer(self.record)
+
+    @property
+    def estimated_soc(self) -> float:
+        """The gauge's (drifting) SoC estimate."""
+        return self._estimated_soc
+
+    def record(self, step: StepResult) -> None:
+        """Fold one integration step into the gauge's accumulators."""
+        measured_current = step.current * (1.0 + self.sense_gain_error) + self.sense_offset_a
+        moved_c = measured_current * step.dt
+        cap = self.cell.capacity_c
+        if cap > 0:
+            self._estimated_soc = units.clamp(self._estimated_soc - moved_c / cap, 0.0, 1.0)
+        if step.current >= 0:
+            self.total_discharged_c += step.current * step.dt
+        else:
+            self.total_charged_c += -step.current * step.dt
+        self.total_heat_j += step.heat_j
+        self._last_voltage = step.terminal_voltage
+
+    def ocv_rest_correction(self) -> None:
+        """Re-anchor the SoC estimate from the true resting state.
+
+        Real gauges invert the OCV curve after a rest period; the simulated
+        cell's true SoC *is* that inversion, so the correction snaps the
+        estimate to truth (the drift model only matters between rests).
+        """
+        self._estimated_soc = self.cell.soc
+
+    def status(self) -> BatteryStatus:
+        """A point-in-time status snapshot for ``QueryBatteryStatus``."""
+        return BatteryStatus(
+            name=self.cell.name,
+            soc=self.cell.soc,
+            terminal_voltage=self._last_voltage,
+            cycle_count=self.cell.aging.state.cycle_count,
+            estimated_soc=self._estimated_soc,
+            capacity_mah=units.coulombs_to_mah(self.cell.capacity_c),
+            wear_ratio=self.cell.aging.wear_ratio,
+            throughput_wear=self.cell.aging.throughput_wear,
+            resistance_ohm=self.cell.resistance(),
+            is_empty=self.cell.is_empty,
+            is_full=self.cell.is_full,
+        )

@@ -1,0 +1,163 @@
+"""Traditional homogeneous battery packs (the baseline SDB replaces).
+
+Section 2.2 / Section 6: multi-cell packs today connect *same-chemistry*
+cells in series or parallel and present them to the OS as one monolithic
+battery. The physics constrains them:
+
+* **series** cells carry the same current;
+* **parallel** cells sit at the same terminal voltage, so their currents
+  split inversely with internal resistance — the OS gets no say.
+
+Both topologies are implemented exactly by those constraints, so the
+baselines in the benchmarks inherit the real (uncontrollable) current
+split rather than an idealized even one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.cell.thevenin import StepResult, TheveninCell
+from repro.errors import BatteryEmptyError, PowerLimitError
+
+
+def _require_cells(cells: Sequence[TheveninCell]) -> List[TheveninCell]:
+    cells = list(cells)
+    if not cells:
+        raise ValueError("a pack needs at least one cell")
+    return cells
+
+
+class SeriesPack:
+    """Cells in series: one shared current, summed voltage."""
+
+    def __init__(self, cells: Sequence[TheveninCell]):
+        self.cells = _require_cells(cells)
+
+    @property
+    def is_empty(self) -> bool:
+        """A series string dies with its weakest (first-empty) cell."""
+        return any(cell.is_empty for cell in self.cells)
+
+    @property
+    def soc(self) -> float:
+        """SoC of the limiting (lowest) cell."""
+        return min(cell.soc for cell in self.cells)
+
+    def terminal_voltage(self, current: float = 0.0) -> float:
+        """Sum of per-cell terminal voltages at the shared current."""
+        return sum(cell.terminal_voltage(current) for cell in self.cells)
+
+    def step_discharge_power(self, power: float, dt: float) -> List[StepResult]:
+        """Deliver ``power`` watts for ``dt`` seconds from the string.
+
+        Solves the aggregate quadratic ``P = (sum V_eff,i) I - (sum R_i) I^2``
+        for the shared current.
+        """
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        if self.is_empty and power > 0:
+            raise BatteryEmptyError("series pack exhausted")
+        v_eff = sum(cell.ocp() - cell.v_rc for cell in self.cells)
+        r_total = sum(cell.resistance() for cell in self.cells)
+        if power == 0.0:
+            current = 0.0
+        else:
+            disc = v_eff * v_eff - 4.0 * r_total * power
+            if disc < 0:
+                raise PowerLimitError(f"series pack cannot deliver {power:.2f} W")
+            current = (v_eff - math.sqrt(disc)) / (2.0 * r_total)
+        return [cell.step_current(current, dt) for cell in self.cells]
+
+
+class ParallelPack:
+    """Cells in parallel: one shared voltage, resistance-weighted currents.
+
+    This is the paper's "batteries connected in parallel must operate at the
+    same voltage and can only supply currents that are inversely
+    proportional to their internal resistances".
+    """
+
+    def __init__(self, cells: Sequence[TheveninCell]):
+        self.cells = _require_cells(cells)
+
+    @property
+    def is_empty(self) -> bool:
+        """A parallel pack is empty when every cell is."""
+        return all(cell.is_empty for cell in self.cells)
+
+    @property
+    def soc(self) -> float:
+        """Capacity-weighted average SoC."""
+        total = sum(cell.capacity_c for cell in self.cells)
+        if total == 0:
+            return 0.0
+        return sum(cell.soc * cell.capacity_c for cell in self.cells) / total
+
+    def _active_cells(self) -> List[TheveninCell]:
+        return [cell for cell in self.cells if not cell.is_empty]
+
+    def split_currents(self, power: float) -> List[float]:
+        """Per-cell currents when the pack serves ``power`` watts.
+
+        Finds the shared terminal voltage ``V`` by bisection on
+        ``sum_i (V_eff,i - V)/R_i * V = P`` (empty cells contribute no
+        current; back-feeding into a weaker cell is blocked by its ideal
+        diode, as in real parallel packs with protection FETs).
+        """
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        currents = [0.0] * len(self.cells)
+        if power == 0.0:
+            return currents
+        active = [(i, c) for i, c in enumerate(self.cells) if not c.is_empty]
+        if not active:
+            raise BatteryEmptyError("parallel pack exhausted")
+
+        def total_power(v: float) -> float:
+            p = 0.0
+            for _, cell in active:
+                i_cell = (cell.ocp() - cell.v_rc - v) / cell.resistance()
+                if i_cell > 0:
+                    p += i_cell * v
+            return p
+
+        v_hi = max(cell.ocp() - cell.v_rc for _, cell in active)
+        v_lo = v_hi / 2.0
+        # The power curve rises as V drops from OCV toward V_oc/2 (max
+        # power point of the aggregate). If even V_oc/2 cannot serve it,
+        # the request exceeds pack capability.
+        if total_power(v_lo) < power:
+            raise PowerLimitError(f"parallel pack cannot deliver {power:.2f} W")
+        for _ in range(80):
+            v_mid = 0.5 * (v_lo + v_hi)
+            if total_power(v_mid) >= power:
+                v_lo = v_mid
+            else:
+                v_hi = v_mid
+        v = 0.5 * (v_lo + v_hi)
+        for idx, cell in active:
+            i_cell = (cell.ocp() - cell.v_rc - v) / cell.resistance()
+            currents[idx] = max(0.0, i_cell)
+        return currents
+
+    def step_discharge_power(self, power: float, dt: float) -> List[StepResult]:
+        """Deliver ``power`` watts for ``dt`` seconds from the pack."""
+        currents = self.split_currents(power)
+        results = []
+        for cell, current in zip(self.cells, currents):
+            if current == 0.0 and cell.is_empty:
+                results.append(
+                    StepResult(
+                        current=0.0,
+                        terminal_voltage=cell.terminal_voltage(),
+                        delivered_w=0.0,
+                        heat_w=0.0,
+                        soc=cell.soc,
+                        dt=dt,
+                    )
+                )
+            else:
+                results.append(cell.step_current(current, dt))
+        return results

@@ -1,0 +1,108 @@
+"""Cell thermal model: self-heating, cooling, and temperature effects.
+
+Section 3.3 lists "a change in device temperature" among the triggers for
+ratio updates, and Section 8's EV direction names temperature as a factor
+the SDB runtime should weigh. This module supplies the physics:
+
+* a lumped thermal mass heated by the cell's own dissipation and cooled
+  toward ambient (Newtonian cooling);
+* the two first-order temperature effects that matter to SDB policies:
+
+  - **resistance** falls as the cell warms (ionic conductivity rises) and
+    rises steeply when cold — modeled with an Arrhenius factor around the
+    25 C reference;
+  - **aging** accelerates with temperature — the usual rule of thumb is
+    roughly 2x fade per 10-15 C, also an Arrhenius form.
+
+A cell without an attached thermal model behaves exactly as before
+(temperature pinned at reference), so the rest of the system is
+unaffected unless a scenario opts in via
+:meth:`repro.cell.thevenin.TheveninCell.attach_thermal`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Reference temperature for all coefficients, Celsius.
+REFERENCE_C = 25.0
+
+KELVIN_OFFSET = 273.15
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Lumped thermal description of one cell.
+
+    Attributes:
+        thermal_mass_j_per_k: heat capacity of the cell, J/K. A phone
+            cell (~45 g, ~1000 J/(kg K)) is ~45 J/K.
+        dissipation_w_per_k: heat transfer to ambient, W/K.
+        ambient_c: ambient temperature, Celsius.
+        resistance_activation_k: Arrhenius activation (in kelvin) for the
+            ionic-resistance temperature dependence. ~1500 K gives the
+            familiar ~2x resistance at -10 C and ~0.8x at 45 C.
+        aging_activation_k: Arrhenius activation for fade acceleration.
+            ~5000 K doubles fade every ~12 C above reference.
+        t_max_c: temperature at which the pack protector cuts power.
+    """
+
+    thermal_mass_j_per_k: float = 45.0
+    dissipation_w_per_k: float = 0.75
+    ambient_c: float = 25.0
+    resistance_activation_k: float = 1500.0
+    aging_activation_k: float = 5000.0
+    t_max_c: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_mass_j_per_k <= 0 or self.dissipation_w_per_k <= 0:
+            raise ValueError("thermal mass and dissipation must be positive")
+        if self.t_max_c <= self.ambient_c:
+            raise ValueError("cutoff temperature must exceed ambient")
+
+
+class ThermalModel:
+    """Mutable thermal state for one cell."""
+
+    def __init__(self, params: ThermalParams = ThermalParams(), temperature_c: float = None):
+        self.params = params
+        self.temperature_c = params.ambient_c if temperature_c is None else float(temperature_c)
+
+    def step(self, heat_w: float, dt: float) -> float:
+        """Integrate the temperature forward by ``dt`` seconds.
+
+        Exact solution of ``C dT/dt = Q - k (T - T_amb)`` over the step
+        with constant heat input; returns the new temperature.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if heat_w < 0:
+            raise ValueError("heat must be non-negative")
+        k = self.params.dissipation_w_per_k
+        c = self.params.thermal_mass_j_per_k
+        t_eq = self.params.ambient_c + heat_w / k
+        decay = math.exp(-k * dt / c)
+        self.temperature_c = t_eq + (self.temperature_c - t_eq) * decay
+        return self.temperature_c
+
+    def _arrhenius(self, activation_k: float) -> float:
+        t_k = self.temperature_c + KELVIN_OFFSET
+        ref_k = REFERENCE_C + KELVIN_OFFSET
+        return math.exp(activation_k * (1.0 / ref_k - 1.0 / t_k))
+
+    def resistance_factor(self) -> float:
+        """Multiplier on DCIR due to temperature (>1 cold, <1 warm)."""
+        return 1.0 / self._arrhenius(self.params.resistance_activation_k)
+
+    def aging_acceleration(self) -> float:
+        """Multiplier on per-coulomb fade due to temperature (>=1 warm)."""
+        return max(1.0, self._arrhenius(self.params.aging_activation_k))
+
+    @property
+    def over_limit(self) -> bool:
+        """True when the protector cutoff temperature is exceeded."""
+        return self.temperature_c >= self.params.t_max_c
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThermalModel({self.temperature_c:.1f} C, ambient {self.params.ambient_c:.1f} C)"

@@ -1,0 +1,436 @@
+"""The paper's battery model: a Thevenin equivalent circuit (Figure 8a).
+
+The model has four experimentally learned parameters:
+
+* the **open-circuit potential** (OCP) as a function of state of charge,
+* the **internal resistance** as a function of state of charge (DCIR),
+* a fixed **concentration resistance**, and
+* a fixed **plate capacitance**,
+
+the last two forming a parallel RC branch in series with the internal
+resistance. With discharge-positive current ``I`` the terminal voltage is::
+
+    V_term = OCP(soc) - I * R(soc) - v_rc
+
+where ``v_rc`` is the RC branch voltage with dynamics
+``dv_rc/dt = I / C - v_rc / (R_ct * C)``. At each time step, based on SoC,
+the model estimates OCP and resistance and integrates the state forward —
+exactly the update loop the paper describes in Section 4.3.
+
+Power-mode stepping solves the terminal-power quadratic for current, which
+is what the emulator needs because device traces are power-vs-time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.chemistry.aging import AgingModel, AgingParams
+from repro.chemistry.curves import SocCurve
+from repro.errors import BatteryEmptyError, BatteryFullError, PowerLimitError
+
+#: SoC below which a cell reports empty. Real packs cut off well above true
+#: zero to protect the cell; 0.5% also keeps the OCP curve away from its
+#: steep toe where the quadratic solve loses accuracy.
+SOC_EMPTY = 0.005
+
+#: SoC above which a cell reports full.
+SOC_FULL = 0.999
+
+
+@dataclass(frozen=True)
+class CellParams:
+    """Immutable electrical identity of one cell.
+
+    Attributes:
+        name: label used in reports.
+        chemistry: the chemistry property sheet (for type-level lookups).
+        capacity_c: nominal capacity, coulombs.
+        ocp: open-circuit potential vs SoC, volts.
+        dcir: as-new internal resistance vs SoC, ohms.
+        r_ct: concentration resistance, ohms.
+        c_plate: plate capacitance, farads.
+        max_charge_c: sustained charge-rate limit, C.
+        max_discharge_c: sustained discharge-rate limit, C.
+        aging: aging coefficients.
+        energy_density_wh_per_l: volumetric energy density of this cell.
+    """
+
+    name: str
+    chemistry: object
+    capacity_c: float
+    ocp: SocCurve
+    dcir: SocCurve
+    r_ct: float
+    c_plate: float
+    max_charge_c: float
+    max_discharge_c: float
+    aging: AgingParams
+    energy_density_wh_per_l: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_c <= 0:
+            raise ValueError("capacity must be positive")
+        if self.r_ct <= 0 or self.c_plate <= 0:
+            raise ValueError("RC branch parameters must be positive")
+        if self.max_charge_c <= 0 or self.max_discharge_c <= 0:
+            raise ValueError("rate limits must be positive")
+
+    @property
+    def max_charge_current(self) -> float:
+        """Charge-rate limit in amps."""
+        return units.c_rate_to_amps(self.max_charge_c, self.capacity_c)
+
+    @property
+    def max_discharge_current(self) -> float:
+        """Discharge-rate limit in amps."""
+        return units.c_rate_to_amps(self.max_discharge_c, self.capacity_c)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one integration step.
+
+    Sign conventions: ``current`` is discharge-positive; ``delivered_w`` is
+    power at the terminals flowing *out* of the cell (negative while
+    charging); ``heat_w`` is always non-negative.
+    """
+
+    current: float
+    terminal_voltage: float
+    delivered_w: float
+    heat_w: float
+    soc: float
+    dt: float
+
+    @property
+    def delivered_j(self) -> float:
+        """Terminal energy moved during the step (discharge-positive)."""
+        return self.delivered_w * self.dt
+
+    @property
+    def heat_j(self) -> float:
+        """Heat dissipated during the step, joules."""
+        return self.heat_w * self.dt
+
+
+class TheveninCell:
+    """A mutable battery instance: Thevenin electrical model + aging state."""
+
+    def __init__(self, params: CellParams, soc: float = 1.0):
+        if not 0.0 <= soc <= 1.0:
+            raise ValueError("initial soc must be in [0, 1]")
+        self.params = params
+        self.soc = float(soc)
+        self.v_rc = 0.0
+        self.aging = AgingModel(params.aging, params.capacity_c)
+        self.thermal = None
+        self._observers = []
+
+    def add_observer(self, callback) -> None:
+        """Register a callable invoked with every :class:`StepResult`.
+
+        Fuel gauges subscribe here so they see every step regardless of
+        which circuit drove the cell.
+        """
+        self._observers.append(callback)
+
+    def attach_thermal(self, model) -> None:
+        """Attach a :class:`~repro.cell.thermal.ThermalModel`.
+
+        Once attached, the cell's resistance tracks temperature, its own
+        heat feeds the thermal state, and aging accelerates when hot.
+        """
+        self.thermal = model
+
+    def enable_hysteresis(self, delta_v: float = 0.020, tau_s: float = 600.0) -> None:
+        """Turn on OCV hysteresis.
+
+        Real Li-ion cells show a small open-circuit-voltage split between
+        the charge and discharge branches (tens of millivolts). The model
+        tracks a hysteresis state ``h`` in ``[-delta/2, +delta/2]`` that
+        relaxes exponentially toward the branch of the current flow
+        direction; ``ocp()`` then reports ``OCP_curve(soc) - h``.
+
+        Off by default — the Figure 10 validation and the policy math use
+        the branch-free curve, matching how manufacturers publish OCV.
+        """
+        if delta_v < 0:
+            raise ValueError("hysteresis width must be non-negative")
+        if tau_s <= 0:
+            raise ValueError("hysteresis time constant must be positive")
+        self._hysteresis_delta = float(delta_v)
+        self._hysteresis_tau = float(tau_s)
+        self._hysteresis_v = 0.0
+
+    def _update_hysteresis(self, current: float, dt: float) -> None:
+        delta = getattr(self, "_hysteresis_delta", 0.0)
+        if delta <= 0.0:
+            return
+        if current > 0:
+            target = delta / 2.0  # discharging branch sits below the mean
+        elif current < 0:
+            target = -delta / 2.0
+        else:
+            target = self._hysteresis_v  # rests hold their branch
+        decay = math.exp(-dt / self._hysteresis_tau)
+        self._hysteresis_v = target + (self._hysteresis_v - target) * decay
+
+    def enable_self_discharge(self, per_month: float = 0.03, calendar_fade_per_year: float = 0.02) -> None:
+        """Turn on self-discharge and calendar aging.
+
+        Off by default (both rates zero) because they only matter on
+        multi-day horizons. ``per_month`` is the fraction of capacity the
+        resting cell leaks per 30 days (Li-ion: 2-4%);
+        ``calendar_fade_per_year`` is the capacity fade accrued per year
+        merely by existing (storage fade). Self-discharged coulombs do
+        not count as cycling throughput.
+        """
+        if per_month < 0 or calendar_fade_per_year < 0:
+            raise ValueError("rates must be non-negative")
+        if per_month >= 1.0 or calendar_fade_per_year >= 1.0:
+            raise ValueError("rates above 100% per period are not physical")
+        self._self_discharge_per_month = float(per_month)
+        self._calendar_fade_per_year = float(calendar_fade_per_year)
+
+    def _apply_idle_decay(self, dt: float) -> None:
+        per_month = getattr(self, "_self_discharge_per_month", 0.0)
+        per_year = getattr(self, "_calendar_fade_per_year", 0.0)
+        if per_month > 0.0:
+            self.soc = max(0.0, self.soc - per_month * dt / (30.0 * units.SECONDS_PER_DAY))
+        if per_year > 0.0:
+            self.aging.state.fade = min(1.0, self.aging.state.fade + per_year * dt / (365.0 * units.SECONDS_PER_DAY))
+
+    # ------------------------------------------------------------------ #
+    # Read-only electrical state
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """The cell's label."""
+        return self.params.name
+
+    @property
+    def capacity_c(self) -> float:
+        """Current usable capacity (nominal minus fade), coulombs."""
+        return self.aging.current_capacity_c
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the cell has reached its discharge cutoff."""
+        return self.soc <= SOC_EMPTY
+
+    @property
+    def is_full(self) -> bool:
+        """True when the cell has reached its charge cutoff."""
+        return self.soc >= SOC_FULL
+
+    @property
+    def usable_charge_c(self) -> float:
+        """Coulombs available above the discharge cutoff."""
+        return max(0.0, (self.soc - SOC_EMPTY)) * self.capacity_c
+
+    @property
+    def headroom_c(self) -> float:
+        """Coulombs the cell can still absorb before full."""
+        return max(0.0, (SOC_FULL - self.soc)) * self.capacity_c
+
+    def ocp(self) -> float:
+        """Open-circuit potential at the current SoC, volts.
+
+        Includes the hysteresis offset when enabled (discharging branch
+        reads lower, charging branch higher).
+        """
+        return self.params.ocp(self.soc) - getattr(self, "_hysteresis_v", 0.0)
+
+    def resistance(self) -> float:
+        """Aged (and temperature-adjusted) internal resistance, ohms."""
+        r = self.params.dcir(self.soc) * self.aging.resistance_factor
+        if self.thermal is not None:
+            r *= self.thermal.resistance_factor()
+        return r
+
+    def dcir_slope(self) -> float:
+        """d(DCIR)/d(SoC) at the current SoC (the RBL policies' delta_i).
+
+        The DCIR curve decreases with SoC, so the slope is non-positive;
+        policies use its magnitude.
+        """
+        return self.params.dcir.derivative(self.soc) * self.aging.resistance_factor
+
+    def terminal_voltage(self, current: float = 0.0) -> float:
+        """Terminal voltage at the given discharge-positive current."""
+        return self.ocp() - current * self.resistance() - self.v_rc
+
+    def max_discharge_power(self) -> float:
+        """Largest load power the cell can serve right now.
+
+        The theoretical maximum-power point is ``V_eff^2 / (4R)``; the
+        sustained C-rate limit usually binds first.
+        """
+        if self.is_empty:
+            return 0.0
+        v_eff = self.ocp() - self.v_rc
+        if v_eff <= 0:
+            return 0.0
+        r = self.resistance()
+        p_theory = v_eff * v_eff / (4.0 * r)
+        i_max = self.params.max_discharge_current
+        p_rate = (v_eff - i_max * r) * i_max
+        if p_rate <= 0:
+            return p_theory
+        return min(p_theory, p_rate)
+
+    def max_charge_power(self) -> float:
+        """Largest terminal power the cell can absorb right now."""
+        if self.is_full:
+            return 0.0
+        j_max = self.params.max_charge_current
+        v_term = self.ocp() + j_max * self.resistance() - self.v_rc
+        return max(0.0, v_term * j_max)
+
+    def open_circuit_energy_j(self) -> float:
+        """Chemical energy above the cutoff, ignoring resistive losses."""
+        if self.soc <= SOC_EMPTY:
+            return 0.0
+        return self.capacity_c * self.params.ocp.integral(SOC_EMPTY, self.soc)
+
+    # ------------------------------------------------------------------ #
+    # Integration
+    # ------------------------------------------------------------------ #
+
+    def step_current(self, current: float, dt: float) -> StepResult:
+        """Advance the cell by ``dt`` seconds at a fixed terminal current.
+
+        ``current`` is discharge-positive; pass a negative value to charge.
+        SoC is clamped to the physical [0, 1] range at the boundary (the
+        final partial step of a drain may therefore move slightly less
+        charge than ``current * dt``; callers that care use small ``dt``).
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if current > 0 and self.is_empty:
+            raise BatteryEmptyError(f"{self.name}: discharge requested at soc={self.soc:.4f}")
+        if current < 0 and self.is_full:
+            raise BatteryFullError(f"{self.name}: charge requested at soc={self.soc:.4f}")
+
+        r = self.resistance()
+        v_term = self.ocp() - current * r - self.v_rc
+        heat = current * current * r
+        if self.params.r_ct > 0:
+            heat += (self.v_rc * self.v_rc) / self.params.r_ct
+
+        # Exact update of the RC branch over the step (current held const).
+        tau = self.params.r_ct * self.params.c_plate
+        decay = math.exp(-dt / tau)
+        self.v_rc = self.v_rc * decay + current * self.params.r_ct * (1.0 - decay)
+
+        moved_c = current * dt
+        cap = self.capacity_c
+        new_soc = self.soc - moved_c / cap if cap > 0 else 0.0
+        new_soc = units.clamp(new_soc, 0.0, 1.0)
+        actual_moved = (self.soc - new_soc) * cap
+        self.soc = new_soc
+
+        self._apply_idle_decay(dt)
+        self._update_hysteresis(current, dt)
+        c_rate = units.amps_to_c_rate(abs(current), self.params.capacity_c)
+        stress = 1.0
+        if self.thermal is not None:
+            self.thermal.step(heat, dt)
+            stress = self.thermal.aging_acceleration()
+        if actual_moved > 0:
+            self.aging.record_discharge(actual_moved, c_rate, stress=stress)
+        elif actual_moved < 0:
+            self.aging.record_charge(-actual_moved, c_rate, stress=stress)
+
+        result = StepResult(
+            current=current,
+            terminal_voltage=v_term,
+            delivered_w=v_term * current,
+            heat_w=heat,
+            soc=self.soc,
+            dt=dt,
+        )
+        for observer in self._observers:
+            observer(result)
+        return result
+
+    def solve_discharge_current(self, power: float) -> float:
+        """Current needed to deliver ``power`` watts at the terminals now.
+
+        Solves ``P = (OCP - v_rc - I R) * I`` for the smaller (stable) root.
+        Raises :class:`PowerLimitError` if the request exceeds the cell's
+        maximum power point.
+        """
+        if power < 0:
+            raise ValueError("power must be non-negative; use solve_charge_current to charge")
+        if power == 0.0:
+            return 0.0
+        v_eff = self.ocp() - self.v_rc
+        r = self.resistance()
+        disc = v_eff * v_eff - 4.0 * r * power
+        if disc < 0:
+            raise PowerLimitError(
+                f"{self.name}: cannot deliver {power:.2f} W "
+                f"(max {self.max_discharge_power():.2f} W at soc={self.soc:.3f})"
+            )
+        return (v_eff - math.sqrt(disc)) / (2.0 * r)
+
+    def solve_charge_current(self, power: float) -> float:
+        """Charge current magnitude for ``power`` watts into the terminals.
+
+        Solves ``P = (OCP - v_rc + J R) * J`` for the positive root ``J``;
+        the cell's step methods use ``current = -J``.
+        """
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        if power == 0.0:
+            return 0.0
+        v_eff = self.ocp() - self.v_rc
+        r = self.resistance()
+        disc = v_eff * v_eff + 4.0 * r * power
+        return (-v_eff + math.sqrt(disc)) / (2.0 * r)
+
+    def step_discharge_power(self, power: float, dt: float) -> StepResult:
+        """Advance ``dt`` seconds delivering ``power`` watts to the load."""
+        current = self.solve_discharge_current(power)
+        return self.step_current(current, dt)
+
+    def step_charge_power(self, power: float, dt: float) -> StepResult:
+        """Advance ``dt`` seconds absorbing ``power`` watts at the terminals."""
+        current = self.solve_charge_current(power)
+        return self.step_current(-current, dt)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def reset(self, soc: float = 1.0, keep_aging: bool = True) -> None:
+        """Reset electrical state (and optionally aging) for a fresh run."""
+        if not 0.0 <= soc <= 1.0:
+            raise ValueError("soc must be in [0, 1]")
+        self.soc = float(soc)
+        self.v_rc = 0.0
+        if not keep_aging:
+            self.aging = AgingModel(self.params.aging, self.params.capacity_c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TheveninCell({self.name!r}, soc={self.soc:.3f}, "
+            f"cap={units.coulombs_to_mah(self.capacity_c):.0f} mAh, "
+            f"R={self.resistance():.4f} ohm)"
+        )
+
+
+def new_cell(battery_id: str, soc: float = 1.0) -> TheveninCell:
+    """Instantiate a library battery as a fresh cell.
+
+    Convenience wrapper over :func:`repro.chemistry.library.make_cell_params`.
+    """
+    from repro.chemistry.library import battery_by_id, make_cell_params
+
+    return TheveninCell(make_cell_params(battery_by_id(battery_id)), soc=soc)

@@ -1,0 +1,52 @@
+"""Battery chemistry substrate.
+
+This package models what the paper's Section 2.1 and Figure 1 describe: the
+electro-chemical identity of a cell. It provides
+
+* :mod:`repro.chemistry.curves` — state-of-charge dependent curve models for
+  open-circuit potential (Fig. 8b) and DC internal resistance (Fig. 8c);
+* :mod:`repro.chemistry.types` — the four Li-ion chemistry types of
+  Figure 1(a) with their property sheets (Table 1 axes);
+* :mod:`repro.chemistry.aging` — the cycle-aging model behind Figure 1(b)
+  and the longevity results of Figure 11(c);
+* :mod:`repro.chemistry.library` — the synthetic stand-in for the paper's
+  15 cycler-characterized batteries (Section 4.3).
+"""
+
+from repro.chemistry.aging import AgingModel, AgingParams, AgingState
+from repro.chemistry.curves import SocCurve, make_dcir_curve, make_ocp_curve
+from repro.chemistry.library import (
+    BATTERY_LIBRARY,
+    BatteryDescriptor,
+    battery_by_id,
+    battery_ids,
+    make_cell_params,
+    register_battery,
+    unregister_battery,
+)
+from repro.chemistry.types import (
+    CHEMISTRY_SPECS,
+    ChemistrySpec,
+    ChemistryType,
+    RadarScores,
+)
+
+__all__ = [
+    "AgingModel",
+    "AgingParams",
+    "AgingState",
+    "SocCurve",
+    "make_dcir_curve",
+    "make_ocp_curve",
+    "BATTERY_LIBRARY",
+    "BatteryDescriptor",
+    "battery_by_id",
+    "battery_ids",
+    "make_cell_params",
+    "register_battery",
+    "unregister_battery",
+    "CHEMISTRY_SPECS",
+    "ChemistrySpec",
+    "ChemistryType",
+    "RadarScores",
+]

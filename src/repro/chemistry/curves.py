@@ -1,0 +1,202 @@
+"""State-of-charge dependent curve models.
+
+The paper's battery model (Section 4.3, Figure 8) is parameterized by two
+curves measured on cycler hardware:
+
+* the **open-circuit potential** (OCP) as a function of state of charge,
+  which *increases* with SoC (Figure 8b), and
+* the **DC internal resistance** (DCIR) as a function of state of charge,
+  which *decreases* with SoC (Figure 8c).
+
+:class:`SocCurve` is a monotone piecewise-linear curve on SoC in [0, 1] with
+an analytic derivative, which is exactly what the RBL policies need (the
+paper's delta_i is "the instantaneous derivative of battery i's DCIR curve").
+
+The two factory functions build curves with the canonical Li-ion shapes so
+the synthetic battery library can be described with a handful of scalars
+rather than hand-entered breakpoint tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+class SocCurve:
+    """A piecewise-linear curve over state of charge in ``[0, 1]``.
+
+    The curve is defined by breakpoints ``(soc_i, value_i)`` with strictly
+    increasing ``soc_i`` covering 0 and 1. Evaluation outside [0, 1] clamps
+    to the endpoints, mirroring how a real fuel gauge saturates.
+    """
+
+    def __init__(self, socs: Sequence[float], values: Sequence[float]):
+        socs = np.asarray(socs, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if socs.ndim != 1 or socs.shape != values.shape:
+            raise ValueError("socs and values must be 1-D arrays of equal length")
+        if len(socs) < 2:
+            raise ValueError("a curve needs at least two breakpoints")
+        if not np.all(np.diff(socs) > 0):
+            raise ValueError("soc breakpoints must be strictly increasing")
+        if not math.isclose(socs[0], 0.0, abs_tol=1e-12) or not math.isclose(
+            socs[-1], 1.0, abs_tol=1e-12
+        ):
+            raise ValueError("soc breakpoints must span [0, 1]")
+        self._socs = socs
+        self._values = values
+        self._slopes = np.diff(values) / np.diff(socs)
+
+    @property
+    def breakpoints(self) -> np.ndarray:
+        """The SoC breakpoints as a read-only array."""
+        out = self._socs.copy()
+        out.flags.writeable = False
+        return out
+
+    @property
+    def values(self) -> np.ndarray:
+        """The curve values at the breakpoints as a read-only array."""
+        out = self._values.copy()
+        out.flags.writeable = False
+        return out
+
+    def __call__(self, soc: float) -> float:
+        """Evaluate the curve at ``soc`` (clamped to [0, 1])."""
+        soc = min(1.0, max(0.0, float(soc)))
+        return float(np.interp(soc, self._socs, self._values))
+
+    def derivative(self, soc: float) -> float:
+        """Slope of the curve at ``soc``.
+
+        At a breakpoint the right-hand slope is returned (left-hand at
+        ``soc == 1``), which keeps the derivative well-defined everywhere the
+        policies sample it.
+        """
+        soc = min(1.0, max(0.0, float(soc)))
+        idx = int(np.searchsorted(self._socs, soc, side="right")) - 1
+        idx = min(max(idx, 0), len(self._slopes) - 1)
+        return float(self._slopes[idx])
+
+    def scaled(self, factor: float) -> "SocCurve":
+        """Return a new curve with every value multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return SocCurve(self._socs, self._values * factor)
+
+    def shifted(self, offset: float) -> "SocCurve":
+        """Return a new curve with ``offset`` added to every value."""
+        return SocCurve(self._socs, self._values + offset)
+
+    def mean_value(self) -> float:
+        """Average of the curve over SoC (trapezoidal integral on [0, 1])."""
+        return float(np.trapezoid(self._values, self._socs))
+
+    def integral(self, lo: float, hi: float) -> float:
+        """Integral of the curve over ``[lo, hi]`` (clamped to [0, 1]).
+
+        Used by the RBL metric: the open-circuit energy remaining in a cell
+        is ``capacity * integral(0, soc)`` of its OCP curve.
+        """
+        lo = min(1.0, max(0.0, float(lo)))
+        hi = min(1.0, max(0.0, float(hi)))
+        if hi < lo:
+            raise ValueError("integral bounds must satisfy lo <= hi")
+        if hi == lo:
+            return 0.0
+        # Dense grid including breakpoints inside [lo, hi] for an exact
+        # piecewise-linear integral.
+        inner = self._socs[(self._socs > lo) & (self._socs < hi)]
+        grid = np.concatenate(([lo], inner, [hi]))
+        vals = np.interp(grid, self._socs, self._values)
+        return float(np.trapezoid(vals, grid))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SocCurve({len(self._socs)} breakpoints, " f"range [{self._values.min():.4g}, {self._values.max():.4g}])"
+
+
+def make_ocp_curve(
+    v_empty: float,
+    v_nominal: float,
+    v_full: float,
+    knee_soc: float = 0.10,
+    plateau_end_soc: float = 0.85,
+    n_points: int = 21,
+) -> SocCurve:
+    """Build a canonical Li-ion open-circuit-potential curve (Figure 8b).
+
+    The shape has three regimes, matching the measured curves in the paper:
+
+    * a steep rise from ``v_empty`` at 0% SoC up to the plateau knee,
+    * a gently sloping plateau around ``v_nominal``,
+    * a final rise to ``v_full`` at 100% SoC.
+
+    Args:
+        v_empty: potential at 0% SoC (e.g. 2.8-3.0 V for LCO).
+        v_nominal: plateau potential (e.g. 3.7 V for LCO, 3.2 V for LFP).
+        v_full: potential at 100% SoC (e.g. 4.2 V for LCO).
+        knee_soc: SoC where the steep low-end rise meets the plateau.
+        plateau_end_soc: SoC where the final rise to ``v_full`` begins.
+        n_points: number of breakpoints to sample.
+    """
+    if not v_empty < v_nominal < v_full:
+        raise ValueError("require v_empty < v_nominal < v_full")
+    if not 0.0 < knee_soc < plateau_end_soc < 1.0:
+        raise ValueError("require 0 < knee_soc < plateau_end_soc < 1")
+    socs = np.linspace(0.0, 1.0, n_points)
+    vals = np.empty_like(socs)
+    v_knee = v_nominal - 0.35 * (v_full - v_nominal)
+    v_plateau_end = v_nominal + 0.35 * (v_full - v_nominal)
+    for i, s in enumerate(socs):
+        if s <= knee_soc:
+            # Concave steep rise: sqrt shape from v_empty to v_knee.
+            frac = math.sqrt(s / knee_soc)
+            vals[i] = v_empty + frac * (v_knee - v_empty)
+        elif s <= plateau_end_soc:
+            frac = (s - knee_soc) / (plateau_end_soc - knee_soc)
+            vals[i] = v_knee + frac * (v_plateau_end - v_knee)
+        else:
+            frac = (s - plateau_end_soc) / (1.0 - plateau_end_soc)
+            # Convex final rise to the charge cutoff voltage.
+            vals[i] = v_plateau_end + (frac**1.5) * (v_full - v_plateau_end)
+    # Guard against float drift breaking monotonicity.
+    vals = np.maximum.accumulate(vals)
+    return SocCurve(socs, vals)
+
+
+def make_dcir_curve(
+    r_full: float,
+    r_empty: float,
+    decay: float = 4.0,
+    n_points: int = 21,
+) -> SocCurve:
+    """Build a canonical DC-internal-resistance curve (Figure 8c).
+
+    Resistance is highest when the cell is empty and decays roughly
+    exponentially toward its full-charge value, which is the shape the
+    paper measures across its battery library:
+
+    ``R(soc) = r_full + (r_empty - r_full) * exp(-decay * soc) * k``
+
+    normalized so that ``R(0) = r_empty`` and ``R(1) = r_full``.
+
+    Args:
+        r_full: resistance at 100% SoC (the battery's "headline" DCIR).
+        r_empty: resistance at 0% SoC (several times ``r_full``).
+        decay: exponential decay constant; larger means the resistance
+            drops faster as the cell charges.
+        n_points: number of breakpoints to sample.
+    """
+    if r_full <= 0 or r_empty <= r_full:
+        raise ValueError("require 0 < r_full < r_empty")
+    if decay <= 0:
+        raise ValueError("decay must be positive")
+    socs = np.linspace(0.0, 1.0, n_points)
+    raw = np.exp(-decay * socs)
+    # Normalize the exponential so endpoints hit exactly (r_empty, r_full).
+    raw = (raw - raw[-1]) / (raw[0] - raw[-1])
+    vals = r_full + (r_empty - r_full) * raw
+    return SocCurve(socs, vals)

@@ -1,0 +1,285 @@
+"""The synthetic 15-battery library (stand-in for Section 4.3's cycler data).
+
+The paper modeled 15 state-of-the-art mobile-device batteries on Arbin and
+Maccor cycler hardware: two of Type 4 (bendable), two of Type 3, eight of
+Type 2, and three of other types. We have no cycler, so this module carries
+15 synthetic parameter sets whose curve shapes match Figures 8(b) and 8(c)
+and whose type-level properties follow Figure 1 and Section 5.1.
+
+Each entry is a :class:`BatteryDescriptor` — the datasheet-level identity of
+one battery — from which :func:`make_cell_params` derives the full Thevenin
+parameter set consumed by :class:`repro.cell.thevenin.TheveninCell`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import units
+from repro.chemistry.types import CHEMISTRY_SPECS, ChemistrySpec, ChemistryType
+
+
+@dataclass(frozen=True)
+class BatteryDescriptor:
+    """Datasheet-level description of one library battery.
+
+    Attributes:
+        battery_id: stable identifier ("B01".."B15").
+        label: human-readable description.
+        chemistry: which Figure 1(a) type the cell is.
+        capacity_mah: nominal capacity.
+        r_scale: multiplier on the chemistry's per-Ah DCIR (manufacturing
+            spread; Figure 8c shows an order-of-magnitude range even within
+            a type once cell size is factored in).
+        dcir_decay: exponential decay constant of the DCIR-vs-SoC curve.
+        r_ct_scale: concentration resistance as a fraction of full-charge
+            DCIR.
+        c_plate_f: plate capacitance of the RC branch, farads.
+        v_offset: additive tweak to the chemistry's OCP curve (cell-to-cell
+            spread in formation voltage).
+        max_charge_c: optional override of the chemistry's charge-rate limit
+            (the library's dedicated fast-charging cell accepts 4C).
+        energy_density_wh_per_l: optional override of volumetric energy
+            density (Section 5.1 quotes per-battery ranges).
+        fade_base: optional override of the chemistry's baseline per-cycle
+            fade (cell-to-cell aging spread is large; see the calibration
+            notes in :mod:`repro.chemistry.types`).
+        fade_rate_coeff: optional override of the rate-dependent fade
+            coefficient. The Figure 1(b) sample cell (B06) is far more
+            fragile than the type default; the fast-charging cell (B14) is
+            engineered to be far more tolerant.
+    """
+
+    battery_id: str
+    label: str
+    chemistry: ChemistryType
+    capacity_mah: float
+    r_scale: float = 1.0
+    dcir_decay: float = 4.0
+    r_ct_scale: float = 0.5
+    c_plate_f: float = 1500.0
+    v_offset: float = 0.0
+    max_charge_c: Optional[float] = None
+    max_discharge_c: Optional[float] = None
+    energy_density_wh_per_l: Optional[float] = None
+    fade_base: Optional[float] = None
+    fade_rate_coeff: Optional[float] = None
+
+    @property
+    def spec(self) -> ChemistrySpec:
+        """The chemistry property sheet for this battery."""
+        return CHEMISTRY_SPECS[self.chemistry]
+
+    @property
+    def capacity_c(self) -> float:
+        """Nominal capacity in coulombs."""
+        return units.mah_to_coulombs(self.capacity_mah)
+
+    @property
+    def capacity_ah(self) -> float:
+        """Nominal capacity in amp-hours."""
+        return self.capacity_mah / 1000.0
+
+    @property
+    def effective_max_charge_c(self) -> float:
+        """Charge-rate limit in C (override or chemistry default)."""
+        if self.max_charge_c is not None:
+            return self.max_charge_c
+        return self.spec.max_charge_c
+
+    @property
+    def effective_max_discharge_c(self) -> float:
+        """Discharge-rate limit in C (override or chemistry default).
+
+        Multi-cell packs wired with parallel strings can sustain higher
+        pack-level C-rates than a single cell; the EV descriptors use
+        this override.
+        """
+        if self.max_discharge_c is not None:
+            return self.max_discharge_c
+        return self.spec.max_discharge_c
+
+    @property
+    def effective_energy_density_wh_per_l(self) -> float:
+        """Volumetric energy density (override or chemistry default)."""
+        if self.energy_density_wh_per_l is not None:
+            return self.energy_density_wh_per_l
+        return self.spec.energy_density_wh_per_l
+
+    @property
+    def r_full_ohm(self) -> float:
+        """Full-charge DCIR for this specific cell.
+
+        Larger cells have proportionally more electrode area in parallel,
+        so DCIR scales inversely with capacity.
+        """
+        return self.spec.r_full_per_ah * self.r_scale / self.capacity_ah
+
+    @property
+    def energy_wh(self) -> float:
+        """Approximate stored energy at nominal voltage, watt-hours."""
+        return self.capacity_ah * self.spec.nominal_voltage
+
+
+def _build_library() -> Dict[str, BatteryDescriptor]:
+    t1 = ChemistryType.TYPE_1_LFP_POWER
+    t2 = ChemistryType.TYPE_2_LCO_STANDARD
+    t3 = ChemistryType.TYPE_3_LCO_HIGH_POWER
+    t4 = ChemistryType.TYPE_4_BENDABLE
+    entries = (
+        # --- two Type 4 (bendable, strap-sized) -------------------------
+        BatteryDescriptor("B01", "bendable strap cell A", t4, 200.0, r_scale=1.15, dcir_decay=3.5, r_ct_scale=0.25, c_plate_f=400.0),
+        BatteryDescriptor("B02", "bendable strap cell B", t4, 150.0, r_scale=1.40, dcir_decay=3.0, r_ct_scale=0.25, c_plate_f=300.0, v_offset=-0.03),
+        # --- two Type 3 (high-power LCO) --------------------------------
+        BatteryDescriptor("B03", "high-power LCO phone cell", t3, 2000.0, r_scale=0.95, dcir_decay=4.5, c_plate_f=1800.0),
+        BatteryDescriptor("B04", "high-power LCO tablet cell", t3, 3000.0, r_scale=1.05, dcir_decay=4.0, c_plate_f=2400.0, v_offset=0.02),
+        # --- eight Type 2 (mainstream LCO) -------------------------------
+        BatteryDescriptor("B05", "standard LCO phone cell A", t2, 1500.0, r_scale=0.90, dcir_decay=4.0, c_plate_f=1200.0),
+        # B06 is the fragile Figure 1(b) sample: it loses ~18% capacity in
+        # 600 cycles even at 1.0 A (0.38C) charging.
+        BatteryDescriptor(
+            "B06",
+            "standard LCO phone cell B (Fig 1b sample)",
+            t2,
+            2600.0,
+            r_scale=1.00,
+            dcir_decay=4.2,
+            c_plate_f=1900.0,
+            fade_base=2.2e-6,
+            fade_rate_coeff=1.48e-3,
+        ),
+        BatteryDescriptor("B07", "standard LCO phone cell C", t2, 3000.0, r_scale=1.10, dcir_decay=3.8, c_plate_f=2100.0, v_offset=-0.02),
+        BatteryDescriptor("B08", "standard LCO phablet cell", t2, 3500.0, r_scale=0.95, dcir_decay=4.4, c_plate_f=2300.0),
+        BatteryDescriptor("B09", "standard LCO tablet cell A", t2, 4000.0, r_scale=1.00, dcir_decay=4.0, c_plate_f=2600.0, v_offset=0.03),
+        BatteryDescriptor("B10", "standard LCO tablet cell B", t2, 5000.0, r_scale=1.05, dcir_decay=3.6, c_plate_f=3000.0),
+        BatteryDescriptor("B11", "standard LCO 2-in-1 cell", t2, 5200.0, r_scale=0.92, dcir_decay=4.1, c_plate_f=3100.0),
+        BatteryDescriptor("B12", "standard LCO watch cell", t2, 200.0, r_scale=0.70, dcir_decay=4.3, c_plate_f=350.0),
+        # --- three "other types" -----------------------------------------
+        BatteryDescriptor("B13", "LFP power-tool cell", t1, 2500.0, r_scale=1.0, dcir_decay=5.0, c_plate_f=2000.0),
+        BatteryDescriptor(
+            "B14",
+            "fast-charging high-power cell",
+            t3,
+            4000.0,
+            r_scale=0.80,
+            dcir_decay=4.8,
+            c_plate_f=2800.0,
+            max_charge_c=4.0,
+            energy_density_wh_per_l=535.0,
+            # Engineered for fast charge: ~22% fade after 1000 cycles at 4C.
+            fade_rate_coeff=1.5e-5,
+        ),
+        BatteryDescriptor("B15", "LFP drone cell", t1, 1500.0, r_scale=0.85, dcir_decay=5.5, c_plate_f=1400.0, v_offset=0.02),
+    )
+    return {d.battery_id: d for d in entries}
+
+
+#: The 15-battery library keyed by battery id. Extendable at runtime via
+#: :func:`register_battery` ("enabled through a software update").
+BATTERY_LIBRARY: Dict[str, BatteryDescriptor] = _build_library()
+
+#: Ids of the stock batteries, which :func:`unregister_battery` protects.
+_STOCK_IDS = frozenset(BATTERY_LIBRARY)
+
+
+def battery_ids() -> Tuple[str, ...]:
+    """All library battery ids, in order."""
+    return tuple(sorted(BATTERY_LIBRARY))
+
+
+def battery_by_id(battery_id: str) -> BatteryDescriptor:
+    """Look up a library battery, raising ``KeyError`` with the valid ids."""
+    try:
+        return BATTERY_LIBRARY[battery_id]
+    except KeyError:
+        raise KeyError(f"unknown battery id {battery_id!r}; valid ids: {', '.join(battery_ids())}") from None
+
+
+def register_battery(descriptor: BatteryDescriptor, replace: bool = False) -> None:
+    """Add a battery to the library at runtime.
+
+    Section 1: SDB lets designers adopt "new chemistries as they are
+    invented ... All of these can be enabled through a software update."
+    This is that software update: register a descriptor and every id-based
+    API (:func:`battery_by_id`, ``new_cell``, the pack designer, the CLI
+    library listing) sees it immediately.
+
+    Args:
+        descriptor: the new battery.
+        replace: allow overwriting an existing id (off by default so a
+            typo cannot silently shadow a stock cell).
+    """
+    if not descriptor.battery_id:
+        raise ValueError("battery id must be non-empty")
+    if not replace and descriptor.battery_id in BATTERY_LIBRARY:
+        raise ValueError(
+            f"battery id {descriptor.battery_id!r} already registered; pass replace=True to overwrite"
+        )
+    BATTERY_LIBRARY[descriptor.battery_id] = descriptor
+
+
+def unregister_battery(battery_id: str) -> BatteryDescriptor:
+    """Remove a runtime-registered battery, returning its descriptor.
+
+    The 15 stock batteries (B01-B15) cannot be removed.
+    """
+    if battery_id in _STOCK_IDS:
+        raise ValueError(f"{battery_id!r} is a stock library battery and cannot be removed")
+    try:
+        return BATTERY_LIBRARY.pop(battery_id)
+    except KeyError:
+        raise KeyError(f"unknown battery id {battery_id!r}") from None
+
+
+def make_cell_params(descriptor: BatteryDescriptor, initial_soh: float = 1.0):
+    """Derive full Thevenin cell parameters from a datasheet descriptor.
+
+    Returns a :class:`repro.cell.thevenin.CellParams`. Imported lazily to
+    keep the chemistry package free of a dependency cycle on the cell
+    package.
+
+    Args:
+        descriptor: the library battery to instantiate.
+        initial_soh: unused hook kept for API symmetry; state of health is
+            tracked by the cell's aging model, so this must be 1.0.
+    """
+    from repro.cell.thevenin import CellParams
+    from repro.chemistry.aging import AgingParams
+    from repro.chemistry.curves import make_dcir_curve, make_ocp_curve
+
+    if initial_soh != 1.0:
+        raise ValueError("state of health is owned by the cell's aging model; pass initial_soh=1.0")
+    spec = descriptor.spec
+    ocp = make_ocp_curve(
+        v_empty=spec.v_empty + descriptor.v_offset,
+        v_nominal=spec.nominal_voltage + descriptor.v_offset,
+        v_full=spec.v_full + descriptor.v_offset,
+    )
+    r_full = descriptor.r_full_ohm
+    dcir = make_dcir_curve(
+        r_full=r_full,
+        r_empty=r_full * spec.r_empty_ratio,
+        decay=descriptor.dcir_decay,
+    )
+    aging = AgingParams(
+        tolerable_cycles=spec.tolerable_cycles,
+        fade_base=descriptor.fade_base if descriptor.fade_base is not None else spec.fade_base,
+        fade_rate_coeff=(
+            descriptor.fade_rate_coeff if descriptor.fade_rate_coeff is not None else spec.fade_rate_coeff
+        ),
+        resistance_growth=spec.resistance_growth,
+    )
+    return CellParams(
+        name=f"{descriptor.battery_id} ({descriptor.label})",
+        chemistry=spec,
+        capacity_c=descriptor.capacity_c,
+        ocp=ocp,
+        dcir=dcir,
+        r_ct=r_full * descriptor.r_ct_scale,
+        c_plate=descriptor.c_plate_f,
+        max_charge_c=descriptor.effective_max_charge_c,
+        max_discharge_c=descriptor.effective_max_discharge_c,
+        aging=aging,
+        energy_density_wh_per_l=descriptor.effective_energy_density_wh_per_l,
+    )

@@ -1,0 +1,282 @@
+"""The four Li-ion chemistry types of Figure 1(a) and their property sheets.
+
+The paper compares four popular Li-ion constructions that share a graphite
+anode and differ in cathode and separator:
+
+* **Type 1** — LiFePO4 cathode, high-density liquid polymer separator.
+  Power-tool chemistry: fast charge, high peak power, poor energy density
+  (roughly double the volume of a Type 2 cell at equal capacity).
+* **Type 2** — CoO2 cathode, high-density liquid polymer separator.
+  The mainstream mobile-device chemistry: best energy density.
+* **Type 3** — CoO2 cathode, low-density liquid polymer separator.
+  Slightly higher power density than Type 2 at some energy-density cost.
+* **Type 4** — CoO2 cathode, rubber-like solid ceramic separator.
+  Bendable, but the solid separator raises ionic resistance, so power
+  density and efficiency suffer (Figure 1c).
+
+Each :class:`ChemistrySpec` carries the quantitative knobs the rest of the
+system consumes (densities, rate limits, resistance scale, aging
+coefficients) plus the qualitative 0-10 radar scores used to regenerate
+Figure 1(a).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+
+class ChemistryType(enum.Enum):
+    """The four chemistry constructions compared in Figure 1(a)."""
+
+    TYPE_1_LFP_POWER = 1
+    TYPE_2_LCO_STANDARD = 2
+    TYPE_3_LCO_HIGH_POWER = 3
+    TYPE_4_BENDABLE = 4
+
+    @property
+    def short_name(self) -> str:
+        """The paper's "Type N" label."""
+        return f"Type {self.value}"
+
+
+@dataclass(frozen=True)
+class RadarScores:
+    """Qualitative 0-10 scores for the six axes of Figure 1(a)."""
+
+    power_density: float
+    energy_density: float
+    longevity: float
+    efficiency: float
+    affordability: float
+    form_factor_flexibility: float
+
+    def as_mapping(self) -> Mapping[str, float]:
+        """The scores keyed by axis name, in the figure's clockwise order."""
+        return {
+            "Power Density": self.power_density,
+            "Energy Density": self.energy_density,
+            "Longevity": self.longevity,
+            "Efficiency": self.efficiency,
+            "Affordability": self.affordability,
+            "Form-factor Flexibility": self.form_factor_flexibility,
+        }
+
+
+@dataclass(frozen=True)
+class ChemistrySpec:
+    """Quantitative property sheet for one chemistry type.
+
+    Attributes:
+        chemistry: which of the four types this spec describes.
+        cathode: cathode material (all four share a graphite anode).
+        separator: separator construction.
+        energy_density_wh_per_l: volumetric energy density (Table 1).
+        energy_density_wh_per_kg: gravimetric energy density (Table 1).
+        nominal_voltage: plateau OCP used for sizing calculations.
+        v_empty / v_full: OCP curve endpoints.
+        r_full_per_ah: DCIR at full charge for a 1 Ah cell, in ohm*Ah.
+            A cell of capacity Q Ah has ``r_full = r_full_per_ah / Q``
+            (bigger cells have more parallel electrode area).
+        r_empty_ratio: DCIR at empty relative to full.
+        max_charge_c: maximum sustained charge rate, in C.
+        max_discharge_c: maximum sustained discharge rate, in C.
+        tolerable_cycles: cycles until capacity drops to the warranty
+            threshold under gentle (0.2C) cycling; the paper's chi_i.
+        fade_base: per-cycle fractional capacity fade at near-zero C-rate.
+        fade_rate_coeff: additional per-cycle fade per (C-rate)^2 —
+            calibrated so a Type 2 cell reproduces Figure 1(b).
+        resistance_growth: fractional DCIR growth per unit capacity fade.
+        cost_per_wh: indicative cost, $ / Wh (Table 1's affordability axis).
+        bendable: whether the construction is mechanically flexible.
+        radar: qualitative Figure 1(a) scores.
+    """
+
+    chemistry: ChemistryType
+    cathode: str
+    separator: str
+    energy_density_wh_per_l: float
+    energy_density_wh_per_kg: float
+    nominal_voltage: float
+    v_empty: float
+    v_full: float
+    r_full_per_ah: float
+    r_empty_ratio: float
+    max_charge_c: float
+    max_discharge_c: float
+    tolerable_cycles: int
+    fade_base: float
+    fade_rate_coeff: float
+    resistance_growth: float
+    cost_per_wh: float
+    bendable: bool
+    radar: RadarScores
+
+    @property
+    def name(self) -> str:
+        """Human-readable construction name matching the Figure 1(a) legend."""
+        return f"{self.chemistry.short_name}: {self.cathode} cathode, {self.separator}"
+
+
+# Calibration notes
+# -----------------
+# Fade coefficients are per-type *defaults*; individual library batteries
+# can override them (cell-to-cell spread is large in practice — the fragile
+# sample behind Figure 1(b) loses 18% in 600 gentle cycles while the
+# high-energy cells behind Figure 11(c) lose only 10% in 1000).
+#
+# Type 2 default is fit to Figure 11(c)'s "no fast charging" arm: charged
+# at 0.7C (discharged ~0.2C) it retains ~90% after 1000 cycles. With
+# discharge stress weighted 0.5, per-cycle fade
+# f = 1.5*fade_base + fade_rate_coeff*(0.7^2 + 0.5*0.2^2) ~ 1.05e-4.
+#
+# Type 3's fast-charging variant (library B14) overrides fade_rate_coeff to
+# 1.5e-5 so that 1000 cycles of 4C charging lose ~22% — the Qualcomm
+# Quick-Charge style number the paper quotes for all-fast packs.
+#
+# Type 4's solid separator is fragile under current, so its coefficient is
+# more than an order of magnitude larger.
+#
+# r_full_per_ah: Figure 8(c) spans ~0.01-10 ohm across the library. A
+# mainstream 3 Ah Type 2 cell has ~0.04 ohm DCIR -> 0.12 ohm*Ah. Type 4's
+# ceramic separator multiplies the per-Ah resistance so a 200 mAh strap
+# cell sits near 2-3 ohm mid-SoC, which is what produces the ~30% heat
+# loss at 2C in Figure 1(c).
+
+CHEMISTRY_SPECS: Dict[ChemistryType, ChemistrySpec] = {
+    ChemistryType.TYPE_1_LFP_POWER: ChemistrySpec(
+        chemistry=ChemistryType.TYPE_1_LFP_POWER,
+        cathode="LiFePO4",
+        separator="high-density liquid polymer separator",
+        energy_density_wh_per_l=300.0,
+        energy_density_wh_per_kg=130.0,
+        nominal_voltage=3.25,
+        v_empty=2.50,
+        v_full=3.65,
+        r_full_per_ah=0.045,
+        r_empty_ratio=4.0,
+        max_charge_c=4.0,
+        max_discharge_c=10.0,
+        tolerable_cycles=2000,
+        fade_base=2.0e-6,
+        fade_rate_coeff=1.0e-5,
+        resistance_growth=1.0,
+        cost_per_wh=0.45,
+        bendable=False,
+        radar=RadarScores(
+            power_density=9.5,
+            energy_density=3.5,
+            longevity=9.0,
+            efficiency=8.5,
+            affordability=7.0,
+            form_factor_flexibility=2.0,
+        ),
+    ),
+    ChemistryType.TYPE_2_LCO_STANDARD: ChemistrySpec(
+        chemistry=ChemistryType.TYPE_2_LCO_STANDARD,
+        cathode="CoO2",
+        separator="high-density liquid polymer separator",
+        energy_density_wh_per_l=595.0,
+        energy_density_wh_per_kg=250.0,
+        nominal_voltage=3.80,
+        v_empty=3.00,
+        v_full=4.35,
+        r_full_per_ah=0.120,
+        r_empty_ratio=6.0,
+        max_charge_c=1.0,
+        max_discharge_c=2.5,
+        tolerable_cycles=1000,
+        fade_base=2.0e-6,
+        fade_rate_coeff=2.0e-4,
+        resistance_growth=1.5,
+        cost_per_wh=0.30,
+        bendable=False,
+        radar=RadarScores(
+            power_density=5.0,
+            energy_density=9.5,
+            longevity=6.0,
+            efficiency=8.0,
+            affordability=8.5,
+            form_factor_flexibility=3.0,
+        ),
+    ),
+    ChemistryType.TYPE_3_LCO_HIGH_POWER: ChemistrySpec(
+        chemistry=ChemistryType.TYPE_3_LCO_HIGH_POWER,
+        cathode="CoO2",
+        separator="low-density liquid polymer separator",
+        energy_density_wh_per_l=535.0,
+        energy_density_wh_per_kg=225.0,
+        nominal_voltage=3.75,
+        v_empty=3.00,
+        v_full=4.30,
+        r_full_per_ah=0.070,
+        r_empty_ratio=5.0,
+        max_charge_c=3.0,
+        max_discharge_c=5.0,
+        tolerable_cycles=1200,
+        fade_base=2.5e-6,
+        fade_rate_coeff=1.0e-4,
+        resistance_growth=1.2,
+        cost_per_wh=0.38,
+        bendable=False,
+        radar=RadarScores(
+            power_density=7.5,
+            energy_density=7.5,
+            longevity=6.5,
+            efficiency=8.5,
+            affordability=7.0,
+            form_factor_flexibility=3.0,
+        ),
+    ),
+    ChemistryType.TYPE_4_BENDABLE: ChemistrySpec(
+        chemistry=ChemistryType.TYPE_4_BENDABLE,
+        cathode="CoO2",
+        separator="rubber-like solid ceramic separator",
+        energy_density_wh_per_l=350.0,
+        energy_density_wh_per_kg=160.0,
+        nominal_voltage=3.70,
+        v_empty=3.00,
+        v_full=4.20,
+        r_full_per_ah=0.35,
+        r_empty_ratio=3.0,
+        max_charge_c=0.5,
+        max_discharge_c=2.5,
+        tolerable_cycles=600,
+        fade_base=5.0e-6,
+        fade_rate_coeff=6.0e-3,
+        resistance_growth=2.0,
+        cost_per_wh=0.80,
+        bendable=True,
+        radar=RadarScores(
+            power_density=2.0,
+            energy_density=5.5,
+            longevity=4.0,
+            efficiency=3.5,
+            affordability=3.5,
+            form_factor_flexibility=9.5,
+        ),
+    ),
+}
+
+
+#: Table 1 of the paper: battery characteristics and their units. The table
+#: is reproduced as data so the Table 1 bench can print it and tests can
+#: check coverage of every axis the paper enumerates.
+TABLE_1_CHARACTERISTICS: Tuple[Tuple[str, str], ...] = (
+    ("Energy capacity", "joule"),
+    ("Volume", "mm^3"),
+    ("Mass", "kilogram"),
+    ("Discharge rate", "watt"),
+    ("Recharge rate", "watt"),
+    ("Gravimetric energy density", "joule / kilogram"),
+    ("Volumetric energy density", "joule / liter"),
+    ("Cost", "$ / joule"),
+    ("Discharge power density", "watt / kilogram"),
+    ("Recharge power density", "watt / kilogram"),
+    ("Cycle count", "number of discharge/recharge cycles"),
+    ("Longevity", "% of original capacity after N cycles"),
+    ("Internal resistance", "ohm"),
+    ("Efficiency", "% of energy turned into heat"),
+    ("Bend radius", "mm"),
+)

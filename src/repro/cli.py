@@ -1,0 +1,122 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig11
+    python -m repro run all --out results/
+    python -m repro library
+
+``run`` prints each experiment's tables and optionally writes them to a
+directory (one text file per experiment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import units
+from repro.chemistry.library import BATTERY_LIBRARY
+
+
+from repro.experiments import EXPERIMENT_DESCRIPTIONS, experiment_registry as _experiment_registry
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """Print the experiment catalog."""
+    for name, description in EXPERIMENT_DESCRIPTIONS.items():
+        print(f"  {name:10s} {description}")
+    return 0
+
+
+def cmd_library(_args: argparse.Namespace) -> int:
+    """Print the 15-battery library."""
+    print(f"  {'id':4s} {'type':7s} {'mAh':>6s} {'Wh':>6s} {'R_full':>8s} {'maxC chg':>8s}  label")
+    for bid in sorted(BATTERY_LIBRARY):
+        d = BATTERY_LIBRARY[bid]
+        print(
+            f"  {bid:4s} {d.chemistry.short_name:7s} {d.capacity_mah:6.0f} "
+            f"{d.energy_wh:6.2f} {d.r_full_ohm:8.4f} {d.effective_max_charge_c:8.1f}  {d.label}"
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment (or all) and print/save its tables."""
+    registry = _experiment_registry()
+    if args.experiment == "all":
+        names: List[str] = list(registry)
+    else:
+        if args.experiment not in registry:
+            print(
+                f"unknown experiment {args.experiment!r}; valid: "
+                f"{', '.join(registry)}, all",
+                file=sys.stderr,
+            )
+            return 2
+        names = [args.experiment]
+
+    out_dir: Optional[pathlib.Path] = None
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        result = registry[name]()
+        parts = [table.format() for table in result.tables()]
+        if args.plot:
+            from repro.experiments.ascii_plot import plot_table
+
+            for table in result.tables():
+                try:
+                    parts.append(plot_table(table))
+                except ValueError:
+                    pass  # not every table has a plottable shape
+        text = "\n\n".join(parts)
+        print()
+        print(text)
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    if out_dir is not None:
+        print(f"\nwrote {len(names)} result file(s) to {out_dir}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Software Defined Batteries (SOSP 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the available experiments")
+    p_list.set_defaults(func=cmd_list)
+
+    p_library = sub.add_parser("library", help="print the 15-battery library")
+    p_library.set_defaults(func=cmd_library)
+
+    p_run = sub.add_parser("run", help="run an experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment name from 'list', or 'all'")
+    p_run.add_argument("--out", help="directory to write result tables to")
+    p_run.add_argument("--plot", action="store_true", help="append ASCII charts of each table")
+    p_run.set_defaults(func=cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into head/less that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: the OS-resident SDB software.
+
+* :mod:`repro.core.api` — the four APIs of Section 3.3 (``Charge``,
+  ``Discharge``, ``ChargeOneFromAnother``, ``QueryBatteryStatus``);
+* :mod:`repro.core.metrics` — Cycle Count Balance and Remaining Battery
+  Lifetime;
+* :mod:`repro.core.policies` — CCB/RBL charge and discharge algorithms,
+  the directive-parameter blend, workload-aware policies, and baselines;
+* :mod:`repro.core.runtime` — the SDB Runtime that maps directive
+  parameters to ratio updates and pushes them to the microcontroller.
+"""
+
+from repro.core.api import SDBApi
+from repro.core.metrics import (
+    cycle_count_balance,
+    open_circuit_energy_j,
+    remaining_battery_lifetime_j,
+    wear_ratios,
+)
+from repro.core.runtime import SDBRuntime
+
+__all__ = [
+    "SDBApi",
+    "cycle_count_balance",
+    "open_circuit_energy_j",
+    "remaining_battery_lifetime_j",
+    "wear_ratios",
+    "SDBRuntime",
+]

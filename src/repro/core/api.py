@@ -1,0 +1,85 @@
+"""The four SDB APIs of Section 3.3.
+
+The SDB Runtime communicates with the SDB microcontroller using exactly
+four calls::
+
+    Charge(c1, ..., cN)                  # charge-power ratios
+    Discharge(d1, ..., dN)               # discharge-power ratios
+    ChargeOneFromAnother(X, Y, W, T)     # battery X -> battery Y, W watts, T seconds
+    QueryBatteryStatus()                 # per-battery status array
+
+:class:`SDBApi` is that wire protocol as a Python object. It deliberately
+exposes *nothing else* — the prototype carried these calls over a Bluetooth
+link, and this class is the seam where a real transport would sit. Method
+names match the paper's capitalization for recognisability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cell.fuel_gauge import BatteryStatus
+from repro.hardware.microcontroller import SDBMicrocontroller, TransferReport
+
+
+class SDBApi:
+    """The OS <-> microcontroller command surface.
+
+    Args:
+        controller: the SDB microcontroller being commanded.
+        transfer_step_s: integration step used to realize the time-boxed
+            ``ChargeOneFromAnother`` calls.
+    """
+
+    def __init__(self, controller: SDBMicrocontroller, transfer_step_s: float = 1.0):
+        if transfer_step_s <= 0:
+            raise ValueError("transfer step must be positive")
+        self.controller = controller
+        self.transfer_step_s = float(transfer_step_s)
+
+    @property
+    def n_batteries(self) -> int:
+        """Number of batteries behind the controller."""
+        return self.controller.n
+
+    # The paper spells these with capitals; keep that spelling here and
+    # provide PEP 8 aliases below.
+
+    def Charge(self, *ratios: float) -> None:
+        """Charge N batteries in proportion to c1..cN from external power."""
+        self.controller.set_charge_ratios(list(ratios))
+
+    def Discharge(self, *ratios: float) -> None:
+        """Discharge N batteries in proportion to d1..dN."""
+        self.controller.set_discharge_ratios(list(ratios))
+
+    def ChargeOneFromAnother(self, x: int, y: int, w: float, t: float) -> List[TransferReport]:
+        """Charge battery ``y`` from battery ``x`` at ``w`` watts for ``t`` s.
+
+        Realized as a sequence of transfer steps; returns the per-step
+        reports so callers can audit delivered energy.
+        """
+        if t <= 0:
+            raise ValueError("transfer duration must be positive")
+        if w < 0:
+            raise ValueError("transfer power must be non-negative")
+        reports = []
+        remaining = t
+        while remaining > 1e-9:
+            dt = min(self.transfer_step_s, remaining)
+            report = self.controller.transfer(x, y, w, dt)
+            reports.append(report)
+            remaining -= dt
+            if report.drawn_w == 0.0:
+                break  # source exhausted or destination full
+        return reports
+
+    def QueryBatteryStatus(self) -> List[BatteryStatus]:
+        """State of charge, terminal voltage and cycle count per battery."""
+        return self.controller.query_status()
+
+    # PEP 8 aliases for library users who prefer conventional names.
+    charge = Charge
+    discharge = Discharge
+    charge_one_from_another = ChargeOneFromAnother
+    query_battery_status = QueryBatteryStatus

@@ -1,0 +1,116 @@
+"""The two key SDB policy metrics (Section 3.3).
+
+* **Cycle Count Balance (CCB)** — ``max_i lambda_i / min_j lambda_j``,
+  the ratio between the most and least worn-out battery where the wear
+  ratio ``lambda_i = cc_i / chi_i`` normalizes consumed charge cycles by
+  each battery's tolerable cycle count. Longevity is maximized by keeping
+  CCB close to 1.
+
+* **Remaining Battery Lifetime (RBL)** — "the amount of useful charge in
+  the batteries", i.e. the energy the pack can still deliver assuming no
+  future charging. We expose both the pure open-circuit energy and a
+  load-aware estimate that subtracts the resistive losses an optimal
+  (1/R-weighted) current split would incur at a reference load power.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cell.thevenin import TheveninCell
+
+#: Wear ratios below this are treated as this floor when computing CCB so a
+#: brand-new battery (lambda = 0) does not make the ratio infinite.
+WEAR_FLOOR = 1e-6
+
+
+def wear_ratios(cells: Sequence[TheveninCell], smooth: bool = True) -> List[float]:
+    """Per-battery wear ratio lambda_i.
+
+    Args:
+        cells: batteries to inspect.
+        smooth: if True (default), use the continuous throughput-based wear
+            the policies optimize; if False, use the paper's quantized
+            counted-cycles form.
+    """
+    if smooth:
+        return [cell.aging.throughput_wear for cell in cells]
+    return [cell.aging.wear_ratio for cell in cells]
+
+
+def cycle_count_balance(lambdas: Sequence[float]) -> float:
+    """CCB = max lambda / min lambda, floored to avoid division by zero.
+
+    Returns 1.0 for a single battery (nothing to balance).
+    """
+    lambdas = [max(float(v), WEAR_FLOOR) for v in lambdas]
+    if not lambdas:
+        raise ValueError("need at least one wear ratio")
+    return max(lambdas) / min(lambdas)
+
+
+def open_circuit_energy_j(cells: Sequence[TheveninCell]) -> float:
+    """Chemical energy above the cutoff across all batteries, joules."""
+    return sum(cell.open_circuit_energy_j() for cell in cells)
+
+
+def _loss_weighted_split(cells: Sequence[TheveninCell], load_w: float) -> List[float]:
+    """Loss-minimizing per-cell power split at a reference load.
+
+    Currents proportional to 1/R minimize total I^2 R for a fixed total
+    current; expressed as power shares at each cell's OCP.
+    """
+    weights = []
+    for cell in cells:
+        if cell.is_empty:
+            weights.append(0.0)
+        else:
+            weights.append(1.0 / cell.resistance())
+    total = sum(weights)
+    if total == 0.0:
+        return [0.0] * len(cells)
+    return [load_w * w / total for w in weights]
+
+
+def remaining_battery_lifetime_j(cells: Sequence[TheveninCell], reference_load_w: Optional[float] = None) -> float:
+    """RBL: useful energy left in the batteries, joules.
+
+    With no reference load this is the open-circuit energy. With a
+    reference load the estimate subtracts the resistive loss an optimally
+    split constant draw would incur: for each cell carrying power ``p_i``
+    at open-circuit potential ``V_i`` and resistance ``R_i``, the loss
+    fraction is approximately ``p_i * R_i / V_i^2``, so the useful energy
+    is scaled by ``1 - p_i R_i / V_i^2``.
+    """
+    if reference_load_w is None or reference_load_w <= 0.0:
+        return open_circuit_energy_j(cells)
+    splits = _loss_weighted_split(cells, reference_load_w)
+    total = 0.0
+    for cell, p in zip(cells, splits):
+        energy = cell.open_circuit_energy_j()
+        if energy <= 0.0:
+            continue
+        v = cell.ocp()
+        if p > 0.0 and v > 0.0:
+            loss_fraction = min(0.95, p * cell.resistance() / (v * v))
+            energy *= 1.0 - loss_fraction
+        total += energy
+    return total
+
+
+def instantaneous_loss_w(cells: Sequence[TheveninCell], powers_w: Sequence[float]) -> float:
+    """Resistive loss rate for a given per-cell power assignment.
+
+    The quantity the RBL-Discharge algorithm minimizes at each step:
+    ``sum_i y_i^2 R_i`` with ``y_i = p_i / V_i``.
+    """
+    if len(cells) != len(powers_w):
+        raise ValueError("need one power per cell")
+    loss = 0.0
+    for cell, p in zip(cells, powers_w):
+        if p <= 0.0:
+            continue
+        v = max(cell.terminal_voltage(), 1e-6)
+        current = p / v
+        loss += current * current * cell.resistance()
+    return loss

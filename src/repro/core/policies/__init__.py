@@ -1,0 +1,43 @@
+"""SDB charge/discharge policies (Section 3.3 and Section 5).
+
+The paper derives four algorithms that are optimal in isolation —
+CCB-Charge, RBL-Charge, CCB-Discharge, RBL-Discharge — and weighs them via
+directive parameters. This package implements all four, the blend, the
+workload-aware policies of Section 5, and the baselines the evaluation
+compares against.
+"""
+
+from repro.core.policies.base import ChargePolicy, DischargePolicy
+from repro.core.policies.baselines import (
+    EitherOrDischargePolicy,
+    EvenSplitChargePolicy,
+    EvenSplitDischargePolicy,
+    ProportionalToCapacityDischargePolicy,
+    SingleBatteryDischargePolicy,
+)
+from repro.core.policies.blended import BlendedChargePolicy, BlendedDischargePolicy
+from repro.core.policies.detach import DetachAwareDischargePolicy
+from repro.core.policies.ccb import CCBChargePolicy, CCBDischargePolicy
+from repro.core.policies.oracle import OracleDischargePolicy, PreserveDischargePolicy
+from repro.core.policies.rbl import RBLChargePolicy, RBLDischargePolicy
+from repro.core.policies.thermal import ThermalDeratingPolicy
+
+__all__ = [
+    "ChargePolicy",
+    "DischargePolicy",
+    "EitherOrDischargePolicy",
+    "EvenSplitChargePolicy",
+    "EvenSplitDischargePolicy",
+    "ProportionalToCapacityDischargePolicy",
+    "SingleBatteryDischargePolicy",
+    "BlendedChargePolicy",
+    "BlendedDischargePolicy",
+    "DetachAwareDischargePolicy",
+    "CCBChargePolicy",
+    "CCBDischargePolicy",
+    "OracleDischargePolicy",
+    "PreserveDischargePolicy",
+    "RBLChargePolicy",
+    "RBLDischargePolicy",
+    "ThermalDeratingPolicy",
+]

@@ -1,0 +1,71 @@
+"""Policy protocols and shared allocation helpers.
+
+A policy turns battery state + the current demand into a ratio vector for
+the paper's ``Charge``/``Discharge`` APIs. Policies are pure deciders: they
+*read* cell state (the OS learns it via ``QueryBatteryStatus`` plus the
+manufacturer's DCIR-SoC curves, Section 3.3) and never mutate it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.cell.thevenin import TheveninCell
+from repro.errors import PolicyError
+
+
+class DischargePolicy(abc.ABC):
+    """Decides the discharge ratio vector for the current instant."""
+
+    @abc.abstractmethod
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        """Ratios (non-negative, summing to 1) for serving ``load_w``.
+
+        Args:
+            cells: the batteries (read-only).
+            load_w: current load power, watts.
+            t: simulation time in seconds (workload-aware policies use it).
+        """
+
+    def name(self) -> str:
+        """Human-readable policy name for reports."""
+        return type(self).__name__
+
+
+class ChargePolicy(abc.ABC):
+    """Decides the charge ratio vector for the current instant."""
+
+    @abc.abstractmethod
+    def charge_ratios(self, cells: Sequence[TheveninCell], external_w: float, t: float = 0.0) -> List[float]:
+        """Ratios (non-negative, summing to 1) for absorbing ``external_w``."""
+
+    def name(self) -> str:
+        """Human-readable policy name for reports."""
+        return type(self).__name__
+
+
+def normalize(weights: Sequence[float]) -> List[float]:
+    """Scale non-negative weights into a ratio vector summing to one."""
+    weights = [max(0.0, float(w)) for w in weights]
+    total = sum(weights)
+    if total <= 0.0:
+        raise PolicyError(f"allocation produced no usable weights: {weights}")
+    return [w / total for w in weights]
+
+
+def usable_mask(cells: Sequence[TheveninCell], charging: bool) -> List[bool]:
+    """Which cells can participate: not empty (discharge) / not full (charge)."""
+    if charging:
+        return [not cell.is_full for cell in cells]
+    return [not cell.is_empty for cell in cells]
+
+
+def mix_ratios(a: Sequence[float], b: Sequence[float], weight_b: float) -> List[float]:
+    """Convex combination of two ratio vectors, renormalized."""
+    if len(a) != len(b):
+        raise ValueError("ratio vectors must have the same length")
+    if not 0.0 <= weight_b <= 1.0:
+        raise ValueError("blend weight must be in [0, 1]")
+    mixed = [(1.0 - weight_b) * x + weight_b * y for x, y in zip(a, b)]
+    return normalize(mixed)

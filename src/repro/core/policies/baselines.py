@@ -1,0 +1,100 @@
+"""Baseline policies the evaluation compares against.
+
+* :class:`SingleBatteryDischargePolicy` — everything from one battery,
+  what a device does when the second battery is disabled (the "Low" power
+  level of Section 5.1).
+* :class:`EvenSplitDischargePolicy` / :class:`EvenSplitChargePolicy` —
+  ratio 1/N regardless of state; what naive load sharing gives.
+* :class:`ProportionalToCapacityDischargePolicy` — share by remaining
+  usable charge; what a homogeneous parallel pack roughly does.
+* :class:`EitherOrDischargePolicy` — drain batteries strictly one at a
+  time (the "either-or fashion" of existing multi-battery EVs and external
+  packs, Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cell.thevenin import TheveninCell
+from repro.core.policies.base import ChargePolicy, DischargePolicy, normalize, usable_mask
+from repro.errors import PolicyError
+
+
+class SingleBatteryDischargePolicy(DischargePolicy):
+    """All load from one designated battery (until it empties)."""
+
+    def __init__(self, index: int):
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        self.index = index
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        if self.index >= len(cells):
+            raise PolicyError(f"battery index {self.index} out of range for {len(cells)} batteries")
+        weights = [0.0] * len(cells)
+        if not cells[self.index].is_empty:
+            weights[self.index] = 1.0
+        else:
+            # Designated battery is gone; fall back to any battery that is
+            # still alive so the device does not brown out.
+            for i, cell in enumerate(cells):
+                if not cell.is_empty:
+                    weights[i] = 1.0
+        return normalize(weights)
+
+
+class EvenSplitDischargePolicy(DischargePolicy):
+    """1/N to every non-empty battery."""
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        mask = usable_mask(cells, charging=False)
+        return normalize([1.0 if ok else 0.0 for ok in mask])
+
+
+class EvenSplitChargePolicy(ChargePolicy):
+    """1/N to every non-full battery."""
+
+    def charge_ratios(self, cells: Sequence[TheveninCell], external_w: float, t: float = 0.0) -> List[float]:
+        mask = usable_mask(cells, charging=True)
+        return normalize([1.0 if ok else 0.0 for ok in mask])
+
+
+class ProportionalToCapacityDischargePolicy(DischargePolicy):
+    """Share load proportionally to remaining usable charge.
+
+    All batteries then hit empty at roughly the same time, mimicking the
+    behaviour of a well-matched homogeneous parallel pack.
+    """
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        return normalize([cell.usable_charge_c for cell in cells])
+
+
+class EitherOrDischargePolicy(DischargePolicy):
+    """Drain batteries strictly in a fixed order, one at a time.
+
+    Section 6: "existing proposals use these multiple batteries in an
+    either-or fashion where the vehicle is powered using only one battery
+    at a time."
+    """
+
+    def __init__(self, order: Sequence[int]):
+        order = list(order)
+        if not order:
+            raise ValueError("order must name at least one battery")
+        if len(set(order)) != len(order):
+            raise ValueError("order must not repeat batteries")
+        self.order = order
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        weights = [0.0] * len(cells)
+        for index in self.order:
+            if index >= len(cells):
+                raise PolicyError(f"battery index {index} out of range")
+            if not cells[index].is_empty:
+                weights[index] = 1.0
+                break
+        if sum(weights) == 0.0:
+            raise PolicyError("all batteries in the drain order are empty")
+        return weights

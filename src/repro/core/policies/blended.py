@@ -1,0 +1,96 @@
+"""Directive-parameter blend of the CCB and RBL algorithms.
+
+Section 3.3: "We use these four 'optimal' algorithms ... and weigh them by
+means of two parameters — Charging and Discharging Directive Parameter —
+handed to the SDB Runtime by the rest of the OS."
+
+A low directive value prioritizes the CCB algorithm (longevity: the user
+is in no hurry, e.g. charging overnight); a high value prioritizes the RBL
+algorithm (useful charge now: about to board a plane). The blend is the
+convex combination of the two ratio vectors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cell.thevenin import TheveninCell
+from repro.core.policies.base import ChargePolicy, DischargePolicy, mix_ratios
+from repro.core.policies.ccb import CCBChargePolicy, CCBDischargePolicy
+from repro.core.policies.rbl import RBLChargePolicy, RBLDischargePolicy
+
+
+def _check_directive(value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("directive parameter must be in [0, 1]")
+    return value
+
+
+class BlendedDischargePolicy(DischargePolicy):
+    """(1 - p) * CCB-Discharge + p * RBL-Discharge.
+
+    ``p`` is the Discharging Directive Parameter.
+    """
+
+    def __init__(
+        self,
+        directive: float = 0.5,
+        ccb: Optional[CCBDischargePolicy] = None,
+        rbl: Optional[RBLDischargePolicy] = None,
+    ):
+        self._directive = _check_directive(directive)
+        self.ccb = ccb if ccb is not None else CCBDischargePolicy()
+        self.rbl = rbl if rbl is not None else RBLDischargePolicy()
+
+    @property
+    def directive(self) -> float:
+        """The current Discharging Directive Parameter."""
+        return self._directive
+
+    def set_directive(self, value: float) -> None:
+        """Update the directive parameter (0 = longevity, 1 = battery life)."""
+        self._directive = _check_directive(value)
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        ccb_ratios = self.ccb.discharge_ratios(cells, load_w, t)
+        rbl_ratios = self.rbl.discharge_ratios(cells, load_w, t)
+        return mix_ratios(ccb_ratios, rbl_ratios, self._directive)
+
+    def name(self) -> str:
+        return f"Blended(p={self._directive:.2f})"
+
+
+class BlendedChargePolicy(ChargePolicy):
+    """(1 - p) * CCB-Charge + p * RBL-Charge.
+
+    ``p`` is the Charging Directive Parameter: low overnight (spare the
+    batteries), high before a flight (useful charge as fast as possible).
+    """
+
+    def __init__(
+        self,
+        directive: float = 0.5,
+        ccb: Optional[CCBChargePolicy] = None,
+        rbl: Optional[RBLChargePolicy] = None,
+    ):
+        self._directive = _check_directive(directive)
+        self.ccb = ccb if ccb is not None else CCBChargePolicy()
+        self.rbl = rbl if rbl is not None else RBLChargePolicy()
+
+    @property
+    def directive(self) -> float:
+        """The current Charging Directive Parameter."""
+        return self._directive
+
+    def set_directive(self, value: float) -> None:
+        """Update the directive parameter (0 = longevity, 1 = charge fast)."""
+        self._directive = _check_directive(value)
+
+    def charge_ratios(self, cells: Sequence[TheveninCell], external_w: float, t: float = 0.0) -> List[float]:
+        ccb_ratios = self.ccb.charge_ratios(cells, external_w, t)
+        rbl_ratios = self.rbl.charge_ratios(cells, external_w, t)
+        return mix_ratios(ccb_ratios, rbl_ratios, self._directive)
+
+    def name(self) -> str:
+        return f"Blended(p={self._directive:.2f})"

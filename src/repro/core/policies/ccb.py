@@ -1,0 +1,122 @@
+"""CCB-Charge / CCB-Discharge: wear balancing.
+
+Section 3.3: "these policies essentially enforce the controller to schedule
+the batteries ... in such a way that the resulting CCB is minimized, i.e.
+is as close to 1 as possible."
+
+Both policies allocate power so that the *projected* wear ratios equalize:
+a battery accrues wear in proportion to the coulombs moved through it,
+normalized by capacity and tolerable cycle count, so the marginal wear of
+one watt on battery i is ``1 / (V_i * 2 * q_i * chi_i)``. Given a planning
+horizon, the allocation "fills" the least-worn batteries up to a common
+wear level L (classic water-filling), subject to per-battery power caps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cell.thevenin import TheveninCell
+from repro.core.policies.base import ChargePolicy, DischargePolicy, normalize, usable_mask
+from repro.errors import PolicyError
+
+#: Horizon (seconds) over which the projected wear is equalized. The ratio
+#: vector is scale-invariant in the total power, so the horizon only
+#: matters relative to how far apart the wear ratios already are: a short
+#: horizon concentrates everything on the least-worn battery, a long one
+#: approaches a capacity-weighted split.
+DEFAULT_HORIZON_S = 3600.0
+
+
+def wear_rate_per_watt(cell: TheveninCell) -> float:
+    """Marginal wear-ratio increase per watt-second moved through a cell."""
+    v = max(cell.terminal_voltage(), 1e-6)
+    denominator = v * 2.0 * cell.params.capacity_c * cell.params.aging.tolerable_cycles
+    return 1.0 / denominator
+
+
+def waterfill_wear(
+    cells: Sequence[TheveninCell],
+    total_w: float,
+    caps_w: Sequence[float],
+    horizon_s: float,
+) -> List[float]:
+    """Power allocation equalizing projected wear after ``horizon_s``.
+
+    Finds the wear level L such that giving every battery
+    ``p_i = clamp((L - lambda_i) / (rate_i * horizon), 0, cap_i)`` consumes
+    exactly ``total_w``; solved by bisection on L (monotone).
+    """
+    n = len(cells)
+    lambdas = [cell.aging.throughput_wear for cell in cells]
+    rates = [wear_rate_per_watt(cell) for cell in cells]
+
+    def power_at(level: float) -> List[float]:
+        powers = []
+        for i in range(n):
+            if caps_w[i] <= 0.0:
+                powers.append(0.0)
+                continue
+            p = (level - lambdas[i]) / (rates[i] * horizon_s)
+            powers.append(min(max(p, 0.0), caps_w[i]))
+        return powers
+
+    if sum(caps_w) <= 0.0:
+        raise PolicyError("no battery can accept power")
+    total_capacity = sum(caps_w)
+    demand = min(total_w, total_capacity)
+    lo = min(lambdas)
+    hi = max(lambdas) + max(rates[i] * horizon_s * caps_w[i] for i in range(n) if caps_w[i] > 0)
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if sum(power_at(mid)) >= demand:
+            hi = mid
+        else:
+            lo = mid
+    return power_at(hi)
+
+
+class CCBDischargePolicy(DischargePolicy):
+    """Discharge so the wear ratios converge (CCB -> 1)."""
+
+    def __init__(self, horizon_s: float = DEFAULT_HORIZON_S):
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon_s = float(horizon_s)
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        mask = usable_mask(cells, charging=False)
+        if not any(mask):
+            raise PolicyError("all batteries empty")
+        caps = [
+            cell.max_discharge_power() * 0.9 if ok else 0.0
+            for cell, ok in zip(cells, mask)
+        ]
+        demand = max(load_w, 1e-3)
+        powers = waterfill_wear(cells, demand, caps, self.horizon_s)
+        return normalize(powers)
+
+
+class CCBChargePolicy(ChargePolicy):
+    """Charge so the wear ratios converge (CCB -> 1).
+
+    Charging the least-worn battery hardest raises its wear toward the
+    others'; a worn-out battery is spared until balance is restored.
+    """
+
+    def __init__(self, horizon_s: float = DEFAULT_HORIZON_S):
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon_s = float(horizon_s)
+
+    def charge_ratios(self, cells: Sequence[TheveninCell], external_w: float, t: float = 0.0) -> List[float]:
+        mask = usable_mask(cells, charging=True)
+        if not any(mask):
+            raise PolicyError("all batteries full")
+        caps = [
+            cell.max_charge_power() if ok else 0.0
+            for cell, ok in zip(cells, mask)
+        ]
+        demand = max(external_w, 1e-3)
+        powers = waterfill_wear(cells, demand, caps, self.horizon_s)
+        return normalize(powers)

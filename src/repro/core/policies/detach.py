@@ -1,0 +1,91 @@
+"""Detach-aware 2-in-1 discharge policy (Section 5.3, second half).
+
+Simultaneous draw (Figure 14) wins *for a user who rarely unplugs the
+keyboard base*. "However, this strategy may not be ideal for a user who
+mostly operates in tablet-only mode. For such users, it makes more sense
+to draw as much power as possible from the external battery ... The OS
+must, therefore, learn, predict and adapt to user behavior."
+
+:class:`DetachAwareDischargePolicy` takes a prediction of when the base
+will be detached and front-loads the base battery exactly as much as the
+remaining attached time requires:
+
+* if the internal battery alone can cover the post-detach period, split
+  loss-optimally (the Figure 14 winner);
+* otherwise, shift draw toward the base battery (and top the internal
+  one up from it) so the internal battery is as full as possible at the
+  predicted detach time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.cell.thevenin import TheveninCell
+from repro.core.policies.base import DischargePolicy, normalize
+from repro.core.policies.rbl import RBLDischargePolicy
+from repro.errors import PolicyError
+
+
+class DetachAwareDischargePolicy(DischargePolicy):
+    """Front-load the base battery ahead of a predicted detach.
+
+    Args:
+        internal_index: the battery that stays with the tablet.
+        base_index: the battery that leaves with the keyboard.
+        detach_at_s: callable ``t -> predicted detach time`` (seconds), or
+            None meaning "never detaches" (pure simultaneous draw). The
+            callable form lets a behaviour model refine its prediction as
+            the day unfolds.
+        post_detach_energy_j: callable ``t -> joules`` the tablet is
+            expected to consume after the detach.
+        rbl: allocator used when no front-loading is needed.
+    """
+
+    def __init__(
+        self,
+        internal_index: int,
+        base_index: int,
+        detach_at_s: Optional[Callable[[float], Optional[float]]] = None,
+        post_detach_energy_j: Optional[Callable[[float], float]] = None,
+        rbl: Optional[RBLDischargePolicy] = None,
+    ):
+        if internal_index == base_index:
+            raise ValueError("internal and base battery must differ")
+        self.internal_index = internal_index
+        self.base_index = base_index
+        self.detach_at_s = detach_at_s
+        self.post_detach_energy_j = post_detach_energy_j
+        self.rbl = rbl if rbl is not None else RBLDischargePolicy()
+
+    def _needs_front_loading(self, cells: Sequence[TheveninCell], t: float) -> bool:
+        if self.detach_at_s is None or self.post_detach_energy_j is None:
+            return False
+        detach_t = self.detach_at_s(t)
+        if detach_t is None or detach_t <= t:
+            return False
+        internal = cells[self.internal_index]
+        needed = self.post_detach_energy_j(t)
+        # Resistive losses will inflate the need a little; 10% margin.
+        return internal.open_circuit_energy_j() < needed * 1.10
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        if max(self.internal_index, self.base_index) >= len(cells):
+            raise PolicyError("battery indices out of range")
+        base = cells[self.base_index]
+        if self._needs_front_loading(cells, t) and not base.is_empty:
+            # Draw everything the base can give; the internal battery
+            # only covers what the base cannot.
+            weights = [0.0] * len(cells)
+            capability = base.max_discharge_power() * 0.9
+            demand = max(load_w, 1e-6)
+            base_share = min(1.0, capability / demand)
+            weights[self.base_index] = base_share
+            weights[self.internal_index] = 1.0 - base_share
+            if sum(weights) <= 0:
+                raise PolicyError("no usable battery")
+            return normalize(weights)
+        return self.rbl.discharge_ratios(cells, load_w, t)
+
+    def name(self) -> str:
+        return f"DetachAware(internal={self.internal_index}, base={self.base_index})"

@@ -1,0 +1,153 @@
+"""Workload-aware policies (Section 5.2 / Section 3.3's closing remark).
+
+The instantaneous RBL algorithm is not globally optimal: "if we had
+knowledge of the future workload, we could improve upon the above
+instantaneously-optimal algorithms by making temporarily sub-optimal
+choices from which the system can profit later, e.g., keeping a battery
+fully charged, if we know that this battery will be particularly helpful
+... for a future workload."
+
+Two policies implement that idea:
+
+* :class:`PreserveDischargePolicy` — the smart-watch "Policy 2" of
+  Figure 13: low-power background load is pushed onto the inefficient
+  (bendable) batteries so the efficient Li-ion stays full for the
+  power-intensive episodes ("it is important to preserve energy in the
+  efficient battery for times when the user is expected to perform
+  power-intensive tasks"); loads above the high-power threshold are
+  served from the preserved battery, where they are cheap.
+* :class:`OracleDischargePolicy` — given the future power trace, preserves
+  the efficient battery only while enough high-power work still lies
+  ahead to need it, then reverts to instantaneous loss minimization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cell.thevenin import TheveninCell
+from repro.core.policies.base import DischargePolicy, normalize
+from repro.core.policies.rbl import RBLDischargePolicy
+from repro.errors import PolicyError
+
+#: Safety margin applied to power capabilities before declaring a battery
+#: set able to carry a load alone.
+CAPABILITY_MARGIN = 0.90
+
+
+def _capability(cells: Sequence[TheveninCell], indices: Sequence[int]) -> float:
+    return sum(cells[i].max_discharge_power() * CAPABILITY_MARGIN for i in indices if not cells[i].is_empty)
+
+
+class PreserveDischargePolicy(DischargePolicy):
+    """Figure 13's "Policy 2": spend the inefficient batteries on the
+    background load, keep the efficient one for high-power episodes.
+
+    Args:
+        preserve_index: the efficient battery to preserve.
+        high_power_threshold_w: loads at or above this are "power
+            intensive" and served from the preserved battery.
+        rbl: allocator used whenever a group of batteries shares load.
+    """
+
+    def __init__(
+        self,
+        preserve_index: int,
+        high_power_threshold_w: float = 0.5,
+        rbl: Optional[RBLDischargePolicy] = None,
+    ):
+        if preserve_index < 0:
+            raise ValueError("preserve index must be non-negative")
+        if high_power_threshold_w <= 0:
+            raise ValueError("threshold must be positive")
+        self.preserve_index = preserve_index
+        self.high_power_threshold_w = float(high_power_threshold_w)
+        self.rbl = rbl if rbl is not None else RBLDischargePolicy()
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        if self.preserve_index >= len(cells):
+            raise PolicyError(f"preserve index {self.preserve_index} out of range")
+        preserved = cells[self.preserve_index]
+        others = [i for i in range(len(cells)) if i != self.preserve_index and not cells[i].is_empty]
+        demand = max(load_w, 1e-6)
+
+        if load_w >= self.high_power_threshold_w and not preserved.is_empty:
+            # Power-intensive episode: this is what the efficient battery
+            # was saved for. It carries as much as it can; overflow spills
+            # onto the others.
+            weights = [0.0] * len(cells)
+            own = min(demand, preserved.max_discharge_power() * CAPABILITY_MARGIN)
+            weights[self.preserve_index] = own / demand
+            deficit = demand - own
+            if deficit > 1e-9 and others:
+                for i in others:
+                    weights[i] = (deficit / demand) / cells[i].resistance()
+                # Normalize the spill weights to exactly the deficit share.
+                spill = sum(weights[i] for i in others)
+                if spill > 0:
+                    for i in others:
+                        weights[i] *= (deficit / demand) / spill
+            return normalize(weights)
+
+        # Background load: the inefficient batteries carry it if they can.
+        if others and (_capability(cells, others) >= demand or preserved.is_empty):
+            weights = [0.0] * len(cells)
+            for i in others:
+                weights[i] = 1.0 / cells[i].resistance()
+            return normalize(weights)
+
+        if preserved.is_empty and not others:
+            raise PolicyError("all batteries empty")
+
+        # Others cannot carry the background load alone: preserved battery
+        # covers the deficit.
+        weights = [0.0] * len(cells)
+        for i in others:
+            weights[i] = cells[i].max_discharge_power() * CAPABILITY_MARGIN / demand
+        weights[self.preserve_index] = max(0.0, 1.0 - sum(weights))
+        return normalize(weights)
+
+    def name(self) -> str:
+        return f"Preserve(battery={self.preserve_index}, threshold={self.high_power_threshold_w} W)"
+
+
+class OracleDischargePolicy(DischargePolicy):
+    """Future-aware switch between preserving and loss minimization.
+
+    Args:
+        future_energy_j: callable ``t -> joules`` of *high-power* load
+            remaining after time ``t`` (the OS derives this from calendars
+            and learned schedules; experiments derive it from the trace).
+        efficient_index: the battery worth saving for high-power work.
+        high_power_threshold_w: boundary between background and
+            power-intensive load.
+        reserve_margin: keep this fraction more energy in the efficient
+            battery than the future high-power episodes strictly need.
+    """
+
+    def __init__(
+        self,
+        future_energy_j,
+        efficient_index: int,
+        high_power_threshold_w: float = 0.5,
+        reserve_margin: float = 1.2,
+    ):
+        if reserve_margin < 1.0:
+            raise ValueError("reserve margin must be at least 1.0")
+        self.future_energy_j = future_energy_j
+        self.efficient_index = efficient_index
+        self.reserve_margin = float(reserve_margin)
+        self._preserve = PreserveDischargePolicy(efficient_index, high_power_threshold_w)
+        self._rbl = RBLDischargePolicy()
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        needed = self.future_energy_j(t) * self.reserve_margin
+        available = cells[self.efficient_index].open_circuit_energy_j()
+        if needed > 0.0 and available <= needed * 1.5:
+            # High-power work ahead and the efficient battery is not
+            # comfortably above the reserve: preserve it.
+            return self._preserve.discharge_ratios(cells, load_w, t)
+        return self._rbl.discharge_ratios(cells, load_w, t)
+
+    def name(self) -> str:
+        return f"Oracle(efficient={self.efficient_index})"

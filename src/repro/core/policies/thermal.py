@@ -1,0 +1,77 @@
+"""Temperature-aware policy wrapper.
+
+Section 3.3 names "a change in device temperature" among the external
+factors that should trigger ratio changes. This wrapper derates hot
+batteries: above a soft threshold, a battery's share from the inner
+policy is scaled down linearly, reaching zero at the protector cutoff
+(where the hardware would disconnect the cell anyway). Cells without an
+attached thermal model are never derated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cell.thevenin import TheveninCell
+from repro.core.policies.base import DischargePolicy, normalize
+from repro.errors import PolicyError
+
+
+class ThermalDeratingPolicy(DischargePolicy):
+    """Scale an inner policy's shares down for hot batteries.
+
+    Args:
+        inner: the policy producing the baseline allocation.
+        derate_start_c: temperature at which derating begins.
+        cutoff_c: temperature at which a battery's share reaches zero
+            (defaults to each cell's own protector limit).
+    """
+
+    def __init__(self, inner: DischargePolicy, derate_start_c: float = 45.0, cutoff_c: Optional[float] = None):
+        self.inner = inner
+        self.derate_start_c = float(derate_start_c)
+        self.cutoff_c = cutoff_c
+        if cutoff_c is not None and cutoff_c <= derate_start_c:
+            raise ValueError("cutoff must lie above the derate start")
+
+    def _derate_factor(self, cell: TheveninCell) -> float:
+        if cell.thermal is None:
+            return 1.0
+        temp = cell.thermal.temperature_c
+        cutoff = self.cutoff_c if self.cutoff_c is not None else cell.thermal.params.t_max_c
+        if temp <= self.derate_start_c:
+            return 1.0
+        if temp >= cutoff:
+            return 0.0
+        return (cutoff - temp) / (cutoff - self.derate_start_c)
+
+    def discharge_ratios(self, cells: Sequence[TheveninCell], load_w: float, t: float = 0.0) -> List[float]:
+        base = self.inner.discharge_ratios(cells, load_w, t)
+        factors = [self._derate_factor(cell) for cell in cells]
+        derated = [r * f for r, f in zip(base, factors)]
+        # The shed fraction moves to cool batteries — including ones the
+        # inner policy gave zero weight (that spare battery is exactly
+        # where the hot one's load should go), split loss-optimally.
+        shed = sum(r * (1.0 - f) for r, f in zip(base, factors))
+        if shed > 0.0:
+            cool = [
+                i
+                for i, (cell, f) in enumerate(zip(cells, factors))
+                if f >= 0.999 and not cell.is_empty
+            ]
+            inv_r_total = sum(1.0 / cells[i].resistance() for i in cool)
+            if inv_r_total > 0.0:
+                for i in cool:
+                    derated[i] += shed * (1.0 / cells[i].resistance()) / inv_r_total
+        if sum(derated) <= 0.0:
+            # Every candidate is at cutoff; shedding load entirely is a
+            # hardware decision, not a ratio decision — fall back to the
+            # inner allocation and let the protector act.
+            return base
+        try:
+            return normalize(derated)
+        except PolicyError:  # pragma: no cover - guarded above
+            return base
+
+    def name(self) -> str:
+        return f"ThermalDerating({self.inner.name()}, start={self.derate_start_c:.0f} C)"

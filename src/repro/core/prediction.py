@@ -1,0 +1,141 @@
+"""Learning user behaviour from history (Sections 5.2, 5.3, 7).
+
+The paper repeatedly leans on predicted behaviour — "mobile OSes that are
+aware of a user's day to day schedule may be able to provide better
+battery life", "the OS must, therefore, learn, predict and adapt to user
+behavior" — but leaves the learner unspecified. This module supplies the
+simplest thing that works: a per-hour-of-day event model with Laplace
+smoothing.
+
+:class:`HabitModel` observes days. Each day contributes either nothing
+(a quiet day) or one or more high-power episodes (a run, a gaming
+session, a keyboard detach) at known hours with known energies. From the
+counts it answers the two questions the policies ask:
+
+* ``expected_future_energy_j(t_h)`` — the Oracle policy's reserve signal,
+  now learned instead of assumed;
+* ``predict_first_event_hour(threshold)`` — the detach-aware policy's
+  predicted detach time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro import units
+
+#: Number of hour-of-day bins.
+HOURS = 24
+
+
+@dataclass
+class HabitModel:
+    """Per-hour-of-day event frequencies with Laplace smoothing.
+
+    Args:
+        smoothing: Laplace pseudo-count; higher = more conservative
+            probabilities before much history accumulates.
+    """
+
+    smoothing: float = 1.0
+    days_observed: int = 0
+    _counts: List[int] = field(default_factory=lambda: [0] * HOURS)
+    _energy_sums: List[float] = field(default_factory=lambda: [0.0] * HOURS)
+
+    def __post_init__(self) -> None:
+        if self.smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def observe_day(self, episodes: Dict[float, float]) -> None:
+        """Record one day of history.
+
+        Args:
+            episodes: ``{hour: energy_j}`` for each high-power episode the
+                day contained; pass ``{}`` for a quiet day.
+        """
+        for hour, energy in episodes.items():
+            if not 0.0 <= hour < 24.0:
+                raise ValueError("episode hour must be in [0, 24)")
+            if energy < 0:
+                raise ValueError("episode energy must be non-negative")
+            bin_ = int(hour)
+            self._counts[bin_] += 1
+            self._energy_sums[bin_] += energy
+        self.days_observed += 1
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def probability(self, hour: float) -> float:
+        """Probability a typical day has an episode in this hour bin."""
+        if not 0.0 <= hour < 24.0:
+            raise ValueError("hour must be in [0, 24)")
+        bin_ = int(hour)
+        denominator = self.days_observed + 2.0 * self.smoothing
+        if denominator == 0:
+            return 0.0
+        return (self._counts[bin_] + self.smoothing) / denominator
+
+    def mean_episode_energy_j(self, hour: float) -> float:
+        """Average energy of the episodes seen in this hour bin."""
+        bin_ = int(hour)
+        if self._counts[bin_] == 0:
+            return 0.0
+        return self._energy_sums[bin_] / self._counts[bin_]
+
+    def expected_future_energy_j(self, t_h: float) -> float:
+        """Expected high-power energy in the rest of the day after ``t_h``.
+
+        Sum over remaining hour bins of P(episode) x mean episode energy.
+        Bins that never saw an episode contribute nothing (the smoothing
+        affects probabilities, not phantom energy).
+        """
+        t_h = max(0.0, t_h)
+        total = 0.0
+        for bin_ in range(int(t_h), HOURS):
+            if self._counts[bin_] == 0:
+                continue
+            total += self.probability(bin_) * self.mean_episode_energy_j(bin_)
+        return total
+
+    def predict_first_event_hour(self, min_probability: float = 0.5, after_h: float = 0.0) -> Optional[float]:
+        """Earliest hour (>= ``after_h``) whose episode probability clears
+        the threshold, or None if no hour does."""
+        if not 0.0 < min_probability <= 1.0:
+            raise ValueError("probability threshold must be in (0, 1]")
+        for bin_ in range(int(max(0.0, after_h)), HOURS):
+            if self.probability(bin_) >= min_probability:
+                return float(bin_)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Policy adapters
+    # ------------------------------------------------------------------ #
+
+    def oracle_signal(self) -> Callable[[float], float]:
+        """A ``t_seconds -> joules`` closure for the Oracle policy."""
+
+        def signal(t_s: float) -> float:
+            return self.expected_future_energy_j(units.seconds_to_hours(t_s) % 24.0)
+
+        return signal
+
+    def detach_signal(self, min_probability: float = 0.5) -> Callable[[float], Optional[float]]:
+        """A ``t_seconds -> detach_time_seconds`` closure for the
+        detach-aware policy."""
+
+        def signal(t_s: float) -> Optional[float]:
+            t_h = units.seconds_to_hours(t_s) % 24.0
+            hour = self.predict_first_event_hour(min_probability, after_h=t_h)
+            if hour is None:
+                return None
+            day_base = t_s - units.hours_to_seconds(t_h)
+            return day_base + units.hours_to_seconds(hour)
+
+        return signal

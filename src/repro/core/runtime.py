@@ -1,0 +1,189 @@
+"""The SDB Runtime (Figure 5).
+
+"An SDB Runtime encapsulates the SDB microcontroller from the rest of the
+OS. The SDB Runtime is responsible for all scheduling decisions affecting
+the charging and discharging of batteries. It takes clues from the rest of
+the OS, and communicates the charging and discharging scheduling decisions
+to the SDB controller."
+
+The runtime owns a discharge policy and a charge policy, re-evaluates them
+"at coarse granular time steps" (Section 3.3), and pushes the resulting
+ratio vectors through the four-call :class:`~repro.core.api.SDBApi`. The
+rest of the OS influences it only through the two directive parameters and
+(for workload-aware policies) the policy objects themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cell.fuel_gauge import BatteryStatus
+from repro.core.api import SDBApi
+from repro.core.policies.base import ChargePolicy, DischargePolicy
+from repro.core.policies.blended import BlendedChargePolicy, BlendedDischargePolicy
+from repro.errors import PolicyError
+from repro.hardware.charge import FAST_PROFILE, GENTLE_PROFILE, STANDARD_PROFILE
+from repro.hardware.microcontroller import SDBMicrocontroller
+
+#: How often the runtime re-evaluates its policies, in seconds. The paper
+#: updates "at coarse granular time steps"; 60 s keeps policy cost
+#: negligible against the emulation step.
+DEFAULT_UPDATE_INTERVAL_S = 60.0
+
+#: Charging directive above which fast-charge-capable batteries get the
+#: aggressive profile ("about to board a plane").
+FAST_PROFILE_DIRECTIVE = 0.8
+
+#: Charging directive below which every battery gets the gentle overnight
+#: profile ("charging at night, in no hurry").
+GENTLE_PROFILE_DIRECTIVE = 0.2
+
+#: A battery must accept at least this C-rate for the fast profile to be
+#: worth selecting on it.
+FAST_CAPABLE_C = 2.0
+
+#: Telemetry ring-buffer length (decisions kept for inspection).
+TELEMETRY_LIMIT = 10_000
+
+
+@dataclass(frozen=True)
+class RatioDecision:
+    """One recorded runtime decision, for telemetry and debugging."""
+
+    t: float
+    discharge_ratios: tuple
+    charge_ratios: Optional[tuple]
+    load_w: float
+    external_w: float
+
+
+class SDBRuntime:
+    """OS-side scheduler: policies in, ratio vectors out.
+
+    Args:
+        controller: the SDB microcontroller (wrapped in an :class:`SDBApi`).
+        discharge_policy: decides discharge ratios; defaults to the
+            directive-blended policy of Section 3.3.
+        charge_policy: decides charge ratios; same default.
+        update_interval_s: minimum time between ratio recomputations.
+        manage_profiles: if True, the runtime also selects each battery's
+            charging profile from the charging directive (Figure 4c's
+            dynamic "charge profile select"): fast for capable batteries
+            when the directive is urgent, gentle overnight, standard
+            otherwise.
+    """
+
+    def __init__(
+        self,
+        controller: SDBMicrocontroller,
+        discharge_policy: Optional[DischargePolicy] = None,
+        charge_policy: Optional[ChargePolicy] = None,
+        update_interval_s: float = DEFAULT_UPDATE_INTERVAL_S,
+        manage_profiles: bool = False,
+    ):
+        if update_interval_s <= 0:
+            raise ValueError("update interval must be positive")
+        self.api = SDBApi(controller)
+        self.controller = controller
+        self.discharge_policy = discharge_policy if discharge_policy is not None else BlendedDischargePolicy()
+        self.charge_policy = charge_policy if charge_policy is not None else BlendedChargePolicy()
+        self.update_interval_s = float(update_interval_s)
+        self.manage_profiles = bool(manage_profiles)
+        self._last_update_t: Optional[float] = None
+        self.ratio_updates = 0
+        #: Recent :class:`RatioDecision` records (bounded ring buffer).
+        self.history: List[RatioDecision] = []
+
+    # ------------------------------------------------------------------ #
+    # Directive parameters (the OS power manager's knobs, Figure 5)
+    # ------------------------------------------------------------------ #
+
+    def set_discharge_directive(self, value: float) -> None:
+        """Forward the Discharging Directive Parameter to the policy."""
+        setter = getattr(self.discharge_policy, "set_directive", None)
+        if setter is None:
+            raise PolicyError(f"{self.discharge_policy.name()} does not take a directive parameter")
+        setter(value)
+        self.force_update()
+
+    def set_charge_directive(self, value: float) -> None:
+        """Forward the Charging Directive Parameter to the policy."""
+        setter = getattr(self.charge_policy, "set_directive", None)
+        if setter is None:
+            raise PolicyError(f"{self.charge_policy.name()} does not take a directive parameter")
+        setter(value)
+        self.force_update()
+
+    def set_discharge_policy(self, policy: DischargePolicy) -> None:
+        """Swap the discharge policy (a software update, Section 1)."""
+        self.discharge_policy = policy
+        self.force_update()
+
+    def set_charge_policy(self, policy: ChargePolicy) -> None:
+        """Swap the charge policy."""
+        self.charge_policy = policy
+        self.force_update()
+
+    def force_update(self) -> None:
+        """Recompute ratios at the next tick regardless of the interval."""
+        self._last_update_t = None
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def tick(self, t: float, load_w: float, external_w: float = 0.0) -> bool:
+        """Re-evaluate policies if the update interval has elapsed.
+
+        Args:
+            t: current simulation time, seconds.
+            load_w: present system load (discharge side).
+            external_w: present external supply power (charge side).
+
+        Returns:
+            True if new ratio vectors were pushed to the controller.
+        """
+        if self._last_update_t is not None and t - self._last_update_t < self.update_interval_s:
+            return False
+        cells = self.controller.cells
+        discharge = self.discharge_policy.discharge_ratios(cells, load_w, t)
+        self.api.Discharge(*discharge)
+        charge = None
+        if external_w > 0.0:
+            charge = self.charge_policy.charge_ratios(cells, external_w, t)
+            self.api.Charge(*charge)
+            if self.manage_profiles:
+                self._select_profiles()
+        self._last_update_t = t
+        self.ratio_updates += 1
+        self.history.append(
+            RatioDecision(
+                t=t,
+                discharge_ratios=tuple(discharge),
+                charge_ratios=tuple(charge) if charge is not None else None,
+                load_w=load_w,
+                external_w=external_w,
+            )
+        )
+        if len(self.history) > TELEMETRY_LIMIT:
+            del self.history[: len(self.history) - TELEMETRY_LIMIT]
+        return True
+
+    def _select_profiles(self) -> None:
+        """Map the charging directive to per-battery charge profiles."""
+        directive = getattr(self.charge_policy, "directive", None)
+        if directive is None:
+            return
+        for index, cell in enumerate(self.controller.cells):
+            if directive >= FAST_PROFILE_DIRECTIVE and cell.params.max_charge_c >= FAST_CAPABLE_C:
+                profile = FAST_PROFILE
+            elif directive <= GENTLE_PROFILE_DIRECTIVE:
+                profile = GENTLE_PROFILE
+            else:
+                profile = STANDARD_PROFILE
+            self.controller.select_profile(index, profile)
+
+    def query_status(self) -> List[BatteryStatus]:
+        """Pass-through of QueryBatteryStatus for the rest of the OS."""
+        return self.api.QueryBatteryStatus()

@@ -1,0 +1,193 @@
+"""Personal-assistant-driven directive scheduling (Sections 7 and 8).
+
+"We are tying personal assistants like Siri, Cortana, and Google Now with
+SDB. These assistants understand user behavior and the user's schedule
+and by using this information, an OS can perform better parameter
+selection. For example, if the OS knows that the user is about to board a
+plane then it might make sense to charge as quickly as possible and take
+the hit to longevity."
+
+:class:`AssistantScheduler` turns a day's calendar into the two directive
+parameters of Section 3.3:
+
+* **charging directive** — 1.0 (RBL-Charge: useful charge fast) shortly
+  before a departure; 0.0 (CCB-Charge: spare the batteries) overnight;
+  a configurable baseline otherwise;
+* **discharging directive** — raised toward 1.0 (RBL-Discharge: stretch
+  the remaining charge) while demanding events are still ahead of the
+  next charging opportunity, relaxed toward the longevity-friendly
+  baseline otherwise.
+
+It also answers the "what should be preserved" question for the
+workload-aware policies: the high-power energy still scheduled after a
+given hour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro import units
+
+
+class EventKind(enum.Enum):
+    """Calendar event categories the scheduler understands."""
+
+    #: Boarding a plane / long offline travel: charge fast beforehand.
+    DEPARTURE = "departure"
+    #: Exercise with GPS / sensors: a high-power discharge episode.
+    EXERCISE = "exercise"
+    #: Gaming / rendering: a high-power discharge episode.
+    GAMING = "gaming"
+    #: Ordinary meetings: low power, no special handling.
+    MEETING = "meeting"
+    #: A charging opportunity (desk time, overnight dock).
+    CHARGING = "charging"
+
+
+#: Event kinds that demand high discharge power.
+HIGH_POWER_KINDS = frozenset({EventKind.EXERCISE, EventKind.GAMING})
+
+
+@dataclass(frozen=True)
+class CalendarEvent:
+    """One calendar entry.
+
+    Attributes:
+        name: label ("flight to SEA", "evening run", ...).
+        kind: what the assistant inferred the event to be.
+        start_h: start hour (0-24 within the scheduled day).
+        end_h: end hour.
+        expected_power_w: expected device draw during the event (used to
+            size reserves for high-power events).
+    """
+
+    name: str
+    kind: EventKind
+    start_h: float
+    end_h: float
+    expected_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end_h <= self.start_h:
+            raise ValueError("event must have positive duration")
+        if self.expected_power_w < 0:
+            raise ValueError("expected power must be non-negative")
+
+    @property
+    def duration_h(self) -> float:
+        """Event length in hours."""
+        return self.end_h - self.start_h
+
+    @property
+    def energy_j(self) -> float:
+        """Expected device energy over the event, joules."""
+        return self.expected_power_w * units.hours_to_seconds(self.duration_h)
+
+
+class AssistantScheduler:
+    """Calendar -> directive parameters, per Section 7's discussion.
+
+    Args:
+        events: the day's calendar.
+        night_start_h / night_end_h: the overnight window (charging there
+            is never urgent, so the charging directive drops to 0).
+        departure_lookahead_h: how long before a departure the charging
+            directive goes to 1.0.
+        baseline: directive used when nothing special is happening.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[CalendarEvent],
+        night_start_h: float = 23.0,
+        night_end_h: float = 6.0,
+        departure_lookahead_h: float = 2.0,
+        baseline: float = 0.5,
+    ):
+        if not 0.0 <= baseline <= 1.0:
+            raise ValueError("baseline directive must be in [0, 1]")
+        if departure_lookahead_h <= 0:
+            raise ValueError("departure lookahead must be positive")
+        self.events: List[CalendarEvent] = sorted(events, key=lambda e: e.start_h)
+        self.night_start_h = float(night_start_h)
+        self.night_end_h = float(night_end_h)
+        self.departure_lookahead_h = float(departure_lookahead_h)
+        self.baseline = float(baseline)
+
+    # ------------------------------------------------------------------ #
+    # Calendar queries
+    # ------------------------------------------------------------------ #
+
+    def is_night(self, t_h: float) -> bool:
+        """True during the overnight window (which may wrap midnight)."""
+        t = t_h % 24.0
+        if self.night_start_h <= self.night_end_h:
+            return self.night_start_h <= t < self.night_end_h
+        return t >= self.night_start_h or t < self.night_end_h
+
+    def next_event_of(self, kinds, t_h: float):
+        """The next event of the given kinds starting at or after ``t_h``."""
+        for event in self.events:
+            if event.kind in kinds and event.start_h >= t_h:
+                return event
+        return None
+
+    def future_high_power_energy_j(self, t_h: float) -> float:
+        """Energy of high-power events still (partly) ahead of ``t_h``.
+
+        This is the reserve signal for
+        :class:`~repro.core.policies.oracle.OracleDischargePolicy`.
+        """
+        total = 0.0
+        for event in self.events:
+            if event.kind not in HIGH_POWER_KINDS:
+                continue
+            start = max(event.start_h, t_h)
+            if start < event.end_h:
+                total += event.expected_power_w * units.hours_to_seconds(event.end_h - start)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Directive parameters
+    # ------------------------------------------------------------------ #
+
+    def charge_directive(self, t_h: float) -> float:
+        """The Charging Directive Parameter at hour ``t_h``.
+
+        1.0 right before a departure (charge as fast as possible and
+        "take the hit to longevity"), 0.0 overnight (no hurry), the
+        baseline otherwise.
+        """
+        departure = self.next_event_of({EventKind.DEPARTURE}, t_h)
+        if departure is not None and departure.start_h - t_h <= self.departure_lookahead_h:
+            return 1.0
+        if self.is_night(t_h):
+            return 0.0
+        return self.baseline
+
+    def discharge_directive(self, t_h: float) -> float:
+        """The Discharging Directive Parameter at hour ``t_h``.
+
+        Rises toward 1.0 (maximize the useful charge) while high-power
+        events remain before the next charging opportunity; baseline
+        otherwise.
+        """
+        charging = self.next_event_of({EventKind.CHARGING}, t_h)
+        horizon = charging.start_h if charging is not None else 24.0
+        for event in self.events:
+            if event.kind in HIGH_POWER_KINDS and t_h <= event.start_h < horizon:
+                return 1.0
+        return self.baseline
+
+    def apply(self, runtime, t_s: float) -> None:
+        """Push both directives for simulation time ``t_s`` (seconds).
+
+        Convenience for emulation loops; the runtime's policies must be
+        the blended ones (they accept directive parameters).
+        """
+        t_h = units.seconds_to_hours(t_s) % 24.0
+        runtime.set_discharge_directive(self.discharge_directive(t_h))
+        runtime.set_charge_directive(self.charge_directive(t_h))

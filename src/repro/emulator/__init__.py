@@ -1,0 +1,31 @@
+"""The SDB emulator (Section 4.3).
+
+"We developed an SDB emulator to not only facilitate OS researchers to
+easily conduct experiments but also to obtain repeatable experiments that
+helped us in debugging SDB policies without damaging real batteries."
+
+* :mod:`repro.emulator.emulator` — the timestep loop wiring a power trace
+  through the runtime, the SDB hardware models and the battery models;
+* :mod:`repro.emulator.events` — plug/unplug schedules;
+* :mod:`repro.emulator.devices` — the tablet / phone / watch platforms;
+* :mod:`repro.emulator.cpu` — the turbo CPU model behind Figure 12.
+"""
+
+from repro.emulator.cpu import CpuPowerLevel, Task, TaskOutcome, TurboCpu
+from repro.emulator.devices import DEVICES, DeviceSpec, build_controller
+from repro.emulator.emulator import EmulationResult, SDBEmulator
+from repro.emulator.events import PlugSchedule, PlugWindow
+
+__all__ = [
+    "CpuPowerLevel",
+    "Task",
+    "TaskOutcome",
+    "TurboCpu",
+    "DEVICES",
+    "DeviceSpec",
+    "build_controller",
+    "EmulationResult",
+    "SDBEmulator",
+    "PlugSchedule",
+    "PlugWindow",
+]

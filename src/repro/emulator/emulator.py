@@ -1,0 +1,216 @@
+"""The SDB emulator's timestep loop.
+
+Wires a device power trace through the OS runtime (policy re-evaluation),
+the SDB hardware models (ratio quantization, circuit losses, charge
+profiles) and the Thevenin battery models, collecting the energy
+bookkeeping the Section 5 experiments report.
+
+The loop per step:
+
+1. read the trace's load power and the plug schedule's supply power;
+2. let the runtime tick (recompute and push ratios if its interval
+   elapsed);
+3. run scenario hooks (e.g. the 2-in-1 cascade's base-to-internal
+   transfer);
+4. when plugged, serve the load from the supply and charge with the rest;
+   when unplugged, discharge the batteries through the SDB circuit.
+
+A device "dies" when the batteries can no longer serve the load; the
+emulator records the death time and stops (matching how the paper reports
+battery life).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro import units
+from repro.core.runtime import SDBRuntime
+from repro.emulator.events import PlugSchedule
+from repro.errors import BatteryEmptyError, EmulationError, PowerLimitError
+from repro.hardware.microcontroller import SDBMicrocontroller
+from repro.workloads.traces import PowerTrace
+
+#: A scenario hook: called as ``hook(controller, t, dt)`` before each
+#: discharge step. Used for controller-level scenario logic such as the
+#: 2-in-1 cascade transfer.
+Hook = Callable[[SDBMicrocontroller, float, float], None]
+
+
+@dataclass
+class EmulationResult:
+    """Time series and energy totals from one emulation run."""
+
+    dt_s: float
+    times_s: List[float] = field(default_factory=list)
+    load_w: List[float] = field(default_factory=list)
+    soc_history: List[List[float]] = field(default_factory=list)
+    loss_w: List[float] = field(default_factory=list)
+    delivered_j: float = 0.0
+    battery_heat_j: float = 0.0
+    circuit_loss_j: float = 0.0
+    charge_input_j: float = 0.0
+    charge_loss_j: float = 0.0
+    depletion_s: Optional[float] = None
+    battery_depletion_s: List[Optional[float]] = field(default_factory=list)
+    completed: bool = True
+
+    @property
+    def total_loss_j(self) -> float:
+        """All losses: battery heat + discharge-circuit + charger losses."""
+        return self.battery_heat_j + self.circuit_loss_j + self.charge_loss_j
+
+    @property
+    def battery_life_h(self) -> float:
+        """Hours until death (or the full trace length if it survived)."""
+        end = self.depletion_s if self.depletion_s is not None else (self.times_s[-1] + self.dt_s if self.times_s else 0.0)
+        return units.seconds_to_hours(end)
+
+    def hourly_loss_j(self) -> List[float]:
+        """Losses aggregated per wall-clock hour (Figure 13's loss bars)."""
+        if not self.times_s:
+            return []
+        hours = int(self.times_s[-1] // units.SECONDS_PER_HOUR) + 1
+        buckets = [0.0] * hours
+        for t, loss in zip(self.times_s, self.loss_w):
+            buckets[int(t // units.SECONDS_PER_HOUR)] += loss * self.dt_s
+        return buckets
+
+    def final_socs(self) -> List[float]:
+        """Per-battery SoC at the end of the run."""
+        if not self.soc_history:
+            return []
+        return self.soc_history[-1]
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable account of the run."""
+        lines = [
+            f"ran {units.seconds_to_hours(self.times_s[-1] + self.dt_s) if self.times_s else 0:.2f} h "
+            f"at dt={self.dt_s:.0f} s; "
+            + ("completed the trace" if self.completed else f"died at {self.battery_life_h:.2f} h"),
+            f"delivered {self.delivered_j:.0f} J to the load; "
+            f"losses: {self.battery_heat_j:.0f} J battery heat, "
+            f"{self.circuit_loss_j:.0f} J discharge circuit, "
+            f"{self.charge_loss_j:.0f} J charger",
+        ]
+        if self.charge_input_j > 0:
+            lines.append(f"drew {self.charge_input_j:.0f} J from external power")
+        if self.soc_history:
+            socs = ", ".join(f"{s:.0%}" for s in self.final_socs())
+            lines.append(f"final SoC: {socs}")
+        for i, death in enumerate(self.battery_depletion_s):
+            if death is not None:
+                lines.append(f"battery {i} emptied at {units.seconds_to_hours(death):.2f} h")
+        return "; ".join(lines)
+
+
+class SDBEmulator:
+    """Drives one controller + runtime through a workload trace."""
+
+    def __init__(
+        self,
+        controller: SDBMicrocontroller,
+        runtime: SDBRuntime,
+        trace: PowerTrace,
+        plug: Optional[PlugSchedule] = None,
+        dt_s: float = 10.0,
+        hooks: Sequence[Hook] = (),
+        stop_on_depletion: bool = True,
+    ):
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        if runtime.controller is not controller:
+            raise ValueError("runtime must wrap the same controller")
+        self.controller = controller
+        self.runtime = runtime
+        self.trace = trace
+        self.plug = plug if plug is not None else PlugSchedule.never()
+        self.dt_s = float(dt_s)
+        self.hooks = list(hooks)
+        self.stop_on_depletion = stop_on_depletion
+
+    def run(self) -> EmulationResult:
+        """Execute the full trace and return the collected bookkeeping."""
+        result = EmulationResult(dt_s=self.dt_s)
+        n = self.controller.n
+        result.battery_depletion_s = [None] * n
+
+        for t, load in self.trace.steps(self.dt_s):
+            supply = self.plug.power_at(t)
+            try:
+                self.runtime.tick(t, load, external_w=supply)
+            except Exception:
+                # Policies can fail when every battery is empty; fall through
+                # to the discharge step, which classifies the death cleanly.
+                pass
+            for hook in self.hooks:
+                hook(self.controller, t, self.dt_s)
+
+            step_loss = 0.0
+            if supply > 0.0:
+                served = min(load, supply)
+                headroom = supply - served
+                if headroom > 0.0:
+                    report = self.controller.step_charge(headroom, self.dt_s)
+                    result.charge_input_j += report.input_used_w * self.dt_s
+                    result.charge_loss_j += report.loss_w * self.dt_s
+                    step_loss += report.loss_w
+                load -= served
+                result.delivered_j += served * self.dt_s
+
+            if load > 0.0:
+                try:
+                    report = self.controller.step_discharge(load, self.dt_s)
+                except (BatteryEmptyError, PowerLimitError):
+                    result.depletion_s = t
+                    result.completed = False
+                    if self.stop_on_depletion:
+                        break
+                    # Shed the load entirely and keep the clock running.
+                    result.times_s.append(t)
+                    result.load_w.append(load)
+                    result.loss_w.append(0.0)
+                    result.soc_history.append([cell.soc for cell in self.controller.cells])
+                    continue
+                result.delivered_j += load * self.dt_s
+                result.battery_heat_j += report.battery_heat_w * self.dt_s
+                result.circuit_loss_j += report.circuit_loss_w * self.dt_s
+                step_loss += report.total_loss_w
+            else:
+                # Fully powered externally: batteries rest.
+                for cell in self.controller.cells:
+                    if not (cell.is_empty or cell.is_full):
+                        cell.step_current(0.0, self.dt_s)
+
+            for i, cell in enumerate(self.controller.cells):
+                if cell.is_empty and result.battery_depletion_s[i] is None:
+                    result.battery_depletion_s[i] = t + self.dt_s
+
+            result.times_s.append(t)
+            result.load_w.append(load)
+            result.loss_w.append(step_loss)
+            result.soc_history.append([cell.soc for cell in self.controller.cells])
+
+        return result
+
+
+def cascade_transfer_hook(source_index: int, dest_index: int, power_w: float) -> Hook:
+    """Hook reproducing the traditional 2-in-1 behaviour (Section 5.3).
+
+    The external (keyboard base) battery does nothing but charge the
+    internal battery at a fixed rate while it has charge left — "external
+    battery packs under the keyboard are typically used to charge the main
+    internal battery".
+    """
+    if power_w <= 0:
+        raise ValueError("transfer power must be positive")
+
+    def hook(controller: SDBMicrocontroller, t: float, dt: float) -> None:
+        source = controller.cells[source_index]
+        dest = controller.cells[dest_index]
+        if source.is_empty or dest.is_full:
+            return
+        controller.transfer(source_index, dest_index, power_w, dt)
+
+    return hook

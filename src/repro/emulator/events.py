@@ -1,0 +1,57 @@
+"""External power (plug/unplug) schedules for emulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class PlugWindow:
+    """One interval during which external power is available."""
+
+    start_s: float
+    end_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError("plug window must have positive duration")
+        if self.power_w <= 0:
+            raise ValueError("supply power must be positive")
+
+    def contains(self, t: float) -> bool:
+        """True if ``t`` falls inside this window."""
+        return self.start_s <= t < self.end_s
+
+
+class PlugSchedule:
+    """A set of non-overlapping plug windows."""
+
+    def __init__(self, windows: Sequence[PlugWindow] = ()):
+        windows = sorted(windows, key=lambda w: w.start_s)
+        for a, b in zip(windows, windows[1:]):
+            if b.start_s < a.end_s:
+                raise ValueError("plug windows must not overlap")
+        self.windows: List[PlugWindow] = list(windows)
+
+    @classmethod
+    def never(cls) -> "PlugSchedule":
+        """A schedule with no external power at all."""
+        return cls(())
+
+    @classmethod
+    def always(cls, power_w: float, duration_s: float) -> "PlugSchedule":
+        """Plugged in for the whole run."""
+        return cls((PlugWindow(0.0, duration_s, power_w),))
+
+    def power_at(self, t: float) -> float:
+        """Available supply power at time ``t`` (0 when unplugged)."""
+        for window in self.windows:
+            if window.contains(t):
+                return window.power_w
+        return 0.0
+
+    def is_plugged(self, t: float) -> bool:
+        """True when external power is available at ``t``."""
+        return self.power_at(t) > 0.0

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the SDB reproduction.
+
+Everything raised on purpose by this library derives from :class:`SDBError`
+so that callers can catch library failures without masking programming
+errors (``TypeError``/``ValueError`` raised from argument validation is still
+used where the mistake is clearly the caller's).
+"""
+
+from __future__ import annotations
+
+
+class SDBError(Exception):
+    """Base class for all errors raised by the SDB reproduction library."""
+
+
+class BatteryError(SDBError):
+    """A battery model was driven outside its physical envelope."""
+
+
+class BatteryEmptyError(BatteryError):
+    """A discharge was requested from a cell with no usable charge left."""
+
+
+class BatteryFullError(BatteryError):
+    """A charge was requested into a cell that is already full."""
+
+
+class PowerLimitError(BatteryError):
+    """A cell cannot deliver (or absorb) the requested power.
+
+    Raised when the quadratic relating terminal power to current has no real
+    solution, i.e. the request exceeds the cell's maximum power point, or when
+    an explicit per-cell current limit is exceeded in strict mode.
+    """
+
+
+class HardwareError(SDBError):
+    """The simulated SDB hardware rejected a command."""
+
+
+class RatioError(HardwareError):
+    """A charge/discharge ratio vector was malformed (negative, wrong length,
+    or not summing to one)."""
+
+
+class PolicyError(SDBError):
+    """A policy produced an unusable allocation."""
+
+
+class EmulationError(SDBError):
+    """The emulator could not make progress (e.g. all batteries empty while
+    the workload still demands power and the run is configured as strict)."""

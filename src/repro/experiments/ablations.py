@@ -1,0 +1,198 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the knobs the paper discusses
+qualitatively:
+
+* **Directive-parameter sweep** (Section 3.3): how battery life and wear
+  balance move as the discharging directive slides from pure CCB (0) to
+  pure RBL (1) on the wearable day.
+* **Switching-loss sensitivity** (Section 3.2.1): end-to-end battery life
+  with the integrated switch vs the naive FET design of Figure 4(a),
+  across FET on-resistance.
+* **Charge-profile sensitivity** (Table 2): 1000-cycle longevity vs the
+  SoC at which fast charging starts tapering.
+* **Oracle vs instantaneous** (Sections 3.3 / 5.2): the value of future
+  workload knowledge, with and without the high-power episode.
+* **Regulator count** (Section 3.2.2): the O(N^2) -> O(N) hardware claim,
+  executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cell.thevenin import new_cell
+from repro.core.metrics import cycle_count_balance, wear_ratios
+from repro.core.policies.blended import BlendedDischargePolicy
+from repro.core.policies.oracle import OracleDischargePolicy, PreserveDischargePolicy
+from repro.core.policies.rbl import RBLDischargePolicy
+from repro.core.runtime import SDBRuntime
+from repro.emulator.devices import build_controller
+from repro.emulator.emulator import SDBEmulator
+from repro.experiments.reporting import Table
+from repro.hardware.charge import ChargeProfile
+from repro.hardware.discharge import DischargeCircuitSpec
+from repro.hardware.microcontroller import SDBMicrocontroller
+from repro.hardware.naive import naive_charging_fabric, naive_discharge_spec, sdb_charging_fabric
+from repro.workloads.profiles import wearable_day
+
+#: Directive values swept in the blend ablation.
+DIRECTIVE_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: FET on-resistances (ohm) swept in the switching-loss ablation.
+FET_RESISTANCE_GRID = (0.0, 0.02, 0.04, 0.08, 0.16)
+
+#: Taper-start SoC values swept in the charge-profile ablation.
+TAPER_GRID = (0.60, 0.70, 0.80, 0.90, 0.95)
+
+
+@dataclass
+class AblationResult:
+    """All ablation tables plus the headline scalars the tests assert."""
+
+    directive_sweep: Table
+    switching_loss: Table
+    charge_profile: Table
+    oracle_value: Table
+    regulator_count: Table
+    life_by_directive: Dict[float, float]
+    ccb_by_directive: Dict[float, float]
+    life_by_fet_resistance: Dict[float, float]
+    retention_by_taper: Dict[float, float]
+    oracle_life_h: Dict[Tuple[str, bool], float]
+
+    def tables(self) -> List[Table]:
+        """All printable tables for this experiment."""
+        return [
+            self.directive_sweep,
+            self.switching_loss,
+            self.charge_profile,
+            self.oracle_value,
+            self.regulator_count,
+        ]
+
+
+def _run_wearable(policy, discharge_spec: DischargeCircuitSpec = None, dt_s: float = 20.0, include_run: bool = True):
+    day = wearable_day(include_run=include_run)
+    if discharge_spec is None:
+        controller = build_controller("watch")
+    else:
+        cells = [new_cell("B12"), new_cell("B01")]
+        controller = SDBMicrocontroller(cells, discharge_spec=discharge_spec)
+    runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=60.0)
+    result = SDBEmulator(controller, runtime, day.trace, dt_s=dt_s).run()
+    return controller, result
+
+
+def directive_sweep(dt_s: float = 20.0) -> Tuple[Table, Dict[float, float], Dict[float, float]]:
+    """Battery life and CCB across the discharging directive parameter."""
+    table = Table(
+        title="Ablation: discharging directive parameter sweep (wearable day)",
+        headers=("Directive p", "Battery life (h)", "Total losses (J)", "Final CCB"),
+    )
+    life: Dict[float, float] = {}
+    ccb: Dict[float, float] = {}
+    for p in DIRECTIVE_GRID:
+        controller, result = _run_wearable(BlendedDischargePolicy(directive=p), dt_s=dt_s)
+        balance = cycle_count_balance(wear_ratios(controller.cells))
+        life[p] = result.battery_life_h
+        ccb[p] = balance
+        table.add_row(p, result.battery_life_h, result.total_loss_j, balance)
+    return table, life, ccb
+
+
+def switching_loss_sweep(dt_s: float = 20.0) -> Tuple[Table, Dict[float, float]]:
+    """Battery life vs discharge-switch on-resistance (Figure 4a vs 4c)."""
+    table = Table(
+        title="Ablation: battery life vs discharge-switch on-resistance",
+        headers=("Extra FET resistance (ohm)", "Battery life (h)", "Circuit loss (J)"),
+    )
+    life: Dict[float, float] = {}
+    for r_fet in FET_RESISTANCE_GRID:
+        spec = naive_discharge_spec(fet_resistance=r_fet)
+        _, result = _run_wearable(RBLDischargePolicy(), discharge_spec=spec, dt_s=dt_s)
+        life[r_fet] = result.battery_life_h
+        table.add_row(r_fet, result.battery_life_h, result.circuit_loss_j)
+    return table, life
+
+
+def charge_profile_sweep(n_cycles: int = 1000) -> Tuple[Table, Dict[float, float]]:
+    """Longevity of the fast-charging cell vs the taper-start SoC.
+
+    Tapering earlier spends less time at the damaging full-current phase
+    of each cycle, trading charge speed for cycle life.
+    """
+    table = Table(
+        title="Ablation: fast-charge longevity vs taper-start SoC",
+        headers=("Taper start SoC", "Mean charge C-rate", "Retention after 1000 cycles (%)"),
+    )
+    retention: Dict[float, float] = {}
+    for taper in TAPER_GRID:
+        profile = ChargeProfile(name=f"fast@{taper}", cc_c_rate=4.0, taper_start_soc=taper, taper_c_rate=0.2)
+        cell = new_cell("B14")
+        # The cycle-average C-rate: full rate up to the taper point, then
+        # a linear ramp down to the floor across the taper window.
+        mean_c = profile.cc_c_rate * taper + 0.5 * (profile.cc_c_rate + profile.taper_c_rate) * (1.0 - taper)
+        cell.aging.simulate_cycles(n_cycles, mean_c, 0.3)
+        pct = 100.0 * cell.aging.capacity_factor
+        retention[taper] = pct
+        table.add_row(taper, mean_c, pct)
+    return table, retention
+
+
+def oracle_comparison(dt_s: float = 20.0) -> Tuple[Table, Dict[Tuple[str, bool], float]]:
+    """RBL vs Preserve vs Oracle, with and without the run."""
+    table = Table(
+        title="Ablation: value of future workload knowledge (wearable day)",
+        headers=("Policy", "Run?", "Battery life (h)", "Total losses (J)"),
+    )
+    lives: Dict[Tuple[str, bool], float] = {}
+    for include_run in (True, False):
+        day = wearable_day(include_run=include_run)
+        policies = {
+            "rbl": RBLDischargePolicy(),
+            "preserve": PreserveDischargePolicy(0, high_power_threshold_w=day.high_power_threshold_w),
+            "oracle": OracleDischargePolicy(
+                day.trace.future_energy_above(day.high_power_threshold_w),
+                efficient_index=0,
+                high_power_threshold_w=day.high_power_threshold_w,
+            ),
+        }
+        for name, policy in policies.items():
+            _, result = _run_wearable(policy, dt_s=dt_s, include_run=include_run)
+            lives[(name, include_run)] = result.battery_life_h
+            table.add_row(name, "yes" if include_run else "no", result.battery_life_h, result.total_loss_j)
+    return table, lives
+
+
+def regulator_count_table(max_batteries: int = 6) -> Table:
+    """The O(N^2) vs O(N) regulator-count claim of Section 3.2.2."""
+    table = Table(
+        title="Ablation: charging-fabric regulator count (Figure 4b vs 4c)",
+        headers=("Batteries", "Naive fabric regulators", "SDB fabric regulators"),
+    )
+    for n in range(1, max_batteries + 1):
+        table.add_row(n, naive_charging_fabric(n).regulator_count, sdb_charging_fabric(n).regulator_count)
+    return table
+
+
+def run_ablations(dt_s: float = 20.0) -> AblationResult:
+    """Run all five ablations."""
+    directive_table, life_by_p, ccb_by_p = directive_sweep(dt_s=dt_s)
+    switching_table, life_by_r = switching_loss_sweep(dt_s=dt_s)
+    profile_table, retention = charge_profile_sweep()
+    oracle_table, oracle_lives = oracle_comparison(dt_s=dt_s)
+    regulator_table = regulator_count_table()
+    return AblationResult(
+        directive_sweep=directive_table,
+        switching_loss=switching_table,
+        charge_profile=profile_table,
+        oracle_value=oracle_table,
+        regulator_count=regulator_table,
+        life_by_directive=life_by_p,
+        ccb_by_directive=ccb_by_p,
+        life_by_fet_resistance=life_by_r,
+        retention_by_taper=retention,
+        oracle_life_h=oracle_lives,
+    )

@@ -1,0 +1,157 @@
+"""Terminal charts: render experiment tables as ASCII line/bar plots.
+
+No plotting library ships in this environment, and the figures' value is
+their *shape* (who wins, where curves cross). These renderers draw that
+shape in a terminal:
+
+* :func:`line_plot` — multi-series scatter/line over a numeric x column;
+* :func:`bar_chart` — horizontal bars for categorical rows;
+* :func:`plot_table` — picks a renderer for a
+  :class:`~repro.experiments.reporting.Table` automatically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.experiments.reporting import Table
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and value == value
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Sequence[Sequence[Optional[float]]],
+    labels: Sequence[str],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render one or more y-series against a shared x axis.
+
+    ``None`` points are skipped (e.g. a C-rate beyond a battery's limit).
+    """
+    if len(series) != len(labels):
+        raise ValueError("need one label per series")
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+    points = [
+        (xv, yv, s)
+        for s, ys in enumerate(series)
+        for xv, yv in zip(x, ys)
+        if yv is not None and _is_number(yv)
+    ]
+    if not points:
+        raise ValueError("nothing to plot")
+
+    def transform(v: float) -> float:
+        if not log_y:
+            return v
+        return math.log10(max(v, 1e-12))
+
+    xs = [p[0] for p in points]
+    ys = [transform(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv, s in points:
+        col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((transform(yv) - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = SERIES_GLYPHS[s % len(SERIES_GLYPHS)]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{(10 ** y_hi if log_y else y_hi):.3g}"
+    y_bot = f"{(10 ** y_lo if log_y else y_lo):.3g}"
+    label_w = max(len(y_top), len(y_bot))
+    for i, row_cells in enumerate(grid):
+        prefix = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{prefix:>{label_w}} |{''.join(row_cells)}")
+    lines.append(f"{'':>{label_w}} +{'-' * width}")
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(f"{'':>{label_w}}  {x_axis}")
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {label}" for i, label in enumerate(labels)
+    )
+    lines.append(f"{'':>{label_w}}  {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    categories: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 48,
+) -> str:
+    """Render horizontal bars for categorical values."""
+    if len(categories) != len(values):
+        raise ValueError("need one value per category")
+    if not categories:
+        raise ValueError("nothing to plot")
+    numeric = [v for v in values if _is_number(v)]
+    if not numeric:
+        raise ValueError("no numeric values to plot")
+    peak = max(abs(v) for v in numeric)
+    if peak == 0:
+        peak = 1.0
+    label_w = max(len(str(c)) for c in categories)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for category, value in zip(categories, values):
+        if not _is_number(value):
+            lines.append(f"{str(category):>{label_w}} | -")
+            continue
+        bar = "#" * max(1, round(abs(value) / peak * width))
+        lines.append(f"{str(category):>{label_w}} |{bar} {value:.3g}")
+    return "\n".join(lines)
+
+
+def plot_table(table: Table, width: int = 64, log_y: bool = False) -> str:
+    """Best-effort chart for a result table.
+
+    A table whose first column is numeric becomes a line plot (one series
+    per remaining numeric column); otherwise the first numeric column is
+    bar-charted against the first column's categories.
+    """
+    if not table.rows:
+        raise ValueError("empty table")
+    first_col = [row[0] for row in table.rows]
+    if all(_is_number(v) for v in first_col):
+        labels = [str(h) for h in table.headers[1:]]
+        series = [[row[i + 1] if _is_number(row[i + 1]) else None for row in table.rows] for i in range(len(labels))]
+        keep = [i for i, s in enumerate(series) if any(v is not None for v in s)]
+        if not keep:
+            raise ValueError("no numeric series to plot")
+        return line_plot(
+            [float(v) for v in first_col],
+            [series[i] for i in keep],
+            [labels[i] for i in keep],
+            title=table.title,
+            width=width,
+            log_y=log_y,
+        )
+    # Categorical: find the first numeric column.
+    for col in range(1, len(table.headers)):
+        values = [row[col] for row in table.rows]
+        if any(_is_number(v) for v in values):
+            return bar_chart(
+                [str(row[0]) for row in table.rows],
+                values,
+                title=f"{table.title} — {table.headers[col]}",
+                width=width,
+            )
+    raise ValueError("no numeric column to plot")

@@ -1,0 +1,140 @@
+"""2-in-1 detach adaptation (Section 5.3, second half).
+
+Figure 14's simultaneous draw wins "for a user who rarely unplugs" the
+keyboard base; "this gain is not realizable for a user who only keeps
+the base ... plugged in for short periods of time. The OS must,
+therefore, learn, predict and adapt to user behavior."
+
+This experiment runs three strategies against two users:
+
+* **cascade** — the shipping design (base only charges the internal
+  battery);
+* **simultaneous** — Figure 14's winner, blind to detaching;
+* **detach-aware** — front-loads the base battery ahead of the predicted
+  detach (and reduces to simultaneous when no detach is predicted).
+
+Users: one detaches the keyboard two hours in and continues in tablet
+mode; one keeps it attached all day. The adaptive strategy should match
+the best fixed strategy for each user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import units
+from repro.core.policies.baselines import SingleBatteryDischargePolicy
+from repro.core.policies.detach import DetachAwareDischargePolicy
+from repro.core.policies.rbl import RBLDischargePolicy
+from repro.core.runtime import SDBRuntime
+from repro.emulator.devices import build_controller
+from repro.emulator.emulator import SDBEmulator, cascade_transfer_hook
+from repro.experiments.reporting import Table
+from repro.workloads.traces import PowerTrace, Segment
+
+#: Internal (tablet) battery index.
+INTERNAL = 0
+#: Keyboard-base battery index.
+BASE = 1
+
+#: Attached-mode (docked, working) power draw, watts.
+ATTACHED_W = 10.5
+#: Tablet-only (couch reading / video) power draw, watts.
+TABLET_W = 7.0
+#: Hour at which the early-detach user removes the keyboard.
+DETACH_HOUR = 2.0
+#: Trace length; long enough for every arm to deplete.
+DAY_HOURS = 12.0
+
+
+def detach_day_trace(detach_hour: Optional[float]) -> PowerTrace:
+    """The day's power draw: attached load, then tablet-only load."""
+    total_s = units.hours_to_seconds(DAY_HOURS)
+    if detach_hour is None:
+        return PowerTrace([Segment(0.0, total_s, ATTACHED_W)])
+    detach_s = units.hours_to_seconds(detach_hour)
+    return PowerTrace(
+        [
+            Segment(0.0, detach_s, ATTACHED_W),
+            Segment(detach_s, total_s - detach_s, TABLET_W),
+        ]
+    )
+
+
+def detach_hook(detach_hour: float):
+    """Emulator hook that physically disconnects the base battery."""
+    detach_s = units.hours_to_seconds(detach_hour)
+
+    def hook(controller, t, dt):
+        if t >= detach_s and controller.connected[BASE]:
+            controller.set_connected(BASE, False)
+
+    return hook
+
+
+def _policy_for(strategy: str, trace: PowerTrace, detach_hour: Optional[float]):
+    if strategy == "cascade":
+        return SingleBatteryDischargePolicy(INTERNAL)
+    if strategy == "simultaneous":
+        return RBLDischargePolicy()
+    if strategy == "detach-aware":
+        if detach_hour is None:
+            return DetachAwareDischargePolicy(INTERNAL, BASE)
+        detach_s = units.hours_to_seconds(detach_hour)
+        return DetachAwareDischargePolicy(
+            INTERNAL,
+            BASE,
+            detach_at_s=lambda t: detach_s,
+            post_detach_energy_j=lambda t: trace.energy_between_j(max(t, detach_s), trace.end_s),
+        )
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def run_one(strategy: str, detach_hour: Optional[float], dt_s: float = 15.0) -> Tuple[float, float]:
+    """(device life in hours, energy stranded in the base at detach, J)."""
+    trace = detach_day_trace(detach_hour)
+    controller = build_controller("tablet")
+    policy = _policy_for(strategy, trace, detach_hour)
+    hooks = []
+    if strategy == "cascade":
+        hooks.append(cascade_transfer_hook(BASE, INTERNAL, 14.0))
+    if detach_hour is not None:
+        hooks.append(detach_hook(detach_hour))
+    runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=60.0)
+    result = SDBEmulator(controller, runtime, trace, dt_s=dt_s, hooks=hooks).run()
+    stranded = 0.0
+    if detach_hour is not None:
+        stranded = controller.cells[BASE].open_circuit_energy_j()
+    return result.battery_life_h, stranded
+
+
+@dataclass
+class DetachResult:
+    """Life per (strategy, user) plus stranded base energy."""
+
+    comparison: Table
+    life_h: Dict[Tuple[str, str], float]
+    stranded_j: Dict[str, float]
+
+    def tables(self) -> List[Table]:
+        """All printable tables for this experiment."""
+        return [self.comparison]
+
+
+def run_detach(dt_s: float = 15.0) -> DetachResult:
+    """Run the 3 strategies x 2 users grid."""
+    comparison = Table(
+        title="2-in-1 detach adaptation: device life (h) per strategy and user",
+        headers=("Strategy", "Detaches at 2 h", "Stranded base energy (Wh)", "Never detaches"),
+    )
+    life: Dict[Tuple[str, str], float] = {}
+    stranded: Dict[str, float] = {}
+    for strategy in ("cascade", "simultaneous", "detach-aware"):
+        detach_life, stranded_j = run_one(strategy, DETACH_HOUR, dt_s=dt_s)
+        stay_life, _ = run_one(strategy, None, dt_s=dt_s)
+        life[(strategy, "detach")] = detach_life
+        life[(strategy, "stay")] = stay_life
+        stranded[strategy] = stranded_j
+        comparison.add_row(strategy, detach_life, units.joules_to_wh(stranded_j), stay_life)
+    return DetachResult(comparison=comparison, life_h=life, stranded_j=stranded)

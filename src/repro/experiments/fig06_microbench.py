@@ -1,0 +1,116 @@
+"""Figure 6: SDB hardware microbenchmarks.
+
+Four panels measured on the prototype, reproduced from the parametric
+hardware models:
+
+* (a) discharge-circuit power loss % vs discharge power (0.1 - 10 W);
+* (b) proportion-setting error % vs commanded share (1% - 99%);
+* (c) charging efficiency as % of the charger chip's typical vs current;
+* (d) charge-current setting error % vs commanded current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.reporting import Table
+from repro.hardware.charge import ChargerSpec
+from repro.hardware.discharge import SDBDischargeCircuit
+
+#: Figure 6(a)'s x-axis, watts.
+FIG6A_POWERS_W = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+#: Figure 6(b)'s x-axis, proportion settings.
+FIG6B_SETTINGS = (0.01, 0.05, 0.10, 0.20, 0.50, 0.80, 0.95, 0.99)
+
+#: Figure 6(c)'s x-axis, amps.
+FIG6C_CURRENTS_A = (0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2)
+
+#: Figure 6(d)'s x-axis, amps.
+FIG6D_CURRENTS_A = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+
+
+@dataclass
+class Fig6Result:
+    """All four microbenchmark panels."""
+
+    discharge_loss: Table
+    proportion_error: Table
+    charge_efficiency: Table
+    current_error: Table
+    loss_pct_by_power: Dict[float, float]
+    error_pct_by_setting: Dict[float, float]
+    rel_efficiency_by_current: Dict[float, float]
+    current_error_by_current: Dict[float, float]
+
+    def tables(self) -> List[Table]:
+        """All printable tables for this experiment."""
+        return [
+            self.discharge_loss,
+            self.proportion_error,
+            self.charge_efficiency,
+            self.current_error,
+        ]
+
+
+def run_figure6(
+    circuit: SDBDischargeCircuit = None,
+    charger: ChargerSpec = None,
+) -> Fig6Result:
+    """Regenerate the four panels of Figure 6."""
+    if circuit is None:
+        circuit = SDBDischargeCircuit(2)
+    if charger is None:
+        charger = ChargerSpec()
+
+    discharge_loss = Table(
+        title="Figure 6(a): discharge-circuit power loss vs discharge power",
+        headers=("Discharge power (W)", "Power loss (%)"),
+    )
+    loss_by_power = {}
+    for p in FIG6A_POWERS_W:
+        loss = circuit.loss_pct(p)
+        loss_by_power[p] = loss
+        discharge_loss.add_row(p, loss)
+
+    proportion_error = Table(
+        title="Figure 6(b): proportion-setting error vs commanded share",
+        headers=("Proportion setting (%)", "Error (%)"),
+    )
+    error_by_setting = {}
+    for setting in FIG6B_SETTINGS:
+        err = circuit.proportion_error_pct(setting)
+        error_by_setting[setting] = err
+        proportion_error.add_row(setting * 100.0, err)
+
+    charge_efficiency = Table(
+        title="Figure 6(c): charging efficiency as % of chip-typical vs current",
+        headers=("Charging current (A)", "Efficiency (% of typical)"),
+    )
+    rel_eff = {}
+    for amps in FIG6C_CURRENTS_A:
+        eff = charger.relative_efficiency(amps) * 100.0
+        rel_eff[amps] = eff
+        charge_efficiency.add_row(amps, eff)
+
+    current_error = Table(
+        title="Figure 6(d): charge-current setting error vs commanded current",
+        headers=("Charging current (A)", "Error (%)"),
+    )
+    err_by_current = {}
+    for amps in FIG6D_CURRENTS_A:
+        err = charger.current_error_pct(amps)
+        err_by_current[amps] = err
+        current_error.add_row(amps, err)
+
+    return Fig6Result(
+        discharge_loss=discharge_loss,
+        proportion_error=proportion_error,
+        charge_efficiency=charge_efficiency,
+        current_error=current_error,
+        loss_pct_by_power=loss_by_power,
+        error_pct_by_setting=error_by_setting,
+        rel_efficiency_by_current=rel_eff,
+        current_error_by_current=err_by_current,
+    )

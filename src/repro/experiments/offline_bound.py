@@ -1,0 +1,90 @@
+"""Optimality gaps against the offline bound (Section 3.3's open problem).
+
+The paper notes its heuristics are "good albeit non-optimal". This
+experiment quantifies *how* non-optimal: it solves the offline convex
+program (:mod:`repro.core.offline`) over a feasible prefix of the
+wearable day (the first 12 hours — morning, run and early evening, which
+every policy survives) and reports each policy's resistive losses
+against the bound.
+
+Two caveats make the bound slightly loose in both directions: the QP
+freezes each battery's resistance at mid-SoC (real resistance rises as
+cells drain), and it ignores the RC branch. The *ordering* and rough
+magnitudes are what matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro import units
+from repro.core.offline import OfflineSchedule, abstract_cell, optimality_gap, solve_offline_schedule
+from repro.core.policies.blended import BlendedDischargePolicy
+from repro.core.policies.oracle import PreserveDischargePolicy
+from repro.core.policies.rbl import RBLDischargePolicy
+from repro.core.runtime import SDBRuntime
+from repro.emulator.devices import build_controller
+from repro.emulator.emulator import SDBEmulator
+from repro.experiments.reporting import Table
+from repro.workloads.profiles import wearable_day
+
+#: Horizon of the comparison (hours); all compared policies survive it.
+HORIZON_H = 12.0
+
+
+@dataclass
+class OfflineBoundResult:
+    """Losses per policy vs the offline bound."""
+
+    comparison: Table
+    schedule: OfflineSchedule
+    heat_by_policy: Dict[str, float]
+    gap_by_policy: Dict[str, float]
+
+    def tables(self) -> List[Table]:
+        """All printable tables for this experiment."""
+        return [self.comparison]
+
+
+def run_offline_bound(dt_s: float = 20.0) -> OfflineBoundResult:
+    """Solve the bound and emulate the policies over the same prefix."""
+    day = wearable_day()
+    prefix = day.trace.between(0.0, units.hours_to_seconds(HORIZON_H))
+
+    reference = build_controller("watch")
+    batteries = [abstract_cell(cell) for cell in reference.cells]
+    schedule = solve_offline_schedule(batteries, prefix, max_segments=48)
+
+    policies = {
+        "offline optimum (bound)": None,
+        "rbl (instantaneous)": RBLDischargePolicy(),
+        "preserve (workload-aware)": PreserveDischargePolicy(0, high_power_threshold_w=day.high_power_threshold_w),
+        "blended p=0.5": BlendedDischargePolicy(0.5),
+    }
+    comparison = Table(
+        title=f"Resistive losses over the first {HORIZON_H:.0f} h of the wearable day",
+        headers=("Policy", "Battery heat (J)", "Excess over offline bound (%)"),
+    )
+    heat: Dict[str, float] = {}
+    gaps: Dict[str, float] = {}
+    comparison.add_row("offline optimum (bound)", schedule.loss_j, 0.0)
+    heat["offline optimum (bound)"] = schedule.loss_j
+    gaps["offline optimum (bound)"] = 0.0
+    for name, policy in policies.items():
+        if policy is None:
+            continue
+        controller = build_controller("watch")
+        runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=60.0)
+        result = SDBEmulator(controller, runtime, prefix, dt_s=dt_s).run()
+        if not result.completed:
+            raise RuntimeError(f"policy {name!r} died inside the feasible horizon")
+        heat[name] = result.battery_heat_j
+        gaps[name] = optimality_gap(result.battery_heat_j, schedule)
+        comparison.add_row(name, result.battery_heat_j, 100.0 * gaps[name])
+    return OfflineBoundResult(
+        comparison=comparison,
+        schedule=schedule,
+        heat_by_policy=heat,
+        gap_by_policy=gaps,
+    )

@@ -1,0 +1,67 @@
+"""Row/series formatting shared by all experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        magnitude = abs(value)
+        if magnitude != 0.0 and (magnitude >= 1e5 or magnitude < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A printable table of experiment rows.
+
+    Attributes:
+        title: what the table reproduces (e.g. "Figure 11(b): charge time").
+        headers: column names.
+        rows: row tuples; cells may be str, int, float or None.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row (cell count must match the headers)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append(cells)
+
+    def format(self) -> str:
+        """Render the table as aligned monospace text."""
+        header_cells = [str(h) for h in self.headers]
+        body = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in header_cells]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header_cells, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of one column, by header name."""
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]
+
+
+def print_tables(tables: Iterable[Table]) -> None:
+    """Print tables separated by blank lines (the bench harness output)."""
+    for table in tables:
+        print()
+        print(table.format())

@@ -1,0 +1,67 @@
+"""Section 7's single-battery benefits, made concrete.
+
+For every library battery: the fastest charge rate and the hardest
+sustained discharge rate that still meet a consumer warranty (80%
+capacity after 800 cycles), plus the resulting 0-to-40% charge time.
+This is the knob a single-battery OS can already turn with SDB-style
+awareness — no second battery required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.chemistry.library import BATTERY_LIBRARY, make_cell_params
+from repro.core.warranty import Warranty, max_charge_c_for_warranty, max_discharge_c_for_warranty
+from repro.experiments.reporting import Table
+
+
+@dataclass
+class SingleBatteryResult:
+    """Per-battery warranty-constrained rate envelope."""
+
+    envelope: Table
+    max_charge_c: Dict[str, float]
+    max_discharge_c: Dict[str, float]
+
+    def tables(self) -> List[Table]:
+        """All printable tables for this experiment."""
+        return [self.envelope]
+
+
+def run_single_battery(warranty: Warranty = Warranty()) -> SingleBatteryResult:
+    """Compute the warranty envelope for every library battery."""
+    envelope = Table(
+        title=(
+            f"Single-battery benefits: fastest rates meeting a "
+            f"{warranty.min_retention:.0%} @ {warranty.cycles}-cycle warranty"
+        ),
+        headers=(
+            "Battery",
+            "Type",
+            "Warranty max charge (C)",
+            "Hardware max charge (C)",
+            "Minutes to 40%",
+            "Warranty max discharge (C)",
+        ),
+    )
+    max_charge: Dict[str, float] = {}
+    max_discharge: Dict[str, float] = {}
+    for bid in sorted(BATTERY_LIBRARY):
+        descriptor = BATTERY_LIBRARY[bid]
+        params = make_cell_params(descriptor)
+        charge_c = min(max_charge_c_for_warranty(params.aging, warranty), params.max_charge_c)
+        discharge_c = min(max_discharge_c_for_warranty(params.aging, warranty), params.max_discharge_c)
+        max_charge[bid] = charge_c
+        max_discharge[bid] = discharge_c
+        minutes_to_40 = float("inf") if charge_c <= 0 else 0.40 / charge_c * 60.0
+        envelope.add_row(
+            bid,
+            descriptor.chemistry.short_name,
+            charge_c,
+            params.max_charge_c,
+            minutes_to_40 if minutes_to_40 != float("inf") else None,
+            discharge_c,
+        )
+    return SingleBatteryResult(envelope=envelope, max_charge_c=max_charge, max_discharge_c=max_discharge)

@@ -1,0 +1,60 @@
+"""Table 1: battery characteristics, and the per-type quantitative sheet."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.chemistry.types import CHEMISTRY_SPECS, TABLE_1_CHARACTERISTICS, ChemistryType
+from repro.experiments.reporting import Table
+
+
+@dataclass
+class Table1Result:
+    """Reproduction of Table 1 plus the concrete per-type values."""
+
+    characteristics: Table
+    type_sheet: Table
+
+    def tables(self) -> List[Table]:
+        """All printable tables for this experiment."""
+        return [self.characteristics, self.type_sheet]
+
+
+def run_table1() -> Table1Result:
+    """Regenerate Table 1 (characteristics/units) and the type sheet."""
+    characteristics = Table(
+        title="Table 1: battery characteristics",
+        headers=("Battery Characteristic", "Units"),
+    )
+    for name, unit in TABLE_1_CHARACTERISTICS:
+        characteristics.add_row(name, unit)
+
+    type_sheet = Table(
+        title="Chemistry property sheet (quantitative instantiation of Table 1)",
+        headers=(
+            "Type",
+            "Cathode",
+            "Energy density (Wh/l)",
+            "Energy density (Wh/kg)",
+            "Max charge (C)",
+            "Max discharge (C)",
+            "Tolerable cycles",
+            "Cost ($/Wh)",
+            "Bendable",
+        ),
+    )
+    for ctype in ChemistryType:
+        spec = CHEMISTRY_SPECS[ctype]
+        type_sheet.add_row(
+            ctype.short_name,
+            spec.cathode,
+            spec.energy_density_wh_per_l,
+            spec.energy_density_wh_per_kg,
+            spec.max_charge_c,
+            spec.max_discharge_c,
+            spec.tolerable_cycles,
+            spec.cost_per_wh,
+            "yes" if spec.bendable else "no",
+        )
+    return Table1Result(characteristics=characteristics, type_sheet=type_sheet)

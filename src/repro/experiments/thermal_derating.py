@@ -1,0 +1,148 @@
+"""Thermal derating on a hot ride (Section 3.3's temperature trigger).
+
+Self-heating is negligible at watch power levels, so the temperature
+story plays out where the currents are: the EV commute on a 36 C day.
+The high-energy pack sits boxed under the floorboard (poor dissipation);
+the booster pack is finned and in the airstream. Carrying the whole
+cruise load, the HE pack's I^2 R self-heating drives it toward its 60 C
+protector cutoff, and the heat Arrhenius-accelerates its aging.
+
+The comparison: the NAV-hinted oracle policy (temperature-blind) vs the
+same policy wrapped in :class:`ThermalDeratingPolicy`, which sheds load
+to the cooler booster once the HE pack passes 45 C.
+
+Reported per policy: peak pack temperatures, whether the protector
+cutoff was crossed, heat-accelerated fade, and mission completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cell.thermal import ThermalModel, ThermalParams
+from repro.core.policies.oracle import OracleDischargePolicy
+from repro.core.policies.thermal import ThermalDeratingPolicy
+from repro.core.runtime import SDBRuntime
+from repro.emulator.emulator import SDBEmulator
+from repro.experiments.reporting import Table
+from repro.hardware.microcontroller import SDBMicrocontroller
+from repro.workloads.ev import (
+    CLIMB_POWER_THRESHOLD_W,
+    EV_DISCHARGE_SPEC,
+    commute_route,
+    ev_cells,
+    route_power_trace,
+)
+
+#: Hot-day ambient, Celsius.
+AMBIENT_C = 36.0
+
+#: Boxed-in high-energy pack: large mass, poor dissipation.
+HE_THERMAL = ThermalParams(
+    thermal_mass_j_per_k=1500.0,
+    dissipation_w_per_k=0.8,
+    ambient_c=AMBIENT_C,
+    t_max_c=60.0,
+)
+
+#: Finned booster pack in the airstream.
+HP_THERMAL = ThermalParams(
+    thermal_mass_j_per_k=1500.0,
+    dissipation_w_per_k=3.0,
+    ambient_c=AMBIENT_C,
+    t_max_c=60.0,
+)
+
+#: Derating begins here.
+DERATE_START_C = 45.0
+
+
+@dataclass
+class ThermalOutcome:
+    """One policy's hot ride."""
+
+    name: str
+    peak_temps_c: List[float]
+    total_fade: float
+    completed: bool
+    over_limit: bool
+
+
+@dataclass
+class ThermalDeratingResult:
+    """Both policies on the hot ride."""
+
+    summary: Table
+    outcomes: Dict[str, ThermalOutcome]
+
+    def tables(self) -> List[Table]:
+        """All printable tables for this experiment."""
+        return [self.summary]
+
+
+def _hot_ev() -> SDBMicrocontroller:
+    he, hp = ev_cells()
+    he.attach_thermal(ThermalModel(HE_THERMAL))
+    hp.attach_thermal(ThermalModel(HP_THERMAL))
+    return SDBMicrocontroller([he, hp], discharge_spec=EV_DISCHARGE_SPEC)
+
+
+def _oracle(trace):
+    return OracleDischargePolicy(
+        trace.future_energy_above(CLIMB_POWER_THRESHOLD_W),
+        efficient_index=1,
+        high_power_threshold_w=CLIMB_POWER_THRESHOLD_W,
+    )
+
+
+def _run_policy(name: str, policy, trace, dt_s: float) -> ThermalOutcome:
+    controller = _hot_ev()
+    runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=30.0)
+    peaks = [AMBIENT_C] * controller.n
+
+    def track_peaks(mc, t, dt):
+        for i, cell in enumerate(mc.cells):
+            peaks[i] = max(peaks[i], cell.thermal.temperature_c)
+
+    result = SDBEmulator(controller, runtime, trace, dt_s=dt_s, hooks=[track_peaks]).run()
+    return ThermalOutcome(
+        name=name,
+        peak_temps_c=peaks,
+        total_fade=sum(cell.aging.state.fade for cell in controller.cells),
+        completed=result.completed,
+        over_limit=peaks[0] >= HE_THERMAL.t_max_c or peaks[1] >= HP_THERMAL.t_max_c,
+    )
+
+
+def run_thermal_derating(dt_s: float = 5.0) -> ThermalDeratingResult:
+    """Hot-ride comparison: temperature-blind oracle vs derated oracle."""
+    trace = route_power_trace(commute_route())
+    policies = {
+        "nav oracle (temperature-blind)": _oracle(trace),
+        "nav oracle + thermal derating": ThermalDeratingPolicy(_oracle(trace), derate_start_c=DERATE_START_C),
+    }
+    summary = Table(
+        title=f"The EV commute at {AMBIENT_C:.0f} C ambient",
+        headers=(
+            "Policy",
+            "HE pack peak (C)",
+            "Booster peak (C)",
+            "Total fade",
+            "Completed?",
+            "Hit 60 C cutoff?",
+        ),
+    )
+    outcomes: Dict[str, ThermalOutcome] = {}
+    for name, policy in policies.items():
+        outcome = _run_policy(name, policy, trace, dt_s)
+        outcomes[name] = outcome
+        summary.add_row(
+            name,
+            outcome.peak_temps_c[0],
+            outcome.peak_temps_c[1],
+            outcome.total_fade,
+            "yes" if outcome.completed else "no",
+            "yes" if outcome.over_limit else "no",
+        )
+    return ThermalDeratingResult(summary=summary, outcomes=outcomes)

@@ -1,0 +1,44 @@
+"""Simulated SDB power electronics (Figure 4 of the paper).
+
+The paper implements mechanisms in hardware and policies in the OS; this
+package is the mechanisms:
+
+* :mod:`repro.hardware.regulator` — switched-mode regulator loss models
+  (buck, buck-boost, synchronous reversible buck);
+* :mod:`repro.hardware.discharge` — the SDB discharging circuit: weighted
+  round-robin energy-packet draw across batteries with the loss and
+  proportion-accuracy behaviour measured in Figures 6(a) and 6(b);
+* :mod:`repro.hardware.charge` — the SDB charging circuit: per-battery
+  charge profiles, dynamic current setting (Figures 6c, 6d), and
+  battery-to-battery transfer through reverse buck mode;
+* :mod:`repro.hardware.microcontroller` — the SDB microcontroller that
+  enforces OS-set ratios and answers status queries;
+* :mod:`repro.hardware.pmic` — the traditional single-battery PMIC used as
+  the baseline (Section 2.2).
+"""
+
+from repro.hardware.charge import ChargeProfile, ChargerSpec, SDBChargeCircuit
+from repro.hardware.discharge import DischargeCircuitSpec, SDBDischargeCircuit
+from repro.hardware.microcontroller import (
+    ChargeReport,
+    DischargeReport,
+    SDBMicrocontroller,
+    TransferReport,
+)
+from repro.hardware.pmic import TraditionalPMIC
+from repro.hardware.regulator import RegulatorSpec, SwitchedModeRegulator
+
+__all__ = [
+    "ChargeProfile",
+    "ChargerSpec",
+    "SDBChargeCircuit",
+    "DischargeCircuitSpec",
+    "SDBDischargeCircuit",
+    "ChargeReport",
+    "DischargeReport",
+    "SDBMicrocontroller",
+    "TransferReport",
+    "TraditionalPMIC",
+    "RegulatorSpec",
+    "SwitchedModeRegulator",
+]

@@ -1,0 +1,263 @@
+"""The SDB charging circuit (Figure 4c, right side).
+
+One synchronous reversible buck regulator per battery (O(N) rather than the
+naive O(N^2) of Figure 4b) gives the microcontroller three capabilities:
+
+* charge all batteries from an external supply in OS-set proportions,
+* select a charging *profile* per battery dynamically (not the fixed
+  profile of a traditional PMIC), and
+* charge one battery from another by running the source's regulator in
+  reverse buck mode.
+
+Prototype microbenchmarks captured two non-idealities reproduced here:
+
+* **Charging efficiency** (Figure 6c): essentially the charger chip's
+  typical efficiency at light loads, sagging to ~94% of typical at 2.2 A.
+* **Current-setting accuracy** (Figure 6d): the delivered charge current
+  differs from the commanded one by <= 0.5%, worst at low currents —
+  modeled as DAC quantization plus a constant offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.cell.thevenin import TheveninCell
+from repro.errors import HardwareError
+from repro.hardware.regulator import REVERSIBLE_BUCK_DEFAULT, RegulatorSpec, SwitchedModeRegulator
+
+
+@dataclass(frozen=True)
+class ChargeProfile:
+    """A charging profile: CC phase, taper phase, termination.
+
+    The traditional fixed profile (Section 2.2) charges at constant current
+    until a cutoff SoC, then trickles. SDB keeps several such profiles per
+    regulator and lets the OS pick dynamically.
+
+    Attributes:
+        name: profile label ("standard", "fast", "gentle", ...).
+        cc_c_rate: constant-current phase rate, C.
+        taper_start_soc: SoC where the current starts tapering.
+        taper_c_rate: floor rate reached at the termination SoC, C.
+        terminate_soc: SoC at which charging stops.
+    """
+
+    name: str
+    cc_c_rate: float
+    taper_start_soc: float = 0.80
+    taper_c_rate: float = 0.05
+    terminate_soc: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.cc_c_rate <= 0:
+            raise ValueError("cc_c_rate must be positive")
+        if not 0.0 < self.taper_start_soc < self.terminate_soc <= 1.0:
+            raise ValueError("require 0 < taper_start_soc < terminate_soc <= 1")
+        if not 0.0 < self.taper_c_rate <= self.cc_c_rate:
+            raise ValueError("taper rate must be positive and below the CC rate")
+
+    def c_rate_at(self, soc: float) -> float:
+        """Commanded charge rate at the given SoC, in C."""
+        if soc >= self.terminate_soc:
+            return 0.0
+        if soc <= self.taper_start_soc:
+            return self.cc_c_rate
+        frac = (soc - self.taper_start_soc) / (self.terminate_soc - self.taper_start_soc)
+        return self.cc_c_rate + frac * (self.taper_c_rate - self.cc_c_rate)
+
+    def current_for(self, cell: TheveninCell) -> float:
+        """Commanded charge current (amps) for a cell right now.
+
+        Clamped to the cell's own sustained charge-rate limit, which the
+        microcontroller enforces as a safety floor regardless of profile.
+        """
+        c_rate = min(self.c_rate_at(cell.soc), cell.params.max_charge_c)
+        return units.c_rate_to_amps(c_rate, cell.params.capacity_c)
+
+
+#: The fixed profile a traditional PMIC ships with.
+STANDARD_PROFILE = ChargeProfile(name="standard", cc_c_rate=0.7)
+
+#: An aggressive profile for fast-charging-capable batteries.
+FAST_PROFILE = ChargeProfile(name="fast", cc_c_rate=4.0, taper_start_soc=0.85)
+
+#: A longevity-preserving overnight profile.
+GENTLE_PROFILE = ChargeProfile(name="gentle", cc_c_rate=0.3, taper_start_soc=0.70)
+
+
+@dataclass(frozen=True)
+class ChargerSpec:
+    """Parameters of one charging channel.
+
+    Attributes:
+        typical_efficiency: the charger chip's datasheet efficiency.
+        sag_knee_a: current above which efficiency sags below typical.
+        sag_coeff: quadratic sag coefficient; relative efficiency is
+            ``1 - sag_coeff * (I - sag_knee)**2`` above the knee.
+        light_load_knee_a: current below which fixed losses start to bite.
+        light_load_coeff: quadratic light-load penalty coefficient.
+        dac_step_a: current-DAC resolution, amps.
+        dac_offset_a: constant offset of the current regulation loop, amps.
+        relative_floor: lower bound on the relative efficiency; the
+            quadratic sag is a local fit around the Figure 6(c) range and
+            must not collapse to zero for large charger currents.
+    """
+
+    typical_efficiency: float = 0.92
+    sag_knee_a: float = 0.8
+    sag_coeff: float = 0.0306
+    light_load_knee_a: float = 0.15
+    light_load_coeff: float = 0.20
+    dac_step_a: float = 0.004
+    dac_offset_a: float = 0.001
+    relative_floor: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.typical_efficiency <= 1.0:
+            raise ValueError("typical efficiency must be in (0, 1]")
+        if self.dac_step_a <= 0:
+            raise ValueError("DAC step must be positive")
+
+    def realized_current(self, commanded_a: float) -> float:
+        """Current the regulation loop actually delivers (Figure 6d)."""
+        if commanded_a < 0:
+            raise ValueError("commanded current must be non-negative")
+        if commanded_a == 0.0:
+            return 0.0
+        quantized = round(commanded_a / self.dac_step_a) * self.dac_step_a
+        if quantized == 0.0:
+            quantized = self.dac_step_a
+        return quantized + self.dac_offset_a
+
+    def current_error_pct(self, commanded_a: float) -> float:
+        """Percent error between delivered and commanded current."""
+        if commanded_a <= 0:
+            raise ValueError("commanded current must be positive")
+        return abs(self.realized_current(commanded_a) - commanded_a) / commanded_a * 100.0
+
+    def relative_efficiency(self, current_a: float) -> float:
+        """Efficiency as a fraction of the chip's typical (Figure 6c)."""
+        if current_a < 0:
+            raise ValueError("current must be non-negative")
+        rel = 1.0
+        if current_a > self.sag_knee_a:
+            delta = current_a - self.sag_knee_a
+            rel -= self.sag_coeff * delta * delta
+        elif current_a < self.light_load_knee_a and current_a > 0:
+            delta = self.light_load_knee_a - current_a
+            rel -= self.light_load_coeff * delta * delta
+        return max(self.relative_floor, rel)
+
+    def efficiency(self, current_a: float) -> float:
+        """Absolute efficiency at the given charge current."""
+        return self.typical_efficiency * self.relative_efficiency(current_a)
+
+
+@dataclass(frozen=True)
+class ChargeChannelResult:
+    """What one charging channel did during a step."""
+
+    commanded_current_a: float
+    delivered_current_a: float
+    terminal_power_w: float
+    input_power_w: float
+    loss_w: float
+
+
+class SDBChargeCircuit:
+    """O(N) reversible-buck charging fabric for N batteries."""
+
+    def __init__(
+        self,
+        n_batteries: int,
+        charger: ChargerSpec = ChargerSpec(),
+        regulator: RegulatorSpec = REVERSIBLE_BUCK_DEFAULT,
+        v_bus: float = 3.8,
+    ):
+        if n_batteries < 1:
+            raise ValueError("need at least one battery")
+        self.n = n_batteries
+        self.charger = charger
+        self.regulator = SwitchedModeRegulator(regulator, v_bus=v_bus)
+
+    def charge_cell(self, cell: TheveninCell, current_a: float, dt: float) -> ChargeChannelResult:
+        """Charge one cell at a commanded current for ``dt`` seconds.
+
+        Applies the current-setting error and the charger efficiency curve;
+        returns the energy bookkeeping for the step. A full or zero-command
+        channel is a no-op.
+        """
+        delivered = self.charger.realized_current(current_a)
+        if delivered == 0.0 or cell.is_full:
+            return ChargeChannelResult(current_a, 0.0, 0.0, 0.0, 0.0)
+        # Do not overfill: the final sliver goes in at whatever current
+        # fits in the step.
+        max_current = cell.headroom_c / dt
+        delivered = min(delivered, max_current)
+        step = cell.step_current(-delivered, dt)
+        terminal_power = -step.delivered_w
+        eff = self.charger.efficiency(delivered)
+        if eff <= 0:
+            raise HardwareError("charger efficiency collapsed to zero")
+        input_power = terminal_power / eff
+        return ChargeChannelResult(
+            commanded_current_a=current_a,
+            delivered_current_a=delivered,
+            terminal_power_w=terminal_power,
+            input_power_w=input_power,
+            loss_w=input_power - terminal_power,
+        )
+
+    def transfer_power(self, source: TheveninCell, dest: TheveninCell, power_w: float, dt: float) -> ChargeChannelResult:
+        """Charge ``dest`` from ``source`` at ``power_w`` drawn from source.
+
+        The source's regulator runs in reverse buck mode (extra loss), the
+        destination's charger then charges as usual. This is the mechanism
+        behind ``ChargeOneFromAnother`` and behind the traditional 2-in-1
+        cascade the paper criticizes in Section 5.3.
+        """
+        if power_w < 0:
+            raise ValueError("transfer power must be non-negative")
+        if power_w == 0.0 or dest.is_full or source.is_empty:
+            return ChargeChannelResult(0.0, 0.0, 0.0, 0.0, 0.0)
+        # Never draw more than the source can safely deliver.
+        power_w = min(power_w, 0.9 * source.max_discharge_power())
+        if power_w <= 0.0:
+            return ChargeChannelResult(0.0, 0.0, 0.0, 0.0, 0.0)
+        # Reverse buck stage between source and the charge bus.
+        bus_power = self.regulator.output_power_for_input(power_w, reverse=True)
+        # Destination charger: convert bus power to terminal power.
+        current_guess = bus_power / max(dest.terminal_voltage(), 1e-6)
+        eff = self.charger.efficiency(current_guess)
+        terminal_power = bus_power * eff
+        # Respect the destination's charge-rate limit: a real controller
+        # throttles the *source* draw rather than burning the difference.
+        max_power = dest.max_charge_power()
+        if terminal_power > max_power:
+            terminal_power = max_power
+            if eff <= 0:
+                return ChargeChannelResult(0.0, 0.0, 0.0, 0.0, 0.0)
+            bus_power = terminal_power / eff
+            power_w = self.regulator.input_power_for_output(bus_power, reverse=True)
+        # Do not overfill the destination within the step.
+        headroom_w = dest.headroom_c / dt * max(dest.terminal_voltage(), 1e-6)
+        if terminal_power > headroom_w:
+            terminal_power = headroom_w
+            bus_power = terminal_power / max(eff, 1e-9)
+            power_w = self.regulator.input_power_for_output(bus_power, reverse=True)
+        source.step_discharge_power(power_w, dt)
+        if terminal_power > 0:
+            step = dest.step_charge_power(terminal_power, dt)
+            delivered_current = -step.current
+        else:
+            delivered_current = 0.0
+        return ChargeChannelResult(
+            commanded_current_a=current_guess,
+            delivered_current_a=delivered_current,
+            terminal_power_w=terminal_power,
+            input_power_w=power_w,
+            loss_w=power_w - terminal_power,
+        )

@@ -1,0 +1,127 @@
+"""Switched-mode regulator loss models.
+
+Section 2.2 and 3.2: mobile devices regulate battery voltage with switched
+mode regulators, and the SDB hardware is built from three variants — buck
+(external supply to battery), buck-boost (battery to battery regardless of
+relative voltage), and the synchronous *reversible* buck that lets the
+optimized SDB charging circuit run current backwards (Figure 4c).
+
+We do not simulate switching waveforms (the authors did that in LTSPICE and
+declare correctness out of scope); we model the regulator's *loss* as seen
+by the energy accounting:
+
+``P_loss(I) = fixed + v_drop * I + r_eff * I**2``
+
+— a quiescent/controller term, a diode/gate-drive term proportional to
+current, and an ohmic term. That three-term curve is the standard datasheet
+efficiency shape and reproduces the high-at-light-load, sagging-at-high-load
+efficiency of Figure 6(c).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RegulatorSpec:
+    """Loss coefficients of one switched-mode regulator.
+
+    Attributes:
+        name: label for reports.
+        fixed_loss_w: quiescent controller/switching loss, watts.
+        v_drop: current-proportional loss coefficient, volts.
+        r_eff: effective series resistance, ohms.
+        reverse_penalty: multiplier (>1) on v_drop and r_eff when a
+            synchronous buck operates in reverse mode; body-diode conduction
+            intervals make reverse operation slightly lossier.
+    """
+
+    name: str
+    fixed_loss_w: float = 5e-3
+    v_drop: float = 0.020
+    r_eff: float = 0.030
+    reverse_penalty: float = 1.15
+
+    def __post_init__(self) -> None:
+        if self.fixed_loss_w < 0 or self.v_drop < 0 or self.r_eff < 0:
+            raise ValueError("loss coefficients must be non-negative")
+        if self.reverse_penalty < 1.0:
+            raise ValueError("reverse mode cannot be more efficient than forward")
+
+
+#: Default buck regulator (external charger input stage).
+BUCK_DEFAULT = RegulatorSpec(name="buck", fixed_loss_w=5e-3, v_drop=0.020, r_eff=0.030)
+
+#: Default buck-boost (naive battery-to-battery path, Figure 4b).
+BUCK_BOOST_DEFAULT = RegulatorSpec(name="buck-boost", fixed_loss_w=8e-3, v_drop=0.035, r_eff=0.045)
+
+#: Default synchronous reversible buck (optimized SDB path, Figure 4c).
+REVERSIBLE_BUCK_DEFAULT = RegulatorSpec(name="reversible-buck", fixed_loss_w=5e-3, v_drop=0.022, r_eff=0.032)
+
+
+class SwitchedModeRegulator:
+    """One regulator stage with the three-term loss model.
+
+    All conversions are expressed at a working voltage ``v_bus`` so that
+    current (and hence loss) can be derived from power.
+    """
+
+    def __init__(self, spec: RegulatorSpec, v_bus: float = 3.8):
+        if v_bus <= 0:
+            raise ValueError("bus voltage must be positive")
+        self.spec = spec
+        self.v_bus = float(v_bus)
+
+    def loss_w(self, p_out: float, reverse: bool = False) -> float:
+        """Loss when delivering ``p_out`` watts at the output."""
+        if p_out < 0:
+            raise ValueError("output power must be non-negative")
+        if p_out == 0.0:
+            return 0.0
+        current = p_out / self.v_bus
+        v_drop = self.spec.v_drop
+        r_eff = self.spec.r_eff
+        if reverse:
+            v_drop *= self.spec.reverse_penalty
+            r_eff *= self.spec.reverse_penalty
+        return self.spec.fixed_loss_w + v_drop * current + r_eff * current * current
+
+    def input_power_for_output(self, p_out: float, reverse: bool = False) -> float:
+        """Power that must be supplied to deliver ``p_out`` at the output."""
+        return p_out + self.loss_w(p_out, reverse=reverse)
+
+    def output_power_for_input(self, p_in: float, reverse: bool = False) -> float:
+        """Power delivered at the output when ``p_in`` is supplied.
+
+        Inverts the loss model: solves ``p_in = p_out + loss(p_out)`` for
+        ``p_out`` (quadratic in output current). Returns 0 if the input
+        cannot even cover the fixed loss.
+        """
+        if p_in < 0:
+            raise ValueError("input power must be non-negative")
+        if p_in == 0.0:
+            return 0.0
+        v_drop = self.spec.v_drop
+        r_eff = self.spec.r_eff
+        if reverse:
+            v_drop *= self.spec.reverse_penalty
+            r_eff *= self.spec.reverse_penalty
+        budget = p_in - self.spec.fixed_loss_w
+        if budget <= 0:
+            return 0.0
+        # budget = v_bus * i + v_drop * i + r_eff * i^2
+        a = r_eff
+        b = self.v_bus + v_drop
+        if a == 0:
+            current = budget / b
+        else:
+            current = (-b + math.sqrt(b * b + 4.0 * a * budget)) / (2.0 * a)
+        return current * self.v_bus
+
+    def efficiency(self, p_out: float, reverse: bool = False) -> float:
+        """Output power over input power at the given operating point."""
+        if p_out <= 0:
+            return 0.0
+        return p_out / self.input_power_for_output(p_out, reverse=reverse)

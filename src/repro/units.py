@@ -1,0 +1,101 @@
+"""Physical units and conversion helpers used across the SDB reproduction.
+
+All internal computation is done in SI units:
+
+* charge        -> coulombs (C)
+* energy        -> joules (J)
+* power         -> watts (W)
+* potential     -> volts (V)
+* current       -> amps (A)
+* resistance    -> ohms
+* capacitance   -> farads (F)
+* time          -> seconds (s)
+
+Battery datasheets quote capacity in mAh and energy in Wh, and the paper's
+figures use C-rates, minutes and hours; the helpers below translate between
+those conventions and SI at the API boundary so that no module ever has to
+guess what unit a number is in.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+JOULES_PER_WH = 3600.0
+COULOMBS_PER_AH = 3600.0
+COULOMBS_PER_MAH = 3.6
+
+
+def mah_to_coulombs(mah: float) -> float:
+    """Convert a capacity in milliamp-hours to coulombs."""
+    return mah * COULOMBS_PER_MAH
+
+
+def coulombs_to_mah(coulombs: float) -> float:
+    """Convert a charge in coulombs to milliamp-hours."""
+    return coulombs / COULOMBS_PER_MAH
+
+
+def ah_to_coulombs(ah: float) -> float:
+    """Convert a capacity in amp-hours to coulombs."""
+    return ah * COULOMBS_PER_AH
+
+
+def coulombs_to_ah(coulombs: float) -> float:
+    """Convert a charge in coulombs to amp-hours."""
+    return coulombs / COULOMBS_PER_AH
+
+
+def wh_to_joules(wh: float) -> float:
+    """Convert energy in watt-hours to joules."""
+    return wh * JOULES_PER_WH
+
+
+def joules_to_wh(joules: float) -> float:
+    """Convert energy in joules to watt-hours."""
+    return joules / JOULES_PER_WH
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert a duration in hours to seconds."""
+    return hours * SECONDS_PER_HOUR
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def minutes_to_seconds(minutes: float) -> float:
+    """Convert a duration in minutes to seconds."""
+    return minutes * SECONDS_PER_MINUTE
+
+
+def seconds_to_minutes(seconds: float) -> float:
+    """Convert a duration in seconds to minutes."""
+    return seconds / SECONDS_PER_MINUTE
+
+
+def c_rate_to_amps(c_rate: float, capacity_coulombs: float) -> float:
+    """Convert a C-rate to a current for a cell of the given capacity.
+
+    A rate of 1C empties (or fills) the cell's nominal capacity in exactly
+    one hour, so ``amps = C-rate * capacity_Ah``.
+    """
+    return c_rate * capacity_coulombs / COULOMBS_PER_AH
+
+
+def amps_to_c_rate(amps: float, capacity_coulombs: float) -> float:
+    """Express a current as a C-rate for a cell of the given capacity."""
+    if capacity_coulombs <= 0.0:
+        raise ValueError("capacity must be positive to define a C-rate")
+    return amps * COULOMBS_PER_AH / capacity_coulombs
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError(f"empty clamp interval: [{low}, {high}]")
+    return max(low, min(high, value))

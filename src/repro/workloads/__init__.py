@@ -1,0 +1,37 @@
+"""Device power-draw workloads.
+
+The paper instruments a tablet, a phone and a watch with 100 Hz power
+meters and feeds measured draw into the SDB emulator (Section 4.3). We
+have no instrumented devices, so this package generates synthetic traces
+with the same structure the paper's scenarios rely on: a low baseline with
+high-power episodes (the smart-watch day of Figure 13), steady office
+mixes (the 2-in-1 workloads of Figure 14), and app profiles for the turbo
+study of Figure 12.
+"""
+
+from repro.workloads.generators import (
+    constant_trace,
+    episodes_trace,
+    random_app_trace,
+    smartwatch_day_trace,
+    two_in_one_workload_trace,
+)
+from repro.workloads.profiles import (
+    TWO_IN_ONE_WORKLOADS,
+    WearableDay,
+    wearable_day,
+)
+from repro.workloads.traces import PowerTrace, Segment
+
+__all__ = [
+    "constant_trace",
+    "episodes_trace",
+    "random_app_trace",
+    "smartwatch_day_trace",
+    "two_in_one_workload_trace",
+    "TWO_IN_ONE_WORKLOADS",
+    "WearableDay",
+    "wearable_day",
+    "PowerTrace",
+    "Segment",
+]

@@ -1,0 +1,198 @@
+"""Drone mission workloads (Section 8's "additional devices": drones).
+
+A multirotor's power draw is dominated by induced rotor power, which
+scales with weight^1.5; hover is expensive, climbs and gust-fighting
+sprints are brutal, and the mission profile is known ahead of time
+(waypoints are planned). That makes drones an even sharper fit for
+workload-aware SDB than phones:
+
+* a high-energy pack carries the cruise/hover baseline;
+* a high-power booster pack covers climbs and gust margins;
+* the mission planner is the oracle — it knows exactly which legs need
+  the booster.
+
+The models here are e-hobby scale (a ~1.5 kg quadcopter) so the currents
+stay in the same regime as the cell models.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cell.thevenin import TheveninCell
+from repro.chemistry.library import BatteryDescriptor, make_cell_params
+from repro.chemistry.types import ChemistryType
+from repro.hardware.discharge import DischargeCircuitSpec
+from repro.hardware.microcontroller import SDBMicrocontroller
+from repro.workloads.traces import PowerTrace, Segment
+
+#: Gravitational acceleration, m/s^2.
+G = 9.81
+#: Air density, kg/m^3.
+AIR_DENSITY = 1.2
+
+
+class FlightPhase(enum.Enum):
+    """Mission leg types with distinct power regimes."""
+
+    HOVER = "hover"
+    CRUISE = "cruise"
+    CLIMB = "climb"
+    SPRINT = "sprint"
+    DESCEND = "descend"
+
+
+@dataclass(frozen=True)
+class DroneParams:
+    """Multirotor power model (momentum-theory induced power).
+
+    Attributes:
+        mass_kg: all-up weight.
+        rotor_area_m2: total disk area of all rotors.
+        figure_of_merit: rotor efficiency (0.6-0.75 for hobby props).
+        drive_efficiency: ESC + motor electrical efficiency.
+        avionics_w: flight controller, radio, camera.
+        cruise_power_factor: cruise draw relative to hover (translational
+            lift makes forward flight cheaper, ~0.85).
+        climb_power_factor: climb draw relative to hover (~1.5).
+        sprint_power_factor: full-tilt dash relative to hover (~1.55).
+        descend_power_factor: descent draw relative to hover (~0.6).
+    """
+
+    mass_kg: float = 1.5
+    rotor_area_m2: float = 0.12
+    figure_of_merit: float = 0.65
+    drive_efficiency: float = 0.80
+    avionics_w: float = 8.0
+    cruise_power_factor: float = 0.85
+    climb_power_factor: float = 1.5
+    sprint_power_factor: float = 1.55
+    descend_power_factor: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.figure_of_merit <= 1.0:
+            raise ValueError("figure of merit must be in (0, 1]")
+        if not 0.0 < self.drive_efficiency <= 1.0:
+            raise ValueError("drive efficiency must be in (0, 1]")
+
+    def hover_power_w(self) -> float:
+        """Electrical power to hover: momentum theory + drive losses.
+
+        ``P_ideal = W^1.5 / sqrt(2 rho A)``, divided by the figure of
+        merit and the drive efficiency, plus avionics.
+        """
+        weight_n = self.mass_kg * G
+        p_ideal = weight_n**1.5 / math.sqrt(2.0 * AIR_DENSITY * self.rotor_area_m2)
+        return p_ideal / (self.figure_of_merit * self.drive_efficiency) + self.avionics_w
+
+    def phase_power_w(self, phase: FlightPhase) -> float:
+        """Electrical draw for one flight phase."""
+        factors = {
+            FlightPhase.HOVER: 1.0,
+            FlightPhase.CRUISE: self.cruise_power_factor,
+            FlightPhase.CLIMB: self.climb_power_factor,
+            FlightPhase.SPRINT: self.sprint_power_factor,
+            FlightPhase.DESCEND: self.descend_power_factor,
+        }
+        hover = self.hover_power_w()
+        rotor = hover - self.avionics_w
+        return rotor * factors[phase] + self.avionics_w
+
+
+@dataclass(frozen=True)
+class MissionLeg:
+    """One planned leg of a mission."""
+
+    name: str
+    phase: FlightPhase
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("leg duration must be positive")
+
+
+def mission_power_trace(mission: Sequence[MissionLeg], drone: DroneParams = DroneParams()) -> PowerTrace:
+    """Power trace for a planned mission."""
+    if not mission:
+        raise ValueError("mission needs at least one leg")
+    segments: List[Segment] = []
+    t = 0.0
+    for leg in mission:
+        power = drone.phase_power_w(leg.phase)
+        segments.append(Segment(t, leg.duration_s, power))
+        t += leg.duration_s
+    return PowerTrace(segments)
+
+
+def survey_mission() -> Tuple[MissionLeg, ...]:
+    """A mapping sortie: climb out, survey in cruise/hover, sprint home.
+
+    The sprint home (wind picked up) is the booster-pack moment: the
+    mission planner knows it is coming; a plan-blind policy does not.
+    """
+    return (
+        MissionLeg("takeoff climb", FlightPhase.CLIMB, 45.0),
+        MissionLeg("transit out", FlightPhase.CRUISE, 240.0),
+        MissionLeg("survey line 1", FlightPhase.CRUISE, 180.0),
+        MissionLeg("waypoint hold", FlightPhase.HOVER, 120.0),
+        MissionLeg("survey line 2", FlightPhase.CRUISE, 180.0),
+        MissionLeg("photo hold", FlightPhase.HOVER, 90.0),
+        MissionLeg("sprint home (headwind)", FlightPhase.SPRINT, 150.0),
+        MissionLeg("landing descent", FlightPhase.DESCEND, 60.0),
+    )
+
+
+#: High-energy drone pack (endurance): big Type 2 brick.
+DRONE_HIGH_ENERGY = BatteryDescriptor(
+    battery_id="DR-HE",
+    label="drone endurance pack",
+    chemistry=ChemistryType.TYPE_2_LCO_STANDARD,
+    capacity_mah=20_000.0,
+    r_scale=1.6,
+    dcir_decay=4.0,
+    r_ct_scale=0.15,
+    c_plate_f=4000.0,
+    max_discharge_c=5.0,  # parallel strings
+)
+
+#: High-power booster pack: small LFP for climbs and sprints.
+DRONE_HIGH_POWER = BatteryDescriptor(
+    battery_id="DR-HP",
+    label="drone booster pack",
+    chemistry=ChemistryType.TYPE_1_LFP_POWER,
+    capacity_mah=10_000.0,
+    r_scale=0.9,
+    dcir_decay=5.0,
+    r_ct_scale=0.20,
+    c_plate_f=1500.0,
+)
+
+
+def drone_cells(soc: float = 1.0) -> List[TheveninCell]:
+    """Fresh [endurance, booster] drone packs."""
+    return [
+        TheveninCell(make_cell_params(DRONE_HIGH_ENERGY), soc=soc),
+        TheveninCell(make_cell_params(DRONE_HIGH_POWER), soc=soc),
+    ]
+
+
+#: Drone-scale discharge circuit (vehicle-class power stage).
+DRONE_DISCHARGE_SPEC = DischargeCircuitSpec(
+    controller_overhead_w=0.05,
+    drive_loss_fraction=0.005,
+    switch_resistance=0.0010,
+    v_bus=3.7,
+)
+
+#: Draw above this is "burst power" the booster should be preserved for:
+#: above cruise/hover, below climb/sprint.
+BURST_POWER_THRESHOLD_W = 220.0
+
+
+def drone_controller(soc: float = 1.0) -> SDBMicrocontroller:
+    """An SDB controller over the two drone packs."""
+    return SDBMicrocontroller(drone_cells(soc=soc), discharge_spec=DRONE_DISCHARGE_SPEC)

@@ -1,0 +1,89 @@
+"""Trace persistence: save and load power traces as CSV.
+
+The paper's emulator consumes measured device power traces; anyone
+reproducing on real hardware will have CSV dumps from a power meter.
+This module round-trips :class:`~repro.workloads.traces.PowerTrace`
+through a two-column CSV (``start_s,power_w``; each row's segment runs
+until the next row's start; a final ``end_s`` footer row with an empty
+power closes the last segment).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import List, Union
+
+from repro.workloads.traces import PowerTrace, Segment
+
+#: CSV header written and required on load.
+HEADER = ("start_s", "power_w")
+
+
+def trace_to_csv(trace: PowerTrace) -> str:
+    """Serialize a trace to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(HEADER)
+    for segment in trace.segments:
+        writer.writerow([f"{segment.start_s:.6f}", f"{segment.power_w:.9f}"])
+    writer.writerow([f"{trace.end_s:.6f}", ""])
+    return buffer.getvalue()
+
+
+def trace_from_csv(text: str) -> PowerTrace:
+    """Parse a trace from CSV text produced by :func:`trace_to_csv`.
+
+    Also accepts power-meter style dumps without the footer row, in which
+    case the last sample's segment is given the median segment length.
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row and any(cell.strip() for cell in row)]
+    if not rows:
+        raise ValueError("empty trace CSV")
+    header = tuple(cell.strip() for cell in rows[0])
+    if header != HEADER:
+        raise ValueError(f"expected header {HEADER}, got {header}")
+    starts: List[float] = []
+    powers: List[Union[float, None]] = []
+    for row in rows[1:]:
+        if len(row) < 1:
+            continue
+        start = float(row[0])
+        power = float(row[1]) if len(row) > 1 and row[1].strip() != "" else None
+        starts.append(start)
+        powers.append(power)
+    if not starts:
+        raise ValueError("trace CSV has no samples")
+
+    has_footer = powers[-1] is None
+    segments: List[Segment] = []
+    if has_footer:
+        boundary_starts = starts
+        boundary_powers = powers[:-1]
+        if len(boundary_starts) < 2:
+            raise ValueError("trace CSV needs at least one segment before the footer")
+        for i, power in enumerate(boundary_powers):
+            if power is None:
+                raise ValueError("only the footer row may omit power")
+            segments.append(Segment(boundary_starts[i], boundary_starts[i + 1] - boundary_starts[i], power))
+    else:
+        if len(starts) == 1:
+            raise ValueError("cannot infer duration from a single footerless sample")
+        gaps = sorted(b - a for a, b in zip(starts, starts[1:]))
+        median_gap = gaps[len(gaps) // 2]
+        for i, power in enumerate(powers):
+            end = starts[i + 1] if i + 1 < len(starts) else starts[i] + median_gap
+            segments.append(Segment(starts[i], end - starts[i], power))
+    return PowerTrace(segments)
+
+
+def save_trace(trace: PowerTrace, path: Union[str, pathlib.Path]) -> None:
+    """Write a trace to a CSV file."""
+    pathlib.Path(path).write_text(trace_to_csv(trace))
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> PowerTrace:
+    """Read a trace from a CSV file."""
+    return trace_from_csv(pathlib.Path(path).read_text())

@@ -1,0 +1,93 @@
+"""Tests for repro.hardware.naive and repro.experiments.ablations."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    charge_profile_sweep,
+    directive_sweep,
+    oracle_comparison,
+    regulator_count_table,
+    switching_loss_sweep,
+)
+from repro.hardware.discharge import DischargeCircuitSpec, SDBDischargeCircuit
+from repro.hardware.naive import (
+    naive_charging_fabric,
+    naive_discharge_circuit,
+    naive_discharge_spec,
+    sdb_charging_fabric,
+)
+
+
+class TestNaiveDischarge:
+    def test_naive_spec_adds_fet_resistance(self):
+        base = DischargeCircuitSpec()
+        naive = naive_discharge_spec(base, fet_resistance=0.04)
+        assert naive.switch_resistance == pytest.approx(base.switch_resistance + 0.04)
+
+    def test_naive_circuit_lossier_at_high_power(self):
+        integrated = SDBDischargeCircuit(2)
+        naive = naive_discharge_circuit(2)
+        assert naive.loss_pct(10.0) > integrated.loss_pct(10.0)
+
+    def test_naive_circuit_similar_at_light_load(self):
+        """The FET penalty is an I^2 R term: negligible at light loads."""
+        integrated = SDBDischargeCircuit(2)
+        naive = naive_discharge_circuit(2)
+        assert naive.loss_pct(0.1) == pytest.approx(integrated.loss_pct(0.1), rel=0.05)
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ValueError):
+            naive_discharge_spec(fet_resistance=-0.01)
+
+
+class TestChargingFabrics:
+    def test_naive_is_quadratic(self):
+        for n in (1, 2, 3, 5):
+            fabric = naive_charging_fabric(n)
+            assert fabric.regulator_count == n + n * (n - 1)
+
+    def test_sdb_is_linear(self):
+        for n in (1, 2, 3, 5):
+            assert sdb_charging_fabric(n).regulator_count == n
+
+    def test_sdb_beats_naive_beyond_one_battery(self):
+        for n in (2, 3, 4):
+            assert sdb_charging_fabric(n).regulator_count < naive_charging_fabric(n).regulator_count
+
+    def test_rejects_zero_batteries(self):
+        with pytest.raises(ValueError):
+            naive_charging_fabric(0)
+        with pytest.raises(ValueError):
+            sdb_charging_fabric(0)
+
+
+class TestAblations:
+    def test_directive_sweep_covers_grid(self):
+        table, life, ccb = directive_sweep(dt_s=60.0)
+        assert len(table.rows) == 5
+        assert set(life) == {0.0, 0.25, 0.5, 0.75, 1.0}
+        assert all(v > 5.0 for v in life.values())
+
+    def test_switching_loss_monotone(self):
+        """More switch resistance never helps: circuit losses rise."""
+        table, life = switching_loss_sweep(dt_s=60.0)
+        losses = table.column("Circuit loss (J)")
+        assert all(b > a for a, b in zip(losses, losses[1:]))
+
+    def test_charge_profile_earlier_taper_lives_longer(self):
+        table, retention = charge_profile_sweep(n_cycles=500)
+        tapers = sorted(retention)
+        values = [retention[t] for t in tapers]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_oracle_gets_best_of_both(self):
+        table, lives = oracle_comparison(dt_s=60.0)
+        # With the run: oracle at least matches the preserve policy.
+        assert lives[("oracle", True)] >= lives[("preserve", True)] - 0.2
+        assert lives[("oracle", True)] > lives[("rbl", True)]
+
+    def test_regulator_table_shape(self):
+        table = regulator_count_table(max_batteries=4)
+        assert len(table.rows) == 4
+        assert table.rows[-1][1] == 16
+        assert table.rows[-1][2] == 4

@@ -1,0 +1,177 @@
+"""Tests for repro.chemistry.aging."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chemistry.aging import (
+    CYCLE_COUNT_THRESHOLD,
+    AgingModel,
+    AgingParams,
+    AgingState,
+)
+
+PARAMS = AgingParams(tolerable_cycles=1000, fade_base=2e-6, fade_rate_coeff=2e-4, resistance_growth=1.5)
+CAP = 3600.0  # 1 Ah in coulombs
+
+
+def make_model() -> AgingModel:
+    return AgingModel(PARAMS, CAP)
+
+
+class TestFadeModel:
+    def test_fade_per_cycle_grows_quadratically_with_rate(self):
+        slow = PARAMS.fade_per_cycle(0.5)
+        fast = PARAMS.fade_per_cycle(1.0)
+        # Subtract the base: the rate term should scale exactly 4x.
+        assert (fast - PARAMS.fade_base) == pytest.approx(4 * (slow - PARAMS.fade_base))
+
+    def test_fade_per_cycle_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            PARAMS.fade_per_cycle(-0.1)
+
+    def test_charging_accrues_fade(self):
+        model = make_model()
+        model.record_charge(CAP, c_rate=1.0)
+        assert model.state.fade == pytest.approx(PARAMS.fade_per_cycle(1.0))
+
+    def test_discharge_fade_is_half_weighted(self):
+        charging = make_model()
+        charging.record_charge(CAP, c_rate=1.0)
+        discharging = make_model()
+        discharging.record_discharge(CAP, c_rate=1.0)
+        assert discharging.state.fade == pytest.approx(0.5 * charging.state.fade)
+
+    def test_fade_proportional_to_throughput(self):
+        model = make_model()
+        model.record_charge(CAP / 4, c_rate=1.0)
+        quarter = model.state.fade
+        model.record_charge(3 * CAP / 4, c_rate=1.0)
+        assert model.state.fade == pytest.approx(4 * quarter)
+
+    def test_capacity_factor_reflects_fade(self):
+        model = make_model()
+        model.state.fade = 0.2
+        assert model.capacity_factor == pytest.approx(0.8)
+        assert model.current_capacity_c == pytest.approx(0.8 * CAP)
+
+    def test_resistance_factor_grows_with_fade(self):
+        model = make_model()
+        assert model.resistance_factor == pytest.approx(1.0)
+        model.state.fade = 0.1
+        assert model.resistance_factor == pytest.approx(1.0 + 1.5 * 0.1)
+
+    def test_fade_saturates_at_one(self):
+        model = AgingModel(
+            AgingParams(tolerable_cycles=10, fade_base=0.5, fade_rate_coeff=0.0, resistance_growth=1.0),
+            CAP,
+        )
+        for _ in range(5):
+            model.record_charge(CAP, c_rate=0.1)
+        assert model.state.fade == 1.0
+        assert model.capacity_factor == 0.0
+
+
+class TestCycleCounting:
+    def test_paper_example_sequence(self):
+        """Section 5.1's worked example: 50% charge then 30% -> one cycle."""
+        model = make_model()
+        model.record_charge(0.50 * CAP, c_rate=0.1)
+        assert model.state.cycle_count == 0
+        model.record_charge(0.30 * CAP, c_rate=0.1)
+        assert model.state.cycle_count == 1
+        # The counter keeps the overflow beyond the 80% threshold.
+        assert model.state.cumulative_charge_c < CYCLE_COUNT_THRESHOLD * model.current_capacity_c
+
+    def test_exactly_threshold_counts_cycle(self):
+        model = make_model()
+        model.record_charge(CYCLE_COUNT_THRESHOLD * CAP, c_rate=0.01)
+        # Capacity faded a hair during the charge, so the threshold shrank
+        # below what we pushed in: one cycle must be counted.
+        assert model.state.cycle_count == 1
+
+    def test_one_big_charge_counts_multiple_cycles(self):
+        model = make_model()
+        model.record_charge(3 * CAP, c_rate=0.1)
+        assert model.state.cycle_count == 3
+
+    def test_discharge_does_not_touch_cycle_counter(self):
+        model = make_model()
+        model.record_discharge(CAP, c_rate=0.5)
+        assert model.state.cycle_count == 0
+        assert model.state.cumulative_charge_c == 0.0
+
+    def test_wear_ratio_uses_counted_cycles(self):
+        model = make_model()
+        model.record_charge(0.8 * CAP, c_rate=0.01)
+        assert model.wear_ratio == pytest.approx(model.state.cycle_count / 1000)
+
+    def test_throughput_wear_is_smooth(self):
+        model = make_model()
+        model.record_discharge(CAP / 2, c_rate=0.1)
+        assert model.throughput_wear == pytest.approx((CAP / 2) / (2 * CAP) / 1000)
+
+    def test_rejects_negative_amounts(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.record_charge(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            model.record_discharge(-1.0, 0.1)
+
+    def test_zero_amount_is_noop(self):
+        model = make_model()
+        model.record_charge(0.0, 5.0)
+        model.record_discharge(0.0, 5.0)
+        assert model.state.fade == 0.0
+        assert model.state.throughput_c == 0.0
+
+
+class TestSimulateCycles:
+    def test_capacity_monotonically_decreases(self):
+        model = make_model()
+        caps = [model.capacity_factor]
+        for _ in range(5):
+            model.simulate_cycles(50, 0.5, 0.5)
+            caps.append(model.capacity_factor)
+        assert all(b < a for a, b in zip(caps, caps[1:]))
+
+    def test_faster_charging_ages_more(self):
+        slow = make_model()
+        fast = make_model()
+        slow.simulate_cycles(200, 0.3, 0.3)
+        fast.simulate_cycles(200, 1.0, 1.0)
+        assert fast.capacity_factor < slow.capacity_factor
+
+    def test_counts_roughly_one_cycle_per_simulated_cycle(self):
+        model = make_model()
+        model.simulate_cycles(100, 0.5, 0.5)
+        # Each simulated cycle charges one full current capacity, i.e.
+        # 1/0.8 = 1.25 counted cycles.
+        assert model.state.cycle_count == pytest.approx(125, abs=2)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            make_model().simulate_cycles(-1, 0.5, 0.5)
+
+    @given(st.integers(min_value=0, max_value=300))
+    def test_fade_never_exceeds_one(self, n):
+        model = AgingModel(
+            AgingParams(tolerable_cycles=100, fade_base=1e-3, fade_rate_coeff=1e-2, resistance_growth=1.0),
+            CAP,
+        )
+        factor = model.simulate_cycles(n, 2.0, 2.0)
+        assert 0.0 <= factor <= 1.0
+
+
+class TestAgingState:
+    def test_copy_is_independent(self):
+        state = AgingState(cycle_count=5, fade=0.1)
+        clone = state.copy()
+        clone.cycle_count = 99
+        clone.fade = 0.9
+        assert state.cycle_count == 5
+        assert state.fade == 0.1
+
+    def test_model_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AgingModel(PARAMS, 0.0)

@@ -1,0 +1,94 @@
+"""Tests for repro.experiments.ascii_plot."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.ascii_plot import bar_chart, line_plot, plot_table
+from repro.experiments.reporting import Table
+
+
+class TestLinePlot:
+    def test_renders_series_and_legend(self):
+        text = line_plot([0, 1, 2], [[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]], ["up", "down"], title="t")
+        assert "t" in text
+        assert "* up" in text and "o down" in text
+        assert "*" in text and "o" in text
+
+    def test_skips_none_points(self):
+        text = line_plot([0, 1, 2], [[1.0, None, 3.0]], ["s"])
+        assert text.count("*") >= 2  # legend glyph + at least one point
+
+    def test_constant_series_does_not_crash(self):
+        line_plot([0, 1], [[5.0, 5.0]], ["flat"])
+
+    def test_log_scale_labels_decoded(self):
+        text = line_plot([0, 1], [[0.01, 10.0]], ["r"], log_y=True)
+        assert "10" in text
+        assert "0.01" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([0], [[1.0]], ["a", "b"])
+        with pytest.raises(ValueError):
+            line_plot([0], [[None]], ["a"])
+        with pytest.raises(ValueError):
+            line_plot([0], [[1.0]], ["a"], width=4)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["small", "large"], [1.0, 10.0], width=20)
+        small_line = next(line for line in text.splitlines() if "small" in line)
+        large_line = next(line for line in text.splitlines() if "large" in line)
+        assert large_line.count("#") > small_line.count("#")
+
+    def test_non_numeric_shown_as_dash(self):
+        text = bar_chart(["a", "b"], [1.0, None])
+        assert "| -" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [None])
+
+    def test_all_zero_values(self):
+        text = bar_chart(["a"], [0.0])
+        assert "#" in text
+
+
+class TestPlotTable:
+    def test_numeric_first_column_becomes_line_plot(self):
+        table = Table(title="curve", headers=("x", "y"))
+        table.add_row(0.0, 1.0)
+        table.add_row(1.0, 4.0)
+        text = plot_table(table)
+        assert "curve" in text
+        assert "* y" in text
+
+    def test_categorical_first_column_becomes_bar_chart(self):
+        table = Table(title="bars", headers=("name", "value"))
+        table.add_row("alpha", 2.0)
+        table.add_row("beta", 6.0)
+        text = plot_table(table)
+        assert "alpha" in text and "#" in text
+
+    def test_unplottable_table_raises(self):
+        table = Table(title="words", headers=("a", "b"))
+        table.add_row("x", "y")
+        with pytest.raises(ValueError):
+            plot_table(table)
+
+    def test_empty_table_raises(self):
+        with pytest.raises(ValueError):
+            plot_table(Table(title="none", headers=("a",)))
+
+
+class TestCliPlotFlag:
+    def test_run_with_plot_appends_chart(self, capsys):
+        assert main(["run", "fig06", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6(a)" in out
+        assert "|" in out and "+--" in out

@@ -1,0 +1,82 @@
+"""Tests for repro.chemistry.characterization (the cycler workflow)."""
+
+import pytest
+
+from repro.cell.reference import ReferenceCell, ReferenceCellParams
+from repro.cell.thevenin import TheveninCell
+from repro.chemistry.characterization import (
+    characterize,
+    measure_ocv_curve,
+    model_accuracy_pct,
+    pulse_test,
+)
+from repro.chemistry.library import battery_by_id, make_cell_params
+
+
+@pytest.fixture(scope="module")
+def true_params():
+    return make_cell_params(battery_by_id("B05"))
+
+
+@pytest.fixture(scope="module")
+def physical(true_params):
+    return ReferenceCell(ReferenceCellParams(base=true_params))
+
+
+@pytest.fixture(scope="module")
+def fitted(physical, true_params):
+    return characterize(physical, capacity_c=true_params.capacity_c, name="fitted B05")
+
+
+class TestOcvProtocol:
+    def test_curve_monotone_and_in_range(self, physical, true_params):
+        curve = measure_ocv_curve(physical, true_params.capacity_c)
+        values = [curve(s / 20.0) for s in range(21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert 2.5 < min(values) < max(values) < 4.6
+
+    def test_curve_close_to_true_ocp_midrange(self, physical, true_params):
+        curve = measure_ocv_curve(physical, true_params.capacity_c)
+        for soc in (0.3, 0.5, 0.7):
+            # Crawl discharge + ripple keep the error within tens of mV.
+            assert curve(soc) == pytest.approx(true_params.ocp(soc), abs=0.12)
+
+
+class TestPulseProtocol:
+    def test_pulse_resistances_ordered(self, physical, true_params):
+        pulse = pulse_test(physical, true_params.capacity_c, soc=0.5)
+        assert 0 < pulse.series_resistance_ohm < pulse.total_resistance_ohm
+        assert pulse.concentration_resistance_ohm > 0
+        assert pulse.relaxation_tau_s >= 1.0
+
+    def test_resistance_higher_at_low_soc(self, physical, true_params):
+        low = pulse_test(physical, true_params.capacity_c, soc=0.15)
+        high = pulse_test(physical, true_params.capacity_c, soc=0.85)
+        assert low.series_resistance_ohm > high.series_resistance_ohm
+
+
+class TestCharacterize:
+    def test_fitted_params_valid(self, fitted, true_params):
+        assert fitted.capacity_c == true_params.capacity_c
+        assert fitted.r_ct > 0
+        assert fitted.c_plate >= 1.0
+        # DCIR curve decreases with SoC.
+        assert fitted.dcir(0.1) > fitted.dcir(0.9)
+
+    def test_fitted_model_is_usable_cell(self, fitted):
+        cell = TheveninCell(fitted)
+        result = cell.step_discharge_power(2.0, 10.0)
+        assert result.delivered_w == pytest.approx(2.0, rel=1e-9)
+
+    def test_fitted_beats_datasheet_on_this_cell(self, physical, fitted, true_params):
+        """The point of characterizing: the fitted model explains the
+        actual cell better than the chemistry's datasheet parameters
+        (which miss this specimen's resistance bias and overpotential)."""
+        acc_fitted = model_accuracy_pct(physical, fitted)
+        acc_datasheet = model_accuracy_pct(physical, true_params)
+        assert acc_fitted > acc_datasheet
+        assert acc_fitted > 99.0
+
+    def test_validation_matches_paper_band_for_datasheet(self, physical, true_params):
+        accuracy = model_accuracy_pct(physical, true_params)
+        assert 96.0 < accuracy < 99.5  # the Figure 10 regime

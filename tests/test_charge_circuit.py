@@ -1,0 +1,181 @@
+"""Tests for repro.hardware.charge (Figures 6c, 6d)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell import new_cell
+from repro.hardware.charge import (
+    FAST_PROFILE,
+    GENTLE_PROFILE,
+    STANDARD_PROFILE,
+    ChargeProfile,
+    ChargerSpec,
+    SDBChargeCircuit,
+)
+
+
+class TestChargeProfile:
+    def test_cc_phase_constant(self):
+        profile = ChargeProfile(name="p", cc_c_rate=1.0, taper_start_soc=0.8)
+        assert profile.c_rate_at(0.1) == 1.0
+        assert profile.c_rate_at(0.8) == 1.0
+
+    def test_taper_declines_linearly(self):
+        profile = ChargeProfile(name="p", cc_c_rate=1.0, taper_start_soc=0.8, taper_c_rate=0.1, terminate_soc=1.0)
+        midpoint = profile.c_rate_at(0.9)
+        assert midpoint == pytest.approx(0.55)
+
+    def test_terminates(self):
+        assert STANDARD_PROFILE.c_rate_at(1.0) == 0.0
+
+    def test_current_for_respects_cell_limit(self):
+        cell = new_cell("B06", soc=0.2)  # Type 2: max charge 1C
+        current = FAST_PROFILE.current_for(cell)
+        assert current == pytest.approx(cell.params.max_charge_current)
+
+    def test_current_for_uses_profile_when_below_limit(self):
+        cell = new_cell("B14", soc=0.2)  # fast cell: max charge 4C
+        current = GENTLE_PROFILE.current_for(cell)
+        assert current == pytest.approx(0.3 * cell.params.capacity_c / 3600.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ChargeProfile(name="p", cc_c_rate=0.0)
+        with pytest.raises(ValueError):
+            ChargeProfile(name="p", cc_c_rate=1.0, taper_start_soc=0.99, terminate_soc=0.9)
+        with pytest.raises(ValueError):
+            ChargeProfile(name="p", cc_c_rate=1.0, taper_c_rate=2.0)
+
+
+class TestChargerSpec:
+    def test_figure_6d_error_below_half_percent(self):
+        spec = ChargerSpec()
+        for amps in (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0):
+            assert spec.current_error_pct(amps) <= 0.55
+
+    def test_error_worst_at_low_currents(self):
+        spec = ChargerSpec()
+        assert spec.current_error_pct(0.2) > spec.current_error_pct(2.0)
+
+    def test_figure_6c_efficiency_sags_to_94_percent(self):
+        spec = ChargerSpec()
+        assert spec.relative_efficiency(0.8) == pytest.approx(1.0)
+        assert spec.relative_efficiency(2.2) == pytest.approx(0.94, abs=0.01)
+
+    def test_relative_efficiency_monotone_above_knee(self):
+        spec = ChargerSpec()
+        vals = [spec.relative_efficiency(i) for i in (1.0, 1.4, 1.8, 2.2)]
+        assert all(b < a for a, b in zip(vals, vals[1:]))
+
+    def test_light_load_penalty(self):
+        spec = ChargerSpec()
+        assert spec.relative_efficiency(0.01) < spec.relative_efficiency(0.15)
+
+    def test_absolute_efficiency_scales_typical(self):
+        spec = ChargerSpec(typical_efficiency=0.9)
+        assert spec.efficiency(0.5) == pytest.approx(0.9 * spec.relative_efficiency(0.5))
+
+    def test_realized_current_zero_for_zero(self):
+        assert ChargerSpec().realized_current(0.0) == 0.0
+
+    def test_realized_current_minimum_one_dac_step(self):
+        spec = ChargerSpec(dac_step_a=0.01, dac_offset_a=0.0)
+        assert spec.realized_current(0.001) == pytest.approx(0.01)
+
+    def test_rejects_invalid_spec(self):
+        with pytest.raises(ValueError):
+            ChargerSpec(typical_efficiency=0.0)
+        with pytest.raises(ValueError):
+            ChargerSpec(dac_step_a=0.0)
+
+    def test_rejects_negative_current(self):
+        spec = ChargerSpec()
+        with pytest.raises(ValueError):
+            spec.realized_current(-1.0)
+        with pytest.raises(ValueError):
+            spec.relative_efficiency(-1.0)
+
+    @given(st.floats(min_value=0.05, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_realized_current_close_to_commanded(self, amps):
+        spec = ChargerSpec()
+        assert abs(spec.realized_current(amps) - amps) < 0.01
+
+
+class TestChargeCell:
+    def test_charging_raises_soc(self):
+        circuit = SDBChargeCircuit(1)
+        cell = new_cell("B06", soc=0.5)
+        result = circuit.charge_cell(cell, 1.0, 10.0)
+        assert cell.soc > 0.5
+        assert result.terminal_power_w > 0
+        assert result.input_power_w > result.terminal_power_w
+
+    def test_full_cell_is_noop(self):
+        circuit = SDBChargeCircuit(1)
+        cell = new_cell("B06", soc=1.0)
+        result = circuit.charge_cell(cell, 1.0, 10.0)
+        assert result.input_power_w == 0.0
+        assert cell.soc == 1.0
+
+    def test_does_not_overfill(self):
+        circuit = SDBChargeCircuit(1)
+        cell = new_cell("B06", soc=0.998)
+        circuit.charge_cell(cell, 2.0, 3600.0)
+        assert cell.soc <= 1.0
+
+    def test_loss_accounting_consistent(self):
+        circuit = SDBChargeCircuit(1)
+        cell = new_cell("B06", soc=0.3)
+        result = circuit.charge_cell(cell, 1.5, 5.0)
+        assert result.loss_w == pytest.approx(result.input_power_w - result.terminal_power_w)
+        assert result.loss_w > 0
+
+
+class TestTransfer:
+    def test_transfer_moves_energy(self):
+        circuit = SDBChargeCircuit(2)
+        src = new_cell("B06", soc=0.9)
+        dst = new_cell("B06", soc=0.2)
+        result = circuit.transfer_power(src, dst, 2.0, 10.0)
+        assert src.soc < 0.9
+        assert dst.soc > 0.2
+        assert result.terminal_power_w > 0
+
+    def test_transfer_is_lossy_but_not_absurd(self):
+        circuit = SDBChargeCircuit(2)
+        src = new_cell("B09", soc=0.9)
+        dst = new_cell("B09", soc=0.2)
+        result = circuit.transfer_power(src, dst, 3.0, 10.0)
+        efficiency = result.terminal_power_w / result.input_power_w
+        assert 0.80 < efficiency < 0.99
+
+    def test_transfer_throttles_to_dest_capability(self):
+        """A weak destination limits the source draw, not the efficiency."""
+        circuit = SDBChargeCircuit(2)
+        src = new_cell("B09", soc=0.9)
+        dst = new_cell("B01", soc=0.2)  # 200 mAh bendable: tiny charge limit
+        result = circuit.transfer_power(src, dst, 10.0, 10.0)
+        assert result.input_power_w < 2.0
+        assert result.terminal_power_w <= dst.max_charge_power() * 1.01 + 1e-9
+
+    def test_transfer_noop_when_dest_full(self):
+        circuit = SDBChargeCircuit(2)
+        src = new_cell("B06", soc=0.9)
+        dst = new_cell("B06", soc=1.0)
+        result = circuit.transfer_power(src, dst, 2.0, 10.0)
+        assert result.input_power_w == 0.0
+        assert src.soc == 0.9
+
+    def test_transfer_noop_when_source_empty(self):
+        circuit = SDBChargeCircuit(2)
+        src = new_cell("B06", soc=0.0)
+        dst = new_cell("B06", soc=0.2)
+        result = circuit.transfer_power(src, dst, 2.0, 10.0)
+        assert result.terminal_power_w == 0.0
+
+    def test_transfer_rejects_negative_power(self):
+        circuit = SDBChargeCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.transfer_power(new_cell("B06"), new_cell("B06", soc=0.5), -1.0, 1.0)

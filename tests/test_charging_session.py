@@ -1,0 +1,119 @@
+"""Tests for repro.core.charging (adaptive hold-then-top-off sessions)."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core.charging import AdaptiveChargingSession, ChargePhase, estimate_time_to_full_s
+from repro.hardware import SDBMicrocontroller
+from repro.hardware.charge import FAST_PROFILE, STANDARD_PROFILE
+
+
+def make_controller(soc=0.2):
+    return SDBMicrocontroller([new_cell("B09", soc=soc), new_cell("B14", soc=soc)])
+
+
+def run_session(session, supply_w=45.0, dt=60.0, hours=10.0, start_t=0.0):
+    """Drive a session; returns (times, phases, pack socs)."""
+    times, phases, socs = [], [], []
+    t = start_t
+    while t < start_t + hours * 3600.0:
+        session.step(t, supply_w, dt)
+        times.append(t)
+        phases.append(session.phase)
+        socs.append(session._pack_soc())
+        t += dt
+    return times, phases, socs
+
+
+class TestTimeToFull:
+    def test_zero_when_full(self):
+        mc = make_controller(soc=1.0)
+        assert estimate_time_to_full_s(mc) == 0.0
+
+    def test_longer_from_lower_soc(self):
+        low = estimate_time_to_full_s(make_controller(soc=0.1))
+        high = estimate_time_to_full_s(make_controller(soc=0.7))
+        assert low > high
+
+    def test_fast_profiles_shorten_estimate(self):
+        slow = make_controller(soc=0.2)
+        fast = make_controller(soc=0.2)
+        for i in range(fast.n):
+            fast.select_profile(i, FAST_PROFILE)
+        assert estimate_time_to_full_s(fast) < estimate_time_to_full_s(slow)
+
+    def test_explicit_from_soc(self):
+        mc = make_controller(soc=0.9)
+        assert estimate_time_to_full_s(mc, from_soc=0.1) > estimate_time_to_full_s(mc)
+
+
+class TestAdaptiveSession:
+    def test_overnight_session_holds_then_tops_off(self):
+        """Plugged at t=0 for a ready time 8 h out: the session should
+        reach the plateau, hold, then finish full just before ready."""
+        mc = make_controller(soc=0.15)
+        session = AdaptiveChargingSession(mc, ready_at_s=8 * 3600.0, hold_soc=0.80)
+        times, phases, socs = run_session(session, hours=8.2)
+        assert ChargePhase.HOLDING in phases
+        assert ChargePhase.TOPPING_OFF in phases
+        # Full (or effectively full) by the ready time.
+        ready_idx = next(i for i, t in enumerate(times) if t >= 8 * 3600.0)
+        assert socs[ready_idx] > 0.97
+
+    def test_hold_plateau_respected(self):
+        mc = make_controller(soc=0.15)
+        session = AdaptiveChargingSession(mc, ready_at_s=8 * 3600.0, hold_soc=0.80)
+        _, phases, socs = run_session(session, hours=4.0)
+        holding_socs = [s for s, p in zip(socs, phases) if p is ChargePhase.HOLDING]
+        assert holding_socs
+        assert max(holding_socs) < 0.85
+
+    def test_imminent_ready_time_skips_hold(self):
+        """If the ready time is too close, the session tops off at once."""
+        mc = make_controller(soc=0.15)
+        session = AdaptiveChargingSession(mc, ready_at_s=1800.0)
+        session.step(0.0, 45.0, 60.0)
+        assert session.phase is ChargePhase.TOPPING_OFF
+
+    def test_done_when_full(self):
+        mc = make_controller(soc=0.999)
+        session = AdaptiveChargingSession(mc, ready_at_s=3600.0)
+        session.step(0.0, 45.0, 60.0)
+        assert session.phase is ChargePhase.DONE
+
+    def test_gentle_profiles_while_filling(self):
+        mc = make_controller(soc=0.15)
+        AdaptiveChargingSession(mc, ready_at_s=10 * 3600.0)
+        assert all(p.name == "gentle" for p in mc.profiles)
+
+    def test_standard_profiles_after_topoff_starts(self):
+        mc = make_controller(soc=0.15)
+        session = AdaptiveChargingSession(mc, ready_at_s=600.0)
+        session.step(0.0, 45.0, 60.0)
+        assert all(p.name == "standard" for p in mc.profiles)
+
+    def test_holding_costs_less_wear_than_charging_through(self):
+        """The point of the feature: an 8 h plug with a hold accrues less
+        fade than charging to 100% immediately and trickling (here:
+        charging with standard profiles the whole time)."""
+        held = make_controller(soc=0.15)
+        session = AdaptiveChargingSession(held, ready_at_s=8 * 3600.0)
+        run_session(session, hours=8.0)
+
+        eager = make_controller(soc=0.15)
+        t = 0.0
+        while t < 8 * 3600.0:
+            eager.step_charge(45.0, 60.0)
+            t += 60.0
+        held_fade = sum(c.aging.state.fade for c in held.cells)
+        eager_fade = sum(c.aging.state.fade for c in eager.cells)
+        assert held_fade < eager_fade
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveChargingSession(make_controller(), ready_at_s=3600.0, hold_soc=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveChargingSession(make_controller(), ready_at_s=3600.0, margin_s=-1.0)
+        session = AdaptiveChargingSession(make_controller(), ready_at_s=3600.0)
+        with pytest.raises(ValueError):
+            session.step(0.0, -1.0, 60.0)

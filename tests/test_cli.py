@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_DESCRIPTIONS, _experiment_registry, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENT_DESCRIPTIONS:
+            assert name in out
+
+    def test_registry_matches_descriptions(self):
+        assert set(_experiment_registry()) == set(EXPERIMENT_DESCRIPTIONS)
+
+
+class TestLibrary:
+    def test_prints_fifteen_batteries(self, capsys):
+        assert main(["library"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 16):
+            assert f"B{i:02d}" in out
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "tab01"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Energy capacity" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_run_writes_output_files(self, tmp_path, capsys):
+        assert main(["run", "fig06", "--out", str(tmp_path)]) == 0
+        written = tmp_path / "fig06.txt"
+        assert written.exists()
+        assert "Figure 6(a)" in written.read_text()
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,93 @@
+"""Tests for repro.cell.composite (pack parameter algebra)."""
+
+import pytest
+
+from repro.cell import SeriesPack, TheveninCell, new_cell
+from repro.cell.composite import pack_cell, pack_params, parallel_params, series_params
+from repro.chemistry.library import battery_by_id, make_cell_params
+
+
+@pytest.fixture
+def base():
+    return make_cell_params(battery_by_id("B06"))
+
+
+class TestSeriesAlgebra:
+    def test_voltage_and_resistance_scale(self, base):
+        two_s = series_params(base, 2)
+        assert two_s.ocp(0.5) == pytest.approx(2 * base.ocp(0.5))
+        assert two_s.dcir(0.5) == pytest.approx(2 * base.dcir(0.5))
+        assert two_s.capacity_c == base.capacity_c
+
+    def test_rc_time_constant_preserved(self, base):
+        two_s = series_params(base, 2)
+        assert two_s.r_ct * two_s.c_plate == pytest.approx(base.r_ct * base.c_plate)
+
+    def test_matches_series_pack_simulation(self, base):
+        """The 2S composite cell and an explicit two-cell series string
+        produce the same terminal voltage under the same current."""
+        composite = TheveninCell(series_params(base, 2), soc=0.8)
+        string = SeriesPack([new_cell("B06", soc=0.8), new_cell("B06", soc=0.8)])
+        for _ in range(30):
+            comp_step = composite.step_current(1.0, 30.0)
+            string_steps = [c.step_current(1.0, 30.0) for c in string.cells]
+            string_v = sum(s.terminal_voltage for s in string_steps)
+            assert comp_step.terminal_voltage == pytest.approx(string_v, rel=1e-6)
+
+    def test_identity_at_one(self, base):
+        assert series_params(base, 1) is base
+
+    def test_rejects_zero(self, base):
+        with pytest.raises(ValueError):
+            series_params(base, 0)
+
+
+class TestParallelAlgebra:
+    def test_capacity_and_resistance_scale(self, base):
+        two_p = parallel_params(base, 2)
+        assert two_p.capacity_c == pytest.approx(2 * base.capacity_c)
+        assert two_p.dcir(0.5) == pytest.approx(base.dcir(0.5) / 2)
+        assert two_p.ocp(0.5) == pytest.approx(base.ocp(0.5))
+
+    def test_matches_two_cells_evenly_split(self, base):
+        """A 2P composite at current 2I matches one cell at current I."""
+        composite = TheveninCell(parallel_params(base, 2), soc=0.8)
+        single = TheveninCell(base, soc=0.8)
+        for _ in range(30):
+            comp = composite.step_current(2.0, 30.0)
+            one = single.step_current(1.0, 30.0)
+            assert comp.terminal_voltage == pytest.approx(one.terminal_voltage, rel=1e-6)
+            assert composite.soc == pytest.approx(single.soc, rel=1e-9)
+
+    def test_rejects_zero(self, base):
+        with pytest.raises(ValueError):
+            parallel_params(base, 0)
+
+
+class TestPack:
+    def test_2s2p_name_and_energy(self, base):
+        packed = pack_params(base, 2, 2)
+        assert "[2S2P]" in packed.name
+        # 4 cells worth of energy.
+        cell = TheveninCell(packed)
+        single = TheveninCell(base)
+        assert cell.open_circuit_energy_j() == pytest.approx(4 * single.open_circuit_energy_j(), rel=1e-6)
+
+    def test_pack_cell_in_sdb_controller(self, base):
+        """A 2S brick manages fine next to a single 3.7 V cell — the mixed
+        voltage case the power-based ratio split handles naturally."""
+        from repro.core.policies import RBLDischargePolicy
+        from repro.hardware import SDBMicrocontroller
+
+        brick = pack_cell(base, s=2, p=1, soc=0.8)
+        small = new_cell("B03", soc=0.8)
+        mc = SDBMicrocontroller([brick, small])
+        ratios = RBLDischargePolicy().discharge_ratios(mc.cells, 5.0)
+        assert sum(ratios) == pytest.approx(1.0)
+        report = mc.step_discharge(5.0, 10.0)
+        assert sum(report.battery_powers_w) == pytest.approx(5.0 + report.circuit_loss_w)
+
+    def test_max_power_scales_with_pack(self, base):
+        single = TheveninCell(base)
+        quad = pack_cell(base, s=2, p=2)
+        assert quad.max_discharge_power() == pytest.approx(4 * single.max_discharge_power(), rel=0.01)

@@ -1,0 +1,175 @@
+"""Tests for repro.chemistry.curves."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chemistry.curves import SocCurve, make_dcir_curve, make_ocp_curve
+
+
+class TestSocCurve:
+    def test_interpolates_linearly_between_breakpoints(self):
+        curve = SocCurve([0.0, 0.5, 1.0], [1.0, 2.0, 4.0])
+        assert curve(0.25) == pytest.approx(1.5)
+        assert curve(0.75) == pytest.approx(3.0)
+
+    def test_evaluates_exactly_at_breakpoints(self):
+        curve = SocCurve([0.0, 0.3, 1.0], [5.0, 7.0, 9.0])
+        assert curve(0.0) == pytest.approx(5.0)
+        assert curve(0.3) == pytest.approx(7.0)
+        assert curve(1.0) == pytest.approx(9.0)
+
+    def test_clamps_outside_unit_interval(self):
+        curve = SocCurve([0.0, 1.0], [2.0, 3.0])
+        assert curve(-0.5) == pytest.approx(2.0)
+        assert curve(1.5) == pytest.approx(3.0)
+
+    def test_derivative_is_segment_slope(self):
+        curve = SocCurve([0.0, 0.5, 1.0], [0.0, 1.0, 1.0])
+        assert curve.derivative(0.25) == pytest.approx(2.0)
+        assert curve.derivative(0.75) == pytest.approx(0.0)
+
+    def test_derivative_at_upper_endpoint_uses_last_segment(self):
+        curve = SocCurve([0.0, 0.5, 1.0], [0.0, 1.0, 3.0])
+        assert curve.derivative(1.0) == pytest.approx(4.0)
+
+    def test_rejects_non_monotone_breakpoints(self):
+        with pytest.raises(ValueError):
+            SocCurve([0.0, 0.5, 0.5, 1.0], [1, 2, 3, 4])
+
+    def test_rejects_breakpoints_not_spanning_unit_interval(self):
+        with pytest.raises(ValueError):
+            SocCurve([0.1, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            SocCurve([0.0, 0.9], [1.0, 2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SocCurve([0.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_single_breakpoint(self):
+        with pytest.raises(ValueError):
+            SocCurve([0.0], [1.0])
+
+    def test_scaled_multiplies_values(self):
+        curve = SocCurve([0.0, 1.0], [2.0, 4.0])
+        doubled = curve.scaled(2.0)
+        assert doubled(0.5) == pytest.approx(6.0)
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        curve = SocCurve([0.0, 1.0], [2.0, 4.0])
+        with pytest.raises(ValueError):
+            curve.scaled(0.0)
+
+    def test_shifted_adds_offset(self):
+        curve = SocCurve([0.0, 1.0], [2.0, 4.0])
+        assert curve.shifted(1.0)(0.0) == pytest.approx(3.0)
+
+    def test_integral_of_constant_curve(self):
+        curve = SocCurve([0.0, 1.0], [3.0, 3.0])
+        assert curve.integral(0.2, 0.7) == pytest.approx(3.0 * 0.5)
+
+    def test_integral_full_range_equals_mean(self):
+        curve = SocCurve([0.0, 0.4, 1.0], [1.0, 3.0, 2.0])
+        assert curve.integral(0.0, 1.0) == pytest.approx(curve.mean_value())
+
+    def test_integral_is_additive(self):
+        curve = SocCurve([0.0, 0.3, 0.8, 1.0], [1.0, 4.0, 2.0, 5.0])
+        whole = curve.integral(0.1, 0.9)
+        split = curve.integral(0.1, 0.5) + curve.integral(0.5, 0.9)
+        assert whole == pytest.approx(split)
+
+    def test_integral_rejects_reversed_bounds(self):
+        curve = SocCurve([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            curve.integral(0.8, 0.2)
+
+    def test_breakpoints_are_read_only(self):
+        curve = SocCurve([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            curve.breakpoints[0] = 0.5
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_evaluation_within_value_range(self, soc):
+        curve = SocCurve([0.0, 0.2, 0.7, 1.0], [1.0, 1.5, 3.0, 3.2])
+        assert 1.0 <= curve(soc) <= 3.2
+
+
+class TestOcpCurve:
+    def test_endpoints_match_spec(self):
+        curve = make_ocp_curve(3.0, 3.8, 4.35)
+        assert curve(0.0) == pytest.approx(3.0, abs=1e-9)
+        assert curve(1.0) == pytest.approx(4.35, abs=1e-9)
+
+    def test_monotone_increasing(self):
+        curve = make_ocp_curve(3.0, 3.8, 4.35)
+        socs = np.linspace(0, 1, 101)
+        vals = [curve(s) for s in socs]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_plateau_near_nominal(self):
+        curve = make_ocp_curve(3.0, 3.8, 4.35)
+        assert abs(curve(0.5) - 3.8) < 0.25
+
+    def test_steep_toe_flatter_plateau(self):
+        """The low-SoC region is much steeper than the mid plateau."""
+        curve = make_ocp_curve(3.0, 3.8, 4.35)
+        toe_slope = curve.derivative(0.02)
+        plateau_slope = curve.derivative(0.5)
+        assert toe_slope > 4 * plateau_slope
+
+    def test_rejects_unordered_voltages(self):
+        with pytest.raises(ValueError):
+            make_ocp_curve(3.8, 3.0, 4.35)
+        with pytest.raises(ValueError):
+            make_ocp_curve(3.0, 4.4, 4.35)
+
+    def test_rejects_bad_knees(self):
+        with pytest.raises(ValueError):
+            make_ocp_curve(3.0, 3.8, 4.35, knee_soc=0.9, plateau_end_soc=0.5)
+
+
+class TestDcirCurve:
+    def test_endpoints_match_spec(self):
+        curve = make_dcir_curve(r_full=0.05, r_empty=0.30)
+        assert curve(1.0) == pytest.approx(0.05, rel=1e-9)
+        assert curve(0.0) == pytest.approx(0.30, rel=1e-9)
+
+    def test_monotone_decreasing(self):
+        curve = make_dcir_curve(r_full=0.05, r_empty=0.30)
+        socs = np.linspace(0, 1, 101)
+        vals = [curve(s) for s in socs]
+        assert all(b <= a for a, b in zip(vals, vals[1:]))
+
+    def test_derivative_is_negative(self):
+        curve = make_dcir_curve(r_full=0.05, r_empty=0.30)
+        for soc in (0.1, 0.5, 0.9):
+            assert curve.derivative(soc) < 0
+
+    def test_larger_decay_drops_resistance_faster(self):
+        slow = make_dcir_curve(0.05, 0.30, decay=2.0)
+        fast = make_dcir_curve(0.05, 0.30, decay=8.0)
+        assert fast(0.3) < slow(0.3)
+
+    def test_rejects_bad_resistances(self):
+        with pytest.raises(ValueError):
+            make_dcir_curve(r_full=0.0, r_empty=0.3)
+        with pytest.raises(ValueError):
+            make_dcir_curve(r_full=0.3, r_empty=0.1)
+
+    def test_rejects_nonpositive_decay(self):
+        with pytest.raises(ValueError):
+            make_dcir_curve(0.05, 0.3, decay=0.0)
+
+    @given(
+        st.floats(min_value=0.005, max_value=1.0),
+        st.floats(min_value=1.5, max_value=10.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_values_always_between_endpoints(self, r_full, ratio, soc):
+        curve = make_dcir_curve(r_full, r_full * ratio)
+        value = curve(soc)
+        assert r_full - 1e-12 <= value <= r_full * ratio + 1e-9

@@ -1,0 +1,131 @@
+"""Tests for battery disconnection and the detach-aware policy."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core.policies.detach import DetachAwareDischargePolicy
+from repro.errors import BatteryEmptyError
+from repro.experiments.detach import DETACH_HOUR, detach_day_trace, run_detach, run_one
+from repro.hardware import SDBMicrocontroller
+
+
+def make_mc(soc=0.8):
+    return SDBMicrocontroller([new_cell("B11", soc=soc), new_cell("B11", soc=soc)])
+
+
+class TestDisconnection:
+    def test_disconnected_battery_carries_no_discharge(self):
+        mc = make_mc()
+        mc.set_connected(1, False)
+        report = mc.step_discharge(5.0, 1.0)
+        assert report.battery_powers_w[1] == 0.0
+        assert report.battery_powers_w[0] > 5.0
+
+    def test_disconnected_battery_not_charged(self):
+        mc = make_mc(soc=0.3)
+        mc.set_connected(0, False)
+        report = mc.step_charge(20.0, 1.0)
+        assert report.channels[0].input_power_w == 0.0
+        assert report.channels[1].input_power_w > 0.0
+
+    def test_transfer_refused_when_disconnected(self):
+        mc = make_mc(soc=0.5)
+        mc.set_connected(1, False)
+        report = mc.transfer(0, 1, 5.0, 1.0)
+        assert report.drawn_w == 0.0
+
+    def test_all_disconnected_raises(self):
+        mc = make_mc()
+        mc.set_connected(0, False)
+        mc.set_connected(1, False)
+        with pytest.raises(BatteryEmptyError):
+            mc.step_discharge(1.0, 1.0)
+
+    def test_reconnection_restores_battery(self):
+        mc = make_mc()
+        mc.set_connected(1, False)
+        mc.set_connected(1, True)
+        report = mc.step_discharge(5.0, 1.0)
+        assert report.battery_powers_w[1] > 0.0
+
+    def test_available_power_excludes_disconnected(self):
+        mc = make_mc()
+        full = mc.available_discharge_power()
+        mc.set_connected(1, False)
+        assert mc.available_discharge_power() < full
+
+
+class TestDetachAwarePolicy:
+    def _cells(self, internal_soc=0.5, base_soc=0.9):
+        return [new_cell("B11", soc=internal_soc), new_cell("B11", soc=base_soc)]
+
+    def test_front_loads_base_when_internal_cannot_cover(self):
+        cells = self._cells(internal_soc=0.2)
+        policy = DetachAwareDischargePolicy(
+            0, 1, detach_at_s=lambda t: 3600.0, post_detach_energy_j=lambda t: 50_000.0
+        )
+        ratios = policy.discharge_ratios(cells, 10.0, t=0.0)
+        assert ratios[1] > 0.9
+
+    def test_reduces_to_rbl_when_internal_suffices(self):
+        cells = self._cells(internal_soc=1.0)
+        policy = DetachAwareDischargePolicy(
+            0, 1, detach_at_s=lambda t: 3600.0, post_detach_energy_j=lambda t: 1_000.0
+        )
+        rbl_ratios = policy.rbl.discharge_ratios(cells, 10.0, 0.0)
+        assert policy.discharge_ratios(cells, 10.0, t=0.0) == pytest.approx(rbl_ratios)
+
+    def test_no_prediction_means_simultaneous(self):
+        cells = self._cells()
+        policy = DetachAwareDischargePolicy(0, 1)
+        rbl_ratios = policy.rbl.discharge_ratios(cells, 10.0, 0.0)
+        assert policy.discharge_ratios(cells, 10.0) == pytest.approx(rbl_ratios)
+
+    def test_past_detach_time_means_simultaneous(self):
+        cells = self._cells(internal_soc=0.2)
+        policy = DetachAwareDischargePolicy(
+            0, 1, detach_at_s=lambda t: 100.0, post_detach_energy_j=lambda t: 50_000.0
+        )
+        rbl_ratios = policy.rbl.discharge_ratios(cells, 10.0, 200.0)
+        assert policy.discharge_ratios(cells, 10.0, t=200.0) == pytest.approx(rbl_ratios)
+
+    def test_empty_base_falls_back(self):
+        cells = self._cells(base_soc=0.0)
+        policy = DetachAwareDischargePolicy(
+            0, 1, detach_at_s=lambda t: 3600.0, post_detach_energy_j=lambda t: 50_000.0
+        )
+        ratios = policy.discharge_ratios(cells, 10.0, t=0.0)
+        assert ratios[1] == 0.0
+
+    def test_validates_indices(self):
+        with pytest.raises(ValueError):
+            DetachAwareDischargePolicy(0, 0)
+
+
+class TestDetachExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_detach(dt_s=30.0)
+
+    def test_trace_shape(self):
+        trace = detach_day_trace(DETACH_HOUR)
+        assert trace.power_at(DETACH_HOUR * 3600 - 1) == pytest.approx(10.5)
+        assert trace.power_at(DETACH_HOUR * 3600 + 1) == pytest.approx(7.0)
+
+    def test_simultaneous_strands_base_energy(self, result):
+        assert result.stranded_j["simultaneous"] > 10_000.0
+        assert result.stranded_j["detach-aware"] < 2_000.0
+
+    def test_detach_aware_best_for_detaching_user(self, result):
+        aware = result.life_h[("detach-aware", "detach")]
+        assert aware >= result.life_h[("cascade", "detach")]
+        assert aware > result.life_h[("simultaneous", "detach")]
+
+    def test_detach_aware_matches_simultaneous_when_attached(self, result):
+        aware = result.life_h[("detach-aware", "stay")]
+        simultaneous = result.life_h[("simultaneous", "stay")]
+        assert aware == pytest.approx(simultaneous, rel=0.02)
+
+    def test_simultaneous_beats_cascade_when_attached(self, result):
+        """Figure 14's headline must still hold in this grid."""
+        assert result.life_h[("simultaneous", "stay")] > result.life_h[("cascade", "stay")]

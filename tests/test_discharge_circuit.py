@@ -1,0 +1,143 @@
+"""Tests for repro.hardware.discharge (Figures 6a, 6b)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RatioError
+from repro.hardware.discharge import (
+    DischargeCircuitSpec,
+    SDBDischargeCircuit,
+    validate_ratios,
+)
+
+
+@pytest.fixture
+def circuit() -> SDBDischargeCircuit:
+    return SDBDischargeCircuit(2)
+
+
+class TestValidateRatios:
+    def test_accepts_valid(self):
+        assert validate_ratios([0.3, 0.7], 2) == [0.3, 0.7]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(RatioError):
+            validate_ratios([1.0], 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(RatioError):
+            validate_ratios([-0.1, 1.1], 2)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(RatioError):
+            validate_ratios([0.5, 0.6], 2)
+
+    def test_accepts_float_drift(self):
+        validate_ratios([1 / 3, 1 / 3, 1 / 3], 3)
+
+
+class TestLossModel:
+    def test_figure_6a_light_load_about_one_percent(self, circuit):
+        """Paper: '~1% under typical light loads'."""
+        assert 0.7 < circuit.loss_pct(0.1) < 1.3
+
+    def test_figure_6a_ten_watt_about_1p6_percent(self, circuit):
+        """Paper: 'reaches 1.6% with a 10W load'."""
+        assert 1.4 < circuit.loss_pct(10.0) < 1.8
+
+    def test_loss_monotone_above_one_watt(self, circuit):
+        values = [circuit.loss_pct(p) for p in (1, 2, 5, 10)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_zero_load_zero_loss(self, circuit):
+        assert circuit.loss_w(0.0) == 0.0
+
+    def test_loss_pct_rejects_zero(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.loss_pct(0.0)
+
+    def test_loss_rejects_negative(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.loss_w(-1.0)
+
+
+class TestProportionAccuracy:
+    def test_figure_6b_error_below_0p6_percent(self, circuit):
+        """Paper: '< 0.6% error under a wide range of current assignments'."""
+        for setting in (0.01, 0.05, 0.10, 0.20, 0.50, 0.80, 0.95, 0.99):
+            assert circuit.proportion_error_pct(setting) < 0.6
+
+    def test_error_worst_at_small_settings(self, circuit):
+        assert circuit.proportion_error_pct(0.01) > circuit.proportion_error_pct(0.5)
+
+    def test_rejects_degenerate_settings(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.proportion_error_pct(0.0)
+        with pytest.raises(ValueError):
+            circuit.proportion_error_pct(1.0)
+
+    def test_realized_ratios_sum_to_one(self, circuit):
+        realized = circuit.realized_ratios([0.123, 0.877])
+        assert sum(realized) == pytest.approx(1.0)
+
+    def test_zero_channel_stays_zero(self, circuit):
+        realized = circuit.realized_ratios([1.0, 0.0])
+        assert realized[1] == 0.0
+        assert realized[0] == pytest.approx(1.0)
+
+    def test_tiny_nonzero_channel_gets_minimum_dwell(self):
+        circuit = SDBDischargeCircuit(2, DischargeCircuitSpec(duty_resolution=100, duty_offset=0.0))
+        realized = circuit.realized_ratios([1e-5, 1.0 - 1e-5])
+        assert realized[0] > 0.0
+
+    @given(st.floats(min_value=0.005, max_value=0.995))
+    @settings(max_examples=60, deadline=None)
+    def test_realized_close_to_commanded(self, setting):
+        circuit = SDBDischargeCircuit(2)
+        realized = circuit.realized_ratios([setting, 1.0 - setting])[0]
+        assert abs(realized - setting) < 0.002
+
+
+class TestSplitLoad:
+    def test_split_respects_ratios(self, circuit):
+        powers, loss = circuit.split_load(5.0, [0.75, 0.25])
+        assert sum(powers) == pytest.approx(5.0 + loss)
+        assert powers[0] / sum(powers) == pytest.approx(0.75, abs=0.002)
+
+    def test_zero_load_all_zero(self, circuit):
+        powers, loss = circuit.split_load(0.0, [0.5, 0.5])
+        assert powers == [0.0, 0.0]
+        assert loss == 0.0
+
+    def test_loss_is_carried_by_batteries(self, circuit):
+        powers, loss = circuit.split_load(10.0, [0.5, 0.5])
+        assert sum(powers) > 10.0
+        assert sum(powers) - 10.0 == pytest.approx(loss)
+
+    def test_rejects_negative_load(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.split_load(-1.0, [0.5, 0.5])
+
+    def test_single_battery_circuit(self):
+        circuit = SDBDischargeCircuit(1)
+        powers, loss = circuit.split_load(3.0, [1.0])
+        assert powers[0] == pytest.approx(3.0 + loss)
+
+
+class TestSpecValidation:
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ValueError):
+            DischargeCircuitSpec(duty_resolution=1)
+
+    def test_rejects_nonpositive_bus(self):
+        with pytest.raises(ValueError):
+            DischargeCircuitSpec(v_bus=0.0)
+
+    def test_rejects_unit_drive_loss(self):
+        with pytest.raises(ValueError):
+            DischargeCircuitSpec(drive_loss_fraction=1.0)
+
+    def test_rejects_zero_batteries(self):
+        with pytest.raises(ValueError):
+            SDBDischargeCircuit(0)

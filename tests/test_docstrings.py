@@ -1,0 +1,47 @@
+"""Quality gate: every public module, class and function is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+]
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", None) == module.__name__:
+                yield name, obj
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_members_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in public_members(module):
+        if not (inspect.getdoc(obj) or "").strip():
+            missing.append(name)
+        if inspect.isclass(obj):
+            for method_name in vars(obj):
+                if method_name.startswith("_"):
+                    continue
+                member = getattr(obj, method_name, None)
+                if inspect.isfunction(member) and not (inspect.getdoc(member) or "").strip():
+                    missing.append(f"{name}.{method_name}")
+    assert not missing, f"{module_name}: undocumented public members: {missing}"

@@ -1,0 +1,100 @@
+"""Tests for repro.workloads.drone (Section 8 drone scenario)."""
+
+import pytest
+
+from repro.core.policies import OracleDischargePolicy, RBLDischargePolicy
+from repro.core.runtime import SDBRuntime
+from repro.emulator import SDBEmulator
+from repro.workloads.drone import (
+    BURST_POWER_THRESHOLD_W,
+    DroneParams,
+    FlightPhase,
+    MissionLeg,
+    drone_cells,
+    drone_controller,
+    mission_power_trace,
+    survey_mission,
+)
+
+
+class TestDroneModel:
+    def test_hover_power_scales_with_weight_superlinearly(self):
+        light = DroneParams(mass_kg=1.0)
+        heavy = DroneParams(mass_kg=2.0)
+        # Induced power ~ W^1.5: doubling mass nearly triples rotor power.
+        light_rotor = light.hover_power_w() - light.avionics_w
+        heavy_rotor = heavy.hover_power_w() - heavy.avionics_w
+        assert heavy_rotor / light_rotor == pytest.approx(2.0**1.5, rel=0.01)
+
+    def test_phase_power_ordering(self):
+        d = DroneParams()
+        powers = {phase: d.phase_power_w(phase) for phase in FlightPhase}
+        assert powers[FlightPhase.DESCEND] < powers[FlightPhase.CRUISE]
+        assert powers[FlightPhase.CRUISE] < powers[FlightPhase.HOVER]
+        assert powers[FlightPhase.HOVER] < powers[FlightPhase.CLIMB]
+        assert powers[FlightPhase.CLIMB] < powers[FlightPhase.SPRINT]
+
+    def test_bigger_rotors_cheaper_hover(self):
+        small = DroneParams(rotor_area_m2=0.08)
+        big = DroneParams(rotor_area_m2=0.20)
+        assert big.hover_power_w() < small.hover_power_w()
+
+    def test_validates_efficiencies(self):
+        with pytest.raises(ValueError):
+            DroneParams(figure_of_merit=0.0)
+        with pytest.raises(ValueError):
+            DroneParams(drive_efficiency=1.5)
+
+    def test_leg_validation(self):
+        with pytest.raises(ValueError):
+            MissionLeg("x", FlightPhase.HOVER, 0.0)
+
+    def test_empty_mission_rejected(self):
+        with pytest.raises(ValueError):
+            mission_power_trace(())
+
+
+class TestMissionStructure:
+    def test_trace_duration_matches_mission(self):
+        mission = survey_mission()
+        trace = mission_power_trace(mission)
+        assert trace.duration_s == pytest.approx(sum(leg.duration_s for leg in mission))
+
+    def test_threshold_splits_phases(self):
+        d = DroneParams()
+        assert d.phase_power_w(FlightPhase.HOVER) < BURST_POWER_THRESHOLD_W
+        assert d.phase_power_w(FlightPhase.CLIMB) > BURST_POWER_THRESHOLD_W
+        assert d.phase_power_w(FlightPhase.SPRINT) > BURST_POWER_THRESHOLD_W
+
+    def test_endurance_pack_carries_the_energy(self):
+        he, hp = drone_cells()
+        assert he.open_circuit_energy_j() > 2 * hp.open_circuit_energy_j()
+
+
+class TestMissionStory:
+    def _fly(self, policy):
+        trace = mission_power_trace(survey_mission())
+        controller = drone_controller()
+        runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=15.0)
+        return SDBEmulator(controller, runtime, trace, dt_s=2.0).run()
+
+    def test_plan_blind_fails_the_sprint_home(self):
+        result = self._fly(RBLDischargePolicy())
+        assert not result.completed
+        # The booster pack was spent before the sprint (down to the last
+        # few percent), while the endurance pack still had plenty.
+        he_soc, hp_soc = result.final_socs()
+        assert hp_soc < 0.05
+        assert he_soc > 0.5
+
+    def test_planner_oracle_completes_the_mission(self):
+        trace = mission_power_trace(survey_mission())
+        oracle = OracleDischargePolicy(
+            trace.future_energy_above(BURST_POWER_THRESHOLD_W),
+            efficient_index=1,
+            high_power_threshold_w=BURST_POWER_THRESHOLD_W,
+        )
+        result = self._fly(oracle)
+        assert result.completed
+        # Neither pack fully drained: margin to spare.
+        assert all(soc > 0.1 for soc in result.final_socs())

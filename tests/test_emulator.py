@@ -1,0 +1,230 @@
+"""Tests for repro.emulator (emulator loop, events, devices, cpu)."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core import SDBRuntime
+from repro.core.policies import EvenSplitDischargePolicy, RBLDischargePolicy, SingleBatteryDischargePolicy
+from repro.emulator import (
+    DEVICES,
+    PlugSchedule,
+    PlugWindow,
+    SDBEmulator,
+    Task,
+    TurboCpu,
+    build_controller,
+)
+from repro.emulator.cpu import (
+    LEVEL_SPECS,
+    CpuPowerLevel,
+    compute_bottlenecked_task,
+    network_bottlenecked_task,
+)
+from repro.emulator.emulator import cascade_transfer_hook
+from repro.hardware import SDBMicrocontroller
+from repro.workloads import constant_trace
+
+
+class TestPlugSchedule:
+    def test_never(self):
+        sched = PlugSchedule.never()
+        assert not sched.is_plugged(0.0)
+        assert sched.power_at(100.0) == 0.0
+
+    def test_always(self):
+        sched = PlugSchedule.always(10.0, 100.0)
+        assert sched.power_at(50.0) == 10.0
+        assert sched.power_at(150.0) == 0.0
+
+    def test_windows(self):
+        sched = PlugSchedule([PlugWindow(10, 20, 5.0), PlugWindow(30, 40, 7.0)])
+        assert sched.power_at(15.0) == 5.0
+        assert sched.power_at(25.0) == 0.0
+        assert sched.power_at(35.0) == 7.0
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            PlugSchedule([PlugWindow(0, 20, 5.0), PlugWindow(10, 30, 5.0)])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            PlugWindow(10, 10, 5.0)
+        with pytest.raises(ValueError):
+            PlugWindow(0, 10, 0.0)
+
+
+class TestDevices:
+    def test_three_platforms(self):
+        assert set(DEVICES) == {"tablet", "phone", "watch"}
+
+    def test_build_controller_defaults(self):
+        mc = build_controller("watch")
+        assert mc.n == 2
+        assert all(cell.soc == 1.0 for cell in mc.cells)
+
+    def test_build_controller_custom(self):
+        mc = build_controller("tablet", socs=[0.5, 0.6], battery_ids=["B09", "B14"])
+        assert mc.cells[0].soc == 0.5
+        assert "B14" in mc.cells[1].name
+
+    def test_build_controller_validates(self):
+        with pytest.raises(KeyError):
+            build_controller("toaster")
+        with pytest.raises(ValueError):
+            build_controller("watch", socs=[0.5])
+
+
+class TestEmulatorLoop:
+    def test_constant_drain_conserves_energy(self):
+        mc = build_controller("phone")
+        rt = SDBRuntime(mc)
+        trace = constant_trace(1.0, 3600.0)
+        result = SDBEmulator(mc, rt, trace, dt_s=10.0).run()
+        assert result.completed
+        assert result.delivered_j == pytest.approx(3600.0, rel=1e-6)
+        assert result.total_loss_j > 0
+        assert len(result.times_s) == 360
+
+    def test_depletion_recorded(self):
+        mc = build_controller("watch", socs=[0.05, 0.05])
+        rt = SDBRuntime(mc)
+        trace = constant_trace(0.5, 10 * 3600.0)
+        result = SDBEmulator(mc, rt, trace, dt_s=10.0).run()
+        assert not result.completed
+        assert result.depletion_s is not None
+        assert result.battery_life_h < 10.0
+
+    def test_per_battery_depletion_times(self):
+        mc = build_controller("watch", socs=[0.10, 1.0])
+        rt = SDBRuntime(mc, discharge_policy=SingleBatteryDischargePolicy(0))
+        trace = constant_trace(0.3, 24 * 3600.0)
+        result = SDBEmulator(mc, rt, trace, dt_s=10.0).run()
+        assert result.battery_depletion_s[0] is not None
+        # After battery 0 died the fallback drained battery 1 too, or the
+        # run completed; either way battery 0 died first.
+        if result.battery_depletion_s[1] is not None:
+            assert result.battery_depletion_s[0] < result.battery_depletion_s[1]
+
+    def test_plugged_run_charges_batteries(self):
+        mc = build_controller("phone", socs=[0.3])
+        rt = SDBRuntime(mc)
+        trace = constant_trace(1.0, 3600.0)
+        plug = PlugSchedule.always(10.0, 3600.0)
+        result = SDBEmulator(mc, rt, trace, plug=plug, dt_s=10.0).run()
+        assert mc.cells[0].soc > 0.3
+        assert result.charge_input_j > 0
+
+    def test_soc_history_monotone_when_draining(self):
+        mc = build_controller("phone")
+        rt = SDBRuntime(mc)
+        trace = constant_trace(2.0, 1800.0)
+        result = SDBEmulator(mc, rt, trace, dt_s=10.0).run()
+        socs = [row[0] for row in result.soc_history]
+        assert all(b <= a for a, b in zip(socs, socs[1:]))
+
+    def test_hourly_losses_sum_to_total(self):
+        mc = build_controller("phone")
+        rt = SDBRuntime(mc)
+        trace = constant_trace(2.0, 2.5 * 3600.0)
+        result = SDBEmulator(mc, rt, trace, dt_s=10.0).run()
+        assert sum(result.hourly_loss_j()) == pytest.approx(result.total_loss_j, rel=1e-6)
+
+    def test_mismatched_runtime_rejected(self):
+        mc1 = build_controller("phone")
+        mc2 = build_controller("phone")
+        rt = SDBRuntime(mc2)
+        with pytest.raises(ValueError):
+            SDBEmulator(mc1, rt, constant_trace(1.0, 10.0))
+
+    def test_rejects_bad_dt(self):
+        mc = build_controller("phone")
+        with pytest.raises(ValueError):
+            SDBEmulator(mc, SDBRuntime(mc), constant_trace(1.0, 10.0), dt_s=0.0)
+
+    def test_stop_on_depletion_false_keeps_clock(self):
+        mc = build_controller("watch", socs=[0.03, 0.03])
+        rt = SDBRuntime(mc)
+        trace = constant_trace(0.5, 3600.0)
+        result = SDBEmulator(mc, rt, trace, dt_s=10.0, stop_on_depletion=False).run()
+        assert not result.completed
+        assert len(result.times_s) == 360
+
+
+class TestCascadeHook:
+    def test_cascade_charges_internal_from_base(self):
+        mc = build_controller("tablet", socs=[0.5, 1.0])
+        rt = SDBRuntime(mc, discharge_policy=SingleBatteryDischargePolicy(0))
+        hook = cascade_transfer_hook(1, 0, power_w=10.0)
+        trace = constant_trace(5.0, 1800.0)
+        result = SDBEmulator(mc, rt, trace, dt_s=10.0, hooks=[hook]).run()
+        assert mc.cells[1].soc < 1.0  # base battery drained
+        assert result.completed
+
+    def test_cascade_validates_power(self):
+        with pytest.raises(ValueError):
+            cascade_transfer_hook(0, 1, power_w=0.0)
+
+
+class TestTurboCpu:
+    def test_levels_ordered(self):
+        cpu = TurboCpu()
+        low = cpu.spec(CpuPowerLevel.LOW)
+        high = cpu.spec(CpuPowerLevel.HIGH)
+        assert high.frequency_ghz > low.frequency_ghz
+        assert high.package_power_w > low.package_power_w
+
+    def test_compute_task_faster_at_high(self):
+        cpu = TurboCpu()
+        task = compute_bottlenecked_task()
+        low = cpu.run_task(task, CpuPowerLevel.LOW)
+        high = cpu.run_task(task, CpuPowerLevel.HIGH)
+        speedup = 1.0 - high.latency_s / low.latency_s
+        # Paper: up to 26% better scores for compute-bound work.
+        assert 0.20 < speedup < 0.30
+
+    def test_network_task_latency_flat(self):
+        cpu = TurboCpu()
+        task = network_bottlenecked_task()
+        low = cpu.run_task(task, CpuPowerLevel.LOW)
+        high = cpu.run_task(task, CpuPowerLevel.HIGH)
+        assert high.latency_s / low.latency_s > 0.96  # no noticeable win
+
+    def test_network_task_energy_rises_with_level(self):
+        cpu = TurboCpu()
+        task = network_bottlenecked_task()
+        low = cpu.run_task(task, CpuPowerLevel.LOW)
+        high = cpu.run_task(task, CpuPowerLevel.HIGH)
+        assert high.cpu_energy_j > low.cpu_energy_j
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task(compute_ghz_s=-1.0, network_s=0.0)
+        with pytest.raises(ValueError):
+            Task(compute_ghz_s=0.0, network_s=0.0)
+
+    def test_cpu_requires_all_levels(self):
+        partial = {CpuPowerLevel.LOW: LEVEL_SPECS[CpuPowerLevel.LOW]}
+        with pytest.raises(ValueError):
+            TurboCpu(partial)
+
+    def test_mean_power_consistent(self):
+        cpu = TurboCpu()
+        outcome = cpu.run_task(Task(compute_ghz_s=10.0, network_s=0.0), CpuPowerLevel.MEDIUM)
+        assert outcome.mean_power_w == pytest.approx(cpu.spec(CpuPowerLevel.MEDIUM).package_power_w)
+
+
+class TestSummary:
+    def test_summary_mentions_key_numbers(self):
+        mc = build_controller("phone")
+        rt = SDBRuntime(mc)
+        result = SDBEmulator(mc, rt, constant_trace(1.0, 1800.0), dt_s=10.0).run()
+        text = result.summary()
+        assert "completed the trace" in text
+        assert "delivered" in text
+        assert "final SoC" in text
+
+    def test_summary_reports_death(self):
+        mc = build_controller("watch", socs=[0.05, 0.05])
+        rt = SDBRuntime(mc)
+        result = SDBEmulator(mc, rt, constant_trace(0.5, 10 * 3600.0), dt_s=10.0).run()
+        assert "died at" in result.summary()

@@ -1,0 +1,73 @@
+"""Tests for repro.cell.estimation (Kalman SoC estimation)."""
+
+import pytest
+
+from repro.cell import FuelGauge, new_cell
+from repro.cell.estimation import EstimatorConfig, KalmanSocEstimator
+
+
+def drain(cell, current=1.0, steps=300, dt=30.0):
+    for _ in range(steps):
+        if cell.is_empty:
+            break
+        cell.step_current(current, dt)
+
+
+class TestConfig:
+    def test_validates_noise(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(process_noise=0.0)
+        with pytest.raises(ValueError):
+            EstimatorConfig(voltage_noise=-1.0)
+        with pytest.raises(ValueError):
+            EstimatorConfig(min_ocp_slope=0.0)
+
+
+class TestTracking:
+    def test_tracks_truth_with_perfect_sensing(self):
+        cell = new_cell("B06")
+        estimator = KalmanSocEstimator(cell, EstimatorConfig(sense_gain_error=0.0))
+        drain(cell)
+        assert abs(estimator.error) < 0.01
+
+    def test_beats_plain_coulomb_counter_under_gain_error(self):
+        """The headline property: the EKF corrects what drift accumulates."""
+        cell = new_cell("B06")
+        gauge = FuelGauge(cell, sense_gain_error=0.02)
+        estimator = KalmanSocEstimator(cell, EstimatorConfig(sense_gain_error=0.02))
+        drain(cell, current=1.5, steps=500, dt=30.0)
+        gauge_error = abs(gauge.estimated_soc - cell.soc)
+        ekf_error = abs(estimator.error)
+        assert ekf_error < gauge_error
+
+    def test_recovers_from_wrong_initial_guess(self):
+        cell = new_cell("B06", soc=0.8)
+        estimator = KalmanSocEstimator(cell, initial_soc=0.5)
+        drain(cell, current=1.0, steps=400, dt=30.0)
+        assert abs(estimator.error) < 0.05
+
+    def test_variance_shrinks_with_updates(self):
+        cell = new_cell("B06")
+        estimator = KalmanSocEstimator(cell)
+        v0 = estimator.variance
+        drain(cell, steps=50)
+        assert estimator.variance < v0
+        assert estimator.updates == 50
+
+    def test_estimate_stays_in_unit_interval(self):
+        cell = new_cell("B06", soc=0.2)
+        estimator = KalmanSocEstimator(cell, initial_soc=0.0)
+        for _ in range(50):
+            cell.step_current(-1.0, 30.0)  # charge
+        assert 0.0 <= estimator.soc_estimate <= 1.0
+
+    def test_tracks_through_charge_discharge_mix(self):
+        cell = new_cell("B06", soc=0.5)
+        estimator = KalmanSocEstimator(cell, EstimatorConfig(sense_gain_error=0.01))
+        for cycle in range(8):
+            current = 1.0 if cycle % 2 == 0 else -1.0
+            for _ in range(60):
+                if (current > 0 and cell.is_empty) or (current < 0 and cell.is_full):
+                    break
+                cell.step_current(current, 30.0)
+        assert abs(estimator.error) < 0.03

@@ -1,0 +1,49 @@
+"""Tests for the estimation-drift experiment and the offset error model."""
+
+import pytest
+
+from repro.cell import FuelGauge, new_cell
+from repro.experiments.estimation_drift import run_estimation_drift
+
+
+class TestOffsetError:
+    def test_offset_integrates_at_rest(self):
+        cell = new_cell("B06", soc=0.5)
+        gauge = FuelGauge(cell, sense_gain_error=0.0, sense_offset_a=0.01)
+        for _ in range(60):
+            cell.step_current(0.0, 60.0)
+        # 10 mA for an hour = 36 C on a 9360 C cell ~ 0.38% drift.
+        drift = cell.soc - gauge.estimated_soc
+        assert drift == pytest.approx(36.0 / cell.capacity_c, rel=0.01)
+
+    def test_gain_error_cancels_over_closed_loop(self):
+        cell = new_cell("B06", soc=0.5)
+        gauge = FuelGauge(cell, sense_gain_error=0.05, sense_offset_a=0.0)
+        for _ in range(30):
+            cell.step_current(1.0, 60.0)
+        for _ in range(30):
+            cell.step_current(-1.0, 60.0)
+        # Capacity fades slightly during the loop, leaving only a
+        # microscopic residual (vs the offset test's 0.4% drift).
+        assert abs(gauge.estimated_soc - cell.soc) < 1e-5
+
+    def test_rejects_absurd_offset(self):
+        with pytest.raises(ValueError):
+            FuelGauge(new_cell("B06"), sense_offset_a=2.0)
+
+
+class TestDriftExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_estimation_drift(days=5, dt_s=60.0)
+
+    def test_counter_error_compounds(self, result):
+        errors = result.gauge_error_by_day
+        assert errors[-1] > 3 * errors[0]
+        assert all(b > a for a, b in zip(errors, errors[1:]))
+
+    def test_ekf_error_stays_bounded(self, result):
+        assert max(result.ekf_error_by_day) < 0.02
+
+    def test_ekf_beats_counter_by_final_day(self, result):
+        assert result.final_ekf_error < result.final_gauge_error / 3

@@ -1,0 +1,116 @@
+"""Tests for repro.workloads.ev (Section 8 EV scenario)."""
+
+import pytest
+
+from repro.core.policies import OracleDischargePolicy, RBLDischargePolicy
+from repro.core.runtime import SDBRuntime
+from repro.emulator import SDBEmulator
+from repro.workloads.ev import (
+    CLIMB_POWER_THRESHOLD_W,
+    RouteSegment,
+    VehicleParams,
+    commute_route,
+    ev_cells,
+    ev_controller,
+    route_power_trace,
+)
+
+
+class TestVehicleModel:
+    def test_power_grows_with_speed(self):
+        v = VehicleParams()
+        assert v.battery_power_w(8.0, 0.0) > v.battery_power_w(4.0, 0.0)
+
+    def test_power_grows_with_grade(self):
+        v = VehicleParams()
+        assert v.battery_power_w(5.0, 0.05) > v.battery_power_w(5.0, 0.0)
+
+    def test_downhill_floors_at_accessories(self):
+        v = VehicleParams()
+        assert v.battery_power_w(5.0, -0.20) == pytest.approx(v.accessory_power_w)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            VehicleParams().battery_power_w(-1.0, 0.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            VehicleParams(drivetrain_efficiency=0.0)
+
+
+class TestRoute:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            RouteSegment("x", 0.0, 5.0)
+        with pytest.raises(ValueError):
+            RouteSegment("x", 100.0, 0.0)
+
+    def test_trace_duration_matches_route(self):
+        route = commute_route()
+        trace = route_power_trace(route)
+        assert trace.duration_s == pytest.approx(sum(leg.duration_s for leg in route))
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValueError):
+            route_power_trace(())
+
+    def test_summit_is_the_high_power_leg(self):
+        route = commute_route()
+        trace = route_power_trace(route)
+        v = VehicleParams()
+        summit_power = v.battery_power_w(2.8, 0.07)
+        assert trace.peak_power_w() == pytest.approx(summit_power)
+        assert summit_power > CLIMB_POWER_THRESHOLD_W
+
+    def test_flats_below_threshold(self):
+        v = VehicleParams()
+        assert v.battery_power_w(6.0, 0.0) < CLIMB_POWER_THRESHOLD_W
+
+
+class TestEvPacks:
+    def test_he_pack_carries_most_energy(self):
+        he, hp = ev_cells()
+        assert he.open_circuit_energy_j() > 3 * hp.open_circuit_energy_j()
+
+    def test_hp_pack_higher_specific_power(self):
+        he, hp = ev_cells()
+        he_specific = he.max_discharge_power() / he.open_circuit_energy_j()
+        hp_specific = hp.max_discharge_power() / hp.open_circuit_energy_j()
+        assert hp_specific > 2 * he_specific
+
+    def test_summit_needs_both_packs(self):
+        """Neither pack alone should comfortably serve the summit by the
+        end of the route; the two together must."""
+        he, hp = ev_cells(soc=0.4)
+        summit = VehicleParams().battery_power_w(2.8, 0.07)
+        assert he.max_discharge_power() * 0.9 < summit
+        assert he.max_discharge_power() + hp.max_discharge_power() > summit
+
+
+class TestNavHintStory:
+    """The Section 8 claim, end-to-end."""
+
+    def _run(self, policy):
+        trace = route_power_trace(commute_route())
+        controller = ev_controller()
+        runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=30.0)
+        return SDBEmulator(controller, runtime, trace, dt_s=5.0).run()
+
+    def test_route_blind_dies_before_summit_top(self):
+        result = self._run(RBLDischargePolicy())
+        assert not result.completed
+
+    def test_nav_hinted_oracle_completes(self):
+        trace = route_power_trace(commute_route())
+        oracle = OracleDischargePolicy(
+            trace.future_energy_above(CLIMB_POWER_THRESHOLD_W),
+            efficient_index=1,
+            high_power_threshold_w=CLIMB_POWER_THRESHOLD_W,
+        )
+        result = self._run(oracle)
+        assert result.completed
+
+    def test_route_blind_drains_booster_on_flats(self):
+        result = self._run(RBLDischargePolicy())
+        # The high-power pack (index 1) hit empty before the route ended.
+        assert result.battery_depletion_s[1] is not None

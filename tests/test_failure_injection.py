@@ -1,0 +1,111 @@
+"""Failure-injection tests: the system under degraded batteries.
+
+A production battery scheduler meets broken batteries: cells that lose
+capacity overnight, resistance that doubles, a cell stuck at cutoff.
+These tests inject such faults mid-run and assert the stack degrades
+gracefully instead of crashing or mis-accounting.
+"""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core.metrics import wear_ratios
+from repro.core.policies import CCBDischargePolicy, RBLDischargePolicy
+from repro.core.runtime import SDBRuntime
+from repro.emulator import SDBEmulator, build_controller
+from repro.hardware import SDBMicrocontroller
+from repro.workloads import constant_trace
+
+
+def inject_capacity_loss(cell, fraction):
+    """Sudden fade: the cell loses ``fraction`` of its capacity."""
+    cell.aging.state.fade = min(1.0, cell.aging.state.fade + fraction)
+
+
+def inject_resistance_growth(cell, factor):
+    """Resistance jump (e.g. a corroded tab) via the aging coupling."""
+    needed_fade = (factor - 1.0) / cell.params.aging.resistance_growth
+    cell.aging.state.fade = min(0.99, max(cell.aging.state.fade, needed_fade))
+
+
+class TestSuddenCapacityLoss:
+    def test_run_continues_after_midstream_fade(self):
+        controller = build_controller("phone", battery_ids=["B06", "B03"])
+        runtime = SDBRuntime(controller, discharge_policy=RBLDischargePolicy(), update_interval_s=60.0)
+        trace = constant_trace(1.5, 3600.0)
+        hit = {"done": False}
+
+        def fault_hook(mc, t, dt):
+            if t > 1800.0 and not hit["done"]:
+                inject_capacity_loss(mc.cells[0], 0.5)
+                hit["done"] = True
+
+        result = SDBEmulator(controller, runtime, trace, dt_s=10.0, hooks=[fault_hook]).run()
+        assert result.completed
+        assert hit["done"]
+
+    def test_faded_cell_reports_reduced_capacity(self):
+        cell = new_cell("B06")
+        inject_capacity_loss(cell, 0.3)
+        assert cell.capacity_c == pytest.approx(0.7 * cell.params.capacity_c)
+
+    def test_soc_semantics_survive_fade(self):
+        """SoC stays a fraction of *current* capacity after fade."""
+        cell = new_cell("B06", soc=0.5)
+        inject_capacity_loss(cell, 0.4)
+        assert 0.0 <= cell.soc <= 1.0
+        assert cell.usable_charge_c < cell.capacity_c
+
+
+class TestResistanceGrowth:
+    def test_rbl_shifts_load_off_degraded_cell(self):
+        healthy = [new_cell("B06", soc=0.7), new_cell("B06", soc=0.7)]
+        before = RBLDischargePolicy().discharge_ratios(healthy, 2.0)
+        assert before[0] == pytest.approx(0.5, abs=0.01)
+        inject_resistance_growth(healthy[0], 2.0)
+        after = RBLDischargePolicy().discharge_ratios(healthy, 2.0)
+        assert after[0] < 0.45
+
+    def test_degraded_cell_still_serves_when_alone(self):
+        cell = new_cell("B06", soc=0.7)
+        inject_resistance_growth(cell, 2.5)
+        mc = SDBMicrocontroller([cell])
+        report = mc.step_discharge(1.0, 10.0)
+        assert report.steps[0].delivered_w > 0
+
+
+class TestDeadCellMidRun:
+    def test_controller_survives_cell_dying(self):
+        controller = build_controller("phone", battery_ids=["B06", "B03"])
+        runtime = SDBRuntime(controller, discharge_policy=RBLDischargePolicy(), update_interval_s=60.0)
+        trace = constant_trace(1.0, 3600.0)
+
+        def kill_hook(mc, t, dt):
+            if 1790.0 < t < 1805.0:
+                mc.cells[0].soc = 0.0  # sudden death (protector tripped)
+
+        result = SDBEmulator(controller, runtime, trace, dt_s=10.0, hooks=[kill_hook]).run()
+        assert result.completed  # battery 1 carried the rest
+        assert result.battery_depletion_s[0] is not None
+
+    def test_ccb_ignores_dead_cell(self):
+        cells = [new_cell("B06", soc=0.0), new_cell("B06", soc=0.7)]
+        ratios = CCBDischargePolicy().discharge_ratios(cells, 1.0)
+        assert ratios[0] == 0.0
+        assert ratios[1] == pytest.approx(1.0)
+
+
+class TestWearTelemetryUnderFaults:
+    def test_wear_ratios_finite_after_extreme_fade(self):
+        cells = [new_cell("B06"), new_cell("B03")]
+        inject_capacity_loss(cells[0], 0.99)
+        lambdas = wear_ratios(cells)
+        assert all(lam >= 0.0 and lam == lam for lam in lambdas)  # finite, not NaN
+
+    def test_status_reports_fault_effects(self):
+        mc = SDBMicrocontroller([new_cell("B06")])
+        inject_capacity_loss(mc.cells[0], 0.25)
+        inject_resistance_growth(mc.cells[0], 1.4)
+        status = mc.query_status()[0]
+        assert status.capacity_mah < 2600 * 0.80
+        assert status.resistance_ohm > new_cell("B06").resistance()

@@ -1,0 +1,158 @@
+"""Tests for repro.cell.fuel_gauge and repro.cell.pack."""
+
+import pytest
+
+from repro.cell import FuelGauge, ParallelPack, SeriesPack, new_cell
+from repro.errors import BatteryEmptyError, PowerLimitError
+
+
+class TestFuelGauge:
+    def test_records_discharge_throughput(self):
+        cell = new_cell("B06")
+        gauge = FuelGauge(cell)
+        cell.step_current(1.0, 60.0)
+        assert gauge.total_discharged_c == pytest.approx(60.0)
+        assert gauge.total_charged_c == 0.0
+
+    def test_records_charge_throughput(self):
+        cell = new_cell("B06", soc=0.5)
+        gauge = FuelGauge(cell)
+        cell.step_current(-1.0, 60.0)
+        assert gauge.total_charged_c == pytest.approx(60.0)
+
+    def test_estimate_drifts_with_gain_error(self):
+        cell = new_cell("B06")
+        gauge = FuelGauge(cell, sense_gain_error=0.01)
+        for _ in range(100):
+            cell.step_current(2.0, 30.0)
+        # Gauge overestimates discharge by 1%, so its SoC reads lower.
+        assert gauge.estimated_soc < cell.soc
+        drift = cell.soc - gauge.estimated_soc
+        expected = 0.01 * (2.0 * 3000.0) / cell.capacity_c
+        assert drift == pytest.approx(expected, rel=0.05)
+
+    def test_ocv_correction_snaps_to_truth(self):
+        cell = new_cell("B06")
+        gauge = FuelGauge(cell, sense_gain_error=0.01)
+        for _ in range(50):
+            cell.step_current(2.0, 30.0)
+        gauge.ocv_rest_correction()
+        assert gauge.estimated_soc == cell.soc
+
+    def test_status_fields(self):
+        cell = new_cell("B06")
+        gauge = FuelGauge(cell)
+        cell.step_current(1.0, 10.0)
+        status = gauge.status()
+        assert status.name == cell.name
+        assert status.soc == cell.soc
+        assert status.capacity_mah == pytest.approx(2600, rel=0.01)
+        assert not status.is_empty
+        assert status.resistance_ohm == pytest.approx(cell.resistance())
+
+    def test_heat_accumulates(self):
+        cell = new_cell("B06")
+        gauge = FuelGauge(cell)
+        cell.step_current(3.0, 100.0)
+        assert gauge.total_heat_j > 0
+
+    def test_rejects_absurd_gain_error(self):
+        with pytest.raises(ValueError):
+            FuelGauge(new_cell("B06"), sense_gain_error=0.5)
+
+
+class TestSeriesPack:
+    def test_voltage_is_sum(self):
+        cells = [new_cell("B06"), new_cell("B06")]
+        pack = SeriesPack(cells)
+        assert pack.terminal_voltage() == pytest.approx(2 * cells[0].terminal_voltage())
+
+    def test_same_current_through_all(self):
+        pack = SeriesPack([new_cell("B06"), new_cell("B06")])
+        results = pack.step_discharge_power(5.0, 1.0)
+        assert results[0].current == pytest.approx(results[1].current)
+
+    def test_delivers_requested_power(self):
+        pack = SeriesPack([new_cell("B06"), new_cell("B06")])
+        results = pack.step_discharge_power(5.0, 1.0)
+        assert sum(r.delivered_w for r in results) == pytest.approx(5.0, rel=1e-6)
+
+    def test_dies_with_weakest_cell(self):
+        strong = new_cell("B06")
+        weak = new_cell("B06", soc=0.0)
+        pack = SeriesPack([strong, weak])
+        assert pack.is_empty
+        with pytest.raises(BatteryEmptyError):
+            pack.step_discharge_power(1.0, 1.0)
+
+    def test_over_power_raises(self):
+        pack = SeriesPack([new_cell("B12", soc=0.3)])
+        with pytest.raises(PowerLimitError):
+            pack.step_discharge_power(100.0, 1.0)
+
+    def test_rejects_empty_cell_list(self):
+        with pytest.raises(ValueError):
+            SeriesPack([])
+
+    def test_zero_power_rest(self):
+        pack = SeriesPack([new_cell("B06")])
+        results = pack.step_discharge_power(0.0, 1.0)
+        assert results[0].current == 0.0
+
+
+class TestParallelPack:
+    def test_currents_inverse_to_resistance(self):
+        """The paper's constraint: parallel currents split inversely with
+        internal resistance — the OS gets no control."""
+        low_r = new_cell("B10")  # 5000 mAh, low resistance
+        high_r = new_cell("B12")  # 200 mAh, high resistance
+        pack = ParallelPack([low_r, high_r])
+        currents = pack.split_currents(3.0)
+        assert currents[0] > currents[1]
+        # Equal OCV, so ratio of currents ~ inverse ratio of resistance.
+        expected = high_r.resistance() / low_r.resistance()
+        assert currents[0] / currents[1] == pytest.approx(expected, rel=0.1)
+
+    def test_identical_cells_split_evenly(self):
+        pack = ParallelPack([new_cell("B06"), new_cell("B06")])
+        currents = pack.split_currents(4.0)
+        assert currents[0] == pytest.approx(currents[1], rel=1e-6)
+
+    def test_delivers_requested_power(self):
+        pack = ParallelPack([new_cell("B06"), new_cell("B06")])
+        results = pack.step_discharge_power(4.0, 1.0)
+        assert sum(r.delivered_w for r in results) == pytest.approx(4.0, rel=1e-3)
+
+    def test_empty_cell_contributes_nothing(self):
+        full = new_cell("B06")
+        empty = new_cell("B06", soc=0.0)
+        pack = ParallelPack([full, empty])
+        currents = pack.split_currents(2.0)
+        assert currents[1] == 0.0
+        assert currents[0] > 0.0
+
+    def test_pack_empty_only_when_all_empty(self):
+        pack = ParallelPack([new_cell("B06"), new_cell("B06", soc=0.0)])
+        assert not pack.is_empty
+        pack.cells[0].reset(0.0)
+        assert pack.is_empty
+
+    def test_all_empty_raises(self):
+        pack = ParallelPack([new_cell("B06", soc=0.0)])
+        with pytest.raises(BatteryEmptyError):
+            pack.split_currents(1.0)
+
+    def test_over_power_raises(self):
+        pack = ParallelPack([new_cell("B12", soc=0.2)])
+        with pytest.raises(PowerLimitError):
+            pack.split_currents(50.0)
+
+    def test_soc_capacity_weighted(self):
+        big = new_cell("B10", soc=1.0)  # 5000 mAh
+        small = new_cell("B12", soc=0.0)  # 200 mAh
+        pack = ParallelPack([big, small])
+        assert pack.soc == pytest.approx(5000 / 5200, rel=0.01)
+
+    def test_zero_power(self):
+        pack = ParallelPack([new_cell("B06")])
+        assert pack.split_currents(0.0) == [0.0]

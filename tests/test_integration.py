@@ -1,0 +1,186 @@
+"""Integration tests: whole-system behaviours across module boundaries."""
+
+import pytest
+
+from repro import units
+from repro.core.metrics import cycle_count_balance, wear_ratios
+from repro.core.policies import (
+    BlendedChargePolicy,
+    BlendedDischargePolicy,
+    RBLDischargePolicy,
+    SingleBatteryDischargePolicy,
+)
+from repro.core.runtime import SDBRuntime
+from repro.emulator import PlugSchedule, PlugWindow, SDBEmulator, build_controller
+from repro.hardware import SDBMicrocontroller, TraditionalPMIC
+from repro.cell import new_cell
+from repro.workloads import constant_trace, episodes_trace
+from repro.workloads.generators import smartwatch_day_trace
+from repro.workloads.traces import PowerTrace, Segment
+
+
+def multi_day_trace(days: int) -> PowerTrace:
+    """A repeating daily phone workload."""
+    day_s = units.SECONDS_PER_DAY
+    segments = []
+    for day in range(days):
+        base = day * day_s
+        segments.append(Segment(base, 8 * 3600.0, 0.15))  # night idle
+        segments.append(Segment(base + 8 * 3600.0, 12 * 3600.0, 1.0))  # day use
+        segments.append(Segment(base + 20 * 3600.0, 4 * 3600.0, 0.4))  # evening
+    return PowerTrace(segments)
+
+
+def nightly_charging(days: int, power_w: float = 10.0) -> PlugSchedule:
+    """Plugged in from hour 0 to 6 every day."""
+    day_s = units.SECONDS_PER_DAY
+    windows = [PlugWindow(day * day_s, day * day_s + 6 * 3600.0, power_w) for day in range(days)]
+    return PlugSchedule(windows)
+
+
+class TestMultiDayLifecycle:
+    @pytest.fixture(scope="class")
+    def result_and_controller(self):
+        days = 4
+        controller = build_controller("phone", battery_ids=["B06", "B03"])
+        runtime = SDBRuntime(
+            controller,
+            discharge_policy=BlendedDischargePolicy(0.5),
+            charge_policy=BlendedChargePolicy(0.5),
+            update_interval_s=300.0,
+        )
+        emulator = SDBEmulator(
+            controller,
+            runtime,
+            multi_day_trace(days),
+            plug=nightly_charging(days),
+            dt_s=30.0,
+        )
+        return emulator.run(), controller
+
+    def test_survives_all_days(self, result_and_controller):
+        result, _ = result_and_controller
+        assert result.completed
+
+    def test_batteries_recharge_overnight(self, result_and_controller):
+        result, _ = result_and_controller
+        # SoC at the end of each night's charge window is higher than at
+        # its start.
+        day_s = units.SECONDS_PER_DAY
+        for day in range(1, 4):
+            start_idx = int(day * day_s / result.dt_s)
+            end_idx = int((day * day_s + 6 * 3600) / result.dt_s) - 1
+            start_soc = sum(result.soc_history[start_idx])
+            end_soc = sum(result.soc_history[end_idx])
+            assert end_soc > start_soc
+
+    def test_cycle_counters_advance(self, result_and_controller):
+        _, controller = result_and_controller
+        assert any(cell.aging.state.cycle_count >= 1 for cell in controller.cells)
+
+    def test_charge_energy_accounted(self, result_and_controller):
+        result, _ = result_and_controller
+        assert result.charge_input_j > result.delivered_j * 0.5  # most energy came from the wall
+
+    def test_wear_accumulates_on_both(self, result_and_controller):
+        _, controller = result_and_controller
+        lambdas = wear_ratios(controller.cells)
+        assert all(lam > 0 for lam in lambdas)
+
+
+class TestEnergyConservation:
+    def test_emulator_books_balance(self):
+        """Chemical energy drawn from the cells equals delivered + losses
+        (excluding the RC branch's small stored energy)."""
+        controller = build_controller("phone", battery_ids=["B06", "B03"])
+        runtime = SDBRuntime(controller, discharge_policy=RBLDischargePolicy())
+        chem_before = sum(cell.open_circuit_energy_j() for cell in controller.cells)
+        result = SDBEmulator(controller, runtime, constant_trace(3.0, 2 * 3600.0), dt_s=10.0).run()
+        chem_after = sum(cell.open_circuit_energy_j() for cell in controller.cells)
+        drawn = chem_before - chem_after
+        accounted = result.delivered_j + result.battery_heat_j + result.circuit_loss_j
+        assert accounted == pytest.approx(drawn, rel=0.02)
+
+    def test_losses_scale_with_load(self):
+        def run(load):
+            controller = build_controller("phone", battery_ids=["B06", "B03"])
+            runtime = SDBRuntime(controller, discharge_policy=RBLDischargePolicy())
+            return SDBEmulator(controller, runtime, constant_trace(load, 1800.0), dt_s=10.0).run()
+
+        low = run(1.0)
+        high = run(4.0)
+        # 4x the power for the same duration: resistive losses grow
+        # superlinearly (roughly quadratically in current).
+        assert high.battery_heat_j > 8 * low.battery_heat_j
+
+
+class TestSdbVsTraditional:
+    def test_sdb_outlives_single_battery_policy_on_hetero_pack(self):
+        """With heterogeneous batteries, loss-aware splitting beats
+        treating the pack as one lump."""
+
+        def life(policy):
+            controller = build_controller("watch")
+            runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=120.0)
+            trace = episodes_trace(0.08, 20 * 3600.0, [(4 * 3600.0, 1800.0, 0.6)])
+            return SDBEmulator(controller, runtime, trace, dt_s=20.0).run().total_loss_j
+
+        sdb_losses = life(RBLDischargePolicy())
+        lump_losses = life(SingleBatteryDischargePolicy(0))
+        assert sdb_losses < lump_losses
+
+    def test_pmic_and_sdb_agree_on_single_battery(self):
+        """On one battery, SDB reduces to the PMIC: same load, comparable
+        losses (same circuit models underneath)."""
+        cell_a = new_cell("B09")
+        cell_b = new_cell("B09")
+        pmic = TraditionalPMIC(cell_a)
+        sdb = SDBMicrocontroller([cell_b])
+        heat_pmic = 0.0
+        heat_sdb = 0.0
+        for _ in range(360):
+            heat_pmic += pmic.step_discharge(5.0, 10.0).battery_heat_w * 10.0
+            heat_sdb += sdb.step_discharge(5.0, 10.0).battery_heat_w * 10.0
+        assert heat_pmic == pytest.approx(heat_sdb, rel=0.01)
+
+
+class TestCcbConvergence:
+    def test_blended_policy_balances_wear_over_a_week(self):
+        """Starting with unbalanced wear, a CCB-leaning blend narrows the
+        gap over a week of daily cycles."""
+        controller = build_controller("phone", battery_ids=["B09", "B09"])
+        controller.cells[0].aging.state.throughput_c = 50 * 2 * controller.cells[0].params.capacity_c
+        before = cycle_count_balance(wear_ratios(controller.cells))
+        runtime = SDBRuntime(
+            controller,
+            discharge_policy=BlendedDischargePolicy(0.1),
+            charge_policy=BlendedChargePolicy(0.1),
+            update_interval_s=600.0,
+        )
+        days = 5
+        emulator = SDBEmulator(
+            controller,
+            runtime,
+            multi_day_trace(days),
+            plug=nightly_charging(days, power_w=12.0),
+            dt_s=60.0,
+        )
+        emulator.run()
+        after = cycle_count_balance(wear_ratios(controller.cells))
+        assert after < before
+
+
+class TestRuntimeUnderFailure:
+    def test_policy_failure_does_not_kill_emulation(self):
+        """A policy that throws must not crash the loop; the hardware's
+        own fallback keeps serving the load."""
+
+        class ExplodingPolicy(RBLDischargePolicy):
+            def discharge_ratios(self, cells, load_w, t=0.0):
+                raise RuntimeError("policy bug")
+
+        controller = build_controller("phone")
+        runtime = SDBRuntime(controller, discharge_policy=ExplodingPolicy())
+        result = SDBEmulator(controller, runtime, constant_trace(1.0, 600.0), dt_s=10.0).run()
+        assert result.completed
+        assert result.delivered_j == pytest.approx(600.0, rel=1e-6)

@@ -1,0 +1,148 @@
+"""Tests for repro.chemistry.types and repro.chemistry.library."""
+
+import pytest
+
+from repro import units
+from repro.chemistry import (
+    BATTERY_LIBRARY,
+    CHEMISTRY_SPECS,
+    ChemistryType,
+    battery_by_id,
+    battery_ids,
+    make_cell_params,
+)
+from repro.chemistry.types import TABLE_1_CHARACTERISTICS
+
+
+class TestChemistrySpecs:
+    def test_all_four_types_present(self):
+        assert set(CHEMISTRY_SPECS) == set(ChemistryType)
+
+    def test_type2_has_best_energy_density(self):
+        """Figure 1(a): Type 2 is the energy-density champion."""
+        t2 = CHEMISTRY_SPECS[ChemistryType.TYPE_2_LCO_STANDARD]
+        for ctype, spec in CHEMISTRY_SPECS.items():
+            if ctype is not ChemistryType.TYPE_2_LCO_STANDARD:
+                assert spec.energy_density_wh_per_l < t2.energy_density_wh_per_l
+
+    def test_type1_charges_fastest(self):
+        """Type 1 is the power-tool chemistry: highest charge rate."""
+        t1 = CHEMISTRY_SPECS[ChemistryType.TYPE_1_LFP_POWER]
+        assert t1.max_charge_c == max(s.max_charge_c for s in CHEMISTRY_SPECS.values())
+
+    def test_type1_half_the_energy_density_of_type2(self):
+        """Section 2.1: a Type 1 battery is ~double the volume of a Type 2
+        at equal capacity."""
+        t1 = CHEMISTRY_SPECS[ChemistryType.TYPE_1_LFP_POWER]
+        t2 = CHEMISTRY_SPECS[ChemistryType.TYPE_2_LCO_STANDARD]
+        ratio = t2.energy_density_wh_per_l / t1.energy_density_wh_per_l
+        assert 1.7 < ratio < 2.3
+
+    def test_type4_is_the_only_bendable(self):
+        for ctype, spec in CHEMISTRY_SPECS.items():
+            assert spec.bendable == (ctype is ChemistryType.TYPE_4_BENDABLE)
+
+    def test_type4_has_highest_resistance(self):
+        """The solid ceramic separator raises ionic resistance (Sec 2.1)."""
+        t4 = CHEMISTRY_SPECS[ChemistryType.TYPE_4_BENDABLE]
+        assert t4.r_full_per_ah == max(s.r_full_per_ah for s in CHEMISTRY_SPECS.values())
+
+    def test_type3_power_energy_tradeoff_vs_type2(self):
+        """Type 3 trades energy density for power (lower separator density)."""
+        t2 = CHEMISTRY_SPECS[ChemistryType.TYPE_2_LCO_STANDARD]
+        t3 = CHEMISTRY_SPECS[ChemistryType.TYPE_3_LCO_HIGH_POWER]
+        assert t3.energy_density_wh_per_l < t2.energy_density_wh_per_l
+        assert t3.r_full_per_ah < t2.r_full_per_ah
+        assert t3.max_discharge_c > t2.max_discharge_c
+
+    def test_radar_scores_in_range(self):
+        for spec in CHEMISTRY_SPECS.values():
+            for score in spec.radar.as_mapping().values():
+                assert 0.0 <= score <= 10.0
+
+    def test_radar_mapping_has_six_axes(self):
+        spec = CHEMISTRY_SPECS[ChemistryType.TYPE_2_LCO_STANDARD]
+        assert len(spec.radar.as_mapping()) == 6
+
+    def test_spec_names_follow_figure_legend(self):
+        name = CHEMISTRY_SPECS[ChemistryType.TYPE_4_BENDABLE].name
+        assert name.startswith("Type 4")
+        assert "ceramic" in name
+
+    def test_table1_covers_paper_axes(self):
+        names = {name for name, _ in TABLE_1_CHARACTERISTICS}
+        for expected in ("Energy capacity", "Cycle count", "Internal resistance", "Bend radius"):
+            assert expected in names
+        assert len(TABLE_1_CHARACTERISTICS) == 15
+
+
+class TestLibrary:
+    def test_library_has_fifteen_batteries(self):
+        assert len(BATTERY_LIBRARY) == 15
+
+    def test_paper_type_mix(self):
+        """Section 4.3: two Type 4, two Type 3 (+1 fast-charge variant),
+        eight Type 2, three others."""
+        counts = {}
+        for desc in BATTERY_LIBRARY.values():
+            counts[desc.chemistry] = counts.get(desc.chemistry, 0) + 1
+        assert counts[ChemistryType.TYPE_4_BENDABLE] == 2
+        assert counts[ChemistryType.TYPE_2_LCO_STANDARD] == 8
+        assert counts[ChemistryType.TYPE_3_LCO_HIGH_POWER] == 3
+        assert counts[ChemistryType.TYPE_1_LFP_POWER] == 2
+
+    def test_battery_ids_sorted(self):
+        ids = battery_ids()
+        assert list(ids) == sorted(ids)
+        assert ids[0] == "B01"
+
+    def test_lookup_unknown_id(self):
+        with pytest.raises(KeyError):
+            battery_by_id("B99")
+
+    def test_capacity_conversions(self):
+        desc = battery_by_id("B06")
+        assert desc.capacity_c == pytest.approx(units.mah_to_coulombs(2600))
+        assert desc.capacity_ah == pytest.approx(2.6)
+
+    def test_resistance_scales_inverse_with_capacity(self):
+        small = battery_by_id("B12")  # 200 mAh Type 2
+        large = battery_by_id("B10")  # 5000 mAh Type 2
+        assert small.r_full_ohm > large.r_full_ohm * 10
+
+    def test_fast_charge_battery_overrides(self):
+        fast = battery_by_id("B14")
+        assert fast.effective_max_charge_c == 4.0
+        assert fast.effective_energy_density_wh_per_l == pytest.approx(535.0)
+        # And the override shows up in derived cell params.
+        params = make_cell_params(fast)
+        assert params.max_charge_c == 4.0
+        assert params.aging.fade_rate_coeff == pytest.approx(1.5e-5)
+
+    def test_defaults_pass_through_when_no_override(self):
+        std = battery_by_id("B05")
+        params = make_cell_params(std)
+        spec = std.spec
+        assert params.max_charge_c == spec.max_charge_c
+        assert params.aging.fade_rate_coeff == spec.fade_rate_coeff
+
+    def test_make_cell_params_rejects_soh_argument(self):
+        with pytest.raises(ValueError):
+            make_cell_params(battery_by_id("B06"), initial_soh=0.9)
+
+    def test_derived_curves_have_spec_endpoints(self):
+        desc = battery_by_id("B03")
+        params = make_cell_params(desc)
+        assert params.dcir(1.0) == pytest.approx(desc.r_full_ohm, rel=1e-9)
+        assert params.dcir(0.0) == pytest.approx(desc.r_full_ohm * desc.spec.r_empty_ratio, rel=1e-9)
+        assert params.ocp(1.0) == pytest.approx(desc.spec.v_full + desc.v_offset, abs=1e-9)
+
+    def test_bendable_cells_much_more_resistive(self):
+        """Figure 1(c): the Type 4 construction is far lossier."""
+        bendable = battery_by_id("B01")
+        rigid = battery_by_id("B12")  # same 200 mAh size, Type 2
+        assert bendable.r_full_ohm > 2 * rigid.r_full_ohm
+
+    def test_energy_wh_sanity(self):
+        desc = battery_by_id("B09")  # 4000 mAh at 3.8 V nominal
+        assert desc.energy_wh == pytest.approx(15.2, rel=0.01)

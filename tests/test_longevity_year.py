@@ -1,0 +1,39 @@
+"""Tests for the year-of-ownership longevity experiment."""
+
+import pytest
+
+from repro.experiments.longevity_year import run_longevity_year, simulate_year
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_longevity_year(days=30, dt_s=300.0)
+
+
+class TestLongevityYear:
+    def test_all_policies_reported(self, result):
+        assert len(result.outcomes) == 3
+        assert len(result.summary.rows) == 3
+
+    def test_ccb_policy_balances_wear(self, result):
+        """The CCB-leaning policies end closer to CCB = 1 than pure RBL."""
+        ccb_only = result.outcomes["ccb only (p=0.0)"].final_ccb
+        rbl_only = result.outcomes["rbl only (p=1.0)"].final_ccb
+        assert ccb_only <= rbl_only
+        assert ccb_only == pytest.approx(1.0, abs=0.05)
+
+    def test_retention_is_chemistry_dominated(self, result):
+        """Under every policy the bendable (fragile chemistry) fades
+        faster than the Li-ion — allocation cannot overcome chemistry."""
+        for outcome in result.outcomes.values():
+            li_ion, bendable = outcome.retention_by_battery
+            assert bendable < li_ion
+
+    def test_no_warranty_breach_in_a_month(self, result):
+        for outcome in result.outcomes.values():
+            assert outcome.first_warranty_breach_day is None
+
+    def test_retention_declines_with_horizon(self):
+        short = simulate_year(0.5, days=5, dt_s=300.0)
+        longer = simulate_year(0.5, days=20, dt_s=300.0)
+        assert longer.worst_retention < short.worst_retention

@@ -1,0 +1,101 @@
+"""Tests for repro.core.metrics."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core.metrics import (
+    cycle_count_balance,
+    instantaneous_loss_w,
+    open_circuit_energy_j,
+    remaining_battery_lifetime_j,
+    wear_ratios,
+)
+
+
+class TestWearRatios:
+    def test_fresh_cells_zero_wear(self):
+        cells = [new_cell("B06"), new_cell("B03")]
+        assert wear_ratios(cells) == [0.0, 0.0]
+
+    def test_smooth_wear_tracks_throughput(self):
+        cell = new_cell("B06")
+        cell.step_current(1.0, 3600.0)
+        (lam,) = wear_ratios([cell])
+        expected = 3600.0 / (2 * cell.params.capacity_c) / cell.params.aging.tolerable_cycles
+        assert lam == pytest.approx(expected)
+
+    def test_quantized_wear_uses_cycle_count(self):
+        cell = new_cell("B06", soc=0.0)
+        cell.aging.record_charge(cell.capacity_c, 0.5)
+        (lam,) = wear_ratios([cell], smooth=False)
+        assert lam == pytest.approx(cell.aging.state.cycle_count / 1000)
+
+
+class TestCCB:
+    def test_balanced_is_one(self):
+        assert cycle_count_balance([0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_unbalanced_ratio(self):
+        assert cycle_count_balance([0.2, 0.4]) == pytest.approx(2.0)
+
+    def test_zero_wear_floored(self):
+        assert cycle_count_balance([0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_single_battery(self):
+        assert cycle_count_balance([0.3]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_count_balance([])
+
+
+class TestRBL:
+    def test_open_circuit_energy_sums(self):
+        a, b = new_cell("B06"), new_cell("B03")
+        assert open_circuit_energy_j([a, b]) == pytest.approx(
+            a.open_circuit_energy_j() + b.open_circuit_energy_j()
+        )
+
+    def test_no_reference_load_equals_open_circuit(self):
+        cells = [new_cell("B06")]
+        assert remaining_battery_lifetime_j(cells) == pytest.approx(open_circuit_energy_j(cells))
+
+    def test_reference_load_reduces_rbl(self):
+        cells = [new_cell("B06"), new_cell("B01")]
+        assert remaining_battery_lifetime_j(cells, reference_load_w=5.0) < open_circuit_energy_j(cells)
+
+    def test_higher_load_lower_rbl(self):
+        cells = [new_cell("B06"), new_cell("B01")]
+        low = remaining_battery_lifetime_j(cells, reference_load_w=1.0)
+        high = remaining_battery_lifetime_j(cells, reference_load_w=8.0)
+        assert high < low
+
+    def test_empty_cell_contributes_nothing(self):
+        full = new_cell("B06")
+        empty = new_cell("B06", soc=0.0)
+        both = remaining_battery_lifetime_j([full, empty], reference_load_w=2.0)
+        alone = remaining_battery_lifetime_j([full], reference_load_w=2.0)
+        assert both == pytest.approx(alone, rel=1e-6)
+
+
+class TestInstantaneousLoss:
+    def test_loss_is_quadratic_in_power(self):
+        cells = [new_cell("B06")]
+        one = instantaneous_loss_w(cells, [1.0])
+        two = instantaneous_loss_w(cells, [2.0])
+        assert two == pytest.approx(4 * one, rel=0.01)
+
+    def test_splitting_reduces_loss(self):
+        """The physics behind Figure 14: splitting a load across two equal
+        batteries quarters each battery's loss, halving the total."""
+        a, b = new_cell("B11"), new_cell("B11")
+        single = instantaneous_loss_w([a, b], [10.0, 0.0])
+        split = instantaneous_loss_w([a, b], [5.0, 5.0])
+        assert split == pytest.approx(single / 2, rel=0.01)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            instantaneous_loss_w([new_cell("B06")], [1.0, 2.0])
+
+    def test_zero_power_zero_loss(self):
+        assert instantaneous_loss_w([new_cell("B06")], [0.0]) == 0.0

@@ -1,0 +1,210 @@
+"""Tests for repro.hardware.microcontroller and repro.hardware.pmic."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.errors import PowerLimitError, RatioError
+from repro.hardware import SDBMicrocontroller, TraditionalPMIC
+from repro.hardware.charge import FAST_PROFILE, GENTLE_PROFILE
+
+
+def make_mc(soc=1.0):
+    return SDBMicrocontroller([new_cell("B06", soc=soc), new_cell("B03", soc=soc)])
+
+
+class TestRatioCommands:
+    def test_default_ratios_even(self):
+        mc = make_mc()
+        assert mc.discharge_ratios == [0.5, 0.5]
+        assert mc.charge_ratios == [0.5, 0.5]
+
+    def test_set_ratios(self):
+        mc = make_mc()
+        mc.set_discharge_ratios([0.9, 0.1])
+        mc.set_charge_ratios([0.2, 0.8])
+        assert mc.discharge_ratios == [0.9, 0.1]
+        assert mc.charge_ratios == [0.2, 0.8]
+
+    def test_rejects_invalid_ratios(self):
+        mc = make_mc()
+        with pytest.raises(RatioError):
+            mc.set_discharge_ratios([0.9, 0.2])
+        with pytest.raises(RatioError):
+            mc.set_charge_ratios([1.0])
+
+    def test_profiles_selectable_per_battery(self):
+        mc = make_mc()
+        mc.select_profile(1, FAST_PROFILE)
+        assert mc.profiles[1] is FAST_PROFILE
+        assert mc.profiles[0] is not FAST_PROFILE
+
+
+class TestDischarge:
+    def test_power_split_follows_ratios(self):
+        mc = make_mc()
+        mc.set_discharge_ratios([0.8, 0.2])
+        report = mc.step_discharge(4.0, 1.0)
+        share = report.battery_powers_w[0] / sum(report.battery_powers_w)
+        assert share == pytest.approx(0.8, abs=0.01)
+
+    def test_batteries_supply_load_plus_loss(self):
+        mc = make_mc()
+        report = mc.step_discharge(4.0, 1.0)
+        assert sum(report.battery_powers_w) == pytest.approx(4.0 + report.circuit_loss_w)
+
+    def test_empty_battery_share_redistributed(self):
+        mc = make_mc()
+        mc.cells[0].reset(0.0)
+        mc.set_discharge_ratios([0.5, 0.5])
+        report = mc.step_discharge(2.0, 1.0)
+        assert report.battery_powers_w[0] == 0.0
+        assert report.battery_powers_w[1] > 2.0 * 0.99
+
+    def test_all_empty_raises(self):
+        mc = make_mc(soc=0.0)
+        from repro.errors import BatteryEmptyError
+
+        with pytest.raises(BatteryEmptyError):
+            mc.step_discharge(1.0, 1.0)
+
+    def test_over_capability_raises(self):
+        mc = SDBMicrocontroller([new_cell("B01", soc=0.5), new_cell("B02", soc=0.5)])
+        with pytest.raises(PowerLimitError):
+            mc.step_discharge(50.0, 1.0)
+
+    def test_weak_battery_capped_strong_picks_up(self):
+        """A bendable cell cannot carry half of a heavy load; the Type 3
+        cell must absorb the overflow."""
+        mc = SDBMicrocontroller([new_cell("B03"), new_cell("B01")])
+        mc.set_discharge_ratios([0.5, 0.5])
+        report = mc.step_discharge(4.0, 1.0)
+        assert report.battery_powers_w[1] < report.battery_powers_w[0]
+        assert sum(report.battery_powers_w) == pytest.approx(4.0 + report.circuit_loss_w)
+
+    def test_zero_load_rests_cells(self):
+        mc = make_mc()
+        report = mc.step_discharge(0.0, 5.0)
+        assert report.battery_powers_w == [0.0, 0.0]
+        assert all(s.current == 0.0 for s in report.steps)
+
+    def test_heat_accounting(self):
+        mc = make_mc()
+        report = mc.step_discharge(6.0, 1.0)
+        assert report.battery_heat_w > 0
+        assert report.total_loss_w == pytest.approx(report.circuit_loss_w + report.battery_heat_w)
+
+    def test_gauges_observe_discharge(self):
+        mc = make_mc()
+        mc.step_discharge(4.0, 10.0)
+        assert all(g.total_discharged_c > 0 for g in mc.gauges)
+
+
+class TestCharge:
+    def test_charge_splits_by_ratio(self):
+        mc = make_mc(soc=0.3)
+        mc.set_charge_ratios([0.7, 0.3])
+        report = mc.step_charge(5.0, 1.0)
+        assert report.channels[0].input_power_w > report.channels[1].input_power_w
+
+    def test_full_battery_unused_budget_reported(self):
+        mc = make_mc(soc=0.3)
+        mc.cells[0].reset(1.0)
+        report = mc.step_charge(5.0, 1.0)
+        assert report.channels[0].input_power_w == 0.0
+        assert report.unused_w > 0
+
+    def test_profile_caps_current(self):
+        mc = make_mc(soc=0.2)
+        mc.select_profile(0, GENTLE_PROFILE)
+        report = mc.step_charge(50.0, 1.0)
+        gentle_amps = 0.3 * mc.cells[0].params.capacity_c / 3600.0
+        assert report.channels[0].delivered_current_a <= gentle_amps * 1.02
+
+    def test_budget_caps_current_when_supply_weak(self):
+        mc = make_mc(soc=0.2)
+        report = mc.step_charge(1.0, 1.0)
+        assert report.input_used_w <= 1.0 * 1.05
+
+    def test_charging_moves_soc(self):
+        mc = make_mc(soc=0.3)
+        for _ in range(60):
+            mc.step_charge(10.0, 10.0)
+        assert all(cell.soc > 0.3 for cell in mc.cells)
+
+    def test_rejects_negative_power(self):
+        mc = make_mc()
+        with pytest.raises(ValueError):
+            mc.step_charge(-1.0, 1.0)
+
+
+class TestTransferAndStatus:
+    def test_transfer_between_batteries(self):
+        mc = make_mc(soc=0.5)
+        report = mc.transfer(0, 1, 2.0, 10.0)
+        assert report.drawn_w > 0
+        assert report.stored_w > 0
+        assert report.loss_w > 0
+        assert mc.cells[0].soc < 0.5
+        assert mc.cells[1].soc > 0.5
+
+    def test_transfer_rejects_same_battery(self):
+        mc = make_mc()
+        with pytest.raises(ValueError):
+            mc.transfer(0, 0, 1.0, 1.0)
+
+    def test_query_status_one_entry_per_battery(self):
+        mc = make_mc()
+        statuses = mc.query_status()
+        assert len(statuses) == 2
+        assert statuses[0].name.startswith("B06")
+        assert statuses[1].name.startswith("B03")
+
+    def test_available_discharge_power_shrinks_when_empty(self):
+        mc = make_mc()
+        full_power = mc.available_discharge_power()
+        mc.cells[0].reset(0.0)
+        assert mc.available_discharge_power() < full_power
+
+
+class TestConstruction:
+    def test_rejects_no_cells(self):
+        with pytest.raises(ValueError):
+            SDBMicrocontroller([])
+
+    def test_rejects_profile_count_mismatch(self):
+        with pytest.raises(ValueError):
+            SDBMicrocontroller([new_cell("B06")], profiles=[GENTLE_PROFILE, FAST_PROFILE])
+
+
+class TestTraditionalPMIC:
+    def test_discharge_serves_load(self):
+        pmic = TraditionalPMIC(new_cell("B09"))
+        report = pmic.step_discharge(5.0, 1.0)
+        assert report.battery_powers_w[0] > 5.0  # load + circuit loss
+
+    def test_fixed_profile_charging(self):
+        pmic = TraditionalPMIC(new_cell("B09", soc=0.2))
+        report = pmic.step_charge(20.0, 1.0)
+        max_amps = 0.7 * pmic.cell.params.capacity_c / 3600.0
+        assert report.channels[0].delivered_current_a <= max_amps * 1.02
+
+    def test_time_to_charge_monotone_in_target(self):
+        pmic = TraditionalPMIC(new_cell("B09", soc=0.0))
+        t40 = pmic.time_to_charge(0.4, external_w=25.0)
+        pmic2 = TraditionalPMIC(new_cell("B09", soc=0.0))
+        t80 = pmic2.time_to_charge(0.8, external_w=25.0)
+        assert 0 < t40 < t80
+
+    def test_charge_full_is_noop(self):
+        pmic = TraditionalPMIC(new_cell("B09", soc=1.0))
+        report = pmic.step_charge(20.0, 1.0)
+        assert report.terminal_w == 0.0
+
+    def test_status_single_entry(self):
+        pmic = TraditionalPMIC(new_cell("B09"))
+        assert len(pmic.query_status()) == 1
+
+    def test_zero_load(self):
+        pmic = TraditionalPMIC(new_cell("B09"))
+        report = pmic.step_discharge(0.0, 1.0)
+        assert report.battery_powers_w == [0.0]

@@ -1,0 +1,106 @@
+"""Three-plus battery configurations through the whole stack.
+
+The paper's APIs are N-ary (Charge(c1..cN)); most scenarios use N=2, so
+these tests make sure nothing silently assumes a pair.
+"""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core.metrics import cycle_count_balance, wear_ratios
+from repro.core.policies import (
+    BlendedDischargePolicy,
+    CCBDischargePolicy,
+    PreserveDischargePolicy,
+    RBLChargePolicy,
+    RBLDischargePolicy,
+)
+from repro.core.runtime import SDBRuntime
+from repro.emulator import SDBEmulator
+from repro.hardware import SDBMicrocontroller
+from repro.workloads import constant_trace
+from repro.workloads.generators import smartwatch_day_trace
+
+
+def three_battery_watch():
+    """Body Li-ion plus two bendable strap cells (left and right strap)."""
+    return SDBMicrocontroller([new_cell("B12"), new_cell("B01"), new_cell("B02")])
+
+
+def four_battery_tablet():
+    return SDBMicrocontroller([new_cell("B09"), new_cell("B14"), new_cell("B11"), new_cell("B04")])
+
+
+class TestPoliciesAtN3:
+    def test_rbl_orders_by_resistance(self):
+        mc = three_battery_watch()
+        ratios = RBLDischargePolicy().discharge_ratios(mc.cells, 0.3)
+        assert len(ratios) == 3
+        # Body cell (lowest R) leads; B02 (highest R) trails.
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_preserve_spreads_background_over_both_straps(self):
+        mc = three_battery_watch()
+        ratios = PreserveDischargePolicy(0, high_power_threshold_w=0.5).discharge_ratios(mc.cells, 0.1)
+        assert ratios[0] == 0.0
+        assert ratios[1] > 0.0 and ratios[2] > 0.0
+
+    def test_ccb_balances_three_wear_levels(self):
+        mc = three_battery_watch()
+        mc.cells[1].aging.state.throughput_c = 100 * 2 * mc.cells[1].params.capacity_c
+        ratios = CCBDischargePolicy().discharge_ratios(mc.cells, 0.3)
+        assert ratios[1] < 0.05
+
+    def test_charge_policy_handles_four(self):
+        mc = four_battery_tablet()
+        for cell in mc.cells:
+            cell.reset(0.3)
+        ratios = RBLChargePolicy().charge_ratios(mc.cells, 30.0)
+        assert len(ratios) == 4
+        assert sum(ratios) == pytest.approx(1.0)
+
+
+class TestHardwareAtN4:
+    def test_discharge_splits_across_four(self):
+        mc = four_battery_tablet()
+        mc.set_discharge_ratios([0.4, 0.3, 0.2, 0.1])
+        report = mc.step_discharge(20.0, 1.0)
+        assert sum(report.battery_powers_w) == pytest.approx(20.0 + report.circuit_loss_w)
+        shares = [p / sum(report.battery_powers_w) for p in report.battery_powers_w]
+        assert shares == pytest.approx([0.4, 0.3, 0.2, 0.1], abs=0.01)
+
+    def test_charge_splits_across_four(self):
+        mc = four_battery_tablet()
+        for cell in mc.cells:
+            cell.reset(0.3)
+        mc.set_charge_ratios([0.25] * 4)
+        report = mc.step_charge(40.0, 1.0)
+        active = [c for c in report.channels if c.input_power_w > 0]
+        assert len(active) == 4
+
+    def test_two_disconnected_two_carry(self):
+        mc = four_battery_tablet()
+        mc.set_connected(1, False)
+        mc.set_connected(3, False)
+        report = mc.step_discharge(10.0, 1.0)
+        assert report.battery_powers_w[1] == 0.0
+        assert report.battery_powers_w[3] == 0.0
+        assert report.battery_powers_w[0] > 0 and report.battery_powers_w[2] > 0
+
+
+class TestEmulationAtN3:
+    def test_three_battery_watch_day(self):
+        mc = three_battery_watch()
+        runtime = SDBRuntime(mc, discharge_policy=BlendedDischargePolicy(0.5), update_interval_s=120.0)
+        trace = smartwatch_day_trace(run_power_w=0.4)  # gentle enough for the straps
+        result = SDBEmulator(mc, runtime, trace, dt_s=30.0).run()
+        assert result.battery_life_h > 8.0
+        assert all(len(row) == 3 for row in result.soc_history)
+
+    def test_wear_spreads_across_three(self):
+        mc = three_battery_watch()
+        runtime = SDBRuntime(mc, discharge_policy=CCBDischargePolicy(), update_interval_s=120.0)
+        SDBEmulator(mc, runtime, constant_trace(0.15, 6 * 3600.0), dt_s=30.0).run()
+        lambdas = wear_ratios(mc.cells)
+        assert all(lam > 0 for lam in lambdas)
+        assert cycle_count_balance(lambdas) < 10.0

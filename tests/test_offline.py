@@ -1,0 +1,122 @@
+"""Tests for repro.core.offline and the offline-bound experiment."""
+
+import numpy as np
+import pytest
+
+from repro.cell import new_cell
+from repro.core.offline import (
+    BatteryAbstract,
+    OfflineSchedule,
+    abstract_cell,
+    optimality_gap,
+    solve_offline_schedule,
+)
+from repro.experiments.offline_bound import run_offline_bound
+from repro.workloads import PowerTrace, Segment, constant_trace
+
+
+def two_batteries(r1=0.1, r2=0.4, e1=40_000.0, e2=40_000.0, cap=50.0):
+    return [
+        BatteryAbstract("a", e1, r1, 3.8, cap),
+        BatteryAbstract("b", e2, r2, 3.8, cap),
+    ]
+
+
+class TestSolver:
+    def test_unconstrained_matches_inverse_r_split(self):
+        """With abundant energy, the offline optimum IS the RBL split."""
+        batteries = two_batteries()
+        schedule = solve_offline_schedule(batteries, constant_trace(10.0, 3600.0), max_segments=4)
+        assert schedule.feasible
+        p = schedule.powers_w
+        # y_i ~ 1/R_i: 0.4/(0.1+0.4) = 0.8 of the load on battery a.
+        assert p[0] / (p[0] + p[1]) == pytest.approx(0.8, abs=0.02)
+
+    def test_energy_constraint_shifts_load(self):
+        """When the good battery cannot cover its 1/R share, the optimum
+        moves load onto the worse battery — the 'temporarily sub-optimal
+        choices' of Section 3.3."""
+        batteries = two_batteries(e1=18_000.0)  # a can carry half the 36 kJ trace
+        schedule = solve_offline_schedule(batteries, constant_trace(10.0, 3600.0), max_segments=6)
+        assert schedule.feasible
+        assert schedule.battery_energy_j(0) <= 18_000.0 * 1.001
+        assert schedule.battery_energy_j(1) > 0.3 * 36_000.0
+
+    def test_loss_below_any_single_battery(self):
+        batteries = two_batteries()
+        schedule = solve_offline_schedule(batteries, constant_trace(10.0, 3600.0), max_segments=4)
+        single_loss = batteries[0].loss_coeff * 10.0**2 * 3600.0
+        assert schedule.loss_j < single_loss
+
+    def test_infeasible_energy_flagged(self):
+        batteries = two_batteries(e1=1_000.0, e2=1_000.0)
+        schedule = solve_offline_schedule(batteries, constant_trace(10.0, 3600.0), max_segments=4)
+        assert not schedule.feasible
+
+    def test_infeasible_power_flagged(self):
+        batteries = two_batteries(cap=2.0)
+        schedule = solve_offline_schedule(batteries, constant_trace(10.0, 60.0), max_segments=2)
+        assert not schedule.feasible
+
+    def test_high_power_episode_reserved_for_good_battery(self):
+        """An episodic trace: the optimum spends the lossy battery on the
+        cheap background and keeps the good one for the spike."""
+        trace = PowerTrace(
+            [Segment(0, 3000, 2.0), Segment(3000, 600, 30.0), Segment(3600, 3000, 2.0)]
+        )
+        batteries = [
+            BatteryAbstract("good", 40_000.0, 0.05, 3.8, 60.0),
+            BatteryAbstract("lossy", 40_000.0, 0.50, 3.8, 10.0),
+        ]
+        schedule = solve_offline_schedule(batteries, trace, max_segments=22)
+        spike = np.argmax(schedule.segment_loads_w)
+        share_good = schedule.powers_w[0, spike] / schedule.segment_loads_w[spike]
+        assert share_good > 0.85
+
+    def test_requires_batteries(self):
+        from repro.errors import PolicyError
+
+        with pytest.raises(PolicyError):
+            solve_offline_schedule([], constant_trace(1.0, 10.0))
+
+
+class TestAbstraction:
+    def test_abstract_cell_preserves_state(self):
+        cell = new_cell("B06", soc=0.8)
+        abstract_cell(cell)
+        assert cell.soc == 0.8
+
+    def test_abstract_fields_sane(self):
+        cell = new_cell("B06", soc=0.8)
+        battery = abstract_cell(cell)
+        assert battery.energy_j > 0
+        assert battery.cap_w > 0
+        assert 0 < battery.loss_coeff < 1
+
+
+class TestGap:
+    def test_gap_zero_at_bound(self):
+        schedule = OfflineSchedule(np.array([1.0]), np.array([1.0]), np.array([[1.0]]), 10.0, True)
+        assert optimality_gap(10.0, schedule) == pytest.approx(0.0)
+
+    def test_gap_scales(self):
+        schedule = OfflineSchedule(np.array([1.0]), np.array([1.0]), np.array([[1.0]]), 10.0, True)
+        assert optimality_gap(15.0, schedule) == pytest.approx(0.5)
+
+
+class TestOfflineBoundExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_offline_bound(dt_s=30.0)
+
+    def test_prefix_is_feasible(self, result):
+        assert result.schedule.feasible
+
+    def test_every_policy_above_the_bound(self, result):
+        for name, gap in result.gap_by_policy.items():
+            assert gap >= -0.05, name  # tiny negative slack = model mismatch only
+
+    def test_workload_aware_closer_to_bound_than_instantaneous(self, result):
+        """The quantified version of 'instantaneous optimality is not
+        global optimality'."""
+        assert result.gap_by_policy["preserve (workload-aware)"] < result.gap_by_policy["rbl (instantaneous)"]

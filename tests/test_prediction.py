@@ -1,0 +1,128 @@
+"""Tests for repro.core.prediction (user-behaviour learning)."""
+
+import pytest
+
+from repro.core.policies import OracleDischargePolicy, RBLDischargePolicy
+from repro.core.prediction import HabitModel
+from repro.core.runtime import SDBRuntime
+from repro.emulator import SDBEmulator, build_controller
+from repro.workloads.profiles import wearable_day
+
+
+def trained_runner_model(run_days=5, quiet_days=2, energy_j=3780.0):
+    """A user who runs at 9 am most days."""
+    model = HabitModel()
+    for _ in range(run_days):
+        model.observe_day({9.25: energy_j})
+    for _ in range(quiet_days):
+        model.observe_day({})
+    return model
+
+
+class TestObservation:
+    def test_days_counted(self):
+        model = trained_runner_model()
+        assert model.days_observed == 7
+
+    def test_validates_inputs(self):
+        model = HabitModel()
+        with pytest.raises(ValueError):
+            model.observe_day({25.0: 100.0})
+        with pytest.raises(ValueError):
+            model.observe_day({5.0: -1.0})
+        with pytest.raises(ValueError):
+            HabitModel(smoothing=-1.0)
+
+
+class TestProbability:
+    def test_frequent_hour_high_probability(self):
+        model = trained_runner_model()
+        assert model.probability(9.5) > 0.6
+
+    def test_unseen_hour_low_probability(self):
+        model = trained_runner_model()
+        assert model.probability(15.0) < 0.2
+
+    def test_smoothing_tempers_small_samples(self):
+        eager = HabitModel(smoothing=0.0)
+        eager.observe_day({9.0: 100.0})
+        cautious = HabitModel(smoothing=2.0)
+        cautious.observe_day({9.0: 100.0})
+        assert eager.probability(9.0) == pytest.approx(1.0)
+        assert cautious.probability(9.0) < 0.7
+
+    def test_no_history_probability_zero_unsmoothed(self):
+        assert HabitModel(smoothing=0.0).probability(9.0) == 0.0
+
+
+class TestFutureEnergy:
+    def test_declines_through_the_day(self):
+        model = trained_runner_model()
+        before = model.expected_future_energy_j(6.0)
+        after = model.expected_future_energy_j(11.0)
+        assert before > after
+        assert after == 0.0
+
+    def test_scales_with_frequency(self):
+        often = trained_runner_model(run_days=6, quiet_days=1)
+        rarely = trained_runner_model(run_days=1, quiet_days=6)
+        assert often.expected_future_energy_j(0.0) > rarely.expected_future_energy_j(0.0)
+
+    def test_unseen_bins_contribute_nothing(self):
+        model = HabitModel()
+        model.observe_day({})
+        assert model.expected_future_energy_j(0.0) == 0.0
+
+
+class TestFirstEvent:
+    def test_predicts_the_run_hour(self):
+        model = trained_runner_model()
+        assert model.predict_first_event_hour(0.5) == 9.0
+
+    def test_respects_after_bound(self):
+        model = trained_runner_model()
+        assert model.predict_first_event_hour(0.5, after_h=10.0) is None
+
+    def test_none_for_improbable_users(self):
+        model = trained_runner_model(run_days=1, quiet_days=9)
+        assert model.predict_first_event_hour(0.5) is None
+
+    def test_validates_threshold(self):
+        with pytest.raises(ValueError):
+            trained_runner_model().predict_first_event_hour(0.0)
+
+
+class TestLearnedOracleEndToEnd:
+    def _life(self, policy, include_run):
+        day = wearable_day(include_run=include_run)
+        controller = build_controller("watch")
+        runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=60.0)
+        return SDBEmulator(controller, runtime, day.trace, dt_s=20.0).run().battery_life_h
+
+    def test_learned_signal_approaches_true_oracle(self):
+        """An oracle fed the *learned* reserve signal performs close to one
+        fed the ground-truth trace — Section 5.2's closing suggestion."""
+        day = wearable_day()
+        model = trained_runner_model(energy_j=day.run_power_w * 1.2 * 3600.0)
+        learned = OracleDischargePolicy(
+            model.oracle_signal(), efficient_index=0, high_power_threshold_w=day.high_power_threshold_w
+        )
+        truth = OracleDischargePolicy(
+            day.trace.future_energy_above(day.high_power_threshold_w),
+            efficient_index=0,
+            high_power_threshold_w=day.high_power_threshold_w,
+        )
+        blind = RBLDischargePolicy()
+        learned_life = self._life(learned, include_run=True)
+        truth_life = self._life(truth, include_run=True)
+        blind_life = self._life(blind, include_run=True)
+        assert learned_life > blind_life
+        assert learned_life == pytest.approx(truth_life, abs=0.6)
+
+    def test_detach_signal_round_trip(self):
+        model = HabitModel()
+        for _ in range(5):
+            model.observe_day({14.0: 1000.0})
+        signal = model.detach_signal(0.5)
+        assert signal(8 * 3600.0) == pytest.approx(14 * 3600.0)
+        assert signal(15 * 3600.0) is None

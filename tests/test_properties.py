@@ -1,0 +1,171 @@
+"""System-wide property-based tests (hypothesis)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cell import new_cell
+from repro.core.policies import (
+    BlendedDischargePolicy,
+    CCBChargePolicy,
+    CCBDischargePolicy,
+    PreserveDischargePolicy,
+    RBLChargePolicy,
+    RBLDischargePolicy,
+)
+from repro.core.runtime import SDBRuntime
+from repro.core.sizing import PackDesign, Partition
+from repro.emulator import SDBEmulator, build_controller
+from repro.hardware import SDBMicrocontroller
+from repro.hardware.discharge import SDBDischargeCircuit
+from repro.workloads import constant_trace
+
+# Strategy pieces -------------------------------------------------------- #
+
+socs = st.floats(min_value=0.05, max_value=1.0)
+loads = st.floats(min_value=0.01, max_value=5.0)
+wear_throughputs = st.floats(min_value=0.0, max_value=500.0)
+
+
+def make_pair(soc_a, soc_b, wear_a=0.0, wear_b=0.0):
+    a = new_cell("B06", soc=soc_a)
+    b = new_cell("B03", soc=soc_b)
+    a.aging.state.throughput_c = wear_a * a.params.capacity_c
+    b.aging.state.throughput_c = wear_b * b.params.capacity_c
+    return [a, b]
+
+
+class TestPolicyInvariants:
+    @given(soc_a=socs, soc_b=socs, load=loads)
+    @settings(max_examples=60, deadline=None)
+    def test_rbl_discharge_ratios_valid(self, soc_a, soc_b, load):
+        ratios = RBLDischargePolicy().discharge_ratios(make_pair(soc_a, soc_b), load)
+        assert len(ratios) == 2
+        assert all(r >= 0 for r in ratios)
+        assert sum(ratios) == pytest.approx(1.0)
+
+    @given(soc_a=socs, soc_b=socs, wear_a=wear_throughputs, wear_b=wear_throughputs, load=loads)
+    @settings(max_examples=60, deadline=None)
+    def test_ccb_discharge_ratios_valid(self, soc_a, soc_b, wear_a, wear_b, load):
+        cells = make_pair(soc_a, soc_b, wear_a, wear_b)
+        ratios = CCBDischargePolicy().discharge_ratios(cells, load)
+        assert all(r >= 0 for r in ratios)
+        assert sum(ratios) == pytest.approx(1.0)
+
+    @given(soc_a=socs, soc_b=socs, p=st.floats(min_value=0.0, max_value=1.0), load=loads)
+    @settings(max_examples=60, deadline=None)
+    def test_blend_ratios_valid(self, soc_a, soc_b, p, load):
+        ratios = BlendedDischargePolicy(directive=p).discharge_ratios(make_pair(soc_a, soc_b), load)
+        assert sum(ratios) == pytest.approx(1.0)
+
+    @given(soc_a=st.floats(min_value=0.05, max_value=0.95), soc_b=st.floats(min_value=0.05, max_value=0.95), power=loads)
+    @settings(max_examples=60, deadline=None)
+    def test_charge_ratios_valid(self, soc_a, soc_b, power):
+        cells = make_pair(soc_a, soc_b)
+        for policy in (RBLChargePolicy(), CCBChargePolicy()):
+            ratios = policy.charge_ratios(cells, power)
+            assert all(r >= 0 for r in ratios)
+            assert sum(ratios) == pytest.approx(1.0)
+
+    @given(soc_a=socs, soc_b=socs, load=loads)
+    @settings(max_examples=60, deadline=None)
+    def test_preserve_never_negative(self, soc_a, soc_b, load):
+        ratios = PreserveDischargePolicy(0).discharge_ratios(make_pair(soc_a, soc_b), load)
+        assert all(r >= -1e-12 for r in ratios)
+        assert sum(ratios) == pytest.approx(1.0)
+
+
+class TestHardwareInvariants:
+    @given(
+        load=st.floats(min_value=0.01, max_value=8.0),
+        ratio=st.floats(min_value=0.0, max_value=1.0),
+        soc=st.floats(min_value=0.4, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_batteries_cover_load_plus_loss(self, load, ratio, soc):
+        mc = SDBMicrocontroller([new_cell("B06", soc=soc), new_cell("B03", soc=soc)])
+        mc.set_discharge_ratios([ratio, 1.0 - ratio])
+        report = mc.step_discharge(load, 1.0)
+        assert sum(report.battery_powers_w) == pytest.approx(load + report.circuit_loss_w, rel=1e-6)
+        assert report.circuit_loss_w >= 0
+
+    @given(
+        r1=st.floats(min_value=0.0, max_value=1.0),
+        r2=st.floats(min_value=0.0, max_value=1.0),
+        r3=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_realized_ratios_always_normalized(self, r1, r2, r3):
+        total = r1 + r2 + r3
+        assume(total > 1e-6)
+        ratios = [r1 / total, r2 / total, r3 / total]
+        circuit = SDBDischargeCircuit(3)
+        realized = circuit.realized_ratios(ratios)
+        assert sum(realized) == pytest.approx(1.0)
+        assert all(r >= 0 for r in realized)
+
+    @given(power=st.floats(min_value=0.1, max_value=15.0), soc=st.floats(min_value=0.3, max_value=0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_charge_step_never_overfills(self, power, soc):
+        mc = SDBMicrocontroller([new_cell("B06", soc=soc)])
+        mc.set_charge_ratios([1.0])
+        for _ in range(5):
+            mc.step_charge(power, 30.0)
+        assert mc.cells[0].soc <= 1.0
+
+    @given(
+        power=st.floats(min_value=0.5, max_value=5.0),
+        src_soc=st.floats(min_value=0.4, max_value=1.0),
+        dst_soc=st.floats(min_value=0.0, max_value=0.6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_transfer_conserves_direction(self, power, src_soc, dst_soc):
+        mc = SDBMicrocontroller([new_cell("B09", soc=src_soc), new_cell("B09", soc=dst_soc)])
+        report = mc.transfer(0, 1, power, 10.0)
+        assert report.drawn_w >= report.stored_w >= 0.0
+
+
+class TestEmulatorDeterminism:
+    def test_identical_runs_identical_results(self):
+        def run():
+            controller = build_controller("phone", battery_ids=["B06", "B03"])
+            runtime = SDBRuntime(controller, discharge_policy=RBLDischargePolicy())
+            return SDBEmulator(controller, runtime, constant_trace(2.0, 3600.0), dt_s=10.0).run()
+
+        a = run()
+        b = run()
+        assert a.delivered_j == b.delivered_j
+        assert a.total_loss_j == b.total_loss_j
+        assert a.soc_history == b.soc_history
+
+
+class TestSizingInvariants:
+    @given(volume=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_linear_in_volume(self, volume):
+        small = Partition("B09", volume)
+        double = Partition("B09", 2 * volume)
+        assert double.energy_wh == pytest.approx(2 * small.energy_wh)
+
+    @given(split=st.floats(min_value=0.05, max_value=0.95), volume=st.floats(min_value=5.0, max_value=50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_mix_energy_between_pure_packs(self, split, volume):
+        mixed = PackDesign((Partition("B09", volume * (1 - split)), Partition("B13", volume * split)))
+        pure_he = PackDesign((Partition("B09", volume),))
+        pure_power = PackDesign((Partition("B13", volume),))
+        lo = min(pure_he.energy_wh, pure_power.energy_wh)
+        hi = max(pure_he.energy_wh, pure_power.energy_wh)
+        assert lo - 1e-9 <= mixed.energy_wh <= hi + 1e-9
+
+    @given(split=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_charge_time_monotone_in_fast_share(self, split):
+        """More fast-charging volume never slows the pack down."""
+        base = PackDesign((Partition("B09", 20.0),))
+        mixed_parts = []
+        if split < 1.0:
+            mixed_parts.append(Partition("B09", 20.0 * (1 - split)))
+        if split > 0.0:
+            mixed_parts.append(Partition("B14", 20.0 * split))
+        mixed = PackDesign(tuple(mixed_parts))
+        assert mixed.minutes_to_pct(0.4) <= base.minutes_to_pct(0.4) + 1e-9

@@ -1,0 +1,102 @@
+"""Tests for repro.hardware.regulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.regulator import (
+    BUCK_BOOST_DEFAULT,
+    BUCK_DEFAULT,
+    REVERSIBLE_BUCK_DEFAULT,
+    RegulatorSpec,
+    SwitchedModeRegulator,
+)
+
+
+@pytest.fixture
+def reg() -> SwitchedModeRegulator:
+    return SwitchedModeRegulator(BUCK_DEFAULT, v_bus=3.8)
+
+
+class TestLossModel:
+    def test_zero_output_zero_loss(self, reg):
+        assert reg.loss_w(0.0) == 0.0
+
+    def test_loss_grows_with_power(self, reg):
+        assert reg.loss_w(10.0) > reg.loss_w(1.0) > 0.0
+
+    def test_loss_superlinear_at_high_power(self, reg):
+        """The I^2 term dominates eventually."""
+        assert reg.loss_w(20.0) > 2 * reg.loss_w(10.0) - reg.spec.fixed_loss_w
+
+    def test_reverse_mode_lossier(self, reg):
+        assert reg.loss_w(5.0, reverse=True) > reg.loss_w(5.0)
+
+    def test_rejects_negative_power(self, reg):
+        with pytest.raises(ValueError):
+            reg.loss_w(-1.0)
+
+    def test_efficiency_in_unit_interval(self, reg):
+        for p in (0.1, 1.0, 5.0, 20.0):
+            assert 0.0 < reg.efficiency(p) < 1.0
+
+    def test_efficiency_peaks_mid_range(self, reg):
+        """Fixed losses hurt light loads, ohmic losses hurt heavy loads."""
+        light = reg.efficiency(0.05)
+        mid = reg.efficiency(2.0)
+        heavy = reg.efficiency(40.0)
+        assert mid > light
+        assert mid > heavy
+
+
+class TestInversion:
+    def test_input_for_output_adds_loss(self, reg):
+        assert reg.input_power_for_output(5.0) == pytest.approx(5.0 + reg.loss_w(5.0))
+
+    def test_output_for_input_inverts(self, reg):
+        p_out = 5.0
+        p_in = reg.input_power_for_output(p_out)
+        assert reg.output_power_for_input(p_in) == pytest.approx(p_out, rel=1e-9)
+
+    def test_output_for_input_reverse_inverts(self, reg):
+        p_out = 5.0
+        p_in = reg.input_power_for_output(p_out, reverse=True)
+        assert reg.output_power_for_input(p_in, reverse=True) == pytest.approx(p_out, rel=1e-9)
+
+    def test_tiny_input_swallowed_by_fixed_loss(self, reg):
+        assert reg.output_power_for_input(reg.spec.fixed_loss_w / 2) == 0.0
+
+    def test_zero_input_zero_output(self, reg):
+        assert reg.output_power_for_input(0.0) == 0.0
+
+    @given(st.floats(min_value=0.05, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, p_out):
+        reg = SwitchedModeRegulator(BUCK_BOOST_DEFAULT, v_bus=3.8)
+        p_in = reg.input_power_for_output(p_out)
+        assert reg.output_power_for_input(p_in) == pytest.approx(p_out, rel=1e-6)
+
+
+class TestSpecs:
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            RegulatorSpec(name="bad", v_drop=-0.1)
+
+    def test_rejects_reverse_gain(self):
+        with pytest.raises(ValueError):
+            RegulatorSpec(name="bad", reverse_penalty=0.5)
+
+    def test_rejects_nonpositive_bus_voltage(self):
+        with pytest.raises(ValueError):
+            SwitchedModeRegulator(BUCK_DEFAULT, v_bus=0.0)
+
+    def test_buck_boost_lossier_than_buck(self):
+        """The naive O(N^2) fabric pays more per stage (Sec 3.2.2)."""
+        buck = SwitchedModeRegulator(BUCK_DEFAULT)
+        bb = SwitchedModeRegulator(BUCK_BOOST_DEFAULT)
+        assert bb.loss_w(5.0) > buck.loss_w(5.0)
+
+    def test_defaults_have_realistic_efficiency(self):
+        for spec in (BUCK_DEFAULT, BUCK_BOOST_DEFAULT, REVERSIBLE_BUCK_DEFAULT):
+            reg = SwitchedModeRegulator(spec)
+            assert 0.90 < reg.efficiency(5.0) < 0.999

@@ -1,0 +1,108 @@
+"""Tests for repro.core.scheduler (assistant-driven directives)."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core.runtime import SDBRuntime
+from repro.core.scheduler import AssistantScheduler, CalendarEvent, EventKind
+from repro.hardware import SDBMicrocontroller
+
+
+def day_with_flight_and_run():
+    return [
+        CalendarEvent("morning run", EventKind.EXERCISE, 7.0, 8.0, expected_power_w=0.9),
+        CalendarEvent("standup", EventKind.MEETING, 9.5, 10.0),
+        CalendarEvent("desk charging", EventKind.CHARGING, 10.0, 12.0),
+        CalendarEvent("flight to SEA", EventKind.DEPARTURE, 15.0, 17.0),
+        CalendarEvent("evening gaming", EventKind.GAMING, 20.0, 21.5, expected_power_w=20.0),
+    ]
+
+
+class TestCalendarEvent:
+    def test_validates_duration(self):
+        with pytest.raises(ValueError):
+            CalendarEvent("x", EventKind.MEETING, 10.0, 10.0)
+
+    def test_validates_power(self):
+        with pytest.raises(ValueError):
+            CalendarEvent("x", EventKind.EXERCISE, 1.0, 2.0, expected_power_w=-1.0)
+
+    def test_energy(self):
+        event = CalendarEvent("run", EventKind.EXERCISE, 7.0, 8.0, expected_power_w=1.0)
+        assert event.energy_j == pytest.approx(3600.0)
+
+
+class TestChargeDirective:
+    def test_one_before_departure(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        assert sched.charge_directive(13.5) == 1.0  # flight at 15, lookahead 2h
+        assert sched.charge_directive(14.9) == 1.0
+
+    def test_baseline_when_departure_far(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        assert sched.charge_directive(9.0) == 0.5
+
+    def test_zero_overnight(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        assert sched.charge_directive(23.5) == 0.0
+        assert sched.charge_directive(2.0) == 0.0
+
+    def test_night_window_wraps_midnight(self):
+        sched = AssistantScheduler([], night_start_h=22.0, night_end_h=5.0)
+        assert sched.is_night(23.0)
+        assert sched.is_night(3.0)
+        assert not sched.is_night(12.0)
+
+    def test_non_wrapping_night_window(self):
+        sched = AssistantScheduler([], night_start_h=1.0, night_end_h=5.0)
+        assert sched.is_night(3.0)
+        assert not sched.is_night(23.0)
+
+
+class TestDischargeDirective:
+    def test_high_before_exercise(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        # At 6 am the morning run is ahead of the 10 am charging window.
+        assert sched.discharge_directive(6.0) == 1.0
+
+    def test_baseline_after_high_power_events(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        # Between run and charging window there is no high-power event.
+        assert sched.discharge_directive(8.5) == 0.5
+
+    def test_gaming_after_last_charge_raises_directive(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        assert sched.discharge_directive(18.0) == 1.0  # gaming at 20, no charge until tomorrow
+
+
+class TestFutureEnergy:
+    def test_counts_remaining_high_power_events(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        # Before the run: run (0.9 W x 1 h) + gaming (20 W x 1.5 h).
+        expected = 0.9 * 3600 + 20.0 * 1.5 * 3600
+        assert sched.future_high_power_energy_j(0.0) == pytest.approx(expected)
+
+    def test_partial_event_counts_remainder(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        # Half way through the run only half its energy remains + gaming.
+        expected = 0.9 * 1800 + 20.0 * 1.5 * 3600
+        assert sched.future_high_power_energy_j(7.5) == pytest.approx(expected)
+
+    def test_zero_after_everything(self):
+        sched = AssistantScheduler(day_with_flight_and_run())
+        assert sched.future_high_power_energy_j(22.0) == 0.0
+
+
+class TestApply:
+    def test_apply_pushes_both_directives(self):
+        controller = SDBMicrocontroller([new_cell("B06"), new_cell("B03")])
+        runtime = SDBRuntime(controller)
+        sched = AssistantScheduler(day_with_flight_and_run())
+        sched.apply(runtime, t_s=13.5 * 3600)
+        assert runtime.charge_policy.directive == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssistantScheduler([], baseline=1.5)
+        with pytest.raises(ValueError):
+            AssistantScheduler([], departure_lookahead_h=0.0)

@@ -1,0 +1,45 @@
+"""Tests for the Figure 14 sensitivity sweep."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    POWER_GRID,
+    R_SCALE_GRID,
+    improvement_pct,
+    run_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sensitivity(dt_s=45.0)
+
+
+class TestSensitivitySurface:
+    def test_covers_full_grid(self, result):
+        assert len(result.improvement) == len(R_SCALE_GRID) * len(POWER_GRID)
+
+    def test_simultaneous_always_wins(self, result):
+        """The headline's direction survives the whole parameter box."""
+        assert result.always_positive
+
+    def test_improvement_grows_with_resistance(self, result):
+        for power in POWER_GRID:
+            series = [result.improvement[(r, power)] for r in R_SCALE_GRID]
+            assert series[-1] > series[0]
+
+    def test_improvement_grows_with_load(self, result):
+        for r_mult in R_SCALE_GRID:
+            series = [result.improvement[(r_mult, p)] for p in POWER_GRID]
+            assert series[-1] > series[0]
+
+    def test_band_overlaps_paper_claim(self, result):
+        """The nominal point sits inside the paper's 15-25% band."""
+        nominal = result.improvement[(1.0, 14.0)]
+        assert 15.0 < nominal < 25.0
+
+
+class TestPointwise:
+    def test_single_point_runs_standalone(self):
+        pct = improvement_pct(1.0, 10.0, dt_s=60.0)
+        assert 10.0 < pct < 30.0

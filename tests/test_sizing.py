@@ -1,0 +1,132 @@
+"""Tests for repro.core.sizing (heterogeneous pack design)."""
+
+import pytest
+
+from repro.core.sizing import (
+    DesignRequirements,
+    PackDesign,
+    Partition,
+    best_design,
+    enumerate_designs,
+)
+
+
+class TestPartition:
+    def test_energy_from_density(self):
+        # B09: Type 2 at 595 Wh/l -> 10 ml stores 5.95 Wh.
+        part = Partition("B09", 10.0)
+        assert part.energy_wh == pytest.approx(5.95)
+
+    def test_capacity_from_voltage(self):
+        part = Partition("B09", 10.0)
+        assert part.capacity_ah == pytest.approx(5.95 / 3.8)
+
+    def test_peak_power_uses_rate_limit(self):
+        part = Partition("B09", 10.0)
+        assert part.peak_power_w == pytest.approx(part.capacity_ah * 2.5 * 3.8)
+
+    def test_bendable_flag(self):
+        assert Partition("B01", 1.0).is_bendable
+        assert not Partition("B09", 1.0).is_bendable
+
+
+class TestPackDesign:
+    def test_totals_sum_partitions(self):
+        design = PackDesign((Partition("B09", 10.0), Partition("B14", 10.0)))
+        assert design.energy_wh == pytest.approx(
+            Partition("B09", 10.0).energy_wh + Partition("B14", 10.0).energy_wh
+        )
+
+    def test_cycles_is_weakest_link(self):
+        design = PackDesign((Partition("B09", 10.0), Partition("B01", 5.0)))
+        assert design.tolerable_cycles == 600  # Type 4 is the weakest
+
+    def test_bendable_fraction(self):
+        design = PackDesign((Partition("B09", 6.0), Partition("B01", 4.0)))
+        assert design.bendable_fraction == pytest.approx(0.4)
+
+    def test_minutes_to_pct_single_battery(self):
+        """One battery at C-rate c reaches 40% in 0.4/c hours."""
+        design = PackDesign((Partition("B09", 10.0),))
+        expected_min = 0.4 / 1.0 * 60.0  # Type 2 max charge 1C
+        assert design.minutes_to_pct(0.4) == pytest.approx(expected_min)
+
+    def test_fast_partition_speeds_up_pack(self):
+        pure = PackDesign((Partition("B09", 20.0),))
+        mixed = PackDesign((Partition("B09", 10.0), Partition("B14", 10.0)))
+        assert mixed.minutes_to_pct(0.4) < pure.minutes_to_pct(0.4)
+
+    def test_minutes_to_pct_piecewise(self):
+        """After the fast partition fills, only the slow one contributes."""
+        design = PackDesign((Partition("B09", 18.0), Partition("B14", 2.0)))
+        t40 = design.minutes_to_pct(0.40)
+        t90 = design.minutes_to_pct(0.90)
+        assert t90 > 2 * t40  # the tail is slower than the start
+
+    def test_minutes_validates_target(self):
+        design = PackDesign((Partition("B09", 10.0),))
+        with pytest.raises(ValueError):
+            design.minutes_to_pct(0.0)
+
+    def test_describe_mentions_batteries(self):
+        design = PackDesign((Partition("B09", 10.0),))
+        assert "B09" in design.describe()
+
+
+class TestRequirements:
+    def test_validates_volume(self):
+        with pytest.raises(ValueError):
+            DesignRequirements(volume_ml=0.0)
+
+    def test_validates_bendable_fraction(self):
+        with pytest.raises(ValueError):
+            DesignRequirements(volume_ml=1.0, min_bendable_fraction=2.0)
+
+    def test_meets_checks_each_axis(self):
+        design = PackDesign((Partition("B09", 10.0),))
+        assert design.meets(DesignRequirements(volume_ml=10.0, min_energy_wh=5.0))
+        assert not design.meets(DesignRequirements(volume_ml=10.0, min_energy_wh=50.0))
+        assert not design.meets(DesignRequirements(volume_ml=10.0, min_peak_power_w=1000.0))
+        assert not design.meets(DesignRequirements(volume_ml=10.0, min_bendable_fraction=0.5))
+        assert not design.meets(DesignRequirements(volume_ml=10.0, max_minutes_to_40pct=5.0))
+
+
+class TestEnumeration:
+    def test_fast_charge_requirement_forces_mix(self):
+        """The Figure 11 insight as a design query: a hard charge-speed
+        requirement pulls fast-charging capacity into the winning pack."""
+        req = DesignRequirements(
+            volume_ml=30.0, min_energy_wh=12.0, max_minutes_to_40pct=15.0
+        )
+        winner = best_design(req)
+        assert winner is not None
+        ids = {p.battery_id for p in winner.partitions}
+        fast_ids = {"B14", "B13", "B15", "B03", "B04"}  # high charge-rate cells
+        assert ids & fast_ids
+
+    def test_no_speed_requirement_prefers_pure_energy(self):
+        req = DesignRequirements(volume_ml=30.0, min_energy_wh=12.0)
+        winner = best_design(req)
+        # Best energy density is Type 2 at 595 Wh/l: 30 ml -> 17.85 Wh.
+        assert winner.energy_wh == pytest.approx(17.85, rel=0.01)
+
+    def test_bendable_requirement_includes_type4(self):
+        req = DesignRequirements(volume_ml=3.0, min_bendable_fraction=0.4)
+        winner = best_design(req)
+        assert winner.bendable_fraction >= 0.4
+
+    def test_impossible_requirements_return_none(self):
+        req = DesignRequirements(volume_ml=1.0, min_energy_wh=100.0)
+        assert best_design(req) is None
+
+    def test_enumeration_respects_battery_subset(self):
+        req = DesignRequirements(volume_ml=10.0)
+        designs = enumerate_designs(req, battery_ids=("B09", "B14"))
+        for design in designs:
+            assert {p.battery_id for p in design.partitions} <= {"B09", "B14"}
+
+    def test_results_sorted_by_energy(self):
+        req = DesignRequirements(volume_ml=10.0)
+        designs = enumerate_designs(req, battery_ids=("B09", "B13"))
+        energies = [d.energy_wh for d in designs]
+        assert energies == sorted(energies, reverse=True)

@@ -1,0 +1,93 @@
+"""Stateful property testing: random operation sequences on the hardware.
+
+A hypothesis rule-based machine drives an :class:`SDBMicrocontroller`
+through arbitrary interleavings of discharge steps, charge steps, ratio
+changes, transfers, connect/disconnect flips and rests, asserting the
+physical invariants after every operation:
+
+* every SoC stays in [0, 1];
+* gauges never see negative throughput;
+* aging only moves forward (fade and throughput are monotone);
+* reports always balance (batteries supply load + circuit loss).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.cell import new_cell
+from repro.errors import BatteryEmptyError, PowerLimitError
+from repro.hardware import SDBMicrocontroller
+
+
+class MicrocontrollerMachine(RuleBasedStateMachine):
+    """Random-walk the controller through its public operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.mc = SDBMicrocontroller([new_cell("B06", soc=0.7), new_cell("B03", soc=0.7)])
+        self.fade_floor = [0.0, 0.0]
+        self.throughput_floor = [0.0, 0.0]
+
+    @rule(load=st.floats(min_value=0.0, max_value=6.0), dt=st.floats(min_value=1.0, max_value=120.0))
+    def discharge(self, load, dt):
+        try:
+            report = self.mc.step_discharge(load, dt)
+        except (BatteryEmptyError, PowerLimitError):
+            return
+        assert sum(report.battery_powers_w) == pytest.approx(load + report.circuit_loss_w, rel=1e-6, abs=1e-9)
+
+    @rule(power=st.floats(min_value=0.0, max_value=20.0), dt=st.floats(min_value=1.0, max_value=120.0))
+    def charge(self, power, dt):
+        report = self.mc.step_charge(power, dt)
+        assert report.unused_w >= -1e-9
+        assert report.loss_w >= -1e-9
+
+    @rule(share=st.floats(min_value=0.0, max_value=1.0))
+    def set_ratios(self, share):
+        self.mc.set_discharge_ratios([share, 1.0 - share])
+        self.mc.set_charge_ratios([1.0 - share, share])
+
+    @rule(power=st.floats(min_value=0.1, max_value=3.0), dt=st.floats(min_value=1.0, max_value=60.0))
+    def transfer(self, power, dt):
+        report = self.mc.transfer(0, 1, power, dt)
+        assert report.drawn_w >= report.stored_w >= 0.0
+
+    @rule(index=st.integers(min_value=0, max_value=1), connected=st.booleans())
+    def flip_connection(self, index, connected):
+        # Never disconnect both (a bricked device is a valid but boring state).
+        other = 1 - index
+        if not connected and not self.mc.connected[other]:
+            return
+        self.mc.set_connected(index, connected)
+
+    @rule(dt=st.floats(min_value=1.0, max_value=600.0))
+    def rest(self, dt):
+        for cell in self.mc.cells:
+            if not (cell.is_empty or cell.is_full):
+                cell.step_current(0.0, dt)
+
+    @invariant()
+    def socs_in_range(self):
+        for cell in self.mc.cells:
+            assert 0.0 <= cell.soc <= 1.0
+
+    @invariant()
+    def aging_monotone(self):
+        for i, cell in enumerate(self.mc.cells):
+            assert cell.aging.state.fade >= self.fade_floor[i] - 1e-15
+            assert cell.aging.state.throughput_c >= self.throughput_floor[i] - 1e-9
+            self.fade_floor[i] = cell.aging.state.fade
+            self.throughput_floor[i] = cell.aging.state.throughput_c
+
+    @invariant()
+    def gauges_consistent(self):
+        for gauge in self.mc.gauges:
+            assert gauge.total_discharged_c >= 0.0
+            assert gauge.total_charged_c >= 0.0
+            assert 0.0 <= gauge.estimated_soc <= 1.0
+
+
+MicrocontrollerMachine.TestCase.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)
+TestMicrocontrollerMachine = MicrocontrollerMachine.TestCase

@@ -1,0 +1,146 @@
+"""Tests for repro.cell.thermal and the thermal derating policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell import new_cell
+from repro.cell.thermal import ThermalModel, ThermalParams
+from repro.core.policies import RBLDischargePolicy
+from repro.core.policies.thermal import ThermalDeratingPolicy
+
+
+class TestThermalModel:
+    def test_heats_toward_equilibrium(self):
+        model = ThermalModel(ThermalParams())
+        for _ in range(600):
+            model.step(heat_w=1.5, dt=10.0)
+        # Equilibrium: ambient + Q/k = 25 + 1.5/0.75 = 27 C.
+        assert model.temperature_c == pytest.approx(27.0, abs=0.1)
+
+    def test_cools_to_ambient_at_rest(self):
+        model = ThermalModel(ThermalParams(), temperature_c=50.0)
+        for _ in range(600):
+            model.step(heat_w=0.0, dt=10.0)
+        assert model.temperature_c == pytest.approx(25.0, abs=0.2)
+
+    def test_resistance_drops_when_warm(self):
+        model = ThermalModel(ThermalParams(), temperature_c=45.0)
+        assert model.resistance_factor() < 1.0
+
+    def test_resistance_rises_when_cold(self):
+        model = ThermalModel(ThermalParams(), temperature_c=-10.0)
+        assert model.resistance_factor() > 1.5
+
+    def test_aging_accelerates_when_hot(self):
+        hot = ThermalModel(ThermalParams(), temperature_c=45.0)
+        assert hot.aging_acceleration() > 2.0
+
+    def test_aging_never_below_one(self):
+        cold = ThermalModel(ThermalParams(), temperature_c=0.0)
+        assert cold.aging_acceleration() == 1.0
+
+    def test_over_limit(self):
+        model = ThermalModel(ThermalParams(t_max_c=60.0), temperature_c=61.0)
+        assert model.over_limit
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            ThermalParams(thermal_mass_j_per_k=0.0)
+        with pytest.raises(ValueError):
+            ThermalParams(t_max_c=20.0, ambient_c=25.0)
+
+    def test_step_validation(self):
+        model = ThermalModel()
+        with pytest.raises(ValueError):
+            model.step(1.0, 0.0)
+        with pytest.raises(ValueError):
+            model.step(-1.0, 1.0)
+
+    @given(heat=st.floats(min_value=0.0, max_value=5.0), dt=st.floats(min_value=1.0, max_value=600.0))
+    @settings(max_examples=40, deadline=None)
+    def test_temperature_bounded_by_equilibrium(self, heat, dt):
+        params = ThermalParams()
+        model = ThermalModel(params)
+        t_eq = params.ambient_c + heat / params.dissipation_w_per_k
+        model.step(heat, dt)
+        assert params.ambient_c - 1e-9 <= model.temperature_c <= t_eq + 1e-9
+
+
+class TestCellThermalIntegration:
+    def test_cell_heats_under_load(self):
+        cell = new_cell("B12", soc=0.9)
+        cell.attach_thermal(ThermalModel(ThermalParams(thermal_mass_j_per_k=10.0, dissipation_w_per_k=0.05)))
+        for _ in range(150):
+            cell.step_current(0.4, 10.0)  # 2C on the little watch cell
+        assert cell.thermal.temperature_c > 25.5
+
+    def test_warm_cell_has_lower_resistance(self):
+        cold = new_cell("B06", soc=0.5)
+        warm = new_cell("B06", soc=0.5)
+        warm.attach_thermal(ThermalModel(ThermalParams(), temperature_c=45.0))
+        assert warm.resistance() < cold.resistance()
+
+    def test_hot_cell_ages_faster(self):
+        cool = new_cell("B06", soc=0.5)
+        hot = new_cell("B06", soc=0.5)
+        hot.attach_thermal(ThermalModel(ThermalParams(ambient_c=50.0, t_max_c=80.0), temperature_c=50.0))
+        # A 50 C ambient pins the hot cell at ~50 C throughout.
+        cool.step_current(1.0, 600.0)
+        hot.step_current(1.0, 600.0)
+        assert hot.aging.state.fade > 2 * cool.aging.state.fade
+
+    def test_unattached_cell_unchanged(self):
+        cell = new_cell("B06", soc=0.5)
+        r_before = cell.resistance()
+        cell.step_current(1.0, 60.0)
+        assert cell.thermal is None
+        assert cell.resistance() == pytest.approx(r_before, rel=0.05)
+
+
+class TestThermalDerating:
+    def _pair(self, hot_temp):
+        a = new_cell("B06", soc=0.8)
+        b = new_cell("B03", soc=0.8)
+        a.attach_thermal(ThermalModel(ThermalParams(), temperature_c=hot_temp))
+        b.attach_thermal(ThermalModel(ThermalParams(), temperature_c=25.0))
+        return [a, b]
+
+    def test_no_derating_when_cool(self):
+        cells = self._pair(30.0)
+        inner = RBLDischargePolicy()
+        wrapped = ThermalDeratingPolicy(inner)
+        assert wrapped.discharge_ratios(cells, 2.0) == pytest.approx(inner.discharge_ratios(cells, 2.0))
+
+    def test_hot_battery_sheds_load(self):
+        cells = self._pair(55.0)
+        inner = RBLDischargePolicy()
+        base = inner.discharge_ratios(cells, 2.0)
+        derated = ThermalDeratingPolicy(inner).discharge_ratios(cells, 2.0)
+        assert derated[0] < base[0]
+        assert sum(derated) == pytest.approx(1.0)
+
+    def test_at_cutoff_share_goes_to_other_battery(self):
+        cells = self._pair(60.0)
+        derated = ThermalDeratingPolicy(RBLDischargePolicy()).discharge_ratios(cells, 2.0)
+        assert derated[0] == pytest.approx(0.0)
+        assert derated[1] == pytest.approx(1.0)
+
+    def test_all_hot_falls_back_to_inner(self):
+        cells = self._pair(60.0)
+        cells[1].thermal.temperature_c = 60.0
+        inner = RBLDischargePolicy()
+        assert ThermalDeratingPolicy(inner).discharge_ratios(cells, 2.0) == pytest.approx(
+            inner.discharge_ratios(cells, 2.0)
+        )
+
+    def test_unattached_cells_never_derated(self):
+        cells = [new_cell("B06", soc=0.8), new_cell("B03", soc=0.8)]
+        inner = RBLDischargePolicy()
+        assert ThermalDeratingPolicy(inner).discharge_ratios(cells, 2.0) == pytest.approx(
+            inner.discharge_ratios(cells, 2.0)
+        )
+
+    def test_validates_cutoff(self):
+        with pytest.raises(ValueError):
+            ThermalDeratingPolicy(RBLDischargePolicy(), derate_start_c=50.0, cutoff_c=40.0)

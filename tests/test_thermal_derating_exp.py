@@ -1,0 +1,34 @@
+"""Tests for the hot-ride thermal derating experiment."""
+
+import pytest
+
+from repro.experiments.thermal_derating import DERATE_START_C, run_thermal_derating
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_thermal_derating(dt_s=10.0)
+
+
+class TestThermalDeratingExperiment:
+    def test_blind_policy_overheats_the_he_pack(self, result):
+        blind = result.outcomes["nav oracle (temperature-blind)"]
+        assert blind.peak_temps_c[0] > DERATE_START_C + 5.0
+
+    def test_derating_cools_the_he_pack(self, result):
+        blind = result.outcomes["nav oracle (temperature-blind)"]
+        derated = result.outcomes["nav oracle + thermal derating"]
+        assert derated.peak_temps_c[0] < blind.peak_temps_c[0] - 2.0
+
+    def test_heat_moved_to_the_cooler_pack(self, result):
+        blind = result.outcomes["nav oracle (temperature-blind)"]
+        derated = result.outcomes["nav oracle + thermal derating"]
+        assert derated.peak_temps_c[1] > blind.peak_temps_c[1]
+
+    def test_mission_still_completes(self, result):
+        for outcome in result.outcomes.values():
+            assert outcome.completed
+
+    def test_nobody_hits_the_protector(self, result):
+        for outcome in result.outcomes.values():
+            assert not outcome.over_limit

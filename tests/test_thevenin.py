@@ -1,0 +1,285 @@
+"""Tests for repro.cell.thevenin."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.cell.thevenin import SOC_EMPTY, TheveninCell, new_cell
+from repro.chemistry import battery_ids
+from repro.errors import BatteryEmptyError, BatteryFullError, PowerLimitError
+
+
+@pytest.fixture
+def cell() -> TheveninCell:
+    return new_cell("B06")
+
+
+class TestConstruction:
+    def test_new_cell_from_every_library_battery(self):
+        for bid in battery_ids():
+            cell = new_cell(bid)
+            assert cell.soc == 1.0
+            assert cell.resistance() > 0
+            assert cell.ocp() > 2.0
+
+    def test_unknown_battery_id_raises_with_hint(self):
+        with pytest.raises(KeyError, match="B01"):
+            new_cell("nope")
+
+    def test_rejects_out_of_range_soc(self):
+        with pytest.raises(ValueError):
+            new_cell("B06", soc=1.5)
+
+
+class TestElectricalBasics:
+    def test_terminal_voltage_drops_under_load(self, cell):
+        open_v = cell.terminal_voltage(0.0)
+        loaded_v = cell.terminal_voltage(2.0)
+        assert loaded_v == pytest.approx(open_v - 2.0 * cell.resistance())
+
+    def test_terminal_voltage_rises_when_charging(self, cell):
+        cell.reset(0.5)
+        assert cell.terminal_voltage(-1.0) > cell.terminal_voltage(0.0)
+
+    def test_ocp_increases_with_soc(self, cell):
+        cell.reset(0.2)
+        low = cell.ocp()
+        cell.reset(0.9)
+        assert cell.ocp() > low
+
+    def test_resistance_decreases_with_soc(self, cell):
+        cell.reset(0.1)
+        high_r = cell.resistance()
+        cell.reset(0.9)
+        assert cell.resistance() < high_r
+
+    def test_dcir_slope_is_negative(self, cell):
+        cell.reset(0.5)
+        assert cell.dcir_slope() < 0
+
+    def test_max_discharge_power_positive_when_charged(self, cell):
+        assert cell.max_discharge_power() > 10.0
+
+    def test_max_discharge_power_zero_when_empty(self, cell):
+        cell.reset(0.0)
+        assert cell.max_discharge_power() == 0.0
+
+    def test_max_charge_power_zero_when_full(self, cell):
+        assert cell.is_full
+        assert cell.max_charge_power() == 0.0
+
+    def test_open_circuit_energy_scales_with_soc(self, cell):
+        full = cell.open_circuit_energy_j()
+        cell.reset(0.5)
+        half = cell.open_circuit_energy_j()
+        assert 0 < half < full
+        # 2600 mAh at ~3.8 V is ~35 kJ.
+        assert 25_000 < full < 45_000
+
+
+class TestCurrentStepping:
+    def test_discharge_reduces_soc_by_coulombs(self, cell):
+        cell.step_current(1.0, 60.0)
+        expected = 1.0 - 60.0 / cell.capacity_c
+        assert cell.soc == pytest.approx(expected, rel=1e-6)
+
+    def test_charge_increases_soc(self, cell):
+        cell.reset(0.5)
+        cell.step_current(-1.0, 60.0)
+        assert cell.soc > 0.5
+
+    def test_soc_clamped_at_zero(self, cell):
+        cell.reset(0.01)
+        cell.step_current(5.0, 3600.0)
+        assert cell.soc == 0.0
+
+    def test_discharge_from_empty_raises(self, cell):
+        cell.reset(0.0)
+        with pytest.raises(BatteryEmptyError):
+            cell.step_current(1.0, 1.0)
+
+    def test_charge_into_full_raises(self, cell):
+        with pytest.raises(BatteryFullError):
+            cell.step_current(-1.0, 1.0)
+
+    def test_rejects_nonpositive_dt(self, cell):
+        with pytest.raises(ValueError):
+            cell.step_current(1.0, 0.0)
+
+    def test_rc_branch_charges_toward_ir(self, cell):
+        cell.reset(0.8)
+        r_ct = cell.params.r_ct
+        for _ in range(10000):
+            cell.step_current(1.0, 10.0)
+            if cell.soc < 0.3:
+                break
+        # After a long constant-current stretch v_rc saturates at I*R_ct.
+        assert cell.v_rc == pytest.approx(1.0 * r_ct, rel=0.05)
+
+    def test_rc_branch_decays_at_rest(self, cell):
+        cell.reset(0.8)
+        cell.step_current(2.0, 600.0)
+        v_before = cell.v_rc
+        cell.step_current(0.0, 3600.0)
+        assert abs(cell.v_rc) < abs(v_before) * 0.05
+
+    def test_heat_is_nonnegative(self, cell):
+        cell.reset(0.6)
+        for current in (-1.0, 0.0, 0.5, 3.0):
+            result = cell.step_current(current, 1.0)
+            assert result.heat_w >= 0.0
+
+    def test_aging_records_throughput(self, cell):
+        cell.step_current(1.0, 3600.0)
+        assert cell.aging.state.throughput_c == pytest.approx(3600.0, rel=1e-6)
+
+
+class TestPowerStepping:
+    def test_discharge_power_delivers_requested_power(self, cell):
+        result = cell.step_discharge_power(5.0, 1.0)
+        assert result.delivered_w == pytest.approx(5.0, rel=1e-9)
+
+    def test_charge_power_absorbs_requested_power(self, cell):
+        cell.reset(0.5)
+        result = cell.step_charge_power(5.0, 1.0)
+        assert result.delivered_w == pytest.approx(-5.0, rel=1e-9)
+        assert result.current < 0
+
+    def test_zero_power_is_rest(self, cell):
+        result = cell.step_discharge_power(0.0, 1.0)
+        assert result.current == 0.0
+
+    def test_power_beyond_max_raises(self, cell):
+        cell.reset(0.3)
+        too_much = cell.max_discharge_power() * 3
+        with pytest.raises(PowerLimitError):
+            cell.step_discharge_power(too_much, 1.0)
+
+    def test_discharge_energy_conservation(self, cell):
+        """Chemical energy out = delivered + heat (within integrator error)."""
+        cell.reset(1.0)
+        delivered = 0.0
+        heat = 0.0
+        chem_before = cell.open_circuit_energy_j()
+        for _ in range(600):
+            if cell.is_empty:
+                break
+            r = cell.step_discharge_power(4.0, 10.0)
+            delivered += r.delivered_j
+            heat += r.heat_j
+        chem_after = cell.open_circuit_energy_j()
+        chem_used = chem_before - chem_after
+        # The RC branch stores a little energy; allow 2%.
+        assert delivered + heat == pytest.approx(chem_used, rel=0.02)
+
+    def test_rejects_negative_power(self, cell):
+        with pytest.raises(ValueError):
+            cell.step_discharge_power(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            cell.step_charge_power(-1.0, 1.0)
+
+    def test_round_trip_efficiency_below_one(self, cell):
+        """Moving the same coulombs in then out loses terminal energy."""
+        cell.reset(0.4)
+        e_in = 0.0
+        for _ in range(360):
+            e_in += -cell.step_current(-1.0, 10.0).delivered_j
+        e_out = 0.0
+        for _ in range(360):
+            e_out += cell.step_current(1.0, 10.0).delivered_j
+        assert e_out < e_in
+        assert e_out / e_in > 0.90  # Li-ion round trip is still decent.
+
+
+class TestReset:
+    def test_reset_clears_electrical_state(self, cell):
+        cell.step_discharge_power(5.0, 100.0)
+        cell.reset(1.0)
+        assert cell.soc == 1.0
+        assert cell.v_rc == 0.0
+
+    def test_reset_keeps_aging_by_default(self, cell):
+        cell.step_discharge_power(5.0, 1000.0)
+        fade = cell.aging.state.fade
+        cell.reset(1.0)
+        assert cell.aging.state.fade == fade
+
+    def test_reset_can_clear_aging(self, cell):
+        cell.step_discharge_power(5.0, 1000.0)
+        cell.reset(1.0, keep_aging=False)
+        assert cell.aging.state.fade == 0.0
+
+
+class TestPropertyBased:
+    @given(
+        power=st.floats(min_value=0.1, max_value=8.0),
+        soc=st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_power_solve_consistency(self, power, soc):
+        """solve_discharge_current inverts the terminal power relation."""
+        cell = new_cell("B06", soc=soc)
+        current = cell.solve_discharge_current(power)
+        v = cell.terminal_voltage(current)
+        assert v * current == pytest.approx(power, rel=1e-9)
+
+    @given(
+        current=st.floats(min_value=-2.0, max_value=2.0),
+        dt=st.floats(min_value=0.1, max_value=120.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_soc_stays_in_unit_interval(self, current, dt):
+        cell = new_cell("B06", soc=0.5)
+        cell.step_current(current, dt)
+        assert 0.0 <= cell.soc <= 1.0
+
+    @given(soc=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_usable_charge_matches_soc(self, soc):
+        cell = new_cell("B09", soc=soc)
+        expected = max(0.0, soc - SOC_EMPTY) * cell.capacity_c
+        assert cell.usable_charge_c == pytest.approx(expected)
+
+
+class TestSelfDischarge:
+    def test_disabled_by_default(self, cell):
+        cell.reset(0.8)
+        cell.step_current(0.0, 30 * 86400.0)
+        assert cell.soc == pytest.approx(0.8)
+
+    def test_resting_cell_leaks_three_percent_per_month(self, cell):
+        cell.reset(0.8)
+        cell.enable_self_discharge(per_month=0.03, calendar_fade_per_year=0.0)
+        for _ in range(30):
+            cell.step_current(0.0, 86400.0)
+        assert cell.soc == pytest.approx(0.77, abs=0.002)
+
+    def test_calendar_fade_accrues_at_rest(self, cell):
+        cell.reset(0.5)
+        cell.enable_self_discharge(per_month=0.0, calendar_fade_per_year=0.02)
+        for _ in range(365):
+            cell.step_current(0.0, 86400.0)
+        assert cell.aging.state.fade == pytest.approx(0.02, rel=0.01)
+
+    def test_leak_does_not_count_as_throughput(self, cell):
+        cell.reset(0.8)
+        cell.enable_self_discharge(per_month=0.05)
+        cell.step_current(0.0, 10 * 86400.0)
+        assert cell.aging.state.throughput_c == 0.0
+
+    def test_leak_clamps_at_zero(self, cell):
+        cell.reset(0.01)
+        cell.enable_self_discharge(per_month=0.5)
+        cell.step_current(0.0, 60 * 86400.0)
+        assert cell.soc == 0.0
+
+    def test_validates_rates(self, cell):
+        with pytest.raises(ValueError):
+            cell.enable_self_discharge(per_month=-0.1)
+        with pytest.raises(ValueError):
+            cell.enable_self_discharge(per_month=1.5)
+        with pytest.raises(ValueError):
+            cell.enable_self_discharge(calendar_fade_per_year=1.0)

@@ -1,0 +1,110 @@
+"""Tests for repro.workloads.io and the library registration API."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chemistry import (
+    BatteryDescriptor,
+    ChemistryType,
+    battery_by_id,
+    register_battery,
+    unregister_battery,
+)
+from repro.workloads import PowerTrace, Segment, constant_trace
+from repro.workloads.generators import smartwatch_day_trace
+from repro.workloads.io import load_trace, save_trace, trace_from_csv, trace_to_csv
+
+
+class TestTraceRoundTrip:
+    def test_simple_round_trip(self):
+        trace = PowerTrace([Segment(0, 10, 1.0), Segment(10, 20, 2.5)])
+        restored = trace_from_csv(trace_to_csv(trace))
+        assert restored.duration_s == trace.duration_s
+        assert restored.power_at(5.0) == 1.0
+        assert restored.power_at(15.0) == 2.5
+        assert restored.total_energy_j() == pytest.approx(trace.total_energy_j())
+
+    def test_real_workload_round_trip(self):
+        trace = smartwatch_day_trace()
+        restored = trace_from_csv(trace_to_csv(trace))
+        assert len(restored.segments) == len(trace.segments)
+        assert restored.total_energy_j() == pytest.approx(trace.total_energy_j(), rel=1e-6)
+
+    def test_file_round_trip(self, tmp_path):
+        trace = constant_trace(3.0, 120.0)
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        assert load_trace(path).total_energy_j() == pytest.approx(360.0)
+
+    def test_footerless_power_meter_dump(self):
+        text = "start_s,power_w\n0.0,1.0\n10.0,2.0\n20.0,3.0\n"
+        trace = trace_from_csv(text)
+        # Last sample gets the median gap (10 s).
+        assert trace.duration_s == pytest.approx(30.0)
+        assert trace.power_at(25.0) == 3.0
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            trace_from_csv("time,watts\n0,1\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trace_from_csv("")
+        with pytest.raises(ValueError):
+            trace_from_csv("start_s,power_w\n")
+
+    def test_rejects_single_footerless_sample(self):
+        with pytest.raises(ValueError):
+            trace_from_csv("start_s,power_w\n0.0,1.0\n")
+
+    def test_rejects_missing_power_mid_file(self):
+        with pytest.raises(ValueError):
+            trace_from_csv("start_s,power_w\n0.0,\n5.0,1.0\n10.0,\n")
+
+    @given(
+        powers=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30),
+        seg=st.floats(min_value=0.5, max_value=600.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, powers, seg):
+        trace = PowerTrace.from_powers(powers, seg)
+        restored = trace_from_csv(trace_to_csv(trace))
+        assert restored.total_energy_j() == pytest.approx(trace.total_energy_j(), rel=1e-6, abs=1e-6)
+
+
+class TestLibraryRegistration:
+    def _descriptor(self, bid="X99"):
+        return BatteryDescriptor(bid, "experimental", ChemistryType.TYPE_3_LCO_HIGH_POWER, 2500.0)
+
+    def test_register_and_lookup(self):
+        register_battery(self._descriptor())
+        try:
+            assert battery_by_id("X99").label == "experimental"
+        finally:
+            unregister_battery("X99")
+
+    def test_duplicate_rejected_without_replace(self):
+        register_battery(self._descriptor())
+        try:
+            with pytest.raises(ValueError):
+                register_battery(self._descriptor())
+            register_battery(self._descriptor(), replace=True)  # explicit is fine
+        finally:
+            unregister_battery("X99")
+
+    def test_stock_batteries_protected(self):
+        with pytest.raises(ValueError):
+            unregister_battery("B01")
+        with pytest.raises(ValueError):
+            register_battery(
+                BatteryDescriptor("B01", "impostor", ChemistryType.TYPE_2_LCO_STANDARD, 100.0)
+            )
+
+    def test_unknown_unregister(self):
+        with pytest.raises(KeyError):
+            unregister_battery("Z42")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            register_battery(BatteryDescriptor("", "nameless", ChemistryType.TYPE_2_LCO_STANDARD, 100.0))

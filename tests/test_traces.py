@@ -1,0 +1,185 @@
+"""Tests for repro.workloads.traces and generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.workloads import (
+    PowerTrace,
+    Segment,
+    constant_trace,
+    episodes_trace,
+    random_app_trace,
+    smartwatch_day_trace,
+    two_in_one_workload_trace,
+)
+from repro.workloads.profiles import TWO_IN_ONE_WORKLOADS, two_in_one_workload, wearable_day
+
+
+class TestSegment:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            Segment(0.0, 0.0, 1.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            Segment(0.0, 1.0, -1.0)
+
+    def test_energy(self):
+        assert Segment(0.0, 10.0, 2.0).energy_j == 20.0
+
+
+class TestPowerTrace:
+    def test_requires_contiguous_segments(self):
+        with pytest.raises(ValueError):
+            PowerTrace([Segment(0, 10, 1.0), Segment(11, 10, 1.0)])
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            PowerTrace([])
+
+    def test_power_at_boundaries(self):
+        trace = PowerTrace([Segment(0, 10, 1.0), Segment(10, 10, 2.0)])
+        assert trace.power_at(0.0) == 1.0
+        assert trace.power_at(9.999) == 1.0
+        assert trace.power_at(10.0) == 2.0
+        assert trace.power_at(25.0) == 0.0  # past the end
+        assert trace.power_at(-1.0) == 0.0
+
+    def test_total_energy(self):
+        trace = PowerTrace([Segment(0, 10, 1.0), Segment(10, 10, 3.0)])
+        assert trace.total_energy_j() == pytest.approx(40.0)
+
+    def test_energy_between_partial_segments(self):
+        trace = PowerTrace([Segment(0, 10, 1.0), Segment(10, 10, 3.0)])
+        assert trace.energy_between_j(5.0, 15.0) == pytest.approx(5.0 + 15.0)
+
+    def test_energy_between_validates(self):
+        trace = constant_trace(1.0, 10.0)
+        with pytest.raises(ValueError):
+            trace.energy_between_j(5.0, 1.0)
+
+    def test_mean_and_peak(self):
+        trace = PowerTrace([Segment(0, 10, 1.0), Segment(10, 30, 2.0)])
+        assert trace.peak_power_w() == 2.0
+        assert trace.mean_power_w() == pytest.approx(70.0 / 40.0)
+
+    def test_steps_cover_trace(self):
+        trace = constant_trace(2.0, 100.0)
+        steps = list(trace.steps(10.0))
+        assert len(steps) == 10
+        assert all(p == 2.0 for _, p in steps)
+
+    def test_steps_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            list(constant_trace(1.0, 10.0).steps(0.0))
+
+    def test_scaled(self):
+        trace = constant_trace(2.0, 10.0).scaled(0.5)
+        assert trace.total_energy_j() == pytest.approx(10.0)
+
+    def test_overlay_adds_power(self):
+        a = constant_trace(1.0, 20.0)
+        b = PowerTrace([Segment(0, 10, 0.5), Segment(10, 10, 1.5)])
+        combined = a.with_overlay(b)
+        assert combined.power_at(5.0) == pytest.approx(1.5)
+        assert combined.power_at(15.0) == pytest.approx(2.5)
+        assert combined.total_energy_j() == pytest.approx(40.0)
+
+    def test_future_energy_above(self):
+        trace = PowerTrace([Segment(0, 10, 0.1), Segment(10, 10, 5.0), Segment(20, 10, 0.1)])
+        remaining = trace.future_energy_above(1.0)
+        assert remaining(0.0) == pytest.approx(50.0)
+        assert remaining(15.0) == pytest.approx(25.0)
+        assert remaining(20.0) == 0.0
+
+    def test_hourly_energy(self):
+        trace = constant_trace(1.0, 2.5 * units.SECONDS_PER_HOUR)
+        hourly = trace.hourly_energy_j()
+        assert len(hourly) == 3
+        assert hourly[0] == pytest.approx(3600.0)
+        assert hourly[2] == pytest.approx(1800.0)
+
+    def test_from_powers(self):
+        trace = PowerTrace.from_powers([1.0, 2.0, 3.0], 5.0)
+        assert trace.duration_s == 15.0
+        assert trace.power_at(7.0) == 2.0
+
+    @given(st.floats(min_value=0.1, max_value=100.0), st.floats(min_value=1.0, max_value=1e5))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_trace_energy_invariant(self, p, d):
+        trace = constant_trace(p, d)
+        assert trace.total_energy_j() == pytest.approx(p * d, rel=1e-9)
+
+
+class TestEpisodesTrace:
+    def test_baseline_between_episodes(self):
+        trace = episodes_trace(0.1, 100.0, [(20.0, 10.0, 2.0)])
+        assert trace.power_at(10.0) == 0.1
+        assert trace.power_at(25.0) == 2.0
+        assert trace.power_at(50.0) == 0.1
+        assert trace.duration_s == 100.0
+
+    def test_overlapping_episodes_rejected(self):
+        with pytest.raises(ValueError):
+            episodes_trace(0.1, 100.0, [(10.0, 20.0, 1.0), (15.0, 5.0, 2.0)])
+
+    def test_episode_truncated_at_end(self):
+        trace = episodes_trace(0.1, 100.0, [(90.0, 30.0, 1.0)])
+        assert trace.duration_s == 100.0
+        assert trace.power_at(95.0) == 1.0
+
+
+class TestGenerators:
+    def test_smartwatch_day_structure(self):
+        trace = smartwatch_day_trace()
+        assert trace.duration_s == pytest.approx(24 * 3600)
+        # The run episode is present at the configured power.
+        assert trace.power_at(9.5 * 3600) == pytest.approx(0.55)
+        # Evening is quieter than morning.
+        morning = trace.energy_between_j(0, 9 * 3600) / (9 * 3600)
+        evening = trace.energy_between_j(12 * 3600, 24 * 3600) / (12 * 3600)
+        assert evening < morning
+
+    def test_smartwatch_day_deterministic(self):
+        a = smartwatch_day_trace(seed=5)
+        b = smartwatch_day_trace(seed=5)
+        assert a.total_energy_j() == b.total_energy_j()
+        assert smartwatch_day_trace(seed=6).total_energy_j() != a.total_energy_j()
+
+    def test_two_in_one_mean_power_exact(self):
+        trace = two_in_one_workload_trace(10.0, 3600.0, seed=1)
+        assert trace.mean_power_w() == pytest.approx(10.0, rel=1e-9)
+
+    def test_two_in_one_rejects_bad_ripple(self):
+        with pytest.raises(ValueError):
+            two_in_one_workload_trace(10.0, 100.0, ripple=1.5)
+
+    def test_random_app_trace_levels(self):
+        trace = random_app_trace(3600.0, 0.1, 1.0, 3.0, seed=2)
+        powers = {seg.power_w for seg in trace.segments}
+        assert powers <= {0.1, 1.0, 3.0}
+
+    def test_random_app_trace_validates_order(self):
+        with pytest.raises(ValueError):
+            random_app_trace(100.0, 2.0, 1.0, 3.0, seed=1)
+
+
+class TestProfiles:
+    def test_wearable_day_run_present(self):
+        day = wearable_day()
+        assert day.trace.power_at((day.run_start_h + 0.1) * 3600) == pytest.approx(day.run_power_w)
+
+    def test_wearable_day_without_run(self):
+        day = wearable_day(include_run=False)
+        assert day.trace.peak_power_w() < 0.5
+
+    def test_ten_two_in_one_workloads(self):
+        assert len(TWO_IN_ONE_WORKLOADS) == 10
+
+    def test_two_in_one_lookup(self):
+        trace = two_in_one_workload("gaming", duration_h=1.0)
+        assert trace.mean_power_w() == pytest.approx(24.0, rel=1e-9)
+        with pytest.raises(KeyError):
+            two_in_one_workload("minesweeper")

@@ -1,0 +1,94 @@
+"""Tests for repro.units and repro.errors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors, units
+
+
+class TestConversions:
+    def test_mah_round_trip(self):
+        assert units.coulombs_to_mah(units.mah_to_coulombs(2600.0)) == pytest.approx(2600.0)
+
+    def test_ah_round_trip(self):
+        assert units.coulombs_to_ah(units.ah_to_coulombs(2.6)) == pytest.approx(2.6)
+
+    def test_mah_vs_ah_consistent(self):
+        assert units.mah_to_coulombs(1000.0) == pytest.approx(units.ah_to_coulombs(1.0))
+
+    def test_wh_round_trip(self):
+        assert units.joules_to_wh(units.wh_to_joules(15.2)) == pytest.approx(15.2)
+
+    def test_one_wh_is_3600_joules(self):
+        assert units.wh_to_joules(1.0) == 3600.0
+
+    def test_time_conversions(self):
+        assert units.hours_to_seconds(1.5) == 5400.0
+        assert units.seconds_to_hours(5400.0) == 1.5
+        assert units.minutes_to_seconds(2.0) == 120.0
+        assert units.seconds_to_minutes(90.0) == 1.5
+
+    def test_day_constant(self):
+        assert units.SECONDS_PER_DAY == 24 * units.SECONDS_PER_HOUR
+
+
+class TestCRates:
+    def test_one_c_empties_in_one_hour(self):
+        capacity_c = units.ah_to_coulombs(2.0)
+        amps = units.c_rate_to_amps(1.0, capacity_c)
+        assert amps == pytest.approx(2.0)  # 2 Ah at 1C = 2 A
+        assert amps * 3600.0 == pytest.approx(capacity_c)
+
+    def test_c_rate_round_trip(self):
+        capacity_c = units.mah_to_coulombs(2600.0)
+        amps = units.c_rate_to_amps(0.7, capacity_c)
+        assert units.amps_to_c_rate(amps, capacity_c) == pytest.approx(0.7)
+
+    def test_c_rate_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            units.amps_to_c_rate(1.0, 0.0)
+
+    @given(
+        c_rate=st.floats(min_value=0.01, max_value=20.0),
+        capacity=st.floats(min_value=10.0, max_value=1e6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, c_rate, capacity):
+        amps = units.c_rate_to_amps(c_rate, capacity)
+        assert units.amps_to_c_rate(amps, capacity) == pytest.approx(c_rate, rel=1e-9)
+
+
+class TestClamp:
+    def test_inside_unchanged(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamps_both_ends(self):
+        assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+        assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            units.clamp(0.5, 1.0, 0.0)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_sdb_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.SDBError:
+                assert issubclass(obj, errors.SDBError), name
+
+    def test_battery_errors_are_battery_errors(self):
+        assert issubclass(errors.BatteryEmptyError, errors.BatteryError)
+        assert issubclass(errors.BatteryFullError, errors.BatteryError)
+        assert issubclass(errors.PowerLimitError, errors.BatteryError)
+
+    def test_ratio_error_is_hardware_error(self):
+        assert issubclass(errors.RatioError, errors.HardwareError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.SDBError):
+            raise errors.PolicyError("policy broke")
+        with pytest.raises(errors.SDBError):
+            raise errors.EmulationError("emulator broke")

@@ -1,0 +1,129 @@
+"""Tests for repro.core.warranty and the single-battery experiment."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.chemistry.aging import AgingParams
+from repro.core.warranty import (
+    Warranty,
+    max_charge_c_for_warranty,
+    max_discharge_c_for_warranty,
+    per_cycle_fade,
+    retention_after,
+    warranty_cycles,
+)
+from repro.experiments.single_battery import run_single_battery
+
+PARAMS = AgingParams(tolerable_cycles=1000, fade_base=2e-6, fade_rate_coeff=2e-4, resistance_growth=1.5)
+
+
+class TestWarrantyDataclass:
+    def test_defaults(self):
+        w = Warranty()
+        assert w.cycles == 800
+        assert w.min_retention == 0.80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Warranty(cycles=0)
+        with pytest.raises(ValueError):
+            Warranty(min_retention=1.5)
+
+
+class TestRetention:
+    def test_matches_simulated_aging(self):
+        """The closed form tracks AgingModel.simulate_cycles."""
+        cell = new_cell("B09")
+        simulated = cell.aging.simulate_cycles(500, 0.7, 0.3)
+        closed = retention_after(cell.params.aging, 500, 0.7, 0.3)
+        assert closed == pytest.approx(simulated, rel=0.01)
+
+    def test_monotone_in_rate(self):
+        gentle = retention_after(PARAMS, 800, 0.3, 0.3)
+        harsh = retention_after(PARAMS, 800, 2.0, 0.3)
+        assert harsh < gentle
+
+    def test_monotone_in_cycles(self):
+        early = retention_after(PARAMS, 100, 1.0, 0.3)
+        late = retention_after(PARAMS, 1000, 1.0, 0.3)
+        assert late < early
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            retention_after(PARAMS, -1, 0.5, 0.5)
+
+    def test_discharge_weighted_half(self):
+        fade_charge = per_cycle_fade(PARAMS, 1.0, 0.0)
+        fade_discharge = per_cycle_fade(PARAMS, 0.0, 1.0)
+        # Same rate term appears, discharge at half weight (plus the base).
+        charge_term = fade_charge - per_cycle_fade(PARAMS, 0.0, 0.0) / 1.5 * 1.0  # rough guard
+        assert fade_discharge < fade_charge
+
+
+class TestWarrantyCycles:
+    def test_gentler_rates_more_cycles(self):
+        assert warranty_cycles(PARAMS, 0.3, 0.3) > warranty_cycles(PARAMS, 1.5, 0.3)
+
+    def test_round_trips_with_retention(self):
+        cycles = warranty_cycles(PARAMS, 0.7, 0.3, min_retention=0.8)
+        assert retention_after(PARAMS, cycles, 0.7, 0.3) >= 0.8
+        assert retention_after(PARAMS, cycles + 2, 0.7, 0.3) < 0.8
+
+    def test_validates_retention(self):
+        with pytest.raises(ValueError):
+            warranty_cycles(PARAMS, 0.5, 0.5, min_retention=0.0)
+
+
+class TestMaxRates:
+    def test_found_rate_meets_warranty(self):
+        warranty = Warranty(cycles=800, min_retention=0.80)
+        c = max_charge_c_for_warranty(PARAMS, warranty)
+        assert retention_after(PARAMS, 800, c, 0.3) >= 0.80 - 1e-6
+        # And slightly faster breaks it.
+        assert retention_after(PARAMS, 800, c * 1.10, 0.3) < 0.80
+
+    def test_tolerant_chemistry_hits_hard_limit(self):
+        tolerant = AgingParams(tolerable_cycles=2000, fade_base=1e-7, fade_rate_coeff=1e-7, resistance_growth=1.0)
+        assert max_charge_c_for_warranty(tolerant, hard_limit_c=6.0) == 6.0
+
+    def test_hopeless_chemistry_returns_zero(self):
+        doomed = AgingParams(tolerable_cycles=100, fade_base=0.01, fade_rate_coeff=0.0, resistance_growth=1.0)
+        assert max_charge_c_for_warranty(doomed) == 0.0
+
+    def test_discharge_envelope_larger_than_charge(self):
+        """Discharge stress is half-weighted, so the discharge envelope is
+        wider at equal warranty."""
+        c_chg = max_charge_c_for_warranty(PARAMS, discharge_c=0.0, hard_limit_c=20.0)
+        c_dis = max_discharge_c_for_warranty(PARAMS, charge_c=0.0, hard_limit_c=20.0)
+        assert c_dis > c_chg
+
+    def test_validates_hard_limit(self):
+        with pytest.raises(ValueError):
+            max_charge_c_for_warranty(PARAMS, hard_limit_c=0.0)
+        with pytest.raises(ValueError):
+            max_discharge_c_for_warranty(PARAMS, hard_limit_c=-1.0)
+
+
+class TestSingleBatteryExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_single_battery()
+
+    def test_covers_all_fifteen(self, result):
+        assert len(result.envelope.rows) == 15
+
+    def test_fast_cell_has_widest_charge_envelope(self, result):
+        """B14 is engineered for fast charge: its warranty-safe rate should
+        be the highest among same-size cells."""
+        assert result.max_charge_c["B14"] == max(result.max_charge_c.values())
+
+    def test_fragile_sample_has_narrow_envelope(self, result):
+        """The Figure 1(b) sample (B06) is far more fragile than its
+        siblings."""
+        assert result.max_charge_c["B06"] < result.max_charge_c["B05"]
+
+    def test_envelopes_respect_hardware_limits(self, result):
+        from repro.chemistry.library import BATTERY_LIBRARY
+
+        for bid, c in result.max_charge_c.items():
+            assert c <= BATTERY_LIBRARY[bid].effective_max_charge_c + 1e-9
