@@ -71,6 +71,12 @@ class FuelGauge:
         self.total_discharged_c = 0.0
         self.total_charged_c = 0.0
         self.total_heat_j = 0.0
+        #: Injected fault: the estimate no longer tracks charge movement
+        #: (a wedged gauge microcontroller). Set by the fault subsystem.
+        self.fault_stuck = False
+        #: Injected fault: the gauge stops answering; ``status()`` reports
+        #: NaN for the estimate, the way a dead I2C device reads back.
+        self.fault_dropout = False
         cell.add_observer(self.record)
 
     @property
@@ -83,7 +89,7 @@ class FuelGauge:
         measured_current = step.current * (1.0 + self.sense_gain_error) + self.sense_offset_a
         moved_c = measured_current * step.dt
         cap = self.cell.capacity_c
-        if cap > 0:
+        if cap > 0 and not self.fault_stuck:
             self._estimated_soc = units.clamp(self._estimated_soc - moved_c / cap, 0.0, 1.0)
         if step.current >= 0:
             self.total_discharged_c += step.current * step.dt
@@ -91,6 +97,14 @@ class FuelGauge:
             self.total_charged_c += -step.current * step.dt
         self.total_heat_j += step.heat_j
         self._last_voltage = step.terminal_voltage
+
+    def inject_offset(self, delta: float) -> None:
+        """Shift the SoC estimate by ``delta`` (a fault-injection step error).
+
+        Models a single corrupted coulomb-counter register write; the
+        estimate stays clamped to [0, 1] like the real accumulator.
+        """
+        self._estimated_soc = units.clamp(self._estimated_soc + float(delta), 0.0, 1.0)
 
     def ocv_rest_correction(self) -> None:
         """Re-anchor the SoC estimate from the true resting state.
@@ -108,7 +122,7 @@ class FuelGauge:
             soc=self.cell.soc,
             terminal_voltage=self._last_voltage,
             cycle_count=self.cell.aging.state.cycle_count,
-            estimated_soc=self._estimated_soc,
+            estimated_soc=float("nan") if self.fault_dropout else self._estimated_soc,
             capacity_mah=units.coulombs_to_mah(self.cell.capacity_c),
             wear_ratio=self.cell.aging.wear_ratio,
             throughput_wear=self.cell.aging.throughput_wear,

@@ -6,9 +6,12 @@ Usage::
     python -m repro run fig11
     python -m repro run all --out results/
     python -m repro library
+    python -m repro chaos --seed 7
 
 ``run`` prints each experiment's tables and optionally writes them to a
-directory (one text file per experiment).
+directory (one text file per experiment). ``chaos`` replays the tablet
+day under a seeded fault schedule and compares the naive stack against
+the self-healing runtime (see ``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -85,6 +88,28 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos harness with a chosen seed and print its tables."""
+    from repro.experiments.chaos import run_chaos
+
+    if args.dt <= 0:
+        print("dt must be positive", file=sys.stderr)
+        return 2
+    result = run_chaos(seed=args.seed, dt_s=args.dt)
+    parts = [table.format() for table in result.tables()]
+    parts.append("resilient: " + result.results["resilient"].resilience_summary())
+    parts.append("naive:     " + result.results["naive"].resilience_summary())
+    text = "\n\n".join(parts)
+    print()
+    print(text)
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"chaos_seed{args.seed}.txt").write_text(text + "\n")
+        print(f"\nwrote chaos report to {out_dir}/chaos_seed{args.seed}.txt")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -104,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", help="directory to write result tables to")
     p_run.add_argument("--plot", action="store_true", help="append ASCII charts of each table")
     p_run.set_defaults(func=cmd_run)
+
+    p_chaos = sub.add_parser("chaos", help="replay the tablet day under a seeded fault schedule")
+    p_chaos.add_argument("--seed", type=int, default=7, help="fault-schedule seed (default 7)")
+    p_chaos.add_argument("--dt", type=float, default=15.0, help="emulation step in seconds (default 15)")
+    p_chaos.add_argument("--out", help="directory to write the chaos report to")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -7,10 +7,13 @@
 * :mod:`repro.core.policies` — CCB/RBL charge and discharge algorithms,
   the directive-parameter blend, workload-aware policies, and baselines;
 * :mod:`repro.core.runtime` — the SDB Runtime that maps directive
-  parameters to ratio updates and pushes them to the microcontroller.
+  parameters to ratio updates and pushes them to the microcontroller;
+* :mod:`repro.core.health` — the health monitor behind the runtime's
+  resilient mode (quarantine, graceful degradation, incident log).
 """
 
 from repro.core.api import SDBApi
+from repro.core.health import HealthMonitor, Incident
 from repro.core.metrics import (
     cycle_count_balance,
     open_circuit_energy_j,
@@ -21,6 +24,8 @@ from repro.core.runtime import SDBRuntime
 
 __all__ = [
     "SDBApi",
+    "HealthMonitor",
+    "Incident",
     "cycle_count_balance",
     "open_circuit_energy_j",
     "remaining_battery_lifetime_j",

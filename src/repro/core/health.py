@@ -1,0 +1,175 @@
+"""Runtime health monitoring: detect lying gauges, quarantine, recover.
+
+Section 2.2 observes that fuel gauges drift and that a device trusting a
+bad estimate "shuts down prematurely or abruptly". The SDB runtime is the
+layer with enough context to catch this: it sees every
+``QueryBatteryStatus`` response and every ratio decision. The
+:class:`HealthMonitor` cross-checks those responses for readings that are
+*physically implausible* and quarantines the offending battery — its ratio
+shares are zeroed and renormalized onto the healthy set, while the
+microcontroller's own hardware floor (empty/absent redistribution) still
+uses the quarantined battery as a last resort, so no energy is ever
+stranded outright.
+
+Plausibility checks (thresholds are constructor knobs):
+
+* **estimate divergence** — the gauge's coulomb-counted SoC versus the
+  reference SoC (in the emulator, the model's ground truth; on hardware,
+  the OCV-anchored cross-check of Section 2.2) disagree by more than
+  ``divergence_threshold``;
+* **gauge dropout** — the estimate reads NaN (a dead sense IC);
+* **frozen voltage** — the terminal voltage is bit-identical across
+  ``frozen_voltage_checks`` consecutive reads while charge visibly moved,
+  which no real cell does under current;
+* **impossible cycle jump** — the cycle counter advanced faster than any
+  physical duty cycle allows between two reads.
+
+A quarantined battery is released after ``recovery_checks`` consecutive
+clean reads (a reattached pack whose gauge re-anchored, a transient
+dropout that cleared).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.cell.fuel_gauge import BatteryStatus
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One entry in the resilience incident log.
+
+    Attributes:
+        t: simulation time, seconds.
+        kind: ``"quarantine"``, ``"release"``, ``"policy-degraded"``,
+            ``"command-retried"`` or ``"command-dropped"``.
+        battery_index: affected battery, or None for system-level incidents.
+        detail: human-readable specifics.
+    """
+
+    t: float
+    kind: str
+    battery_index: Optional[int] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One line for logs and summaries."""
+        where = f" battery {self.battery_index}" if self.battery_index is not None else ""
+        detail = f": {self.detail}" if self.detail else ""
+        return f"[{self.t:10.1f} s] {self.kind}{where}{detail}"
+
+
+class HealthMonitor:
+    """Cross-checks battery status reads and quarantines implausible cells.
+
+    Args:
+        divergence_threshold: |estimated - reference| SoC gap that marks a
+            gauge as lying (fraction of full scale).
+        frozen_voltage_checks: consecutive bit-identical voltage reads
+            (with charge movement) before the sense path is declared dead.
+        max_cycle_jump: largest credible cycle-count increase between two
+            consecutive reads.
+        recovery_checks: consecutive clean reads before a quarantined
+            battery is released.
+    """
+
+    def __init__(
+        self,
+        divergence_threshold: float = 0.15,
+        frozen_voltage_checks: int = 5,
+        max_cycle_jump: int = 2,
+        recovery_checks: int = 5,
+    ):
+        if not 0.0 < divergence_threshold < 1.0:
+            raise ValueError("divergence threshold must be in (0, 1)")
+        if frozen_voltage_checks < 2:
+            raise ValueError("need at least two reads to call a voltage frozen")
+        if max_cycle_jump < 1:
+            raise ValueError("max cycle jump must be at least 1")
+        if recovery_checks < 1:
+            raise ValueError("recovery needs at least one clean read")
+        self.divergence_threshold = float(divergence_threshold)
+        self.frozen_voltage_checks = int(frozen_voltage_checks)
+        self.max_cycle_jump = int(max_cycle_jump)
+        self.recovery_checks = int(recovery_checks)
+        #: Indices currently under quarantine.
+        self.quarantined: Set[int] = set()
+        #: Chronological incident log (quarantines and releases).
+        self.incidents: List[Incident] = []
+        self._prev: Dict[int, BatteryStatus] = {}
+        self._frozen_streak: Dict[int, int] = {}
+        self._clean_streak: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def _suspicions(self, index: int, status: BatteryStatus) -> List[str]:
+        reasons = []
+        if math.isnan(status.estimated_soc):
+            reasons.append("gauge dropout (NaN estimate)")
+        elif abs(status.estimated_soc - status.soc) > self.divergence_threshold:
+            reasons.append(
+                f"gauge divergence ({status.estimated_soc:.0%} reported vs {status.soc:.0%} reference)"
+            )
+        prev = self._prev.get(index)
+        if prev is not None:
+            charge_moved = abs(status.soc - prev.soc) > 1e-9
+            if status.terminal_voltage == prev.terminal_voltage and charge_moved:
+                streak = self._frozen_streak.get(index, 1) + 1
+                self._frozen_streak[index] = streak
+                if streak >= self.frozen_voltage_checks:
+                    reasons.append(f"voltage frozen at {status.terminal_voltage:.3f} V across {streak} reads")
+            else:
+                self._frozen_streak[index] = 1
+            jump = status.cycle_count - prev.cycle_count
+            if jump > self.max_cycle_jump:
+                reasons.append(f"impossible cycle jump (+{jump} in one interval)")
+        return reasons
+
+    def observe(self, t: float, statuses: Sequence[BatteryStatus]) -> None:
+        """Fold one ``QueryBatteryStatus`` response into the monitor."""
+        for index, status in enumerate(statuses):
+            reasons = self._suspicions(index, status)
+            if reasons:
+                self._clean_streak[index] = 0
+                if index not in self.quarantined:
+                    self.quarantined.add(index)
+                    self.incidents.append(Incident(t, "quarantine", index, "; ".join(reasons)))
+            elif index in self.quarantined:
+                streak = self._clean_streak.get(index, 0) + 1
+                self._clean_streak[index] = streak
+                if streak >= self.recovery_checks:
+                    self.quarantined.discard(index)
+                    self.incidents.append(
+                        Incident(t, "release", index, f"{streak} consecutive clean reads")
+                    )
+            self._prev[index] = status
+
+    # ------------------------------------------------------------------ #
+    # Enforcement
+    # ------------------------------------------------------------------ #
+
+    def filter_ratios(self, ratios: Sequence[float]) -> List[float]:
+        """Zero quarantined shares and renormalize onto the healthy set.
+
+        If *every* battery with a nonzero share is quarantined the original
+        vector passes through unchanged: serving the load from a suspect
+        battery beats not serving it at all, and the hardware's own
+        safeguards still apply.
+        """
+        ratios = list(ratios)
+        if not self.quarantined:
+            return ratios
+        filtered = [0.0 if i in self.quarantined else r for i, r in enumerate(ratios)]
+        total = sum(filtered)
+        if total <= 0.0:
+            return ratios
+        return [r / total for r in filtered]
+
+    def record(self, incident: Incident) -> None:
+        """Append a runtime-side incident (degradations, command drops)."""
+        self.incidents.append(incident)

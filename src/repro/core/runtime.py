@@ -15,14 +15,16 @@ rest of the OS influences it only through the two directive parameters and
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, Deque, List, Optional, Sequence
 
 from repro.cell.fuel_gauge import BatteryStatus
 from repro.core.api import SDBApi
+from repro.core.health import HealthMonitor, Incident
 from repro.core.policies.base import ChargePolicy, DischargePolicy
 from repro.core.policies.blended import BlendedChargePolicy, BlendedDischargePolicy
-from repro.errors import PolicyError
+from repro.errors import BatteryError, HardwareError, PolicyError, RatioError
 from repro.hardware.charge import FAST_PROFILE, GENTLE_PROFILE, STANDARD_PROFILE
 from repro.hardware.microcontroller import SDBMicrocontroller
 
@@ -46,6 +48,10 @@ FAST_CAPABLE_C = 2.0
 #: Telemetry ring-buffer length (decisions kept for inspection).
 TELEMETRY_LIMIT = 10_000
 
+#: How many times a lost ratio command is re-sent before the runtime gives
+#: up for this tick and keeps the controller's last-installed ratios.
+COMMAND_RETRY_LIMIT = 3
+
 
 @dataclass(frozen=True)
 class RatioDecision:
@@ -56,6 +62,9 @@ class RatioDecision:
     charge_ratios: Optional[tuple]
     load_w: float
     external_w: float
+    #: True when this decision fell back to a last-good vector because the
+    #: policy raised (best-effort degradation instead of dying).
+    degraded: bool = False
 
 
 class SDBRuntime:
@@ -72,6 +81,12 @@ class SDBRuntime:
             dynamic "charge profile select"): fast for capable batteries
             when the directive is urgent, gentle overnight, standard
             otherwise.
+        health_monitor: optional :class:`~repro.core.health.HealthMonitor`.
+            When present the runtime is *resilient*: it cross-checks every
+            status read, quarantines implausible batteries (their ratio
+            shares renormalize onto the healthy set), and degrades to the
+            last-good ratio vector instead of raising when a policy fails.
+            Without it the runtime is strict — policy errors propagate.
     """
 
     def __init__(
@@ -81,6 +96,7 @@ class SDBRuntime:
         charge_policy: Optional[ChargePolicy] = None,
         update_interval_s: float = DEFAULT_UPDATE_INTERVAL_S,
         manage_profiles: bool = False,
+        health_monitor: Optional[HealthMonitor] = None,
     ):
         if update_interval_s <= 0:
             raise ValueError("update interval must be positive")
@@ -90,10 +106,20 @@ class SDBRuntime:
         self.charge_policy = charge_policy if charge_policy is not None else BlendedChargePolicy()
         self.update_interval_s = float(update_interval_s)
         self.manage_profiles = bool(manage_profiles)
+        self.health = health_monitor
         self._last_update_t: Optional[float] = None
         self.ratio_updates = 0
-        #: Recent :class:`RatioDecision` records (bounded ring buffer).
-        self.history: List[RatioDecision] = []
+        #: Ticks where a failing policy was degraded to a last-good vector.
+        self.degraded_ticks = 0
+        #: Recent :class:`RatioDecision` records (bounded ring buffer; the
+        #: deque enforces the cap structurally in O(1) per append).
+        self.history: Deque[RatioDecision] = deque(maxlen=TELEMETRY_LIMIT)
+        #: Runtime-side incident log (command retries/drops, degradations).
+        #: Quarantine incidents live on the monitor; :meth:`all_incidents`
+        #: merges both views chronologically.
+        self.incidents: List[Incident] = []
+        self._last_good_discharge: Optional[List[float]] = None
+        self._last_good_charge: Optional[List[float]] = None
 
     # ------------------------------------------------------------------ #
     # Directive parameters (the OS power manager's knobs, Figure 5)
@@ -133,8 +159,80 @@ class SDBRuntime:
     # Scheduling
     # ------------------------------------------------------------------ #
 
+    @property
+    def resilient(self) -> bool:
+        """True when a health monitor is attached (best-effort mode)."""
+        return self.health is not None
+
+    def all_incidents(self) -> List[Incident]:
+        """Runtime and monitor incidents, merged chronologically."""
+        merged = list(self.incidents)
+        if self.health is not None:
+            merged.extend(self.health.incidents)
+        merged.sort(key=lambda inc: inc.t)
+        return merged
+
+    def _evaluate(self, compute: Callable[[], List[float]], last_good: Optional[List[float]], t: float, side: str):
+        """Run one policy; in resilient mode degrade instead of raising.
+
+        Returns ``(ratios, degraded)``. The fallback is the last ratio
+        vector that pushed successfully, or an equal split when the policy
+        has never succeeded.
+        """
+        try:
+            return compute(), False
+        except (PolicyError, BatteryError) as exc:
+            if not self.resilient:
+                raise
+            n = self.controller.n
+            fallback = list(last_good) if last_good else [1.0 / n] * n
+            self.degraded_ticks += 1
+            self._record(
+                Incident(t, "policy-degraded", None, f"{side} policy raised {type(exc).__name__}: {exc}")
+            )
+            return fallback, True
+
+    def _record(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+
+    def _push(self, command: Callable[..., None], ratios: Sequence[float], t: float, side: str) -> bool:
+        """Push one ratio vector, retrying transiently lost commands.
+
+        A :class:`~repro.errors.HardwareError` from the link is retried up
+        to :data:`COMMAND_RETRY_LIMIT` times (the paper's prototype carried
+        these commands over Bluetooth — loss is expected, not fatal).
+        :class:`~repro.errors.RatioError` — a malformed vector — is the
+        caller's bug and always propagates. If every retry fails the
+        controller keeps its previously installed ratios; in strict mode
+        that exhaustion propagates, in resilient mode it is logged.
+        """
+        attempts = 1 + COMMAND_RETRY_LIMIT
+        for attempt in range(1, attempts + 1):
+            try:
+                command(*ratios)
+            except RatioError:
+                raise
+            except HardwareError as exc:
+                if attempt == attempts:
+                    if not self.resilient:
+                        raise
+                    self._record(
+                        Incident(t, "command-dropped", None, f"{side} command failed {attempts}x: {exc}")
+                    )
+                    return False
+                continue
+            if attempt > 1:
+                self._record(Incident(t, "command-retried", None, f"{side} command landed on attempt {attempt}"))
+            return True
+        return False
+
     def tick(self, t: float, load_w: float, external_w: float = 0.0) -> bool:
         """Re-evaluate policies if the update interval has elapsed.
+
+        In resilient mode (a health monitor is attached) this never raises
+        for policy or transient hardware failures: the tick degrades to the
+        last-good ratio vectors, quarantines implausible batteries, and
+        logs an :class:`~repro.core.health.Incident` for each deviation.
 
         Args:
             t: current simulation time, seconds.
@@ -147,12 +245,31 @@ class SDBRuntime:
         if self._last_update_t is not None and t - self._last_update_t < self.update_interval_s:
             return False
         cells = self.controller.cells
-        discharge = self.discharge_policy.discharge_ratios(cells, load_w, t)
-        self.api.Discharge(*discharge)
+        if self.health is not None:
+            self.health.observe(t, self.controller.query_status())
+        discharge, degraded = self._evaluate(
+            lambda: self.discharge_policy.discharge_ratios(cells, load_w, t),
+            self._last_good_discharge,
+            t,
+            "discharge",
+        )
+        if self.health is not None:
+            discharge = self.health.filter_ratios(discharge)
+        if self._push(self.api.Discharge, discharge, t, "discharge"):
+            self._last_good_discharge = list(discharge)
         charge = None
         if external_w > 0.0:
-            charge = self.charge_policy.charge_ratios(cells, external_w, t)
-            self.api.Charge(*charge)
+            charge, charge_degraded = self._evaluate(
+                lambda: self.charge_policy.charge_ratios(cells, external_w, t),
+                self._last_good_charge,
+                t,
+                "charge",
+            )
+            degraded = degraded or charge_degraded
+            if self.health is not None:
+                charge = self.health.filter_ratios(charge)
+            if self._push(self.api.Charge, charge, t, "charge"):
+                self._last_good_charge = list(charge)
             if self.manage_profiles:
                 self._select_profiles()
         self._last_update_t = t
@@ -164,10 +281,9 @@ class SDBRuntime:
                 charge_ratios=tuple(charge) if charge is not None else None,
                 load_w=load_w,
                 external_w=external_w,
+                degraded=degraded,
             )
         )
-        if len(self.history) > TELEMETRY_LIMIT:
-            del self.history[: len(self.history) - TELEMETRY_LIMIT]
         return True
 
     def _select_profiles(self) -> None:

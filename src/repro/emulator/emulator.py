@@ -22,13 +22,17 @@ battery life).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from repro import units
+from repro.core.health import Incident
 from repro.core.runtime import SDBRuntime
 from repro.emulator.events import PlugSchedule
-from repro.errors import BatteryEmptyError, EmulationError, PowerLimitError
+from repro.errors import BatteryEmptyError, BatteryError, EmulationError, PolicyError, PowerLimitError
+from repro.faults.events import FaultEvent
+from repro.faults.schedule import FaultSchedule
 from repro.hardware.microcontroller import SDBMicrocontroller
 from repro.workloads.traces import PowerTrace
 
@@ -55,6 +59,14 @@ class EmulationResult:
     depletion_s: Optional[float] = None
     battery_depletion_s: List[Optional[float]] = field(default_factory=list)
     completed: bool = True
+    #: Every injected :class:`~repro.faults.events.FaultEvent`, in order.
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    #: Resilience incidents: quarantines, degradations, command drops, and
+    #: policy failures the emulator caught from a strict runtime.
+    incidents: List[Incident] = field(default_factory=list)
+    #: Per-battery seconds spent unavailable (physically disconnected or
+    #: quarantined by the health monitor).
+    downtime_s: List[float] = field(default_factory=list)
 
     @property
     def total_loss_j(self) -> float:
@@ -104,6 +116,32 @@ class EmulationResult:
                 lines.append(f"battery {i} emptied at {units.seconds_to_hours(death):.2f} h")
         return "; ".join(lines)
 
+    def resilience_summary(self) -> str:
+        """A human-readable account of what went wrong and what it cost.
+
+        Aggregates the fault timeline, the incident log, and the
+        per-battery downtime into one paragraph — the robustness
+        counterpart of :meth:`summary`.
+        """
+        lines = []
+        if self.fault_events:
+            counts = Counter(event.fault for event in self.fault_events if event.action == "inject")
+            injected = ", ".join(f"{name} x{n}" for name, n in sorted(counts.items()))
+            lines.append(f"{len(self.fault_events)} fault event(s): {injected}")
+        else:
+            lines.append("no faults injected")
+        if self.incidents:
+            counts = Counter(incident.kind for incident in self.incidents)
+            kinds = ", ".join(f"{kind} x{n}" for kind, n in sorted(counts.items()))
+            lines.append(f"{len(self.incidents)} incident(s): {kinds}")
+        else:
+            lines.append("no incidents")
+        for i, downtime in enumerate(self.downtime_s):
+            if downtime > 0:
+                lines.append(f"battery {i} unavailable {units.seconds_to_hours(downtime):.2f} h")
+        lines.append("completed the trace" if self.completed else f"died at {self.battery_life_h:.2f} h")
+        return "; ".join(lines)
+
 
 class SDBEmulator:
     """Drives one controller + runtime through a workload trace."""
@@ -117,6 +155,7 @@ class SDBEmulator:
         dt_s: float = 10.0,
         hooks: Sequence[Hook] = (),
         stop_on_depletion: bool = True,
+        faults: Optional[FaultSchedule] = None,
     ):
         if dt_s <= 0:
             raise ValueError("dt must be positive")
@@ -129,23 +168,38 @@ class SDBEmulator:
         self.dt_s = float(dt_s)
         self.hooks = list(hooks)
         self.stop_on_depletion = stop_on_depletion
+        self.faults = faults
 
     def run(self) -> EmulationResult:
         """Execute the full trace and return the collected bookkeeping."""
         result = EmulationResult(dt_s=self.dt_s)
         n = self.controller.n
         result.battery_depletion_s = [None] * n
+        result.downtime_s = [0.0] * n
+        record_fault = result.fault_events.append
+        monitor = self.runtime.health
 
         for t, load in self.trace.steps(self.dt_s):
+            if self.faults is not None:
+                load = self.faults.perturb_load(t, load)
             supply = self.plug.power_at(t)
             try:
                 self.runtime.tick(t, load, external_w=supply)
-            except Exception:
-                # Policies can fail when every battery is empty; fall through
-                # to the discharge step, which classifies the death cleanly.
-                pass
+            except (PolicyError, BatteryError) as exc:
+                # A strict runtime surfaces policy failures; record the
+                # incident and fall through to the discharge step, which
+                # classifies an actual death cleanly. Anything else (a
+                # programming error) propagates instead of being masked.
+                result.incidents.append(
+                    Incident(t, "policy-error", None, f"{type(exc).__name__}: {exc}")
+                )
+            if self.faults is not None:
+                self.faults.step(self.controller, t, self.dt_s, record_fault)
             for hook in self.hooks:
                 hook(self.controller, t, self.dt_s)
+            for i in range(n):
+                if not self.controller.connected[i] or (monitor is not None and i in monitor.quarantined):
+                    result.downtime_s[i] += self.dt_s
 
             step_loss = 0.0
             if supply > 0.0:
@@ -192,6 +246,8 @@ class SDBEmulator:
             result.loss_w.append(step_loss)
             result.soc_history.append([cell.soc for cell in self.controller.cells])
 
+        result.incidents.extend(self.runtime.all_incidents())
+        result.incidents.sort(key=lambda incident: incident.t)
         return result
 
 

@@ -31,6 +31,7 @@ EXPERIMENT_DESCRIPTIONS: Dict[str, str] = {
     "longevity": "A simulated year of ownership: CCB balance vs retention",
     "thermal": "Hot-ride thermal derating on the EV commute",
     "drift": "Coulomb-counter drift vs Kalman SoC estimation over a week",
+    "chaos": "Chaos harness: injected faults vs the self-healing runtime",
 }
 
 
@@ -40,6 +41,7 @@ def experiment_registry() -> Dict[str, Callable]:
     Imported lazily so listing the catalog stays instant.
     """
     from repro.experiments.ablations import run_ablations
+    from repro.experiments.chaos import run_chaos
     from repro.experiments.detach import run_detach
     from repro.experiments.estimation_drift import run_estimation_drift
     from repro.experiments.fig01_chemistry import run_figure1
@@ -77,6 +79,7 @@ def experiment_registry() -> Dict[str, Callable]:
         "longevity": run_longevity_year,
         "thermal": run_thermal_derating,
         "drift": run_estimation_drift,
+        "chaos": run_chaos,
     }
 
 

@@ -1,0 +1,51 @@
+"""Fault injection: deterministic chaos for the SDB stack.
+
+The paper's claim is that *software* can safely manage heterogeneous
+batteries — including batteries that disappear mid-run and gauges that
+drift. This package turns that claim into something the repo can test:
+
+* :mod:`repro.faults.events` — structured :class:`FaultEvent` records;
+* :mod:`repro.faults.models` — composable fault models (hot-detach,
+  gauge stuck/offset/dropout/drift, regulator collapse and hard failure,
+  transient command loss, load spikes);
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`, replayable and
+  seedable, pluggable into the emulator via ``faults=`` or ``hooks=``.
+
+The runtime-side counterpart — detection, quarantine and graceful
+degradation — lives in :mod:`repro.core.health`. The chaos harness
+(``python -m repro chaos``) replays a device trace under a schedule and
+reports the energy cost of each failure mode; see ``docs/resilience.md``.
+"""
+
+from repro.faults.events import CLEAR, INJECT, PULSE, FaultEvent
+from repro.faults.models import (
+    BatteryDetachFault,
+    CommandLossFault,
+    FaultModel,
+    GaugeDriftFault,
+    GaugeDropoutFault,
+    GaugeOffsetFault,
+    GaugeStuckFault,
+    LoadSpikeFault,
+    RegulatorCollapseFault,
+    RegulatorFailureFault,
+)
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "CLEAR",
+    "INJECT",
+    "PULSE",
+    "FaultEvent",
+    "FaultModel",
+    "BatteryDetachFault",
+    "CommandLossFault",
+    "GaugeDriftFault",
+    "GaugeDropoutFault",
+    "GaugeOffsetFault",
+    "GaugeStuckFault",
+    "LoadSpikeFault",
+    "RegulatorCollapseFault",
+    "RegulatorFailureFault",
+    "FaultSchedule",
+]

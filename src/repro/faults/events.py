@@ -1,0 +1,45 @@
+"""Structured fault-event records.
+
+Every fault model emits a :class:`FaultEvent` when it changes the state of
+the system — injection, clearance, or a one-shot perturbation. The
+emulator collects these into the run's fault timeline
+(:attr:`repro.emulator.emulator.EmulationResult.fault_events`) so an
+experiment can correlate energy deltas with exactly what went wrong when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: A fault became active.
+INJECT = "inject"
+#: A previously injected fault cleared (end of its window).
+CLEAR = "clear"
+#: A one-shot perturbation fired (e.g. a load spike or a dropped command).
+PULSE = "pulse"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry in a run's fault timeline.
+
+    Attributes:
+        t: simulation time the event fired, seconds.
+        fault: fault-model name (``"detach"``, ``"gauge-stuck"``, ...).
+        action: :data:`INJECT`, :data:`CLEAR` or :data:`PULSE`.
+        battery_index: affected battery, or None for system-wide faults.
+        detail: human-readable specifics ("efficiency derated to 25%").
+    """
+
+    t: float
+    fault: str
+    action: str
+    battery_index: Optional[int] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One line for logs and summaries."""
+        where = f" battery {self.battery_index}" if self.battery_index is not None else ""
+        detail = f": {self.detail}" if self.detail else ""
+        return f"[{self.t:10.1f} s] {self.fault}{where} {self.action}{detail}"

@@ -1,0 +1,285 @@
+"""Composable fault models.
+
+Each model targets one failure mode the paper's safety story must survive:
+batteries that physically disappear mid-run (Section 5.3's 2-in-1 detach),
+fuel gauges that lie or die (Section 2.2's drift discussion), regulators
+that collapse, controller commands lost on the wire, and load the workload
+model never predicted.
+
+A model is driven by :meth:`FaultModel.step` once per emulation step and
+mutates the *existing* hardware objects through their public fault
+surfaces (``set_connected``, ``FuelGauge.fault_stuck``,
+``SDBChargeCircuit.failed_channels``, ``SDBMicrocontroller.command_dropout``)
+— no special-cased emulator physics. Every state change emits a
+:class:`~repro.faults.events.FaultEvent` through the supplied recorder.
+
+Models are deliberately deterministic: given the same schedule and the
+same trace, two runs produce byte-identical timelines. Randomness lives
+only in :meth:`repro.faults.schedule.FaultSchedule.chaos`, which *builds*
+schedules from a seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.faults.events import CLEAR, INJECT, FaultEvent
+from repro.hardware.microcontroller import SDBMicrocontroller
+
+#: Callback that receives each emitted :class:`FaultEvent`.
+Recorder = Callable[[FaultEvent], None]
+
+
+class FaultModel(abc.ABC):
+    """One injectable failure mode with an activation window.
+
+    Subclasses implement :meth:`_inject` and (optionally) :meth:`_clear`;
+    the base class handles the window bookkeeping so each transition fires
+    exactly once. ``end_s=None`` means the fault never clears.
+    """
+
+    #: Timeline label; subclasses override.
+    name = "fault"
+
+    def __init__(self, start_s: float, end_s: Optional[float] = None, battery_index: Optional[int] = None):
+        if start_s < 0:
+            raise ValueError("fault start time must be non-negative")
+        if end_s is not None and end_s <= start_s:
+            raise ValueError("fault end time must follow its start time")
+        self.start_s = float(start_s)
+        self.end_s = None if end_s is None else float(end_s)
+        self.battery_index = battery_index
+        self._injected = False
+        self._cleared = False
+
+    @property
+    def active(self) -> bool:
+        """True while the fault is currently applied."""
+        return self._injected and not self._cleared
+
+    def reset(self) -> None:
+        """Re-arm the model so the schedule can be replayed on a fresh run."""
+        self._injected = False
+        self._cleared = False
+
+    def step(self, controller: SDBMicrocontroller, t: float, dt: float, record: Recorder) -> None:
+        """Advance the fault's state machine at simulation time ``t``."""
+        if not self._injected and t >= self.start_s:
+            self._injected = True
+            detail = self._inject(controller, t)
+            record(FaultEvent(t, self.name, INJECT, self.battery_index, detail))
+        if self.active and self.end_s is not None and t >= self.end_s:
+            self._cleared = True
+            detail = self._clear(controller, t)
+            record(FaultEvent(t, self.name, CLEAR, self.battery_index, detail))
+
+    def perturb_load(self, t: float, load_w: float) -> float:
+        """Hook for load-side faults; identity for everything else."""
+        return load_w
+
+    @abc.abstractmethod
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        """Apply the fault; return the event detail string."""
+
+    def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
+        """Undo the fault; return the event detail string."""
+        return ""
+
+
+class BatteryDetachFault(FaultModel):
+    """Hot-detach (and optionally reattach) one battery.
+
+    Generalizes the 2-in-1 keyboard-base removal: the battery carries no
+    current in either direction while absent. On reattach the gauge takes
+    an OCV reading (``reanchor_gauge``), the way a real pack controller
+    re-registers a pack.
+    """
+
+    name = "detach"
+
+    def __init__(
+        self,
+        battery_index: int,
+        detach_s: float,
+        reattach_s: Optional[float] = None,
+        reanchor_gauge: bool = True,
+    ):
+        super().__init__(detach_s, reattach_s, battery_index)
+        self.reanchor_gauge = bool(reanchor_gauge)
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.set_connected(self.battery_index, False)
+        return "battery hot-detached"
+
+    def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.set_connected(self.battery_index, True)
+        if self.reanchor_gauge:
+            controller.gauges[self.battery_index].ocv_rest_correction()
+        return "battery reattached" + (" (gauge re-anchored)" if self.reanchor_gauge else "")
+
+
+class GaugeStuckFault(FaultModel):
+    """The fuel gauge's SoC estimate freezes at its current value."""
+
+    name = "gauge-stuck"
+
+    def __init__(self, battery_index: int, start_s: float, end_s: Optional[float] = None):
+        super().__init__(start_s, end_s, battery_index)
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        gauge = controller.gauges[self.battery_index]
+        gauge.fault_stuck = True
+        return f"estimate frozen at {gauge.estimated_soc:.0%}"
+
+    def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.gauges[self.battery_index].fault_stuck = False
+        return "gauge counting again"
+
+
+class GaugeDropoutFault(FaultModel):
+    """The gauge stops answering; status reads report NaN."""
+
+    name = "gauge-dropout"
+
+    def __init__(self, battery_index: int, start_s: float, end_s: Optional[float] = None):
+        super().__init__(start_s, end_s, battery_index)
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.gauges[self.battery_index].fault_dropout = True
+        return "gauge unresponsive (NaN readings)"
+
+    def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.gauges[self.battery_index].fault_dropout = False
+        return "gauge responding"
+
+
+class GaugeOffsetFault(FaultModel):
+    """One-shot step error in the SoC estimate (corrupted register)."""
+
+    name = "gauge-offset"
+
+    def __init__(self, battery_index: int, at_s: float, offset: float):
+        super().__init__(at_s, None, battery_index)
+        if not -1.0 <= offset <= 1.0:
+            raise ValueError("SoC offset must be within [-1, 1]")
+        self.offset = float(offset)
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.gauges[self.battery_index].inject_offset(self.offset)
+        return f"estimate stepped by {self.offset:+.0%}"
+
+
+class GaugeDriftFault(FaultModel):
+    """Amplified sense-amplifier offset: the estimate drifts continuously."""
+
+    name = "gauge-drift"
+
+    def __init__(self, battery_index: int, start_s: float, offset_a: float, end_s: Optional[float] = None):
+        super().__init__(start_s, end_s, battery_index)
+        if abs(offset_a) >= 1.0:
+            raise ValueError("sense offset above 1 A is not a plausible gauge")
+        self.offset_a = float(offset_a)
+        self._previous_offset_a = 0.0
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        gauge = controller.gauges[self.battery_index]
+        self._previous_offset_a = gauge.sense_offset_a
+        gauge.sense_offset_a = self.offset_a
+        return f"sense offset forced to {self.offset_a * 1000:.0f} mA"
+
+    def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.gauges[self.battery_index].sense_offset_a = self._previous_offset_a
+        return "sense offset restored"
+
+
+class RegulatorCollapseFault(FaultModel):
+    """One charging channel's conversion efficiency collapses.
+
+    The regulator still charges, but most of the input power becomes heat:
+    ``efficiency_scale`` multiplies the channel's efficiency while active.
+    """
+
+    name = "regulator-collapse"
+
+    def __init__(self, battery_index: int, start_s: float, efficiency_scale: float, end_s: Optional[float] = None):
+        super().__init__(start_s, end_s, battery_index)
+        if not 0.0 < efficiency_scale < 1.0:
+            raise ValueError("efficiency scale must be in (0, 1)")
+        self.efficiency_scale = float(efficiency_scale)
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.charge_circuit.channel_derating[self.battery_index] = self.efficiency_scale
+        return f"channel efficiency derated to {self.efficiency_scale:.0%} of nominal"
+
+    def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.charge_circuit.channel_derating.pop(self.battery_index, None)
+        return "channel efficiency restored"
+
+
+class RegulatorFailureFault(FaultModel):
+    """One charging channel hard-fails: it delivers nothing at all."""
+
+    name = "regulator-failure"
+
+    def __init__(self, battery_index: int, start_s: float, end_s: Optional[float] = None):
+        super().__init__(start_s, end_s, battery_index)
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.charge_circuit.failed_channels.add(self.battery_index)
+        return "charge channel dead"
+
+    def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.charge_circuit.failed_channels.discard(self.battery_index)
+        return "charge channel recovered"
+
+
+class CommandLossFault(FaultModel):
+    """Transient loss of OS->controller ratio commands.
+
+    Arms the controller to drop the next ``n_commands`` ratio pushes with
+    :class:`~repro.errors.HardwareError` — the resilient runtime absorbs
+    them with bounded retries; a naive runtime is left with stale ratios.
+    """
+
+    name = "command-loss"
+
+    def __init__(self, at_s: float, n_commands: int = 1):
+        super().__init__(at_s, None, None)
+        if n_commands < 1:
+            raise ValueError("must drop at least one command")
+        self.n_commands = int(n_commands)
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        controller.command_dropout += self.n_commands
+        return f"next {self.n_commands} ratio command(s) will be dropped"
+
+
+class LoadSpikeFault(FaultModel):
+    """Unmodeled load on top of the trace (a runaway background task)."""
+
+    name = "load-spike"
+
+    def __init__(self, start_s: float, duration_s: float, extra_w: float = 0.0, multiplier: float = 1.0):
+        if duration_s <= 0:
+            raise ValueError("spike duration must be positive")
+        if extra_w < 0:
+            raise ValueError("extra load must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier below 1 would be a load dip, not a spike")
+        if extra_w == 0.0 and multiplier == 1.0:
+            raise ValueError("a spike needs extra_w or a multiplier above 1")
+        super().__init__(start_s, start_s + duration_s, None)
+        self.extra_w = float(extra_w)
+        self.multiplier = float(multiplier)
+
+    def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
+        return f"load perturbed (x{self.multiplier:.2f} {self.extra_w:+.1f} W)"
+
+    def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
+        return "load back to trace"
+
+    def perturb_load(self, t: float, load_w: float) -> float:
+        if self.start_s <= t < (self.end_s if self.end_s is not None else float("inf")):
+            return load_w * self.multiplier + self.extra_w
+        return load_w

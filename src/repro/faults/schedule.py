@@ -1,0 +1,148 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is an ordered bag of fault models driven once per
+emulation step. It plugs into the emulator two ways:
+
+* pass it as ``SDBEmulator(..., faults=schedule)`` — the emulator drives
+  it, applies load perturbations, and collects the event timeline into
+  the :class:`~repro.emulator.emulator.EmulationResult`;
+* or call :meth:`hook` to get a plain emulator hook (the pre-existing
+  ``hooks=[...]`` mechanism) when you want to manage recording yourself.
+
+Schedules are deterministic: explicit constructors take literal times,
+and :meth:`chaos` derives a pseudo-random schedule *entirely* from its
+seed, so two runs of the same seed inject the same faults at the same
+instants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.faults.events import FaultEvent
+from repro.faults.models import (
+    BatteryDetachFault,
+    CommandLossFault,
+    FaultModel,
+    GaugeDriftFault,
+    GaugeDropoutFault,
+    GaugeOffsetFault,
+    GaugeStuckFault,
+    LoadSpikeFault,
+    Recorder,
+    RegulatorCollapseFault,
+    RegulatorFailureFault,
+)
+from repro.hardware.microcontroller import SDBMicrocontroller
+
+
+class FaultSchedule:
+    """A replayable set of fault models plus their emitted events."""
+
+    def __init__(self, models: Sequence[FaultModel] = ()):
+        self.models: List[FaultModel] = list(models)
+        #: Events captured by :meth:`hook` when no recorder was supplied.
+        self.recorded: List[FaultEvent] = []
+
+    def add(self, model: FaultModel) -> "FaultSchedule":
+        """Append a model; returns self for fluent construction."""
+        self.models.append(model)
+        return self
+
+    def reset(self) -> "FaultSchedule":
+        """Re-arm every model for a fresh run; returns self."""
+        for model in self.models:
+            model.reset()
+        return self
+
+    @property
+    def fault_names(self) -> List[str]:
+        """The distinct fault names in schedule order (for reporting)."""
+        names: List[str] = []
+        for model in self.models:
+            if model.name not in names:
+                names.append(model.name)
+        return names
+
+    def step(self, controller: SDBMicrocontroller, t: float, dt: float, record: Recorder) -> None:
+        """Drive every model one emulation step."""
+        for model in self.models:
+            model.step(controller, t, dt, record)
+
+    def perturb_load(self, t: float, load_w: float) -> float:
+        """Apply every load-side fault to the trace's demand at ``t``."""
+        for model in self.models:
+            load_w = model.perturb_load(t, load_w)
+        return load_w
+
+    def hook(self, record: Optional[Recorder] = None) -> Callable[[SDBMicrocontroller, float, float], None]:
+        """An emulator hook driving this schedule (``hooks=[...]`` style).
+
+        Events go to ``record`` when given, else to :attr:`recorded` on the
+        schedule itself.
+        """
+        sink: Recorder = record if record is not None else self.recorded.append
+
+        def fault_hook(controller: SDBMicrocontroller, t: float, dt: float) -> None:
+            self.step(controller, t, dt, sink)
+
+        return fault_hook
+
+    # ------------------------------------------------------------------ #
+    # Seeded random construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        duration_s: float,
+        n_batteries: int,
+        intensity: float = 1.0,
+    ) -> "FaultSchedule":
+        """A pseudo-random schedule derived deterministically from ``seed``.
+
+        Samples roughly ``3 * intensity`` faults (at least one), drawn from
+        the full taxonomy, with times uniform over the middle 80% of the
+        run so every fault has room to matter. The same ``(seed,
+        duration_s, n_batteries, intensity)`` always yields the same
+        schedule.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if n_batteries < 1:
+            raise ValueError("need at least one battery")
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        rng = random.Random(seed)
+        count = max(1, round(3 * intensity))
+        lo, hi = 0.1 * duration_s, 0.9 * duration_s
+        schedule = cls()
+        for _ in range(count):
+            battery = rng.randrange(n_batteries)
+            start = rng.uniform(lo, hi)
+            window = rng.uniform(0.05, 0.25) * duration_s
+            end = min(start + window, duration_s)
+            kind = rng.randrange(8)
+            if kind == 0 and n_batteries > 1:
+                schedule.add(BatteryDetachFault(battery, start, reattach_s=end))
+            elif kind == 1:
+                schedule.add(GaugeStuckFault(battery, start, end_s=end))
+            elif kind == 2:
+                schedule.add(GaugeDropoutFault(battery, start, end_s=end))
+            elif kind == 3:
+                schedule.add(GaugeOffsetFault(battery, start, rng.uniform(-0.4, 0.4)))
+            elif kind == 4:
+                schedule.add(GaugeDriftFault(battery, start, rng.uniform(-0.05, 0.05), end_s=end))
+            elif kind == 5:
+                schedule.add(RegulatorCollapseFault(battery, start, rng.uniform(0.2, 0.6), end_s=end))
+            elif kind == 6:
+                schedule.add(RegulatorFailureFault(battery, start, end_s=end))
+            else:
+                schedule.add(
+                    LoadSpikeFault(start, max(60.0, 0.02 * duration_s), extra_w=0.0, multiplier=rng.uniform(1.2, 2.0))
+                )
+        # Always exercise the command path: one transient loss mid-run.
+        schedule.add(CommandLossFault(rng.uniform(lo, hi), n_commands=rng.randint(1, 2)))
+        return schedule

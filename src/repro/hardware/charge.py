@@ -21,7 +21,7 @@ Prototype microbenchmarks captured two non-idealities reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Set
 
 from repro import units
 from repro.cell.thevenin import TheveninCell
@@ -182,14 +182,29 @@ class SDBChargeCircuit:
         self.n = n_batteries
         self.charger = charger
         self.regulator = SwitchedModeRegulator(regulator, v_bus=v_bus)
+        #: Channels whose regulator has hard-failed: they deliver nothing.
+        #: Populated by the fault-injection subsystem (:mod:`repro.faults`).
+        self.failed_channels: Set[int] = set()
+        #: Per-channel efficiency multiplier in (0, 1]: a collapsed (but not
+        #: dead) regulator wastes input power as extra conversion loss.
+        self.channel_derating: Dict[int, float] = {}
 
-    def charge_cell(self, cell: TheveninCell, current_a: float, dt: float) -> ChargeChannelResult:
+    def channel_healthy(self, channel: int) -> bool:
+        """True if the channel is neither failed nor derated."""
+        return channel not in self.failed_channels and self.channel_derating.get(channel, 1.0) >= 1.0
+
+    def charge_cell(
+        self, cell: TheveninCell, current_a: float, dt: float, channel: Optional[int] = None
+    ) -> ChargeChannelResult:
         """Charge one cell at a commanded current for ``dt`` seconds.
 
         Applies the current-setting error and the charger efficiency curve;
         returns the energy bookkeeping for the step. A full or zero-command
-        channel is a no-op.
+        channel is a no-op, and so is a hard-failed channel (the regulator
+        simply stops switching — the budget goes unused, not up in smoke).
         """
+        if channel is not None and channel in self.failed_channels:
+            return ChargeChannelResult(current_a, 0.0, 0.0, 0.0, 0.0)
         delivered = self.charger.realized_current(current_a)
         if delivered == 0.0 or cell.is_full:
             return ChargeChannelResult(current_a, 0.0, 0.0, 0.0, 0.0)
@@ -200,6 +215,8 @@ class SDBChargeCircuit:
         step = cell.step_current(-delivered, dt)
         terminal_power = -step.delivered_w
         eff = self.charger.efficiency(delivered)
+        if channel is not None:
+            eff *= self.channel_derating.get(channel, 1.0)
         if eff <= 0:
             raise HardwareError("charger efficiency collapsed to zero")
         input_power = terminal_power / eff

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 from repro.cell.fuel_gauge import BatteryStatus, FuelGauge
 from repro.cell.thevenin import StepResult, TheveninCell
-from repro.errors import BatteryEmptyError, PowerLimitError
+from repro.errors import BatteryEmptyError, HardwareError, PowerLimitError
 from repro.hardware.charge import (
     STANDARD_PROFILE,
     ChargeChannelResult,
@@ -130,11 +130,30 @@ class SDBMicrocontroller:
         self.discharge_ratios = [1.0 / n] * n
         self.charge_ratios = [1.0 / n] * n
         self.connected = [True] * n
+        #: Fault injection: while positive, ratio commands from the OS are
+        #: lost in transit (the prototype's Bluetooth link dropping frames);
+        #: each failed command decrements the counter.
+        self.command_dropout = 0
 
     @property
     def n(self) -> int:
         """Number of batteries under management."""
         return len(self.cells)
+
+    def _check_index(self, battery_index: int) -> int:
+        """Validate a battery index; a real controller NAKs a bad address."""
+        index = int(battery_index)
+        if index != battery_index or not 0 <= index < self.n:
+            raise HardwareError(
+                f"battery index {battery_index!r} out of range 0..{self.n - 1}"
+            )
+        return index
+
+    def _consume_command(self) -> None:
+        """Fault injection: drop the command if the link is degraded."""
+        if self.command_dropout > 0:
+            self.command_dropout -= 1
+            raise HardwareError("controller command lost in transit")
 
     # ------------------------------------------------------------------ #
     # Commands from the OS (via the SDB Runtime)
@@ -142,15 +161,17 @@ class SDBMicrocontroller:
 
     def set_discharge_ratios(self, ratios: Sequence[float]) -> None:
         """Install a new discharge ratio vector (the paper's Discharge API)."""
+        self._consume_command()
         self.discharge_ratios = validate_ratios(ratios, self.n)
 
     def set_charge_ratios(self, ratios: Sequence[float]) -> None:
         """Install a new charge ratio vector (the paper's Charge API)."""
+        self._consume_command()
         self.charge_ratios = validate_ratios(ratios, self.n)
 
     def select_profile(self, battery_index: int, profile: ChargeProfile) -> None:
         """Switch one battery's charging profile (Figure 4c's profile select)."""
-        self.profiles[battery_index] = profile
+        self.profiles[self._check_index(battery_index)] = profile
 
     def set_connected(self, battery_index: int, connected: bool) -> None:
         """Mark a battery physically present or absent.
@@ -159,7 +180,7 @@ class SDBMicrocontroller:
         remove whole batteries at runtime; a disconnected battery carries
         no current in either direction until reattached.
         """
-        self.connected[battery_index] = bool(connected)
+        self.connected[self._check_index(battery_index)] = bool(connected)
 
     def _usable_for_discharge(self, index: int) -> bool:
         return self.connected[index] and not self.cells[index].is_empty
@@ -251,8 +272,13 @@ class SDBMicrocontroller:
     # Charge path
     # ------------------------------------------------------------------ #
 
-    def _current_for_budget(self, cell: TheveninCell, budget_w: float) -> float:
-        """Charge current that consumes about ``budget_w`` of input power."""
+    def _current_for_budget(self, cell: TheveninCell, budget_w: float, eff_scale: float = 1.0) -> float:
+        """Charge current that consumes about ``budget_w`` of input power.
+
+        ``eff_scale`` folds in any per-channel efficiency derating (a
+        collapsed regulator): a lossier channel affords less current for
+        the same input budget.
+        """
         if budget_w <= 0:
             return 0.0
         v = max(cell.terminal_voltage(), 1e-6)
@@ -261,7 +287,7 @@ class SDBMicrocontroller:
         i_max = cell.params.max_charge_current
         current = min(budget_w / v, i_max)
         for _ in range(5):
-            eff = self.charge_circuit.charger.efficiency(current)
+            eff = self.charge_circuit.charger.efficiency(current) * eff_scale
             v_at = cell.ocp() + current * cell.resistance() - cell.v_rc
             current = min(budget_w * eff / max(v_at, 1e-6), i_max)
         return current
@@ -283,9 +309,10 @@ class SDBMicrocontroller:
                 channels.append(ChargeChannelResult(0.0, 0.0, 0.0, 0.0, 0.0))
                 continue
             profile_current = profile.current_for(cell)
-            budget_current = self._current_for_budget(cell, budget)
+            derating = self.charge_circuit.channel_derating.get(i, 1.0)
+            budget_current = self._current_for_budget(cell, budget, eff_scale=derating)
             commanded = min(profile_current, budget_current)
-            channels.append(self.charge_circuit.charge_cell(cell, commanded, dt))
+            channels.append(self.charge_circuit.charge_cell(cell, commanded, dt, channel=i))
         return ChargeReport(dt, external_w, channels)
 
     # ------------------------------------------------------------------ #
@@ -294,6 +321,8 @@ class SDBMicrocontroller:
 
     def transfer(self, source_index: int, dest_index: int, power_w: float, dt: float) -> TransferReport:
         """Charge one battery from another (ChargeOneFromAnother mechanism)."""
+        source_index = self._check_index(source_index)
+        dest_index = self._check_index(dest_index)
         if source_index == dest_index:
             raise ValueError("source and destination must differ")
         if not (self.connected[source_index] and self.connected[dest_index]):

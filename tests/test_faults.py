@@ -1,0 +1,217 @@
+"""The fault-injection subsystem: models, schedules, determinism."""
+
+import math
+
+import pytest
+
+from repro.cell import new_cell
+from repro.emulator import SDBEmulator, build_controller
+from repro.core.runtime import SDBRuntime
+from repro.errors import HardwareError
+from repro.faults import (
+    CLEAR,
+    INJECT,
+    BatteryDetachFault,
+    CommandLossFault,
+    FaultSchedule,
+    GaugeDriftFault,
+    GaugeDropoutFault,
+    GaugeOffsetFault,
+    GaugeStuckFault,
+    LoadSpikeFault,
+    RegulatorCollapseFault,
+    RegulatorFailureFault,
+)
+from repro.hardware import SDBMicrocontroller
+from repro.workloads import constant_trace
+
+
+def two_cell_controller():
+    return SDBMicrocontroller([new_cell("B06", soc=0.8), new_cell("B06", soc=0.8)])
+
+
+def drive(schedule, controller, times, dt=10.0):
+    events = []
+    for t in times:
+        schedule.step(controller, t, dt, events.append)
+    return events
+
+
+class TestFaultWindows:
+    def test_inject_and_clear_fire_exactly_once(self):
+        mc = two_cell_controller()
+        fault = GaugeStuckFault(0, start_s=100.0, end_s=200.0)
+        events = drive(FaultSchedule([fault]), mc, [0.0, 100.0, 150.0, 200.0, 250.0])
+        assert [e.action for e in events] == [INJECT, CLEAR]
+        assert all(e.fault == "gauge-stuck" for e in events)
+        assert events[0].t == 100.0 and events[1].t == 200.0
+
+    def test_open_ended_fault_never_clears(self):
+        mc = two_cell_controller()
+        fault = GaugeStuckFault(0, start_s=50.0)
+        events = drive(FaultSchedule([fault]), mc, [0.0, 50.0, 1e6])
+        assert [e.action for e in events] == [INJECT]
+        assert mc.gauges[0].fault_stuck
+
+    def test_reset_rearms_the_schedule(self):
+        mc = two_cell_controller()
+        schedule = FaultSchedule([GaugeStuckFault(0, start_s=10.0, end_s=20.0)])
+        first = drive(schedule, mc, [10.0, 20.0])
+        second = drive(schedule.reset(), mc, [10.0, 20.0])
+        assert [e.action for e in first] == [e.action for e in second] == [INJECT, CLEAR]
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(ValueError):
+            GaugeStuckFault(0, start_s=-1.0)
+        with pytest.raises(ValueError):
+            GaugeStuckFault(0, start_s=100.0, end_s=100.0)
+
+
+class TestGaugeFaults:
+    def test_stuck_gauge_freezes_estimate_while_cell_drains(self):
+        mc = two_cell_controller()
+        mc.gauges[0].fault_stuck = True
+        before = mc.gauges[0].estimated_soc
+        for _ in range(60):
+            mc.step_discharge(2.0, 60.0)
+        assert mc.gauges[0].estimated_soc == before
+        assert mc.cells[0].soc < before - 0.05
+        # The healthy gauge kept counting.
+        assert mc.gauges[1].estimated_soc < before
+
+    def test_dropout_reports_nan_and_recovers(self):
+        mc = two_cell_controller()
+        fault = GaugeDropoutFault(1, start_s=0.0, end_s=100.0)
+        drive(FaultSchedule([fault]), mc, [0.0])
+        assert math.isnan(mc.query_status()[1].estimated_soc)
+        fault.step(mc, 100.0, 10.0, lambda e: None)
+        assert not math.isnan(mc.query_status()[1].estimated_soc)
+
+    def test_offset_fault_steps_estimate_once(self):
+        mc = two_cell_controller()
+        before = mc.gauges[0].estimated_soc
+        drive(FaultSchedule([GaugeOffsetFault(0, 0.0, -0.3)]), mc, [0.0, 10.0, 20.0])
+        assert mc.gauges[0].estimated_soc == pytest.approx(before - 0.3)
+
+    def test_drift_fault_sets_and_restores_sense_offset(self):
+        mc = two_cell_controller()
+        fault = GaugeDriftFault(0, start_s=0.0, offset_a=0.05, end_s=100.0)
+        drive(FaultSchedule([fault]), mc, [0.0])
+        assert mc.gauges[0].sense_offset_a == pytest.approx(0.05)
+        fault.step(mc, 100.0, 10.0, lambda e: None)
+        assert mc.gauges[0].sense_offset_a == pytest.approx(0.0)
+
+    def test_implausible_drift_rejected(self):
+        with pytest.raises(ValueError):
+            GaugeDriftFault(0, 0.0, offset_a=1.5)
+
+
+class TestDetachFault:
+    def test_detach_and_reattach_round_trip(self):
+        mc = two_cell_controller()
+        fault = BatteryDetachFault(1, detach_s=100.0, reattach_s=200.0)
+        schedule = FaultSchedule([fault])
+        drive(schedule, mc, [100.0])
+        assert mc.connected == [True, False]
+        drive(schedule, mc, [200.0])
+        assert mc.connected == [True, True]
+
+    def test_reattach_reanchors_the_gauge(self):
+        mc = two_cell_controller()
+        mc.gauges[1].inject_offset(-0.4)  # drifted while attached
+        fault = BatteryDetachFault(1, detach_s=0.0, reattach_s=100.0, reanchor_gauge=True)
+        schedule = FaultSchedule([fault])
+        drive(schedule, mc, [0.0, 100.0])
+        assert mc.gauges[1].estimated_soc == pytest.approx(mc.cells[1].soc)
+
+
+class TestRegulatorFaults:
+    def test_hard_failure_blocks_a_channel(self):
+        mc = two_cell_controller()
+        drive(FaultSchedule([RegulatorFailureFault(0, start_s=0.0)]), mc, [0.0])
+        report = mc.step_charge(10.0, 60.0)
+        assert report.channels[0].terminal_power_w == 0.0
+        assert report.channels[1].terminal_power_w > 0.0
+        assert report.unused_w > 0.0
+
+    def test_collapse_wastes_input_power(self):
+        healthy = two_cell_controller()
+        collapsed = two_cell_controller()
+        drive(FaultSchedule([RegulatorCollapseFault(0, start_s=0.0, efficiency_scale=0.25)]), collapsed, [0.0])
+        h = healthy.step_charge(6.0, 60.0)
+        c = collapsed.step_charge(6.0, 60.0)
+        # Same input budget, far less energy reaches the collapsed channel.
+        assert c.channels[0].terminal_power_w < 0.5 * h.channels[0].terminal_power_w
+        # And the collapsed channel never draws more than its share.
+        assert c.channels[0].input_power_w <= 3.0 * 1.05
+
+    def test_collapse_clears(self):
+        mc = two_cell_controller()
+        fault = RegulatorCollapseFault(0, start_s=0.0, efficiency_scale=0.5, end_s=100.0)
+        drive(FaultSchedule([fault]), mc, [0.0, 100.0])
+        assert mc.charge_circuit.channel_derating == {}
+
+
+class TestCommandLossFault:
+    def test_armed_controller_drops_commands(self):
+        mc = two_cell_controller()
+        drive(FaultSchedule([CommandLossFault(0.0, n_commands=2)]), mc, [0.0])
+        with pytest.raises(HardwareError):
+            mc.set_discharge_ratios([0.5, 0.5])
+        with pytest.raises(HardwareError):
+            mc.set_charge_ratios([0.5, 0.5])
+        mc.set_discharge_ratios([0.6, 0.4])  # third command goes through
+        assert mc.discharge_ratios == pytest.approx([0.6, 0.4])
+
+
+class TestLoadSpikeFault:
+    def test_perturbs_load_only_inside_window(self):
+        fault = LoadSpikeFault(100.0, duration_s=50.0, extra_w=3.0, multiplier=2.0)
+        assert fault.perturb_load(50.0, 1.0) == 1.0
+        assert fault.perturb_load(120.0, 1.0) == pytest.approx(5.0)
+        assert fault.perturb_load(151.0, 1.0) == 1.0
+
+    def test_a_spike_must_actually_spike(self):
+        with pytest.raises(ValueError):
+            LoadSpikeFault(0.0, duration_s=10.0)
+
+
+class TestScheduleDeterminism:
+    def test_chaos_schedules_identical_for_same_seed(self):
+        a = FaultSchedule.chaos(123, 7200.0, 2)
+        b = FaultSchedule.chaos(123, 7200.0, 2)
+        assert [(type(m).__name__, m.start_s, m.end_s, m.battery_index) for m in a.models] == [
+            (type(m).__name__, m.start_s, m.end_s, m.battery_index) for m in b.models
+        ]
+
+    def test_chaos_schedules_differ_across_seeds(self):
+        a = FaultSchedule.chaos(1, 7200.0, 2)
+        b = FaultSchedule.chaos(2, 7200.0, 2)
+        assert [(type(m).__name__, m.start_s) for m in a.models] != [(type(m).__name__, m.start_s) for m in b.models]
+
+    def test_chaos_run_emits_identical_timelines(self):
+        timelines = []
+        for _ in range(2):
+            controller = build_controller("phone", battery_ids=["B06", "B06"])
+            runtime = SDBRuntime(controller, update_interval_s=60.0)
+            emulator = SDBEmulator(
+                controller,
+                runtime,
+                constant_trace(1.0, 3600.0),
+                dt_s=10.0,
+                faults=FaultSchedule.chaos(99, 3600.0, 2),
+            )
+            result = emulator.run()
+            timelines.append(result.fault_events)
+        assert timelines[0] == timelines[1]
+
+
+class TestScheduleAsPlainHook:
+    def test_hook_mechanism_records_on_the_schedule(self):
+        controller = build_controller("phone", battery_ids=["B06", "B06"])
+        runtime = SDBRuntime(controller, update_interval_s=60.0)
+        schedule = FaultSchedule([GaugeStuckFault(0, start_s=600.0)])
+        SDBEmulator(
+            controller, runtime, constant_trace(1.0, 1800.0), dt_s=10.0, hooks=[schedule.hook()]
+        ).run()
+        assert [e.fault for e in schedule.recorded] == ["gauge-stuck"]

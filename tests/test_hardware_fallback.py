@@ -1,0 +1,128 @@
+"""Hardware-level fallback paths: the mechanisms that keep a device alive
+regardless of what the OS commanded (empty/absent redistribution, the
+BatteryEmptyError floor, detach round-trips, command bounds checking)."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.cell.thevenin import SOC_EMPTY
+from repro.emulator import SDBEmulator, build_controller
+from repro.core.runtime import SDBRuntime
+from repro.errors import BatteryEmptyError, HardwareError
+from repro.hardware import SDBMicrocontroller
+from repro.hardware.charge import GENTLE_PROFILE
+from repro.workloads import constant_trace
+
+
+def controller(socs=(0.8, 0.8)):
+    return SDBMicrocontroller([new_cell("B06", soc=s) for s in socs])
+
+
+class TestEffectiveRatioFallback:
+    def test_empty_battery_share_redistributes(self):
+        mc = controller(socs=(0.8, SOC_EMPTY))
+        mc.set_discharge_ratios([0.5, 0.5])
+        assert mc._effective_discharge_ratios() == pytest.approx([1.0, 0.0])
+
+    def test_disconnected_battery_share_redistributes(self):
+        mc = controller()
+        mc.set_discharge_ratios([0.3, 0.7])
+        mc.set_connected(1, False)
+        assert mc._effective_discharge_ratios() == pytest.approx([1.0, 0.0])
+
+    def test_all_commanded_unusable_falls_back_to_any_usable(self):
+        # The OS commanded 100% from a battery that just went away; the
+        # hardware serves the load from whatever still holds charge.
+        mc = controller()
+        mc.set_discharge_ratios([0.0, 1.0])
+        mc.set_connected(1, False)
+        assert mc._effective_discharge_ratios() == pytest.approx([1.0, 0.0])
+        report = mc.step_discharge(2.0, 10.0)
+        assert report.battery_powers_w[0] > 0.0
+        assert report.battery_powers_w[1] == 0.0
+
+    def test_fallback_splits_across_all_usable_batteries(self):
+        mc = controller(socs=(0.8, 0.8, 0.8))
+        mc.set_discharge_ratios([0.0, 0.0, 1.0])
+        mc.set_connected(2, False)
+        assert mc._effective_discharge_ratios() == pytest.approx([0.5, 0.5, 0.0])
+
+    def test_everything_gone_raises_battery_empty(self):
+        mc = controller(socs=(SOC_EMPTY, 0.8))
+        mc.set_connected(1, False)
+        with pytest.raises(BatteryEmptyError):
+            mc.step_discharge(1.0, 10.0)
+
+    def test_all_disconnected_raises_battery_empty(self):
+        mc = controller()
+        mc.set_connected(0, False)
+        mc.set_connected(1, False)
+        with pytest.raises(BatteryEmptyError):
+            mc.step_discharge(1.0, 10.0)
+
+
+class TestCommandBounds:
+    def test_select_profile_rejects_bad_indices(self):
+        mc = controller()
+        for bad in (-1, 2, 100):
+            with pytest.raises(HardwareError):
+                mc.select_profile(bad, GENTLE_PROFILE)
+
+    def test_set_connected_rejects_bad_indices(self):
+        mc = controller()
+        for bad in (-1, 2):
+            with pytest.raises(HardwareError):
+                mc.set_connected(bad, False)
+
+    def test_fractional_index_rejected(self):
+        mc = controller()
+        with pytest.raises(HardwareError):
+            mc.set_connected(0.5, False)
+
+    def test_transfer_rejects_bad_indices(self):
+        mc = controller()
+        with pytest.raises(HardwareError):
+            mc.transfer(0, 5, 1.0, 10.0)
+
+    def test_valid_index_still_works(self):
+        mc = controller()
+        mc.select_profile(1, GENTLE_PROFILE)
+        assert mc.profiles[1] is GENTLE_PROFILE
+
+
+class TestDetachReattachMidTrace:
+    def test_round_trip_restores_two_battery_operation(self):
+        mc = build_controller("tablet")
+        runtime = SDBRuntime(mc, update_interval_s=60.0)
+        seen = {"detached": False, "reattached": False}
+
+        def detach_hook(ctrl, t, dt):
+            if 600.0 <= t < 1200.0:
+                if ctrl.connected[1]:
+                    ctrl.set_connected(1, False)
+                    seen["detached"] = True
+            elif t >= 1200.0 and not ctrl.connected[1]:
+                ctrl.set_connected(1, True)
+                ctrl.gauges[1].ocv_rest_correction()
+                seen["reattached"] = True
+
+        emulator = SDBEmulator(mc, runtime, constant_trace(4.0, 3600.0), dt_s=10.0, hooks=[detach_hook])
+        result = emulator.run()
+        assert result.completed
+        assert seen == {"detached": True, "reattached": True}
+        # Both batteries ended up shouldering the trace: the detached one
+        # carried no current for its absent window.
+        assert mc.cells[0].soc < 1.0 - 1e-3
+        assert mc.cells[1].soc < 1.0 - 1e-3
+        # The detached battery rested for its absent window, so it cannot
+        # have drained deeper than the one that carried the whole load.
+        assert mc.cells[1].soc >= mc.cells[0].soc - 1e-6
+
+    def test_detached_battery_carries_no_current(self):
+        mc = controller()
+        mc.set_connected(1, False)
+        soc_before = mc.cells[1].soc
+        for _ in range(10):
+            mc.step_discharge(3.0, 60.0)
+        assert mc.cells[1].soc == soc_before
+        assert mc.cells[0].soc < 0.8

@@ -1,0 +1,150 @@
+"""HealthMonitor: plausibility checks, quarantine, release, enforcement."""
+
+import pytest
+
+from repro.cell.fuel_gauge import BatteryStatus
+from repro.core.health import HealthMonitor, Incident
+
+
+def status(
+    soc=0.5,
+    estimated_soc=None,
+    voltage=3.8,
+    cycles=10,
+    name="B06",
+):
+    return BatteryStatus(
+        name=name,
+        soc=soc,
+        terminal_voltage=voltage,
+        cycle_count=cycles,
+        estimated_soc=soc if estimated_soc is None else estimated_soc,
+        capacity_mah=2000.0,
+        wear_ratio=0.0,
+        throughput_wear=0.0,
+        resistance_ohm=0.1,
+        is_empty=False,
+        is_full=False,
+    )
+
+
+class TestQuarantineTriggers:
+    def test_clean_reads_stay_clean(self):
+        monitor = HealthMonitor()
+        for i in range(10):
+            monitor.observe(i * 60.0, [status(soc=0.5 - 0.01 * i, voltage=3.8 - 0.005 * i)])
+        assert monitor.quarantined == set()
+        assert monitor.incidents == []
+
+    def test_divergence_quarantines(self):
+        monitor = HealthMonitor(divergence_threshold=0.15)
+        monitor.observe(0.0, [status(), status(soc=0.4, estimated_soc=0.9)])
+        assert monitor.quarantined == {1}
+        assert monitor.incidents[0].kind == "quarantine"
+        assert "divergence" in monitor.incidents[0].detail
+
+    def test_divergence_below_threshold_tolerated(self):
+        monitor = HealthMonitor(divergence_threshold=0.15)
+        monitor.observe(0.0, [status(soc=0.5, estimated_soc=0.6)])
+        assert monitor.quarantined == set()
+
+    def test_nan_dropout_quarantines(self):
+        monitor = HealthMonitor()
+        monitor.observe(0.0, [status(estimated_soc=float("nan"))])
+        assert monitor.quarantined == {0}
+        assert "dropout" in monitor.incidents[0].detail
+
+    def test_frozen_voltage_quarantines_only_with_charge_movement(self):
+        monitor = HealthMonitor(frozen_voltage_checks=3)
+        # Identical voltage while SoC moves: sense path is dead.
+        for i in range(4):
+            monitor.observe(i * 60.0, [status(soc=0.5 - 0.01 * i, estimated_soc=0.5, voltage=3.800)])
+        assert monitor.quarantined == {0}
+        # Identical voltage at rest (no charge movement) is fine.
+        resting = HealthMonitor(frozen_voltage_checks=3)
+        for i in range(10):
+            resting.observe(i * 60.0, [status(soc=0.5, voltage=3.800)])
+        assert resting.quarantined == set()
+
+    def test_cycle_jump_quarantines(self):
+        monitor = HealthMonitor(max_cycle_jump=2)
+        monitor.observe(0.0, [status(cycles=10)])
+        monitor.observe(60.0, [status(cycles=50)])
+        assert monitor.quarantined == {0}
+        assert "cycle jump" in monitor.incidents[0].detail
+
+    def test_quarantine_logged_once_not_every_read(self):
+        monitor = HealthMonitor()
+        for i in range(5):
+            monitor.observe(i * 60.0, [status(soc=0.4, estimated_soc=0.9)])
+        assert len([i for i in monitor.incidents if i.kind == "quarantine"]) == 1
+
+
+class TestRelease:
+    def test_released_after_consecutive_clean_reads(self):
+        monitor = HealthMonitor(recovery_checks=3)
+        monitor.observe(0.0, [status(estimated_soc=float("nan"))])
+        assert monitor.quarantined == {0}
+        for i in range(3):
+            monitor.observe(60.0 * (i + 1), [status()])
+        assert monitor.quarantined == set()
+        assert monitor.incidents[-1].kind == "release"
+
+    def test_dirty_read_resets_the_clean_streak(self):
+        monitor = HealthMonitor(recovery_checks=3)
+        monitor.observe(0.0, [status(estimated_soc=float("nan"))])
+        monitor.observe(60.0, [status()])
+        monitor.observe(120.0, [status()])
+        monitor.observe(180.0, [status(estimated_soc=float("nan"))])  # relapse
+        monitor.observe(240.0, [status()])
+        monitor.observe(300.0, [status()])
+        assert monitor.quarantined == {0}  # streak restarted, not yet released
+
+
+class TestFilterRatios:
+    def test_passthrough_when_healthy(self):
+        monitor = HealthMonitor()
+        assert monitor.filter_ratios([0.6, 0.4]) == [0.6, 0.4]
+
+    def test_quarantined_share_renormalizes(self):
+        monitor = HealthMonitor()
+        monitor.quarantined.add(1)
+        assert monitor.filter_ratios([0.5, 0.5]) == pytest.approx([1.0, 0.0])
+        assert monitor.filter_ratios([0.25, 0.5]) == pytest.approx([1.0, 0.0])
+
+    def test_three_way_renormalization(self):
+        monitor = HealthMonitor()
+        monitor.quarantined.add(0)
+        assert monitor.filter_ratios([0.5, 0.25, 0.25]) == pytest.approx([0.0, 0.5, 0.5])
+
+    def test_all_quarantined_passes_original_through(self):
+        # Serving from a suspect battery beats not serving at all.
+        monitor = HealthMonitor()
+        monitor.quarantined.update({0, 1})
+        assert monitor.filter_ratios([0.7, 0.3]) == [0.7, 0.3]
+
+    def test_quarantined_with_zero_share_is_passthrough(self):
+        monitor = HealthMonitor()
+        monitor.quarantined.add(1)
+        assert monitor.filter_ratios([1.0, 0.0]) == pytest.approx([1.0, 0.0])
+
+
+class TestConstructionAndLog:
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(divergence_threshold=0.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(frozen_voltage_checks=1)
+        with pytest.raises(ValueError):
+            HealthMonitor(max_cycle_jump=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(recovery_checks=0)
+
+    def test_record_appends_runtime_incidents(self):
+        monitor = HealthMonitor()
+        monitor.record(Incident(5.0, "command-dropped", detail="retries exhausted"))
+        assert monitor.incidents[-1].kind == "command-dropped"
+
+    def test_incident_describe_mentions_battery(self):
+        line = Incident(120.0, "quarantine", 1, "gauge divergence").describe()
+        assert "battery 1" in line and "quarantine" in line

@@ -172,15 +172,33 @@ class TestCcbConvergence:
 
 class TestRuntimeUnderFailure:
     def test_policy_failure_does_not_kill_emulation(self):
-        """A policy that throws must not crash the loop; the hardware's
-        own fallback keeps serving the load."""
+        """A policy raising a *library* error must not crash the loop; the
+        hardware's own fallback keeps serving the load and the emulator
+        records the incident."""
+
+        from repro.errors import PolicyError
 
         class ExplodingPolicy(RBLDischargePolicy):
             def discharge_ratios(self, cells, load_w, t=0.0):
-                raise RuntimeError("policy bug")
+                raise PolicyError("allocation infeasible")
 
         controller = build_controller("phone")
         runtime = SDBRuntime(controller, discharge_policy=ExplodingPolicy())
         result = SDBEmulator(controller, runtime, constant_trace(1.0, 600.0), dt_s=10.0).run()
         assert result.completed
         assert result.delivered_j == pytest.approx(600.0, rel=1e-6)
+        assert any(incident.kind == "policy-error" for incident in result.incidents)
+
+    def test_programming_error_is_not_masked(self):
+        """A genuine bug (non-library exception) must surface, not be
+        swallowed by the emulation loop."""
+
+        class BuggyPolicy(RBLDischargePolicy):
+            def discharge_ratios(self, cells, load_w, t=0.0):
+                raise RuntimeError("policy bug")
+
+        controller = build_controller("phone")
+        runtime = SDBRuntime(controller, discharge_policy=BuggyPolicy())
+        emulator = SDBEmulator(controller, runtime, constant_trace(1.0, 600.0), dt_s=10.0)
+        with pytest.raises(RuntimeError):
+            emulator.run()
