@@ -1,0 +1,135 @@
+"""Engine throughput benchmark: reference vs vectorized on the tablet day.
+
+Runs the 24 h two-in-one tablet workload at ``dt_s = 1.0`` (86 400
+emulated steps) through both emulation engines, takes the best of
+``--repeats`` wall-clock timings for each, checks the vectorized run
+against the reference run (delivered energy within 0.1 %, depletion time
+within one timestep), and writes the measurement to
+``benchmarks/results/BENCH_emulator.json`` in the format documented in
+``docs/performance.md``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--repeats N] [--out PATH]
+
+The committed baseline at the repo root (``BENCH_emulator.json``) is a
+trusted run of this script; ``benchmarks/check_regression.py`` compares
+a fresh measurement against it in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Tuple
+
+from repro.core.runtime import SDBRuntime
+from repro.emulator.devices import build_controller
+from repro.emulator.emulator import EmulationResult, SDBEmulator
+from repro.workloads.generators import two_in_one_workload_trace
+
+#: Benchmark scenario: the Figure 14 style tablet day at fine resolution.
+DEVICE = "tablet"
+MEAN_POWER_W = 9.0
+DURATION_S = 24 * 3600.0
+SEGMENT_S = 300.0
+DT_S = 1.0
+
+#: Equivalence tolerances the measurement must satisfy to be recorded.
+DELIVERED_REL_TOL = 1e-3
+DEPLETION_TOL_S = DT_S
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_emulator.json"
+
+
+def run_once(engine: str) -> Tuple[EmulationResult, float, int]:
+    """One full emulation run; returns (result, wall seconds, steps)."""
+    controller = build_controller(DEVICE)
+    runtime = SDBRuntime(controller)
+    trace = two_in_one_workload_trace(
+        mean_power_w=MEAN_POWER_W, duration_s=DURATION_S, segment_s=SEGMENT_S
+    )
+    emulator = SDBEmulator(controller, runtime, trace, dt_s=DT_S, engine=engine)
+    t0 = time.perf_counter()
+    result = emulator.run()
+    wall_s = time.perf_counter() - t0
+    return result, wall_s, len(result.times_s)
+
+
+def measure(repeats: int) -> dict:
+    """Best-of-``repeats`` timing for both engines plus equivalence stats."""
+    best = {}
+    results = {}
+    for engine in ("reference", "vectorized"):
+        walls = []
+        for _ in range(repeats):
+            result, wall_s, steps = run_once(engine)
+            walls.append(wall_s)
+        best[engine] = {"wall_s": min(walls), "steps": steps,
+                        "steps_per_s": steps / min(walls)}
+        results[engine] = result
+
+    ref, vec = results["reference"], results["vectorized"]
+    delivered_rel_err = abs(vec.delivered_j - ref.delivered_j) / max(ref.delivered_j, 1e-12)
+    if ref.depletion_s is None and vec.depletion_s is None:
+        depletion_diff_s = 0.0
+    elif ref.depletion_s is None or vec.depletion_s is None:
+        depletion_diff_s = float("inf")
+    else:
+        depletion_diff_s = abs(vec.depletion_s - ref.depletion_s)
+
+    return {
+        "scenario": {
+            "device": DEVICE,
+            "mean_power_w": MEAN_POWER_W,
+            "duration_s": DURATION_S,
+            "segment_s": SEGMENT_S,
+            "dt_s": DT_S,
+        },
+        "reference": best["reference"],
+        "vectorized": best["vectorized"],
+        "speedup": best["reference"]["wall_s"] / best["vectorized"]["wall_s"],
+        "equivalence": {
+            "delivered_rel_err": delivered_rel_err,
+            "depletion_diff_s": depletion_diff_s,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    """Run the benchmark, print a summary, write the JSON record."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per engine; best is kept (default 3)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    record = measure(args.repeats)
+    ref, vec, eq = record["reference"], record["vectorized"], record["equivalence"]
+    print(f"reference:  {ref['wall_s'] * 1000:7.1f} ms  ({ref['steps_per_s']:>9.0f} steps/s)")
+    print(f"vectorized: {vec['wall_s'] * 1000:7.1f} ms  ({vec['steps_per_s']:>9.0f} steps/s)")
+    print(f"speedup:    {record['speedup']:.2f}x")
+    print(f"equivalence: delivered_rel_err={eq['delivered_rel_err']:.2e} "
+          f"depletion_diff_s={eq['depletion_diff_s']}")
+
+    if eq["delivered_rel_err"] > DELIVERED_REL_TOL:
+        print(f"FAIL: delivered energy differs by more than {DELIVERED_REL_TOL:.0e} relative",
+              file=sys.stderr)
+        return 1
+    if eq["depletion_diff_s"] > DEPLETION_TOL_S:
+        print(f"FAIL: depletion times differ by more than one timestep ({DT_S}s)",
+              file=sys.stderr)
+        return 1
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

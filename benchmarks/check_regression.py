@@ -1,0 +1,90 @@
+"""Performance regression gate for the vectorized emulation engine.
+
+Compares a fresh ``bench_engine.py`` measurement against the committed
+baseline (``BENCH_emulator.json`` at the repo root) and fails if the
+fast path has regressed. The gated quantity is the *speedup* — reference
+wall-clock over vectorized wall-clock measured in the same process on
+the same machine — rather than absolute steps/sec, so the check is
+meaningful on CI runners of varying speed: a change that slows both
+engines equally (a slower runner) passes, while one that slows only the
+vectorized path (a fast-path regression in normalized steps/sec) fails.
+
+Two thresholds, both must hold:
+
+* measured speedup >= 75 % of the baseline speedup (i.e. no more than a
+  25 % regression in normalized vectorized steps/sec);
+* measured speedup >= the 5x absolute floor the engine promises on this
+  scenario (``docs/performance.md``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+    python benchmarks/check_regression.py \
+        [--measured benchmarks/results/BENCH_emulator.json] \
+        [--baseline BENCH_emulator.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_MEASURED = REPO_ROOT / "benchmarks" / "results" / "BENCH_emulator.json"
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_emulator.json"
+
+#: Fraction of the baseline speedup the measurement must retain.
+RETAIN_FRACTION = 0.75
+#: Absolute speedup floor, independent of the baseline.
+SPEEDUP_FLOOR = 5.0
+
+
+def check(measured: dict, baseline: dict) -> list:
+    """Return a list of failure messages (empty when the gate passes)."""
+    failures = []
+    speedup = float(measured["speedup"])
+    base_speedup = float(baseline["speedup"])
+    threshold = RETAIN_FRACTION * base_speedup
+    if speedup < threshold:
+        failures.append(
+            f"speedup {speedup:.2f}x is below {RETAIN_FRACTION:.0%} of the "
+            f"baseline ({base_speedup:.2f}x -> threshold {threshold:.2f}x): "
+            f">25% regression in normalized vectorized steps/sec"
+        )
+    if speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"speedup {speedup:.2f}x is below the {SPEEDUP_FLOOR:.0f}x floor"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    """Load both records, apply the gate, print the verdict."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--measured", type=pathlib.Path, default=DEFAULT_MEASURED,
+                        help="fresh bench_engine.py output")
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+                        help="committed baseline record")
+    args = parser.parse_args(argv)
+
+    measured = json.loads(args.measured.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    print(f"baseline speedup: {baseline['speedup']:.2f}x "
+          f"(ref {baseline['reference']['steps_per_s']:.0f} steps/s, "
+          f"vec {baseline['vectorized']['steps_per_s']:.0f} steps/s)")
+    print(f"measured speedup: {measured['speedup']:.2f}x "
+          f"(ref {measured['reference']['steps_per_s']:.0f} steps/s, "
+          f"vec {measured['vectorized']['steps_per_s']:.0f} steps/s)")
+
+    failures = check(measured, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: vectorized engine within the regression gate")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

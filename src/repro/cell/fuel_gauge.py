@@ -84,6 +84,35 @@ class FuelGauge:
         """The gauge's (drifting) SoC estimate."""
         return self._estimated_soc
 
+    @property
+    def last_voltage(self) -> float:
+        """Terminal voltage observed at the most recent step."""
+        return self._last_voltage
+
+    def absorb_span(
+        self,
+        *,
+        estimated_soc: float,
+        last_voltage: float,
+        discharged_c: float = 0.0,
+        charged_c: float = 0.0,
+        heat_j: float = 0.0,
+    ) -> None:
+        """Fold a span of externally integrated steps into the gauge.
+
+        The vectorized emulation engine advances many timesteps as array
+        operations and then applies the aggregate effect here, instead of
+        funnelling every step through :meth:`record`. ``estimated_soc`` is
+        the estimate *after* the span (the caller integrates the sense-path
+        error model); the totals are span sums.
+        """
+        if not self.fault_stuck:
+            self._estimated_soc = units.clamp(float(estimated_soc), 0.0, 1.0)
+        self._last_voltage = float(last_voltage)
+        self.total_discharged_c += float(discharged_c)
+        self.total_charged_c += float(charged_c)
+        self.total_heat_j += float(heat_j)
+
     def record(self, step: StepResult) -> None:
         """Fold one integration step into the gauge's accumulators."""
         measured_current = step.current * (1.0 + self.sense_gain_error) + self.sense_offset_a

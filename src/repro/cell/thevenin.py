@@ -84,6 +84,15 @@ class CellParams:
         """Charge-rate limit in amps."""
         return units.c_rate_to_amps(self.max_charge_c, self.capacity_c)
 
+    def curve_tables(self, resolution: Optional[int] = None):
+        """``(ocp_table, dcir_table)`` through the LRU-cached table layer.
+
+        The vectorized emulation engine calls this once per run; because
+        the underlying layer caches per curve object, every run over the
+        same library cell shares the same dense tables.
+        """
+        return self.ocp.as_table(resolution), self.dcir.as_table(resolution)
+
     @property
     def max_discharge_current(self) -> float:
         """Discharge-rate limit in amps."""

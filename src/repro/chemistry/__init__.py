@@ -10,11 +10,14 @@ electro-chemical identity of a cell. It provides
 * :mod:`repro.chemistry.aging` — the cycle-aging model behind Figure 1(b)
   and the longevity results of Figure 11(c);
 * :mod:`repro.chemistry.library` — the synthetic stand-in for the paper's
-  15 cycler-characterized batteries (Section 4.3).
+  15 cycler-characterized batteries (Section 4.3);
+* :mod:`repro.chemistry.tables` — LRU-cached dense interpolation tables
+  used by the vectorized emulation engine.
 """
 
 from repro.chemistry.aging import AgingModel, AgingParams, AgingState
 from repro.chemistry.curves import SocCurve, make_dcir_curve, make_ocp_curve
+from repro.chemistry.tables import CurveTable, PackCurveTable, table_for
 from repro.chemistry.library import (
     BATTERY_LIBRARY,
     BatteryDescriptor,
@@ -38,6 +41,9 @@ __all__ = [
     "SocCurve",
     "make_dcir_curve",
     "make_ocp_curve",
+    "CurveTable",
+    "PackCurveTable",
+    "table_for",
     "BATTERY_LIBRARY",
     "BatteryDescriptor",
     "battery_by_id",

@@ -20,9 +20,12 @@ rather than hand-entered breakpoint tables.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chemistry.tables import CurveTable
 
 
 class SocCurve:
@@ -90,6 +93,16 @@ class SocCurve:
     def shifted(self, offset: float) -> "SocCurve":
         """Return a new curve with ``offset`` added to every value."""
         return SocCurve(self._socs, self._values + offset)
+
+    def as_table(self, resolution: Optional[int] = None) -> "CurveTable":
+        """This curve resampled onto a dense uniform grid for fast lookup.
+
+        Delegates to the LRU-cached layer in :mod:`repro.chemistry.tables`,
+        so repeated calls (one per emulator run, say) share one table.
+        """
+        from repro.chemistry.tables import DEFAULT_RESOLUTION, table_for
+
+        return table_for(self, DEFAULT_RESOLUTION if resolution is None else resolution)
 
     def mean_value(self) -> float:
         """Average of the curve over SoC (trapezoidal integral on [0, 1])."""

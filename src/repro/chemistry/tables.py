@@ -1,0 +1,140 @@
+"""Precomputed NumPy interpolation tables for SoC curves.
+
+The scalar emulation path evaluates each cell's OCP and DCIR curves with
+:func:`numpy.interp` on the curve's (non-uniform) breakpoints — exact, but
+a per-call ``searchsorted`` the hot loop pays millions of times. Following
+the precomputed-curve evaluation of BattX-style equivalent-circuit
+simulators, this module resamples every curve once onto a dense *uniform*
+grid, after which a lookup is pure index arithmetic:
+
+    ``idx = floor(soc * resolution)``; value = ``base[idx] + slope[idx] * frac``.
+
+Uniform resampling of a piecewise-linear curve is exact except inside the
+(at most ``len(breakpoints)``) grid cells that straddle an original
+breakpoint; :attr:`CurveTable.max_resample_error` reports the realized
+worst case so callers can assert their tolerance budget. At the default
+resolution the error is orders of magnitude below every equivalence
+tolerance the engine guarantees (see ``docs/performance.md``).
+
+Tables are built through :func:`table_for`, an LRU-cached layer keyed on
+the curve object, so repeated emulator runs over the same battery library
+share one table per curve. :class:`PackCurveTable` stacks the per-battery
+tables of a whole pack into one matrix so a single fancy-indexing gather
+evaluates every battery (and every timestep of a chunk) at once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.chemistry.curves import SocCurve
+
+#: Grid cells per unit SoC in a default table. 4096 cells keep the worst
+#: resampling error of the library's 21-breakpoint curves below ~1e-4 in
+#: curve units (volts / ohms), far inside the engine equivalence budget.
+DEFAULT_RESOLUTION = 4096
+
+#: Upper bound on distinct (curve, resolution) tables kept alive; one table
+#: is a few hundred KB at most, so this comfortably covers the battery
+#: library plus experiment-local custom curves.
+TABLE_CACHE_SIZE = 256
+
+
+class CurveTable:
+    """A :class:`~repro.chemistry.curves.SocCurve` resampled onto a uniform grid.
+
+    Attributes:
+        resolution: number of uniform grid cells covering SoC ``[0, 1]``.
+        values: curve values at the ``resolution + 1`` grid points.
+        slopes: per-grid-cell slope in curve-units per unit SoC.
+        max_resample_error: worst absolute deviation from the source curve,
+            realized at the source breakpoints (the only places a uniform
+            resample of a piecewise-linear curve can be inexact).
+    """
+
+    __slots__ = ("resolution", "values", "slopes", "max_resample_error")
+
+    def __init__(self, curve: "SocCurve", resolution: int = DEFAULT_RESOLUTION):
+        if resolution < 2:
+            raise ValueError("table resolution must be at least 2")
+        self.resolution = int(resolution)
+        grid = np.linspace(0.0, 1.0, self.resolution + 1)
+        self.values = np.interp(grid, curve.breakpoints, curve.values)
+        self.slopes = np.diff(self.values) * self.resolution
+        at_breakpoints = self.lookup(curve.breakpoints)
+        self.max_resample_error = float(np.max(np.abs(at_breakpoints - curve.values)))
+
+    def lookup(self, soc):
+        """Evaluate the table at ``soc`` (scalar or any-shape array).
+
+        Outside ``[0, 1]`` the value clamps to the endpoints, mirroring
+        :meth:`repro.chemistry.curves.SocCurve.__call__`.
+        """
+        s = np.clip(np.asarray(soc, dtype=float), 0.0, 1.0)
+        idx = np.minimum((s * self.resolution).astype(np.intp), self.resolution - 1)
+        frac = s - idx * (1.0 / self.resolution)
+        out = self.values[idx] + self.slopes[idx] * frac
+        return float(out) if np.ndim(soc) == 0 else out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CurveTable(resolution={self.resolution}, max_err={self.max_resample_error:.2e})"
+
+
+class PackCurveTable:
+    """Per-battery :class:`CurveTable` rows stacked into one gather matrix.
+
+    ``lookup`` takes an SoC array whose leading axis is the battery index —
+    shape ``(n,)`` for one instant or ``(n, k)`` for a ``k``-step chunk —
+    and evaluates battery ``i``'s curve on row ``i`` in a single vectorized
+    gather, which is what lets the emulation engine advance a whole pack
+    per array operation.
+    """
+
+    __slots__ = ("n", "resolution", "values", "slopes", "max_resample_error")
+
+    def __init__(self, tables: Sequence[CurveTable]):
+        tables = list(tables)
+        if not tables:
+            raise ValueError("a pack table needs at least one battery")
+        resolutions = {t.resolution for t in tables}
+        if len(resolutions) != 1:
+            raise ValueError("all pack tables must share one resolution")
+        self.n = len(tables)
+        self.resolution = tables[0].resolution
+        self.values = np.stack([t.values for t in tables])
+        self.slopes = np.stack([t.slopes for t in tables])
+        self.max_resample_error = max(t.max_resample_error for t in tables)
+
+    @classmethod
+    def for_curves(cls, curves: Sequence["SocCurve"], resolution: int = DEFAULT_RESOLUTION) -> "PackCurveTable":
+        """Build (through the LRU cache) and stack tables for ``curves``."""
+        return cls([table_for(curve, resolution) for curve in curves])
+
+    def lookup(self, soc: np.ndarray) -> np.ndarray:
+        """Evaluate each battery's curve row-wise over ``soc``.
+
+        ``soc`` must have shape ``(n,)`` or ``(n, ...)`` with the leading
+        axis indexing the battery.
+        """
+        s = np.clip(np.asarray(soc, dtype=float), 0.0, 1.0)
+        if s.shape[0] != self.n:
+            raise ValueError(f"leading axis must be the {self.n} batteries, got shape {s.shape}")
+        idx = np.minimum((s * self.resolution).astype(np.intp), self.resolution - 1)
+        rows = np.arange(self.n).reshape((self.n,) + (1,) * (s.ndim - 1))
+        frac = s - idx * (1.0 / self.resolution)
+        return self.values[rows, idx] + self.slopes[rows, idx] * frac
+
+
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
+def table_for(curve: "SocCurve", resolution: int = DEFAULT_RESOLUTION) -> CurveTable:
+    """The LRU-cached lookup layer: one :class:`CurveTable` per curve.
+
+    Cached on the curve object's identity (curves are immutable once
+    built), so every emulator run over the same battery library reuses the
+    same tables instead of resampling per run.
+    """
+    return CurveTable(curve, resolution)

@@ -17,12 +17,14 @@ the self-healing runtime (see ``docs/resilience.md``).
 from __future__ import annotations
 
 import argparse
+import inspect
 import pathlib
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import units
 from repro.chemistry.library import BATTERY_LIBRARY
+from repro.emulator.emulator import ENGINES
 
 
 from repro.experiments import EXPERIMENT_DESCRIPTIONS, experiment_registry as _experiment_registry
@@ -68,7 +70,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
 
     for name in names:
-        result = registry[name]()
+        driver = registry[name]
+        kwargs = {}
+        engine = getattr(args, "engine", None)
+        if engine and "engine" in inspect.signature(driver).parameters:
+            kwargs["engine"] = engine
+        result = driver(**kwargs)
         parts = [table.format() for table in result.tables()]
         if args.plot:
             from repro.experiments.ascii_plot import plot_table
@@ -95,7 +102,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.dt <= 0:
         print("dt must be positive", file=sys.stderr)
         return 2
-    result = run_chaos(seed=args.seed, dt_s=args.dt)
+    result = run_chaos(seed=args.seed, dt_s=args.dt, engine=args.engine)
     parts = [table.format() for table in result.tables()]
     parts.append("resilient: " + result.results["resilient"].resilience_summary())
     parts.append("naive:     " + result.results["naive"].resilience_summary())
@@ -128,12 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment", help="experiment name from 'list', or 'all'")
     p_run.add_argument("--out", help="directory to write result tables to")
     p_run.add_argument("--plot", action="store_true", help="append ASCII charts of each table")
+    p_run.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="emulation engine for experiments that support it (default: reference)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_chaos = sub.add_parser("chaos", help="replay the tablet day under a seeded fault schedule")
     p_chaos.add_argument("--seed", type=int, default=7, help="fault-schedule seed (default 7)")
     p_chaos.add_argument("--dt", type=float, default=15.0, help="emulation step in seconds (default 15)")
     p_chaos.add_argument("--out", help="directory to write the chaos report to")
+    p_chaos.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="emulation engine (vectorized falls back to scalar inside fault windows)",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
 
     return parser

@@ -6,6 +6,8 @@ helped us in debugging SDB policies without damaging real batteries."
 
 * :mod:`repro.emulator.emulator` — the timestep loop wiring a power trace
   through the runtime, the SDB hardware models and the battery models;
+* :mod:`repro.emulator.engine` — the vectorized (chunked NumPy) fast path
+  behind ``SDBEmulator(..., engine="vectorized")``;
 * :mod:`repro.emulator.events` — plug/unplug schedules;
 * :mod:`repro.emulator.devices` — the tablet / phone / watch platforms;
 * :mod:`repro.emulator.cpu` — the turbo CPU model behind Figure 12.
@@ -13,7 +15,8 @@ helped us in debugging SDB policies without damaging real batteries."
 
 from repro.emulator.cpu import CpuPowerLevel, Task, TaskOutcome, TurboCpu
 from repro.emulator.devices import DEVICES, DeviceSpec, build_controller
-from repro.emulator.emulator import EmulationResult, SDBEmulator
+from repro.emulator.emulator import ENGINES, EmulationResult, Emulator, SDBEmulator
+from repro.emulator.engine import VectorizedEngine
 from repro.emulator.events import PlugSchedule, PlugWindow
 
 __all__ = [
@@ -24,8 +27,11 @@ __all__ = [
     "DEVICES",
     "DeviceSpec",
     "build_controller",
+    "ENGINES",
     "EmulationResult",
+    "Emulator",
     "SDBEmulator",
+    "VectorizedEngine",
     "PlugSchedule",
     "PlugWindow",
 ]

@@ -59,6 +59,10 @@ class EmulationResult:
     depletion_s: Optional[float] = None
     battery_depletion_s: List[Optional[float]] = field(default_factory=list)
     completed: bool = True
+    #: Actual elapsed end time of the run, seconds. Set by the emulator to
+    #: the trace-clipped end of the last step, so a survived run reports
+    #: the true trace duration even when it is not a multiple of ``dt_s``.
+    end_s: Optional[float] = None
     #: Every injected :class:`~repro.faults.events.FaultEvent`, in order.
     fault_events: List[FaultEvent] = field(default_factory=list)
     #: Resilience incidents: quarantines, degradations, command drops, and
@@ -74,9 +78,20 @@ class EmulationResult:
         return self.battery_heat_j + self.circuit_loss_j + self.charge_loss_j
 
     @property
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds the run actually covered.
+
+        Prefers the emulator-recorded :attr:`end_s`; hand-constructed
+        results without one fall back to the last step plus ``dt_s``.
+        """
+        if self.end_s is not None:
+            return self.end_s
+        return self.times_s[-1] + self.dt_s if self.times_s else 0.0
+
+    @property
     def battery_life_h(self) -> float:
-        """Hours until death (or the full trace length if it survived)."""
-        end = self.depletion_s if self.depletion_s is not None else (self.times_s[-1] + self.dt_s if self.times_s else 0.0)
+        """Hours until death (or the actual elapsed time if it survived)."""
+        end = self.depletion_s if self.depletion_s is not None else self.elapsed_s
         return units.seconds_to_hours(end)
 
     def hourly_loss_j(self) -> List[float]:
@@ -98,7 +113,7 @@ class EmulationResult:
     def summary(self) -> str:
         """A one-paragraph human-readable account of the run."""
         lines = [
-            f"ran {units.seconds_to_hours(self.times_s[-1] + self.dt_s) if self.times_s else 0:.2f} h "
+            f"ran {units.seconds_to_hours(self.elapsed_s):.2f} h "
             f"at dt={self.dt_s:.0f} s; "
             + ("completed the trace" if self.completed else f"died at {self.battery_life_h:.2f} h"),
             f"delivered {self.delivered_j:.0f} J to the load; "
@@ -143,8 +158,21 @@ class EmulationResult:
         return "; ".join(lines)
 
 
+#: The emulation engines :class:`SDBEmulator` can run on.
+ENGINES = ("reference", "vectorized")
+
+
 class SDBEmulator:
-    """Drives one controller + runtime through a workload trace."""
+    """Drives one controller + runtime through a workload trace.
+
+    Args:
+        engine: ``"reference"`` runs the original scalar per-step loop;
+            ``"vectorized"`` runs the chunked NumPy fast path of
+            :mod:`repro.emulator.engine`, which advances the pure-physics
+            spans between policy ticks as array operations and falls back
+            to scalar stepping around ticks, plug windows, and fault
+            activity (see ``docs/performance.md``).
+    """
 
     def __init__(
         self,
@@ -156,11 +184,14 @@ class SDBEmulator:
         hooks: Sequence[Hook] = (),
         stop_on_depletion: bool = True,
         faults: Optional[FaultSchedule] = None,
+        engine: str = "reference",
     ):
         if dt_s <= 0:
             raise ValueError("dt must be positive")
         if runtime.controller is not controller:
             raise ValueError("runtime must wrap the same controller")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.controller = controller
         self.runtime = runtime
         self.trace = trace
@@ -169,6 +200,7 @@ class SDBEmulator:
         self.hooks = list(hooks)
         self.stop_on_depletion = stop_on_depletion
         self.faults = faults
+        self.engine = engine
 
     def run(self) -> EmulationResult:
         """Execute the full trace and return the collected bookkeeping."""
@@ -176,79 +208,111 @@ class SDBEmulator:
         n = self.controller.n
         result.battery_depletion_s = [None] * n
         result.downtime_s = [0.0] * n
-        record_fault = result.fault_events.append
-        monitor = self.runtime.health
 
-        for t, load in self.trace.steps(self.dt_s):
-            if self.faults is not None:
-                load = self.faults.perturb_load(t, load)
-            supply = self.plug.power_at(t)
-            try:
-                self.runtime.tick(t, load, external_w=supply)
-            except (PolicyError, BatteryError) as exc:
-                # A strict runtime surfaces policy failures; record the
-                # incident and fall through to the discharge step, which
-                # classifies an actual death cleanly. Anything else (a
-                # programming error) propagates instead of being masked.
-                result.incidents.append(
-                    Incident(t, "policy-error", None, f"{type(exc).__name__}: {exc}")
-                )
-            if self.faults is not None:
-                self.faults.step(self.controller, t, self.dt_s, record_fault)
-            for hook in self.hooks:
-                hook(self.controller, t, self.dt_s)
-            for i in range(n):
-                if not self.controller.connected[i] or (monitor is not None and i in monitor.quarantined):
-                    result.downtime_s[i] += self.dt_s
+        if self.engine == "vectorized":
+            from repro.emulator.engine import VectorizedEngine
 
-            step_loss = 0.0
-            if supply > 0.0:
-                served = min(load, supply)
-                headroom = supply - served
-                if headroom > 0.0:
-                    report = self.controller.step_charge(headroom, self.dt_s)
-                    result.charge_input_j += report.input_used_w * self.dt_s
-                    result.charge_loss_j += report.loss_w * self.dt_s
-                    step_loss += report.loss_w
-                load -= served
-                result.delivered_j += served * self.dt_s
-
-            if load > 0.0:
-                try:
-                    report = self.controller.step_discharge(load, self.dt_s)
-                except (BatteryEmptyError, PowerLimitError):
-                    result.depletion_s = t
-                    result.completed = False
-                    if self.stop_on_depletion:
-                        break
-                    # Shed the load entirely and keep the clock running.
-                    result.times_s.append(t)
-                    result.load_w.append(load)
-                    result.loss_w.append(0.0)
-                    result.soc_history.append([cell.soc for cell in self.controller.cells])
-                    continue
-                result.delivered_j += load * self.dt_s
-                result.battery_heat_j += report.battery_heat_w * self.dt_s
-                result.circuit_loss_j += report.circuit_loss_w * self.dt_s
-                step_loss += report.total_loss_w
-            else:
-                # Fully powered externally: batteries rest.
-                for cell in self.controller.cells:
-                    if not (cell.is_empty or cell.is_full):
-                        cell.step_current(0.0, self.dt_s)
-
-            for i, cell in enumerate(self.controller.cells):
-                if cell.is_empty and result.battery_depletion_s[i] is None:
-                    result.battery_depletion_s[i] = t + self.dt_s
-
-            result.times_s.append(t)
-            result.load_w.append(load)
-            result.loss_w.append(step_loss)
-            result.soc_history.append([cell.soc for cell in self.controller.cells])
+            VectorizedEngine(self).run(result)
+        else:
+            self._run_reference(result)
 
         result.incidents.extend(self.runtime.all_incidents())
         result.incidents.sort(key=lambda incident: incident.t)
+        if result.times_s:
+            result.end_s = min(result.times_s[-1] + self.dt_s, self.trace.end_s)
+        else:
+            result.end_s = 0.0
         return result
+
+    def _run_reference(self, result: EmulationResult) -> None:
+        """The original scalar loop: one :meth:`_step` per trace step."""
+        for t, load in self.trace.steps(self.dt_s):
+            if not self._step(result, t, load):
+                break
+
+    def _step(self, result: EmulationResult, t: float, load: float) -> bool:
+        """Advance one full emulation step at time ``t``.
+
+        This is the single source of truth for per-step semantics; the
+        reference loop runs every step through it and the vectorized
+        engine runs its scalar-path steps (ticks, plug windows, fault
+        windows, chunk-boundary steps) through it unchanged.
+
+        Returns False when the run should stop (depletion with
+        ``stop_on_depletion``), True otherwise.
+        """
+        n = self.controller.n
+        monitor = self.runtime.health
+        if self.faults is not None:
+            load = self.faults.perturb_load(t, load)
+        supply = self.plug.power_at(t)
+        try:
+            self.runtime.tick(t, load, external_w=supply)
+        except (PolicyError, BatteryError) as exc:
+            # A strict runtime surfaces policy failures; record the
+            # incident and fall through to the discharge step, which
+            # classifies an actual death cleanly. Anything else (a
+            # programming error) propagates instead of being masked.
+            result.incidents.append(
+                Incident(t, "policy-error", None, f"{type(exc).__name__}: {exc}")
+            )
+        if self.faults is not None:
+            self.faults.step(self.controller, t, self.dt_s, result.fault_events.append)
+        for hook in self.hooks:
+            hook(self.controller, t, self.dt_s)
+        for i in range(n):
+            if not self.controller.connected[i] or (monitor is not None and i in monitor.quarantined):
+                result.downtime_s[i] += self.dt_s
+
+        step_loss = 0.0
+        if supply > 0.0:
+            served = min(load, supply)
+            headroom = supply - served
+            if headroom > 0.0:
+                report = self.controller.step_charge(headroom, self.dt_s)
+                result.charge_input_j += report.input_used_w * self.dt_s
+                result.charge_loss_j += report.loss_w * self.dt_s
+                step_loss += report.loss_w
+            load -= served
+            result.delivered_j += served * self.dt_s
+
+        if load > 0.0:
+            try:
+                report = self.controller.step_discharge(load, self.dt_s)
+            except (BatteryEmptyError, PowerLimitError):
+                result.depletion_s = t
+                result.completed = False
+                if self.stop_on_depletion:
+                    return False
+                # Shed the load entirely and keep the clock running.
+                result.times_s.append(t)
+                result.load_w.append(load)
+                result.loss_w.append(0.0)
+                result.soc_history.append([cell.soc for cell in self.controller.cells])
+                return True
+            result.delivered_j += load * self.dt_s
+            result.battery_heat_j += report.battery_heat_w * self.dt_s
+            result.circuit_loss_j += report.circuit_loss_w * self.dt_s
+            step_loss += report.total_loss_w
+        else:
+            # Fully powered externally: batteries rest.
+            for cell in self.controller.cells:
+                if not (cell.is_empty or cell.is_full):
+                    cell.step_current(0.0, self.dt_s)
+
+        for i, cell in enumerate(self.controller.cells):
+            if cell.is_empty and result.battery_depletion_s[i] is None:
+                result.battery_depletion_s[i] = t + self.dt_s
+
+        result.times_s.append(t)
+        result.load_w.append(load)
+        result.loss_w.append(step_loss)
+        result.soc_history.append([cell.soc for cell in self.controller.cells])
+        return True
+
+
+#: Friendly alias matching the paper-facing ``Emulator(engine=...)`` API.
+Emulator = SDBEmulator
 
 
 def cascade_transfer_hook(source_index: int, dest_index: int, power_w: float) -> Hook:

@@ -1,0 +1,626 @@
+"""Vectorized emulation engine: the chunked NumPy fast path.
+
+The reference loop in :mod:`repro.emulator.emulator` advances one timestep
+per iteration, paying Python call overhead for every curve evaluation,
+quadratic solve, and bookkeeping append. But between two policy ticks the
+system is *pure physics*: the ratio vector is frozen, no fault transitions
+fire, and (off the charger) every step is a deterministic function of the
+previous state. This engine exploits that structure:
+
+* **Scalar path** — steps where control logic can act (runtime ticks, plug
+  windows, fault scalar-spans, and chunk-boundary steps where the power
+  capability logic engages) run through the *same*
+  :meth:`~repro.emulator.emulator.SDBEmulator._step` the reference engine
+  uses, so every control decision is taken by the authoritative objects.
+* **Chunk kernel** — the inter-tick spans advance as ``(n_batteries,
+  n_steps)`` array operations. Per-battery OCP/DCIR curves come from the
+  LRU-cached dense tables of :mod:`repro.chemistry.tables`; the coupled
+  current/SoC/RC-branch/aging recursion is solved by fixed-point iteration
+  (the system is causal and lower-triangular, so the iteration converges
+  geometrically — typically in 3-4 passes at emulation step sizes).
+* **Truncation** — a chunk is cut short the moment its assumptions break:
+  a battery's share exceeding its safe power cap (the redistribution path
+  must run), or a battery crossing its empty threshold (the effective
+  ratios change on the next step). The boundary step then runs scalar.
+
+Chunk state is synchronized *into* the cells, gauges, and aging models at
+every chunk boundary, so policies, the health monitor, and the incident
+machinery always observe exact object state. Configurations the kernel
+cannot batch (scenario hooks, thermal models, hysteresis, self-discharge,
+extra cell observers) disengage the fast path entirely and fall back to
+the reference loop — see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cell.thevenin import SOC_EMPTY
+from repro.chemistry.aging import DISCHARGE_STRESS_WEIGHT
+from repro.chemistry.tables import PackCurveTable
+from repro.errors import BatteryEmptyError, RatioError
+
+#: Hard ceiling on steps advanced per vectorized chunk (bounds array memory
+#: when the policy tick interval is huge relative to the step size).
+MAX_CHUNK_STEPS = 4096
+
+#: Fixed-point iteration hands off to the exact consistency pass once no
+#: battery's current moved more than this many amps between passes. The
+#: recursion contracts by ~2-3 orders of magnitude per pass and the exact
+#: pass that follows is itself one more contraction, so a hand-off at
+#: ``delta`` leaves a committed-current residual of roughly ``delta *
+#: contraction^2`` — below 1e-8 A at this threshold, far inside every
+#: equivalence tolerance.
+CONVERGENCE_TOL_A = 3e-3
+
+#: Load chunks at or below this many steps run on the scalar path: the
+#: kernel's fixed per-chunk overhead (~a hundred small-array operations)
+#: outweighs batching gains for tiny chunks, e.g. a coarse ``dt`` under a
+#: short policy tick interval.
+SCALAR_FALLBACK_STEPS = 8
+
+#: Safety valve on fixed-point passes per chunk. The recursion is causal,
+#: so ``k`` passes reproduce a ``k``-step chunk exactly; in practice the
+#: tolerance above triggers after a handful of passes.
+MAX_ITERATIONS = 64
+
+#: RC-branch kernel terms below this relative weight are truncated.
+KERNEL_CUTOFF = 1e-18
+
+
+class VectorizedEngine:
+    """Chunked fast path for one :class:`~repro.emulator.emulator.SDBEmulator`.
+
+    The engine is a single-run object: construct it around an emulator and
+    call :meth:`run` once with the result to fill.
+    """
+
+    def __init__(self, emulator) -> None:
+        self.em = emulator
+        self.dt = emulator.dt_s
+        self.n = emulator.controller.n
+
+    # ------------------------------------------------------------------ #
+    # Fast-path eligibility
+    # ------------------------------------------------------------------ #
+
+    def fast_path_blockers(self) -> List[str]:
+        """Reasons this configuration cannot use the chunk kernel.
+
+        Non-empty means the engine delegates the whole run to the
+        reference loop: scenario hooks can mutate arbitrary state between
+        steps, and thermal / hysteresis / self-discharge / extra-observer
+        cells carry per-step dynamics the kernel does not model.
+        """
+        blockers = []
+        if self.em.hooks:
+            blockers.append("scenario hooks")
+        for cell in self.em.controller.cells:
+            if cell.thermal is not None:
+                blockers.append(f"{cell.name}: thermal model")
+            if getattr(cell, "_hysteresis_delta", 0.0) > 0.0:
+                blockers.append(f"{cell.name}: OCV hysteresis")
+            if getattr(cell, "_self_discharge_per_month", 0.0) > 0.0 or getattr(
+                cell, "_calendar_fade_per_year", 0.0
+            ) > 0.0:
+                blockers.append(f"{cell.name}: self-discharge")
+            if len(cell._observers) != 1:
+                blockers.append(f"{cell.name}: extra step observers")
+        return blockers
+
+    # ------------------------------------------------------------------ #
+    # Run orchestration
+    # ------------------------------------------------------------------ #
+
+    def run(self, result) -> None:
+        """Fill ``result`` by advancing the whole trace.
+
+        Mirrors :meth:`SDBEmulator._run_reference` exactly; only the
+        stepping strategy differs.
+        """
+        em = self.em
+        if self.fast_path_blockers():
+            em._run_reference(result)
+            return
+
+        self._prepare()
+        n_steps = len(self.times)
+        pos = 0
+        while pos < n_steps:
+            stop = self._next_scalar_index(pos, n_steps)
+            if stop == pos:
+                if not em._step(result, float(self.times[pos]), float(self.loads[pos])):
+                    return
+                pos += 1
+                continue
+            # Vectorized span [pos, stop): advance chunk by chunk.
+            while pos < stop:
+                span = min(stop - pos, MAX_CHUNK_STEPS)
+                zero_here = self.loads[pos] <= 0.0
+                run_len = self._run_length(pos, pos + span, zero_here)
+                if zero_here:
+                    self._rest_chunk(result, pos, run_len)
+                    pos += run_len
+                    continue
+                if run_len <= SCALAR_FALLBACK_STEPS:
+                    for j in range(pos, pos + run_len):
+                        if not em._step(result, float(self.times[j]), float(self.loads[j])):
+                            return
+                    pos += run_len
+                    continue
+                committed, need_scalar = self._load_chunk(result, pos, run_len)
+                pos += committed
+                if need_scalar:
+                    if not em._step(result, float(self.times[pos]), float(self.loads[pos])):
+                        return
+                    pos += 1
+                    break  # re-evaluate scalar stops from the new state
+
+    def _prepare(self) -> None:
+        """Precompute times, loads, supplies, masks, and pack tables."""
+        em = self.em
+        trace = em.trace
+        # Replicate PowerTrace.steps()'s float accumulation exactly: the
+        # reference loop's step times come from repeated `t += dt`, and a
+        # closed-form `start + j*dt` can differ in the last ulp, flipping
+        # segment lookups at boundaries.
+        ts = []
+        t = trace.start_s
+        end = trace.end_s - 1e-9
+        while t < end:
+            ts.append(t)
+            t += self.dt
+        self.times = np.array(ts, dtype=float)
+        self.loads = trace.powers_at(self.times)
+        supplies = em.plug.powers_at(self.times)
+        scalar = supplies > 0.0
+        if em.faults is not None:
+            for lo, hi in em.faults.scalar_spans(self.dt):
+                scalar |= (self.times >= lo - self.dt) & (self.times < hi)
+        self.scalar_idx = np.flatnonzero(scalar)
+
+        cells = em.controller.cells
+        gauges = em.controller.gauges
+        self.ocp_pack = PackCurveTable.for_curves([c.params.ocp for c in cells])
+        self.dcir_pack = PackCurveTable.for_curves([c.params.dcir for c in cells])
+        # Flattened copies of both pack tables sharing one index space: the
+        # chunk kernel evaluates OCP and DCIR at the same SoC trajectory, so
+        # computing the grid index once and gathering four flat arrays beats
+        # two independent 2-D fancy-index lookups. Only the first
+        # ``resolution`` value entries are reachable (the index is capped),
+        # so values and slopes can share a row stride.
+        res = self.ocp_pack.resolution
+        self.res = res
+        self.inv_res = 1.0 / res
+        self.row_off = (np.arange(self.n, dtype=np.intp) * res)[:, None]
+        self.ocp_flat_values = np.ascontiguousarray(self.ocp_pack.values[:, :res]).ravel()
+        self.ocp_flat_slopes = np.ascontiguousarray(self.ocp_pack.slopes).ravel()
+        self.dcir_flat_values = np.ascontiguousarray(self.dcir_pack.values[:, :res]).ravel()
+        self.dcir_flat_slopes = np.ascontiguousarray(self.dcir_pack.slopes).ravel()
+        self.nominal = np.array([c.params.capacity_c for c in cells])
+        self.r_ct = np.array([c.params.r_ct for c in cells])
+        self.i_max = np.array([c.params.max_discharge_current for c in cells])
+        self.growth = np.array([c.params.aging.resistance_growth for c in cells])
+        self.fade_base = np.array([c.params.aging.fade_base for c in cells])
+        self.fade_coeff = np.array([c.params.aging.fade_rate_coeff for c in cells])
+        self.gain = np.array([g.sense_gain_error for g in gauges])
+        self.decay = np.exp(-self.dt / (self.r_ct * np.array([c.params.c_plate for c in cells])))
+        self.inject = self.r_ct * (1.0 - self.decay)
+        # Precomputed RC kernels/powers, truncated where the decay weight
+        # vanishes; sliced per chunk.
+        self._warm_current: Optional[np.ndarray] = None
+        self.kernels = []
+        self.decay_pows = []
+        for i in range(self.n):
+            a = float(self.decay[i])
+            if 0.0 < a < 1.0:
+                cut = min(MAX_CHUNK_STEPS, max(1, int(math.log(KERNEL_CUTOFF) / math.log(a)) + 1))
+            else:
+                cut = MAX_CHUNK_STEPS if a >= 1.0 else 1
+            self.decay_pows.append(a ** np.arange(cut + 1))
+            self.kernels.append(self.inject[i] * (a ** np.arange(cut)))
+
+    def _next_scalar_index(self, pos: int, n_steps: int) -> int:
+        """First index at/after ``pos`` that must run on the scalar path."""
+        stop = n_steps
+        j = int(np.searchsorted(self.scalar_idx, pos))
+        if j < len(self.scalar_idx):
+            stop = min(stop, int(self.scalar_idx[j]))
+        return min(stop, self._next_tick_index(pos, n_steps))
+
+    def _next_tick_index(self, pos: int, n_steps: int) -> int:
+        """First index at/after ``pos`` where the runtime tick will fire.
+
+        Replicates the reference predicate ``t - last >= interval`` against
+        the exact step times, using a searchsorted jump plus a local float
+        fix-up so the fire step matches the scalar loop bit for bit.
+        """
+        rt = self.em.runtime
+        last = rt._last_update_t
+        if last is None:
+            return pos
+        interval = rt.update_interval_s
+        j = int(np.searchsorted(self.times, last + interval, side="left"))
+        j = max(j, pos)
+        while j > pos and self.times[j - 1] - last >= interval:
+            j -= 1
+        while j < n_steps and self.times[j] - last < interval:
+            j += 1
+        return j
+
+    def _run_length(self, pos: int, limit: int, zero: bool) -> int:
+        """Length of the maximal same-zero-ness load run in ``[pos, limit)``."""
+        window = self.loads[pos:limit]
+        flips = np.flatnonzero((window <= 0.0) != zero)
+        return int(flips[0]) if len(flips) else limit - pos
+
+    # ------------------------------------------------------------------ #
+    # Rest chunks (no load, no supply): closed-form advance
+    # ------------------------------------------------------------------ #
+
+    def _rest_chunk(self, result, pos: int, k: int) -> None:
+        """Advance ``k`` resting steps at once.
+
+        The reference rest path steps only cells that are neither empty nor
+        full (their RC branch decays and the gauge integrates its sense
+        offset); SoC is frozen, so the whole span has a closed form and is
+        exact — no curve tables involved.
+        """
+        em = self.em
+        dt = self.dt
+        for i, cell in enumerate(em.controller.cells):
+            if cell.is_empty or cell.is_full:
+                continue
+            a = self.decay[i]
+            v_rc0 = cell.v_rc
+            if v_rc0 != 0.0 and self.r_ct[i] > 0:
+                a2 = a * a
+                geom = k if a2 == 1.0 else (1.0 - a2**k) / (1.0 - a2)
+                heat_sum = (v_rc0 * v_rc0) / self.r_ct[i] * dt * geom
+            else:
+                heat_sum = 0.0
+            v_rc_last_before = v_rc0 * a ** (k - 1)
+            cell.v_rc = v_rc0 * a**k
+            gauge = em.controller.gauges[i]
+            cap = cell.capacity_c
+            drift = gauge.sense_offset_a * dt * k / cap if cap > 0 else 0.0
+            gauge.absorb_span(
+                estimated_soc=gauge.estimated_soc - drift,
+                last_voltage=cell.ocp() - v_rc_last_before,
+                heat_j=heat_sum,
+            )
+        self._mark_initial_empties(result, pos)
+        self._accrue_downtime(result, k)
+        times = self.times[pos : pos + k]
+        result.times_s.extend(times.tolist())
+        result.load_w.extend([0.0] * k)
+        result.loss_w.extend([0.0] * k)
+        socs = [cell.soc for cell in em.controller.cells]
+        result.soc_history.extend(list(socs) for _ in range(k))
+
+    # ------------------------------------------------------------------ #
+    # Load chunks: the fixed-point kernel
+    # ------------------------------------------------------------------ #
+
+    def _load_chunk(self, result, pos: int, k: int) -> Tuple[int, bool]:
+        """Advance up to ``k`` discharging steps as one array computation.
+
+        Returns ``(steps_committed, need_scalar_boundary)``; the caller
+        runs one scalar step when the chunk hit a power-capability
+        boundary (the redistribution/PowerLimit logic must engage there).
+        """
+        em = self.em
+        ctrl = em.controller
+        dt = self.dt
+        n = self.n
+        try:
+            ratios = ctrl._effective_discharge_ratios()
+            realized = np.array(ctrl.discharge_circuit.realized_ratios(ratios))
+        except (BatteryEmptyError, RatioError):
+            return 0, True
+
+        loads = self.loads[pos : pos + k]
+        spec = ctrl.discharge_circuit.spec
+        bus_current = loads / spec.v_bus
+        losses = (
+            spec.controller_overhead_w
+            + spec.drive_loss_fraction * loads
+            + spec.switch_resistance * bus_current * bus_current
+        )
+        P = realized[:, None] * (loads + losses)[None, :]
+        fourP = 4.0 * P
+        # Load chunks have strictly positive demand every step, so a row's
+        # activity is decided by its realized ratio alone.
+        row_active = realized > 0.0
+        all_active = bool(row_active.all())
+
+        soc0 = np.array([c.soc for c in ctrl.cells])
+        v_rc0 = np.array([c.v_rc for c in ctrl.cells])
+        fade0 = np.array([c.aging.state.fade for c in ctrl.cells])
+        usable = np.array([ctrl._usable_for_discharge(i) for i in range(n)])
+
+        # Fixed-point iteration over the chunk: each pass evaluates the
+        # per-step curves at the previous pass's SoC trajectory, solves the
+        # power quadratic for every (battery, step) at once, then
+        # re-integrates SoC from those currents. Causality makes pass m
+        # exact for the first m steps; in practice the state moves so
+        # little per step that a few passes converge below the tolerance.
+        # Fade is held at its chunk-entry value inside the loop (its
+        # in-chunk drift perturbs the current by ~1e-7 relative at most);
+        # the exact aging chain is re-integrated after convergence and a
+        # final consistency pass contracts the residual well below every
+        # equivalence tolerance.
+        growth_r = (1.0 + self.growth * fade0)[:, None]
+        cap0 = self.nominal * np.maximum(0.0, 1.0 - fade0)
+        dsoc_scale = np.where(cap0 > 0.0, dt / np.where(cap0 > 0.0, cap0, 1.0), 0.0)[:, None]
+        homog = self._chunk_homog(v_rc0, k)
+        soc_before = np.broadcast_to(soc0[:, None], (n, k)).copy()
+        if self._warm_current is not None:
+            # Warm start from the previous chunk's final per-battery
+            # currents: consecutive chunks usually sit inside one workload
+            # segment, so the first pass starts within ~1e-3 A of the
+            # answer instead of the cold-start's full current magnitude.
+            current = np.broadcast_to(self._warm_current[:, None], (n, k)).copy()
+            if not all_active:
+                current[~row_active] = 0.0
+            soc_before[:, 1:] = soc0[:, None] - np.cumsum(current[:, :-1], axis=1) * dsoc_scale
+        else:
+            current = np.zeros((n, k))
+        for _ in range(min(MAX_ITERATIONS, max(k, 2))):
+            ocp, r = self._dual_lookup(soc_before)
+            r *= growth_r
+            veff = ocp - self._rc_conv(current, homog, k)
+            disc = veff * veff - fourP * r
+            np.maximum(disc, 0.0, out=disc)
+            new_current = (veff - np.sqrt(disc)) / (2.0 * r)
+            if not all_active:
+                new_current[~row_active] = 0.0
+            delta = float(np.max(np.abs(new_current - current))) if k else 0.0
+            current = new_current
+            soc_before[:, 1:] = soc0[:, None] - np.cumsum(current[:, :-1], axis=1) * dsoc_scale
+            if delta < CONVERGENCE_TOL_A:
+                break
+        # Exact consistency pass: re-integrate the full aging/SoC chain
+        # (the reference path's exact update order) from the converged
+        # currents, take one more exact quadratic solve against that state
+        # — contracting the loop residual by the recursion's per-pass
+        # factor — then re-integrate the chain once more from the final
+        # currents. The curve/RC fields (r, veff, v_rc_before) keep their
+        # first-exact-pass values: they lag the final currents by one
+        # contraction (~1e-8 relative), far inside every tolerance.
+        for final in (False, True):
+            moved = current * dt
+            c_rate = current * (3600.0 / self.nominal[:, None])
+            # `moved` is non-negative and the stress expression vanishes
+            # with it, so no explicit moved-positive guard is needed.
+            dfade = (
+                DISCHARGE_STRESS_WEIGHT
+                * (self.fade_base[:, None] + self.fade_coeff[:, None] * c_rate * c_rate)
+                * (moved / self.nominal[:, None])
+            )
+            fade_after = np.minimum(1.0, fade0[:, None] + np.cumsum(dfade, axis=1))
+            fade_before = np.concatenate([fade0[:, None], fade_after[:, :-1]], axis=1)
+            cap_before = self.nominal[:, None] * np.maximum(0.0, 1.0 - fade_before)
+            if cap_before[:, -1].min() > 0.0:
+                # Capacity stays positive (the overwhelmingly common case;
+                # fade_before is non-decreasing so checking the last column
+                # suffices) — skip the degenerate-capacity masking.
+                dsoc = moved / cap_before
+            else:
+                dsoc = np.where(cap_before > 0.0, moved / np.where(cap_before > 0.0, cap_before, 1.0), 0.0)
+            soc_after = soc0[:, None] - np.cumsum(dsoc, axis=1)
+            soc_before = np.concatenate([soc0[:, None], soc_after[:, :-1]], axis=1)
+            if not final:
+                ocp, r = self._dual_lookup(soc_before)
+                r = r * (1.0 + self.growth[:, None] * fade_before)
+                v_rc_before = self._rc_conv(current, homog, k)
+                veff = ocp - v_rc_before
+                disc = veff * veff - fourP * r
+                np.maximum(disc, 0.0, out=disc)
+                current = (veff - np.sqrt(disc)) / (2.0 * r)
+                if not all_active:
+                    current[~row_active] = 0.0
+
+        # Truncation: power-cap violations force the scalar redistribution
+        # path *at* the violating step; an empty-threshold crossing ends
+        # the chunk *after* the crossing step (the next step's effective
+        # ratios change).
+        # veff falls monotonically along a discharge chunk (SoC drops, the
+        # RC branch charges), so a positive last column means positive
+        # everywhere and the degenerate-voltage masking can be skipped.
+        if veff[:, -1].min() > 0.0:
+            p_theory = veff * veff / (4.0 * r)
+            voltage_ok = True
+        else:
+            p_theory = np.where(veff > 0.0, veff * veff / (4.0 * r), 0.0)
+            voltage_ok = False
+        p_rate = (veff - self.i_max[:, None] * r) * self.i_max[:, None]
+        caps = 0.90 * np.where(p_rate <= 0.0, p_theory, np.minimum(p_theory, p_rate))
+        if not (voltage_ok and bool(usable.all())):
+            caps = np.where(usable[:, None] & (veff > 0.0), caps, 0.0)
+        viol_hits = np.flatnonzero(np.any(P > caps, axis=0))
+        t_viol = int(viol_hits[0]) if len(viol_hits) else None
+        # soc_after is non-increasing, so its last column bounds the whole
+        # chunk: no battery can cross the empty threshold unless its final
+        # SoC is at or below it.
+        if soc_after[:, -1].min() <= SOC_EMPTY:
+            crossing = np.any((soc_after <= SOC_EMPTY) & (soc0 > SOC_EMPTY)[:, None], axis=0)
+            cross_hits = np.flatnonzero(crossing)
+            t_cross = int(cross_hits[0]) if len(cross_hits) else None
+        else:
+            t_cross = None
+        need_scalar = False
+        T = k
+        if t_viol is not None and (t_cross is None or t_viol <= t_cross):
+            T = t_viol
+            need_scalar = True
+        elif t_cross is not None:
+            T = t_cross + 1
+        if T == 0:
+            return 0, need_scalar
+
+        # Last-step SoC clamp: a large final step may overshoot below zero;
+        # the reference clamps SoC and records only the charge actually
+        # moved, so fix the final column the same way.
+        last = T - 1
+        under = soc_after[:, last] < 0.0
+        actual_moved = moved
+        if np.any(under):
+            actual_moved = moved.copy()
+            actual_last = soc_before[:, last] * cap_before[:, last]
+            actual_moved[:, last] = np.where(under, actual_last, moved[:, last])
+            ratio = np.where(moved[:, last] > 0.0, actual_moved[:, last] / np.where(moved[:, last] > 0.0, moved[:, last], 1.0), 0.0)
+            dfade[:, last] = np.where(under, dfade[:, last] * ratio, dfade[:, last])
+            soc_after[:, last] = np.where(under, 0.0, soc_after[:, last])
+            fade_after = np.minimum(1.0, fade0[:, None] + np.cumsum(dfade, axis=1))
+
+        self._commit(result, pos, T, loads, losses, current, r, veff, v_rc_before, soc_after, fade_after, actual_moved)
+        self._warm_current = current[:, T - 1].copy()
+        return T, need_scalar
+
+    def _dual_lookup(self, soc: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate OCP and DCIR at ``soc`` with one shared grid index.
+
+        Identical arithmetic to :meth:`PackCurveTable.lookup`, but the
+        clip/index/fraction work is done once for both curves and the
+        gathers run on flat arrays — the chunk kernel's hottest lookup.
+        """
+        s = np.clip(soc, 0.0, 1.0)
+        idx = np.minimum((s * self.res).astype(np.intp), self.res - 1)
+        frac = s - idx * self.inv_res
+        flat = idx + self.row_off
+        ocp = self.ocp_flat_values[flat] + self.ocp_flat_slopes[flat] * frac
+        r = self.dcir_flat_values[flat] + self.dcir_flat_slopes[flat] * frac
+        return ocp, r
+
+    def _chunk_homog(self, v_rc0: np.ndarray, k: int) -> np.ndarray:
+        """Homogeneous RC decay ``v_rc0 * a**j`` for a ``k``-step chunk.
+
+        Current-independent, so it is computed once per chunk and reused
+        across every fixed-point pass.
+        """
+        out = np.empty((self.n, k))
+        for i in range(self.n):
+            pows = self.decay_pows[i]
+            if k <= len(pows) - 1:
+                out[i] = pows[:k] * v_rc0[i]
+            else:
+                out[i, : len(pows)] = pows * v_rc0[i]
+                out[i, len(pows) :] = 0.0
+        return out
+
+    def _rc_conv(self, current: np.ndarray, homog: np.ndarray, k: int) -> np.ndarray:
+        """Pre-step RC-branch voltages for the whole chunk.
+
+        The recursion ``v' = a v + b I`` unrolls to the homogeneous decay
+        of the initial state plus a causal convolution of the currents
+        with the geometric kernel ``b a^j`` (trimmed to the chunk length)
+        — one :func:`numpy.convolve` per battery replaces ``k`` scalar
+        updates.
+        """
+        out = homog.copy()
+        if k > 1:
+            for i in range(self.n):
+                kernel = self.kernels[i]
+                if kernel.shape[0] > k - 1:
+                    kernel = kernel[: k - 1]
+                out[i, 1:] += np.convolve(current[i, : k - 1], kernel)[: k - 1]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Chunk commit: arrays -> authoritative objects + result bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _commit(
+        self,
+        result,
+        pos: int,
+        T: int,
+        loads: np.ndarray,
+        losses: np.ndarray,
+        current: np.ndarray,
+        r: np.ndarray,
+        veff: np.ndarray,
+        v_rc_before: np.ndarray,
+        soc_after: np.ndarray,
+        fade_after: np.ndarray,
+        actual_moved: np.ndarray,
+    ) -> None:
+        """Write ``T`` committed steps back to cells, gauges, and result."""
+        em = self.em
+        dt = self.dt
+        gauges = em.controller.gauges
+        cur = current[:, :T]
+        rT = r[:, :T]
+        heat = cur * cur * rT + (v_rc_before[:, :T] ** 2) / self.r_ct[:, None]
+        v_term_last = veff[:, T - 1] - cur[:, T - 1] * rT[:, T - 1]
+        fade_after = fade_after[:, :T]
+        cap_after = self.nominal[:, None] * np.maximum(0.0, 1.0 - fade_after)
+
+        # Per-battery reductions, all at once; the per-cell loop below only
+        # writes scalars back into the authoritative objects.
+        offsets = np.array([g.sense_offset_a for g in gauges])
+        measured = cur * (1.0 + self.gain[:, None]) + offsets[:, None]
+        if cap_after[:, -1].min() > 0.0:
+            est_delta = np.sum(measured * dt / cap_after, axis=1)
+        else:
+            est_delta = np.sum(
+                np.where(cap_after > 0.0, measured * dt / np.where(cap_after > 0.0, cap_after, 1.0), 0.0),
+                axis=1,
+            )
+        discharged = cur.sum(axis=1) * dt
+        heat_rows = heat.sum(axis=1) * dt
+        throughput = actual_moved[:, :T].sum(axis=1)
+        v_rc_new = self.decay * v_rc_before[:, T - 1] + self.inject * current[:, T - 1]
+
+        self._mark_initial_empties(result, pos)
+        for i, cell in enumerate(em.controller.cells):
+            cell.soc = float(soc_after[i, T - 1])
+            cell.v_rc = float(v_rc_new[i])
+            state = cell.aging.state
+            state.fade = float(fade_after[i, T - 1])
+            state.throughput_c += float(throughput[i])
+            gauge = gauges[i]
+            gauge.absorb_span(
+                estimated_soc=gauge.estimated_soc - float(est_delta[i]),
+                last_voltage=float(v_term_last[i]),
+                discharged_c=float(discharged[i]),
+                heat_j=float(heat_rows[i]),
+            )
+            if result.battery_depletion_s[i] is None:
+                hits = np.flatnonzero(soc_after[i, :T] <= SOC_EMPTY)
+                if len(hits):
+                    result.battery_depletion_s[i] = float(self.times[pos + int(hits[0])]) + dt
+
+        self._accrue_downtime(result, T)
+        step_loss = losses[:T] + heat.sum(axis=0)
+        result.times_s.extend(self.times[pos : pos + T].tolist())
+        result.load_w.extend(loads[:T].tolist())
+        result.loss_w.extend(step_loss.tolist())
+        result.soc_history.extend(soc_after[:, :T].T.tolist())
+        result.delivered_j += float(np.sum(loads[:T])) * dt
+        result.battery_heat_j += float(np.sum(heat)) * dt
+        result.circuit_loss_j += float(np.sum(losses[:T])) * dt
+
+    def _mark_initial_empties(self, result, pos: int) -> None:
+        """Mark cells already empty at the chunk's first step.
+
+        The reference loop stamps ``battery_depletion_s`` at the first step
+        that *observes* a cell empty; a cell emptied on the last scalar
+        step before a chunk is observed at the chunk's first step.
+        """
+        t_first = float(self.times[pos])
+        for i, cell in enumerate(self.em.controller.cells):
+            if cell.is_empty and result.battery_depletion_s[i] is None:
+                result.battery_depletion_s[i] = t_first + self.dt
+
+    def _accrue_downtime(self, result, k: int) -> None:
+        """Accrue ``k`` steps of downtime for unavailable batteries."""
+        em = self.em
+        monitor = em.runtime.health
+        for i in range(self.n):
+            if not em.controller.connected[i] or (monitor is not None and i in monitor.quarantined):
+                result.downtime_s[i] += self.dt * k

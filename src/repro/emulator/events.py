@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class PlugWindow:
@@ -51,6 +53,19 @@ class PlugSchedule:
             if window.contains(t):
                 return window.power_w
         return 0.0
+
+    def powers_at(self, times) -> np.ndarray:
+        """Vectorized :meth:`power_at`: supply power at each time in ``times``.
+
+        Window membership matches the scalar method exactly
+        (``start_s <= t < end_s``); used by the vectorized emulation engine
+        to find the plugged-in steps that must run on the scalar path.
+        """
+        t = np.asarray(times, dtype=float)
+        powers = np.zeros_like(t)
+        for window in self.windows:
+            powers[(t >= window.start_s) & (t < window.end_s)] = window.power_w
+        return powers
 
     def is_plugged(self, t: float) -> bool:
         """True when external power is available at ``t``."""

@@ -120,7 +120,9 @@ def chaos_schedule(seed: int = 7) -> FaultSchedule:
     )
 
 
-def run_config(resilient: bool, seed: int, with_faults: bool = True, dt_s: float = 15.0) -> EmulationResult:
+def run_config(
+    resilient: bool, seed: int, with_faults: bool = True, dt_s: float = 15.0, engine: str = "reference"
+) -> EmulationResult:
     """One emulation run of the chaos day.
 
     Args:
@@ -140,6 +142,7 @@ def run_config(resilient: bool, seed: int, with_faults: bool = True, dt_s: float
         plug=chaos_plug(),
         dt_s=dt_s,
         faults=faults,
+        engine=engine,
     )
     return emulator.run()
 
@@ -158,12 +161,12 @@ class ChaosResult:
         return [self.comparison, self.timeline]
 
 
-def run_chaos(seed: int = 7, dt_s: float = 15.0) -> ChaosResult:
+def run_chaos(seed: int = 7, dt_s: float = 15.0, engine: str = "reference") -> ChaosResult:
     """Run the fault-free / naive / resilient comparison."""
     results = {
-        "fault-free": run_config(resilient=False, seed=seed, with_faults=False, dt_s=dt_s),
-        "naive": run_config(resilient=False, seed=seed, dt_s=dt_s),
-        "resilient": run_config(resilient=True, seed=seed, dt_s=dt_s),
+        "fault-free": run_config(resilient=False, seed=seed, with_faults=False, dt_s=dt_s, engine=engine),
+        "naive": run_config(resilient=False, seed=seed, dt_s=dt_s, engine=engine),
+        "resilient": run_config(resilient=True, seed=seed, dt_s=dt_s, engine=engine),
     }
 
     comparison = Table(

@@ -73,10 +73,10 @@ class Fig13Result:
         return [self.hourly, self.summary]
 
 
-def _run_policy(name: str, policy, day: WearableDay, dt_s: float) -> PolicyOutcome:
+def _run_policy(name: str, policy, day: WearableDay, dt_s: float, engine: str = "reference") -> PolicyOutcome:
     controller = build_controller("watch")
     runtime = SDBRuntime(controller, discharge_policy=policy, update_interval_s=60.0)
-    emulator = SDBEmulator(controller, runtime, day.trace, dt_s=dt_s)
+    emulator = SDBEmulator(controller, runtime, day.trace, dt_s=dt_s, engine=engine)
     return PolicyOutcome(name=name, result=emulator.run())
 
 
@@ -90,14 +90,15 @@ def make_policies(day: WearableDay) -> Dict[str, object]:
     }
 
 
-def run_figure13(dt_s: float = 10.0) -> Fig13Result:
+def run_figure13(dt_s: float = 10.0, engine: str = "reference") -> Fig13Result:
     """Regenerate Figure 13 (and its no-run counterfactual)."""
     day = wearable_day()
     no_run_day = wearable_day(include_run=False)
 
-    with_run = {name: _run_policy(name, policy, day, dt_s) for name, policy in make_policies(day).items()}
+    with_run = {name: _run_policy(name, policy, day, dt_s, engine) for name, policy in make_policies(day).items()}
     without_run = {
-        name: _run_policy(name, policy, no_run_day, dt_s) for name, policy in make_policies(no_run_day).items()
+        name: _run_policy(name, policy, no_run_day, dt_s, engine)
+        for name, policy in make_policies(no_run_day).items()
     }
 
     hourly = Table(

@@ -88,7 +88,9 @@ class LongevityResult:
         return [self.summary]
 
 
-def simulate_year(directive: float, days: int = 365, dt_s: float = 120.0, name: str = "") -> YearOutcome:
+def simulate_year(
+    directive: float, days: int = 365, dt_s: float = 120.0, name: str = "", engine: str = "reference"
+) -> YearOutcome:
     """Run ``days`` of daily cycling under one directive setting."""
     controller = build_controller("watch")
     runtime = SDBRuntime(
@@ -102,7 +104,7 @@ def simulate_year(directive: float, days: int = 365, dt_s: float = 120.0, name: 
     breach_day: Optional[int] = None
     for day in range(days):
         runtime.force_update()
-        emulator = SDBEmulator(controller, runtime, trace, dt_s=dt_s)
+        emulator = SDBEmulator(controller, runtime, trace, dt_s=dt_s, engine=engine)
         emulator.run()
         # Overnight charge back to (near) full.
         t = 0.0
@@ -125,7 +127,7 @@ def simulate_year(directive: float, days: int = 365, dt_s: float = 120.0, name: 
     )
 
 
-def run_longevity_year(days: int = 365, dt_s: float = 120.0) -> LongevityResult:
+def run_longevity_year(days: int = 365, dt_s: float = 120.0, engine: str = "reference") -> LongevityResult:
     """Run the three directive settings over a simulated year."""
     summary = Table(
         title=f"A {days}-day ownership simulation on the watch pairing",
@@ -140,7 +142,7 @@ def run_longevity_year(days: int = 365, dt_s: float = 120.0) -> LongevityResult:
     )
     outcomes: Dict[str, YearOutcome] = {}
     for name, directive in DIRECTIVES.items():
-        outcome = simulate_year(directive, days=days, dt_s=dt_s, name=name)
+        outcome = simulate_year(directive, days=days, dt_s=dt_s, name=name, engine=engine)
         outcomes[name] = outcome
         summary.add_row(
             name,

@@ -22,7 +22,7 @@ schedules from a seed.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.faults.events import CLEAR, INJECT, FaultEvent
 from repro.hardware.microcontroller import SDBMicrocontroller
@@ -77,6 +77,20 @@ class FaultModel(abc.ABC):
     def perturb_load(self, t: float, load_w: float) -> float:
         """Hook for load-side faults; identity for everything else."""
         return load_w
+
+    def scalar_spans(self, dt: float) -> List[Tuple[float, float]]:
+        """Time spans the vectorized engine must step on the scalar path.
+
+        While a fault is (or may be) actively perturbing the system, the
+        fast path cannot batch steps — its chunk kernel assumes the
+        hardware objects only change at chunk boundaries. The conservative
+        default is the whole activation window plus one step of margin on
+        each side, so both the inject and clear transitions land on scalar
+        steps. One-shot faults whose effect is a single state mutation
+        override this with just the injection instant.
+        """
+        end = self.end_s if self.end_s is not None else float("inf")
+        return [(self.start_s, end + dt)]
 
     @abc.abstractmethod
     def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
@@ -169,6 +183,10 @@ class GaugeOffsetFault(FaultModel):
         controller.gauges[self.battery_index].inject_offset(self.offset)
         return f"estimate stepped by {self.offset:+.0%}"
 
+    def scalar_spans(self, dt: float) -> List[Tuple[float, float]]:
+        """Only the injection instant: the register bump is a one-shot."""
+        return [(self.start_s, self.start_s + dt)]
+
 
 class GaugeDriftFault(FaultModel):
     """Amplified sense-amplifier offset: the estimate drifts continuously."""
@@ -253,6 +271,10 @@ class CommandLossFault(FaultModel):
     def _inject(self, controller: SDBMicrocontroller, t: float) -> str:
         controller.command_dropout += self.n_commands
         return f"next {self.n_commands} ratio command(s) will be dropped"
+
+    def scalar_spans(self, dt: float) -> List[Tuple[float, float]]:
+        """Only the arming instant: drops are consumed at (scalar) ticks."""
+        return [(self.start_s, self.start_s + dt)]
 
 
 class LoadSpikeFault(FaultModel):

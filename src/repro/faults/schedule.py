@@ -18,7 +18,7 @@ instants.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.faults.events import FaultEvent
 from repro.faults.models import (
@@ -75,6 +75,18 @@ class FaultSchedule:
         for model in self.models:
             load_w = model.perturb_load(t, load_w)
         return load_w
+
+    def scalar_spans(self, dt: float) -> List[Tuple[float, float]]:
+        """Union of every model's scalar-stepping spans (unmerged).
+
+        The vectorized emulation engine steps scalar inside these spans so
+        fault injection, clearing, and load perturbation behave exactly as
+        on the reference path.
+        """
+        spans: List[Tuple[float, float]] = []
+        for model in self.models:
+            spans.extend(model.scalar_spans(dt))
+        return spans
 
     def hook(self, record: Optional[Recorder] = None) -> Callable[[SDBMicrocontroller, float, float], None]:
         """An emulator hook driving this schedule (``hooks=[...]`` style).

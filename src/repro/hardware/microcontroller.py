@@ -37,6 +37,36 @@ from repro.hardware.discharge import DischargeCircuitSpec, SDBDischargeCircuit, 
 POWER_SAFETY_MARGIN = 0.90
 
 
+def redistribute_over_caps(powers: List[float], caps: Sequence[float], load_w: float) -> List[float]:
+    """Shed power above each cap onto the channels with headroom, in place.
+
+    Batteries at their power limit shed the excess proportionally to the
+    remaining headroom of the others — the controller's safety behaviour
+    during :meth:`SDBMicrocontroller.step_discharge`, factored out so the
+    vectorized emulation engine and tests can exercise it directly. Raises
+    :class:`~repro.errors.PowerLimitError` when the caps cannot absorb the
+    total demand.
+    """
+    n = len(powers)
+    for _ in range(n):
+        excess = 0.0
+        for i in range(n):
+            if powers[i] > caps[i]:
+                excess += powers[i] - caps[i]
+                powers[i] = caps[i]
+        if excess <= 1e-12:
+            break
+        headrooms = [max(0.0, caps[i] - powers[i]) for i in range(n)]
+        headroom_total = sum(headrooms)
+        if headroom_total <= 1e-12:
+            raise PowerLimitError(
+                f"batteries cannot sustain {load_w:.2f} W load " f"(capability {sum(caps):.2f} W)"
+            )
+        for i in range(n):
+            powers[i] += excess * headrooms[i] / headroom_total
+    return powers
+
+
 @dataclass(frozen=True)
 class DischargeReport:
     """Energy bookkeeping for one discharge step."""
@@ -201,6 +231,18 @@ class SDBMicrocontroller:
             if self._usable_for_discharge(i)
         )
 
+    def discharge_caps(self) -> List[float]:
+        """Per-battery safe discharge power caps, watts.
+
+        The safety margin keeps the operating point away from the unstable
+        maximum-power peak; unusable (empty or disconnected) batteries cap
+        at zero.
+        """
+        return [
+            cell.max_discharge_power() * POWER_SAFETY_MARGIN if self._usable_for_discharge(i) else 0.0
+            for i, cell in enumerate(self.cells)
+        ]
+
     def _effective_discharge_ratios(self) -> List[float]:
         """Commanded ratios with empty/absent cells zeroed, renormalized."""
         ratios = [
@@ -238,27 +280,7 @@ class SDBMicrocontroller:
 
         # Cap-and-redistribute: batteries at their power limit shed the
         # excess onto the others, proportionally to remaining headroom.
-        caps = [
-            cell.max_discharge_power() * POWER_SAFETY_MARGIN if self._usable_for_discharge(i) else 0.0
-            for i, cell in enumerate(self.cells)
-        ]
-        for _ in range(self.n):
-            excess = 0.0
-            headroom_total = 0.0
-            for i in range(self.n):
-                if powers[i] > caps[i]:
-                    excess += powers[i] - caps[i]
-                    powers[i] = caps[i]
-            if excess <= 1e-12:
-                break
-            headrooms = [max(0.0, caps[i] - powers[i]) for i in range(self.n)]
-            headroom_total = sum(headrooms)
-            if headroom_total <= 1e-12:
-                raise PowerLimitError(
-                    f"batteries cannot sustain {load_w:.2f} W load " f"(capability {sum(caps):.2f} W)"
-                )
-            for i in range(self.n):
-                powers[i] += excess * headrooms[i] / headroom_total
+        powers = redistribute_over_caps(powers, self.discharge_caps(), load_w)
 
         steps = []
         for cell, power in zip(self.cells, powers):

@@ -13,6 +13,8 @@ import bisect
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from repro import units
 
 
@@ -95,6 +97,21 @@ class PowerTrace:
             return 0.0
         idx = bisect.bisect_right(self._starts, t) - 1
         return self.segments[idx].power_w
+
+    def powers_at(self, times) -> np.ndarray:
+        """Vectorized :meth:`power_at`: power draw at each time in ``times``.
+
+        Semantically identical to mapping :meth:`power_at` over the array
+        (same ``bisect_right`` segment selection, 0 outside the trace); the
+        vectorized emulation engine uses it to materialize a whole run's
+        load profile in one call.
+        """
+        t = np.asarray(times, dtype=float)
+        idx = np.searchsorted(self._starts, t, side="right") - 1
+        idx = np.clip(idx, 0, len(self.segments) - 1)
+        powers = np.array([seg.power_w for seg in self.segments])[idx]
+        powers[(t < self.start_s) | (t >= self.end_s)] = 0.0
+        return powers
 
     def total_energy_j(self) -> float:
         """Energy under the whole trace, joules."""

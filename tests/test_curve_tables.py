@@ -1,0 +1,106 @@
+"""Tests for repro.chemistry.tables (uniform-grid curve lookup tables)."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.curves import SocCurve, make_dcir_curve, make_ocp_curve
+from repro.chemistry.tables import (
+    DEFAULT_RESOLUTION,
+    CurveTable,
+    PackCurveTable,
+    table_for,
+)
+
+
+@pytest.fixture()
+def ocp_curve():
+    return make_ocp_curve(3.0, 3.7, 4.2)
+
+
+@pytest.fixture()
+def dcir_curve():
+    return make_dcir_curve(0.08, 0.30)
+
+
+class TestCurveTable:
+    def test_exact_on_grid_aligned_curve(self):
+        # Breakpoints landing exactly on grid points resample losslessly.
+        curve = SocCurve([0.0, 0.25, 0.5, 1.0], [3.0, 3.5, 3.7, 4.2])
+        table = CurveTable(curve, resolution=8)
+        assert table.max_resample_error == 0.0
+        for soc in np.linspace(0.0, 1.0, 33):
+            assert table.lookup(float(soc)) == pytest.approx(curve(float(soc)), abs=1e-12)
+
+    def test_default_resolution_error_budget(self, ocp_curve):
+        table = CurveTable(ocp_curve)
+        assert table.resolution == DEFAULT_RESOLUTION
+        # docs/performance.md promises ~1e-4 worst case on library-shaped
+        # 21-breakpoint curves at the default resolution.
+        assert table.max_resample_error < 1e-3
+        socs = np.linspace(0.0, 1.0, 1000)
+        exact = np.array([ocp_curve(float(s)) for s in socs])
+        assert np.max(np.abs(table.lookup(socs) - exact)) <= table.max_resample_error + 1e-12
+
+    def test_clamps_out_of_range(self, ocp_curve):
+        table = CurveTable(ocp_curve)
+        assert table.lookup(-0.5) == pytest.approx(ocp_curve(0.0))
+        assert table.lookup(1.5) == pytest.approx(ocp_curve(1.0))
+
+    def test_scalar_and_array_agree(self, dcir_curve):
+        table = CurveTable(dcir_curve)
+        socs = np.array([0.0, 0.123, 0.5, 0.999, 1.0])
+        arr = table.lookup(socs)
+        assert isinstance(table.lookup(0.5), float)
+        for s, v in zip(socs, arr):
+            assert table.lookup(float(s)) == pytest.approx(v)
+
+    def test_rejects_tiny_resolution(self, ocp_curve):
+        with pytest.raises(ValueError):
+            CurveTable(ocp_curve, resolution=1)
+
+
+class TestPackCurveTable:
+    def test_rows_match_individual_tables(self):
+        curves = [
+            make_dcir_curve(0.08, 0.30),
+            make_dcir_curve(0.15, 0.45),
+            make_dcir_curve(0.25, 0.60, decay=3.0),
+        ]
+        pack = PackCurveTable.for_curves(curves)
+        socs = np.linspace(0.0, 1.0, 7)
+        out = pack.lookup(np.tile(socs, (3, 1)))
+        for i, curve in enumerate(curves):
+            assert np.allclose(out[i], table_for(curve).lookup(socs))
+
+    def test_one_dim_lookup(self):
+        curves = [make_ocp_curve(3.0, 3.7, 4.2), make_ocp_curve(2.8, 3.2, 3.6)]
+        pack = PackCurveTable.for_curves(curves)
+        out = pack.lookup(np.array([0.3, 0.7]))
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(table_for(curves[0]).lookup(0.3))
+        assert out[1] == pytest.approx(table_for(curves[1]).lookup(0.7))
+
+    def test_leading_axis_validated(self, ocp_curve):
+        pack = PackCurveTable.for_curves([ocp_curve, ocp_curve])
+        with pytest.raises(ValueError):
+            pack.lookup(np.zeros((3, 4)))
+
+    def test_empty_pack_rejected(self):
+        with pytest.raises(ValueError):
+            PackCurveTable([])
+
+    def test_mixed_resolution_rejected(self, ocp_curve):
+        with pytest.raises(ValueError):
+            PackCurveTable([CurveTable(ocp_curve, 64), CurveTable(ocp_curve, 128)])
+
+
+class TestCacheLayer:
+    def test_same_curve_returns_same_table(self, ocp_curve):
+        assert table_for(ocp_curve) is table_for(ocp_curve)
+
+    def test_distinct_resolutions_distinct_tables(self, ocp_curve):
+        assert table_for(ocp_curve, 64) is not table_for(ocp_curve, 128)
+
+    def test_pack_builder_goes_through_cache(self, ocp_curve):
+        pack = PackCurveTable.for_curves([ocp_curve])
+        assert np.allclose(pack.values[0], table_for(ocp_curve).values)

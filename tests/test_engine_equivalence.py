@@ -1,0 +1,193 @@
+"""Reference vs vectorized engine equivalence, plus the engine API surface.
+
+The vectorized engine promises the same physics as the reference loop:
+delivered energy within 0.1 %, SoC trajectories within 1e-3, depletion
+times within one timestep, identical step counts. These tests pin that
+contract across the bundled scenarios (steady drain, depletion, plug
+windows, fault injection, continue-past-depletion) and over
+hypothesis-generated random workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import RBLDischargePolicy, SingleBatteryDischargePolicy
+from repro.core.runtime import SDBRuntime
+from repro.emulator import ENGINES, Emulator, PlugSchedule, PlugWindow, SDBEmulator, build_controller
+from repro.emulator.emulator import EmulationResult, cascade_transfer_hook
+from repro.faults import FaultSchedule
+from repro.workloads import PowerTrace, constant_trace
+from repro.workloads.generators import two_in_one_workload_trace
+
+
+def run_pair(device, trace, dt_s, socs=None, policy=None, plug=None,
+             faults=None, stop_on_depletion=True, hooks=()):
+    """Run the same scenario on both engines with fresh state each time."""
+    results = {}
+    for engine in ENGINES:
+        mc = build_controller(device, socs=socs)
+        rt = SDBRuntime(mc, discharge_policy=policy() if policy else None)
+        schedule = faults() if faults else None
+        results[engine] = SDBEmulator(
+            mc, rt, trace, plug=plug, dt_s=dt_s, hooks=hooks,
+            stop_on_depletion=stop_on_depletion, faults=schedule, engine=engine,
+        ).run()
+    return results["reference"], results["vectorized"]
+
+
+def assert_equivalent(ref, vec, dt_s):
+    """The engine contract: energies, trajectories, and timing agree."""
+    assert vec.completed == ref.completed
+    assert len(vec.times_s) == len(ref.times_s)
+    assert vec.times_s[-1] == pytest.approx(ref.times_s[-1]) if ref.times_s else True
+    assert vec.elapsed_s == pytest.approx(ref.elapsed_s)
+    assert vec.delivered_j == pytest.approx(ref.delivered_j, rel=1e-3, abs=1e-6)
+    assert vec.total_loss_j == pytest.approx(ref.total_loss_j, rel=1e-2, abs=1e-3)
+    a, b = np.asarray(ref.soc_history), np.asarray(vec.soc_history)
+    assert a.shape == b.shape
+    if a.size:
+        assert float(np.max(np.abs(a - b))) < 1e-3
+    if ref.depletion_s is None:
+        assert vec.depletion_s is None
+    else:
+        assert vec.depletion_s == pytest.approx(ref.depletion_s, abs=dt_s)
+    for r_death, v_death in zip(ref.battery_depletion_s, vec.battery_depletion_s):
+        if r_death is None:
+            assert v_death is None
+        else:
+            assert v_death == pytest.approx(r_death, abs=dt_s)
+
+
+class TestScenarioEquivalence:
+    def test_tablet_chunked_drain(self):
+        # Fine dt under the 60 s tick interval: the chunk kernel carries
+        # almost every step.
+        trace = two_in_one_workload_trace(mean_power_w=9.0, duration_s=2 * 3600.0, segment_s=300.0)
+        ref, vec = run_pair("tablet", trace, dt_s=1.0)
+        assert_equivalent(ref, vec, 1.0)
+
+    def test_watch_policy_driven_day(self):
+        trace = two_in_one_workload_trace(mean_power_w=0.35, duration_s=6 * 3600.0, segment_s=600.0, seed=11)
+        ref, vec = run_pair("watch", trace, dt_s=2.0, policy=RBLDischargePolicy)
+        assert_equivalent(ref, vec, 2.0)
+
+    def test_phone_depletion_times_match(self):
+        trace = constant_trace(4.0, 6 * 3600.0)
+        ref, vec = run_pair("phone", trace, dt_s=1.0, socs=[0.25])
+        assert not ref.completed
+        assert_equivalent(ref, vec, 1.0)
+
+    def test_single_battery_policy_depletes_one_cell(self):
+        trace = constant_trace(0.5, 4 * 3600.0)
+        ref, vec = run_pair("watch", trace, dt_s=1.0, socs=[0.15, 0.9],
+                            policy=lambda: SingleBatteryDischargePolicy(0))
+        assert ref.battery_depletion_s[0] is not None
+        assert_equivalent(ref, vec, 1.0)
+
+    def test_plug_windows_fall_back_scalar(self):
+        trace = constant_trace(2.0, 2 * 3600.0)
+        plug = PlugSchedule([PlugWindow(1800.0, 3600.0, 7.5)])
+        ref, vec = run_pair("phone", trace, dt_s=1.0, socs=[0.5], plug=plug)
+        assert ref.charge_input_j > 0
+        assert_equivalent(ref, vec, 1.0)
+
+    def test_chaos_faults_fall_back_scalar(self):
+        trace = two_in_one_workload_trace(mean_power_w=9.0, duration_s=3 * 3600.0, segment_s=300.0)
+        make = lambda: FaultSchedule.chaos(seed=7, duration_s=3 * 3600.0, n_batteries=2)  # noqa: E731
+        ref, vec = run_pair("tablet", trace, dt_s=1.0, faults=make)
+        assert ref.fault_events
+        assert [(e.t, e.fault, e.action) for e in vec.fault_events] == [
+            (e.t, e.fault, e.action) for e in ref.fault_events
+        ]
+        assert_equivalent(ref, vec, 1.0)
+
+    def test_stop_on_depletion_false_keeps_stepping(self):
+        trace = constant_trace(0.6, 3 * 3600.0)
+        ref, vec = run_pair("watch", trace, dt_s=1.0, socs=[0.08, 0.08],
+                            stop_on_depletion=False)
+        assert not ref.completed
+        assert len(ref.times_s) == int(3 * 3600)
+        assert_equivalent(ref, vec, 1.0)
+
+    def test_final_cell_state_synchronized(self):
+        # The chunk kernel must leave the cells/gauges themselves (not just
+        # the result rows) in the reference state at the end of the run.
+        trace = two_in_one_workload_trace(mean_power_w=9.0, duration_s=3600.0, segment_s=300.0)
+        mcs = {}
+        for engine in ENGINES:
+            mc = build_controller("tablet")
+            SDBEmulator(mc, SDBRuntime(mc), trace, dt_s=1.0, engine=engine).run()
+            mcs[engine] = mc
+        for ref_cell, vec_cell in zip(mcs["reference"].cells, mcs["vectorized"].cells):
+            assert vec_cell.soc == pytest.approx(ref_cell.soc, abs=1e-6)
+            assert vec_cell.aging.capacity_factor == pytest.approx(ref_cell.aging.capacity_factor, rel=1e-6)
+
+
+@given(
+    powers=st.lists(st.floats(min_value=0.0, max_value=6.0), min_size=2, max_size=8),
+    segment_s=st.sampled_from([120.0, 300.0]),
+    dt_s=st.sampled_from([1.0, 2.0]),
+    device=st.sampled_from(["phone", "tablet", "watch"]),
+    soc0=st.floats(min_value=0.05, max_value=1.0),
+    plug_w=st.sampled_from([0.0, 5.0]),
+)
+@settings(max_examples=20, deadline=None)
+def test_engines_match_on_random_scenarios(powers, segment_s, dt_s, device, soc0, plug_w):
+    """Property: both engines agree on arbitrary traces, packs and plugs."""
+    trace = PowerTrace.from_powers(powers, segment_s)
+    n = len(build_controller(device).cells)
+    plug = PlugSchedule([PlugWindow(segment_s, 2 * segment_s, plug_w)]) if plug_w else None
+    ref, vec = run_pair(device, trace, dt_s=dt_s, socs=[soc0] * n, plug=plug)
+    assert_equivalent(ref, vec, dt_s)
+
+
+class TestEngineApi:
+    def test_engines_tuple(self):
+        assert ENGINES == ("reference", "vectorized")
+        assert Emulator is SDBEmulator
+
+    def test_invalid_engine_rejected(self):
+        mc = build_controller("phone")
+        with pytest.raises(ValueError):
+            SDBEmulator(mc, SDBRuntime(mc), constant_trace(1.0, 10.0), engine="warp")
+
+    def test_hooks_force_reference_fallback(self):
+        # Hooks may mutate arbitrary state, so the vectorized engine must
+        # run the whole trace through the reference loop — bit-exact.
+        trace = constant_trace(5.0, 1800.0)
+        hook = cascade_transfer_hook(1, 0, power_w=10.0)
+        ref, vec = run_pair("tablet", trace, dt_s=10.0, socs=[0.5, 1.0],
+                            policy=lambda: SingleBatteryDischargePolicy(0), hooks=[hook])
+        assert vec.delivered_j == ref.delivered_j
+        assert vec.soc_history == ref.soc_history
+
+
+class TestBatteryLife:
+    def test_survived_life_is_true_trace_duration(self):
+        # 3605 s is not a multiple of dt=10; the old code reported the
+        # step grid's end (3610 s) instead of the trace's 3605 s.
+        mc = build_controller("phone")
+        result = SDBEmulator(mc, SDBRuntime(mc), constant_trace(1.0, 3605.0), dt_s=10.0).run()
+        assert result.completed
+        assert result.elapsed_s == pytest.approx(3605.0)
+        assert result.battery_life_h == pytest.approx(3605.0 / 3600.0)
+
+    def test_depleted_life_uses_depletion_time(self):
+        mc = build_controller("watch", socs=[0.05, 0.05])
+        result = SDBEmulator(mc, SDBRuntime(mc), constant_trace(0.5, 10 * 3600.0), dt_s=10.0).run()
+        assert not result.completed
+        assert result.battery_life_h == pytest.approx(result.depletion_s / 3600.0)
+        assert result.depletion_s < result.elapsed_s + 1e-9
+
+    def test_legacy_result_without_end_falls_back(self):
+        result = EmulationResult(dt_s=10.0, times_s=[0.0, 10.0, 20.0])
+        assert result.end_s is None
+        assert result.elapsed_s == pytest.approx(30.0)
+
+    def test_engines_agree_on_life(self):
+        trace = constant_trace(1.0, 3605.0)
+        ref, vec = run_pair("phone", trace, dt_s=10.0)
+        assert vec.battery_life_h == pytest.approx(ref.battery_life_h)
+        assert ref.battery_life_h == pytest.approx(3605.0 / 3600.0)
