@@ -8,6 +8,13 @@ within one timestep), and writes the measurement to
 ``benchmarks/results/BENCH_emulator.json`` in the format documented in
 ``docs/performance.md``.
 
+The timed repeats run with tracing disabled (the numbers the regression
+gate compares). One extra *traced* run per engine then collects the
+per-phase wall-clock breakdown via :mod:`repro.obs` — policy-tick time
+vs. step-kernel time vs. bookkeeping — recorded under each engine's
+``"phases"`` key (plus ``traced_wall_s`` for the instrumented run
+itself, which is slower than the gated numbers by the tracing overhead).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--repeats N] [--out PATH]
@@ -29,6 +36,7 @@ from typing import Tuple
 from repro.core.runtime import SDBRuntime
 from repro.emulator.devices import build_controller
 from repro.emulator.emulator import EmulationResult, SDBEmulator
+from repro.obs import Tracer
 from repro.workloads.generators import two_in_one_workload_trace
 
 #: Benchmark scenario: the Figure 14 style tablet day at fine resolution.
@@ -45,18 +53,56 @@ DEPLETION_TOL_S = DT_S
 DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_emulator.json"
 
 
-def run_once(engine: str) -> Tuple[EmulationResult, float, int]:
+def run_once(engine: str, tracer: Tracer = None) -> Tuple[EmulationResult, float, int]:
     """One full emulation run; returns (result, wall seconds, steps)."""
     controller = build_controller(DEVICE)
     runtime = SDBRuntime(controller)
     trace = two_in_one_workload_trace(
         mean_power_w=MEAN_POWER_W, duration_s=DURATION_S, segment_s=SEGMENT_S
     )
-    emulator = SDBEmulator(controller, runtime, trace, dt_s=DT_S, engine=engine)
+    emulator = SDBEmulator(controller, runtime, trace, dt_s=DT_S, engine=engine,
+                           tracer=tracer)
     t0 = time.perf_counter()
     result = emulator.run()
     wall_s = time.perf_counter() - t0
     return result, wall_s, len(result.times_s)
+
+
+def run_phases(engine: str) -> dict:
+    """One traced run; returns the per-phase wall-clock breakdown.
+
+    Phase accounting (all values are wall-clock seconds summed over the
+    run, disjoint by construction):
+
+    * ``policy_tick_s`` — time inside ``SDBRuntime.tick`` (policy
+      evaluation plus ratio application), from ``emulator.policy_tick``.
+    * ``step_kernel_s`` — physics advance: the scalar per-step kernel
+      (``emulator.step_kernel``) plus the vectorized chunk kernel
+      (``engine.step_kernel``), with the bookkeeping nested inside the
+      chunk kernel (``engine.bookkeeping``) subtracted back out.
+    * ``bookkeeping_s`` — result-series appends and chunk commits:
+      ``emulator.bookkeeping`` plus ``engine.bookkeeping``.
+    * ``other_s`` — the remainder of ``emulator.run`` (trace lookups,
+      plug/fault window checks, loop overhead, tracing overhead).
+    """
+    tracer = Tracer()
+    run_phases_result = run_once(engine, tracer=tracer)
+    del run_phases_result  # equivalence is checked on the untraced runs
+    total = tracer.timer_total_s
+    engine_bookkeeping = total("engine.bookkeeping")
+    policy_tick_s = total("emulator.policy_tick")
+    step_kernel_s = (total("emulator.step_kernel")
+                     + total("engine.step_kernel") - engine_bookkeeping)
+    bookkeeping_s = total("emulator.bookkeeping") + engine_bookkeeping
+    traced_wall_s = total("emulator.run")
+    return {
+        "policy_tick_s": policy_tick_s,
+        "step_kernel_s": step_kernel_s,
+        "bookkeeping_s": bookkeeping_s,
+        "other_s": max(0.0, traced_wall_s - policy_tick_s - step_kernel_s
+                       - bookkeeping_s),
+        "traced_wall_s": traced_wall_s,
+    }
 
 
 def measure(repeats: int) -> dict:
@@ -69,7 +115,8 @@ def measure(repeats: int) -> dict:
             result, wall_s, steps = run_once(engine)
             walls.append(wall_s)
         best[engine] = {"wall_s": min(walls), "steps": steps,
-                        "steps_per_s": steps / min(walls)}
+                        "steps_per_s": steps / min(walls),
+                        "phases": run_phases(engine)}
         results[engine] = result
 
     ref, vec = results["reference"], results["vectorized"]
@@ -113,6 +160,13 @@ def main(argv=None) -> int:
     print(f"reference:  {ref['wall_s'] * 1000:7.1f} ms  ({ref['steps_per_s']:>9.0f} steps/s)")
     print(f"vectorized: {vec['wall_s'] * 1000:7.1f} ms  ({vec['steps_per_s']:>9.0f} steps/s)")
     print(f"speedup:    {record['speedup']:.2f}x")
+    for engine in ("reference", "vectorized"):
+        phases = record[engine]["phases"]
+        print(f"{engine} phases: "
+              f"policy_tick={phases['policy_tick_s'] * 1000:.1f}ms "
+              f"step_kernel={phases['step_kernel_s'] * 1000:.1f}ms "
+              f"bookkeeping={phases['bookkeeping_s'] * 1000:.1f}ms "
+              f"other={phases['other_s'] * 1000:.1f}ms")
     print(f"equivalence: delivered_rel_err={eq['delivered_rel_err']:.2e} "
           f"depletion_diff_s={eq['depletion_diff_s']}")
 

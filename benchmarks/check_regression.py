@@ -16,6 +16,12 @@ Two thresholds, both must hold:
 * measured speedup >= the 5x absolute floor the engine promises on this
   scenario (``docs/performance.md``).
 
+The measured record must also carry the per-phase timing breakdown
+(``phases`` with ``policy_tick_s`` / ``step_kernel_s`` /
+``bookkeeping_s`` for both engines, see ``docs/observability.md``) so
+the benchmark artifact always explains *where* the time went, not just
+how much there was.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
@@ -39,11 +45,27 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_emulator.json"
 RETAIN_FRACTION = 0.75
 #: Absolute speedup floor, independent of the baseline.
 SPEEDUP_FLOOR = 5.0
+#: Per-phase timing keys every measured engine record must report.
+PHASE_KEYS = ("policy_tick_s", "step_kernel_s", "bookkeeping_s")
 
 
 def check(measured: dict, baseline: dict) -> list:
     """Return a list of failure messages (empty when the gate passes)."""
     failures = []
+    for engine in ("reference", "vectorized"):
+        phases = measured.get(engine, {}).get("phases")
+        if not isinstance(phases, dict):
+            failures.append(
+                f"measured record has no per-phase timing breakdown for "
+                f"{engine}: rerun benchmarks/bench_engine.py"
+            )
+            continue
+        missing = [key for key in PHASE_KEYS if key not in phases]
+        if missing:
+            failures.append(
+                f"measured {engine} phases breakdown is missing "
+                f"{', '.join(missing)}"
+            )
     speedup = float(measured["speedup"])
     base_speedup = float(baseline["speedup"])
     threshold = RETAIN_FRACTION * base_speedup
@@ -77,6 +99,11 @@ def main(argv=None) -> int:
     print(f"measured speedup: {measured['speedup']:.2f}x "
           f"(ref {measured['reference']['steps_per_s']:.0f} steps/s, "
           f"vec {measured['vectorized']['steps_per_s']:.0f} steps/s)")
+    for engine in ("reference", "vectorized"):
+        phases = measured.get(engine, {}).get("phases")
+        if isinstance(phases, dict) and all(k in phases for k in PHASE_KEYS):
+            print(f"measured {engine} phases: " + " ".join(
+                f"{key[:-2]}={phases[key] * 1000:.1f}ms" for key in PHASE_KEYS))
 
     failures = check(measured, baseline)
     for failure in failures:

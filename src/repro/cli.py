@@ -5,13 +5,19 @@ Usage::
     python -m repro list
     python -m repro run fig11
     python -m repro run all --out results/
+    python -m repro run fig14 --trace fig14.trace.jsonl
     python -m repro library
     python -m repro chaos --seed 7
+    python -m repro trace tablet-day --out run.trace.jsonl
+    python -m repro trace run.trace.jsonl --trace-format chrome --out run.json
 
 ``run`` prints each experiment's tables and optionally writes them to a
 directory (one text file per experiment). ``chaos`` replays the tablet
 day under a seeded fault schedule and compares the naive stack against
-the self-healing runtime (see ``docs/resilience.md``).
+the self-healing runtime (see ``docs/resilience.md``). ``trace`` runs a
+bundled scenario (or a workload CSV) with structured tracing enabled and
+writes the event log — or converts a saved ``.trace.jsonl`` to the
+Chrome ``trace_event`` format (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -28,6 +34,32 @@ from repro.emulator.emulator import ENGINES
 
 
 from repro.experiments import EXPERIMENT_DESCRIPTIONS, experiment_registry as _experiment_registry
+
+#: Formats the tracing flags accept: the JSONL event log, the Chrome
+#: ``trace_event`` JSON document, or a terminal summary table.
+TRACE_FORMATS = ("jsonl", "chrome", "summary")
+
+
+def _export_trace(tracer, fmt: str, out: Optional[pathlib.Path]) -> int:
+    """Write (or print) one collected trace in the requested format."""
+    from repro.obs import export
+
+    if fmt == "summary":
+        print()
+        print(export.summary_table(tracer))
+        if out is not None:
+            out.write_text(export.summary_table(tracer) + "\n")
+            print(f"\nwrote trace summary to {out}")
+        return 0
+    if out is None:
+        print("--trace-format requires an output path here", file=sys.stderr)
+        return 2
+    if fmt == "chrome":
+        export.write_chrome_trace(tracer, out)
+    else:
+        export.write_jsonl(tracer, out)
+    print(f"wrote {fmt} trace to {out}")
+    return 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -69,29 +101,48 @@ def cmd_run(args: argparse.Namespace) -> int:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
 
-    for name in names:
-        driver = registry[name]
-        kwargs = {}
-        engine = getattr(args, "engine", None)
-        if engine and "engine" in inspect.signature(driver).parameters:
-            kwargs["engine"] = engine
-        result = driver(**kwargs)
-        parts = [table.format() for table in result.tables()]
-        if args.plot:
-            from repro.experiments.ascii_plot import plot_table
+    tracer = None
+    trace_out: Optional[pathlib.Path] = None
+    if getattr(args, "trace", None) is not None:
+        from repro.obs import Tracer, set_default_tracer
 
-            for table in result.tables():
-                try:
-                    parts.append(plot_table(table))
-                except ValueError:
-                    pass  # not every table has a plottable shape
-        text = "\n\n".join(parts)
-        print()
-        print(text)
-        if out_dir is not None:
-            (out_dir / f"{name}.txt").write_text(text + "\n")
+        trace_out = pathlib.Path(args.trace)
+        tracer = Tracer()
+        previous = set_default_tracer(tracer)
+
+    try:
+        for name in names:
+            driver = registry[name]
+            kwargs = {}
+            engine = getattr(args, "engine", None)
+            if engine and "engine" in inspect.signature(driver).parameters:
+                kwargs["engine"] = engine
+            result = driver(**kwargs)
+            parts = [table.format() for table in result.tables()]
+            if args.plot:
+                from repro.experiments.ascii_plot import plot_table
+
+                for table in result.tables():
+                    try:
+                        parts.append(plot_table(table))
+                    except ValueError:
+                        pass  # not every table has a plottable shape
+            text = "\n\n".join(parts)
+            print()
+            print(text)
+            if out_dir is not None:
+                (out_dir / f"{name}.txt").write_text(text + "\n")
+    finally:
+        if tracer is not None:
+            from repro.obs import set_default_tracer
+
+            set_default_tracer(previous)
     if out_dir is not None:
         print(f"\nwrote {len(names)} result file(s) to {out_dir}/")
+    if tracer is not None:
+        status = _export_trace(tracer, args.trace_format, trace_out)
+        if status != 0:
+            return status
     return 0
 
 
@@ -102,7 +153,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.dt <= 0:
         print("dt must be positive", file=sys.stderr)
         return 2
-    result = run_chaos(seed=args.seed, dt_s=args.dt, engine=args.engine)
+    tracer = None
+    trace_out: Optional[pathlib.Path] = None
+    if args.trace is not None:
+        from repro.obs import Tracer, use_tracer
+
+        trace_out = pathlib.Path(args.trace)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = run_chaos(seed=args.seed, dt_s=args.dt, engine=args.engine)
+    else:
+        result = run_chaos(seed=args.seed, dt_s=args.dt, engine=args.engine)
     parts = [table.format() for table in result.tables()]
     parts.append("resilient: " + result.results["resilient"].resilience_summary())
     parts.append("naive:     " + result.results["naive"].resilience_summary())
@@ -114,7 +175,90 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         (out_dir / f"chaos_seed{args.seed}.txt").write_text(text + "\n")
         print(f"\nwrote chaos report to {out_dir}/chaos_seed{args.seed}.txt")
+    if tracer is not None:
+        status = _export_trace(tracer, args.trace_format, trace_out)
+        if status != 0:
+            return status
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced scenario (or convert/replay an existing trace source).
+
+    The positional ``source`` is one of:
+
+    * a bundled scenario name (see ``repro.obs.scenarios.SCENARIOS``);
+    * a workload CSV path (``*.csv``, the ``workloads/io.py`` format) —
+      emulated on the platform chosen with ``--device``;
+    * a saved ``*.jsonl`` trace log — converted to the requested format
+      (``--trace-format chrome`` for ``chrome://tracing``).
+    """
+    from repro.obs import Tracer, export
+    from repro.obs.scenarios import SCENARIOS, build_scenario, build_workload_emulator
+
+    fmt = args.trace_format
+    source = args.source
+
+    if source.endswith(".jsonl"):
+        path = pathlib.Path(source)
+        if not path.exists():
+            print(f"trace file not found: {path}", file=sys.stderr)
+            return 2
+        try:
+            records = export.load_jsonl(path.read_text())
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if fmt != "chrome":
+            print(
+                "converting an existing .jsonl trace requires --trace-format chrome",
+                file=sys.stderr,
+            )
+            return 2
+        out = pathlib.Path(args.out) if args.out else path.with_suffix(".chrome.json")
+        export.write_chrome_trace(records, out)
+        print(f"wrote chrome trace to {out}")
+        return 0
+
+    if args.dt <= 0:
+        print("dt must be positive", file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    if source.endswith(".csv"):
+        path = pathlib.Path(source)
+        if not path.exists():
+            print(f"workload CSV not found: {path}", file=sys.stderr)
+            return 2
+        from repro.workloads.io import load_trace
+
+        try:
+            workload = load_trace(path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        emulator = build_workload_emulator(
+            workload, device=args.device, engine=args.engine, dt_s=args.dt, tracer=tracer
+        )
+        label = path.stem
+    else:
+        try:
+            emulator = build_scenario(source, engine=args.engine, dt_s=args.dt, tracer=tracer)
+        except KeyError:
+            print(
+                f"unknown scenario {source!r}; valid: {', '.join(SCENARIOS)} "
+                "(or a .csv workload / .jsonl trace path)",
+                file=sys.stderr,
+            )
+            return 2
+        label = source
+
+    result = emulator.run()
+    print(result.summary())
+    if fmt == "summary":
+        return _export_trace(tracer, fmt, pathlib.Path(args.out) if args.out else None)
+    suffix = ".trace.jsonl" if fmt == "jsonl" else ".chrome.json"
+    out = pathlib.Path(args.out) if args.out else pathlib.Path(f"{label}{suffix}")
+    return _export_trace(tracer, fmt, out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +285,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="reference",
         help="emulation engine for experiments that support it (default: reference)",
     )
+    p_run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable structured tracing and write the log to PATH",
+    )
+    p_run.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace output format (default: jsonl)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_chaos = sub.add_parser("chaos", help="replay the tablet day under a seeded fault schedule")
@@ -153,7 +308,50 @@ def build_parser() -> argparse.ArgumentParser:
         default="reference",
         help="emulation engine (vectorized falls back to scalar inside fault windows)",
     )
+    p_chaos.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable structured tracing and write the log to PATH",
+    )
+    p_chaos.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace output format (default: jsonl)",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a bundled scenario (or workload CSV) with tracing on, "
+        "or convert a saved .jsonl trace",
+    )
+    p_trace.add_argument(
+        "source",
+        help="scenario name (tablet-day, watch-day, phone-day, chaos-tablet), "
+        "a workload .csv, or a saved .jsonl trace to convert",
+    )
+    p_trace.add_argument("--out", help="output path (default: <scenario>.trace.jsonl)")
+    p_trace.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="output format (default: jsonl)",
+    )
+    p_trace.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="emulation engine (default: reference)",
+    )
+    p_trace.add_argument("--dt", type=float, default=10.0, help="emulation step in seconds (default 10)")
+    p_trace.add_argument(
+        "--device",
+        choices=("tablet", "phone", "watch"),
+        default="phone",
+        help="platform for workload-CSV runs (default: phone)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -27,6 +27,7 @@ from repro.core.policies.blended import BlendedChargePolicy, BlendedDischargePol
 from repro.errors import BatteryError, HardwareError, PolicyError, RatioError
 from repro.hardware.charge import FAST_PROFILE, GENTLE_PROFILE, STANDARD_PROFILE
 from repro.hardware.microcontroller import SDBMicrocontroller
+from repro.obs.tracer import Tracer, get_default_tracer
 
 #: How often the runtime re-evaluates its policies, in seconds. The paper
 #: updates "at coarse granular time steps"; 60 s keeps policy cost
@@ -87,6 +88,10 @@ class SDBRuntime:
             shares renormalize onto the healthy set), and degrades to the
             last-good ratio vector instead of raising when a policy fails.
             Without it the runtime is strict — policy errors propagate.
+        tracer: observability sink (see :mod:`repro.obs`); every ratio
+            decision is mirrored into it as a ``runtime.ratio_decision``
+            event and every incident as ``runtime.incident``. Defaults to
+            the process default tracer (normally disabled).
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class SDBRuntime:
         update_interval_s: float = DEFAULT_UPDATE_INTERVAL_S,
         manage_profiles: bool = False,
         health_monitor: Optional[HealthMonitor] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if update_interval_s <= 0:
             raise ValueError("update interval must be positive")
@@ -107,6 +113,7 @@ class SDBRuntime:
         self.update_interval_s = float(update_interval_s)
         self.manage_profiles = bool(manage_profiles)
         self.health = health_monitor
+        self.tracer = tracer if tracer is not None else get_default_tracer()
         self._last_update_t: Optional[float] = None
         self.ratio_updates = 0
         #: Ticks where a failing policy was degraded to a last-good vector.
@@ -194,6 +201,14 @@ class SDBRuntime:
 
     def _record(self, incident: Incident) -> None:
         self.incidents.append(incident)
+        self.tracer.count("runtime.incidents")
+        self.tracer.event(
+            "runtime.incident",
+            incident.t,
+            kind=incident.kind,
+            battery=incident.battery_index,
+            detail=incident.detail,
+        )
 
     def _push(self, command: Callable[..., None], ratios: Sequence[float], t: float, side: str) -> bool:
         """Push one ratio vector, retrying transiently lost commands.
@@ -244,38 +259,41 @@ class SDBRuntime:
         """
         if self._last_update_t is not None and t - self._last_update_t < self.update_interval_s:
             return False
-        cells = self.controller.cells
-        if self.health is not None:
-            self.health.observe(t, self.controller.query_status())
-        discharge, degraded = self._evaluate(
-            lambda: self.discharge_policy.discharge_ratios(cells, load_w, t),
-            self._last_good_discharge,
-            t,
-            "discharge",
-        )
-        if self.health is not None:
-            discharge = self.health.filter_ratios(discharge)
-        if self._push(self.api.Discharge, discharge, t, "discharge"):
-            self._last_good_discharge = list(discharge)
-        charge = None
-        if external_w > 0.0:
-            charge, charge_degraded = self._evaluate(
-                lambda: self.charge_policy.charge_ratios(cells, external_w, t),
-                self._last_good_charge,
-                t,
-                "charge",
-            )
-            degraded = degraded or charge_degraded
+        tracer = self.tracer
+        with tracer.timer("runtime.update"):
+            cells = self.controller.cells
             if self.health is not None:
-                charge = self.health.filter_ratios(charge)
-            if self._push(self.api.Charge, charge, t, "charge"):
-                self._last_good_charge = list(charge)
-            if self.manage_profiles:
-                self._select_profiles()
-        self._last_update_t = t
-        self.ratio_updates += 1
-        self.history.append(
-            RatioDecision(
+                self.health.observe(t, self.controller.query_status())
+            with tracer.timer("runtime.policy_eval"):
+                discharge, degraded = self._evaluate(
+                    lambda: self.discharge_policy.discharge_ratios(cells, load_w, t),
+                    self._last_good_discharge,
+                    t,
+                    "discharge",
+                )
+            if self.health is not None:
+                discharge = self.health.filter_ratios(discharge)
+            if self._push(self.api.Discharge, discharge, t, "discharge"):
+                self._last_good_discharge = list(discharge)
+            charge = None
+            if external_w > 0.0:
+                with tracer.timer("runtime.policy_eval"):
+                    charge, charge_degraded = self._evaluate(
+                        lambda: self.charge_policy.charge_ratios(cells, external_w, t),
+                        self._last_good_charge,
+                        t,
+                        "charge",
+                    )
+                degraded = degraded or charge_degraded
+                if self.health is not None:
+                    charge = self.health.filter_ratios(charge)
+                if self._push(self.api.Charge, charge, t, "charge"):
+                    self._last_good_charge = list(charge)
+                if self.manage_profiles:
+                    self._select_profiles()
+            self._last_update_t = t
+            self.ratio_updates += 1
+            decision = RatioDecision(
                 t=t,
                 discharge_ratios=tuple(discharge),
                 charge_ratios=tuple(charge) if charge is not None else None,
@@ -283,7 +301,24 @@ class SDBRuntime:
                 external_w=external_w,
                 degraded=degraded,
             )
-        )
+            self.history.append(decision)
+            tracer.count("runtime.ratio_updates")
+            if degraded:
+                tracer.count("runtime.degraded_ticks")
+            if tracer.enabled:
+                # The RatioDecision telemetry deque, absorbed as one
+                # structured event type.
+                tracer.event(
+                    "runtime.ratio_decision",
+                    t,
+                    discharge_ratios=list(decision.discharge_ratios),
+                    charge_ratios=list(decision.charge_ratios)
+                    if decision.charge_ratios is not None
+                    else None,
+                    load_w=load_w,
+                    external_w=external_w,
+                    degraded=degraded,
+                )
         return True
 
     def _select_profiles(self) -> None:

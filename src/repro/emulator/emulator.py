@@ -34,6 +34,7 @@ from repro.errors import BatteryEmptyError, BatteryError, EmulationError, Policy
 from repro.faults.events import FaultEvent
 from repro.faults.schedule import FaultSchedule
 from repro.hardware.microcontroller import SDBMicrocontroller
+from repro.obs.tracer import NULL_TRACER, Tracer, get_default_tracer
 from repro.workloads.traces import PowerTrace
 
 #: A scenario hook: called as ``hook(controller, t, dt)`` before each
@@ -172,6 +173,11 @@ class SDBEmulator:
             spans between policy ticks as array operations and falls back
             to scalar stepping around ticks, plug windows, and fault
             activity (see ``docs/performance.md``).
+        tracer: observability sink (see :mod:`repro.obs`); defaults to the
+            process default tracer, normally the disabled no-op tracer.
+            When enabled, :meth:`run` also attaches it to the runtime and
+            controller (unless they already carry an enabled tracer) so
+            one flag lights up the whole stack.
     """
 
     def __init__(
@@ -185,6 +191,7 @@ class SDBEmulator:
         stop_on_depletion: bool = True,
         faults: Optional[FaultSchedule] = None,
         engine: str = "reference",
+        tracer: Optional[Tracer] = None,
     ):
         if dt_s <= 0:
             raise ValueError("dt must be positive")
@@ -201,6 +208,41 @@ class SDBEmulator:
         self.stop_on_depletion = stop_on_depletion
         self.faults = faults
         self.engine = engine
+        self.tracer = tracer if tracer is not None else get_default_tracer()
+        #: Per-run fault-event sink; rebound by :meth:`run` so traced runs
+        #: mirror the fault timeline into the tracer.
+        self._fault_sink: Callable[[FaultEvent], None] = lambda event: None
+
+    def _propagate_tracer(self) -> None:
+        """Attach an enabled tracer to the runtime and controller.
+
+        Only fills in components still carrying the disabled default, so a
+        deliberately separate tracer on either is respected.
+        """
+        if not self.tracer.enabled:
+            return
+        if not getattr(self.runtime, "tracer", NULL_TRACER).enabled:
+            self.runtime.tracer = self.tracer
+        if not getattr(self.controller, "tracer", NULL_TRACER).enabled:
+            self.controller.tracer = self.tracer
+
+    def _make_fault_sink(self, result: EmulationResult) -> Callable[[FaultEvent], None]:
+        """The recorder handed to the fault schedule for this run."""
+        if not self.tracer.enabled:
+            return result.fault_events.append
+        tracer = self.tracer
+
+        def sink(event: FaultEvent) -> None:
+            result.fault_events.append(event)
+            tracer.event(
+                f"fault.{event.action}",
+                event.t,
+                fault=event.fault,
+                battery=event.battery_index,
+                detail=event.detail,
+            )
+
+        return sink
 
     def run(self) -> EmulationResult:
         """Execute the full trace and return the collected bookkeeping."""
@@ -208,13 +250,16 @@ class SDBEmulator:
         n = self.controller.n
         result.battery_depletion_s = [None] * n
         result.downtime_s = [0.0] * n
+        self._propagate_tracer()
+        self._fault_sink = self._make_fault_sink(result)
 
-        if self.engine == "vectorized":
-            from repro.emulator.engine import VectorizedEngine
+        with self.tracer.timer("emulator.run"):
+            if self.engine == "vectorized":
+                from repro.emulator.engine import VectorizedEngine
 
-            VectorizedEngine(self).run(result)
-        else:
-            self._run_reference(result)
+                VectorizedEngine(self).run(result)
+            else:
+                self._run_reference(result)
 
         result.incidents.extend(self.runtime.all_incidents())
         result.incidents.sort(key=lambda incident: incident.t)
@@ -222,6 +267,15 @@ class SDBEmulator:
             result.end_s = min(result.times_s[-1] + self.dt_s, self.trace.end_s)
         else:
             result.end_s = 0.0
+        if self.tracer.enabled:
+            self.tracer.span(
+                "emulator.run",
+                self.trace.start_s,
+                result.end_s - self.trace.start_s,
+                engine=self.engine,
+                steps=len(result.times_s),
+                completed=result.completed,
+            )
         return result
 
     def _run_reference(self, result: EmulationResult) -> None:
@@ -243,11 +297,14 @@ class SDBEmulator:
         """
         n = self.controller.n
         monitor = self.runtime.health
+        tracer = self.tracer
+        tracer.count("emulator.steps")
         if self.faults is not None:
             load = self.faults.perturb_load(t, load)
         supply = self.plug.power_at(t)
         try:
-            self.runtime.tick(t, load, external_w=supply)
+            with tracer.timer("emulator.policy_tick"):
+                self.runtime.tick(t, load, external_w=supply)
         except (PolicyError, BatteryError) as exc:
             # A strict runtime surfaces policy failures; record the
             # incident and fall through to the discharge step, which
@@ -256,58 +313,69 @@ class SDBEmulator:
             result.incidents.append(
                 Incident(t, "policy-error", None, f"{type(exc).__name__}: {exc}")
             )
+            tracer.event("runtime.policy_error", t, error=f"{type(exc).__name__}: {exc}")
         if self.faults is not None:
-            self.faults.step(self.controller, t, self.dt_s, result.fault_events.append)
+            self.faults.step(self.controller, t, self.dt_s, self._fault_sink)
         for hook in self.hooks:
             hook(self.controller, t, self.dt_s)
         for i in range(n):
             if not self.controller.connected[i] or (monitor is not None and i in monitor.quarantined):
                 result.downtime_s[i] += self.dt_s
 
-        step_loss = 0.0
-        if supply > 0.0:
-            served = min(load, supply)
-            headroom = supply - served
-            if headroom > 0.0:
-                report = self.controller.step_charge(headroom, self.dt_s)
-                result.charge_input_j += report.input_used_w * self.dt_s
-                result.charge_loss_j += report.loss_w * self.dt_s
-                step_loss += report.loss_w
-            load -= served
-            result.delivered_j += served * self.dt_s
+        with tracer.timer("emulator.step_kernel"):
+            step_loss = 0.0
+            depleted = False
+            if supply > 0.0:
+                served = min(load, supply)
+                headroom = supply - served
+                if headroom > 0.0:
+                    report = self.controller.step_charge(headroom, self.dt_s)
+                    result.charge_input_j += report.input_used_w * self.dt_s
+                    result.charge_loss_j += report.loss_w * self.dt_s
+                    step_loss += report.loss_w
+                load -= served
+                result.delivered_j += served * self.dt_s
 
-        if load > 0.0:
-            try:
-                report = self.controller.step_discharge(load, self.dt_s)
-            except (BatteryEmptyError, PowerLimitError):
-                result.depletion_s = t
-                result.completed = False
-                if self.stop_on_depletion:
-                    return False
-                # Shed the load entirely and keep the clock running.
-                result.times_s.append(t)
-                result.load_w.append(load)
-                result.loss_w.append(0.0)
-                result.soc_history.append([cell.soc for cell in self.controller.cells])
-                return True
-            result.delivered_j += load * self.dt_s
-            result.battery_heat_j += report.battery_heat_w * self.dt_s
-            result.circuit_loss_j += report.circuit_loss_w * self.dt_s
-            step_loss += report.total_loss_w
-        else:
-            # Fully powered externally: batteries rest.
-            for cell in self.controller.cells:
-                if not (cell.is_empty or cell.is_full):
-                    cell.step_current(0.0, self.dt_s)
+            if load > 0.0:
+                try:
+                    report = self.controller.step_discharge(load, self.dt_s)
+                except (BatteryEmptyError, PowerLimitError) as exc:
+                    result.depletion_s = t
+                    result.completed = False
+                    tracer.event(
+                        "emulator.depletion", t, load_w=load, error=type(exc).__name__
+                    )
+                    depleted = True
+                else:
+                    result.delivered_j += load * self.dt_s
+                    result.battery_heat_j += report.battery_heat_w * self.dt_s
+                    result.circuit_loss_j += report.circuit_loss_w * self.dt_s
+                    step_loss += report.total_loss_w
+            else:
+                # Fully powered externally: batteries rest.
+                for cell in self.controller.cells:
+                    if not (cell.is_empty or cell.is_full):
+                        cell.step_current(0.0, self.dt_s)
+
+        if depleted:
+            if self.stop_on_depletion:
+                return False
+            # Shed the load entirely and keep the clock running.
+            result.times_s.append(t)
+            result.load_w.append(load)
+            result.loss_w.append(0.0)
+            result.soc_history.append([cell.soc for cell in self.controller.cells])
+            return True
 
         for i, cell in enumerate(self.controller.cells):
             if cell.is_empty and result.battery_depletion_s[i] is None:
                 result.battery_depletion_s[i] = t + self.dt_s
 
-        result.times_s.append(t)
-        result.load_w.append(load)
-        result.loss_w.append(step_loss)
-        result.soc_history.append([cell.soc for cell in self.controller.cells])
+        with tracer.timer("emulator.bookkeeping"):
+            result.times_s.append(t)
+            result.load_w.append(load)
+            result.loss_w.append(step_loss)
+            result.soc_history.append([cell.soc for cell in self.controller.cells])
         return True
 
 

@@ -122,7 +122,12 @@ class VectorizedEngine:
         stepping strategy differs.
         """
         em = self.em
-        if self.fast_path_blockers():
+        tracer = em.tracer
+        blockers = self.fast_path_blockers()
+        if blockers:
+            if tracer.enabled:
+                tracer.count("engine.fallback_runs")
+                tracer.event("engine.fallback", em.trace.start_s, blockers=blockers)
             em._run_reference(result)
             return
 
@@ -132,6 +137,7 @@ class VectorizedEngine:
         while pos < n_steps:
             stop = self._next_scalar_index(pos, n_steps)
             if stop == pos:
+                tracer.count("engine.scalar_steps")
                 if not em._step(result, float(self.times[pos]), float(self.loads[pos])):
                     return
                 pos += 1
@@ -142,18 +148,43 @@ class VectorizedEngine:
                 zero_here = self.loads[pos] <= 0.0
                 run_len = self._run_length(pos, pos + span, zero_here)
                 if zero_here:
-                    self._rest_chunk(result, pos, run_len)
+                    with tracer.timer("engine.step_kernel"):
+                        self._rest_chunk(result, pos, run_len)
+                    if tracer.enabled:
+                        tracer.count("engine.chunks")
+                        tracer.count("engine.vector_steps", run_len)
+                        tracer.span(
+                            "engine.chunk",
+                            float(self.times[pos]),
+                            run_len * self.dt,
+                            kind="rest",
+                            steps=run_len,
+                        )
                     pos += run_len
                     continue
                 if run_len <= SCALAR_FALLBACK_STEPS:
+                    tracer.count("engine.scalar_steps", run_len)
                     for j in range(pos, pos + run_len):
                         if not em._step(result, float(self.times[j]), float(self.loads[j])):
                             return
                     pos += run_len
                     continue
-                committed, need_scalar = self._load_chunk(result, pos, run_len)
+                with tracer.timer("engine.step_kernel"):
+                    committed, need_scalar = self._load_chunk(result, pos, run_len)
+                if tracer.enabled and committed:
+                    tracer.count("engine.chunks")
+                    tracer.count("engine.vector_steps", committed)
+                    tracer.span(
+                        "engine.chunk",
+                        float(self.times[pos]),
+                        committed * self.dt,
+                        kind="load",
+                        steps=committed,
+                        truncated=need_scalar,
+                    )
                 pos += committed
                 if need_scalar:
+                    tracer.count("engine.scalar_steps")
                     if not em._step(result, float(self.times[pos]), float(self.loads[pos])):
                         return
                     pos += 1
@@ -596,14 +627,15 @@ class VectorizedEngine:
                     result.battery_depletion_s[i] = float(self.times[pos + int(hits[0])]) + dt
 
         self._accrue_downtime(result, T)
-        step_loss = losses[:T] + heat.sum(axis=0)
-        result.times_s.extend(self.times[pos : pos + T].tolist())
-        result.load_w.extend(loads[:T].tolist())
-        result.loss_w.extend(step_loss.tolist())
-        result.soc_history.extend(soc_after[:, :T].T.tolist())
-        result.delivered_j += float(np.sum(loads[:T])) * dt
-        result.battery_heat_j += float(np.sum(heat)) * dt
-        result.circuit_loss_j += float(np.sum(losses[:T])) * dt
+        with em.tracer.timer("engine.bookkeeping"):
+            step_loss = losses[:T] + heat.sum(axis=0)
+            result.times_s.extend(self.times[pos : pos + T].tolist())
+            result.load_w.extend(loads[:T].tolist())
+            result.loss_w.extend(step_loss.tolist())
+            result.soc_history.extend(soc_after[:, :T].T.tolist())
+            result.delivered_j += float(np.sum(loads[:T])) * dt
+            result.battery_heat_j += float(np.sum(heat)) * dt
+            result.circuit_loss_j += float(np.sum(losses[:T])) * dt
 
     def _mark_initial_empties(self, result, pos: int) -> None:
         """Mark cells already empty at the chunk's first step.

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -36,6 +37,11 @@ class PlugSchedule:
             if b.start_s < a.end_s:
                 raise ValueError("plug windows must not overlap")
         self.windows: List[PlugWindow] = list(windows)
+        # Parallel arrays for the bisect lookup in power_at: the emulator
+        # queries supply power every step, so the lookup must not scan.
+        self._starts: List[float] = [w.start_s for w in self.windows]
+        self._ends: List[float] = [w.end_s for w in self.windows]
+        self._powers: List[float] = [w.power_w for w in self.windows]
 
     @classmethod
     def never(cls) -> "PlugSchedule":
@@ -48,10 +54,17 @@ class PlugSchedule:
         return cls((PlugWindow(0.0, duration_s, power_w),))
 
     def power_at(self, t: float) -> float:
-        """Available supply power at time ``t`` (0 when unplugged)."""
-        for window in self.windows:
-            if window.contains(t):
-                return window.power_w
+        """Available supply power at time ``t`` (0 when unplugged).
+
+        A bisect over the sorted window starts replaces the former linear
+        scan — this runs once per emulation step. Membership is
+        ``start_s`` inclusive, ``end_s`` exclusive, matching
+        :meth:`PlugWindow.contains` and the vectorized :meth:`powers_at`
+        exactly.
+        """
+        idx = bisect.bisect_right(self._starts, t) - 1
+        if idx >= 0 and t < self._ends[idx]:
+            return self._powers[idx]
         return 0.0
 
     def powers_at(self, times) -> np.ndarray:

@@ -31,6 +31,7 @@ from repro.hardware.charge import (
     SDBChargeCircuit,
 )
 from repro.hardware.discharge import DischargeCircuitSpec, SDBDischargeCircuit, validate_ratios
+from repro.obs.tracer import get_default_tracer
 
 #: Fraction of a cell's theoretical max power the controller will actually
 #: schedule; keeps the operating point away from the unstable peak.
@@ -164,6 +165,9 @@ class SDBMicrocontroller:
         #: lost in transit (the prototype's Bluetooth link dropping frames);
         #: each failed command decrements the counter.
         self.command_dropout = 0
+        #: Observability sink for the command path (see :mod:`repro.obs`);
+        #: the emulator swaps in its tracer for traced runs.
+        self.tracer = get_default_tracer()
 
     @property
     def n(self) -> int:
@@ -183,6 +187,7 @@ class SDBMicrocontroller:
         """Fault injection: drop the command if the link is degraded."""
         if self.command_dropout > 0:
             self.command_dropout -= 1
+            self.tracer.count("hw.commands.lost")
             raise HardwareError("controller command lost in transit")
 
     # ------------------------------------------------------------------ #
@@ -193,15 +198,18 @@ class SDBMicrocontroller:
         """Install a new discharge ratio vector (the paper's Discharge API)."""
         self._consume_command()
         self.discharge_ratios = validate_ratios(ratios, self.n)
+        self.tracer.count("hw.commands.discharge")
 
     def set_charge_ratios(self, ratios: Sequence[float]) -> None:
         """Install a new charge ratio vector (the paper's Charge API)."""
         self._consume_command()
         self.charge_ratios = validate_ratios(ratios, self.n)
+        self.tracer.count("hw.commands.charge")
 
     def select_profile(self, battery_index: int, profile: ChargeProfile) -> None:
         """Switch one battery's charging profile (Figure 4c's profile select)."""
         self.profiles[self._check_index(battery_index)] = profile
+        self.tracer.count("hw.commands.profile_select")
 
     def set_connected(self, battery_index: int, connected: bool) -> None:
         """Mark a battery physically present or absent.
@@ -351,6 +359,7 @@ class SDBMicrocontroller:
             return TransferReport(dt=dt, source_index=source_index, dest_index=dest_index, drawn_w=0.0, stored_w=0.0)
         source = self.cells[source_index]
         dest = self.cells[dest_index]
+        self.tracer.count("hw.commands.transfer")
         result = self.charge_circuit.transfer_power(source, dest, power_w, dt)
         return TransferReport(
             dt=dt,

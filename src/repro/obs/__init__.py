@@ -1,0 +1,50 @@
+"""``repro.obs`` — structured tracing and metrics for the SDB stack.
+
+The observability substrate every layer reports through: a zero-overhead-
+when-disabled :class:`Tracer` (counters, wall-clock timers, typed
+event/span records) threaded through the emulator, the vectorized engine,
+the SDB runtime, the hardware command path, and the fault scheduler, plus
+exporters (JSONL, Chrome ``trace_event``, terminal summary).
+
+See ``docs/observability.md`` for the event schema and usage; bundled
+runnable scenarios live in :mod:`repro.obs.scenarios` (imported lazily to
+keep this package dependency-light for the instrumented modules).
+"""
+
+from repro.obs.export import (
+    JSONL_SCHEMA,
+    chrome_trace,
+    jsonl_records,
+    load_jsonl,
+    summary_table,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceRecord,
+    Tracer,
+    get_default_tracer,
+    set_default_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceRecord",
+    "get_default_tracer",
+    "set_default_tracer",
+    "use_tracer",
+    "JSONL_SCHEMA",
+    "jsonl_records",
+    "to_jsonl",
+    "write_jsonl",
+    "load_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "summary_table",
+]

@@ -1,0 +1,208 @@
+"""Trace exporters: JSONL event logs, Chrome ``trace_event`` JSON, and
+terminal summary tables.
+
+Three views of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`to_jsonl` / :func:`write_jsonl` — the canonical on-disk form,
+  one JSON object per line (schema below). Machine-greppable, appendable,
+  and diff-friendly; ``repro trace`` writes this by default.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format (a ``{"traceEvents": [...]}`` JSON object) that
+  loads directly in ``chrome://tracing`` / Perfetto. Record categories
+  become named lanes; simulation seconds map to trace microseconds, so
+  the timeline reads in simulated time.
+* :func:`summary_table` — a terminal table of counters plus timer
+  percentiles, for quick "where did the time go" checks.
+
+JSONL schema (``repro.obs/v1``)
+-------------------------------
+
+The first line is a meta record; every following line is one of four
+kinds (see ``docs/observability.md`` for the field-by-field reference)::
+
+    {"kind": "meta", "schema": "repro.obs/v1"}
+    {"kind": "event", "name": ..., "cat": ..., "t_s": ..., "fields": {...}}
+    {"kind": "span", "name": ..., "cat": ..., "t_s": ..., "dur_s": ..., "fields": {...}}
+    {"kind": "counter", "name": ..., "value": ...}
+    {"kind": "timer", "name": ..., "count": ..., "total_s": ..., "mean_s": ...,
+     "p50_s": ..., "p90_s": ..., "p99_s": ..., "max_s": ...}
+
+:func:`load_jsonl` parses that format back into plain dicts, and
+:func:`chrome_trace` accepts either a tracer or those dicts — so a saved
+``.trace.jsonl`` can be converted for ``chrome://tracing`` after the fact
+(``repro trace run.trace.jsonl --trace-format chrome``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.obs.tracer import Tracer
+
+#: Schema tag stamped into every JSONL log's meta line.
+JSONL_SCHEMA = "repro.obs/v1"
+
+#: Microseconds per simulated second in the Chrome-trace mapping.
+_US_PER_S = 1e6
+
+
+def jsonl_records(tracer: Tracer) -> Iterator[dict]:
+    """Yield the tracer's contents as schema-shaped plain dicts."""
+    yield {"kind": "meta", "schema": JSONL_SCHEMA}
+    for record in tracer.records:
+        entry = {
+            "kind": record.kind,
+            "name": record.name,
+            "cat": record.category,
+            "t_s": record.t_s,
+        }
+        if record.kind == "span":
+            entry["dur_s"] = record.dur_s
+        entry["fields"] = record.fields
+        yield entry
+    for name in sorted(tracer.counters):
+        yield {"kind": "counter", "name": name, "value": tracer.counters[name]}
+    for name in tracer.timer_names():
+        stats = tracer.timer_stats(name)
+        yield {"kind": "timer", "name": name, **stats}
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """Serialize the tracer to JSONL text."""
+    return "".join(json.dumps(entry) + "\n" for entry in jsonl_records(tracer))
+
+
+def write_jsonl(tracer: Tracer, path: Union[str, pathlib.Path]) -> None:
+    """Write the tracer's JSONL log to ``path``."""
+    pathlib.Path(path).write_text(to_jsonl(tracer))
+
+
+def load_jsonl(text: str) -> List[dict]:
+    """Parse JSONL log text back into record dicts.
+
+    Validates per line so a truncated or corrupted log reports the
+    offending line number instead of a context-free decode error.
+    """
+    records = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace JSONL line {number}: invalid JSON ({exc})") from None
+        if not isinstance(entry, dict) or "kind" not in entry:
+            raise ValueError(f"trace JSONL line {number}: expected an object with a 'kind'")
+        records.append(entry)
+    if not records:
+        raise ValueError("empty trace JSONL")
+    return records
+
+
+def chrome_trace(source: Union[Tracer, Sequence[dict], Iterable[dict]]) -> dict:
+    """Build a Chrome ``trace_event`` document from a tracer or JSONL dicts.
+
+    One process (pid 1) with one named thread lane per record category;
+    spans become complete ``"X"`` events, instant events become ``"i"``,
+    and final counter values become one ``"C"`` sample at the end of the
+    timeline so they show in the counter track.
+    """
+    if isinstance(source, Tracer):
+        source = jsonl_records(source)
+    entries = [e for e in source if e.get("kind") != "meta"]
+
+    tids: dict = {}
+    trace_events: List[dict] = []
+
+    def tid_for(category: str) -> int:
+        if category not in tids:
+            tids[category] = len(tids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tids[category],
+                    "args": {"name": category},
+                }
+            )
+        return tids[category]
+
+    end_ts = 0.0
+    for entry in entries:
+        kind = entry["kind"]
+        if kind not in ("event", "span"):
+            continue
+        name = entry["name"]
+        category = entry.get("cat") or name.split(".", 1)[0]
+        ts = float(entry["t_s"]) * _US_PER_S
+        base = {
+            "name": name,
+            "cat": category,
+            "pid": 1,
+            "tid": tid_for(category),
+            "ts": ts,
+            "args": entry.get("fields", {}),
+        }
+        if kind == "span":
+            dur = float(entry.get("dur_s", 0.0)) * _US_PER_S
+            base.update(ph="X", dur=dur)
+            end_ts = max(end_ts, ts + dur)
+        else:
+            base.update(ph="i", s="t")
+            end_ts = max(end_ts, ts)
+        trace_events.append(base)
+
+    for entry in entries:
+        if entry["kind"] == "counter":
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "name": entry["name"],
+                    "pid": 1,
+                    "ts": end_ts,
+                    "args": {"value": entry["value"]},
+                }
+            )
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    source: Union[Tracer, Sequence[dict]], path: Union[str, pathlib.Path]
+) -> None:
+    """Write the Chrome ``trace_event`` JSON document to ``path``."""
+    pathlib.Path(path).write_text(json.dumps(chrome_trace(source), indent=1) + "\n")
+
+
+def summary_table(tracer: Tracer) -> str:
+    """Terminal table: counters, then timer totals and percentiles."""
+    lines: List[str] = []
+    if tracer.counters:
+        lines.append("counters:")
+        width = max(len(name) for name in tracer.counters)
+        for name in sorted(tracer.counters):
+            lines.append(f"  {name:<{width}s} {tracer.counters[name]:>12d}")
+    timer_names = tracer.timer_names()
+    if timer_names:
+        if lines:
+            lines.append("")
+        width = max(len(name) for name in timer_names)
+        lines.append("timers:" + " " * max(0, width - 4) + f"{'count':>8s} {'total':>10s} {'p50':>9s} {'p90':>9s} {'p99':>9s}")
+        for name in timer_names:
+            stats = tracer.timer_stats(name)
+            lines.append(
+                f"  {name:<{width}s} {stats['count']:>8d} "
+                f"{stats['total_s'] * 1e3:>8.1f}ms "
+                f"{stats['p50_s'] * 1e6:>7.1f}us "
+                f"{stats['p90_s'] * 1e6:>7.1f}us "
+                f"{stats['p99_s'] * 1e6:>7.1f}us"
+            )
+    n_events = sum(1 for r in tracer.records if r.kind == "event")
+    n_spans = len(tracer.records) - n_events
+    if lines:
+        lines.append("")
+    lines.append(f"records: {n_events} event(s), {n_spans} span(s)")
+    return "\n".join(lines)

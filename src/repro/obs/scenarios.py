@@ -1,0 +1,106 @@
+"""Bundled runnable scenarios for ``repro trace``.
+
+Each scenario builds a complete emulation (controller + runtime + workload
+trace, and for the chaos variant a fault schedule and self-healing
+runtime) so the CLI can produce a structured trace of a representative run
+with one command::
+
+    python -m repro trace tablet-day --out run.trace.jsonl
+
+Scenarios are deliberately small: minutes of simulated activity resolve in
+well under a second of wall clock, which is what the CI smoke job runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.health import HealthMonitor
+from repro.core.runtime import SDBRuntime
+from repro.emulator.devices import build_controller
+from repro.emulator.emulator import SDBEmulator
+from repro.faults.schedule import FaultSchedule
+from repro.obs.tracer import Tracer
+from repro.workloads.generators import (
+    random_app_trace,
+    smartwatch_day_trace,
+    two_in_one_workload_trace,
+)
+from repro.workloads.traces import PowerTrace
+
+#: Scenario name -> builder returning the workload trace and device key.
+_SCENARIO_TRACES: Dict[str, Callable[[], "tuple[PowerTrace, str]"]] = {
+    "tablet-day": lambda: (
+        two_in_one_workload_trace(mean_power_w=9.0, duration_s=24 * 3600.0, segment_s=300.0),
+        "tablet",
+    ),
+    "watch-day": lambda: (smartwatch_day_trace(), "watch"),
+    "phone-day": lambda: (
+        random_app_trace(
+            duration_s=24 * 3600.0, idle_w=0.15, active_w=1.2, burst_w=5.0, seed=11
+        ),
+        "phone",
+    ),
+    "chaos-tablet": lambda: (
+        two_in_one_workload_trace(mean_power_w=9.0, duration_s=24 * 3600.0, segment_s=300.0),
+        "tablet",
+    ),
+}
+
+#: Names accepted by :func:`build_scenario` (and the CLI's ``trace`` command).
+SCENARIOS = tuple(sorted(_SCENARIO_TRACES))
+
+
+def build_scenario(
+    name: str,
+    engine: str = "reference",
+    dt_s: float = 10.0,
+    tracer: Optional[Tracer] = None,
+) -> SDBEmulator:
+    """Instantiate one bundled scenario as a ready-to-run emulator.
+
+    Args:
+        name: one of :data:`SCENARIOS`.
+        engine: emulation engine (``"reference"`` or ``"vectorized"``).
+        dt_s: emulation step, seconds.
+        tracer: tracer threaded through the run (default: the process
+            default tracer — usually disabled).
+
+    Raises:
+        KeyError: for an unknown scenario name.
+    """
+    try:
+        trace, device = _SCENARIO_TRACES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; valid: {', '.join(SCENARIOS)}"
+        ) from None
+    controller = build_controller(device)
+    faults = None
+    if name == "chaos-tablet":
+        runtime = SDBRuntime(controller, health_monitor=HealthMonitor())
+        faults = FaultSchedule.chaos(seed=7, duration_s=trace.duration_s, n_batteries=controller.n)
+    else:
+        runtime = SDBRuntime(controller)
+    return SDBEmulator(
+        controller,
+        runtime,
+        trace,
+        dt_s=dt_s,
+        engine=engine,
+        faults=faults,
+        tracer=tracer,
+    )
+
+
+def build_workload_emulator(
+    trace: PowerTrace,
+    device: str = "phone",
+    engine: str = "reference",
+    dt_s: float = 10.0,
+    tracer: Optional[Tracer] = None,
+) -> SDBEmulator:
+    """Wrap an arbitrary workload trace (e.g. a loaded CSV) in an emulator."""
+    controller = build_controller(device)
+    runtime = SDBRuntime(controller)
+    return SDBEmulator(controller, runtime, trace, dt_s=dt_s, engine=engine, tracer=tracer)

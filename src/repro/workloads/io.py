@@ -6,6 +6,23 @@ This module round-trips :class:`~repro.workloads.traces.PowerTrace`
 through a two-column CSV (``start_s,power_w``; each row's segment runs
 until the next row's start; a final ``end_s`` footer row with an empty
 power closes the last segment).
+
+Validation rules (:func:`trace_from_csv` rejects violations with a
+``ValueError`` naming the offending CSV row):
+
+* the header row must be exactly ``start_s,power_w``;
+* ``start_s`` values must be **strictly increasing** down the file —
+  duplicate or out-of-order timestamps would silently produce zero- or
+  negative-duration segments, so they are errors, not warnings;
+* every cell must parse as a number; a malformed cell reports its
+  file/row/column context instead of a bare ``float()`` traceback;
+* only the footer row may omit ``power_w``, and a footer needs at least
+  one data row before it;
+* a footerless power-meter dump needs at least two samples (the last
+  sample's duration is inferred as the median inter-sample gap).
+
+Row numbers in error messages are physical 1-based CSV rows (the header
+is row 1); blank rows are skipped but still counted.
 """
 
 from __future__ import annotations
@@ -13,7 +30,7 @@ from __future__ import annotations
 import csv
 import io
 import pathlib
-from typing import List, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.workloads.traces import PowerTrace, Segment
 
@@ -32,30 +49,65 @@ def trace_to_csv(trace: PowerTrace) -> str:
     return buffer.getvalue()
 
 
-def trace_from_csv(text: str) -> PowerTrace:
+def _parse_float(cell: str, source: str, row_number: int, column: str) -> float:
+    """Convert one CSV cell, reporting file/row/column context on failure."""
+    try:
+        return float(cell)
+    except ValueError:
+        raise ValueError(
+            f"{source} row {row_number}: invalid {column} value {cell.strip()!r}"
+        ) from None
+
+
+def trace_from_csv(text: str, source: str = "trace CSV") -> PowerTrace:
     """Parse a trace from CSV text produced by :func:`trace_to_csv`.
 
     Also accepts power-meter style dumps without the footer row, in which
     case the last sample's segment is given the median segment length.
+
+    Args:
+        text: CSV text (see the module docstring for the format and the
+            validation rules).
+        source: label used in error messages; :func:`load_trace` passes
+            the file path so failures name the file.
+
+    Raises:
+        ValueError: empty input, bad header, non-monotonic or duplicate
+            ``start_s`` rows, malformed cells, or a power omitted anywhere
+            but the footer — each naming the offending CSV row number.
     """
     reader = csv.reader(io.StringIO(text))
-    rows = [row for row in reader if row and any(cell.strip() for cell in row)]
+    rows: List[Tuple[int, List[str]]] = [
+        (number, row)
+        for number, row in enumerate(reader, start=1)
+        if row and any(cell.strip() for cell in row)
+    ]
     if not rows:
-        raise ValueError("empty trace CSV")
-    header = tuple(cell.strip() for cell in rows[0])
+        raise ValueError(f"{source}: empty trace CSV")
+    header_number, header_row = rows[0]
+    header = tuple(cell.strip() for cell in header_row)
     if header != HEADER:
-        raise ValueError(f"expected header {HEADER}, got {header}")
+        raise ValueError(f"{source} row {header_number}: expected header {HEADER}, got {header}")
     starts: List[float] = []
-    powers: List[Union[float, None]] = []
-    for row in rows[1:]:
-        if len(row) < 1:
-            continue
-        start = float(row[0])
-        power = float(row[1]) if len(row) > 1 and row[1].strip() != "" else None
+    powers: List[Optional[float]] = []
+    row_numbers: List[int] = []
+    for number, row in rows[1:]:
+        start = _parse_float(row[0], source, number, "start_s")
+        if starts and start <= starts[-1]:
+            problem = "duplicates" if start == starts[-1] else "goes backwards from"
+            raise ValueError(
+                f"{source} row {number}: start_s {start:g} {problem} the previous "
+                f"row's {starts[-1]:g}; timestamps must be strictly increasing"
+            )
+        if len(row) > 1 and row[1].strip() != "":
+            power: Optional[float] = _parse_float(row[1], source, number, "power_w")
+        else:
+            power = None
         starts.append(start)
         powers.append(power)
+        row_numbers.append(number)
     if not starts:
-        raise ValueError("trace CSV has no samples")
+        raise ValueError(f"{source}: trace CSV has no samples")
 
     has_footer = powers[-1] is None
     segments: List[Segment] = []
@@ -63,17 +115,27 @@ def trace_from_csv(text: str) -> PowerTrace:
         boundary_starts = starts
         boundary_powers = powers[:-1]
         if len(boundary_starts) < 2:
-            raise ValueError("trace CSV needs at least one segment before the footer")
+            raise ValueError(
+                f"{source}: trace CSV needs at least one segment before the footer"
+            )
         for i, power in enumerate(boundary_powers):
             if power is None:
-                raise ValueError("only the footer row may omit power")
+                raise ValueError(
+                    f"{source} row {row_numbers[i]}: only the footer row may omit power_w"
+                )
             segments.append(Segment(boundary_starts[i], boundary_starts[i + 1] - boundary_starts[i], power))
     else:
         if len(starts) == 1:
-            raise ValueError("cannot infer duration from a single footerless sample")
+            raise ValueError(
+                f"{source}: cannot infer duration from a single footerless sample"
+            )
         gaps = sorted(b - a for a, b in zip(starts, starts[1:]))
         median_gap = gaps[len(gaps) // 2]
         for i, power in enumerate(powers):
+            if power is None:
+                raise ValueError(
+                    f"{source} row {row_numbers[i]}: only the footer row may omit power_w"
+                )
             end = starts[i + 1] if i + 1 < len(starts) else starts[i] + median_gap
             segments.append(Segment(starts[i], end - starts[i], power))
     return PowerTrace(segments)
@@ -85,5 +147,6 @@ def save_trace(trace: PowerTrace, path: Union[str, pathlib.Path]) -> None:
 
 
 def load_trace(path: Union[str, pathlib.Path]) -> PowerTrace:
-    """Read a trace from a CSV file."""
-    return trace_from_csv(pathlib.Path(path).read_text())
+    """Read a trace from a CSV file (errors name the file and row)."""
+    path = pathlib.Path(path)
+    return trace_from_csv(path.read_text(), source=str(path))

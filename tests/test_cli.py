@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENT_DESCRIPTIONS, _experiment_registry, main
@@ -45,3 +47,132 @@ class TestRun:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_invalid_engine_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "tab01", "--engine", "warp"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_run_with_trace_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "fig14.trace.jsonl"
+        assert main(["run", "fig14", "--trace", str(out)]) == 0
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[0])["schema"] == "repro.obs/v1"
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "counter" in kinds
+
+    def test_run_trace_restores_default_tracer(self, tmp_path, capsys):
+        from repro.obs import NULL_TRACER, get_default_tracer
+
+        assert main(["run", "tab01", "--trace", str(tmp_path / "t.jsonl")]) == 0
+        capsys.readouterr()
+        assert get_default_tracer() is NULL_TRACER
+
+
+class TestTrace:
+    # The watch day at a coarse step keeps these runs fast.
+    FAST = ["--dt", "60"]
+
+    def test_scenario_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "watch.trace.jsonl"
+        assert main(["trace", "watch-day", *self.FAST, "--out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta == {"kind": "meta", "schema": "repro.obs/v1"}
+        records = [json.loads(line) for line in lines[1:]]
+        assert any(r["kind"] == "event" and r["name"] == "runtime.ratio_decision"
+                   for r in records)
+        assert any(r["kind"] == "counter" and r["name"] == "emulator.steps"
+                   for r in records)
+
+    def test_scenario_chrome_format(self, tmp_path, capsys):
+        out = tmp_path / "watch.chrome.json"
+        assert main(["trace", "watch-day", *self.FAST, "--trace-format", "chrome",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert {"X", "i", "M"} <= {e["ph"] for e in doc["traceEvents"]}
+
+    def test_scenario_summary_format(self, capsys):
+        assert main(["trace", "watch-day", *self.FAST, "--trace-format", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "emulator.steps" in out
+
+    def test_convert_jsonl_to_chrome(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.trace.jsonl"
+        assert main(["trace", "watch-day", *self.FAST, "--out", str(jsonl)]) == 0
+        assert main(["trace", str(jsonl), "--trace-format", "chrome"]) == 0
+        converted = tmp_path / "run.trace.chrome.json"
+        assert converted.exists()
+        assert json.loads(converted.read_text())["traceEvents"]
+
+    def test_convert_requires_chrome_format(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.trace.jsonl"
+        jsonl.write_text('{"kind": "meta", "schema": "repro.obs/v1"}\n')
+        assert main(["trace", str(jsonl)]) == 2
+        err = capsys.readouterr().err
+        assert "--trace-format chrome" in err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["trace", "no-such-day"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line message, no traceback
+        assert "unknown scenario" in err
+
+    def test_missing_jsonl_exits_2(self, capsys):
+        assert main(["trace", "/nope/missing.trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert "not found" in err
+        assert "Traceback" not in err
+
+    def test_missing_csv_exits_2(self, capsys):
+        assert main(["trace", "/nope/missing.csv"]) == 2
+        err = capsys.readouterr().err
+        assert "not found" in err
+
+    def test_invalid_csv_exits_2_with_row(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("start_s,power_w\n0.0,1.0\n0.0,2.0\n10.0,\n")
+        assert main(["trace", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "row 3" in err
+        assert "Traceback" not in err
+
+    def test_invalid_engine_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "watch-day", "--engine", "warp"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_nonpositive_dt_exits_2(self, capsys):
+        assert main(["trace", "watch-day", "--dt", "0"]) == 2
+        assert "dt must be positive" in capsys.readouterr().err
+
+    def test_corrupt_jsonl_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["trace", str(bad), "--trace-format", "chrome"]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err
+
+    def test_workload_csv_runs(self, tmp_path, capsys):
+        csv_path = tmp_path / "load.csv"
+        csv_path.write_text("start_s,power_w\n0.0,1.5\n1800.0,0.5\n3600.0,\n")
+        out = tmp_path / "load.trace.jsonl"
+        assert main(["trace", str(csv_path), "--device", "phone", "--dt", "60",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestChaosTrace:
+    def test_chaos_with_trace(self, tmp_path, capsys):
+        out = tmp_path / "chaos.trace.jsonl"
+        assert main(["chaos", "--seed", "7", "--dt", "120", "--trace", str(out)]) == 0
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[0])["schema"] == "repro.obs/v1"

@@ -1,0 +1,109 @@
+"""Regression tests for PlugSchedule.power_at's bisect lookup.
+
+The scalar lookup used to be a linear scan over the windows; it is now a
+bisect over the sorted window starts. These tests pin the scalar result
+against both a brute-force reference and the vectorized ``powers_at``,
+with particular attention to the window-boundary convention:
+``start_s`` inclusive, ``end_s`` exclusive.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator.events import PlugSchedule, PlugWindow
+
+
+def linear_scan_power(windows, t):
+    """The former implementation: first window containing ``t``."""
+    for window in windows:
+        if window.start_s <= t < window.end_s:
+            return window.power_w
+    return 0.0
+
+
+def make_schedule():
+    return PlugSchedule([
+        PlugWindow(100.0, 200.0, 5.0),
+        PlugWindow(200.0, 250.0, 7.5),  # back-to-back with the previous
+        PlugWindow(400.0, 500.0, 10.0),
+    ])
+
+
+class TestPowerAtBoundaries:
+    @pytest.mark.parametrize("t,expected", [
+        (99.999, 0.0),
+        (100.0, 5.0),     # start_s inclusive
+        (150.0, 5.0),
+        (199.999, 5.0),
+        (200.0, 7.5),     # end_s exclusive; adjacent window takes over
+        (249.999, 7.5),
+        (250.0, 0.0),     # end_s exclusive into a gap
+        (399.999, 0.0),
+        (400.0, 10.0),
+        (500.0, 0.0),
+        (-10.0, 0.0),     # before every window
+        (1e9, 0.0),       # after every window
+    ])
+    def test_pinned_boundary_values(self, t, expected):
+        assert make_schedule().power_at(t) == expected
+
+    def test_empty_schedule(self):
+        assert PlugSchedule.never().power_at(0.0) == 0.0
+        assert PlugSchedule.never().power_at(100.0) == 0.0
+
+    def test_always_schedule(self):
+        schedule = PlugSchedule.always(3.0, 1000.0)
+        assert schedule.power_at(0.0) == 3.0
+        assert schedule.power_at(999.999) == 3.0
+        assert schedule.power_at(1000.0) == 0.0
+
+    def test_unsorted_input_windows(self):
+        schedule = PlugSchedule([
+            PlugWindow(400.0, 500.0, 10.0),
+            PlugWindow(100.0, 200.0, 5.0),
+        ])
+        assert schedule.power_at(150.0) == 5.0
+        assert schedule.power_at(450.0) == 10.0
+
+
+class TestScalarVectorizedParity:
+    def test_parity_on_boundary_times(self):
+        schedule = make_schedule()
+        boundaries = [w.start_s for w in schedule.windows] + [w.end_s for w in schedule.windows]
+        times = sorted(
+            set(boundaries)
+            | {b - 1e-9 for b in boundaries}
+            | {b + 1e-9 for b in boundaries}
+        )
+        scalar = [schedule.power_at(t) for t in times]
+        vectorized = schedule.powers_at(times)
+        np.testing.assert_array_equal(scalar, vectorized)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e5),
+                st.floats(min_value=0.1, max_value=1e4),
+                st.floats(min_value=0.1, max_value=100.0),
+            ),
+            max_size=8,
+        ),
+        st.lists(st.floats(min_value=-100.0, max_value=2e5), min_size=1, max_size=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_parity_and_linear_scan_equivalence(self, raw_windows, times):
+        windows = []
+        cursor = 0.0
+        for offset, length, power in raw_windows:
+            start = cursor + offset
+            windows.append(PlugWindow(start, start + length, power))
+            cursor = start + length
+        schedule = PlugSchedule(windows)
+        # Probe the exact boundaries too, not just the random times.
+        times = times + [w.start_s for w in windows] + [w.end_s for w in windows]
+        scalar = [schedule.power_at(t) for t in times]
+        reference = [linear_scan_power(windows, t) for t in times]
+        assert scalar == reference
+        np.testing.assert_array_equal(scalar, schedule.powers_at(times))

@@ -72,6 +72,73 @@ class TestTraceRoundTrip:
         restored = trace_from_csv(trace_to_csv(trace))
         assert restored.total_energy_j() == pytest.approx(trace.total_energy_j(), rel=1e-6, abs=1e-6)
 
+    @given(
+        powers=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=30),
+        seg=st.floats(min_value=0.5, max_value=600.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_footerless_round_trip_property(self, powers, seg):
+        """Dropping the footer from a uniform dump loses no energy: the
+        median-gap inference reconstructs the final segment exactly."""
+        trace = PowerTrace.from_powers(powers, seg)
+        footerless = "".join(trace_to_csv(trace).splitlines(keepends=True)[:-1])
+        restored = trace_from_csv(footerless)
+        assert len(restored.segments) == len(trace.segments)
+        assert restored.duration_s == pytest.approx(trace.duration_s, rel=1e-6)
+        assert restored.total_energy_j() == pytest.approx(trace.total_energy_j(), rel=1e-6, abs=1e-6)
+
+
+class TestCsvValidation:
+    """The strict input rules documented in repro.workloads.io."""
+
+    def test_rejects_out_of_order_start_with_row_number(self):
+        text = "start_s,power_w\n0.0,1.0\n20.0,2.0\n10.0,3.0\n30.0,\n"
+        with pytest.raises(ValueError) as excinfo:
+            trace_from_csv(text)
+        message = str(excinfo.value)
+        assert "row 4" in message
+        assert "strictly increasing" in message
+
+    def test_rejects_duplicate_start_with_row_number(self):
+        text = "start_s,power_w\n0.0,1.0\n10.0,2.0\n10.0,3.0\n"
+        with pytest.raises(ValueError) as excinfo:
+            trace_from_csv(text)
+        message = str(excinfo.value)
+        assert "row 4" in message
+        assert "duplicates" in message
+
+    def test_malformed_start_cell_names_row(self):
+        with pytest.raises(ValueError, match=r"row 3: invalid start_s value 'oops'"):
+            trace_from_csv("start_s,power_w\n0.0,1.0\noops,2.0\n")
+
+    def test_malformed_power_cell_names_row(self):
+        with pytest.raises(ValueError, match=r"row 2: invalid power_w value 'NaW'"):
+            trace_from_csv("start_s,power_w\n0.0,NaW\n10.0,\n")
+
+    def test_blank_rows_skipped_but_counted(self):
+        # Physical row numbers: header=1, blank=2, data=3, bad=4.
+        text = "start_s,power_w\n\n0.0,1.0\nbad,2.0\n"
+        with pytest.raises(ValueError, match="row 4"):
+            trace_from_csv(text)
+
+    def test_load_trace_errors_name_the_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("start_s,power_w\n0.0,1.0\n0.0,2.0\n")
+        with pytest.raises(ValueError, match="bad.csv"):
+            load_trace(path)
+
+    def test_mid_file_missing_power_names_row(self):
+        with pytest.raises(ValueError, match="row 3"):
+            trace_from_csv("start_s,power_w\n0.0,1.0\n5.0,\n10.0,2.0\n20.0,\n")
+
+    def test_footerless_missing_power_names_row(self):
+        with pytest.raises(ValueError, match="row 2"):
+            trace_from_csv("start_s,power_w\n0.0,\n5.0,1.0\n10.0,2.0\n")
+
+    def test_valid_trace_still_loads(self):
+        trace = trace_from_csv("start_s,power_w\n0.0,1.0\n10.0,2.0\n20.0,\n")
+        assert trace.duration_s == pytest.approx(20.0)
+
 
 class TestLibraryRegistration:
     def _descriptor(self, bid="X99"):
