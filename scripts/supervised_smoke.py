@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""CI smoke: SIGKILL a supervised run mid-flight, resume, verify bit-exact.
+
+For each emulation engine this script:
+
+1. launches ``python -m repro supervise watch-day`` in a subprocess with
+   a checkpoint path and a replay-manifest path;
+2. waits for the first ``repro.ckpt/v1`` checkpoint to land, then sends
+   the process SIGKILL — the least polite termination there is;
+3. re-invokes the identical command, which resumes from the surviving
+   checkpoint and runs to completion, recording the replay manifest;
+4. runs ``python -m repro replay`` on that manifest — which re-executes
+   the scenario *from scratch* and demands bit-for-bit equality with the
+   killed-and-resumed run's recorded metrics (exit 0 or the build fails).
+
+Artifacts (checkpoint + manifest per engine) are left in ``--out`` for
+upload. See docs/checkpointing.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ENGINES = ("reference", "vectorized")
+SCENARIO = "watch-day"
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def supervise_cmd(engine: str, dt: float, ckpt: pathlib.Path, manifest: pathlib.Path) -> list:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "supervise",
+        SCENARIO,
+        "--engine",
+        engine,
+        "--dt",
+        str(dt),
+        "--checkpoint",
+        str(ckpt),
+        "--manifest",
+        str(manifest),
+    ]
+
+
+def smoke_one_engine(engine: str, dt: float, out_dir: pathlib.Path) -> None:
+    ckpt = out_dir / f"{SCENARIO}-{engine}.ckpt.json"
+    manifest = out_dir / f"{SCENARIO}-{engine}.replay.json"
+    cmd = supervise_cmd(engine, dt, ckpt, manifest)
+
+    print(f"[{engine}] supervised run started (SIGKILL incoming)", flush=True)
+    victim = subprocess.Popen(
+        cmd, env=child_env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    deadline = time.monotonic() + 300.0
+    while not ckpt.exists() and victim.poll() is None:
+        if time.monotonic() > deadline:
+            victim.kill()
+            raise SystemExit(f"[{engine}] no checkpoint appeared within the deadline")
+        time.sleep(0.005)
+    if victim.poll() is None:
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60.0)
+        print(f"[{engine}] SIGKILLed pid {victim.pid} mid-run", flush=True)
+    else:
+        # The run outraced the kill; the resume path below still re-runs
+        # from the leftover checkpoint, but flag it so a chronically fast
+        # runner gets noticed and the dt lowered.
+        print(f"[{engine}] WARNING: run finished before the kill landed", flush=True)
+    if not ckpt.exists():
+        raise SystemExit(f"[{engine}] the atomic checkpoint did not survive the SIGKILL")
+
+    print(f"[{engine}] resuming from {ckpt.name}", flush=True)
+    resumed = subprocess.run(cmd, env=child_env(), capture_output=True, text=True)
+    if resumed.returncode != 0:
+        sys.stderr.write(resumed.stdout + resumed.stderr)
+        raise SystemExit(f"[{engine}] resumed run failed with exit {resumed.returncode}")
+    sys.stdout.write(resumed.stdout)
+    if not manifest.exists():
+        raise SystemExit(f"[{engine}] resumed run recorded no replay manifest")
+
+    print(f"[{engine}] replaying {manifest.name} from scratch", flush=True)
+    replayed = subprocess.run(
+        [sys.executable, "-m", "repro", "replay", str(manifest)],
+        env=child_env(),
+        capture_output=True,
+        text=True,
+    )
+    if replayed.returncode != 0:
+        sys.stderr.write(replayed.stdout + replayed.stderr)
+        raise SystemExit(
+            f"[{engine}] replay exit {replayed.returncode}: the killed-and-resumed "
+            "run is NOT bit-identical to an uninterrupted one"
+        )
+    print(f"[{engine}] OK: resume was bit-identical to an uninterrupted run", flush=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="smoke-supervised", help="artifact directory")
+    parser.add_argument(
+        "--dt",
+        type=float,
+        default=1.0,
+        help="emulation step in seconds (small enough that the kill lands mid-run)",
+    )
+    args = parser.parse_args()
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for engine in ENGINES:
+        smoke_one_engine(engine, args.dt, out_dir)
+    print("supervised smoke passed for both engines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cell.thevenin import StepResult, TheveninCell
+from repro.determinism import SeedLike, resolve_rng
 
 
 @dataclass(frozen=True)
@@ -68,15 +70,35 @@ class KalmanSocEstimator:
         config: filter tuning.
         initial_soc: initial guess (defaults to the truth, as a gauge
             calibrated at the factory would start).
+        noise_rng: optional randomness source for synthetic measurement
+            noise — an int seed or an explicit caller-owned
+            :class:`numpy.random.Generator` (the determinism rule: no
+            module-level randomness, so a checkpointed/replayed run can
+            pin the stream). ``None`` (the default) keeps measurements
+            noiseless and the estimator fully deterministic.
+        voltage_noise_std: standard deviation of the synthetic Gaussian
+            noise added to each terminal-voltage measurement, volts.
+            Only applied when ``noise_rng`` is given.
     """
 
-    def __init__(self, cell: TheveninCell, config: EstimatorConfig = EstimatorConfig(), initial_soc: float = None):
+    def __init__(
+        self,
+        cell: TheveninCell,
+        config: EstimatorConfig = EstimatorConfig(),
+        initial_soc: float = None,
+        noise_rng: Optional[SeedLike] = None,
+        voltage_noise_std: float = 0.0,
+    ):
+        if voltage_noise_std < 0:
+            raise ValueError("voltage_noise_std must be non-negative")
         self.cell = cell
         self.config = config
         self.soc_estimate = cell.soc if initial_soc is None else float(initial_soc)
         self.variance = config.initial_variance
         self.v_rc_estimate = 0.0
         self.updates = 0
+        self.noise_rng = None if noise_rng is None else resolve_rng(noise_rng)
+        self.voltage_noise_std = float(voltage_noise_std)
         cell.add_observer(self.observe)
 
     def observe(self, step: StepResult) -> None:
@@ -98,7 +120,10 @@ class KalmanSocEstimator:
         # --- update: terminal-voltage innovation -------------------------
         r = params.dcir(self.soc_estimate) * self.cell.aging.resistance_factor
         predicted_v = params.ocp(self.soc_estimate) - measured_current * r - self.v_rc_estimate
-        innovation = step.terminal_voltage - predicted_v
+        measured_v = step.terminal_voltage
+        if self.noise_rng is not None and self.voltage_noise_std > 0.0:
+            measured_v += float(self.noise_rng.normal(0.0, self.voltage_noise_std))
+        innovation = measured_v - predicted_v
         slope = max(params.ocp.derivative(self.soc_estimate), self.config.min_ocp_slope)
         gain = self.variance * slope / (slope * slope * self.variance + self.config.voltage_noise)
         self.soc_estimate = min(1.0, max(0.0, self.soc_estimate + gain * innovation))

@@ -1,0 +1,50 @@
+"""Crash-safe checkpoint/restore for long emulations (``repro.ckpt/v1``).
+
+Public surface:
+
+* :func:`write_checkpoint` / :func:`read_checkpoint` — atomic,
+  checksummed persistence of a payload dict;
+* :func:`capture_emulator_state` / :func:`restore_emulator_state` — the
+  emulation payload itself;
+* :func:`emulator_config_digest` — the configuration fingerprint that
+  checkpoints and replay manifests are pinned to.
+
+Most callers never touch these directly: use
+``SDBEmulator.save_checkpoint`` / ``load_checkpoint`` /
+``run(resume_from=...)``, or the :class:`~repro.supervisor.RunSupervisor`
+which drives them automatically. See ``docs/checkpointing.md``.
+"""
+
+from repro.checkpoint.format import (
+    CKPT_FORMAT,
+    payload_checksum,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.checkpoint.state import (
+    capture_cell,
+    capture_emulator_state,
+    capture_gauge,
+    capture_runtime,
+    emulator_config_digest,
+    restore_cell,
+    restore_emulator_state,
+    restore_gauge,
+    restore_runtime,
+)
+
+__all__ = [
+    "CKPT_FORMAT",
+    "payload_checksum",
+    "read_checkpoint",
+    "write_checkpoint",
+    "capture_emulator_state",
+    "restore_emulator_state",
+    "emulator_config_digest",
+    "capture_cell",
+    "restore_cell",
+    "capture_gauge",
+    "restore_gauge",
+    "capture_runtime",
+    "restore_runtime",
+]

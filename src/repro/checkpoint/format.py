@@ -1,0 +1,120 @@
+"""The ``repro.ckpt/v1`` on-disk snapshot format.
+
+A checkpoint file is a single JSON document::
+
+    {
+      "format":   "repro.ckpt/v1",
+      "checksum": "sha256:<hex of the canonical payload encoding>",
+      "payload":  { ... }
+    }
+
+Two properties matter more than the schema itself:
+
+* **Atomicity.** :func:`write_checkpoint` writes to a temporary file in
+  the same directory, flushes and fsyncs it, then ``os.replace``\\ s it
+  over the target. A SIGKILL (or power loss) at any instant leaves either
+  the previous complete checkpoint or the new complete checkpoint on
+  disk — never a torn file.
+
+* **Verifiability.** The checksum is a SHA-256 over the *canonical*
+  encoding of the payload (sorted keys, compact separators), so
+  :func:`read_checkpoint` detects corruption, truncation, and hand-edits
+  before any state is restored. All failures raise
+  :class:`~repro.errors.CheckpointError`.
+
+Floats survive the round-trip bit-exactly: ``json`` serializes them with
+``repr`` (shortest string that parses back to the same IEEE-754 double)
+and parses ``NaN``/``Infinity`` tokens, so checkpoint/restore never
+perturbs emulation state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict
+
+from repro.errors import CheckpointError
+
+__all__ = ["CKPT_FORMAT", "payload_checksum", "write_checkpoint", "read_checkpoint"]
+
+#: Format tag embedded in (and required of) every checkpoint file.
+CKPT_FORMAT = "repro.ckpt/v1"
+
+
+def _canonical(payload: Dict[str, Any]) -> str:
+    """The canonical encoding the checksum is computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """``sha256:<hex>`` digest of the payload's canonical encoding."""
+    digest = hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
+def write_checkpoint(path: str, payload: Dict[str, Any]) -> str:
+    """Atomically persist ``payload`` as a ``repro.ckpt/v1`` file at ``path``.
+
+    Returns ``path``. Raises :class:`CheckpointError` if the payload is not
+    JSON-serializable or the filesystem rejects the write.
+    """
+    path = os.fspath(path)
+    envelope = {
+        "format": CKPT_FORMAT,
+        "checksum": payload_checksum(payload),
+        "payload": payload,
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        encoded = json.dumps(envelope, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint payload is not JSON-serializable: {exc}") from exc
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint {path!r}: {exc}") from exc
+    return path
+
+
+def read_checkpoint(path: str) -> Dict[str, Any]:
+    """Load, validate, and return the payload of a checkpoint file.
+
+    Raises :class:`CheckpointError` on a missing/unreadable file, malformed
+    JSON, an unknown format tag, or a checksum mismatch.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise CheckpointError(f"checkpoint {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise CheckpointError(f"checkpoint {path!r} is missing its envelope")
+    fmt = envelope.get("format")
+    if fmt != CKPT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format {fmt!r}; this build reads {CKPT_FORMAT!r}"
+        )
+    payload = envelope["payload"]
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"checkpoint {path!r} payload must be an object")
+    expected = envelope.get("checksum")
+    actual = payload_checksum(payload)
+    if expected != actual:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed checksum validation "
+            f"(recorded {expected!r}, recomputed {actual!r}) — the file is corrupt"
+        )
+    return payload

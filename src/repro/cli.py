@@ -10,6 +10,8 @@ Usage::
     python -m repro chaos --seed 7
     python -m repro trace tablet-day --out run.trace.jsonl
     python -m repro trace run.trace.jsonl --trace-format chrome --out run.json
+    python -m repro supervise watch-day --manifest watch.replay.json
+    python -m repro replay watch.replay.json
 
 ``run`` prints each experiment's tables and optionally writes them to a
 directory (one text file per experiment). ``chaos`` replays the tablet
@@ -18,6 +20,11 @@ the self-healing runtime (see ``docs/resilience.md``). ``trace`` runs a
 bundled scenario (or a workload CSV) with structured tracing enabled and
 writes the event log — or converts a saved ``.trace.jsonl`` to the
 Chrome ``trace_event`` format (see ``docs/observability.md``).
+``supervise`` runs under the crash-safe supervisor (periodic
+``repro.ckpt/v1`` checkpoints, strict invariants, bounded restarts,
+automatic resume from an existing checkpoint) and ``replay`` re-executes
+a recorded manifest and verifies bit-exact reproduction — see
+``docs/checkpointing.md``.
 """
 
 from __future__ import annotations
@@ -114,9 +121,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         for name in names:
             driver = registry[name]
             kwargs = {}
+            params = inspect.signature(driver).parameters
             engine = getattr(args, "engine", None)
-            if engine and "engine" in inspect.signature(driver).parameters:
+            if engine and "engine" in params:
                 kwargs["engine"] = engine
+            checkpoint_dir = getattr(args, "checkpoint_dir", None)
+            if checkpoint_dir and "checkpoint_dir" in params:
+                kwargs["checkpoint_dir"] = checkpoint_dir
             result = driver(**kwargs)
             parts = [table.format() for table in result.tables()]
             if args.plot:
@@ -261,6 +272,133 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return _export_trace(tracer, fmt, out)
 
 
+def _build_factory(args: argparse.Namespace):
+    """Resolve the supervise/replay run source into an emulator factory.
+
+    Returns ``(factory, label, manifest_kwargs)`` or an exit code (int)
+    after printing the error — the exit-2 contract for unusable input.
+    """
+    from repro.obs.scenarios import SCENARIOS, build_scenario, build_workload_emulator
+
+    source = args.source
+    if args.dt <= 0:
+        print("dt must be positive", file=sys.stderr)
+        return 2
+    if source.endswith(".csv"):
+        path = pathlib.Path(source)
+        if not path.exists():
+            print(f"workload CSV not found: {path}", file=sys.stderr)
+            return 2
+        from repro.workloads.io import load_trace
+
+        try:
+            workload = load_trace(path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+        def factory():
+            return build_workload_emulator(
+                workload, device=args.device, engine=args.engine, dt_s=args.dt
+            )
+
+        return factory, path.stem, {"csv_path": str(path), "device": args.device}
+
+    if source not in SCENARIOS:
+        print(
+            f"unknown scenario {source!r}; valid: {', '.join(SCENARIOS)} "
+            "(or a .csv workload path)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def factory():
+        return build_scenario(source, engine=args.engine, dt_s=args.dt, seed=args.seed)
+
+    return factory, source, {"scenario": source, "seed": args.seed}
+
+
+def cmd_supervise(args: argparse.Namespace) -> int:
+    """Run a scenario/workload under the crash-safe run supervisor.
+
+    Checkpoints every ``--every-h`` simulated hours; if the checkpoint
+    file already exists (e.g. a previous invocation was SIGKILLed), the
+    run resumes from it. ``--manifest`` also records a replay manifest
+    for ``repro replay``.
+    """
+    from repro.errors import SupervisorError
+    from repro.supervisor import RunSupervisor
+
+    resolved = _build_factory(args)
+    if isinstance(resolved, int):
+        return resolved
+    factory, label, manifest_kwargs = resolved
+    if args.every_h <= 0:
+        print("--every-h must be positive", file=sys.stderr)
+        return 2
+    checkpoint = args.checkpoint or f"{label}.ckpt.json"
+
+    try:
+        # Constructing one emulator up front surfaces configuration errors
+        # (bad dt, non-finite trace samples) as exit 2, not a crash.
+        factory()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    supervisor = RunSupervisor(
+        factory,
+        checkpoint,
+        checkpoint_every_s=args.every_h * units.SECONDS_PER_HOUR,
+        max_restarts=args.max_restarts,
+        watchdog_timeout_s=args.watchdog_s,
+        strict=not args.no_strict,
+    )
+    try:
+        run = supervisor.run()
+    except SupervisorError as exc:
+        print(f"supervisor: {exc}", file=sys.stderr)
+        return 1
+    result = run.result
+    print(result.summary())
+    print(result.resilience_summary())
+    if run.restarts:
+        print(f"supervisor: {len(run.restarts)} restart(s), {run.attempts} attempt(s)")
+        for event in run.restarts:
+            print(f"  [{event.t:10.1f} s] {event.detail}")
+    else:
+        print("supervisor: clean run, no restarts")
+    print(f"checkpoint: {run.checkpoint_path}")
+    if args.manifest:
+        from repro.replay import build_manifest, write_manifest
+
+        manifest = build_manifest(run.emulator, result, **manifest_kwargs)
+        write_manifest(args.manifest, manifest)
+        print(f"replay manifest: {args.manifest}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded manifest and verify it reproduces exactly."""
+    from repro.errors import CheckpointError
+    from repro.replay import replay
+
+    try:
+        report = replay(args.manifest, checkpoint=args.checkpoint)
+    except (ValueError, CheckpointError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if report.matched:
+        if report.result is not None:
+            print(report.result.summary())
+        print("replay: reproduced the recorded results exactly")
+        return 0
+    print("replay: MISMATCH against the recorded results", file=sys.stderr)
+    for diff in report.diffs:
+        print(f"  {diff}", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -295,6 +433,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=TRACE_FORMATS,
         default="jsonl",
         help="trace output format (default: jsonl)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="checkpoint directory for resumable experiments (longevity); "
+        "an interrupted run re-invoked with the same DIR resumes",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -352,6 +496,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="platform for workload-CSV runs (default: phone)",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_supervise = sub.add_parser(
+        "supervise",
+        help="run a scenario/workload under the crash-safe supervisor "
+        "(periodic checkpoints, strict invariants, bounded restarts)",
+    )
+    p_supervise.add_argument(
+        "source",
+        help="scenario name (tablet-day, watch-day, phone-day, chaos-tablet) "
+        "or a workload .csv",
+    )
+    p_supervise.add_argument(
+        "--checkpoint",
+        help="checkpoint file path (default: <source>.ckpt.json); resumes "
+        "from it automatically when it already exists",
+    )
+    p_supervise.add_argument(
+        "--every-h",
+        type=float,
+        default=1.0,
+        help="checkpoint cadence in simulated hours (default 1)",
+    )
+    p_supervise.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="restart budget before giving up (default 3)",
+    )
+    p_supervise.add_argument(
+        "--watchdog-s",
+        type=float,
+        default=None,
+        help="wall-clock stall watchdog timeout in seconds (default: off)",
+    )
+    p_supervise.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="disable strict invariant checking (on by default under supervise)",
+    )
+    p_supervise.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="also record a repro.replay/v1 manifest for 'repro replay'",
+    )
+    p_supervise.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="emulation engine (default: reference)",
+    )
+    p_supervise.add_argument("--dt", type=float, default=10.0, help="emulation step in seconds (default 10)")
+    p_supervise.add_argument(
+        "--device",
+        choices=("tablet", "phone", "watch"),
+        default="phone",
+        help="platform for workload-CSV runs (default: phone)",
+    )
+    p_supervise.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="chaos fault-schedule seed for chaos-tablet (default 7)",
+    )
+    p_supervise.set_defaults(func=cmd_supervise)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a recorded replay manifest and verify it "
+        "reproduces the recorded results exactly",
+    )
+    p_replay.add_argument("manifest", help="repro.replay/v1 manifest path")
+    p_replay.add_argument(
+        "--checkpoint",
+        help="resume the replay from a mid-run repro.ckpt/v1 snapshot",
+    )
+    p_replay.set_defaults(func=cmd_replay)
 
     return parser
 

@@ -1,0 +1,98 @@
+"""Determinism helpers: explicit RNG threading and state capture.
+
+The replay story (``docs/checkpointing.md``) only works if a seed in the
+manifest fully pins a run. Two rules enforce that across the codebase:
+
+1. **No module-level randomness.** Every stochastic path — workload
+   generators, chaos-schedule sampling, estimator measurement noise —
+   takes either an integer seed or an explicit
+   :class:`numpy.random.Generator`. :func:`resolve_rng` is the single
+   conversion point, so ``f(seed=7)`` and ``f(seed=np.random.default_rng(7))``
+   produce bit-identical streams.
+
+2. **Generator state is checkpointable.** A mid-run checkpoint must
+   capture any generator that will be consumed after the resume point;
+   :func:`generator_state` / :func:`restore_generator_state` round-trip a
+   generator's bit-generator state through JSON-safe dicts, and the
+   emulator checkpoints every generator registered in its ``rngs`` map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "SeedLike",
+    "resolve_rng",
+    "generator_state",
+    "restore_generator_state",
+    "capture_rng_map",
+    "restore_rng_map",
+]
+
+#: Anything the stochastic entry points accept as their randomness source.
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def resolve_rng(seed: SeedLike) -> np.random.Generator:
+    """Turn a seed-or-generator into an explicit :class:`numpy.random.Generator`.
+
+    An integer (or None) seeds a fresh ``default_rng``; an existing
+    generator passes through untouched so callers can thread one stream
+    through several consumers and checkpoint it once.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _jsonify(value):
+    """Recursively convert numpy scalars/arrays in a state tree to JSON types."""
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """A JSON-serializable snapshot of a generator's internal state."""
+    return _jsonify(rng.bit_generator.state)
+
+
+def restore_generator_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot taken by :func:`generator_state`.
+
+    The generator's bit-generator class must match the snapshot's
+    (``state["bit_generator"]``); numpy enforces this on assignment.
+    """
+    rng.bit_generator.state = state
+
+
+def capture_rng_map(rngs: Optional[Dict[str, np.random.Generator]]) -> dict:
+    """Snapshot a name -> generator registry (empty dict when None)."""
+    if not rngs:
+        return {}
+    return {name: generator_state(rng) for name, rng in rngs.items()}
+
+
+def restore_rng_map(rngs: Optional[Dict[str, np.random.Generator]], states: dict) -> None:
+    """Restore every registered generator that has a saved state.
+
+    Names present in ``states`` but missing from ``rngs`` are ignored —
+    the caller chose not to re-register that stream for the resumed run.
+    """
+    if not rngs:
+        return
+    for name, rng in rngs.items():
+        state = states.get(name)
+        if state is not None:
+            restore_generator_state(rng, state)

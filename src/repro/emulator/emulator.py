@@ -22,15 +22,26 @@ battery life).
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro import units
 from repro.core.health import Incident
 from repro.core.runtime import SDBRuntime
 from repro.emulator.events import PlugSchedule
-from repro.errors import BatteryEmptyError, BatteryError, EmulationError, PolicyError, PowerLimitError
+from repro.errors import (
+    BatteryEmptyError,
+    BatteryError,
+    CheckpointError,
+    EmulationError,
+    InvariantViolation,
+    PolicyError,
+    PowerLimitError,
+)
 from repro.faults.events import FaultEvent
 from repro.faults.schedule import FaultSchedule
 from repro.hardware.microcontroller import SDBMicrocontroller
@@ -178,6 +189,20 @@ class SDBEmulator:
             When enabled, :meth:`run` also attaches it to the runtime and
             controller (unless they already carry an enabled tracer) so
             one flag lights up the whole stack.
+        strict: raise a typed :class:`InvariantViolation` the moment a
+            step produces physically impossible state (non-finite SoC/RC
+            voltage/accumulators, SoC outside [0, 1], installed discharge
+            ratios not summing to 1) instead of letting NaNs propagate.
+            On by default under the run supervisor.
+        rngs: optional name -> :class:`numpy.random.Generator` registry of
+            every stream the run consumes (hook noise, estimator noise,
+            ...). Registered generators are captured in checkpoints and
+            restored on resume so stochastic runs stay bit-reproducible.
+        checkpoint_path: when set, :meth:`run` persists a ``repro.ckpt/v1``
+            snapshot here every ``checkpoint_every_s`` simulated seconds
+            (atomic write; a crash never leaves a torn file).
+        checkpoint_every_s: periodic checkpoint cadence in simulated
+            seconds (default one sim-hour when ``checkpoint_path`` is set).
     """
 
     def __init__(
@@ -192,13 +217,27 @@ class SDBEmulator:
         faults: Optional[FaultSchedule] = None,
         engine: str = "reference",
         tracer: Optional[Tracer] = None,
+        strict: bool = False,
+        rngs: Optional[Dict[str, np.random.Generator]] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every_s: Optional[float] = None,
     ):
+        if not math.isfinite(dt_s):
+            raise ValueError(f"dt must be positive and finite, got {dt_s!r}")
         if dt_s <= 0:
             raise ValueError("dt must be positive")
         if runtime.controller is not controller:
             raise ValueError("runtime must wrap the same controller")
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        for seg in trace.segments:
+            if not math.isfinite(seg.power_w):
+                raise ValueError(
+                    f"workload trace has a non-finite power sample "
+                    f"({seg.power_w!r}) at t={seg.start_s:.1f} s"
+                )
+        if checkpoint_every_s is not None and checkpoint_every_s <= 0:
+            raise ValueError("checkpoint_every_s must be positive")
         self.controller = controller
         self.runtime = runtime
         self.trace = trace
@@ -209,9 +248,26 @@ class SDBEmulator:
         self.faults = faults
         self.engine = engine
         self.tracer = tracer if tracer is not None else get_default_tracer()
+        self.strict = bool(strict)
+        self.rngs = dict(rngs) if rngs else {}
+        self.checkpoint_path = checkpoint_path
+        if checkpoint_path is not None and checkpoint_every_s is None:
+            checkpoint_every_s = units.SECONDS_PER_HOUR
+        self.checkpoint_every_s = checkpoint_every_s
         #: Per-run fault-event sink; rebound by :meth:`run` so traced runs
         #: mirror the fault timeline into the tracer.
         self._fault_sink: Callable[[FaultEvent], None] = lambda event: None
+        #: Resume cursor: how many completed steps the restored result
+        #: already holds. 0 for a fresh run.
+        self._resume_index: int = 0
+        #: Vectorized-engine warm start restored from a checkpoint.
+        self._resume_warm_current: Optional[List[float]] = None
+        #: Simulated time of the last periodic checkpoint.
+        self._last_checkpoint_t: Optional[float] = None
+        #: Monotonic progress counter the supervisor's watchdog polls.
+        self._steps_completed: int = 0
+        #: The in-flight result, for mid-run :meth:`save_checkpoint` calls.
+        self._live_result: Optional[EmulationResult] = None
 
     def _propagate_tracer(self) -> None:
         """Attach an enabled tracer to the runtime and controller.
@@ -244,12 +300,26 @@ class SDBEmulator:
 
         return sink
 
-    def run(self) -> EmulationResult:
-        """Execute the full trace and return the collected bookkeeping."""
-        result = EmulationResult(dt_s=self.dt_s)
-        n = self.controller.n
-        result.battery_depletion_s = [None] * n
-        result.downtime_s = [0.0] * n
+    def run(self, resume_from: Optional[str] = None) -> EmulationResult:
+        """Execute the full trace and return the collected bookkeeping.
+
+        With ``resume_from`` set to a ``repro.ckpt/v1`` file, the run
+        restores that snapshot and continues from its step cursor; the
+        finished result is step-for-step identical to an uninterrupted
+        run under both engines (see ``docs/checkpointing.md``).
+        """
+        if resume_from is not None:
+            result = self.load_checkpoint(resume_from)
+        else:
+            result = EmulationResult(dt_s=self.dt_s)
+            n = self.controller.n
+            result.battery_depletion_s = [None] * n
+            result.downtime_s = [0.0] * n
+            self._resume_index = 0
+            self._resume_warm_current = None
+        self._live_result = result
+        self._steps_completed = len(result.times_s)
+        self._last_checkpoint_t = result.times_s[-1] if result.times_s else self.trace.start_s
         self._propagate_tracer()
         self._fault_sink = self._make_fault_sink(result)
 
@@ -279,10 +349,115 @@ class SDBEmulator:
         return result
 
     def _run_reference(self, result: EmulationResult) -> None:
-        """The original scalar loop: one :meth:`_step` per trace step."""
-        for t, load in self.trace.steps(self.dt_s):
-            if not self._step(result, t, load):
+        """The original scalar loop: one :meth:`_step` per trace step.
+
+        The explicit accumulation mirrors :meth:`PowerTrace.steps` exactly
+        (same float additions, same end guard) so a resumed run visits
+        bit-identical timestamps: the resume skip advances ``t`` through
+        the same ``t += dt`` sequence the original run performed.
+        """
+        dt = self.dt_s
+        end = self.trace.end_s - 1e-9
+        t = self.trace.start_s
+        for _ in range(self._resume_index):
+            t += dt
+        while t < end:
+            if not self._step(result, t, self.trace.power_at(t)):
                 break
+            self._maybe_checkpoint(result, t)
+            t += dt
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint/restore
+    # ------------------------------------------------------------------ #
+
+    def _maybe_checkpoint(
+        self, result: EmulationResult, t: float, warm_current: Optional[List[float]] = None
+    ) -> None:
+        """Advance the progress counter; persist a snapshot on cadence.
+
+        Called by both engines at points where all object state is
+        committed and ``len(result.times_s)`` equals the number of
+        completed steps — the property the resume cursor relies on.
+        """
+        self._steps_completed = len(result.times_s)
+        if self.checkpoint_path is None or self.checkpoint_every_s is None:
+            return
+        last = self._last_checkpoint_t
+        if last is not None and t - last < self.checkpoint_every_s:
+            return
+        self.save_checkpoint(self.checkpoint_path, result, warm_current=warm_current)
+        self._last_checkpoint_t = t
+
+    def save_checkpoint(
+        self,
+        path: str,
+        result: Optional[EmulationResult] = None,
+        *,
+        warm_current: Optional[List[float]] = None,
+    ) -> str:
+        """Atomically persist the current emulation state as ``repro.ckpt/v1``.
+
+        ``result`` defaults to the in-flight result of the current
+        :meth:`run`; ``warm_current`` is the vectorized engine's
+        fixed-point warm start (the engine passes it automatically).
+        """
+        from repro.checkpoint.format import write_checkpoint
+        from repro.checkpoint.state import capture_emulator_state
+
+        if result is None:
+            result = self._live_result
+        if result is None:
+            raise CheckpointError(
+                "no emulation state to checkpoint: call run() first or pass a result"
+            )
+        payload = capture_emulator_state(self, result, warm_current=warm_current)
+        write_checkpoint(path, payload)
+        if self.tracer.enabled:
+            self.tracer.count("emulator.checkpoints")
+        return path
+
+    def load_checkpoint(self, path: str) -> EmulationResult:
+        """Restore a ``repro.ckpt/v1`` snapshot into this emulator.
+
+        Returns the partial :class:`EmulationResult` and arms the resume
+        cursor, so a following ``run(resume_from=path)`` — or a direct
+        call before :meth:`run` — continues the interrupted run. Raises
+        :class:`CheckpointError` on corruption or configuration mismatch.
+        """
+        from repro.checkpoint.format import read_checkpoint
+        from repro.checkpoint.state import restore_emulator_state
+
+        payload = read_checkpoint(path)
+        result = restore_emulator_state(self, payload)
+        self._resume_index = int(payload["step_index"])
+        engine_state = payload.get("engine") or {}
+        warm = engine_state.get("warm_current")
+        self._resume_warm_current = None if warm is None else [float(c) for c in warm]
+        self._live_result = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Strict invariants
+    # ------------------------------------------------------------------ #
+
+    def _check_invariants(self, t: float) -> None:
+        """Raise :class:`InvariantViolation` on physically impossible state."""
+        for i, cell in enumerate(self.controller.cells):
+            if not (math.isfinite(cell.soc) and math.isfinite(cell.v_rc)):
+                raise InvariantViolation(
+                    f"battery {i} has non-finite state at t={t:.1f} s "
+                    f"(soc={cell.soc!r}, v_rc={cell.v_rc!r})"
+                )
+            if not -1e-9 <= cell.soc <= 1.0 + 1e-9:
+                raise InvariantViolation(
+                    f"battery {i} SoC {cell.soc!r} outside [0, 1] at t={t:.1f} s"
+                )
+        total = sum(self.controller.discharge_ratios)
+        if not math.isfinite(total) or abs(total - 1.0) > 1e-6:
+            raise InvariantViolation(
+                f"installed discharge ratios sum to {total!r} (expected 1) at t={t:.1f} s"
+            )
 
     def _step(self, result: EmulationResult, t: float, load: float) -> bool:
         """Advance one full emulation step at time ``t``.
@@ -301,6 +476,8 @@ class SDBEmulator:
         tracer.count("emulator.steps")
         if self.faults is not None:
             load = self.faults.perturb_load(t, load)
+        if self.strict and not math.isfinite(load):
+            raise InvariantViolation(f"non-finite load power {load!r} at t={t:.1f} s")
         supply = self.plug.power_at(t)
         try:
             with tracer.timer("emulator.policy_tick"):
@@ -356,6 +533,11 @@ class SDBEmulator:
                 for cell in self.controller.cells:
                     if not (cell.is_empty or cell.is_full):
                         cell.step_current(0.0, self.dt_s)
+
+        if self.strict:
+            self._check_invariants(t)
+            if not math.isfinite(result.delivered_j + result.battery_heat_j + step_loss):
+                raise InvariantViolation(f"non-finite energy accumulators at t={t:.1f} s")
 
         if depleted:
             if self.stop_on_depletion:

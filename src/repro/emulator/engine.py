@@ -41,7 +41,7 @@ import numpy as np
 from repro.cell.thevenin import SOC_EMPTY
 from repro.chemistry.aging import DISCHARGE_STRESS_WEIGHT
 from repro.chemistry.tables import PackCurveTable
-from repro.errors import BatteryEmptyError, RatioError
+from repro.errors import BatteryEmptyError, InvariantViolation, RatioError
 
 #: Hard ceiling on steps advanced per vectorized chunk (bounds array memory
 #: when the policy tick interval is huge relative to the step size).
@@ -133,8 +133,19 @@ class VectorizedEngine:
 
         self._prepare()
         n_steps = len(self.times)
-        pos = 0
+        # Resume support: the checkpoint's step cursor is the number of
+        # completed steps, which is exactly the next index to execute; the
+        # warm start must be restored too — it seeds the fixed-point
+        # iteration, so a cold restart would converge to values a last-ulp
+        # different from the uninterrupted run's.
+        pos = em._resume_index
+        if em._resume_warm_current is not None:
+            self._warm_current = np.asarray(em._resume_warm_current, dtype=float)
         while pos < n_steps:
+            # Checkpoint only here, at the outer-loop top: every committed
+            # step has been written back to the authoritative objects and
+            # ``pos == len(result.times_s)`` holds.
+            em._maybe_checkpoint(result, float(self.times[pos]), warm_current=self._warm_current)
             stop = self._next_scalar_index(pos, n_steps)
             if stop == pos:
                 tracer.count("engine.scalar_steps")
@@ -590,6 +601,17 @@ class VectorizedEngine:
         v_term_last = veff[:, T - 1] - cur[:, T - 1] * rT[:, T - 1]
         fade_after = fade_after[:, :T]
         cap_after = self.nominal[:, None] * np.maximum(0.0, 1.0 - fade_after)
+
+        if em.strict:
+            socs = soc_after[:, :T]
+            if not (np.isfinite(cur).all() and np.isfinite(socs).all() and np.isfinite(heat).all()):
+                raise InvariantViolation(
+                    f"vectorized chunk produced non-finite state at t={float(self.times[pos]):.1f} s"
+                )
+            if socs.min() < -1e-9 or socs.max() > 1.0 + 1e-9:
+                raise InvariantViolation(
+                    f"vectorized chunk drove SoC outside [0, 1] at t={float(self.times[pos]):.1f} s"
+                )
 
         # Per-battery reductions, all at once; the per-cell loop below only
         # writes scalars back into the authoritative objects.

@@ -50,3 +50,30 @@ class PolicyError(SDBError):
 class EmulationError(SDBError):
     """The emulator could not make progress (e.g. all batteries empty while
     the workload still demands power and the run is configured as strict)."""
+
+
+class InvariantViolation(EmulationError):
+    """A strict-mode emulation step produced physically impossible state.
+
+    Raised (instead of silently propagating NaNs) when a step leaves a cell
+    with non-finite SoC/RC-branch voltage, an SoC outside [0, 1], a
+    non-finite energy accumulator, or installed discharge ratios that no
+    longer sum to one within tolerance. See ``SDBEmulator(strict=True)``.
+    """
+
+
+class CheckpointError(SDBError):
+    """A checkpoint could not be written, read, or applied.
+
+    Covers malformed envelopes, checksum mismatches (a torn or corrupted
+    file), version skew, and configuration mismatches between the
+    checkpoint and the emulator it is being restored into.
+    """
+
+
+class SupervisorError(SDBError):
+    """The run supervisor exhausted its restart budget without finishing."""
+
+
+class ReplayMismatch(SDBError):
+    """A replayed run failed to reproduce its manifest's recorded results."""

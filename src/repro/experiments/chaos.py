@@ -24,12 +24,12 @@ available as a last resort.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List
 
 from repro import units
 from repro.core.health import HealthMonitor
+from repro.determinism import SeedLike, resolve_rng
 from repro.core.runtime import SDBRuntime
 from repro.emulator.devices import build_controller
 from repro.emulator.emulator import EmulationResult, SDBEmulator
@@ -87,19 +87,20 @@ def chaos_plug() -> PlugSchedule:
     )
 
 
-def chaos_schedule(seed: int = 7) -> FaultSchedule:
+def chaos_schedule(seed: SeedLike = 7) -> FaultSchedule:
     """The day's fault schedule, deterministically jittered by ``seed``.
 
     The *structure* is fixed — base-battery detach/reattach, a stuck gauge
     on the same battery, a collapsed charge regulator, transient command
     loss, one load spike — while exact firing times shift by a few minutes
     per seed. Identical seeds produce identical schedules, which is what
-    makes a chaos run replayable.
+    makes a chaos run replayable; ``seed`` may also be an explicit
+    :class:`numpy.random.Generator` (see :mod:`repro.determinism`).
     """
-    rng = random.Random(seed)
+    rng = resolve_rng(seed)
 
     def jitter(hour: float, spread_h: float = 0.08) -> float:
-        return units.hours_to_seconds(hour + rng.uniform(-spread_h, spread_h))
+        return units.hours_to_seconds(hour + float(rng.uniform(-spread_h, spread_h)))
 
     return FaultSchedule(
         [

@@ -17,9 +17,9 @@ instants.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.determinism import SeedLike, resolve_rng
 from repro.faults.events import FaultEvent
 from repro.faults.models import (
     BatteryDetachFault,
@@ -108,7 +108,7 @@ class FaultSchedule:
     @classmethod
     def chaos(
         cls,
-        seed: int,
+        seed: SeedLike,
         duration_s: float,
         n_batteries: int,
         intensity: float = 1.0,
@@ -127,16 +127,16 @@ class FaultSchedule:
             raise ValueError("need at least one battery")
         if intensity <= 0:
             raise ValueError("intensity must be positive")
-        rng = random.Random(seed)
+        rng = resolve_rng(seed)
         count = max(1, round(3 * intensity))
         lo, hi = 0.1 * duration_s, 0.9 * duration_s
         schedule = cls()
         for _ in range(count):
-            battery = rng.randrange(n_batteries)
-            start = rng.uniform(lo, hi)
-            window = rng.uniform(0.05, 0.25) * duration_s
+            battery = int(rng.integers(n_batteries))
+            start = float(rng.uniform(lo, hi))
+            window = float(rng.uniform(0.05, 0.25)) * duration_s
             end = min(start + window, duration_s)
-            kind = rng.randrange(8)
+            kind = int(rng.integers(8))
             if kind == 0 and n_batteries > 1:
                 schedule.add(BatteryDetachFault(battery, start, reattach_s=end))
             elif kind == 1:
@@ -144,17 +144,17 @@ class FaultSchedule:
             elif kind == 2:
                 schedule.add(GaugeDropoutFault(battery, start, end_s=end))
             elif kind == 3:
-                schedule.add(GaugeOffsetFault(battery, start, rng.uniform(-0.4, 0.4)))
+                schedule.add(GaugeOffsetFault(battery, start, float(rng.uniform(-0.4, 0.4))))
             elif kind == 4:
-                schedule.add(GaugeDriftFault(battery, start, rng.uniform(-0.05, 0.05), end_s=end))
+                schedule.add(GaugeDriftFault(battery, start, float(rng.uniform(-0.05, 0.05)), end_s=end))
             elif kind == 5:
-                schedule.add(RegulatorCollapseFault(battery, start, rng.uniform(0.2, 0.6), end_s=end))
+                schedule.add(RegulatorCollapseFault(battery, start, float(rng.uniform(0.2, 0.6)), end_s=end))
             elif kind == 6:
                 schedule.add(RegulatorFailureFault(battery, start, end_s=end))
             else:
                 schedule.add(
-                    LoadSpikeFault(start, max(60.0, 0.02 * duration_s), extra_w=0.0, multiplier=rng.uniform(1.2, 2.0))
+                    LoadSpikeFault(start, max(60.0, 0.02 * duration_s), extra_w=0.0, multiplier=float(rng.uniform(1.2, 2.0)))
                 )
         # Always exercise the command path: one transient loss mid-run.
-        schedule.add(CommandLossFault(rng.uniform(lo, hi), n_commands=rng.randint(1, 2)))
+        schedule.add(CommandLossFault(float(rng.uniform(lo, hi)), n_commands=int(rng.integers(1, 3))))
         return schedule

@@ -56,6 +56,7 @@ def build_scenario(
     engine: str = "reference",
     dt_s: float = 10.0,
     tracer: Optional[Tracer] = None,
+    seed: Optional[int] = None,
 ) -> SDBEmulator:
     """Instantiate one bundled scenario as a ready-to-run emulator.
 
@@ -65,6 +66,10 @@ def build_scenario(
         dt_s: emulation step, seconds.
         tracer: tracer threaded through the run (default: the process
             default tracer — usually disabled).
+        seed: chaos fault-schedule seed for ``chaos-tablet`` (default 7,
+            the historical value); recorded in replay manifests so a
+            replayed chaos run regenerates the identical schedule. The
+            deterministic scenarios ignore it.
 
     Raises:
         KeyError: for an unknown scenario name.
@@ -79,7 +84,11 @@ def build_scenario(
     faults = None
     if name == "chaos-tablet":
         runtime = SDBRuntime(controller, health_monitor=HealthMonitor())
-        faults = FaultSchedule.chaos(seed=7, duration_s=trace.duration_s, n_batteries=controller.n)
+        faults = FaultSchedule.chaos(
+            seed=7 if seed is None else seed,
+            duration_s=trace.duration_s,
+            n_batteries=controller.n,
+        )
     else:
         runtime = SDBRuntime(controller)
     return SDBEmulator(

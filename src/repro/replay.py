@@ -1,0 +1,238 @@
+"""Deterministic record/replay: ``repro.replay/v1`` manifests.
+
+A replay manifest is a small JSON file pinning everything needed to
+re-execute a run and check it reproduced: the run recipe (bundled
+scenario name or workload CSV reference with its SHA-256, device,
+engine, ``dt``, chaos seed), the configuration digest of the emulator it
+was recorded against, and the *exact* recorded outcomes — delivered
+energy, battery life, per-battery final SoC, the fault timeline, and
+the incident log (the runtime's policy decisions surface there and in
+the energy totals, so matching all of them exactly means the replay
+took the same decisions at the same steps).
+
+``repro replay manifest.json`` rebuilds the emulator from the recipe,
+refuses to proceed if the configuration digest differs (the codebase or
+inputs changed), runs it — optionally resuming from a mid-run
+checkpoint, which must land on the same final state — and compares
+bit-for-bit. Supervisor restart pulses are excluded from the recorded
+timeline, so a manifest recorded from a crashed-and-restarted supervised
+run replays clean.
+
+Exit-code contract (mirrored by the CLI): match -> 0, mismatch -> 1,
+unusable manifest/inputs -> 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.checkpoint.state import emulator_config_digest
+from repro.emulator.emulator import EmulationResult, SDBEmulator
+from repro.supervisor import SUPERVISOR_FAULT
+
+__all__ = [
+    "REPLAY_FORMAT",
+    "recorded_metrics",
+    "build_manifest",
+    "write_manifest",
+    "read_manifest",
+    "rebuild_emulator",
+    "ReplayReport",
+    "replay",
+]
+
+#: Format tag embedded in (and required of) every manifest.
+REPLAY_FORMAT = "repro.replay/v1"
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(65536), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def recorded_metrics(result: EmulationResult) -> Dict[str, Any]:
+    """The exact outcomes a replay must reproduce.
+
+    Supervisor restart pulses are operational history, not emulation
+    state, so they are filtered out — an interrupted-and-resumed run
+    records the same metrics as an uninterrupted one.
+    """
+    return {
+        "delivered_j": result.delivered_j,
+        "battery_life_h": result.battery_life_h,
+        "completed": result.completed,
+        "end_s": result.end_s,
+        "depletion_s": result.depletion_s,
+        "n_steps": len(result.times_s),
+        "final_socs": list(result.final_socs()),
+        "fault_timeline": [
+            [event.t, event.fault, event.action, event.battery_index, event.detail]
+            for event in result.fault_events
+            if event.fault != SUPERVISOR_FAULT
+        ],
+        "incidents": [
+            [incident.t, incident.kind, incident.battery_index, incident.detail]
+            for incident in result.incidents
+        ],
+    }
+
+
+def build_manifest(
+    emulator: SDBEmulator,
+    result: EmulationResult,
+    *,
+    scenario: Optional[str] = None,
+    csv_path: Optional[str] = None,
+    device: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build a ``repro.replay/v1`` manifest for a finished run.
+
+    Exactly one of ``scenario`` (a bundled scenario name) or ``csv_path``
+    (a workload CSV, fingerprinted by content hash) must identify the
+    workload; ``device`` is required with ``csv_path``.
+    """
+    if (scenario is None) == (csv_path is None):
+        raise ValueError("exactly one of scenario/csv_path must be given")
+    run: Dict[str, Any] = {
+        "scenario": scenario,
+        "csv": None
+        if csv_path is None
+        else {"path": os.fspath(csv_path), "sha256": _file_sha256(csv_path)},
+        "device": device,
+        "engine": emulator.engine,
+        "dt_s": emulator.dt_s,
+        "seed": seed,
+    }
+    return {
+        "format": REPLAY_FORMAT,
+        "run": run,
+        "config_digest": emulator_config_digest(emulator),
+        "recorded": recorded_metrics(result),
+    }
+
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> str:
+    """Persist a manifest (atomic write, human-readable JSON)."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_manifest(path: str) -> Dict[str, Any]:
+    """Load and structurally validate a manifest file.
+
+    Raises ``ValueError`` (CLI exit 2) on anything unusable: missing
+    file, bad JSON, wrong format tag, or a recipe naming no workload.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError as exc:
+        raise ValueError(f"cannot read manifest {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"manifest {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != REPLAY_FORMAT:
+        raise ValueError(
+            f"manifest {path!r} is not a {REPLAY_FORMAT!r} manifest"
+        )
+    run = manifest.get("run")
+    if not isinstance(run, dict) or (run.get("scenario") is None and run.get("csv") is None):
+        raise ValueError(f"manifest {path!r} names no scenario or workload CSV")
+    if "recorded" not in manifest or "config_digest" not in manifest:
+        raise ValueError(f"manifest {path!r} is missing recorded results")
+    return manifest
+
+
+def rebuild_emulator(manifest: Dict[str, Any]) -> SDBEmulator:
+    """Reconstruct the recorded run's emulator from the manifest recipe."""
+    from repro.obs.scenarios import build_scenario, build_workload_emulator
+    from repro.workloads.io import load_trace
+
+    run = manifest["run"]
+    engine = run.get("engine", "reference")
+    dt_s = float(run.get("dt_s", 10.0))
+    if run.get("scenario") is not None:
+        seed = run.get("seed")
+        return build_scenario(
+            run["scenario"], engine=engine, dt_s=dt_s, seed=None if seed is None else int(seed)
+        )
+    csv_ref = run["csv"]
+    path = csv_ref["path"]
+    if not os.path.exists(path):
+        raise ValueError(f"workload CSV {path!r} referenced by the manifest is missing")
+    actual = _file_sha256(path)
+    if actual != csv_ref.get("sha256"):
+        raise ValueError(
+            f"workload CSV {path!r} changed since recording "
+            f"(sha256 {actual} != recorded {csv_ref.get('sha256')})"
+        )
+    trace = load_trace(path)
+    return build_workload_emulator(
+        trace, device=run.get("device") or "phone", engine=engine, dt_s=dt_s
+    )
+
+
+def _diff_metrics(recorded: Dict[str, Any], actual: Dict[str, Any]) -> List[str]:
+    """Human-readable exact-equality diffs between metric dicts."""
+    diffs = []
+    for key in sorted(set(recorded) | set(actual)):
+        a, b = recorded.get(key), actual.get(key)
+        if a != b:
+            a_repr, b_repr = repr(a), repr(b)
+            if len(a_repr) > 120:
+                a_repr = a_repr[:117] + "..."
+            if len(b_repr) > 120:
+                b_repr = b_repr[:117] + "..."
+            diffs.append(f"{key}: recorded {a_repr} != replayed {b_repr}")
+    return diffs
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one manifest."""
+
+    matched: bool
+    diffs: List[str] = field(default_factory=list)
+    result: Optional[EmulationResult] = None
+
+
+def replay(manifest_path: str, checkpoint: Optional[str] = None) -> ReplayReport:
+    """Re-execute a recorded run and compare it to the manifest, exactly.
+
+    With ``checkpoint`` set, the replay resumes from that mid-run
+    ``repro.ckpt/v1`` snapshot instead of starting from scratch — the
+    finished run must still match the recorded metrics bit-for-bit.
+
+    Raises ``ValueError`` for unusable inputs (exit 2 at the CLI); a
+    clean-but-divergent replay returns ``matched=False`` (exit 1).
+    """
+    manifest = read_manifest(manifest_path)
+    emulator = rebuild_emulator(manifest)
+    digest = emulator_config_digest(emulator)
+    recorded_digest = manifest["config_digest"]
+    if digest != recorded_digest:
+        return ReplayReport(
+            matched=False,
+            diffs=[
+                f"config_digest: recorded {recorded_digest!r} != rebuilt {digest!r} "
+                "(the emulator configuration no longer matches the recording)"
+            ],
+        )
+    result = emulator.run(resume_from=checkpoint)
+    actual = recorded_metrics(result)
+    diffs = _diff_metrics(manifest["recorded"], actual)
+    return ReplayReport(matched=not diffs, diffs=diffs, result=result)

@@ -1,0 +1,239 @@
+"""A run supervisor for long emulations: checkpoint, watch, restart.
+
+Long runs (multi-day traces, the year-scale longevity projections) die
+for mundane reasons — an OOM kill at hour 20, a NaN blow-up from a bad
+fault parameter, a wedged process. :class:`RunSupervisor` wraps an
+emulation so none of those lose the run:
+
+* it arms periodic checkpointing (every N simulated seconds, atomic
+  ``repro.ckpt/v1`` snapshots — see :mod:`repro.checkpoint`);
+* it turns on strict invariants by default, so non-finite state raises a
+  typed :class:`~repro.errors.InvariantViolation` at the offending step
+  instead of corrupting hours of downstream bookkeeping;
+* a watchdog thread monitors wall-clock step progress and aborts the
+  run if it stalls;
+* on failure it rebuilds the emulator via the caller's factory and
+  resumes from the last good checkpoint, up to ``max_restarts`` times,
+  recording each restart as a ``supervisor`` pulse in the fault
+  timeline;
+* because resume state lives in the checkpoint *file*, recovery also
+  works across processes: SIGKILL the supervising process, start a new
+  supervisor on the same checkpoint path, and the run continues.
+
+Restart events carry ``fault == "supervisor"`` so result comparisons
+(replay, the CI kill/resume smoke) can filter them out: the *emulation*
+timeline of a crashed-and-resumed run is bit-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.emulator.emulator import EmulationResult, SDBEmulator
+from repro.errors import CheckpointError, SDBError, SupervisorError
+from repro.faults.events import PULSE, FaultEvent
+
+__all__ = ["SUPERVISOR_FAULT", "SupervisedRun", "RunSupervisor"]
+
+#: Timeline label on restart events, filtered out of replay comparisons.
+SUPERVISOR_FAULT = "supervisor"
+
+
+@dataclass
+class SupervisedRun:
+    """What a supervised emulation produced, plus how it got there."""
+
+    result: EmulationResult
+    #: Restart pulses, also merged into ``result.fault_events``.
+    restarts: List[FaultEvent] = field(default_factory=list)
+    #: Total attempts (1 for an incident-free run).
+    attempts: int = 1
+    checkpoint_path: Optional[str] = None
+    #: The emulator instance that completed the run.
+    emulator: Optional[SDBEmulator] = None
+
+
+class _Watchdog(threading.Thread):
+    """Daemon thread that aborts the run when step progress stalls.
+
+    Polls the emulator's monotonic step counter; if it stops moving for
+    ``timeout_s`` wall-clock seconds, sets :attr:`stalled` and raises
+    ``KeyboardInterrupt`` in the main thread, which the supervisor
+    converts into a restart (a real Ctrl-C, with the flag unset, is
+    re-raised untouched).
+    """
+
+    def __init__(self, emulator: SDBEmulator, timeout_s: float):
+        super().__init__(daemon=True, name="sdb-watchdog")
+        self.emulator = emulator
+        self.timeout_s = float(timeout_s)
+        self.stalled = False
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        poll = min(0.25, self.timeout_s / 4.0)
+        last_steps = -1
+        last_change = time.monotonic()
+        while not self._halt.wait(poll):
+            steps = self.emulator._steps_completed
+            now = time.monotonic()
+            if steps != last_steps:
+                last_steps = steps
+                last_change = now
+            elif now - last_change >= self.timeout_s:
+                self.stalled = True
+                self._interrupt()
+                return
+
+    @staticmethod
+    def _interrupt() -> None:
+        # A real SIGINT aimed at the main thread interrupts even a run
+        # wedged in a blocking syscall; interrupt_main() only sets a flag
+        # the interpreter checks between bytecodes, so it is the fallback
+        # for platforms without pthread_kill.
+        try:
+            signal.pthread_kill(threading.main_thread().ident, signal.SIGINT)
+        except (AttributeError, ValueError, OSError, RuntimeError):
+            _thread.interrupt_main()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2.0)
+
+
+class RunSupervisor:
+    """Run an emulation to completion through crashes, NaNs, and stalls.
+
+    Args:
+        factory: zero-argument callable returning a *fresh*
+            :class:`SDBEmulator` for each attempt. It must rebuild the
+            full configuration (cells, runtime, trace, faults) from
+            scratch — cells are mutated by a run, and resume restores
+            their state from the checkpoint, not from the wreck of the
+            previous attempt.
+        checkpoint_path: where periodic snapshots are written. If the
+            file already exists when an attempt starts, the run resumes
+            from it — which is what makes recovery work across processes.
+        checkpoint_every_s: snapshot cadence in *simulated* seconds.
+        max_restarts: restart budget; exhausted raises
+            :class:`SupervisorError`.
+        watchdog_timeout_s: wall-clock stall threshold; ``None`` (the
+            default) disables the watchdog.
+        strict: force strict invariants on the emulator (default True).
+        resume: start from an existing checkpoint file when present.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], SDBEmulator],
+        checkpoint_path: str,
+        *,
+        checkpoint_every_s: float = 3600.0,
+        max_restarts: int = 3,
+        watchdog_timeout_s: Optional[float] = None,
+        strict: bool = True,
+        resume: bool = True,
+    ):
+        if checkpoint_every_s <= 0:
+            raise ValueError("checkpoint_every_s must be positive")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if watchdog_timeout_s is not None and watchdog_timeout_s <= 0:
+            raise ValueError("watchdog_timeout_s must be positive")
+        self.factory = factory
+        self.checkpoint_path = os.fspath(checkpoint_path)
+        self.checkpoint_every_s = float(checkpoint_every_s)
+        self.max_restarts = int(max_restarts)
+        self.watchdog_timeout_s = watchdog_timeout_s
+        self.strict = bool(strict)
+        self.resume = bool(resume)
+
+    def _arm(self, em: SDBEmulator) -> SDBEmulator:
+        em.checkpoint_path = self.checkpoint_path
+        em.checkpoint_every_s = self.checkpoint_every_s
+        if self.strict:
+            em.strict = True
+        return em
+
+    def run(self) -> SupervisedRun:
+        """Drive attempts until one finishes; raise when the budget runs out."""
+        restarts: List[FaultEvent] = []
+        attempt = 0
+        while True:
+            attempt += 1
+            em = self._arm(self.factory())
+            resume_from = (
+                self.checkpoint_path
+                if self.resume and os.path.exists(self.checkpoint_path)
+                else None
+            )
+            watchdog = (
+                _Watchdog(em, self.watchdog_timeout_s)
+                if self.watchdog_timeout_s is not None
+                else None
+            )
+            failure: Optional[str] = None
+            result: Optional[EmulationResult] = None
+            try:
+                if watchdog is not None:
+                    watchdog.start()
+                result = em.run(resume_from=resume_from)
+            except KeyboardInterrupt:
+                if watchdog is not None and watchdog.stalled:
+                    failure = (
+                        f"wall-clock stall: no step progress for "
+                        f"{self.watchdog_timeout_s:.0f} s"
+                    )
+                else:
+                    raise
+            except CheckpointError as exc:
+                # The last checkpoint itself is unusable (corrupt file or a
+                # factory that no longer matches it). Discard it and burn a
+                # restart on a from-scratch attempt rather than giving up.
+                failure = f"bad checkpoint: {exc}"
+                if resume_from is not None:
+                    try:
+                        os.remove(resume_from)
+                    except OSError:
+                        pass
+            except SDBError as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+            finally:
+                if watchdog is not None:
+                    watchdog.stop()
+
+            if failure is None:
+                assert result is not None
+                if restarts:
+                    result.fault_events.extend(restarts)
+                    result.fault_events.sort(key=lambda event: event.t)
+                return SupervisedRun(
+                    result=result,
+                    restarts=restarts,
+                    attempts=attempt,
+                    checkpoint_path=self.checkpoint_path,
+                    emulator=em,
+                )
+
+            sim_t = em.trace.start_s + em._steps_completed * em.dt_s
+            restarts.append(
+                FaultEvent(
+                    t=sim_t,
+                    fault=SUPERVISOR_FAULT,
+                    action=PULSE,
+                    battery_index=None,
+                    detail=f"restart {attempt}/{self.max_restarts + 1} attempts: {failure}",
+                )
+            )
+            if attempt > self.max_restarts:
+                raise SupervisorError(
+                    f"gave up after {attempt} attempt(s) "
+                    f"({self.max_restarts} restart(s)): {failure}"
+                )

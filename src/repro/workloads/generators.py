@@ -2,8 +2,10 @@
 
 Each generator returns a :class:`~repro.workloads.traces.PowerTrace` whose
 qualitative structure matches the scenario the paper measures on real
-hardware. All randomness takes an explicit seed so experiments reproduce
-bit-for-bit.
+hardware. All randomness takes an explicit seed — or a caller-owned
+:class:`numpy.random.Generator` via :func:`repro.determinism.resolve_rng`,
+so a checkpointable stream can be threaded through — and experiments
+reproduce bit-for-bit.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import units
+from repro.determinism import SeedLike, resolve_rng
 from repro.workloads.traces import PowerTrace, Segment
 
 
@@ -61,7 +64,7 @@ def smartwatch_day_trace(
     run_duration_h: float = 1.2,
     run_power_w: float = 0.55,
     day_hours: float = 24.0,
-    seed: int = 7,
+    seed: SeedLike = 7,
 ) -> PowerTrace:
     """Figure 13's smart-watch day.
 
@@ -76,7 +79,7 @@ def smartwatch_day_trace(
     cheap evening is where the preserved-battery policy's savings turn
     into extra hours.
     """
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     duration_s = units.hours_to_seconds(day_hours)
     run_start_s = units.hours_to_seconds(run_start_h)
     run_end_s = min(run_start_s + units.hours_to_seconds(run_duration_h), duration_s)
@@ -109,11 +112,11 @@ def smartwatch_day_trace(
     return PowerTrace(list(morning.segments) + shifted)
 
 
-def two_in_one_workload_trace(mean_power_w: float, duration_s: float, ripple: float = 0.15, segment_s: float = 60.0, seed: int = 3) -> PowerTrace:
+def two_in_one_workload_trace(mean_power_w: float, duration_s: float, ripple: float = 0.15, segment_s: float = 60.0, seed: SeedLike = 3) -> PowerTrace:
     """A 2-in-1 application workload: steady draw with minute-scale ripple."""
     if not 0.0 <= ripple < 1.0:
         raise ValueError("ripple must be in [0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     n = max(1, int(round(duration_s / segment_s)))
     powers = mean_power_w * (1.0 + ripple * rng.uniform(-1.0, 1.0, size=n))
     powers = np.clip(powers, 0.0, None)
@@ -128,7 +131,7 @@ def random_app_trace(
     idle_w: float,
     active_w: float,
     burst_w: float,
-    seed: int,
+    seed: SeedLike,
     segment_s: float = 30.0,
     p_active: float = 0.45,
     p_burst: float = 0.08,
@@ -136,7 +139,7 @@ def random_app_trace(
     """A three-state (idle / active / burst) Markov-ish app trace."""
     if not idle_w <= active_w <= burst_w:
         raise ValueError("require idle_w <= active_w <= burst_w")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     n = max(1, int(round(duration_s / segment_s)))
     draws = rng.uniform(size=n)
     powers = np.where(draws < p_burst, burst_w, np.where(draws < p_burst + p_active, active_w, idle_w))

@@ -10,6 +10,7 @@ timescales than any sub-segment ripple.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
 
@@ -27,8 +28,10 @@ class Segment:
     power_w: float
 
     def __post_init__(self) -> None:
-        if self.duration_s <= 0:
+        if not math.isfinite(self.duration_s) or self.duration_s <= 0:
             raise ValueError("segment duration must be positive")
+        if not math.isfinite(self.power_w):
+            raise ValueError(f"segment power must be finite, got {self.power_w!r}")
         if self.power_w < 0:
             raise ValueError("power must be non-negative")
 

@@ -1,0 +1,154 @@
+"""Strict-invariants mode and construction-time input validation.
+
+``SDBEmulator(strict=True)`` turns silent state corruption (NaN loads,
+non-finite SoC/RC state, ratio drift) into a typed
+:class:`~repro.errors.InvariantViolation` at the offending step; the
+constructor rejects non-finite ``dt`` and workload power outright. Both
+are load-bearing for the supervisor: a crash it can see is a crash it
+can restart from the last good checkpoint.
+"""
+
+import math
+
+import pytest
+
+from repro.core.runtime import SDBRuntime
+from repro.emulator import ENGINES, SDBEmulator, build_controller
+from repro.errors import EmulationError, InvariantViolation, SDBError
+from repro.workloads.generators import constant_trace
+from repro.workloads.traces import PowerTrace, Segment
+
+
+def make_emulator(strict=False, engine="reference", dt_s=30.0, hooks=()):
+    controller = build_controller("watch")
+    runtime = SDBRuntime(controller)
+    return SDBEmulator(
+        controller,
+        runtime,
+        constant_trace(0.1, 4 * 3600.0),
+        dt_s=dt_s,
+        strict=strict,
+        engine=engine,
+        hooks=hooks,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Typed error hierarchy
+# --------------------------------------------------------------------- #
+
+
+def test_invariant_violation_is_an_emulation_error():
+    assert issubclass(InvariantViolation, EmulationError)
+    assert issubclass(InvariantViolation, SDBError)
+
+
+# --------------------------------------------------------------------- #
+# Strict mode
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_nan_rc_state_raises_under_strict(engine):
+    em = make_emulator(strict=True, engine=engine)
+    em.controller.cells[0].v_rc = float("nan")
+    with pytest.raises(InvariantViolation):
+        em.run()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_default_mode_does_not_raise(engine):
+    em = make_emulator(strict=False, engine=engine)
+    em.controller.cells[0].v_rc = float("nan")
+    em.run()  # silent corruption, the pre-strict behaviour
+
+
+def test_nan_load_raises_under_strict():
+    em = make_emulator(strict=True)
+
+    # A fault that perturbs the load to NaN mid-run.
+    from repro.faults.models import LoadSpikeFault
+    from repro.faults.schedule import FaultSchedule
+
+    spike = LoadSpikeFault(1800.0, duration_s=600.0, extra_w=float("nan"))
+    em.faults = FaultSchedule([spike])
+    with pytest.raises(InvariantViolation, match="load"):
+        em.run()
+
+
+def test_strict_clean_run_is_unchanged():
+    loose = make_emulator(strict=False).run()
+    strict = make_emulator(strict=True).run()
+    assert strict.delivered_j == loose.delivered_j
+    assert strict.times_s == loose.times_s
+    assert strict.soc_history == loose.soc_history
+
+
+# --------------------------------------------------------------------- #
+# Construction-time validation
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("dt", [0.0, -1.0, float("nan"), float("inf"), -float("inf")])
+def test_bad_dt_rejected(dt):
+    controller = build_controller("watch")
+    runtime = SDBRuntime(controller)
+    with pytest.raises(ValueError, match="dt must be positive"):
+        SDBEmulator(controller, runtime, constant_trace(0.1, 3600.0), dt_s=dt)
+
+
+@pytest.mark.parametrize("power", [float("nan"), float("inf")])
+def test_segment_rejects_non_finite_power(power):
+    with pytest.raises(ValueError, match="finite"):
+        Segment(0.0, 3600.0, power)
+
+
+def test_segment_rejects_non_finite_duration():
+    with pytest.raises(ValueError, match="duration"):
+        Segment(0.0, float("nan"), 1.0)
+
+
+@pytest.mark.parametrize("power", [float("nan"), float("inf")])
+def test_emulator_rejects_non_finite_trace_power(power):
+    """Belt and braces: even a trace that bypassed Segment validation
+    (hand-built, unpickled, mutated) is rejected at emulator construction."""
+    trace = constant_trace(0.1, 3600.0)
+    object.__setattr__(trace.segments[0], "power_w", power)
+    controller = build_controller("watch")
+    runtime = SDBRuntime(controller)
+    with pytest.raises(ValueError, match="finite"):
+        SDBEmulator(controller, runtime, trace, dt_s=30.0)
+
+
+def test_bad_checkpoint_cadence_rejected():
+    controller = build_controller("watch")
+    runtime = SDBRuntime(controller)
+    with pytest.raises(ValueError):
+        SDBEmulator(
+            controller,
+            runtime,
+            constant_trace(0.1, 3600.0),
+            dt_s=30.0,
+            checkpoint_every_s=0.0,
+        )
+
+
+# --------------------------------------------------------------------- #
+# CLI exit-2 contract for unusable inputs
+# --------------------------------------------------------------------- #
+
+
+def test_cli_rejects_bad_dt(capsys):
+    from repro.cli import main
+
+    assert main(["trace", "watch-day", "--dt", "0"]) == 2
+    assert "dt must be positive" in capsys.readouterr().err
+
+
+def test_cli_supervise_rejects_non_finite_workload(tmp_path, capsys):
+    from repro.cli import main
+
+    csv = tmp_path / "bad.csv"
+    csv.write_text("t_s,power_w\n0.0,1.0\n60.0,nan\n120.0,0.0\n")
+    assert main(["supervise", str(csv)]) == 2
+    capsys.readouterr()

@@ -37,3 +37,77 @@ class TestLongevityYear:
         short = simulate_year(0.5, days=5, dt_s=300.0)
         longer = simulate_year(0.5, days=20, dt_s=300.0)
         assert longer.worst_retention < short.worst_retention
+
+
+class TestResumability:
+    """Day-boundary checkpointing: an interrupted year finishes
+    identically to one that ran straight through (docs/checkpointing.md)."""
+
+    def test_completed_year_removes_checkpoint_and_matches(self, tmp_path):
+        clean = simulate_year(0.5, days=5, dt_s=600.0)
+        ckpt = str(tmp_path / "year.ckpt.json")
+        checkpointed = simulate_year(0.5, days=5, dt_s=600.0, checkpoint_path=ckpt)
+        assert not (tmp_path / "year.ckpt.json").exists()
+        assert checkpointed.retention_by_battery == clean.retention_by_battery
+        assert checkpointed.final_ccb == clean.final_ccb
+
+    def test_interrupted_year_resumes_bit_identically(self, tmp_path, monkeypatch):
+        import repro.experiments.longevity_year as ly
+
+        clean = simulate_year(0.5, days=6, dt_s=600.0)
+        ckpt = str(tmp_path / "year.ckpt.json")
+
+        # Crash the loop right after day 3's checkpoint lands.
+        real_write = ly.write_checkpoint
+        calls = {"n": 0}
+
+        def crash_after_three(path, payload):
+            real_write(path, payload)
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(ly, "write_checkpoint", crash_after_three)
+        with pytest.raises(KeyboardInterrupt):
+            simulate_year(0.5, days=6, dt_s=600.0, checkpoint_path=ckpt)
+        monkeypatch.setattr(ly, "write_checkpoint", real_write)
+        assert (tmp_path / "year.ckpt.json").exists()
+
+        resumed = simulate_year(0.5, days=6, dt_s=600.0, checkpoint_path=ckpt)
+        assert not (tmp_path / "year.ckpt.json").exists()
+        assert resumed.retention_by_battery == clean.retention_by_battery
+        assert resumed.final_ccb == clean.final_ccb
+        assert resumed.first_warranty_breach_day == clean.first_warranty_breach_day
+
+    def test_mismatched_config_refused(self, tmp_path):
+        import repro.experiments.longevity_year as ly
+
+        ckpt = str(tmp_path / "year.ckpt.json")
+        real_write = ly.write_checkpoint
+        calls = {"n": 0}
+
+        def crash_after_one(path, payload):
+            real_write(path, payload)
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+
+        ly.write_checkpoint = crash_after_one
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                simulate_year(0.5, days=6, dt_s=600.0, checkpoint_path=ckpt)
+        finally:
+            ly.write_checkpoint = real_write
+
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError, match="config"):
+            simulate_year(0.5, days=9, dt_s=600.0, checkpoint_path=ckpt)  # different horizon
+
+    def test_run_longevity_year_checkpoint_dir(self, tmp_path):
+        import os
+
+        result = run_longevity_year(days=3, dt_s=600.0, checkpoint_dir=str(tmp_path))
+        assert len(result.outcomes) == 3
+        # Completed years clean their checkpoints up.
+        assert not any(name.endswith(".ckpt.json") for name in os.listdir(tmp_path))

@@ -1,0 +1,205 @@
+"""Deterministic record/replay: ``repro.replay/v1`` manifests.
+
+A recorded manifest pins the run recipe, the emulator's configuration
+digest, and the exact outcomes; ``replay`` re-executes and demands
+bit-for-bit equality (exit 0), reports divergence (exit 1), and rejects
+unusable manifests/inputs (exit 2). See docs/observability.md.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.scenarios import build_scenario, build_workload_emulator
+from repro.replay import (
+    REPLAY_FORMAT,
+    build_manifest,
+    read_manifest,
+    recorded_metrics,
+    replay,
+    write_manifest,
+)
+from repro.supervisor import SUPERVISOR_FAULT, RunSupervisor
+from repro.workloads.generators import two_in_one_workload_trace
+from repro.workloads.io import save_trace
+
+
+def record_watch_day(tmp_path, dt_s=120.0):
+    em = build_scenario("watch-day", dt_s=dt_s)
+    result = em.run()
+    manifest = build_manifest(em, result, scenario="watch-day")
+    path = str(tmp_path / "watch.replay.json")
+    write_manifest(path, manifest)
+    return path, result
+
+
+def test_replay_matches_recorded_run(tmp_path):
+    path, recorded = record_watch_day(tmp_path)
+    report = replay(path)
+    assert report.matched
+    assert report.diffs == []
+    assert report.result.delivered_j == recorded.delivered_j
+
+
+def test_replay_detects_divergence(tmp_path):
+    path, _ = record_watch_day(tmp_path)
+    manifest = json.loads(open(path).read())
+    manifest["recorded"]["delivered_j"] += 1.0
+    manifest["recorded"]["n_steps"] += 1
+    with open(path, "w") as handle:
+        json.dump(manifest, handle)
+    report = replay(path)
+    assert not report.matched
+    assert any("delivered_j" in d for d in report.diffs)
+    assert any("n_steps" in d for d in report.diffs)
+
+
+def test_replay_detects_config_drift(tmp_path):
+    path, _ = record_watch_day(tmp_path)
+    manifest = json.loads(open(path).read())
+    manifest["run"]["dt_s"] = 60.0  # recipe changed, digest no longer matches
+    with open(path, "w") as handle:
+        json.dump(manifest, handle)
+    report = replay(path)
+    assert not report.matched
+    assert any("config_digest" in d for d in report.diffs)
+
+
+def test_replay_from_mid_run_checkpoint(tmp_path):
+    em = build_scenario("watch-day", dt_s=120.0)
+    em.checkpoint_path = str(tmp_path / "mid.ckpt.json")
+    em.checkpoint_every_s = 4 * 3600.0
+    result = em.run()
+    path = str(tmp_path / "watch.replay.json")
+    write_manifest(path, build_manifest(em, result, scenario="watch-day"))
+    report = replay(path, checkpoint=str(tmp_path / "mid.ckpt.json"))
+    assert report.matched
+
+
+def test_replay_chaos_scenario_reproduces_fault_timeline(tmp_path):
+    # Seed 5 is one whose sampled fault windows open before the pack
+    # depletes, so the recorded timeline is non-trivial.
+    em = build_scenario("chaos-tablet", dt_s=60.0, seed=5)
+    result = em.run()
+    assert result.fault_events  # the scenario must actually inject faults
+    path = str(tmp_path / "chaos.replay.json")
+    write_manifest(path, build_manifest(em, result, scenario="chaos-tablet", seed=5))
+    report = replay(path)
+    assert report.matched
+    actual = recorded_metrics(report.result)
+    assert actual["fault_timeline"] == recorded_metrics(result)["fault_timeline"]
+    assert actual["incidents"] == recorded_metrics(result)["incidents"]
+
+
+def test_supervised_crashed_run_replays_clean(tmp_path):
+    """A manifest recorded from a crashed-and-restarted supervised run
+    must replay clean: supervisor pulses are not emulation history."""
+    from tests.test_supervisor import make_factory, poison_once
+
+    supervisor = RunSupervisor(
+        make_factory(hook=poison_once()),
+        str(tmp_path / "w.ckpt.json"),
+        checkpoint_every_s=3600.0,
+    )
+    run = supervisor.run()
+    assert run.restarts
+    assert any(e.fault == SUPERVISOR_FAULT for e in run.result.fault_events)
+    metrics = recorded_metrics(run.result)
+    assert all(row[1] != SUPERVISOR_FAULT for row in metrics["fault_timeline"])
+    # The same factory, unsupervised and unpoisoned, reproduces them.
+    assert recorded_metrics(make_factory()().run()) == metrics
+
+
+def test_csv_workload_round_trip(tmp_path):
+    csv = str(tmp_path / "load.csv")
+    save_trace(two_in_one_workload_trace(6.0, 4 * 3600.0, seed=3), csv)
+    from repro.workloads.io import load_trace
+
+    em = build_workload_emulator(load_trace(csv), device="tablet", dt_s=60.0)
+    result = em.run()
+    path = str(tmp_path / "load.replay.json")
+    write_manifest(path, build_manifest(em, result, csv_path=csv, device="tablet"))
+    assert replay(path).matched
+
+    # Changing the CSV after recording is an unusable input, not a diff.
+    with open(csv, "a") as handle:
+        handle.write("\n")
+    with pytest.raises(ValueError, match="sha256"):
+        replay(path)
+
+
+def test_manifest_validation(tmp_path):
+    with pytest.raises(ValueError, match="cannot read"):
+        read_manifest(str(tmp_path / "missing.json"))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError, match="JSON"):
+        read_manifest(str(bad))
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"format": "other/v1"}))
+    with pytest.raises(ValueError, match=REPLAY_FORMAT.replace("/", "/")):
+        read_manifest(str(wrong))
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"format": REPLAY_FORMAT, "run": {}}))
+    with pytest.raises(ValueError, match="no scenario"):
+        read_manifest(str(empty))
+
+
+def test_build_manifest_requires_exactly_one_source(tmp_path):
+    em = build_scenario("watch-day", dt_s=600.0)
+    result = em.run()
+    with pytest.raises(ValueError):
+        build_manifest(em, result)  # neither
+    with pytest.raises(ValueError):
+        build_manifest(em, result, scenario="watch-day", csv_path="x.csv")  # both
+
+
+# --------------------------------------------------------------------- #
+# CLI exit-code contract
+# --------------------------------------------------------------------- #
+
+
+def test_cli_replay_exit_codes(tmp_path, capsys):
+    path, _ = record_watch_day(tmp_path)
+    assert main(["replay", path]) == 0
+    assert "reproduced" in capsys.readouterr().out
+
+    manifest = json.loads(open(path).read())
+    manifest["recorded"]["delivered_j"] += 1.0
+    with open(path, "w") as handle:
+        json.dump(manifest, handle)
+    assert main(["replay", path]) == 1
+    assert "MISMATCH" in capsys.readouterr().err
+
+    assert main(["replay", str(tmp_path / "missing.json")]) == 2
+
+
+def test_cli_supervise_records_manifest_then_replays(tmp_path, capsys):
+    ckpt = str(tmp_path / "watch.ckpt.json")
+    manifest = str(tmp_path / "watch.replay.json")
+    assert (
+        main(
+            [
+                "supervise",
+                "watch-day",
+                "--dt",
+                "120",
+                "--checkpoint",
+                ckpt,
+                "--manifest",
+                manifest,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "clean run, no restarts" in out
+    assert main(["replay", manifest]) == 0
+
+
+def test_cli_supervise_rejects_bad_inputs(tmp_path, capsys):
+    assert main(["supervise", "no-such-scenario"]) == 2
+    assert main(["supervise", "watch-day", "--dt", "-5"]) == 2
+    assert main(["supervise", "watch-day", "--every-h", "0"]) == 2
+    capsys.readouterr()
