@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI check: protection enforcement replays and resumes bit-identically.
+
+The ``gauge-fault-tablet`` scenario freezes the base battery's fuel gauge
+ten minutes into a tablet day. Under ``--protection enforce`` the
+estimator council flags the stuck gauge and the manager derates the
+battery — so the run carries live protection state (derate factors,
+council arms, envelope streaks) for most of its length. For each
+emulation engine this script verifies that state is fully deterministic
+and fully checkpointed:
+
+1. runs the scenario to completion and asserts the protective actions
+   actually happened (council ``stuck`` flag + a ``protect-derate``
+   incident on the faulted battery);
+2. records a ``repro.replay/v1`` manifest and replays it from scratch,
+   demanding bit-for-bit equality;
+3. re-runs with a mid-run ``repro.ckpt/v2`` checkpoint landing while the
+   derate is active, asserts the snapshot carries the derate, resumes a
+   fresh emulator from it, and demands the resumed run match the
+   uninterrupted metrics exactly.
+
+Artifacts (manifest + checkpoint per engine) are left in ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.checkpoint.format import read_checkpoint  # noqa: E402
+from repro.obs.scenarios import build_scenario  # noqa: E402
+from repro.replay import build_manifest, recorded_metrics, replay, write_manifest  # noqa: E402
+
+SCENARIO = "gauge-fault-tablet"
+MODE = "enforce"
+FAULTED_BATTERY = 1
+#: Cadence chosen so exactly one checkpoint lands mid-run, hours after
+#: the derate engaged and hours before the trace ends.
+CHECKPOINT_EVERY_S = 9000.0
+
+
+def build(engine: str, dt: float):
+    return build_scenario(SCENARIO, engine=engine, dt_s=dt, protection=MODE)
+
+
+def check_one_engine(engine: str, dt: float, out_dir: pathlib.Path) -> None:
+    print(f"[{engine}] full run under --protection {MODE}", flush=True)
+    emulator = build(engine, dt)
+    result = emulator.run()
+    baseline = recorded_metrics(result)
+
+    incidents = emulator.runtime.protection.incidents
+    kinds = {(i.kind, i.battery_index) for i in incidents}
+    if ("council-flag", FAULTED_BATTERY) not in kinds:
+        raise SystemExit(f"[{engine}] the council never flagged the stuck gauge")
+    if ("protect-derate", FAULTED_BATTERY) not in kinds:
+        raise SystemExit(f"[{engine}] no derate was applied to the faulted battery")
+    print(f"[{engine}] council flagged and derated battery {FAULTED_BATTERY}", flush=True)
+
+    manifest_path = out_dir / f"{SCENARIO}-{engine}.replay.json"
+    write_manifest(
+        str(manifest_path),
+        build_manifest(emulator, result, scenario=SCENARIO, protection=MODE),
+    )
+    report = replay(str(manifest_path))
+    if not report.matched:
+        for diff in report.diffs:
+            print(f"  {diff}", file=sys.stderr)
+        raise SystemExit(f"[{engine}] from-scratch replay is NOT bit-identical")
+    print(f"[{engine}] from-scratch replay matched bit-for-bit", flush=True)
+
+    ckpt_path = out_dir / f"{SCENARIO}-{engine}.ckpt.json"
+    checkpointed = build(engine, dt)
+    checkpointed.checkpoint_path = str(ckpt_path)
+    checkpointed.checkpoint_every_s = CHECKPOINT_EVERY_S
+    if recorded_metrics(checkpointed.run()) != baseline:
+        raise SystemExit(f"[{engine}] enabling checkpoints perturbed the run")
+    payload = read_checkpoint(str(ckpt_path))
+    derating = payload["controller"]["protection_derating"]
+    if not derating[FAULTED_BATTERY] < 1.0:
+        raise SystemExit(
+            f"[{engine}] checkpoint at t={payload['sim_t_s']} carries no active "
+            f"derate (protection_derating={derating})"
+        )
+    if payload["runtime"]["protection"] is None:
+        raise SystemExit(f"[{engine}] checkpoint carries no protection state")
+
+    resumed = build(engine, dt)
+    if recorded_metrics(resumed.run(resume_from=str(ckpt_path))) != baseline:
+        raise SystemExit(
+            f"[{engine}] resume from the mid-derate checkpoint is NOT bit-identical"
+        )
+    print(
+        f"[{engine}] OK: resume from t={payload['sim_t_s']:.0f} s "
+        f"(derating={derating}) matched the uninterrupted run",
+        flush=True,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="chaos-protection", help="artifact directory")
+    parser.add_argument("--dt", type=float, default=10.0, help="emulation step in seconds")
+    args = parser.parse_args()
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for engine in ("reference", "vectorized"):
+        check_one_engine(engine, args.dt, out_dir)
+    print("protection replay/resume bit-identity passed for both engines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

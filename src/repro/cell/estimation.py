@@ -79,6 +79,12 @@ class KalmanSocEstimator:
         voltage_noise_std: standard deviation of the synthetic Gaussian
             noise added to each terminal-voltage measurement, volts.
             Only applied when ``noise_rng`` is given.
+        subscribe: register as a per-step cell observer (the default).
+            Pass ``False`` for an externally driven filter — the
+            protection layer's estimator council calls :meth:`step` at
+            runtime-tick cadence instead, which keeps the cell's observer
+            list untouched (an extra observer would force the vectorized
+            engine off its fast path).
     """
 
     def __init__(
@@ -88,6 +94,7 @@ class KalmanSocEstimator:
         initial_soc: float = None,
         noise_rng: Optional[SeedLike] = None,
         voltage_noise_std: float = 0.0,
+        subscribe: bool = True,
     ):
         if voltage_noise_std < 0:
             raise ValueError("voltage_noise_std must be non-negative")
@@ -99,28 +106,42 @@ class KalmanSocEstimator:
         self.updates = 0
         self.noise_rng = None if noise_rng is None else resolve_rng(noise_rng)
         self.voltage_noise_std = float(voltage_noise_std)
-        cell.add_observer(self.observe)
+        if subscribe:
+            cell.add_observer(self.observe)
 
     def observe(self, step: StepResult) -> None:
         """Fold one cell step into the estimate (predict + update)."""
+        self.step(step.current, step.terminal_voltage, step.dt)
+
+    def step(self, current: float, terminal_voltage: float, dt: float) -> None:
+        """Fold one measurement interval into the estimate.
+
+        Args:
+            current: mean discharge-positive terminal current over the
+                interval, amps (before the sense-path error model, which
+                this method applies).
+            terminal_voltage: measured terminal voltage at the end of the
+                interval, volts.
+            dt: interval length, seconds.
+        """
         params = self.cell.params
         # --- predict: coulomb counting with the flawed current sense ----
-        measured_current = step.current * (1.0 + self.config.sense_gain_error) + self.config.sense_offset_a
+        measured_current = current * (1.0 + self.config.sense_gain_error) + self.config.sense_offset_a
         cap = self.cell.capacity_c
         if cap > 0:
-            self.soc_estimate -= measured_current * step.dt / cap
+            self.soc_estimate -= measured_current * dt / cap
         self.soc_estimate = min(1.0, max(0.0, self.soc_estimate))
         self.variance += self.config.process_noise
 
         # Track the RC branch with the same exact update the model uses.
         tau = params.r_ct * params.c_plate
-        decay = math.exp(-step.dt / tau)
+        decay = math.exp(-dt / tau)
         self.v_rc_estimate = self.v_rc_estimate * decay + measured_current * params.r_ct * (1.0 - decay)
 
         # --- update: terminal-voltage innovation -------------------------
         r = params.dcir(self.soc_estimate) * self.cell.aging.resistance_factor
         predicted_v = params.ocp(self.soc_estimate) - measured_current * r - self.v_rc_estimate
-        measured_v = step.terminal_voltage
+        measured_v = terminal_voltage
         if self.noise_rng is not None and self.voltage_noise_std > 0.0:
             measured_v += float(self.noise_rng.normal(0.0, self.voltage_noise_std))
         innovation = measured_v - predicted_v

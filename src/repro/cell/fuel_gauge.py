@@ -42,6 +42,14 @@ class BatteryStatus:
     resistance_ohm: float
     is_empty: bool
     is_full: bool
+    #: Confidence the protection layer's estimator council places in the
+    #: SoC estimate, in [0, 1]. Defaults to full confidence so statuses
+    #: built without a protection layer (and pre-existing checkpoints /
+    #: replay manifests) keep their old meaning.
+    soc_confidence: float = 1.0
+    #: Protection envelope state: ``"ok"``, ``"derate"``, ``"cutoff"`` or
+    #: ``"latched_trip"``. ``"ok"`` when no protection layer is attached.
+    protection_state: str = "ok"
 
 
 class FuelGauge:
@@ -77,7 +85,16 @@ class FuelGauge:
         #: Injected fault: the gauge stops answering; ``status()`` reports
         #: NaN for the estimate, the way a dead I2C device reads back.
         self.fault_dropout = False
+        #: Injected fault: the sense path drifts (an offset swap is in
+        #: effect). Set by :class:`~repro.faults.models.GaugeDriftFault` so
+        #: OCV re-anchoring knows the gauge is currently lying.
+        self.fault_drift = False
         cell.add_observer(self.record)
+
+    @property
+    def fault_active(self) -> bool:
+        """True while any injected gauge fault is in effect."""
+        return self.fault_stuck or self.fault_dropout or self.fault_drift
 
     @property
     def estimated_soc(self) -> float:
@@ -135,14 +152,22 @@ class FuelGauge:
         """
         self._estimated_soc = units.clamp(self._estimated_soc + float(delta), 0.0, 1.0)
 
-    def ocv_rest_correction(self) -> None:
+    def ocv_rest_correction(self) -> bool:
         """Re-anchor the SoC estimate from the true resting state.
 
         Real gauges invert the OCV curve after a rest period; the simulated
         cell's true SoC *is* that inversion, so the correction snaps the
         estimate to truth (the drift model only matters between rests).
+
+        Skipped while an injected gauge fault is active: a wedged, dead, or
+        drifting sense path cannot take a trustworthy OCV reading, and
+        anchoring to a lying voltage would launder the fault into the
+        estimate. Returns True when the anchor was applied.
         """
+        if self.fault_active:
+            return False
         self._estimated_soc = self.cell.soc
+        return True
 
     def status(self) -> BatteryStatus:
         """A point-in-time status snapshot for ``QueryBatteryStatus``."""

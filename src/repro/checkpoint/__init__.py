@@ -1,4 +1,4 @@
-"""Crash-safe checkpoint/restore for long emulations (``repro.ckpt/v1``).
+"""Crash-safe checkpoint/restore for long emulations (``repro.ckpt/v2``).
 
 Public surface:
 

@@ -1,12 +1,18 @@
-"""The ``repro.ckpt/v1`` on-disk snapshot format.
+"""The ``repro.ckpt/v2`` on-disk snapshot format.
 
 A checkpoint file is a single JSON document::
 
     {
-      "format":   "repro.ckpt/v1",
+      "format":   "repro.ckpt/v2",
       "checksum": "sha256:<hex of the canonical payload encoding>",
       "payload":  { ... }
     }
+
+``v2`` extends ``v1`` with optional protection-subsystem state (envelope
+guards, estimator councils, per-battery protection derating, and the
+gauge drift-fault flag). Every new payload key has a safe default, so
+``v1`` files remain readable: :func:`read_checkpoint` accepts both tags,
+while new files are always written as ``v2``.
 
 Two properties matter more than the schema itself:
 
@@ -37,10 +43,20 @@ from typing import Any, Dict
 
 from repro.errors import CheckpointError
 
-__all__ = ["CKPT_FORMAT", "payload_checksum", "write_checkpoint", "read_checkpoint"]
+__all__ = [
+    "CKPT_FORMAT",
+    "ACCEPTED_FORMATS",
+    "payload_checksum",
+    "write_checkpoint",
+    "read_checkpoint",
+]
 
-#: Format tag embedded in (and required of) every checkpoint file.
-CKPT_FORMAT = "repro.ckpt/v1"
+#: Format tag written into every new checkpoint file.
+CKPT_FORMAT = "repro.ckpt/v2"
+
+#: Format tags :func:`read_checkpoint` accepts. ``v1`` payloads are a
+#: strict subset of ``v2`` (all added keys default on restore).
+ACCEPTED_FORMATS = ("repro.ckpt/v1", "repro.ckpt/v2")
 
 
 def _canonical(payload: Dict[str, Any]) -> str:
@@ -55,7 +71,7 @@ def payload_checksum(payload: Dict[str, Any]) -> str:
 
 
 def write_checkpoint(path: str, payload: Dict[str, Any]) -> str:
-    """Atomically persist ``payload`` as a ``repro.ckpt/v1`` file at ``path``.
+    """Atomically persist ``payload`` as a ``repro.ckpt/v2`` file at ``path``.
 
     Returns ``path``. Raises :class:`CheckpointError` if the payload is not
     JSON-serializable or the filesystem rejects the write.
@@ -103,9 +119,10 @@ def read_checkpoint(path: str) -> Dict[str, Any]:
     if not isinstance(envelope, dict) or "payload" not in envelope:
         raise CheckpointError(f"checkpoint {path!r} is missing its envelope")
     fmt = envelope.get("format")
-    if fmt != CKPT_FORMAT:
+    if fmt not in ACCEPTED_FORMATS:
         raise CheckpointError(
-            f"checkpoint {path!r} has format {fmt!r}; this build reads {CKPT_FORMAT!r}"
+            f"checkpoint {path!r} has format {fmt!r}; this build reads "
+            + " or ".join(repr(f) for f in ACCEPTED_FORMATS)
         )
     payload = envelope["payload"]
     if not isinstance(payload, dict):

@@ -1,12 +1,13 @@
 """Capture and restore the complete mutable state of an emulation.
 
 The payload built here is what :mod:`repro.checkpoint.format` persists as
-``repro.ckpt/v1``. It covers every piece of state that evolves during a
+``repro.ckpt/v2``. It covers every piece of state that evolves during a
 run — Thevenin cells (SoC, RC branch, aging, hysteresis, thermal), fuel
 gauges, microcontroller registers (ratios, connectivity, charge profiles,
-regulator channel failures/derating), the SDB runtime (policy directives,
-last-known-good ratios, telemetry history, incidents, health-monitor
-quarantine bookkeeping), fault-schedule window flags, the partial
+regulator channel failures/derating, protection derating), the SDB
+runtime (policy directives, last-known-good ratios, telemetry history,
+incidents, health-monitor quarantine bookkeeping, protection
+envelope/council state), fault-schedule window flags, the partial
 :class:`~repro.emulator.emulator.EmulationResult`, the vectorized
 engine's fixed-point warm start, registered RNG streams, and tracer
 counters — so a resumed run continues step-for-step identically to an
@@ -96,6 +97,12 @@ def emulator_config_digest(em) -> str:
         ],
         "n_hooks": len(em.hooks),
     }
+    protection = getattr(em.runtime, "protection", None)
+    if protection is not None:
+        # Only stamped when a protection manager is attached, so digests
+        # (and the v1 checkpoints / replay manifests that recorded them)
+        # of unprotected configurations are unchanged.
+        spec["protection"] = protection.mode
     canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -151,6 +158,7 @@ def capture_gauge(gauge: FuelGauge) -> Dict[str, Any]:
         "total_heat_j": gauge.total_heat_j,
         "fault_stuck": gauge.fault_stuck,
         "fault_dropout": gauge.fault_dropout,
+        "fault_drift": gauge.fault_drift,
         "sense_offset_a": gauge.sense_offset_a,
         "sense_gain_error": gauge.sense_gain_error,
     }
@@ -165,6 +173,7 @@ def restore_gauge(gauge: FuelGauge, data: Dict[str, Any]) -> None:
     gauge.total_heat_j = float(data["total_heat_j"])
     gauge.fault_stuck = bool(data["fault_stuck"])
     gauge.fault_dropout = bool(data["fault_dropout"])
+    gauge.fault_drift = bool(data.get("fault_drift", False))
     gauge.sense_offset_a = float(data["sense_offset_a"])
     gauge.sense_gain_error = float(data["sense_gain_error"])
 
@@ -179,6 +188,7 @@ def _capture_controller(controller: SDBMicrocontroller) -> Dict[str, Any]:
         "profiles": [asdict(profile) for profile in controller.profiles],
         "failed_channels": sorted(circuit.failed_channels),
         "channel_derating": {str(k): v for k, v in circuit.channel_derating.items()},
+        "protection_derating": list(controller.protection_derating),
     }
 
 
@@ -191,6 +201,9 @@ def _restore_controller(controller: SDBMicrocontroller, data: Dict[str, Any]) ->
     circuit = controller.charge_circuit
     circuit.failed_channels = set(int(i) for i in data["failed_channels"])
     circuit.channel_derating = {int(k): float(v) for k, v in data["channel_derating"].items()}
+    controller.protection_derating = [
+        float(v) for v in data.get("protection_derating", [1.0] * controller.n)
+    ]
 
 
 def _incident_to_dict(incident: Incident) -> Dict[str, Any]:
@@ -244,6 +257,9 @@ def capture_runtime(runtime: SDBRuntime) -> Dict[str, Any]:
         "incidents": [_incident_to_dict(i) for i in runtime.incidents],
         "history": [asdict(decision) for decision in runtime.history],
         "health": None if runtime.health is None else _capture_health(runtime.health),
+        "protection": None
+        if getattr(runtime, "protection", None) is None
+        else runtime.protection.capture(),
     }
 
 
@@ -276,6 +292,9 @@ def restore_runtime(runtime: SDBRuntime, data: Dict[str, Any]) -> None:
     )
     if data["health"] is not None and runtime.health is not None:
         _restore_health(runtime.health, data["health"])
+    protection = data.get("protection")
+    if protection is not None and getattr(runtime, "protection", None) is not None:
+        runtime.protection.restore(protection)
 
 
 def _capture_faults(schedule: Optional[FaultSchedule]) -> Optional[List[Dict[str, Any]]]:
@@ -357,7 +376,7 @@ def _restore_result(data: Dict[str, Any]):
 
 
 def capture_emulator_state(em, result, warm_current: Optional[List[float]] = None) -> Dict[str, Any]:
-    """Build the full ``repro.ckpt/v1`` payload for an in-flight run.
+    """Build the full ``repro.ckpt/v2`` payload for an in-flight run.
 
     ``result`` is the partially filled :class:`EmulationResult`;
     ``warm_current`` is the vectorized engine's fixed-point warm start

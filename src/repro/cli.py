@@ -21,7 +21,7 @@ bundled scenario (or a workload CSV) with structured tracing enabled and
 writes the event log — or converts a saved ``.trace.jsonl`` to the
 Chrome ``trace_event`` format (see ``docs/observability.md``).
 ``supervise`` runs under the crash-safe supervisor (periodic
-``repro.ckpt/v1`` checkpoints, strict invariants, bounded restarts,
+``repro.ckpt/v2`` checkpoints, strict invariants, bounded restarts,
 automatic resume from an existing checkpoint) and ``replay`` re-executes
 a recorded manifest and verifies bit-exact reproduction — see
 ``docs/checkpointing.md``.
@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro import units
 from repro.chemistry.library import BATTERY_LIBRARY
 from repro.emulator.emulator import ENGINES
+from repro.protection import PROTECTION_MODES
 
 
 from repro.experiments import EXPERIMENT_DESCRIPTIONS, experiment_registry as _experiment_registry
@@ -128,6 +129,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             checkpoint_dir = getattr(args, "checkpoint_dir", None)
             if checkpoint_dir and "checkpoint_dir" in params:
                 kwargs["checkpoint_dir"] = checkpoint_dir
+            protection = getattr(args, "protection", None)
+            if protection and "protection" in params:
+                kwargs["protection"] = protection
             result = driver(**kwargs)
             parts = [table.format() for table in result.tables()]
             if args.plot:
@@ -172,9 +176,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         trace_out = pathlib.Path(args.trace)
         tracer = Tracer()
         with use_tracer(tracer):
-            result = run_chaos(seed=args.seed, dt_s=args.dt, engine=args.engine)
+            result = run_chaos(
+                seed=args.seed,
+                dt_s=args.dt,
+                engine=args.engine,
+                protection=args.protection,
+                preset=args.preset,
+            )
     else:
-        result = run_chaos(seed=args.seed, dt_s=args.dt, engine=args.engine)
+        result = run_chaos(
+            seed=args.seed,
+            dt_s=args.dt,
+            engine=args.engine,
+            protection=args.protection,
+            preset=args.preset,
+        )
     parts = [table.format() for table in result.tables()]
     parts.append("resilient: " + result.results["resilient"].resilience_summary())
     parts.append("naive:     " + result.results["naive"].resilience_summary())
@@ -253,7 +269,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
         label = path.stem
     else:
         try:
-            emulator = build_scenario(source, engine=args.engine, dt_s=args.dt, tracer=tracer)
+            emulator = build_scenario(
+                source,
+                engine=args.engine,
+                dt_s=args.dt,
+                tracer=tracer,
+                protection=args.protection,
+            )
         except KeyError:
             print(
                 f"unknown scenario {source!r}; valid: {', '.join(SCENARIOS)} "
@@ -312,10 +334,14 @@ def _build_factory(args: argparse.Namespace):
         )
         return 2
 
-    def factory():
-        return build_scenario(source, engine=args.engine, dt_s=args.dt, seed=args.seed)
+    protection = getattr(args, "protection", "off")
 
-    return factory, source, {"scenario": source, "seed": args.seed}
+    def factory():
+        return build_scenario(
+            source, engine=args.engine, dt_s=args.dt, seed=args.seed, protection=protection
+        )
+
+    return factory, source, {"scenario": source, "seed": args.seed, "protection": protection}
 
 
 def cmd_supervise(args: argparse.Namespace) -> int:
@@ -440,10 +466,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint directory for resumable experiments (longevity); "
         "an interrupted run re-invoked with the same DIR resumes",
     )
+    p_run.add_argument(
+        "--protection",
+        choices=PROTECTION_MODES,
+        default="monitor",
+        help="battery protection mode for experiments that support it: "
+        "envelope guards + estimator councils observing (monitor), "
+        "actuating (enforce), or absent (off) (default: monitor)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_chaos = sub.add_parser("chaos", help="replay the tablet day under a seeded fault schedule")
     p_chaos.add_argument("--seed", type=int, default=7, help="fault-schedule seed (default 7)")
+    p_chaos.add_argument(
+        "--preset",
+        choices=("classic", "gauge-storm"),
+        default="classic",
+        help="fault-schedule preset: the historical mixed schedule, or "
+        "every gauge failure mode on one battery (default: classic)",
+    )
+    p_chaos.add_argument(
+        "--protection",
+        choices=PROTECTION_MODES,
+        default="off",
+        help="protection mode armed on the resilient configuration "
+        "(default: off, the historical comparison)",
+    )
     p_chaos.add_argument("--dt", type=float, default=15.0, help="emulation step in seconds (default 15)")
     p_chaos.add_argument("--out", help="directory to write the chaos report to")
     p_chaos.add_argument(
@@ -472,8 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument(
         "source",
-        help="scenario name (tablet-day, watch-day, phone-day, chaos-tablet), "
-        "a workload .csv, or a saved .jsonl trace to convert",
+        help="scenario name (tablet-day, watch-day, phone-day, chaos-tablet, "
+        "gauge-fault-tablet), a workload .csv, or a saved .jsonl trace to convert",
     )
     p_trace.add_argument("--out", help="output path (default: <scenario>.trace.jsonl)")
     p_trace.add_argument(
@@ -495,6 +543,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="phone",
         help="platform for workload-CSV runs (default: phone)",
     )
+    p_trace.add_argument(
+        "--protection",
+        choices=PROTECTION_MODES,
+        default="off",
+        help="battery protection mode for scenario runs (default: off)",
+    )
     p_trace.set_defaults(func=cmd_trace)
 
     p_supervise = sub.add_parser(
@@ -504,8 +558,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_supervise.add_argument(
         "source",
-        help="scenario name (tablet-day, watch-day, phone-day, chaos-tablet) "
-        "or a workload .csv",
+        help="scenario name (tablet-day, watch-day, phone-day, chaos-tablet, "
+        "gauge-fault-tablet) or a workload .csv",
     )
     p_supervise.add_argument(
         "--checkpoint",
@@ -559,6 +613,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="chaos fault-schedule seed for chaos-tablet (default 7)",
     )
+    p_supervise.add_argument(
+        "--protection",
+        choices=PROTECTION_MODES,
+        default="off",
+        help="battery protection mode for scenario runs; recorded in the "
+        "replay manifest and checkpoint digest (default: off)",
+    )
     p_supervise.set_defaults(func=cmd_supervise)
 
     p_replay = sub.add_parser(
@@ -569,7 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("manifest", help="repro.replay/v1 manifest path")
     p_replay.add_argument(
         "--checkpoint",
-        help="resume the replay from a mid-run repro.ckpt/v1 snapshot",
+        help="resume the replay from a mid-run repro.ckpt snapshot",
     )
     p_replay.set_defaults(func=cmd_replay)
 

@@ -153,6 +153,22 @@ class HealthMonitor:
     # Enforcement
     # ------------------------------------------------------------------ #
 
+    def quarantine(self, t: float, index: int, reason: str) -> bool:
+        """Force a battery into quarantine on an external layer's verdict.
+
+        The protection layer's estimator council calls this when SoC
+        consensus fails (see :mod:`repro.protection`); the monitor's own
+        clean-read recovery logic then governs release, and the caller
+        re-asserts the quarantine each tick while the condition persists.
+        Returns True when the battery was newly quarantined.
+        """
+        self._clean_streak[index] = 0
+        if index in self.quarantined:
+            return False
+        self.quarantined.add(index)
+        self.incidents.append(Incident(t, "quarantine", index, reason))
+        return True
+
     def filter_ratios(self, ratios: Sequence[float]) -> List[float]:
         """Zero quarantined shares and renormalize onto the healthy set.
 

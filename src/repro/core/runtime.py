@@ -92,6 +92,13 @@ class SDBRuntime:
             decision is mirrored into it as a ``runtime.ratio_decision``
             event and every incident as ``runtime.incident``. Defaults to
             the process default tracer (normally disabled).
+        protection: optional
+            :class:`~repro.protection.manager.ProtectionManager`. When
+            present the runtime drives it once per tick: estimator
+            councils and envelope guards update, and (in enforce mode)
+            the resulting derates/cutoffs reshape the ratio vectors the
+            policies produced, so planning re-routes around protected
+            batteries.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class SDBRuntime:
         manage_profiles: bool = False,
         health_monitor: Optional[HealthMonitor] = None,
         tracer: Optional[Tracer] = None,
+        protection=None,
     ):
         if update_interval_s <= 0:
             raise ValueError("update interval must be positive")
@@ -114,6 +122,9 @@ class SDBRuntime:
         self.manage_profiles = bool(manage_profiles)
         self.health = health_monitor
         self.tracer = tracer if tracer is not None else get_default_tracer()
+        self.protection = protection
+        if protection is not None:
+            protection.bind(health_monitor, self.tracer)
         self._last_update_t: Optional[float] = None
         self.ratio_updates = 0
         #: Ticks where a failing policy was degraded to a last-good vector.
@@ -172,10 +183,12 @@ class SDBRuntime:
         return self.health is not None
 
     def all_incidents(self) -> List[Incident]:
-        """Runtime and monitor incidents, merged chronologically."""
+        """Runtime, monitor, and protection incidents, merged chronologically."""
         merged = list(self.incidents)
         if self.health is not None:
             merged.extend(self.health.incidents)
+        if self.protection is not None:
+            merged.extend(self.protection.incidents)
         merged.sort(key=lambda inc: inc.t)
         return merged
 
@@ -262,8 +275,15 @@ class SDBRuntime:
         tracer = self.tracer
         with tracer.timer("runtime.update"):
             cells = self.controller.cells
-            if self.health is not None:
-                self.health.observe(t, self.controller.query_status())
+            if self.health is not None or self.protection is not None:
+                statuses = self.controller.query_status()
+                if self.health is not None:
+                    self.health.observe(t, statuses)
+                if self.protection is not None:
+                    # After the health pass so the councils can quarantine
+                    # through it this very tick (and re-assert while a
+                    # consensus failure persists).
+                    self.protection.observe(t, statuses)
             with tracer.timer("runtime.policy_eval"):
                 discharge, degraded = self._evaluate(
                     lambda: self.discharge_policy.discharge_ratios(cells, load_w, t),
@@ -273,6 +293,8 @@ class SDBRuntime:
                 )
             if self.health is not None:
                 discharge = self.health.filter_ratios(discharge)
+            if self.protection is not None:
+                discharge = self.protection.filter_ratios(discharge)
             if self._push(self.api.Discharge, discharge, t, "discharge"):
                 self._last_good_discharge = list(discharge)
             charge = None
@@ -287,6 +309,8 @@ class SDBRuntime:
                 degraded = degraded or charge_degraded
                 if self.health is not None:
                     charge = self.health.filter_ratios(charge)
+                if self.protection is not None:
+                    charge = self.protection.filter_ratios(charge)
                 if self._push(self.api.Charge, charge, t, "charge"):
                     self._last_good_charge = list(charge)
                 if self.manage_profiles:
@@ -336,5 +360,14 @@ class SDBRuntime:
             self.controller.select_profile(index, profile)
 
     def query_status(self) -> List[BatteryStatus]:
-        """Pass-through of QueryBatteryStatus for the rest of the OS."""
-        return self.api.QueryBatteryStatus()
+        """QueryBatteryStatus for the rest of the OS.
+
+        When a protection manager is attached, each status is annotated
+        with the council's ``soc_confidence`` and the guard's
+        ``protection_state`` (the monitor/health layers always see the
+        raw hardware response).
+        """
+        statuses = self.api.QueryBatteryStatus()
+        if self.protection is not None:
+            statuses = self.protection.annotate(statuses)
+        return statuses

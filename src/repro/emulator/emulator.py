@@ -198,7 +198,7 @@ class SDBEmulator:
             every stream the run consumes (hook noise, estimator noise,
             ...). Registered generators are captured in checkpoints and
             restored on resume so stochastic runs stay bit-reproducible.
-        checkpoint_path: when set, :meth:`run` persists a ``repro.ckpt/v1``
+        checkpoint_path: when set, :meth:`run` persists a ``repro.ckpt/v2``
             snapshot here every ``checkpoint_every_s`` simulated seconds
             (atomic write; a crash never leaves a torn file).
         checkpoint_every_s: periodic checkpoint cadence in simulated
@@ -279,6 +279,11 @@ class SDBEmulator:
             return
         if not getattr(self.runtime, "tracer", NULL_TRACER).enabled:
             self.runtime.tracer = self.tracer
+        # The protection manager captures the runtime's tracer at bind
+        # time, which may predate this propagation.
+        protection = getattr(self.runtime, "protection", None)
+        if protection is not None and not protection.tracer.enabled:
+            protection.tracer = self.tracer
         if not getattr(self.controller, "tracer", NULL_TRACER).enabled:
             self.controller.tracer = self.tracer
 
@@ -303,7 +308,7 @@ class SDBEmulator:
     def run(self, resume_from: Optional[str] = None) -> EmulationResult:
         """Execute the full trace and return the collected bookkeeping.
 
-        With ``resume_from`` set to a ``repro.ckpt/v1`` file, the run
+        With ``resume_from`` set to a ``repro.ckpt/v2`` file, the run
         restores that snapshot and continues from its step cursor; the
         finished result is step-for-step identical to an uninterrupted
         run under both engines (see ``docs/checkpointing.md``).
@@ -396,7 +401,7 @@ class SDBEmulator:
         *,
         warm_current: Optional[List[float]] = None,
     ) -> str:
-        """Atomically persist the current emulation state as ``repro.ckpt/v1``.
+        """Atomically persist the current emulation state as ``repro.ckpt/v2``.
 
         ``result`` defaults to the in-flight result of the current
         :meth:`run`; ``warm_current`` is the vectorized engine's
@@ -418,7 +423,7 @@ class SDBEmulator:
         return path
 
     def load_checkpoint(self, path: str) -> EmulationResult:
-        """Restore a ``repro.ckpt/v1`` snapshot into this emulator.
+        """Restore a ``repro.ckpt/v2`` snapshot into this emulator.
 
         Returns the partial :class:`EmulationResult` and arms the resume
         cursor, so a following ``run(resume_from=path)`` — or a direct

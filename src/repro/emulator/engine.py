@@ -481,6 +481,13 @@ class VectorizedEngine:
             voltage_ok = False
         p_rate = (veff - self.i_max[:, None] * r) * self.i_max[:, None]
         caps = 0.90 * np.where(p_rate <= 0.0, p_theory, np.minimum(p_theory, p_rate))
+        # Mirror the controller's protection derating (repro.protection):
+        # the reference path scales discharge_caps() by the same factors.
+        # Derating only changes at runtime ticks, which always run on the
+        # scalar path, so the factors are constant within a chunk.
+        derate = np.array(ctrl.protection_derating)
+        if derate.min() < 1.0:
+            caps = caps * derate[:, None]
         if not (voltage_ok and bool(usable.all())):
             caps = np.where(usable[:, None] & (veff > 0.0), caps, 0.0)
         viol_hits = np.flatnonzero(np.any(P > caps, axis=0))

@@ -38,12 +38,19 @@ from repro.experiments.reporting import Table
 from repro.faults.models import (
     BatteryDetachFault,
     CommandLossFault,
+    GaugeDriftFault,
+    GaugeDropoutFault,
+    GaugeOffsetFault,
     GaugeStuckFault,
     LoadSpikeFault,
     RegulatorCollapseFault,
 )
 from repro.faults.schedule import FaultSchedule
+from repro.protection import PROTECTION_MODES, ProtectionManager
 from repro.workloads.traces import PowerTrace, Segment
+
+#: Chaos fault-schedule presets accepted by :func:`run_chaos`.
+PRESETS = ("classic", "gauge-storm")
 
 #: Internal (tablet) battery index.
 INTERNAL = 0
@@ -121,8 +128,47 @@ def chaos_schedule(seed: SeedLike = 7) -> FaultSchedule:
     )
 
 
+def gauge_storm_schedule(seed: SeedLike = 7) -> FaultSchedule:
+    """Every gauge failure mode in one day, all on the base battery.
+
+    The sensor-fault stress preset for the protection subsystem: the
+    estimate freezes, then the gauge goes dark, then a corrupted register
+    steps the estimate, then an amplified sense offset drifts it — in
+    that order, with seed-jittered firing times (same contract as
+    :func:`chaos_schedule`). The power path itself is untouched, so any
+    delivered-energy difference is purely how the stack handles a lying
+    meter.
+    """
+    rng = resolve_rng(seed)
+
+    def jitter(hour: float, spread_h: float = 0.08) -> float:
+        return units.hours_to_seconds(hour + float(rng.uniform(-spread_h, spread_h)))
+
+    return FaultSchedule(
+        [
+            GaugeStuckFault(BASE, jitter(0.3), end_s=jitter(1.0)),
+            GaugeDropoutFault(BASE, jitter(1.3), end_s=jitter(1.9)),
+            GaugeOffsetFault(BASE, jitter(2.5), offset=-0.25),
+            GaugeDriftFault(BASE, jitter(3.2), offset_a=0.5, end_s=jitter(5.0)),
+        ]
+    )
+
+
+#: Preset name -> fault-schedule builder.
+_PRESET_SCHEDULES = {
+    "classic": chaos_schedule,
+    "gauge-storm": gauge_storm_schedule,
+}
+
+
 def run_config(
-    resilient: bool, seed: int, with_faults: bool = True, dt_s: float = 15.0, engine: str = "reference"
+    resilient: bool,
+    seed: int,
+    with_faults: bool = True,
+    dt_s: float = 15.0,
+    engine: str = "reference",
+    protection: str = "off",
+    preset: str = "classic",
 ) -> EmulationResult:
     """One emulation run of the chaos day.
 
@@ -131,11 +177,22 @@ def run_config(
         seed: fault-schedule seed (ignored when ``with_faults`` is False).
         with_faults: inject the schedule, or run the clean baseline.
         dt_s: emulation step.
+        engine: emulation engine.
+        protection: attach a :class:`ProtectionManager` in this mode to
+            the *resilient* configuration (``"off"`` attaches none); the
+            naive configuration never gets one — it is the unprotected
+            baseline by definition.
+        preset: fault-schedule preset (see :data:`PRESETS`).
     """
     controller = build_controller("tablet")
     monitor = HealthMonitor(divergence_threshold=0.15) if resilient else None
-    runtime = SDBRuntime(controller, update_interval_s=60.0, health_monitor=monitor)
-    faults = chaos_schedule(seed) if with_faults else None
+    manager = None
+    if resilient and protection != "off":
+        manager = ProtectionManager(controller, mode=protection)
+    runtime = SDBRuntime(
+        controller, update_interval_s=60.0, health_monitor=monitor, protection=manager
+    )
+    faults = _PRESET_SCHEDULES[preset](seed) if with_faults else None
     emulator = SDBEmulator(
         controller,
         runtime,
@@ -162,16 +219,38 @@ class ChaosResult:
         return [self.comparison, self.timeline]
 
 
-def run_chaos(seed: int = 7, dt_s: float = 15.0, engine: str = "reference") -> ChaosResult:
-    """Run the fault-free / naive / resilient comparison."""
+def run_chaos(
+    seed: int = 7,
+    dt_s: float = 15.0,
+    engine: str = "reference",
+    protection: str = "off",
+    preset: str = "classic",
+) -> ChaosResult:
+    """Run the fault-free / naive / resilient comparison.
+
+    ``protection`` arms the resilient configuration's
+    :class:`ProtectionManager` (``"off"``, the default, preserves the
+    historical three-way comparison exactly); ``preset`` picks the fault
+    schedule (:data:`PRESETS`).
+    """
+    if protection not in PROTECTION_MODES:
+        raise ValueError(
+            f"unknown protection mode {protection!r}; valid: {', '.join(PROTECTION_MODES)}"
+        )
+    if preset not in PRESETS:
+        raise ValueError(f"unknown chaos preset {preset!r}; valid: {', '.join(PRESETS)}")
     results = {
-        "fault-free": run_config(resilient=False, seed=seed, with_faults=False, dt_s=dt_s, engine=engine),
-        "naive": run_config(resilient=False, seed=seed, dt_s=dt_s, engine=engine),
-        "resilient": run_config(resilient=True, seed=seed, dt_s=dt_s, engine=engine),
+        "fault-free": run_config(
+            resilient=False, seed=seed, with_faults=False, dt_s=dt_s, engine=engine, preset=preset
+        ),
+        "naive": run_config(resilient=False, seed=seed, dt_s=dt_s, engine=engine, preset=preset),
+        "resilient": run_config(
+            resilient=True, seed=seed, dt_s=dt_s, engine=engine, protection=protection, preset=preset
+        ),
     }
 
     comparison = Table(
-        title=f"Chaos day (seed {seed}): tablet trace under injected faults",
+        title=f"Chaos day (seed {seed}, preset {preset}): tablet trace under injected faults",
         headers=("Configuration", "Life (h)", "Delivered (Wh)", "Fault events", "Incidents", "Downtime (h)"),
     )
     for name, result in results.items():

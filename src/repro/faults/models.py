@@ -128,9 +128,16 @@ class BatteryDetachFault(FaultModel):
 
     def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
         controller.set_connected(self.battery_index, True)
+        anchored = False
         if self.reanchor_gauge:
-            controller.gauges[self.battery_index].ocv_rest_correction()
-        return "battery reattached" + (" (gauge re-anchored)" if self.reanchor_gauge else "")
+            # The gauge refuses the OCV reading while another injected
+            # gauge fault is active — no re-anchoring to a lying sensor.
+            anchored = controller.gauges[self.battery_index].ocv_rest_correction()
+        if not self.reanchor_gauge:
+            return "battery reattached"
+        if anchored:
+            return "battery reattached (gauge re-anchored)"
+        return "battery reattached (re-anchor skipped: gauge fault active)"
 
 
 class GaugeStuckFault(FaultModel):
@@ -204,10 +211,13 @@ class GaugeDriftFault(FaultModel):
         gauge = controller.gauges[self.battery_index]
         self._previous_offset_a = gauge.sense_offset_a
         gauge.sense_offset_a = self.offset_a
+        gauge.fault_drift = True
         return f"sense offset forced to {self.offset_a * 1000:.0f} mA"
 
     def _clear(self, controller: SDBMicrocontroller, t: float) -> str:
-        controller.gauges[self.battery_index].sense_offset_a = self._previous_offset_a
+        gauge = controller.gauges[self.battery_index]
+        gauge.sense_offset_a = self._previous_offset_a
+        gauge.fault_drift = False
         return "sense offset restored"
 
 

@@ -161,6 +161,11 @@ class SDBMicrocontroller:
         self.discharge_ratios = [1.0 / n] * n
         self.charge_ratios = [1.0 / n] * n
         self.connected = [True] * n
+        #: Per-battery power derating commanded by the protection layer
+        #: (see :mod:`repro.protection`): 1.0 means full capability, 0.5
+        #: halves the battery's discharge cap and charge current. The
+        #: vectorized engine mirrors this in its cap computation.
+        self.protection_derating = [1.0] * n
         #: Fault injection: while positive, ratio commands from the OS are
         #: lost in transit (the prototype's Bluetooth link dropping frames);
         #: each failed command decrements the counter.
@@ -234,7 +239,7 @@ class SDBMicrocontroller:
     def available_discharge_power(self) -> float:
         """Total load power the batteries can currently sustain."""
         return sum(
-            cell.max_discharge_power() * POWER_SAFETY_MARGIN
+            cell.max_discharge_power() * POWER_SAFETY_MARGIN * self.protection_derating[i]
             for i, cell in enumerate(self.cells)
             if self._usable_for_discharge(i)
         )
@@ -244,10 +249,13 @@ class SDBMicrocontroller:
 
         The safety margin keeps the operating point away from the unstable
         maximum-power peak; unusable (empty or disconnected) batteries cap
-        at zero.
+        at zero, and the protection layer's derating scales the cap of any
+        battery it has backed off.
         """
         return [
-            cell.max_discharge_power() * POWER_SAFETY_MARGIN if self._usable_for_discharge(i) else 0.0
+            cell.max_discharge_power() * POWER_SAFETY_MARGIN * self.protection_derating[i]
+            if self._usable_for_discharge(i)
+            else 0.0
             for i, cell in enumerate(self.cells)
         ]
 
@@ -341,7 +349,7 @@ class SDBMicrocontroller:
             profile_current = profile.current_for(cell)
             derating = self.charge_circuit.channel_derating.get(i, 1.0)
             budget_current = self._current_for_budget(cell, budget, eff_scale=derating)
-            commanded = min(profile_current, budget_current)
+            commanded = min(profile_current, budget_current) * self.protection_derating[i]
             channels.append(self.charge_circuit.charge_cell(cell, commanded, dt, channel=i))
         return ChargeReport(dt, external_w, channels)
 

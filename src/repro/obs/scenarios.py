@@ -19,8 +19,10 @@ from repro.core.health import HealthMonitor
 from repro.core.runtime import SDBRuntime
 from repro.emulator.devices import build_controller
 from repro.emulator.emulator import SDBEmulator
+from repro.faults.models import GaugeStuckFault
 from repro.faults.schedule import FaultSchedule
 from repro.obs.tracer import Tracer
+from repro.protection import PROTECTION_MODES, ProtectionManager
 from repro.workloads.generators import (
     random_app_trace,
     smartwatch_day_trace,
@@ -45,6 +47,10 @@ _SCENARIO_TRACES: Dict[str, Callable[[], "tuple[PowerTrace, str]"]] = {
         two_in_one_workload_trace(mean_power_w=9.0, duration_s=24 * 3600.0, segment_s=300.0),
         "tablet",
     ),
+    "gauge-fault-tablet": lambda: (
+        two_in_one_workload_trace(mean_power_w=9.0, duration_s=24 * 3600.0, segment_s=300.0),
+        "tablet",
+    ),
 }
 
 #: Names accepted by :func:`build_scenario` (and the CLI's ``trace`` command).
@@ -57,6 +63,7 @@ def build_scenario(
     dt_s: float = 10.0,
     tracer: Optional[Tracer] = None,
     seed: Optional[int] = None,
+    protection: str = "off",
 ) -> SDBEmulator:
     """Instantiate one bundled scenario as a ready-to-run emulator.
 
@@ -70,10 +77,20 @@ def build_scenario(
             the historical value); recorded in replay manifests so a
             replayed chaos run regenerates the identical schedule. The
             deterministic scenarios ignore it.
+        protection: ``"off"`` (no protection subsystem), ``"monitor"``
+            (envelope guards + estimator councils observe and record), or
+            ``"enforce"`` (verdicts actuate derates/cutoffs/quarantines).
+            Recorded in replay manifests: the mode changes the emulator's
+            configuration digest.
 
     Raises:
         KeyError: for an unknown scenario name.
+        ValueError: for an unknown protection mode.
     """
+    if protection not in PROTECTION_MODES:
+        raise ValueError(
+            f"unknown protection mode {protection!r}; valid: {', '.join(PROTECTION_MODES)}"
+        )
     try:
         trace, device = _SCENARIO_TRACES[name]()
     except KeyError:
@@ -82,15 +99,26 @@ def build_scenario(
         ) from None
     controller = build_controller(device)
     faults = None
+    health: Optional[HealthMonitor] = None
     if name == "chaos-tablet":
-        runtime = SDBRuntime(controller, health_monitor=HealthMonitor())
+        health = HealthMonitor()
         faults = FaultSchedule.chaos(
             seed=7 if seed is None else seed,
             duration_s=trace.duration_s,
             n_batteries=controller.n,
         )
-    else:
-        runtime = SDBRuntime(controller)
+    elif name == "gauge-fault-tablet":
+        # The protection acceptance scenario: the base battery's gauge
+        # freezes ten minutes in and never recovers. With protection off
+        # the reported SoC drifts unboundedly from the true cell state;
+        # the estimator council is expected to flag it within one tick.
+        faults = FaultSchedule([GaugeStuckFault(1, 600.0)])
+    manager = None
+    if protection != "off":
+        if health is None:
+            health = HealthMonitor()
+        manager = ProtectionManager(controller, mode=protection)
+    runtime = SDBRuntime(controller, health_monitor=health, protection=manager)
     return SDBEmulator(
         controller,
         runtime,

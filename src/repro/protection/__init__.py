@@ -1,0 +1,55 @@
+"""Battery protection: operating envelopes + sensor-fault-tolerant SoC.
+
+The paper's runtime (Section 3) trusts every ``QueryBatteryStatus``
+response, yet Table 1 gives each chemistry hard voltage / current /
+temperature limits and Section 2.2 admits the fuel gauges drift. This
+package is the defensive layer between the two facts:
+
+* :mod:`repro.protection.envelope` — a per-chemistry operating envelope
+  (sourced from the chemistry library's Table-1 data) enforced with
+  typed, hysteretic protective actions: ``derate`` scales a battery's
+  allowed power, ``cutoff`` forces its ratio to zero through the
+  existing detach machinery, and ``latched_trip`` sticks until an
+  explicit reset.
+* :mod:`repro.protection.council` — an estimator council per battery
+  that runs the coulomb-counting gauge, a tick-driven
+  :class:`~repro.cell.estimation.KalmanSocEstimator`, and an OCV-rest
+  anchor in parallel, detects stuck/stale/outlier readings and
+  cross-estimator divergence, and votes a trusted SoC with a confidence
+  score.
+* :mod:`repro.protection.manager` — the :class:`ProtectionManager` that
+  the :class:`~repro.core.runtime.SDBRuntime` drives at tick cadence,
+  in ``monitor`` (observe and record) or ``enforce`` (act) mode.
+
+Everything here updates only at runtime ticks — which both emulation
+engines execute on the scalar path — so a protected run stays
+bit-identical per engine, checkpointable, and replayable.
+"""
+
+from repro.protection.council import CouncilConfig, EstimatorCouncil
+from repro.protection.envelope import (
+    STATE_CUTOFF,
+    STATE_DERATE,
+    STATE_LATCHED_TRIP,
+    STATE_OK,
+    EnvelopeGuard,
+    EnvelopeLimits,
+    GuardConfig,
+    envelope_for,
+)
+from repro.protection.manager import PROTECTION_MODES, ProtectionManager
+
+__all__ = [
+    "CouncilConfig",
+    "EstimatorCouncil",
+    "EnvelopeGuard",
+    "EnvelopeLimits",
+    "GuardConfig",
+    "envelope_for",
+    "ProtectionManager",
+    "PROTECTION_MODES",
+    "STATE_OK",
+    "STATE_DERATE",
+    "STATE_CUTOFF",
+    "STATE_LATCHED_TRIP",
+]

@@ -1,0 +1,324 @@
+"""The estimator council: three SoC opinions, one trusted vote.
+
+Section 2.2's gauges lie in four distinct ways (stuck, dropout, offset,
+drift — all injectable via :mod:`repro.faults`), so no single estimator
+deserves the runtime's trust. The council runs three per battery:
+
+* **coulomb** — the battery's own :class:`~repro.cell.fuel_gauge.FuelGauge`
+  estimate, exactly as ``QueryBatteryStatus`` reports it (including any
+  injected fault);
+* **kalman** — a :class:`~repro.cell.estimation.KalmanSocEstimator`
+  constructed with ``subscribe=False`` and driven here at runtime-tick
+  cadence with the tick window's mean current and the measured terminal
+  voltage. Not subscribing keeps the cell's observer list untouched, so
+  the vectorized engine's fast path (which requires exactly the gauge as
+  observer) stays available;
+* **anchor** — an OCV-rest anchor: whenever a tick window is effectively
+  at rest, the measured terminal voltage is inverted through the
+  monotone OCP curve (bisection — :class:`~repro.chemistry.curves.SocCurve`
+  has no closed-form inverse) and the result is held with a freshness
+  timestamp. A stale anchor abstains.
+
+Each tick the council grades the arms (stuck / dropout / stale /
+divergence / outlier), votes the **median** of the usable arms as the
+trusted SoC, and scores its confidence. When no arm is usable — or the
+usable arms disagree beyond ``consensus_spread`` for
+``consensus_checks`` consecutive ticks — consensus has failed and the
+manager quarantines the battery through the
+:class:`~repro.core.health.HealthMonitor`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cell.estimation import EstimatorConfig, KalmanSocEstimator
+from repro.cell.fuel_gauge import BatteryStatus, FuelGauge
+from repro.cell.thevenin import TheveninCell
+from repro.chemistry.curves import SocCurve
+
+__all__ = ["CouncilConfig", "EstimatorCouncil", "invert_ocp"]
+
+
+def invert_ocp(curve: SocCurve, voltage: float, iterations: int = 48) -> float:
+    """Invert the monotone OCP curve: the SoC whose OCP equals ``voltage``.
+
+    Bisection over [0, 1]; clamps outside the curve's range. 48 halvings
+    put the result within one ulp of the crossing, and the deterministic
+    iteration count keeps checkpoint/replay bit-identical.
+    """
+    lo, hi = 0.0, 1.0
+    if voltage <= curve(lo):
+        return lo
+    if voltage >= curve(hi):
+        return hi
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if curve(mid) < voltage:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class CouncilConfig:
+    """Tuning of the council's detectors and vote.
+
+    Attributes:
+        stuck_min_dsoc: SoC fraction of charge movement in a tick window
+            above which a bit-identical coulomb estimate is impossible
+            for a live gauge.
+        stuck_checks: consecutive frozen windows before the coulomb arm
+            is flagged stuck (1 flags at the first impossible window).
+        divergence_threshold: |coulomb - kalman| gap that flags
+            cross-estimator divergence and benches the coulomb arm.
+        divergence_release: gap below which a divergence flag clears
+            (hysteresis; must be below the threshold).
+        outlier_threshold: arm-vs-median gap that earns an ``outlier``
+            flag (diagnostic; the median vote already sidelines it).
+        rest_current_a: mean window current magnitude below which the
+            window counts as an OCV rest.
+        anchor_max_age_s: anchor freshness horizon; older anchors
+            abstain from the vote.
+        consensus_spread: spread among usable arms beyond which the tick
+            counts toward consensus failure.
+        consensus_checks: consecutive over-spread ticks (or armless
+            ticks) before consensus is declared failed.
+    """
+
+    stuck_min_dsoc: float = 1e-4
+    stuck_checks: int = 1
+    divergence_threshold: float = 0.12
+    divergence_release: float = 0.06
+    outlier_threshold: float = 0.20
+    rest_current_a: float = 0.02
+    anchor_max_age_s: float = 1800.0
+    consensus_spread: float = 0.30
+    consensus_checks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.stuck_min_dsoc <= 0 or self.stuck_checks < 1:
+            raise ValueError("stuck detection needs positive thresholds")
+        if not 0.0 < self.divergence_release < self.divergence_threshold < 1.0:
+            raise ValueError("need 0 < divergence_release < divergence_threshold < 1")
+        if self.rest_current_a <= 0 or self.anchor_max_age_s <= 0:
+            raise ValueError("rest/anchor thresholds must be positive")
+        if not 0.0 < self.consensus_spread < 1.0 or self.consensus_checks < 1:
+            raise ValueError("consensus thresholds out of range")
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class EstimatorCouncil:
+    """Per-battery redundant SoC estimation with voted trust.
+
+    Drive :meth:`update` once per runtime tick. Between ticks the
+    council holds its last vote (:attr:`trusted_soc`,
+    :attr:`confidence`, :attr:`flags`).
+    """
+
+    def __init__(
+        self,
+        cell: TheveninCell,
+        gauge: FuelGauge,
+        config: CouncilConfig = CouncilConfig(),
+        estimator_config: Optional[EstimatorConfig] = None,
+    ):
+        self.cell = cell
+        self.gauge = gauge
+        self.config = config
+        # The model-based arm shares the gauge's physical sense path, so
+        # it inherits the same (small) calibration error — redundancy
+        # comes from the voltage innovation, not a second sense resistor.
+        self.kalman = KalmanSocEstimator(
+            cell,
+            estimator_config
+            or EstimatorConfig(
+                sense_gain_error=gauge.sense_gain_error,
+                sense_offset_a=gauge.sense_offset_a,
+            ),
+            subscribe=False,
+        )
+        self.trusted_soc = gauge.estimated_soc
+        self.confidence = 1.0
+        #: Active detector flags: subset of {"stuck", "dropout",
+        #: "divergence", "outlier", "stale-anchor"}.
+        self.flags: List[str] = []
+        self.consensus_failed = False
+        self._prev_coulomb: Optional[float] = None
+        self._stuck_streak = 0
+        self._divergent = False
+        self._bad_consensus_streak = 0
+        self._anchor_soc: Optional[float] = None
+        self._anchor_t: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Tick update
+    # ------------------------------------------------------------------ #
+
+    def update(
+        self,
+        t: float,
+        status: BatteryStatus,
+        dt: float,
+        mean_current_a: float,
+    ) -> List[Tuple[str, str]]:
+        """Fold one tick window in; return newly raised ``(flag, detail)``.
+
+        Args:
+            t: simulation time at the tick, seconds.
+            status: the battery's raw ``QueryBatteryStatus`` entry.
+            dt: tick window length, seconds.
+            mean_current_a: mean discharge-positive current over the
+                window, amps (from the gauge's charge accumulators,
+                which integrate the true current regardless of estimate
+                faults).
+        """
+        cfg = self.config
+        raised: List[Tuple[str, str]] = []
+        previous_flags = set(self.flags)
+        flags: List[str] = []
+
+        # --- drive the model-based arm ---------------------------------
+        if dt > 0.0:
+            self.kalman.step(mean_current_a, status.terminal_voltage, dt)
+        kalman_soc = self.kalman.soc_estimate
+
+        # --- coulomb arm + stuck/dropout detection ----------------------
+        coulomb: Optional[float] = status.estimated_soc
+        if math.isnan(status.estimated_soc):
+            flags.append("dropout")
+            coulomb = None
+            self._stuck_streak = 0
+            self._prev_coulomb = None
+        else:
+            moved_dsoc = abs(mean_current_a) * dt / self.cell.capacity_c if self.cell.capacity_c > 0 else 0.0
+            if (
+                self._prev_coulomb is not None
+                and status.estimated_soc == self._prev_coulomb
+                and moved_dsoc > cfg.stuck_min_dsoc
+            ):
+                self._stuck_streak += 1
+            elif status.estimated_soc != self._prev_coulomb:
+                self._stuck_streak = 0
+            if self._stuck_streak >= cfg.stuck_checks:
+                flags.append("stuck")
+                coulomb = None
+            self._prev_coulomb = status.estimated_soc
+
+        # --- cross-estimator divergence (hysteretic) --------------------
+        if coulomb is not None:
+            gap = abs(coulomb - kalman_soc)
+            if self._divergent:
+                self._divergent = gap > cfg.divergence_release
+            else:
+                self._divergent = gap > cfg.divergence_threshold
+            if self._divergent:
+                flags.append("divergence")
+                coulomb = None
+        else:
+            self._divergent = False
+
+        # --- OCV-rest anchor --------------------------------------------
+        if dt > 0.0 and abs(mean_current_a) <= cfg.rest_current_a:
+            self._anchor_soc = invert_ocp(self.cell.params.ocp, status.terminal_voltage)
+            self._anchor_t = t
+        anchor: Optional[float] = None
+        if self._anchor_t is not None:
+            if t - self._anchor_t <= cfg.anchor_max_age_s:
+                anchor = self._anchor_soc
+            else:
+                flags.append("stale-anchor")
+
+        # --- vote --------------------------------------------------------
+        arms = [("coulomb", coulomb), ("kalman", kalman_soc), ("anchor", anchor)]
+        usable = [(name, value) for name, value in arms if value is not None]
+        values = [value for _, value in usable]
+        if values:
+            self.trusted_soc = _median(values)
+            spread = max(values) - min(values)
+            if any(abs(value - self.trusted_soc) > cfg.outlier_threshold for value in values):
+                flags.append("outlier")
+            # Spread shrinks confidence; missing arms cap it. A healthy
+            # steady state (coulomb + kalman agreeing, anchor stale
+            # between rests) therefore sits around 2/3, and a council
+            # down to one arm cannot claim more than 1/3.
+            self.confidence = max(0.0, 1.0 - spread / cfg.consensus_spread) * (len(values) / 3.0)
+            if spread > cfg.consensus_spread:
+                self._bad_consensus_streak += 1
+            else:
+                self._bad_consensus_streak = 0
+        else:
+            self.trusted_soc = kalman_soc
+            self.confidence = 0.0
+            self._bad_consensus_streak += 1
+        self.consensus_failed = self._bad_consensus_streak >= cfg.consensus_checks
+
+        for flag in flags:
+            if flag not in previous_flags:
+                raised.append((flag, self._flag_detail(flag, status, kalman_soc)))
+        self.flags = flags
+        return raised
+
+    def _flag_detail(self, flag: str, status: BatteryStatus, kalman_soc: float) -> str:
+        if flag == "stuck":
+            return f"coulomb estimate frozen at {status.estimated_soc:.1%} while charge moved"
+        if flag == "dropout":
+            return "coulomb estimate reads NaN"
+        if flag == "divergence":
+            return f"coulomb {status.estimated_soc:.1%} vs kalman {kalman_soc:.1%}"
+        if flag == "stale-anchor":
+            return "no OCV rest inside the freshness horizon"
+        return f"arm deviates from vote by more than {self.config.outlier_threshold:.0%}"
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def capture(self) -> dict:
+        """Serializable snapshot of all mutable council + filter state."""
+        return {
+            "trusted_soc": self.trusted_soc,
+            "confidence": self.confidence,
+            "flags": list(self.flags),
+            "consensus_failed": self.consensus_failed,
+            "prev_coulomb": self._prev_coulomb,
+            "stuck_streak": self._stuck_streak,
+            "divergent": self._divergent,
+            "bad_consensus_streak": self._bad_consensus_streak,
+            "anchor_soc": self._anchor_soc,
+            "anchor_t": self._anchor_t,
+            "kalman": {
+                "soc_estimate": self.kalman.soc_estimate,
+                "variance": self.kalman.variance,
+                "v_rc_estimate": self.kalman.v_rc_estimate,
+                "updates": self.kalman.updates,
+            },
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore a :meth:`capture` snapshot bit-identically."""
+        self.trusted_soc = float(data["trusted_soc"])
+        self.confidence = float(data["confidence"])
+        self.flags = [str(f) for f in data["flags"]]
+        self.consensus_failed = bool(data["consensus_failed"])
+        self._prev_coulomb = None if data["prev_coulomb"] is None else float(data["prev_coulomb"])
+        self._stuck_streak = int(data["stuck_streak"])
+        self._divergent = bool(data["divergent"])
+        self._bad_consensus_streak = int(data["bad_consensus_streak"])
+        self._anchor_soc = None if data["anchor_soc"] is None else float(data["anchor_soc"])
+        self._anchor_t = None if data["anchor_t"] is None else float(data["anchor_t"])
+        kalman = data["kalman"]
+        self.kalman.soc_estimate = float(kalman["soc_estimate"])
+        self.kalman.variance = float(kalman["variance"])
+        self.kalman.v_rc_estimate = float(kalman["v_rc_estimate"])
+        self.kalman.updates = int(kalman["updates"])

@@ -1,0 +1,341 @@
+"""Per-chemistry operating envelopes and the hysteretic envelope guard.
+
+Table 1 of the paper gives every chemistry hard limits — terminal-voltage
+window, sustained charge/discharge C-rate, and an operating temperature
+band — that the pack must never leave regardless of what policy the OS
+runs. :func:`envelope_for` derives those limits for a concrete cell from
+the chemistry library (:mod:`repro.chemistry`), and
+:class:`EnvelopeGuard` is the per-battery state machine that watches each
+tick's readings against them:
+
+.. code-block:: text
+
+            breach            sustained breach        trip_checks
+    ok ───────────▶ derate ───────────────▶ cutoff ─────────────▶ latched_trip
+     ◀───────────         ◀───────────────                            │
+      release_checks        release_checks            reset()         │
+      clean reads           clean reads     ◀─────────────────────────┘
+
+The guard is *hysteretic* in both directions: escalation needs
+``breach_checks`` consecutive bad readings, de-escalation needs
+``release_checks`` consecutive clean ones, and the release thresholds sit
+wider than the entry thresholds so a reading hovering at a limit cannot
+chatter the state. ``latched_trip`` never self-clears — only an explicit
+:meth:`EnvelopeGuard.reset` (an operator action) returns the battery to
+service, exactly like a hardware pack protector's latch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import units
+from repro.cell.thevenin import TheveninCell
+from repro.chemistry.types import ChemistryType
+
+__all__ = [
+    "STATE_OK",
+    "STATE_DERATE",
+    "STATE_CUTOFF",
+    "STATE_LATCHED_TRIP",
+    "EnvelopeLimits",
+    "GuardConfig",
+    "EnvelopeGuard",
+    "envelope_for",
+]
+
+STATE_OK = "ok"
+STATE_DERATE = "derate"
+STATE_CUTOFF = "cutoff"
+STATE_LATCHED_TRIP = "latched_trip"
+
+#: Operating temperature bands per chemistry type, Celsius. Table 1 does
+#: not print the bands, so these follow the construction: the LFP power
+#: chemistry tolerates the widest band, the standard and high-power LCO
+#: cells the usual consumer Li-ion band, and the bendable solid-separator
+#: cell the narrowest (its ceramic separator's conductivity collapses in
+#: the cold and it ages fastest when hot).
+CHEMISTRY_TEMP_BANDS_C: Dict[ChemistryType, Tuple[float, float]] = {
+    ChemistryType.TYPE_1_LFP_POWER: (-20.0, 60.0),
+    ChemistryType.TYPE_2_LCO_STANDARD: (-10.0, 55.0),
+    ChemistryType.TYPE_3_LCO_HIGH_POWER: (-10.0, 55.0),
+    ChemistryType.TYPE_4_BENDABLE: (0.0, 45.0),
+}
+
+#: Band used when a cell's chemistry is not in the library table.
+DEFAULT_TEMP_BAND_C = (-10.0, 55.0)
+
+
+@dataclass(frozen=True)
+class EnvelopeLimits:
+    """One battery's hard operating limits (the Table-1 row that matters).
+
+    Attributes:
+        v_min: minimum terminal voltage, volts (the chemistry's
+            discharge cutoff).
+        v_max: maximum terminal voltage, volts (the charge cutoff).
+        max_discharge_a: sustained discharge-current limit, amps.
+        max_charge_a: sustained charge-current limit, amps.
+        temp_min_c: lower edge of the operating temperature band.
+        temp_max_c: upper edge of the operating temperature band.
+    """
+
+    v_min: float
+    v_max: float
+    max_discharge_a: float
+    max_charge_a: float
+    temp_min_c: float
+    temp_max_c: float
+
+    def __post_init__(self) -> None:
+        if self.v_min <= 0 or self.v_max <= self.v_min:
+            raise ValueError("need 0 < v_min < v_max")
+        if self.max_discharge_a <= 0 or self.max_charge_a <= 0:
+            raise ValueError("current limits must be positive")
+        if self.temp_max_c <= self.temp_min_c:
+            raise ValueError("temperature band must be non-empty")
+
+
+def envelope_for(cell: TheveninCell) -> EnvelopeLimits:
+    """Derive a cell's operating envelope from its chemistry-library data.
+
+    Voltage limits come from the chemistry spec's ``v_empty``/``v_full``
+    (Table 1's window), current limits from the cell's effective C-rate
+    limits (library per-battery overrides already folded in), and the
+    temperature band from :data:`CHEMISTRY_TEMP_BANDS_C`.
+    """
+    spec = cell.params.chemistry
+    temp_band = CHEMISTRY_TEMP_BANDS_C.get(getattr(spec, "chemistry", None), DEFAULT_TEMP_BAND_C)
+    return EnvelopeLimits(
+        v_min=spec.v_empty,
+        v_max=spec.v_full,
+        max_discharge_a=units.c_rate_to_amps(cell.params.max_discharge_c, cell.params.capacity_c),
+        max_charge_a=units.c_rate_to_amps(cell.params.max_charge_c, cell.params.capacity_c),
+        temp_min_c=temp_band[0],
+        temp_max_c=temp_band[1],
+    )
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Tuning of the envelope guard's hysteresis and thresholds.
+
+    Attributes:
+        derate_factor: power/current scale applied in the ``derate``
+            state (0 < factor < 1).
+        v_derate_margin: derate when the terminal voltage comes within
+            this many volts of ``v_min`` (or of ``v_max`` while
+            charging).
+        v_release_margin: to leave a voltage-triggered state the voltage
+            must recover this far *past* the derate threshold — the
+            hysteresis band that stops chattering.
+        current_trip_ratio: observed mean current beyond this multiple
+            of the C-rate limit is cutoff-grade (between 1.0 and the
+            ratio it is derate-grade).
+        temp_margin_c: derate when the temperature comes within this
+            many degrees of a band edge; outside the band is
+            cutoff-grade.
+        breach_checks: consecutive breach ticks before the state
+            escalates (1 reacts at the first tick).
+        release_checks: consecutive clean ticks before the state
+            de-escalates one level.
+        trip_checks: consecutive cutoff-grade ticks before the guard
+            latches; a latched trip needs an explicit reset.
+    """
+
+    derate_factor: float = 0.5
+    v_derate_margin: float = 0.05
+    v_release_margin: float = 0.10
+    current_trip_ratio: float = 1.25
+    temp_margin_c: float = 5.0
+    breach_checks: int = 1
+    release_checks: int = 3
+    trip_checks: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.derate_factor < 1.0:
+            raise ValueError("derate factor must be in (0, 1)")
+        if self.v_derate_margin < 0 or self.v_release_margin <= 0:
+            raise ValueError("voltage margins must be positive")
+        if self.current_trip_ratio <= 1.0:
+            raise ValueError("current trip ratio must exceed 1")
+        if self.breach_checks < 1 or self.release_checks < 1 or self.trip_checks < 1:
+            raise ValueError("check counts must be at least 1")
+
+
+#: Severity grades a single reading can earn.
+_CLEAN, _DERATE_GRADE, _CUTOFF_GRADE = 0, 1, 2
+
+
+class EnvelopeGuard:
+    """Hysteretic per-battery protection state machine.
+
+    Feed it one reading per runtime tick via :meth:`evaluate`; it returns
+    the typed transitions it performed (empty list when the state held).
+    All state is plain floats/ints/strings so :meth:`capture` /
+    :meth:`restore` round-trip bit-identically through a checkpoint.
+    """
+
+    def __init__(self, limits: EnvelopeLimits, config: GuardConfig = GuardConfig()):
+        self.limits = limits
+        self.config = config
+        self.state = STATE_OK
+        self._breach_streak = 0
+        self._clean_streak = 0
+        self._trip_streak = 0
+
+    @property
+    def derate_factor(self) -> float:
+        """Power scale this guard currently commands (1.0 when ok)."""
+        if self.state == STATE_DERATE:
+            return self.config.derate_factor
+        if self.state in (STATE_CUTOFF, STATE_LATCHED_TRIP):
+            return 0.0
+        return 1.0
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def _grade(
+        self, voltage: float, current: float, temperature_c: Optional[float]
+    ) -> Tuple[int, List[str]]:
+        """Grade one reading: (severity, reasons)."""
+        lim, cfg = self.limits, self.config
+        severity = _CLEAN
+        reasons: List[str] = []
+        charging = current < 0.0
+
+        if voltage < lim.v_min:
+            severity = max(severity, _CUTOFF_GRADE)
+            reasons.append(f"undervoltage ({voltage:.3f} V < {lim.v_min:.3f} V floor)")
+        elif voltage < lim.v_min + cfg.v_derate_margin and not charging:
+            severity = max(severity, _DERATE_GRADE)
+            reasons.append(f"voltage near floor ({voltage:.3f} V)")
+        if voltage > lim.v_max:
+            severity = max(severity, _CUTOFF_GRADE)
+            reasons.append(f"overvoltage ({voltage:.3f} V > {lim.v_max:.3f} V ceiling)")
+        elif voltage > lim.v_max - cfg.v_derate_margin and charging:
+            severity = max(severity, _DERATE_GRADE)
+            reasons.append(f"voltage near ceiling ({voltage:.3f} V)")
+
+        i_limit = lim.max_charge_a if charging else lim.max_discharge_a
+        magnitude = abs(current)
+        if magnitude > i_limit * cfg.current_trip_ratio:
+            severity = max(severity, _CUTOFF_GRADE)
+            reasons.append(f"overcurrent ({magnitude:.2f} A vs {i_limit:.2f} A limit)")
+        elif magnitude > i_limit:
+            severity = max(severity, _DERATE_GRADE)
+            reasons.append(f"current above rate limit ({magnitude:.2f} A vs {i_limit:.2f} A)")
+
+        if temperature_c is not None:
+            if not lim.temp_min_c <= temperature_c <= lim.temp_max_c:
+                severity = max(severity, _CUTOFF_GRADE)
+                reasons.append(f"temperature {temperature_c:.1f} C outside band")
+            elif (
+                temperature_c < lim.temp_min_c + cfg.temp_margin_c
+                or temperature_c > lim.temp_max_c - cfg.temp_margin_c
+            ):
+                severity = max(severity, _DERATE_GRADE)
+                reasons.append(f"temperature {temperature_c:.1f} C near band edge")
+        return severity, reasons
+
+    def _is_clean(self, voltage: float, current: float, temperature_c: Optional[float]) -> bool:
+        """Clean enough to de-escalate: clean grade plus the release band.
+
+        The release threshold sits ``v_release_margin`` above the derate
+        entry threshold so a voltage hovering at the limit cannot chatter
+        the state (the ceiling side needs no extra band: its entry
+        condition only applies while charging).
+        """
+        severity, _ = self._grade(voltage, current, temperature_c)
+        if severity != _CLEAN:
+            return False
+        lim, cfg = self.limits, self.config
+        return voltage >= lim.v_min + cfg.v_derate_margin + cfg.v_release_margin and voltage <= lim.v_max
+
+    def evaluate(
+        self,
+        t: float,
+        *,
+        voltage: float,
+        current: float,
+        temperature_c: Optional[float] = None,
+    ) -> List[Tuple[str, str]]:
+        """Fold one tick's reading in; return ``(action, detail)`` transitions.
+
+        ``current`` is the mean discharge-positive terminal current over
+        the tick window, amps. Actions are ``"derate"``, ``"cutoff"``,
+        ``"latched_trip"`` and ``"release"``.
+        """
+        if self.state == STATE_LATCHED_TRIP:
+            return []
+
+        severity, reasons = self._grade(voltage, current, temperature_c)
+        transitions: List[Tuple[str, str]] = []
+
+        if severity == _CUTOFF_GRADE:
+            self._clean_streak = 0
+            self._breach_streak += 1
+            self._trip_streak += 1
+            if self._breach_streak >= self.config.breach_checks and self.state != STATE_CUTOFF:
+                self.state = STATE_CUTOFF
+                transitions.append((STATE_CUTOFF, "; ".join(reasons)))
+            if self._trip_streak >= self.config.trip_checks:
+                self.state = STATE_LATCHED_TRIP
+                transitions.append(
+                    (STATE_LATCHED_TRIP, f"{self._trip_streak} consecutive cutoff-grade ticks")
+                )
+        elif severity == _DERATE_GRADE:
+            self._clean_streak = 0
+            self._trip_streak = 0
+            self._breach_streak += 1
+            if self._breach_streak >= self.config.breach_checks and self.state == STATE_OK:
+                self.state = STATE_DERATE
+                transitions.append((STATE_DERATE, "; ".join(reasons)))
+        else:
+            self._breach_streak = 0
+            self._trip_streak = 0
+            if self.state != STATE_OK and self._is_clean(voltage, current, temperature_c):
+                self._clean_streak += 1
+                if self._clean_streak >= self.config.release_checks:
+                    self._clean_streak = 0
+                    previous = self.state
+                    self.state = STATE_DERATE if previous == STATE_CUTOFF else STATE_OK
+                    transitions.append(
+                        ("release", f"{previous} -> {self.state} after clean reads")
+                    )
+            else:
+                self._clean_streak = 0
+        return transitions
+
+    def reset(self) -> bool:
+        """Clear a latched trip (operator action); True if one was latched."""
+        if self.state != STATE_LATCHED_TRIP:
+            return False
+        self.state = STATE_OK
+        self._breach_streak = 0
+        self._clean_streak = 0
+        self._trip_streak = 0
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def capture(self) -> dict:
+        """Serializable snapshot of the mutable guard state."""
+        return {
+            "state": self.state,
+            "breach_streak": self._breach_streak,
+            "clean_streak": self._clean_streak,
+            "trip_streak": self._trip_streak,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore a :meth:`capture` snapshot bit-identically."""
+        self.state = str(data["state"])
+        self._breach_streak = int(data["breach_streak"])
+        self._clean_streak = int(data["clean_streak"])
+        self._trip_streak = int(data["trip_streak"])

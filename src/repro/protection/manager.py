@@ -1,0 +1,339 @@
+"""The protection manager: envelope guards + estimator councils, one per battery.
+
+:class:`ProtectionManager` is the piece the
+:class:`~repro.core.runtime.SDBRuntime` drives. Once per runtime tick it:
+
+1. derives each battery's tick-window mean current from the gauge's
+   charge accumulators (which integrate the *true* current regardless of
+   any injected estimate fault),
+2. updates the battery's :class:`~repro.protection.council.EstimatorCouncil`
+   and :class:`~repro.protection.envelope.EnvelopeGuard`,
+3. records every transition as an :class:`~repro.core.health.Incident`
+   and a ``protection.*`` trace event/counter, and
+4. in ``enforce`` mode applies the verdicts: derates write the
+   controller's ``protection_derating`` vector (mirrored by both
+   emulation engines' cap computations), cutoffs and latched trips
+   disconnect the battery through the existing detach machinery, and a
+   failed SoC consensus quarantines the battery through the
+   :class:`~repro.core.health.HealthMonitor`.
+
+``monitor`` mode runs steps 1–3 only: full visibility, zero actuation —
+the safe default for comparing against historical runs.
+
+Two invariants matter for correctness:
+
+* protection state changes **only at ticks**, which both engines execute
+  on the scalar path, so enforcement is bit-identical per engine; and
+* the manager never cuts off the last usable battery — serving the load
+  from a suspect battery beats browning out the device, the same
+  hardware-floor philosophy the microcontroller applies to empty cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.cell.fuel_gauge import BatteryStatus
+from repro.core.health import HealthMonitor, Incident
+from repro.obs.tracer import NULL_TRACER
+from repro.protection.council import CouncilConfig, EstimatorCouncil
+from repro.protection.envelope import (
+    STATE_CUTOFF,
+    STATE_DERATE,
+    STATE_LATCHED_TRIP,
+    STATE_OK,
+    EnvelopeGuard,
+    GuardConfig,
+    envelope_for,
+)
+
+__all__ = ["PROTECTION_MODES", "ProtectionManager"]
+
+#: Valid protection modes; ``off`` means "construct no manager at all".
+PROTECTION_MODES = ("off", "monitor", "enforce")
+
+#: Council flags that justify a precautionary derate in enforce mode.
+#: ``stale-anchor`` and ``outlier`` are diagnostic only — every long
+#: discharge stretch goes anchor-stale, and the median vote already
+#: sidelines an outlier arm.
+_DERATE_FLAGS = frozenset({"stuck", "dropout", "divergence"})
+
+#: Incident kinds per guard action.
+_ACTION_KINDS = {
+    STATE_DERATE: "protect-derate",
+    STATE_CUTOFF: "protect-cutoff",
+    STATE_LATCHED_TRIP: "protect-trip",
+    "release": "protect-release",
+}
+
+
+class ProtectionManager:
+    """Per-battery protection state, evaluated at runtime-tick cadence.
+
+    Args:
+        controller: the :class:`~repro.hardware.microcontroller.SDBMicrocontroller`
+            whose batteries are protected.
+        mode: ``"monitor"`` (observe + record) or ``"enforce"``
+            (observe + record + act). ``"off"`` is expressed by not
+            constructing a manager.
+        guard_config: envelope-guard tuning, shared by all batteries.
+        council_config: estimator-council tuning, shared by all batteries.
+        sensor_derate_factor: precautionary power scale applied in
+            enforce mode while a battery's council flags its gauge —
+            a battery whose meter lies gets leaned on less.
+    """
+
+    def __init__(
+        self,
+        controller,
+        *,
+        mode: str = "monitor",
+        guard_config: Optional[GuardConfig] = None,
+        council_config: Optional[CouncilConfig] = None,
+        sensor_derate_factor: float = 0.5,
+    ):
+        if mode not in PROTECTION_MODES or mode == "off":
+            raise ValueError(f"mode must be one of {PROTECTION_MODES[1:]}, got {mode!r}")
+        if not 0.0 < sensor_derate_factor <= 1.0:
+            raise ValueError("sensor derate factor must be in (0, 1]")
+        self.controller = controller
+        self.mode = mode
+        self.sensor_derate_factor = float(sensor_derate_factor)
+        guard_config = guard_config or GuardConfig()
+        council_config = council_config or CouncilConfig()
+        self.guards = [EnvelopeGuard(envelope_for(cell), guard_config) for cell in controller.cells]
+        self.councils = [
+            EstimatorCouncil(cell, gauge, council_config)
+            for cell, gauge in zip(controller.cells, controller.gauges)
+        ]
+        self.incidents: List[Incident] = []
+        self.health: Optional[HealthMonitor] = None
+        self.tracer = NULL_TRACER
+        n = controller.n
+        self._last_t: Optional[float] = None
+        self._last_net_c = [0.0] * n
+        self._cut = [False] * n
+        self._sensor_derated = [False] * n
+        self._consensus_flagged = [False] * n
+
+    @property
+    def enforcing(self) -> bool:
+        """True when verdicts are actuated, not just recorded."""
+        return self.mode == "enforce"
+
+    def bind(self, health: Optional[HealthMonitor], tracer) -> None:
+        """Attach the runtime's health monitor and tracer (runtime-owned)."""
+        self.health = health
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------ #
+    # Observation (one call per runtime tick)
+    # ------------------------------------------------------------------ #
+
+    def _record(self, incident: Incident, counter: str) -> None:
+        self.incidents.append(incident)
+        self.tracer.count(counter)
+        self.tracer.event(
+            "protection." + incident.kind.replace("protect-", "").replace("-", "_"),
+            incident.t,
+            battery=incident.battery_index,
+            detail=incident.detail,
+        )
+
+    def observe(self, t: float, statuses: Sequence[BatteryStatus]) -> None:
+        """Fold one tick's statuses in; apply verdicts in enforce mode."""
+        ctrl = self.controller
+        dt = 0.0 if self._last_t is None else t - self._last_t
+        for i, status in enumerate(statuses):
+            gauge = ctrl.gauges[i]
+            net_c = gauge.total_discharged_c - gauge.total_charged_c
+            mean_current = (net_c - self._last_net_c[i]) / dt if dt > 0.0 else 0.0
+            self._last_net_c[i] = net_c
+
+            council = self.councils[i]
+            for flag, detail in council.update(t, status, dt, mean_current):
+                self._record(
+                    Incident(t, "council-flag", i, f"{flag}: {detail}"),
+                    "protection.council_flags",
+                )
+
+            temperature = ctrl.cells[i].thermal.temperature_c if ctrl.cells[i].thermal is not None else None
+            guard = self.guards[i]
+            for action, detail in guard.evaluate(
+                t, voltage=status.terminal_voltage, current=mean_current, temperature_c=temperature
+            ):
+                self._record(
+                    Incident(t, _ACTION_KINDS[action], i, detail),
+                    f"protection.{_ACTION_KINDS[action].replace('protect-', '')}s",
+                )
+
+            # Precautionary sensor derate: lean less on a battery whose
+            # gauge is currently flagged as lying.
+            sensor_bad = bool(_DERATE_FLAGS.intersection(council.flags))
+            if sensor_bad != self._sensor_derated[i]:
+                self._sensor_derated[i] = sensor_bad
+                kind = "protect-derate" if sensor_bad else "protect-release"
+                detail = (
+                    f"sensor flags: {', '.join(sorted(_DERATE_FLAGS.intersection(council.flags)))}"
+                    if sensor_bad
+                    else "sensor flags cleared"
+                )
+                self._record(Incident(t, kind, i, detail), f"protection.{kind.replace('protect-', '')}s")
+
+            # Consensus failure: record once per onset, quarantine (and
+            # re-assert while it persists) in enforce mode.
+            if council.consensus_failed:
+                if not self._consensus_flagged[i]:
+                    self._consensus_flagged[i] = True
+                    self._record(
+                        Incident(t, "council-consensus", i, "SoC consensus failed across estimator arms"),
+                        "protection.consensus_failures",
+                    )
+                if self.enforcing and self.health is not None:
+                    if self.health.quarantine(t, i, "protection: SoC consensus failed"):
+                        self.tracer.count("protection.quarantines")
+            else:
+                self._consensus_flagged[i] = False
+
+        self._last_t = t
+        if self.enforcing:
+            self._apply(t)
+
+    # ------------------------------------------------------------------ #
+    # Enforcement
+    # ------------------------------------------------------------------ #
+
+    def _usable(self, i: int) -> bool:
+        return self.controller.connected[i] and not self.controller.cells[i].is_empty
+
+    def _apply(self, t: float) -> None:
+        """Write the current verdicts into the controller."""
+        ctrl = self.controller
+        for i, guard in enumerate(self.guards):
+            factor = guard.derate_factor
+            if self._sensor_derated[i]:
+                factor = min(factor, self.sensor_derate_factor)
+            wants_cut = guard.state in (STATE_CUTOFF, STATE_LATCHED_TRIP)
+            if wants_cut:
+                others_usable = any(self._usable(j) for j in range(ctrl.n) if j != i)
+                if others_usable:
+                    if ctrl.connected[i]:
+                        ctrl.set_connected(i, False)
+                        self._cut[i] = True
+                    ctrl.protection_derating[i] = 0.0
+                else:
+                    # Never cut off the last usable battery: a suspect
+                    # supply beats a brownout. Hold a derate floor instead.
+                    if self._cut[i] and not ctrl.connected[i]:
+                        ctrl.set_connected(i, True)
+                        self._cut[i] = False
+                    ctrl.protection_derating[i] = guard.config.derate_factor
+            else:
+                if self._cut[i] and not ctrl.connected[i]:
+                    ctrl.set_connected(i, True)
+                if self._cut[i]:
+                    self._cut[i] = False
+                ctrl.protection_derating[i] = factor
+
+    def filter_ratios(self, ratios: Sequence[float]) -> List[float]:
+        """Scale derated shares, zero cutoff/tripped ones, renormalize.
+
+        Monitor mode passes ratios through untouched. Like the health
+        monitor's filter, an all-zero outcome returns the original vector:
+        the hardware floor still serves the load as a last resort.
+        """
+        ratios = list(ratios)
+        if not self.enforcing:
+            return ratios
+        factors = []
+        for i, guard in enumerate(self.guards):
+            factor = guard.derate_factor
+            if self._sensor_derated[i]:
+                factor = min(factor, self.sensor_derate_factor)
+            factors.append(factor)
+        filtered = [r * f for r, f in zip(ratios, factors)]
+        total = sum(filtered)
+        if total <= 0.0:
+            return ratios
+        return [r / total for r in filtered]
+
+    def reset_trip(self, t: float, battery_index: int) -> bool:
+        """Operator action: clear a latched trip and return to service."""
+        guard = self.guards[battery_index]
+        if not guard.reset():
+            return False
+        self._record(
+            Incident(t, "protect-reset", battery_index, "latched trip cleared by operator"),
+            "protection.resets",
+        )
+        if self.enforcing:
+            self._apply(t)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def protection_state(self, i: int) -> str:
+        """The battery's effective protection state string."""
+        state = self.guards[i].state
+        if state == STATE_OK and self._sensor_derated[i]:
+            return STATE_DERATE
+        return state
+
+    def trusted_soc(self, i: int) -> float:
+        """The council's voted SoC for battery ``i``."""
+        return self.councils[i].trusted_soc
+
+    def soc_confidence(self, i: int) -> float:
+        """The council's confidence in its vote for battery ``i``."""
+        return self.councils[i].confidence
+
+    def annotate(self, statuses: Sequence[BatteryStatus]) -> List[BatteryStatus]:
+        """Stamp confidence + protection state onto a status response."""
+        return [
+            replace(
+                status,
+                soc_confidence=self.councils[i].confidence,
+                protection_state=self.protection_state(i),
+            )
+            for i, status in enumerate(statuses)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def capture(self) -> dict:
+        """Serializable snapshot of all mutable protection state."""
+        return {
+            "mode": self.mode,
+            "last_t": self._last_t,
+            "last_net_c": list(self._last_net_c),
+            "cut": list(self._cut),
+            "sensor_derated": list(self._sensor_derated),
+            "consensus_flagged": list(self._consensus_flagged),
+            "guards": [guard.capture() for guard in self.guards],
+            "councils": [council.capture() for council in self.councils],
+            "incidents": [
+                {"t": inc.t, "kind": inc.kind, "battery_index": inc.battery_index, "detail": inc.detail}
+                for inc in self.incidents
+            ],
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore a :meth:`capture` snapshot bit-identically."""
+        self._last_t = None if data["last_t"] is None else float(data["last_t"])
+        self._last_net_c = [float(v) for v in data["last_net_c"]]
+        self._cut = [bool(v) for v in data["cut"]]
+        self._sensor_derated = [bool(v) for v in data["sensor_derated"]]
+        self._consensus_flagged = [bool(v) for v in data["consensus_flagged"]]
+        for guard, payload in zip(self.guards, data["guards"]):
+            guard.restore(payload)
+        for council, payload in zip(self.councils, data["councils"]):
+            council.restore(payload)
+        self.incidents = [
+            Incident(t=inc["t"], kind=inc["kind"], battery_index=inc["battery_index"], detail=inc["detail"])
+            for inc in data["incidents"]
+        ]

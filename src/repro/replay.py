@@ -92,6 +92,7 @@ def build_manifest(
     csv_path: Optional[str] = None,
     device: Optional[str] = None,
     seed: Optional[int] = None,
+    protection: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Build a ``repro.replay/v1`` manifest for a finished run.
 
@@ -111,6 +112,10 @@ def build_manifest(
         "dt_s": emulator.dt_s,
         "seed": seed,
     }
+    if protection is not None and protection != "off":
+        # Only recorded when the run was protected: older manifests have
+        # no key at all, and ``rebuild_emulator`` treats both the same.
+        run["protection"] = protection
     return {
         "format": REPLAY_FORMAT,
         "run": run,
@@ -168,7 +173,11 @@ def rebuild_emulator(manifest: Dict[str, Any]) -> SDBEmulator:
     if run.get("scenario") is not None:
         seed = run.get("seed")
         return build_scenario(
-            run["scenario"], engine=engine, dt_s=dt_s, seed=None if seed is None else int(seed)
+            run["scenario"],
+            engine=engine,
+            dt_s=dt_s,
+            seed=None if seed is None else int(seed),
+            protection=run.get("protection") or "off",
         )
     csv_ref = run["csv"]
     path = csv_ref["path"]
@@ -214,7 +223,7 @@ def replay(manifest_path: str, checkpoint: Optional[str] = None) -> ReplayReport
     """Re-execute a recorded run and compare it to the manifest, exactly.
 
     With ``checkpoint`` set, the replay resumes from that mid-run
-    ``repro.ckpt/v1`` snapshot instead of starting from scratch — the
+    ``repro.ckpt`` snapshot instead of starting from scratch — the
     finished run must still match the recorded metrics bit-for-bit.
 
     Raises ``ValueError`` for unusable inputs (exit 2 at the CLI); a

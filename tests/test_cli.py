@@ -176,3 +176,45 @@ class TestChaosTrace:
         capsys.readouterr()
         lines = out.read_text().splitlines()
         assert json.loads(lines[0])["schema"] == "repro.obs/v1"
+
+
+class TestProtectionFlags:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "tab01", "--protection", "full"],
+            ["chaos", "--protection", "full"],
+            ["trace", "watch-day", "--protection", "full"],
+            ["supervise", "watch-day", "--protection", "full"],
+        ],
+        ids=["run", "chaos", "trace", "supervise"],
+    )
+    def test_invalid_protection_mode_exits_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_invalid_chaos_preset_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--preset", "meteor"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_gauge_storm_preset_under_enforcement(self, tmp_path, capsys):
+        out = tmp_path / "storm.trace.jsonl"
+        assert main(["chaos", "--preset", "gauge-storm", "--protection", "enforce",
+                     "--dt", "120", "--trace", str(out)]) == 0
+        capsys.readouterr()
+        names = {json.loads(line).get("name", "") for line in out.read_text().splitlines()}
+        assert any(name.startswith("protection.") for name in names)
+
+    def test_protected_scenario_trace(self, tmp_path, capsys):
+        out = tmp_path / "gauge.trace.jsonl"
+        assert main(["trace", "gauge-fault-tablet", "--protection", "enforce",
+                     "--dt", "120", "--out", str(out)]) == 0
+        capsys.readouterr()
+        names = {json.loads(line).get("name", "") for line in out.read_text().splitlines()}
+        assert any(name.startswith("protection.") for name in names)

@@ -105,6 +105,38 @@ class TestGaugeFaults:
         with pytest.raises(ValueError):
             GaugeDriftFault(0, 0.0, offset_a=1.5)
 
+    def test_drift_estimate_clamped_to_unit_interval(self):
+        # A strong positive sense offset makes the gauge over-count the
+        # discharge; hours of it must pin the estimate at 0, not below.
+        mc = two_cell_controller()
+        drive(FaultSchedule([GaugeDriftFault(0, start_s=0.0, offset_a=0.9)]), mc, [0.0])
+        for _ in range(150):
+            mc.step_discharge(2.0, 60.0)
+        assert mc.gauges[0].estimated_soc == 0.0
+        assert not mc.cells[0].is_empty
+
+    def test_offset_estimate_clamped_to_unit_interval(self):
+        mc = two_cell_controller()
+        drive(FaultSchedule([GaugeOffsetFault(0, 0.0, -0.99)]), mc, [0.0])
+        assert mc.gauges[0].estimated_soc == 0.0
+        mc2 = two_cell_controller()
+        drive(FaultSchedule([GaugeOffsetFault(0, 0.0, 0.99)]), mc2, [0.0])
+        assert mc2.gauges[0].estimated_soc == 1.0
+
+    @pytest.mark.parametrize("flag", ["fault_stuck", "fault_dropout", "fault_drift"])
+    def test_ocv_reanchor_skipped_while_gauge_fault_active(self, flag):
+        mc = two_cell_controller()
+        gauge = mc.gauges[0]
+        gauge.inject_offset(-0.3)
+        drifted = gauge._estimated_soc
+        setattr(gauge, flag, True)
+        assert gauge.fault_active
+        assert not gauge.ocv_rest_correction()
+        assert gauge._estimated_soc == drifted
+        setattr(gauge, flag, False)
+        assert gauge.ocv_rest_correction()
+        assert gauge.estimated_soc == pytest.approx(mc.cells[0].soc)
+
 
 class TestDetachFault:
     def test_detach_and_reattach_round_trip(self):
@@ -123,6 +155,23 @@ class TestDetachFault:
         schedule = FaultSchedule([fault])
         drive(schedule, mc, [0.0, 100.0])
         assert mc.gauges[1].estimated_soc == pytest.approx(mc.cells[1].soc)
+
+    def test_reattach_skips_reanchor_while_gauge_fault_active(self):
+        # A detach window overlapping a stuck-gauge window must not
+        # "re-anchor" the estimate off a frozen sensor at reattach.
+        mc = two_cell_controller()
+        mc.gauges[1].inject_offset(-0.4)
+        drifted = mc.gauges[1].estimated_soc
+        schedule = FaultSchedule(
+            [
+                GaugeStuckFault(1, start_s=0.0),
+                BatteryDetachFault(1, detach_s=50.0, reattach_s=100.0, reanchor_gauge=True),
+            ]
+        )
+        events = drive(schedule, mc, [0.0, 50.0, 100.0])
+        assert mc.gauges[1].estimated_soc == drifted
+        reattach = [e for e in events if e.fault == "detach" and e.action == CLEAR]
+        assert "re-anchor skipped" in reattach[0].detail
 
 
 class TestRegulatorFaults:

@@ -264,7 +264,13 @@ class TestEmulatorIntegration:
 
 class TestScenarios:
     def test_scenario_names(self):
-        assert set(SCENARIOS) == {"tablet-day", "watch-day", "phone-day", "chaos-tablet"}
+        assert set(SCENARIOS) == {
+            "tablet-day",
+            "watch-day",
+            "phone-day",
+            "chaos-tablet",
+            "gauge-fault-tablet",
+        }
 
     def test_unknown_scenario(self):
         with pytest.raises(KeyError, match="unknown scenario"):
