@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""CI check: a 200-device fleet survives a SIGKILLed worker, bit-exactly.
+
+Three legs, all through the real ``python -m repro fleet`` CLI:
+
+1. **clean** — a 200-device mixed fleet (no chaos) establishes the
+   reference rollups and per-device metrics;
+2. **chaos** — the same fleet with ``--chaos kill-worker``: the targeted
+   shard's worker SIGKILLs itself right after its first durable shard
+   checkpoint, the supervisor restarts it from that checkpoint, and the
+   run must exit 0 with full coverage, ``shards.retried >= 1``, recovery
+   events (``fleet.restart``) in the JSONL trace, and per-device metrics
+   **equal** to the clean run's — the bit-identity claim, checked across
+   process boundaries and a real SIGKILL;
+3. **quarantine** — chaos kills set beyond the retry budget: the fleet
+   must *degrade*, not crash — exit 1, nonzero quarantine accounting in
+   the summary artifact, and partial coverage strictly between 0 and 1.
+
+Artifacts (summaries + traces) are left in ``--out`` for upload. See
+docs/fleet.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: 200 devices across the three platform scenarios; a short simulated
+#: window keeps each device cheap while leaving enough devices per shard
+#: for the kill to land strictly mid-shard.
+POPULATION = "phone-day=100,watch-day=60,tablet-day=40"
+DURATION_H = "0.1"
+DT_S = "5"
+SHARDS = "4"
+SEED = "7"
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def fleet_cmd(out_dir: pathlib.Path, name: str, *extra: str) -> list:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "fleet",
+        POPULATION,
+        "--shards",
+        SHARDS,
+        "--seed",
+        SEED,
+        "--duration-h",
+        DURATION_H,
+        "--dt",
+        DT_S,
+        "--every-h",
+        "0.02",
+        "--base-delay-s",
+        "0.1",
+        "--checkpoint-dir",
+        str(out_dir / f"{name}.ckpt.d"),
+        "--summary",
+        str(out_dir / f"{name}.summary.json"),
+        *extra,
+    ]
+
+
+def run_leg(name: str, cmd: list, expect_exit: int) -> dict:
+    print(f"[{name}] {' '.join(cmd[3:])}", flush=True)
+    proc = subprocess.run(cmd, env=child_env(), capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != expect_exit:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(
+            f"[{name}] expected exit {expect_exit}, got {proc.returncode}"
+        )
+    summary_path = pathlib.Path(cmd[cmd.index("--summary") + 1])
+    if not summary_path.exists():
+        raise SystemExit(f"[{name}] no summary artifact at {summary_path}")
+    return json.loads(summary_path.read_text())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="fleet-chaos", help="artifact directory")
+    args = parser.parse_args()
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    clean = run_leg("clean", fleet_cmd(out_dir, "clean"), expect_exit=0)
+    if clean["rollup"]["coverage"] != 1.0:
+        raise SystemExit("[clean] expected 100% coverage")
+    n_devices = clean["rollup"]["n_devices"]
+    if n_devices < 200:
+        raise SystemExit(f"[clean] expected >= 200 devices, planned {n_devices}")
+
+    trace = out_dir / "chaos.trace.jsonl"
+    chaos = run_leg(
+        "chaos",
+        fleet_cmd(out_dir, "chaos", "--chaos", "kill-worker", "--trace", str(trace)),
+        expect_exit=0,
+    )
+    rollup = chaos["rollup"]
+    if rollup["coverage"] != 1.0:
+        raise SystemExit("[chaos] recovery left coverage below 100%")
+    if rollup["shards"]["retried"] < 1 or rollup["shards"]["worker_restarts"] < 1:
+        raise SystemExit("[chaos] no shard was retried — the kill never landed")
+    if rollup["shards"]["quarantined"] != 0:
+        raise SystemExit("[chaos] a recoverable kill must not quarantine")
+
+    records = [
+        json.loads(line) for line in trace.read_text().splitlines() if line.strip()
+    ]
+    names = {str(r.get("name", "")) for r in records}
+    for required in ("fleet.start", "fleet.worker_start", "fleet.restart", "fleet.rollup"):
+        if required not in names:
+            raise SystemExit(f"[chaos] no {required} event in the JSONL trace")
+    exits = [
+        r
+        for r in records
+        if r.get("name") == "fleet.worker_exit"
+        and r.get("fields", {}).get("exitcode") == -9
+    ]
+    if not exits:
+        raise SystemExit("[chaos] no SIGKILL (exit -9) worker_exit in the trace")
+
+    if chaos["devices"] != clean["devices"]:
+        raise SystemExit(
+            "[chaos] per-device metrics differ from the clean run — "
+            "crash recovery is NOT bit-identical"
+        )
+    for key, value in clean["rollup"].items():
+        if key != "shards" and chaos["rollup"][key] != value:
+            raise SystemExit(f"[chaos] rollup field {key!r} differs from the clean run")
+    print(
+        f"[chaos] OK: {n_devices} devices, worker SIGKILLed and recovered "
+        f"({rollup['shards']['worker_restarts']} restart(s)), bit-identical rollups",
+        flush=True,
+    )
+
+    quarantine = run_leg(
+        "quarantine",
+        fleet_cmd(
+            out_dir,
+            "quarantine",
+            "--chaos",
+            "kill-worker",
+            "--chaos-kills",
+            "99",
+            "--max-restarts",
+            "2",
+        ),
+        expect_exit=1,
+    )
+    q_rollup = quarantine["rollup"]
+    if q_rollup["shards"]["quarantined"] < 1:
+        raise SystemExit("[quarantine] summary reports no quarantined shard")
+    if not 0.0 < q_rollup["coverage"] < 1.0:
+        raise SystemExit(
+            f"[quarantine] expected partial coverage, got {q_rollup['coverage']}"
+        )
+    print(
+        f"[quarantine] OK: degraded to {q_rollup['coverage']:.1%} coverage with "
+        f"{q_rollup['shards']['quarantined']} quarantined shard(s), exit 1",
+        flush=True,
+    )
+    print("fleet chaos check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

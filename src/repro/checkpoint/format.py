@@ -18,9 +18,11 @@ Two properties matter more than the schema itself:
 
 * **Atomicity.** :func:`write_checkpoint` writes to a temporary file in
   the same directory, flushes and fsyncs it, then ``os.replace``\\ s it
-  over the target. A SIGKILL (or power loss) at any instant leaves either
+  over the target and fsyncs the parent directory so the rename itself
+  is durable. A SIGKILL (or power loss) at any instant leaves either
   the previous complete checkpoint or the new complete checkpoint on
-  disk — never a torn file.
+  disk — never a torn file, and never a completed write whose directory
+  entry evaporates with the page cache.
 
 * **Verifiability.** The checksum is a SHA-256 over the *canonical*
   encoding of the payload (sorted keys, compact separators), so
@@ -70,6 +72,30 @@ def payload_checksum(payload: Dict[str, Any]) -> str:
     return f"sha256:{digest}"
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entries to disk (POSIX; no-op elsewhere).
+
+    ``os.replace`` makes the rename atomic in the *namespace*, but the
+    new directory entry only becomes durable once the directory itself
+    is synced — without this, a power loss shortly after a checkpoint
+    can roll the directory back to the old (possibly absent) entry even
+    though the file's data blocks were fsynced. Platforms that cannot
+    open a directory for reading (e.g. Windows) skip the sync: their
+    rename durability semantics differ and the data fsync still holds.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory or os.curdir, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def write_checkpoint(path: str, payload: Dict[str, Any]) -> str:
     """Atomically persist ``payload`` as a ``repro.ckpt/v2`` file at ``path``.
 
@@ -93,6 +119,7 @@ def write_checkpoint(path: str, payload: Dict[str, Any]) -> str:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        _fsync_directory(os.path.dirname(os.path.abspath(path)))
     except OSError as exc:
         try:
             os.remove(tmp)

@@ -12,6 +12,8 @@ Usage::
     python -m repro trace run.trace.jsonl --trace-format chrome --out run.json
     python -m repro supervise watch-day --manifest watch.replay.json
     python -m repro replay watch.replay.json
+    python -m repro fleet watch-day --devices 200 --shards 8
+    python -m repro fleet watch-day=100,phone-day=50 --chaos kill-worker
 
 ``run`` prints each experiment's tables and optionally writes them to a
 directory (one text file per experiment). ``chaos`` replays the tablet
@@ -24,7 +26,10 @@ Chrome ``trace_event`` format (see ``docs/observability.md``).
 ``repro.ckpt/v2`` checkpoints, strict invariants, bounded restarts,
 automatic resume from an existing checkpoint) and ``replay`` re-executes
 a recorded manifest and verifies bit-exact reproduction — see
-``docs/checkpointing.md``.
+``docs/checkpointing.md``. ``fleet`` runs a sharded multi-device
+population under the fault-tolerant fleet supervisor (worker processes,
+heartbeats, retry/backoff, shard quarantine) and prints fleet rollups —
+see ``docs/fleet.md``.
 """
 
 from __future__ import annotations
@@ -425,6 +430,95 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a sharded device fleet under the fault-tolerant fleet engine.
+
+    Exit contract: 0 — every device completed; 1 — degraded (quarantined
+    shards / failed devices); 2 — unusable configuration.
+    """
+    import json
+
+    from repro.errors import FleetError
+    from repro.fleet import ChaosSpec, FleetSpec, FleetSupervisor, parse_population
+    from repro.retry import RetryPolicy
+
+    try:
+        if args.duration_h <= 0:
+            raise FleetError("--duration-h must be positive")
+        if args.dt <= 0:
+            raise FleetError("--dt must be positive")
+        population = parse_population(args.population, default_count=args.devices)
+        spec = FleetSpec(
+            population=population,
+            seed=args.seed,
+            duration_s=args.duration_h * units.SECONDS_PER_HOUR,
+            dt_s=args.dt,
+            engine=args.engine,
+            protection=args.protection,
+        )
+        retry = RetryPolicy(
+            max_restarts=args.max_restarts,
+            base_delay_s=args.base_delay_s,
+            heartbeat_deadline_s=args.heartbeat_deadline_s,
+        )
+        chaos = None
+        if args.chaos is not None:
+            chaos = ChaosSpec(
+                mode=args.chaos,
+                kills=args.chaos_kills,
+                target_shard=args.chaos_target,
+            )
+        supervisor_kwargs = dict(
+            n_shards=args.shards,
+            max_workers=args.workers,
+            retry=retry,
+            checkpoint_every_s=args.every_h * units.SECONDS_PER_HOUR,
+            chaos=chaos,
+        )
+    except (FleetError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    tracer = None
+    trace_out: Optional[pathlib.Path] = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        trace_out = pathlib.Path(args.trace)
+        tracer = Tracer()
+
+    checkpoint_dir = args.checkpoint_dir or "fleet.ckpt.d"
+    try:
+        supervisor = FleetSupervisor(spec, checkpoint_dir, tracer=tracer, **supervisor_kwargs)
+    except FleetError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result = supervisor.run()
+    print(result.summary())
+    if args.summary is not None:
+        summary_path = pathlib.Path(args.summary)
+        summary_path.write_text(
+            json.dumps(
+                {
+                    "rollup": result.rollup,
+                    "shards": result.shards,
+                    "devices": result.devices,
+                    "wall_s": result.wall_s,
+                    "exit_code": result.exit_code,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote fleet summary to {summary_path}")
+    if tracer is not None:
+        status = _export_trace(tracer, args.trace_format, trace_out)
+        if status != 0:
+            return status
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -621,6 +715,127 @@ def build_parser() -> argparse.ArgumentParser:
         "replay manifest and checkpoint digest (default: off)",
     )
     p_supervise.set_defaults(func=cmd_supervise)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded multi-device fleet under the fault-tolerant "
+        "fleet engine (worker heartbeats, retry/backoff, quarantine)",
+    )
+    p_fleet.add_argument(
+        "population",
+        help="fleet scenario (watch-day, phone-day, tablet-day) sized by "
+        "--devices, or an explicit mix like 'watch-day=100,phone-day=50'",
+    )
+    p_fleet.add_argument(
+        "--devices",
+        type=int,
+        default=16,
+        help="device count for a bare scenario name (default 16)",
+    )
+    p_fleet.add_argument(
+        "--shards", type=int, default=4, help="shards to plan (default 4)"
+    )
+    p_fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="concurrent worker processes (default: min(shards, cpu count))",
+    )
+    p_fleet.add_argument(
+        "--seed", type=int, default=0, help="fleet seed: per-device workload "
+        "streams and restart jitter all derive from it (default 0)",
+    )
+    p_fleet.add_argument(
+        "--duration-h",
+        type=float,
+        default=24.0,
+        help="simulated hours per device (default 24)",
+    )
+    p_fleet.add_argument(
+        "--dt", type=float, default=60.0, help="emulation step in seconds (default 60)"
+    )
+    p_fleet.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="emulation engine for every device run (default: reference)",
+    )
+    p_fleet.add_argument(
+        "--protection",
+        choices=PROTECTION_MODES,
+        default="off",
+        help="battery protection mode armed on every device (default: off)",
+    )
+    p_fleet.add_argument(
+        "--checkpoint-dir",
+        help="shard/device checkpoint directory (default: fleet.ckpt.d); "
+        "re-invoking on the same directory resumes completed work",
+    )
+    p_fleet.add_argument(
+        "--every-h",
+        type=float,
+        default=1.0,
+        help="per-device checkpoint cadence in simulated hours (default 1)",
+    )
+    p_fleet.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="per-shard restart budget before quarantine (default 3)",
+    )
+    p_fleet.add_argument(
+        "--base-delay-s",
+        type=float,
+        default=0.5,
+        help="base restart backoff delay in seconds (default 0.5; grows "
+        "exponentially with seeded jitter)",
+    )
+    p_fleet.add_argument(
+        "--heartbeat-deadline-s",
+        type=float,
+        default=10.0,
+        help="wall seconds of worker silence before it is declared dead "
+        "and SIGKILLed (default 10)",
+    )
+    p_fleet.add_argument(
+        "--chaos",
+        choices=("kill-worker", "stall-worker"),
+        default=None,
+        help="fleet-level fault injection: the target shard's worker "
+        "SIGKILLs itself (kill-worker) or goes silent (stall-worker) "
+        "mid-run to exercise the recovery path",
+    )
+    p_fleet.add_argument(
+        "--chaos-kills",
+        type=int,
+        default=1,
+        help="how many attempts the chaos keeps firing on (default 1; "
+        "set above --max-restarts to force a quarantine)",
+    )
+    p_fleet.add_argument(
+        "--chaos-target",
+        type=int,
+        default=0,
+        help="shard the chaos targets (default 0)",
+    )
+    p_fleet.add_argument(
+        "--summary",
+        metavar="PATH",
+        help="write the fleet rollup/shard/device summary as JSON to PATH",
+    )
+    p_fleet.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable structured tracing of fleet.* supervisor events and "
+        "write the log to PATH",
+    )
+    p_fleet.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace output format (default: jsonl)",
+    )
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_replay = sub.add_parser(
         "replay",

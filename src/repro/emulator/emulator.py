@@ -37,6 +37,7 @@ from repro.errors import (
     BatteryEmptyError,
     BatteryError,
     CheckpointError,
+    EmulationAborted,
     EmulationError,
     InvariantViolation,
     PolicyError,
@@ -203,6 +204,12 @@ class SDBEmulator:
             (atomic write; a crash never leaves a torn file).
         checkpoint_every_s: periodic checkpoint cadence in simulated
             seconds (default one sim-hour when ``checkpoint_path`` is set).
+        abort_signal: optional event-like object (``threading.Event`` or
+            ``multiprocessing.Event``) polled at every step boundary.
+            When set, the run raises :class:`EmulationAborted` with all
+            state consistent — the cooperative abort channel used by the
+            supervisor watchdog off the main thread and by fleet workers
+            being cancelled. Settable after construction too.
     """
 
     def __init__(
@@ -221,6 +228,7 @@ class SDBEmulator:
         rngs: Optional[Dict[str, np.random.Generator]] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every_s: Optional[float] = None,
+        abort_signal=None,
     ):
         if not math.isfinite(dt_s):
             raise ValueError(f"dt must be positive and finite, got {dt_s!r}")
@@ -254,6 +262,7 @@ class SDBEmulator:
         if checkpoint_path is not None and checkpoint_every_s is None:
             checkpoint_every_s = units.SECONDS_PER_HOUR
         self.checkpoint_every_s = checkpoint_every_s
+        self.abort_signal = abort_signal
         #: Per-run fault-event sink; rebound by :meth:`run` so traced runs
         #: mirror the fault timeline into the tracer.
         self._fault_sink: Callable[[FaultEvent], None] = lambda event: None
@@ -475,6 +484,8 @@ class SDBEmulator:
         Returns False when the run should stop (depletion with
         ``stop_on_depletion``), True otherwise.
         """
+        if self.abort_signal is not None and self.abort_signal.is_set():
+            raise EmulationAborted(f"cooperative abort requested at t={t:.1f} s")
         n = self.controller.n
         monitor = self.runtime.health
         tracer = self.tracer

@@ -41,7 +41,7 @@ import numpy as np
 from repro.cell.thevenin import SOC_EMPTY
 from repro.chemistry.aging import DISCHARGE_STRESS_WEIGHT
 from repro.chemistry.tables import PackCurveTable
-from repro.errors import BatteryEmptyError, InvariantViolation, RatioError
+from repro.errors import BatteryEmptyError, EmulationAborted, InvariantViolation, RatioError
 
 #: Hard ceiling on steps advanced per vectorized chunk (bounds array memory
 #: when the policy tick interval is huge relative to the step size).
@@ -144,7 +144,14 @@ class VectorizedEngine:
         while pos < n_steps:
             # Checkpoint only here, at the outer-loop top: every committed
             # step has been written back to the authoritative objects and
-            # ``pos == len(result.times_s)`` holds.
+            # ``pos == len(result.times_s)`` holds. The cooperative abort
+            # check shares the boundary for the same reason — the state is
+            # consistent and the last checkpoint is a valid resume point.
+            # (Scalar-path steps also check inside ``_step`` itself.)
+            if em.abort_signal is not None and em.abort_signal.is_set():
+                raise EmulationAborted(
+                    f"cooperative abort requested at t={float(self.times[pos]):.1f} s"
+                )
             em._maybe_checkpoint(result, float(self.times[pos]), warm_current=self._warm_current)
             stop = self._next_scalar_index(pos, n_steps)
             if stop == pos:

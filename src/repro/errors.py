@@ -62,6 +62,18 @@ class InvariantViolation(EmulationError):
     """
 
 
+class EmulationAborted(EmulationError):
+    """A cooperative abort was requested mid-run.
+
+    Raised by the emulator's step loop when its ``abort_signal`` event is
+    set — by the run supervisor's watchdog (a stalled run off the main
+    thread, where a SIGINT cannot be delivered) or by a fleet supervisor
+    cancelling a shard worker. The run stops at a step boundary with all
+    object state consistent, so the periodic checkpoint that preceded the
+    abort remains a valid resume point.
+    """
+
+
 class CheckpointError(SDBError):
     """A checkpoint could not be written, read, or applied.
 
@@ -73,6 +85,15 @@ class CheckpointError(SDBError):
 
 class SupervisorError(SDBError):
     """The run supervisor exhausted its restart budget without finishing."""
+
+
+class FleetError(SDBError):
+    """A fleet run could not be planned or driven at all.
+
+    Raised for unusable fleet specifications (no devices, unknown
+    scenarios) and supervisor-level failures that are not a single
+    shard's fault — a shard that merely exhausts its retries is
+    *quarantined* and reported, not raised."""
 
 
 class ReplayMismatch(SDBError):

@@ -37,8 +37,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.emulator.emulator import EmulationResult, SDBEmulator
-from repro.errors import CheckpointError, SDBError, SupervisorError
+from repro.errors import CheckpointError, EmulationAborted, SDBError, SupervisorError
 from repro.faults.events import PULSE, FaultEvent
+from repro.retry import RetryPolicy
 
 __all__ = ["SUPERVISOR_FAULT", "SupervisedRun", "RunSupervisor"]
 
@@ -64,16 +65,34 @@ class _Watchdog(threading.Thread):
     """Daemon thread that aborts the run when step progress stalls.
 
     Polls the emulator's monotonic step counter; if it stops moving for
-    ``timeout_s`` wall-clock seconds, sets :attr:`stalled` and raises
-    ``KeyboardInterrupt`` in the main thread, which the supervisor
-    converts into a restart (a real Ctrl-C, with the flag unset, is
-    re-raised untouched).
+    ``timeout_s`` wall-clock seconds, sets :attr:`stalled` and aborts the
+    run through two channels:
+
+    * the **cooperative channel** — the emulator's ``abort_signal`` event,
+      checked at every step boundary, which raises a typed
+      :class:`EmulationAborted` the supervisor converts into a restart.
+      This works no matter which thread drives the run, so a supervisor
+      nested inside a fleet shard worker or any other non-main thread
+      recovers from transient stalls too;
+    * the **signal fast path** — only when the supervised run owns the
+      *main* thread, a SIGINT aimed at it interrupts even a step wedged
+      in a blocking syscall (the cooperative check can only fire once the
+      wedged step returns). A real Ctrl-C, with :attr:`stalled` unset, is
+      re-raised untouched.
     """
 
-    def __init__(self, emulator: SDBEmulator, timeout_s: float):
+    def __init__(
+        self,
+        emulator: SDBEmulator,
+        timeout_s: float,
+        owner: Optional[threading.Thread] = None,
+    ):
         super().__init__(daemon=True, name="sdb-watchdog")
         self.emulator = emulator
         self.timeout_s = float(timeout_s)
+        #: The thread driving the supervised run (defaults to the current
+        #: thread at construction — the supervisor builds one per attempt).
+        self.owner = owner if owner is not None else threading.current_thread()
         self.stalled = False
         self._halt = threading.Event()
 
@@ -92,8 +111,13 @@ class _Watchdog(threading.Thread):
                 self._interrupt()
                 return
 
-    @staticmethod
-    def _interrupt() -> None:
+    def _interrupt(self) -> None:
+        # Cooperative channel first: valid from any thread, and even on
+        # the signal path it backstops a SIGINT swallowed by a handler.
+        if self.emulator.abort_signal is not None:
+            self.emulator.abort_signal.set()
+        if self.owner is not threading.main_thread():
+            return
         # A real SIGINT aimed at the main thread interrupts even a run
         # wedged in a blocking syscall; interrupt_main() only sets a flag
         # the interpreter checks between bytecodes, so it is the fallback
@@ -128,6 +152,13 @@ class RunSupervisor:
             default) disables the watchdog.
         strict: force strict invariants on the emulator (default True).
         resume: start from an existing checkpoint file when present.
+        retry: a :class:`~repro.retry.RetryPolicy` bundling the restart
+            budget, backoff delays, jitter, and liveness deadline — the
+            same dataclass the fleet supervisor tunes with. When given it
+            supplies ``max_restarts``, inter-attempt backoff, and (unless
+            ``watchdog_timeout_s`` is set explicitly) the watchdog
+            timeout from ``heartbeat_deadline_s``. Without one, restarts
+            are immediate (the historical behaviour).
     """
 
     def __init__(
@@ -140,6 +171,7 @@ class RunSupervisor:
         watchdog_timeout_s: Optional[float] = None,
         strict: bool = True,
         resume: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ):
         if checkpoint_every_s <= 0:
             raise ValueError("checkpoint_every_s must be positive")
@@ -147,10 +179,22 @@ class RunSupervisor:
             raise ValueError("max_restarts must be non-negative")
         if watchdog_timeout_s is not None and watchdog_timeout_s <= 0:
             raise ValueError("watchdog_timeout_s must be positive")
+        if retry is None:
+            # Legacy kwargs become a zero-backoff policy, so the restart
+            # loop has one shape regardless of how it was configured.
+            retry = RetryPolicy(
+                max_restarts=int(max_restarts),
+                base_delay_s=0.0,
+                jitter_frac=0.0,
+                heartbeat_deadline_s=watchdog_timeout_s,
+            )
+        elif watchdog_timeout_s is None:
+            watchdog_timeout_s = retry.heartbeat_deadline_s
         self.factory = factory
         self.checkpoint_path = os.fspath(checkpoint_path)
         self.checkpoint_every_s = float(checkpoint_every_s)
-        self.max_restarts = int(max_restarts)
+        self.retry = retry
+        self.max_restarts = retry.max_restarts
         self.watchdog_timeout_s = watchdog_timeout_s
         self.strict = bool(strict)
         self.resume = bool(resume)
@@ -160,6 +204,10 @@ class RunSupervisor:
         em.checkpoint_every_s = self.checkpoint_every_s
         if self.strict:
             em.strict = True
+        if em.abort_signal is None:
+            # The watchdog's cooperative abort channel; harmless when no
+            # watchdog is armed (nothing ever sets it).
+            em.abort_signal = threading.Event()
         return em
 
     def run(self) -> SupervisedRun:
@@ -190,6 +238,18 @@ class RunSupervisor:
                     failure = (
                         f"wall-clock stall: no step progress for "
                         f"{self.watchdog_timeout_s:.0f} s"
+                    )
+                else:
+                    raise
+            except EmulationAborted:
+                # The cooperative abort channel fired. From our own
+                # watchdog it means a stall (recoverable, like the SIGINT
+                # path); from anyone else it is an external cancellation
+                # and propagates.
+                if watchdog is not None and watchdog.stalled:
+                    failure = (
+                        f"wall-clock stall (cooperative abort): no step "
+                        f"progress for {self.watchdog_timeout_s:.0f} s"
                     )
                 else:
                     raise
@@ -237,3 +297,6 @@ class RunSupervisor:
                     f"gave up after {attempt} attempt(s) "
                     f"({self.max_restarts} restart(s)): {failure}"
                 )
+            delay = self.retry.delay_for(attempt)
+            if delay > 0:
+                time.sleep(delay)

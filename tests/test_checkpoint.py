@@ -231,3 +231,58 @@ def test_capture_payload_is_json_safe():
     payload = capture_emulator_state(em, result)
     encoded = json.dumps(payload)  # must not raise
     assert json.loads(encoded)["step_index"] == len(result.times_s)
+
+
+# --------------------------------------------------------------------- #
+# Durability: the rename must be findable after a crash
+# --------------------------------------------------------------------- #
+
+
+class TestDirectorySync:
+    def test_write_checkpoint_fsyncs_the_parent_directory(self, tmp_path, monkeypatch):
+        """fsyncing the temp file alone leaves the ``os.replace`` rename
+        in an unsynced directory entry — a power cut could forget the
+        file existed. The writer must fsync the parent directory too."""
+        import stat
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(stat.S_IFMT(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        write_checkpoint(str(tmp_path / "x.ckpt.json"), {"k": 1})
+        assert stat.S_IFREG in synced  # the payload temp file
+        assert synced[-1] == stat.S_IFDIR  # then the directory entry
+
+    def test_directory_fsync_failure_is_tolerated(self, tmp_path, monkeypatch):
+        """Filesystems that reject directory fsync (some network mounts)
+        must not fail the write — the data fsync already happened."""
+        real_fsync = os.fsync
+
+        def flaky_fsync(fd):
+            if os.fstat(fd).st_mode & 0o170000 == 0o040000:  # S_IFDIR
+                raise OSError("directory fsync unsupported")
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", flaky_fsync)
+        path = tmp_path / "x.ckpt.json"
+        write_checkpoint(str(path), {"k": 2})
+        assert read_checkpoint(str(path)) == {"k": 2}
+
+    def test_directory_open_failure_is_tolerated(self, tmp_path, monkeypatch):
+        """If the parent directory cannot even be opened read-only, the
+        sync degrades to a no-op instead of an error."""
+        real_open = os.open
+
+        def failing_open(p, flags, *args, **kwargs):
+            if flags & getattr(os, "O_DIRECTORY", 0):
+                raise OSError("directory open unsupported")
+            return real_open(p, flags, *args, **kwargs)
+
+        monkeypatch.setattr(os, "open", failing_open)
+        path = tmp_path / "x.ckpt.json"
+        write_checkpoint(str(path), {"k": 3})
+        assert read_checkpoint(str(path)) == {"k": 3}

@@ -218,3 +218,54 @@ class TestProtectionFlags:
         capsys.readouterr()
         names = {json.loads(line).get("name", "") for line in out.read_text().splitlines()}
         assert any(name.startswith("protection.") for name in names)
+
+
+class TestFleet:
+    def test_bad_scenario_exits_2(self, capsys):
+        assert main(["fleet", "toaster-day", "--devices", "2"]) == 2
+        assert "unknown fleet scenario" in capsys.readouterr().err
+
+    def test_bad_population_count_exits_2(self, capsys):
+        assert main(["fleet", "watch-day=lots"]) == 2
+        assert "bad device count" in capsys.readouterr().err
+
+    def test_nonpositive_duration_exits_2(self, capsys):
+        assert main(["fleet", "watch-day", "--duration-h", "0"]) == 2
+        assert "duration" in capsys.readouterr().err
+
+    def test_nonpositive_dt_exits_2(self, capsys):
+        assert main(["fleet", "watch-day", "--dt", "-5"]) == 2
+        assert "dt" in capsys.readouterr().err
+
+    def test_bad_retry_config_exits_2(self, capsys):
+        assert main(["fleet", "watch-day", "--max-restarts", "-1"]) == 2
+        assert "max_restarts" in capsys.readouterr().err
+
+    def test_small_fleet_runs_and_writes_summary(self, tmp_path, capsys):
+        summary_path = tmp_path / "fleet-summary.json"
+        code = main(
+            [
+                "fleet",
+                "phone-day",
+                "--devices",
+                "2",
+                "--shards",
+                "1",
+                "--duration-h",
+                "0.05",
+                "--dt",
+                "5",
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+                "--summary",
+                str(summary_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2/2 devices completed" in out
+        payload = json.loads(summary_path.read_text())
+        assert payload["exit_code"] == 0
+        assert payload["rollup"]["coverage"] == 1.0
+        assert payload["rollup"]["shards"]["quarantined"] == 0
+        assert len(payload["devices"]) == 2

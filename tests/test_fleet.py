@@ -1,0 +1,337 @@
+"""The fleet engine's pure parts: specs, sharding, retry math, rollups,
+and the shard worker run in-process (no subprocesses here — the
+process-level crash/recovery paths live in ``test_fleet_recovery.py``).
+"""
+
+import queue
+
+import numpy as np
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import (
+    DeviceSpec,
+    FleetSpec,
+    ShardPlan,
+    build_device_emulator,
+    fleet_rollup,
+    parse_population,
+    percentile,
+    plan_shards,
+)
+from repro.fleet.worker import (
+    EXIT_OK,
+    device_checkpoint_path,
+    device_metrics,
+    read_shard_completed,
+    run_shard_worker,
+    shard_checkpoint_path,
+    shard_is_done,
+)
+from repro.retry import RetryPolicy
+
+SMALL = dict(duration_s=600.0, dt_s=10.0)
+
+
+# --------------------------------------------------------------------- #
+# FleetSpec and sharding
+# --------------------------------------------------------------------- #
+
+
+def test_roster_is_deterministic_and_seeded_per_device():
+    spec = FleetSpec(population=(("watch-day", 3), ("phone-day", 2)), seed=11, **SMALL)
+    roster = spec.devices()
+    assert [d.device_id for d in roster] == [
+        "watch-day-00000",
+        "watch-day-00001",
+        "watch-day-00002",
+        "phone-day-00003",
+        "phone-day-00004",
+    ]
+    assert roster == spec.devices()  # pure
+    assert len({d.seed for d in roster}) == 5  # independent streams
+    # Per-device seeds depend only on (fleet seed, index) — re-sharding or
+    # reordering groups cannot change a device's workload.
+    again = FleetSpec(population=(("watch-day", 5),), seed=11, **SMALL).devices()
+    assert [d.seed for d in again] == [
+        d.seed for d in FleetSpec(population=(("phone-day", 5),), seed=11, **SMALL).devices()
+    ]
+    other = FleetSpec(population=(("watch-day", 3), ("phone-day", 2)), seed=12, **SMALL)
+    assert {d.seed for d in other.devices()}.isdisjoint({d.seed for d in roster})
+
+
+def test_spec_validation():
+    with pytest.raises(FleetError):
+        FleetSpec(population=())
+    with pytest.raises(FleetError):
+        FleetSpec(population=(("no-such-scenario", 4),))
+    with pytest.raises(FleetError):
+        FleetSpec(population=(("watch-day", 0),))
+    with pytest.raises(FleetError):
+        FleetSpec(population=(("watch-day", 4),), dt_s=0.0)
+    with pytest.raises(FleetError):
+        FleetSpec(population=(("watch-day", 4),), duration_s=-1.0)
+
+
+def test_plan_shards_partitions_the_roster():
+    spec = FleetSpec(population=(("phone-day", 10),), seed=1, **SMALL)
+    shards = plan_shards(spec, 3)
+    assert [s.shard_id for s in shards] == [0, 1, 2]
+    ids = [d.device_id for s in shards for d in s.devices]
+    assert ids == [d.device_id for d in spec.devices()]  # disjoint, ordered, complete
+    assert max(s.n_devices for s in shards) - min(s.n_devices for s in shards) <= 1
+    # More shards than devices: clamped, never empty.
+    tiny = plan_shards(FleetSpec(population=(("phone-day", 2),), **SMALL), 8)
+    assert len(tiny) == 2 and all(s.n_devices == 1 for s in tiny)
+    with pytest.raises(FleetError):
+        plan_shards(spec, 0)
+
+
+def test_shard_plan_round_trips_through_dicts():
+    spec = FleetSpec(population=(("tablet-day", 3),), seed=5, **SMALL)
+    shard = plan_shards(spec, 1)[0]
+    assert ShardPlan.from_dict(shard.to_dict()) == shard
+
+
+def test_parse_population():
+    assert parse_population("watch-day", default_count=7) == (("watch-day", 7),)
+    assert parse_population("watch-day=100,phone-day=50") == (
+        ("watch-day", 100),
+        ("phone-day", 50),
+    )
+    with pytest.raises(FleetError):
+        parse_population("watch-day=lots")
+    with pytest.raises(FleetError):
+        parse_population("watch-day,,phone-day")
+
+
+# --------------------------------------------------------------------- #
+# RetryPolicy (shared by RunSupervisor and FleetSupervisor)
+# --------------------------------------------------------------------- #
+
+
+def test_retry_policy_backoff_growth_and_cap():
+    policy = RetryPolicy(base_delay_s=1.0, backoff_factor=2.0, max_delay_s=5.0, jitter_frac=0.0)
+    assert [policy.delay_for(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+    assert policy.max_attempts == 4
+
+
+def test_retry_policy_jitter_is_bounded_and_seeded():
+    policy = RetryPolicy(base_delay_s=1.0, backoff_factor=1.0, jitter_frac=0.5)
+    delays = [policy.delay_for(1, np.random.default_rng(9)) for _ in range(20)]
+    assert all(1.0 <= d <= 1.5 for d in delays)
+    assert delays == [policy.delay_for(1, np.random.default_rng(9)) for _ in range(20)]
+    assert policy.delay_for(1) == 1.0  # no rng -> no jitter
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_restarts=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter_frac=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(heartbeat_deadline_s=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy().delay_for(0)
+
+
+# --------------------------------------------------------------------- #
+# Rollups
+# --------------------------------------------------------------------- #
+
+
+def _ok_device(i, life_h, trips=0, downtime=0.0):
+    return {
+        "device_id": f"d{i}",
+        "ok": True,
+        "completed": True,
+        "battery_life_h": life_h,
+        "delivered_j": 100.0,
+        "n_steps": 10,
+        "downtime_s": downtime,
+        "incident_count": trips,
+        "protection_trips": trips,
+    }
+
+
+def test_fleet_rollup_percentiles_and_accounting():
+    devices = {f"d{i}": _ok_device(i, float(i + 1)) for i in range(10)}
+    devices["d3"]["protection_trips"] = 2
+    devices["dead"] = {"device_id": "dead", "ok": False, "error": "quarantined"}
+    shards = [
+        {"shard_id": 0, "status": "done", "attempts": 1, "retries": 0},
+        {"shard_id": 1, "status": "done", "attempts": 3, "retries": 2},
+        {"shard_id": 2, "status": "quarantined", "attempts": 4, "retries": 3},
+    ]
+    rollup = fleet_rollup(devices, shards)
+    assert rollup["n_devices"] == 11
+    assert rollup["n_ok"] == 10 and rollup["n_failed"] == 1
+    assert rollup["coverage"] == pytest.approx(10 / 11)
+    assert rollup["battery_life_h"]["p50"] == 5.0  # nearest-rank over 1..10
+    assert rollup["battery_life_h"]["p90"] == 9.0
+    assert rollup["battery_life_h"]["min"] == 1.0
+    assert rollup["battery_life_h"]["max"] == 10.0
+    assert rollup["protection_trip_rate"] == pytest.approx(0.1)
+    assert rollup["protection_trips"] == 2
+    assert rollup["shards"] == {
+        "total": 3,
+        "retried": 2,
+        "quarantined": 1,
+        "worker_restarts": 5,
+    }
+
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([4.0], 0.99) == 4.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+
+# --------------------------------------------------------------------- #
+# The shard worker, run in-process
+# --------------------------------------------------------------------- #
+
+
+def _worker_config(tmp_path, **extra):
+    config = {
+        "duration_s": 600.0,
+        "dt_s": 10.0,
+        "engine": "reference",
+        "protection": "off",
+        "checkpoint_dir": str(tmp_path),
+        "checkpoint_every_s": 120.0,
+        "heartbeat_every_s": 0.05,
+        "attempt": 1,
+    }
+    config.update(extra)
+    return config
+
+
+def test_worker_runs_a_shard_and_records_every_device(tmp_path):
+    spec = FleetSpec(population=(("phone-day", 3),), seed=2, **SMALL)
+    shard = plan_shards(spec, 1)[0]
+    beats = queue.Queue()
+    code = run_shard_worker(shard.to_dict(), _worker_config(tmp_path), beats, None)
+    assert code == EXIT_OK
+    path = shard_checkpoint_path(str(tmp_path), 0)
+    assert shard_is_done(path)
+    completed = read_shard_completed(path)
+    assert sorted(completed) == [d.device_id for d in shard.devices]
+    for device in shard.devices:
+        metrics = completed[device.device_id]
+        assert metrics["ok"] and metrics["n_steps"] > 0
+        assert metrics["seed"] == device.seed
+        # The in-flight device checkpoint was cleaned up after completion.
+        assert not (tmp_path / f"device-{device.device_id}.ckpt.json").exists()
+    kinds = []
+    while not beats.empty():
+        kinds.append(beats.get()["kind"])
+    assert kinds[0] == "started"
+    assert "done" in kinds
+    assert kinds.count("checkpoint") == 3
+
+
+def test_worker_resume_skips_completed_devices(tmp_path):
+    spec = FleetSpec(population=(("phone-day", 3),), seed=2, **SMALL)
+    shard = plan_shards(spec, 1)[0]
+    config = _worker_config(tmp_path)
+    assert run_shard_worker(shard.to_dict(), config, queue.Queue(), None) == EXIT_OK
+    path = shard_checkpoint_path(str(tmp_path), 0)
+    first = read_shard_completed(path)
+
+    # Re-running the same shard on the same directory re-runs nothing and
+    # changes nothing — the metrics are byte-for-byte the ones on disk.
+    beats = queue.Queue()
+    assert run_shard_worker(shard.to_dict(), config, beats, None) == EXIT_OK
+    assert read_shard_completed(path) == first
+    kinds = [beats.get()["kind"] for _ in range(beats.qsize())]
+    assert "checkpoint" not in kinds  # no device was (re-)emulated
+
+
+def test_worker_resumes_mid_device_from_its_checkpoint(tmp_path):
+    """Simulate death mid-device: a device checkpoint exists but the shard
+    checkpoint does not record it. The next attempt resumes the device
+    and its metrics equal an uninterrupted run's."""
+    spec = FleetSpec(population=(("phone-day", 1),), seed=4, **SMALL)
+    shard = plan_shards(spec, 1)[0]
+    device = shard.devices[0]
+    config = _worker_config(tmp_path)
+
+    # Uninterrupted baseline, in a sibling directory.
+    baseline_dir = tmp_path / "baseline"
+    baseline_dir.mkdir()
+    run_shard_worker(shard.to_dict(), _worker_config(baseline_dir), queue.Queue(), None)
+    baseline = read_shard_completed(shard_checkpoint_path(str(baseline_dir), 0))
+
+    # Partial run: abort deterministically mid-trace (the abort signal is
+    # duck-typed — anything with ``is_set()`` works), leaving only the
+    # device checkpoint written at t=120 s behind.
+    class _AbortAfter:
+        def __init__(self, n_checks):
+            self.remaining = n_checks
+
+        def is_set(self):
+            self.remaining -= 1
+            return self.remaining < 0
+
+    partial = build_device_emulator(
+        device,
+        config,
+        checkpoint_path=device_checkpoint_path(str(tmp_path), device.device_id),
+        checkpoint_every_s=120.0,
+    )
+    partial.abort_signal = _AbortAfter(30)  # ~half of the 60 steps
+
+    from repro.errors import EmulationAborted
+
+    with pytest.raises(EmulationAborted):
+        partial.run()
+    assert (tmp_path / f"device-{device.device_id}.ckpt.json").exists()
+
+    # The worker picks the device up from its snapshot and finishes it.
+    assert run_shard_worker(shard.to_dict(), config, queue.Queue(), None) == EXIT_OK
+    resumed = read_shard_completed(shard_checkpoint_path(str(tmp_path), 0))
+    assert resumed == baseline
+
+
+def test_worker_survives_a_corrupt_device_checkpoint(tmp_path):
+    spec = FleetSpec(population=(("phone-day", 1),), seed=4, **SMALL)
+    shard = plan_shards(spec, 1)[0]
+    device = shard.devices[0]
+    bad = tmp_path / f"device-{device.device_id}.ckpt.json"
+    bad.write_text("definitely not a checkpoint")
+    assert run_shard_worker(shard.to_dict(), _worker_config(tmp_path), queue.Queue(), None) == EXIT_OK
+    completed = read_shard_completed(shard_checkpoint_path(str(tmp_path), 0))
+    assert completed[device.device_id]["ok"]
+
+
+def test_corrupt_shard_checkpoint_reads_as_empty(tmp_path):
+    path = tmp_path / "shard-0000.ckpt.json"
+    path.write_text("{broken")
+    assert read_shard_completed(str(path)) == {}
+    assert not shard_is_done(str(path))
+
+
+def test_device_metrics_shape():
+    spec = FleetSpec(population=(("watch-day", 1),), seed=6, **SMALL)
+    device = spec.devices()[0]
+    emulator = build_device_emulator(device, spec.config_dict())
+    result = emulator.run()
+    metrics = device_metrics(device, result)
+    assert metrics["ok"] is True
+    assert metrics["device_id"] == device.device_id
+    assert metrics["n_steps"] == len(result.times_s)
+    assert metrics["battery_life_h"] == result.battery_life_h
+    import json
+
+    assert json.loads(json.dumps(metrics)) == metrics  # JSON-safe
+
+
+def test_device_spec_round_trip():
+    device = DeviceSpec(device_id="watch-day-00000", scenario="watch-day", index=0, seed=42)
+    assert DeviceSpec.from_dict(device.to_dict()) == device

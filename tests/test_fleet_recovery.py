@@ -1,0 +1,156 @@
+"""Process-level fleet fault tolerance: real SIGKILLs, real recovery.
+
+These tests spawn actual worker processes and kill them (the workers
+SIGKILL *themselves* after their first durable shard checkpoint — fully
+deterministic, no supervisor/worker races), then assert the property the
+whole design exists for: a crashed-and-recovered fleet produces
+bit-identical per-device metrics and rollups to an uninterrupted one.
+"""
+
+import pytest
+
+from repro.determinism import resolve_rng
+from repro.emulator import ENGINES
+from repro.fleet import ChaosSpec, FleetSpec, FleetSupervisor
+from repro.obs.tracer import Tracer
+from repro.retry import RetryPolicy
+
+#: Small but multi-scenario, multi-shard; ~360 steps per device.
+POPULATION = (("phone-day", 4), ("watch-day", 2))
+RUN = dict(duration_s=1800.0, dt_s=5.0)
+
+#: Fast restarts for tests; generous deadline (spawn/import time counts
+#: against it on the first heartbeat).
+FAST_RETRY = RetryPolicy(
+    max_restarts=2, base_delay_s=0.05, jitter_frac=0.0, heartbeat_deadline_s=30.0
+)
+
+
+def _run_fleet(tmp_path, name, engine, *, chaos=None, retry=FAST_RETRY, tracer=None):
+    spec = FleetSpec(population=POPULATION, seed=3, engine=engine, **RUN)
+    supervisor = FleetSupervisor(
+        spec,
+        str(tmp_path / name),
+        n_shards=2,
+        max_workers=2,
+        retry=retry,
+        checkpoint_every_s=300.0,
+        heartbeat_every_s=0.1,
+        chaos=chaos,
+        tracer=tracer,  # None -> the process default (disabled)
+    )
+    return supervisor.run()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_kill_worker_crash_resume_is_bit_identical(tmp_path, engine):
+    """Satellite: SIGKILL a worker mid-run; the resumed fleet's rollups
+    equal the uninterrupted run's, exactly."""
+    clean = _run_fleet(tmp_path, "clean", engine)
+    assert clean.ok and clean.exit_code == 0
+    assert clean.rollup["coverage"] == 1.0
+
+    chaos = ChaosSpec(mode="kill-worker", kills=1, target_shard=0)
+    killed = _run_fleet(tmp_path, "chaos", engine, chaos=chaos)
+    assert killed.ok and killed.exit_code == 0
+
+    # The crash actually happened and was actually recovered.
+    shard0 = next(s for s in killed.shards if s["shard_id"] == 0)
+    assert shard0["retries"] == 1
+    assert shard0["status"] == "done"
+    assert "worker died (exit -9)" in shard0["failures"][0]
+    assert killed.rollup["shards"]["retried"] == 1
+    assert killed.rollup["shards"]["quarantined"] == 0
+
+    # Bit-identity: per-device metrics (floats and all) are *equal*, not
+    # approximately equal — json round-trips floats exactly, and every
+    # device's workload is pinned by its derived seed.
+    assert killed.devices == clean.devices
+    clean_rollup = {k: v for k, v in clean.rollup.items() if k != "shards"}
+    killed_rollup = {k: v for k, v in killed.rollup.items() if k != "shards"}
+    assert killed_rollup == clean_rollup
+
+
+def test_quarantine_preserves_partial_coverage(tmp_path):
+    """A shard that dies on every attempt is quarantined; its devices
+    completed before the first kill survive, and the fleet degrades
+    instead of failing."""
+    # 2 attempts x 1 durable device each < 3 devices in shard 0, so the
+    # budget runs out with work remaining.
+    retry = RetryPolicy(
+        max_restarts=1, base_delay_s=0.05, jitter_frac=0.0, heartbeat_deadline_s=30.0
+    )
+    chaos = ChaosSpec(mode="kill-worker", kills=99, target_shard=0)
+    result = _run_fleet(tmp_path, "quarantine", "reference", chaos=chaos, retry=retry)
+    assert not result.ok and result.exit_code == 1
+
+    shard0 = next(s for s in result.shards if s["shard_id"] == 0)
+    assert shard0["status"] == "quarantined"
+    assert shard0["attempts"] == retry.max_attempts
+    assert result.rollup["shards"]["quarantined"] == 1
+
+    # Each attempt durably completes one more device before dying, so
+    # attempts-many shard-0 devices survive; shard 1 is fully covered.
+    assert 0 < result.rollup["n_ok"] < result.rollup["n_devices"]
+    assert 0.0 < result.rollup["coverage"] < 1.0
+    failed = [m for m in result.devices.values() if not m.get("ok")]
+    assert failed and all("quarantined" in m["error"] for m in failed)
+    survivors_in_0 = [
+        device_id
+        for device_id, m in result.devices.items()
+        if m.get("ok") and int(device_id.rsplit("-", 1)[1]) < 3  # shard 0 = indices 0..2
+    ]
+    assert len(survivors_in_0) == retry.max_attempts  # one per attempt
+
+
+def test_stall_worker_trips_the_heartbeat_deadline(tmp_path):
+    """A silent (not dead) worker is declared wedged after the deadline,
+    SIGKILLed, and its shard recovered by a fresh attempt."""
+    retry = RetryPolicy(
+        max_restarts=2, base_delay_s=0.05, jitter_frac=0.0, heartbeat_deadline_s=4.0
+    )
+    chaos = ChaosSpec(mode="stall-worker", kills=1, target_shard=0)
+    tracer = Tracer()
+    result = _run_fleet(tmp_path, "stall", "reference", chaos=chaos, retry=retry, tracer=tracer)
+    assert result.ok and result.exit_code == 0
+    assert result.rollup["coverage"] == 1.0
+
+    shard0 = next(s for s in result.shards if s["shard_id"] == 0)
+    assert shard0["retries"] >= 1
+    assert any("heartbeat deadline" in reason for reason in shard0["failures"])
+    stalls = tracer.events_named("fleet.worker_stalled")
+    assert stalls and stalls[0].fields["shard"] == 0
+
+
+def test_restart_delays_follow_the_seeded_schedule(tmp_path):
+    """The supervisor's jitter stream is seeded by the fleet seed, so the
+    chaos run's restart delay equals the policy's computed delay for the
+    same seed — reproducible backoff, asserted through the trace."""
+    retry = RetryPolicy(
+        max_restarts=2, base_delay_s=0.2, jitter_frac=0.5, heartbeat_deadline_s=30.0
+    )
+    chaos = ChaosSpec(mode="kill-worker", kills=1, target_shard=0)
+    tracer = Tracer()
+    result = _run_fleet(tmp_path, "jitter", "reference", chaos=chaos, retry=retry, tracer=tracer)
+    assert result.ok
+
+    restarts = tracer.events_named("fleet.restart")
+    assert len(restarts) == 1
+    expected = retry.delay_for(1, resolve_rng(3))  # fleet seed = 3
+    assert restarts[0].fields["delay_s"] == expected
+    assert retry.delay_for(1) <= expected <= retry.delay_for(1) * 1.5
+
+
+def test_rerun_on_same_checkpoint_dir_resumes_instead_of_rerunning(tmp_path):
+    """Supervisor-level crash recovery: a second supervisor pointed at the
+    same checkpoint directory collects the finished shards without
+    re-emulating anything (wall time ~instant)."""
+    first = _run_fleet(tmp_path, "resume", "reference")
+    assert first.ok
+    again = _run_fleet(tmp_path, "resume", "reference")
+    assert again.ok
+    assert again.devices == first.devices
+    # No attempt re-ran any device: steps collected via heartbeats stay 0
+    # only if workers skipped straight to done; cheapest observable proxy
+    # is that the rerun's shard attempts are all 1 and it was fast.
+    assert all(s["attempts"] == 1 and s["retries"] == 0 for s in again.shards)

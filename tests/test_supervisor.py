@@ -254,3 +254,83 @@ def test_parameter_validation(tmp_path):
         RunSupervisor(factory, path, max_restarts=-1)
     with pytest.raises(ValueError):
         RunSupervisor(factory, path, watchdog_timeout_s=0.0)
+
+
+def test_watchdog_recovers_stall_off_main_thread(tmp_path):
+    """The watchdog's abort must work when the supervised run is driven
+    by a non-main thread (as inside a fleet shard worker): recovery goes
+    through the cooperative abort channel, and no SIGINT is aimed at the
+    main thread — this test's main thread sits in ``join()``, so a stray
+    signal would surface as a KeyboardInterrupt and fail the test."""
+    import threading
+
+    stall = {"armed": True}
+
+    def hook(controller, t, dt):
+        if stall["armed"] and t >= POISON_T:
+            stall["armed"] = False
+            time.sleep(1.5)  # ~3x the watchdog timeout, then resumes
+
+    clean = make_factory()().run()
+    supervisor = RunSupervisor(
+        make_factory(hook=hook),
+        str(tmp_path / "watch.ckpt.json"),
+        checkpoint_every_s=3600.0,
+        max_restarts=1,
+        watchdog_timeout_s=0.5,
+    )
+    box = {}
+
+    def drive():
+        try:
+            box["run"] = supervisor.run()
+        except BaseException as exc:  # noqa: BLE001 - surfaced as a test failure
+            box["error"] = exc
+
+    thread = threading.Thread(target=drive, name="supervised-run")
+    thread.start()
+    thread.join(timeout=120.0)
+    assert not thread.is_alive(), "supervised run never finished"
+    assert "error" not in box, f"run raised {box.get('error')!r}"
+    run = box["run"]
+    assert run.attempts == 2
+    assert "stall" in run.restarts[0].detail
+    assert "cooperative" in run.restarts[0].detail
+    assert recorded_metrics(run.result) == recorded_metrics(clean)
+
+
+def test_retry_policy_supplies_budget_deadline_and_backoff(tmp_path):
+    """A RetryPolicy (the dataclass shared with the fleet supervisor)
+    configures the run supervisor end to end."""
+    from repro.retry import RetryPolicy
+
+    policy = RetryPolicy(
+        max_restarts=1,
+        base_delay_s=0.2,
+        backoff_factor=2.0,
+        jitter_frac=0.0,
+        heartbeat_deadline_s=30.0,
+    )
+    supervisor = RunSupervisor(
+        make_factory(hook=poison_once()),
+        str(tmp_path / "watch.ckpt.json"),
+        checkpoint_every_s=3600.0,
+        retry=policy,
+    )
+    assert supervisor.max_restarts == 1
+    assert supervisor.watchdog_timeout_s == 30.0  # from heartbeat_deadline_s
+
+    start = time.monotonic()
+    run = supervisor.run()
+    elapsed = time.monotonic() - start
+    assert run.attempts == 2
+    assert elapsed >= policy.delay_for(1)  # the backoff delay was honored
+
+
+def test_legacy_kwargs_become_a_zero_backoff_policy(tmp_path):
+    supervisor = RunSupervisor(
+        make_factory(), str(tmp_path / "w.ckpt.json"), max_restarts=5
+    )
+    assert supervisor.retry.max_restarts == 5
+    assert supervisor.retry.base_delay_s == 0.0
+    assert supervisor.retry.delay_for(3) == 0.0
