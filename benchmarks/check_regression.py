@@ -1,20 +1,28 @@
 """Performance regression gate for the vectorized emulation engine.
 
 Compares a fresh ``bench_engine.py`` measurement against the committed
-baseline (``BENCH_emulator.json`` at the repo root) and fails if the
-fast path has regressed. The gated quantity is the *speedup* — reference
-wall-clock over vectorized wall-clock measured in the same process on
-the same machine — rather than absolute steps/sec, so the check is
-meaningful on CI runners of varying speed: a change that slows both
-engines equally (a slower runner) passes, while one that slows only the
-vectorized path (a fast-path regression in normalized steps/sec) fails.
+baseline (``BENCH_emulator.json`` at the repo root) and fails if a fast
+path has regressed. The gated quantities are *ratios* — reference over
+vectorized wall-clock for the single-run engine, looped over batched
+wall-clock for the run-axis sweep — measured in the same process on the
+same machine, rather than absolute steps/sec, so the check is meaningful
+on CI runners of varying speed: a change that slows both legs equally (a
+slower runner) passes, while one that slows only the fast path fails.
 
-Two thresholds, both must hold:
+Single-run gate (``--gate single``), both must hold:
 
 * measured speedup >= 75 % of the baseline speedup (i.e. no more than a
   25 % regression in normalized vectorized steps/sec);
 * measured speedup >= the 5x absolute floor the engine promises on this
   scenario (``docs/performance.md``).
+
+Sweep gate (``--gate sweep``), all must hold:
+
+* measured ``sweep.ratio`` >= 75 % of the baseline ratio;
+* measured ``sweep.ratio`` >= the 10x absolute floor the run-axis kernel
+  promises on the 64-run tablet-day grid;
+* the measured record reports ``bit_identical: true`` — throughput
+  bought by diverging from single-run results does not count.
 
 The measured record must also carry the per-phase timing breakdown
 (``phases`` with ``policy_tick_s`` / ``step_kernel_s`` /
@@ -22,12 +30,16 @@ The measured record must also carry the per-phase timing breakdown
 the benchmark artifact always explains *where* the time went, not just
 how much there was.
 
+Exit codes: 0 — gate passed; 1 — a regression threshold failed; 2 — a
+record is unusable (unreadable, or missing a gated field — a stale
+results file; the message names the missing key).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
     python benchmarks/check_regression.py \
         [--measured benchmarks/results/BENCH_emulator.json] \
-        [--baseline BENCH_emulator.json]
+        [--baseline BENCH_emulator.json] [--gate all|single|sweep]
 """
 
 from __future__ import annotations
@@ -41,16 +53,44 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_MEASURED = REPO_ROOT / "benchmarks" / "results" / "BENCH_emulator.json"
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_emulator.json"
 
-#: Fraction of the baseline speedup the measurement must retain.
+#: Fraction of the baseline speedup/ratio the measurement must retain.
 RETAIN_FRACTION = 0.75
-#: Absolute speedup floor, independent of the baseline.
+#: Absolute single-run speedup floor, independent of the baseline.
 SPEEDUP_FLOOR = 5.0
+#: Absolute run-axis throughput-ratio floor on the 64-run grid.
+SWEEP_RATIO_FLOOR = 10.0
 #: Per-phase timing keys every measured engine record must report.
 PHASE_KEYS = ("policy_tick_s", "step_kernel_s", "bookkeeping_s")
 
 
-def check(measured: dict, baseline: dict) -> list:
-    """Return a list of failure messages (empty when the gate passes)."""
+class GateInputError(Exception):
+    """A benchmark record is unusable (missing gated fields) -> exit 2."""
+
+
+def _field(record: dict, label: str, *keys: str) -> object:
+    """Walk ``record[keys[0]][keys[1]]...``, naming any missing key.
+
+    A missing gated field means the results file predates the gate (or a
+    partial ``--mode`` run overwrote it) — a configuration problem, not a
+    performance regression, so it raises :class:`GateInputError` for a
+    distinct exit code instead of crashing with a bare ``KeyError``.
+    """
+    value = record
+    walked = []
+    for key in keys:
+        if not isinstance(value, dict) or key not in value:
+            path = ".".join(walked + [key])
+            raise GateInputError(
+                f"{label} record is missing gated field {path!r}: "
+                f"stale results file? rerun benchmarks/bench_engine.py"
+            )
+        walked.append(key)
+        value = value[key]
+    return value
+
+
+def check_single(measured: dict, baseline: dict) -> list:
+    """Single-run engine gate: failure messages (empty when it passes)."""
     failures = []
     for engine in ("reference", "vectorized"):
         phases = measured.get(engine, {}).get("phases")
@@ -66,8 +106,8 @@ def check(measured: dict, baseline: dict) -> list:
                 f"measured {engine} phases breakdown is missing "
                 f"{', '.join(missing)}"
             )
-    speedup = float(measured["speedup"])
-    base_speedup = float(baseline["speedup"])
+    speedup = float(_field(measured, "measured", "speedup"))
+    base_speedup = float(_field(baseline, "baseline", "speedup"))
     threshold = RETAIN_FRACTION * base_speedup
     if speedup < threshold:
         failures.append(
@@ -82,6 +122,41 @@ def check(measured: dict, baseline: dict) -> list:
     return failures
 
 
+def check_sweep(measured: dict, baseline: dict) -> list:
+    """Run-axis sweep gate: failure messages (empty when it passes)."""
+    failures = []
+    ratio = float(_field(measured, "measured", "sweep", "ratio"))
+    base_ratio = float(_field(baseline, "baseline", "sweep", "ratio"))
+    threshold = RETAIN_FRACTION * base_ratio
+    if ratio < threshold:
+        failures.append(
+            f"sweep ratio {ratio:.2f}x is below {RETAIN_FRACTION:.0%} of the "
+            f"baseline ({base_ratio:.2f}x -> threshold {threshold:.2f}x): "
+            f"run-axis kernel regression in normalized runs/sec"
+        )
+    if ratio < SWEEP_RATIO_FLOOR:
+        failures.append(
+            f"sweep ratio {ratio:.2f}x is below the "
+            f"{SWEEP_RATIO_FLOOR:.0f}x floor"
+        )
+    if not _field(measured, "measured", "sweep", "bit_identical"):
+        failures.append(
+            "measured sweep record reports bit_identical: false — batched "
+            "results diverged from single-run execution"
+        )
+    return failures
+
+
+def check(measured: dict, baseline: dict, gate: str = "all") -> list:
+    """Apply the requested gate(s); returns all failure messages."""
+    failures = []
+    if gate in ("all", "single"):
+        failures.extend(check_single(measured, baseline))
+    if gate in ("all", "sweep"):
+        failures.extend(check_sweep(measured, baseline))
+    return failures
+
+
 def main(argv=None) -> int:
     """Load both records, apply the gate, print the verdict."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -89,27 +164,42 @@ def main(argv=None) -> int:
                         help="fresh bench_engine.py output")
     parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
                         help="committed baseline record")
+    parser.add_argument("--gate", choices=("all", "single", "sweep"), default="all",
+                        help="which sections to gate (default all)")
     args = parser.parse_args(argv)
 
     measured = json.loads(args.measured.read_text())
     baseline = json.loads(args.baseline.read_text())
-    print(f"baseline speedup: {baseline['speedup']:.2f}x "
-          f"(ref {baseline['reference']['steps_per_s']:.0f} steps/s, "
-          f"vec {baseline['vectorized']['steps_per_s']:.0f} steps/s)")
-    print(f"measured speedup: {measured['speedup']:.2f}x "
-          f"(ref {measured['reference']['steps_per_s']:.0f} steps/s, "
-          f"vec {measured['vectorized']['steps_per_s']:.0f} steps/s)")
-    for engine in ("reference", "vectorized"):
-        phases = measured.get(engine, {}).get("phases")
-        if isinstance(phases, dict) and all(k in phases for k in PHASE_KEYS):
-            print(f"measured {engine} phases: " + " ".join(
-                f"{key[:-2]}={phases[key] * 1000:.1f}ms" for key in PHASE_KEYS))
 
-    failures = check(measured, baseline)
+    try:
+        if args.gate in ("all", "single"):
+            print(f"baseline speedup: {float(_field(baseline, 'baseline', 'speedup')):.2f}x "
+                  f"(ref {baseline['reference']['steps_per_s']:.0f} steps/s, "
+                  f"vec {baseline['vectorized']['steps_per_s']:.0f} steps/s)")
+            print(f"measured speedup: {float(_field(measured, 'measured', 'speedup')):.2f}x "
+                  f"(ref {measured['reference']['steps_per_s']:.0f} steps/s, "
+                  f"vec {measured['vectorized']['steps_per_s']:.0f} steps/s)")
+            for engine in ("reference", "vectorized"):
+                phases = measured.get(engine, {}).get("phases")
+                if isinstance(phases, dict) and all(k in phases for k in PHASE_KEYS):
+                    print(f"measured {engine} phases: " + " ".join(
+                        f"{key[:-2]}={phases[key] * 1000:.1f}ms" for key in PHASE_KEYS))
+        if args.gate in ("all", "sweep"):
+            print(f"baseline sweep ratio: "
+                  f"{float(_field(baseline, 'baseline', 'sweep', 'ratio')):.2f}x")
+            print(f"measured sweep ratio: "
+                  f"{float(_field(measured, 'measured', 'sweep', 'ratio')):.2f}x "
+                  f"({float(_field(measured, 'measured', 'sweep', 'batched', 'runs_per_s')):.1f} "
+                  f"runs/s batched)")
+
+        failures = check(measured, baseline, gate=args.gate)
+    except GateInputError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
-        print("OK: vectorized engine within the regression gate")
+        print("OK: emulation fast paths within the regression gate")
     return 1 if failures else 0
 
 

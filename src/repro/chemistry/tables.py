@@ -16,17 +16,18 @@ worst case so callers can assert their tolerance budget. At the default
 resolution the error is orders of magnitude below every equivalence
 tolerance the engine guarantees (see ``docs/performance.md``).
 
-Tables are built through :func:`table_for`, an LRU-cached layer keyed on
-the curve object, so repeated emulator runs over the same battery library
-share one table per curve. :class:`PackCurveTable` stacks the per-battery
+Tables are built through :func:`table_for`, an LRU-evicting cache layer
+keyed on the curve *content* (breakpoints, values, resolution), so
+repeated emulator runs — and batched sweeps that rebuild the battery
+library per run — share one table per chemistry. :class:`PackCurveTable` stacks the per-battery
 tables of a whole pack into one matrix so a single fancy-indexing gather
 evaluates every battery (and every timestep of a chunk) at once.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import TYPE_CHECKING, Sequence
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Sequence, Tuple
 
 import numpy as np
 
@@ -129,12 +130,28 @@ class PackCurveTable:
         return self.values[rows, idx] + self.slopes[rows, idx] * frac
 
 
-@lru_cache(maxsize=TABLE_CACHE_SIZE)
-def table_for(curve: "SocCurve", resolution: int = DEFAULT_RESOLUTION) -> CurveTable:
-    """The LRU-cached lookup layer: one :class:`CurveTable` per curve.
+#: Content-addressed table cache, LRU-evicted at :data:`TABLE_CACHE_SIZE`.
+#: Keyed on the curve *data* rather than the curve object: a sweep builds
+#: a fresh battery library (fresh ``SocCurve`` instances) per run, and an
+#: identity-keyed cache would resample the same chemistry once per run.
+_TABLE_CACHE: "OrderedDict[Tuple[bytes, bytes, int], CurveTable]" = OrderedDict()
 
-    Cached on the curve object's identity (curves are immutable once
-    built), so every emulator run over the same battery library reuses the
-    same tables instead of resampling per run.
+
+def table_for(curve: "SocCurve", resolution: int = DEFAULT_RESOLUTION) -> CurveTable:
+    """The cached lookup layer: one :class:`CurveTable` per curve *content*.
+
+    Curves are immutable once built, so two curves with equal breakpoints
+    and values are interchangeable; every emulator run over the same
+    battery library reuses one table per chemistry, no matter how many
+    curve instances the runs construct.
     """
-    return CurveTable(curve, resolution)
+    key = (curve.breakpoints.tobytes(), curve.values.tobytes(), int(resolution))
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = CurveTable(curve, resolution)
+        _TABLE_CACHE[key] = table
+        if len(_TABLE_CACHE) > TABLE_CACHE_SIZE:
+            _TABLE_CACHE.popitem(last=False)
+    else:
+        _TABLE_CACHE.move_to_end(key)
+    return table

@@ -14,6 +14,7 @@ Usage::
     python -m repro replay watch.replay.json
     python -m repro fleet watch-day --devices 200 --shards 8
     python -m repro fleet watch-day=100,phone-day=50 --chaos kill-worker
+    python -m repro sweep --scenarios tablet-day --policies even-split,proportional --seeds 32
 
 ``run`` prints each experiment's tables and optionally writes them to a
 directory (one text file per experiment). ``chaos`` replays the tablet
@@ -29,7 +30,10 @@ a recorded manifest and verifies bit-exact reproduction — see
 ``docs/checkpointing.md``. ``fleet`` runs a sharded multi-device
 population under the fault-tolerant fleet supervisor (worker processes,
 heartbeats, retry/backoff, shard quarantine) and prints fleet rollups —
-see ``docs/fleet.md``.
+see ``docs/fleet.md``. ``sweep`` executes a scenario x policy x seed
+grid through the batched run-axis kernel — one NumPy kernel advancing
+every eligible run at once — and prints the grid rollup with aggregate
+``runs_per_s`` (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -519,6 +523,68 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a batched parameter sweep over a scenario x policy x seed grid.
+
+    Exit contract: 0 — clean grid; 1 — a degraded run in the grid (one
+    that could not cover a single step); 2 — unusable sweep
+    specification.
+    """
+    import json
+
+    from repro.errors import SweepError
+    from repro.experiments.sweep import SweepSpec, parse_axis, run_sweep
+
+    try:
+        if args.duration_h <= 0:
+            raise SweepError("--duration-h must be positive")
+        if args.dt <= 0:
+            raise SweepError("--dt must be positive")
+        socs = None
+        if args.socs is not None:
+            socs = tuple(float(part) for part in parse_axis(args.socs, "soc"))
+        spec = SweepSpec(
+            scenarios=parse_axis(args.scenarios, "scenario"),
+            policies=parse_axis(args.policies, "policy"),
+            n_seeds=args.seeds,
+            seed=args.seed,
+            duration_s=args.duration_h * units.SECONDS_PER_HOUR,
+            dt_s=args.dt,
+            engine=args.engine,
+            protection=args.protection,
+            socs=socs,
+        )
+    except (SweepError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    tracer = None
+    trace_out: Optional[pathlib.Path] = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        trace_out = pathlib.Path(args.trace)
+        tracer = Tracer()
+
+    try:
+        result = run_sweep(spec, tracer=tracer)
+    except (SweepError, ValueError) as exc:
+        # Plan-time failures surfacing from emulator construction (e.g. a
+        # --socs vector that does not match the platform pack).
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(result.summary())
+    if args.summary is not None:
+        summary_path = pathlib.Path(args.summary)
+        summary_path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote sweep summary to {summary_path}")
+    if tracer is not None:
+        status = _export_trace(tracer, args.trace_format, trace_out)
+        if status != 0:
+            return status
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -836,6 +902,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace output format (default: jsonl)",
     )
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario x policy x seed grid through the batched "
+        "run-axis kernel and print the grid rollup",
+    )
+    p_sweep.add_argument(
+        "--scenarios",
+        default="tablet-day",
+        help="comma-separated workload scenarios (watch-day, phone-day, "
+        "tablet-day; default tablet-day)",
+    )
+    p_sweep.add_argument(
+        "--policies",
+        default="even-split,proportional",
+        help="comma-separated discharge policies (even-split, proportional, "
+        "single, either-or, blended; default even-split,proportional)",
+    )
+    p_sweep.add_argument(
+        "--seeds",
+        type=int,
+        default=4,
+        help="seed replicates per (scenario, policy) cell (default 4)",
+    )
+    p_sweep.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="sweep seed; every per-run workload seed derives from it "
+        "(default 0)",
+    )
+    p_sweep.add_argument(
+        "--duration-h",
+        type=float,
+        default=24.0,
+        help="simulated hours per run (default 24)",
+    )
+    p_sweep.add_argument(
+        "--dt", type=float, default=60.0, help="emulation step in seconds (default 60)"
+    )
+    p_sweep.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="vectorized",
+        help="emulation engine (default: vectorized; batching requires it — "
+        "reference runs the whole grid single-run)",
+    )
+    p_sweep.add_argument(
+        "--protection",
+        choices=PROTECTION_MODES,
+        default="off",
+        help="battery protection mode armed on every run (default: off; "
+        "anything else routes runs to the single-run path)",
+    )
+    p_sweep.add_argument(
+        "--socs",
+        help="comma-separated per-battery initial SoC shared by every run "
+        "(default: full)",
+    )
+    p_sweep.add_argument(
+        "--summary",
+        metavar="PATH",
+        help="write the sweep spec/rollup/per-run records as JSON to PATH",
+    )
+    p_sweep.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable structured tracing of sweep.* batch events and write "
+        "the log to PATH",
+    )
+    p_sweep.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace output format (default: jsonl)",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_replay = sub.add_parser(
         "replay",

@@ -8,11 +8,14 @@ helped us in debugging SDB policies without damaging real batteries."
   through the runtime, the SDB hardware models and the battery models;
 * :mod:`repro.emulator.engine` — the vectorized (chunked NumPy) fast path
   behind ``SDBEmulator(..., engine="vectorized")``;
+* :mod:`repro.emulator.batch` — the run-axis kernel advancing a whole
+  batch of runs per array operation (behind ``repro sweep``);
 * :mod:`repro.emulator.events` — plug/unplug schedules;
 * :mod:`repro.emulator.devices` — the tablet / phone / watch platforms;
 * :mod:`repro.emulator.cpu` — the turbo CPU model behind Figure 12.
 """
 
+from repro.emulator.batch import BatchedRunner, batch_blockers
 from repro.emulator.cpu import CpuPowerLevel, Task, TaskOutcome, TurboCpu
 from repro.emulator.devices import DEVICES, DeviceSpec, build_controller
 from repro.emulator.emulator import ENGINES, EmulationResult, Emulator, SDBEmulator
@@ -20,6 +23,8 @@ from repro.emulator.engine import VectorizedEngine
 from repro.emulator.events import PlugSchedule, PlugWindow
 
 __all__ = [
+    "BatchedRunner",
+    "batch_blockers",
     "CpuPowerLevel",
     "Task",
     "TaskOutcome",

@@ -71,6 +71,84 @@ MAX_ITERATIONS = 64
 KERNEL_CUTOFF = 1e-18
 
 
+class PackParams:
+    """Per-row physical constants and flattened curve tables for a cell stack.
+
+    One row per cell. The single-run engine builds this over one pack's
+    ``M`` cells; the batched sweep engine (:mod:`repro.emulator.batch`)
+    builds it over the ``R * M`` concatenated cells of a whole run stack —
+    the arithmetic is row-wise, so the same construction serves both. Every
+    array here is computed exactly as the single-run ``_prepare`` always
+    computed it, so extracting the class is float-neutral.
+    """
+
+    __slots__ = (
+        "n",
+        "dt",
+        "ocp_pack",
+        "dcir_pack",
+        "res",
+        "inv_res",
+        "row_off",
+        "ocp_flat_values",
+        "ocp_flat_slopes",
+        "dcir_flat_values",
+        "dcir_flat_slopes",
+        "nominal",
+        "r_ct",
+        "i_max",
+        "growth",
+        "fade_base",
+        "fade_coeff",
+        "gain",
+        "decay",
+        "inject",
+        "kernels",
+        "decay_pows",
+    )
+
+    def __init__(self, cells, gauges, dt: float) -> None:
+        self.n = len(cells)
+        self.dt = dt
+        self.ocp_pack = PackCurveTable.for_curves([c.params.ocp for c in cells])
+        self.dcir_pack = PackCurveTable.for_curves([c.params.dcir for c in cells])
+        # Flattened copies of both pack tables sharing one index space: the
+        # chunk kernel evaluates OCP and DCIR at the same SoC trajectory, so
+        # computing the grid index once and gathering four flat arrays beats
+        # two independent 2-D fancy-index lookups. Only the first
+        # ``resolution`` value entries are reachable (the index is capped),
+        # so values and slopes can share a row stride.
+        res = self.ocp_pack.resolution
+        self.res = res
+        self.inv_res = 1.0 / res
+        self.row_off = (np.arange(self.n, dtype=np.intp) * res)[:, None]
+        self.ocp_flat_values = np.ascontiguousarray(self.ocp_pack.values[:, :res]).ravel()
+        self.ocp_flat_slopes = np.ascontiguousarray(self.ocp_pack.slopes).ravel()
+        self.dcir_flat_values = np.ascontiguousarray(self.dcir_pack.values[:, :res]).ravel()
+        self.dcir_flat_slopes = np.ascontiguousarray(self.dcir_pack.slopes).ravel()
+        self.nominal = np.array([c.params.capacity_c for c in cells])
+        self.r_ct = np.array([c.params.r_ct for c in cells])
+        self.i_max = np.array([c.params.max_discharge_current for c in cells])
+        self.growth = np.array([c.params.aging.resistance_growth for c in cells])
+        self.fade_base = np.array([c.params.aging.fade_base for c in cells])
+        self.fade_coeff = np.array([c.params.aging.fade_rate_coeff for c in cells])
+        self.gain = np.array([g.sense_gain_error for g in gauges])
+        self.decay = np.exp(-dt / (self.r_ct * np.array([c.params.c_plate for c in cells])))
+        self.inject = self.r_ct * (1.0 - self.decay)
+        # Precomputed RC kernels/powers, truncated where the decay weight
+        # vanishes; sliced per chunk.
+        self.kernels = []
+        self.decay_pows = []
+        for i in range(self.n):
+            a = float(self.decay[i])
+            if 0.0 < a < 1.0:
+                cut = min(MAX_CHUNK_STEPS, max(1, int(math.log(KERNEL_CUTOFF) / math.log(a)) + 1))
+            else:
+                cut = MAX_CHUNK_STEPS if a >= 1.0 else 1
+            self.decay_pows.append(a ** np.arange(cut + 1))
+            self.kernels.append(self.inject[i] * (a ** np.arange(cut)))
+
+
 class VectorizedEngine:
     """Chunked fast path for one :class:`~repro.emulator.emulator.SDBEmulator`.
 
@@ -132,7 +210,6 @@ class VectorizedEngine:
             return
 
         self._prepare()
-        n_steps = len(self.times)
         # Resume support: the checkpoint's step cursor is the number of
         # completed steps, which is exactly the next index to execute; the
         # warm start must be restored too — it seeds the fixed-point
@@ -141,6 +218,20 @@ class VectorizedEngine:
         pos = em._resume_index
         if em._resume_warm_current is not None:
             self._warm_current = np.asarray(em._resume_warm_current, dtype=float)
+        self._run_from(result, pos)
+
+    def _run_from(self, result, pos: int) -> None:
+        """Advance from step index ``pos`` to the end of the trace.
+
+        Requires :meth:`_prepare` to have run and ``result`` to hold exactly
+        ``pos`` committed steps. Split out of :meth:`run` so the batched
+        sweep engine (:mod:`repro.emulator.batch`) can hand a demoted run
+        off mid-trace: it syncs the run's array state back into the
+        authoritative objects, seeds ``_warm_current``, and resumes here.
+        """
+        em = self.em
+        tracer = em.tracer
+        n_steps = len(self.times)
         while pos < n_steps:
             # Checkpoint only here, at the outer-loop top: every committed
             # step has been written back to the authoritative objects and
@@ -208,22 +299,31 @@ class VectorizedEngine:
                     pos += 1
                     break  # re-evaluate scalar stops from the new state
 
-    def _prepare(self) -> None:
-        """Precompute times, loads, supplies, masks, and pack tables."""
+    def _prepare(self, times: Optional[np.ndarray] = None, loads: Optional[np.ndarray] = None) -> None:
+        """Precompute times, loads, supplies, masks, and pack tables.
+
+        ``times``/``loads`` let a caller that already owns the step grid
+        (the batched sweep runner, handing a demoted run over) skip the
+        accumulation loop — they must match what this method would build.
+        """
         em = self.em
         trace = em.trace
-        # Replicate PowerTrace.steps()'s float accumulation exactly: the
-        # reference loop's step times come from repeated `t += dt`, and a
-        # closed-form `start + j*dt` can differ in the last ulp, flipping
-        # segment lookups at boundaries.
-        ts = []
-        t = trace.start_s
-        end = trace.end_s - 1e-9
-        while t < end:
-            ts.append(t)
-            t += self.dt
-        self.times = np.array(ts, dtype=float)
-        self.loads = trace.powers_at(self.times)
+        if times is not None and loads is not None:
+            self.times = times
+            self.loads = loads
+        else:
+            # Replicate PowerTrace.steps()'s float accumulation exactly: the
+            # reference loop's step times come from repeated `t += dt`, and a
+            # closed-form `start + j*dt` can differ in the last ulp, flipping
+            # segment lookups at boundaries.
+            ts = []
+            t = trace.start_s
+            end = trace.end_s - 1e-9
+            while t < end:
+                ts.append(t)
+                t += self.dt
+            self.times = np.array(ts, dtype=float)
+            self.loads = trace.powers_at(self.times)
         supplies = em.plug.powers_at(self.times)
         scalar = supplies > 0.0
         if em.faults is not None:
@@ -231,46 +331,33 @@ class VectorizedEngine:
                 scalar |= (self.times >= lo - self.dt) & (self.times < hi)
         self.scalar_idx = np.flatnonzero(scalar)
 
-        cells = em.controller.cells
-        gauges = em.controller.gauges
-        self.ocp_pack = PackCurveTable.for_curves([c.params.ocp for c in cells])
-        self.dcir_pack = PackCurveTable.for_curves([c.params.dcir for c in cells])
-        # Flattened copies of both pack tables sharing one index space: the
-        # chunk kernel evaluates OCP and DCIR at the same SoC trajectory, so
-        # computing the grid index once and gathering four flat arrays beats
-        # two independent 2-D fancy-index lookups. Only the first
-        # ``resolution`` value entries are reachable (the index is capped),
-        # so values and slopes can share a row stride.
-        res = self.ocp_pack.resolution
-        self.res = res
-        self.inv_res = 1.0 / res
-        self.row_off = (np.arange(self.n, dtype=np.intp) * res)[:, None]
-        self.ocp_flat_values = np.ascontiguousarray(self.ocp_pack.values[:, :res]).ravel()
-        self.ocp_flat_slopes = np.ascontiguousarray(self.ocp_pack.slopes).ravel()
-        self.dcir_flat_values = np.ascontiguousarray(self.dcir_pack.values[:, :res]).ravel()
-        self.dcir_flat_slopes = np.ascontiguousarray(self.dcir_pack.slopes).ravel()
-        self.nominal = np.array([c.params.capacity_c for c in cells])
-        self.r_ct = np.array([c.params.r_ct for c in cells])
-        self.i_max = np.array([c.params.max_discharge_current for c in cells])
-        self.growth = np.array([c.params.aging.resistance_growth for c in cells])
-        self.fade_base = np.array([c.params.aging.fade_base for c in cells])
-        self.fade_coeff = np.array([c.params.aging.fade_rate_coeff for c in cells])
-        self.gain = np.array([g.sense_gain_error for g in gauges])
-        self.decay = np.exp(-self.dt / (self.r_ct * np.array([c.params.c_plate for c in cells])))
-        self.inject = self.r_ct * (1.0 - self.decay)
-        # Precomputed RC kernels/powers, truncated where the decay weight
-        # vanishes; sliced per chunk.
+        # All per-cell physical constants and curve tables live in
+        # PackParams (shared with the batched sweep engine); keep the
+        # historical attribute names as aliases so the kernel code below
+        # reads unchanged.
+        pack = PackParams(em.controller.cells, em.controller.gauges, self.dt)
+        self.pack = pack
+        self.ocp_pack = pack.ocp_pack
+        self.dcir_pack = pack.dcir_pack
+        self.res = pack.res
+        self.inv_res = pack.inv_res
+        self.row_off = pack.row_off
+        self.ocp_flat_values = pack.ocp_flat_values
+        self.ocp_flat_slopes = pack.ocp_flat_slopes
+        self.dcir_flat_values = pack.dcir_flat_values
+        self.dcir_flat_slopes = pack.dcir_flat_slopes
+        self.nominal = pack.nominal
+        self.r_ct = pack.r_ct
+        self.i_max = pack.i_max
+        self.growth = pack.growth
+        self.fade_base = pack.fade_base
+        self.fade_coeff = pack.fade_coeff
+        self.gain = pack.gain
+        self.decay = pack.decay
+        self.inject = pack.inject
+        self.kernels = pack.kernels
+        self.decay_pows = pack.decay_pows
         self._warm_current: Optional[np.ndarray] = None
-        self.kernels = []
-        self.decay_pows = []
-        for i in range(self.n):
-            a = float(self.decay[i])
-            if 0.0 < a < 1.0:
-                cut = min(MAX_CHUNK_STEPS, max(1, int(math.log(KERNEL_CUTOFF) / math.log(a)) + 1))
-            else:
-                cut = MAX_CHUNK_STEPS if a >= 1.0 else 1
-            self.decay_pows.append(a ** np.arange(cut + 1))
-            self.kernels.append(self.inject[i] * (a ** np.arange(cut)))
 
     def _next_scalar_index(self, pos: int, n_steps: int) -> int:
         """First index at/after ``pos`` that must run on the scalar path."""

@@ -98,3 +98,12 @@ class FleetError(SDBError):
 
 class ReplayMismatch(SDBError):
     """A replayed run failed to reproduce its manifest's recorded results."""
+
+
+class SweepError(SDBError):
+    """A parameter sweep could not be planned at all.
+
+    Raised for unusable sweep specifications (empty axes, unknown
+    scenarios or policies, non-positive durations). A single run inside
+    a valid sweep that ends degraded is *reported* in the rollup, not
+    raised — the CLI maps that to exit 1, and this error to exit 2."""
