@@ -14,7 +14,7 @@ and fully checkpointed:
    incident on the faulted battery);
 2. records a ``repro.replay/v1`` manifest and replays it from scratch,
    demanding bit-for-bit equality;
-3. re-runs with a mid-run ``repro.ckpt/v2`` checkpoint landing while the
+3. re-runs with a mid-run ``repro.ckpt/v3`` checkpoint landing while the
    derate is active, asserts the snapshot carries the derate, resumes a
    fresh emulator from it, and demands the resumed run match the
    uninterrupted metrics exactly.

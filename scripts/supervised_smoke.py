@@ -5,7 +5,7 @@ For each emulation engine this script:
 
 1. launches ``python -m repro supervise watch-day`` in a subprocess with
    a checkpoint path and a replay-manifest path;
-2. waits for the first ``repro.ckpt/v2`` checkpoint to land, then sends
+2. waits for the first ``repro.ckpt/v3`` checkpoint to land, then sends
    the process SIGKILL — the least polite termination there is;
 3. re-invokes the identical command, which resumes from the surviving
    checkpoint and runs to completion, recording the replay manifest;

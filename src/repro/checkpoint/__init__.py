@@ -1,4 +1,4 @@
-"""Crash-safe checkpoint/restore for long emulations (``repro.ckpt/v2``).
+"""Crash-safe checkpoint/restore for long emulations (``repro.ckpt/v3``).
 
 Public surface:
 

@@ -1,18 +1,21 @@
-"""The ``repro.ckpt/v2`` on-disk snapshot format.
+"""The ``repro.ckpt/v3`` on-disk snapshot format.
 
 A checkpoint file is a single JSON document::
 
     {
-      "format":   "repro.ckpt/v2",
+      "format":   "repro.ckpt/v3",
       "checksum": "sha256:<hex of the canonical payload encoding>",
       "payload":  { ... }
     }
 
 ``v2`` extends ``v1`` with optional protection-subsystem state (envelope
 guards, estimator councils, per-battery protection derating, and the
-gauge drift-fault flag). Every new payload key has a safe default, so
-``v1`` files remain readable: :func:`read_checkpoint` accepts both tags,
-while new files are always written as ``v2``.
+gauge drift-fault flag). ``v3`` extends ``v2`` with optional
+virtual-battery DAG state (per-tenant reserve/credit accounting and the
+``installed`` flag on recorded ratio decisions). Every new payload key
+has a safe default, so older files remain readable:
+:func:`read_checkpoint` accepts all three tags, while new files are
+always written as ``v3``.
 
 Two properties matter more than the schema itself:
 
@@ -54,11 +57,11 @@ __all__ = [
 ]
 
 #: Format tag written into every new checkpoint file.
-CKPT_FORMAT = "repro.ckpt/v2"
+CKPT_FORMAT = "repro.ckpt/v3"
 
-#: Format tags :func:`read_checkpoint` accepts. ``v1`` payloads are a
-#: strict subset of ``v2`` (all added keys default on restore).
-ACCEPTED_FORMATS = ("repro.ckpt/v1", "repro.ckpt/v2")
+#: Format tags :func:`read_checkpoint` accepts. Older payloads are a
+#: strict subset of newer ones (all added keys default on restore).
+ACCEPTED_FORMATS = ("repro.ckpt/v1", "repro.ckpt/v2", "repro.ckpt/v3")
 
 
 def _canonical(payload: Dict[str, Any]) -> str:
@@ -97,7 +100,7 @@ def _fsync_directory(directory: str) -> None:
 
 
 def write_checkpoint(path: str, payload: Dict[str, Any]) -> str:
-    """Atomically persist ``payload`` as a ``repro.ckpt/v2`` file at ``path``.
+    """Atomically persist ``payload`` as a ``repro.ckpt/v3`` file at ``path``.
 
     Returns ``path``. Raises :class:`CheckpointError` if the payload is not
     JSON-serializable or the filesystem rejects the write.

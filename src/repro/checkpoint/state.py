@@ -1,13 +1,14 @@
 """Capture and restore the complete mutable state of an emulation.
 
 The payload built here is what :mod:`repro.checkpoint.format` persists as
-``repro.ckpt/v2``. It covers every piece of state that evolves during a
+``repro.ckpt/v3``. It covers every piece of state that evolves during a
 run — Thevenin cells (SoC, RC branch, aging, hysteresis, thermal), fuel
 gauges, microcontroller registers (ratios, connectivity, charge profiles,
 regulator channel failures/derating, protection derating), the SDB
 runtime (policy directives, last-known-good ratios, telemetry history,
 incidents, health-monitor quarantine bookkeeping, protection
-envelope/council state), fault-schedule window flags, the partial
+envelope/council state, virtual-battery DAG tenant reserves/credit),
+fault-schedule window flags, the partial
 :class:`~repro.emulator.emulator.EmulationResult`, the vectorized
 engine's fixed-point warm start, registered RNG streams, and tracer
 counters — so a resumed run continues step-for-step identically to an
@@ -103,6 +104,11 @@ def emulator_config_digest(em) -> str:
         # (and the v1 checkpoints / replay manifests that recorded them)
         # of unprotected configurations are unchanged.
         spec["protection"] = protection.mode
+    dag = getattr(em.runtime, "dag", None)
+    if dag is not None:
+        # Same back-compat shape: DAG-less configurations keep their
+        # historical digests; a DAG pins its full structure + contracts.
+        spec["vdag"] = dag.signature()
     canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -223,6 +229,9 @@ def _decision_from_dict(data: Dict[str, Any]) -> RatioDecision:
         load_w=float(data["load_w"]),
         external_w=float(data["external_w"]),
         degraded=bool(data["degraded"]),
+        # v2 checkpoints predate the flag; every decision they recorded
+        # was reported as installed.
+        installed=bool(data.get("installed", True)),
     )
 
 
@@ -256,10 +265,12 @@ def capture_runtime(runtime: SDBRuntime) -> Dict[str, Any]:
         "charge_directive": getattr(runtime.charge_policy, "directive", None),
         "incidents": [_incident_to_dict(i) for i in runtime.incidents],
         "history": [asdict(decision) for decision in runtime.history],
+        "last_profile_directive": getattr(runtime, "_last_profile_directive", None),
         "health": None if runtime.health is None else _capture_health(runtime.health),
         "protection": None
         if getattr(runtime, "protection", None) is None
         else runtime.protection.capture(),
+        "vdag": None if getattr(runtime, "dag", None) is None else runtime.dag.capture(),
     }
 
 
@@ -290,11 +301,16 @@ def restore_runtime(runtime: SDBRuntime, data: Dict[str, Any]) -> None:
     runtime.history = deque(
         (_decision_from_dict(d) for d in data["history"]), maxlen=runtime.history.maxlen
     )
+    directive = data.get("last_profile_directive")
+    runtime._last_profile_directive = None if directive is None else float(directive)
     if data["health"] is not None and runtime.health is not None:
         _restore_health(runtime.health, data["health"])
     protection = data.get("protection")
     if protection is not None and getattr(runtime, "protection", None) is not None:
         runtime.protection.restore(protection)
+    vdag = data.get("vdag")
+    if vdag is not None and getattr(runtime, "dag", None) is not None:
+        runtime.dag.restore(vdag)
 
 
 def _capture_faults(schedule: Optional[FaultSchedule]) -> Optional[List[Dict[str, Any]]]:
@@ -376,7 +392,7 @@ def _restore_result(data: Dict[str, Any]):
 
 
 def capture_emulator_state(em, result, warm_current: Optional[List[float]] = None) -> Dict[str, Any]:
-    """Build the full ``repro.ckpt/v2`` payload for an in-flight run.
+    """Build the full ``repro.ckpt/v3`` payload for an in-flight run.
 
     ``result`` is the partially filled :class:`EmulationResult`;
     ``warm_current`` is the vectorized engine's fixed-point warm start

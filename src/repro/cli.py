@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig11
     python -m repro run all --out results/
     python -m repro run fig14 --trace fig14.trace.jsonl
+    python -m repro run --tenants
     python -m repro library
     python -m repro chaos --seed 7
     python -m repro trace tablet-day --out run.trace.jsonl
@@ -24,7 +25,7 @@ bundled scenario (or a workload CSV) with structured tracing enabled and
 writes the event log — or converts a saved ``.trace.jsonl`` to the
 Chrome ``trace_event`` format (see ``docs/observability.md``).
 ``supervise`` runs under the crash-safe supervisor (periodic
-``repro.ckpt/v2`` checkpoints, strict invariants, bounded restarts,
+``repro.ckpt/v3`` checkpoints, strict invariants, bounded restarts,
 automatic resume from an existing checkpoint) and ``replay`` re-executes
 a recorded manifest and verifies bit-exact reproduction — see
 ``docs/checkpointing.md``. ``fleet`` runs a sharded multi-device
@@ -101,6 +102,20 @@ def cmd_library(_args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one experiment (or all) and print/save its tables."""
     registry = _experiment_registry()
+    if getattr(args, "tenants", False):
+        if args.experiment is not None and args.experiment != "tenants":
+            print(
+                "--tenants cannot be combined with another experiment name",
+                file=sys.stderr,
+            )
+            return 2
+        args.experiment = "tenants"
+    if args.experiment is None:
+        print(
+            f"specify an experiment name (or --tenants); valid: {', '.join(registry)}, all",
+            file=sys.stderr,
+        )
+        return 2
     if args.experiment == "all":
         names: List[str] = list(registry)
     else:
@@ -600,7 +615,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_library.set_defaults(func=cmd_library)
 
     p_run = sub.add_parser("run", help="run an experiment (or 'all')")
-    p_run.add_argument("experiment", help="experiment name from 'list', or 'all'")
+    p_run.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment name from 'list', or 'all'",
+    )
+    p_run.add_argument(
+        "--tenants",
+        action="store_true",
+        help="run the multi-tenant virtual-battery contract scenario "
+        "(shorthand for 'run tenants'; see docs/virtual_batteries.md)",
+    )
     p_run.add_argument("--out", help="directory to write result tables to")
     p_run.add_argument("--plot", action="store_true", help="append ASCII charts of each table")
     p_run.add_argument(
@@ -681,7 +707,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "source",
         help="scenario name (tablet-day, watch-day, phone-day, chaos-tablet, "
-        "gauge-fault-tablet), a workload .csv, or a saved .jsonl trace to convert",
+        "gauge-fault-tablet, tenants-tablet), a workload .csv, or a saved "
+        ".jsonl trace to convert",
     )
     p_trace.add_argument("--out", help="output path (default: <scenario>.trace.jsonl)")
     p_trace.add_argument(

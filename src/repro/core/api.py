@@ -12,6 +12,13 @@ four calls::
 exposes *nothing else* — the prototype carried these calls over a Bluetooth
 link, and this class is the seam where a real transport would sit. Method
 names match the paper's capitalization for recognisability.
+
+When a :class:`~repro.core.vdag.BatteryDAG` is attached, the calls gain a
+``node`` argument and operate on *any* virtual battery in the directory —
+aggregates, splitters, tenants — with the DAG resolving per-child shares
+down to the physical ratio vector (see ``docs/virtual_batteries.md``).
+``SelectProfile`` rounds out Figure 4c's dynamic charge-profile select at
+node granularity.
 """
 
 from __future__ import annotations
@@ -29,29 +36,71 @@ class SDBApi:
         controller: the SDB microcontroller being commanded.
         transfer_step_s: integration step used to realize the time-boxed
             ``ChargeOneFromAnother`` calls.
+        dag: optional :class:`~repro.core.vdag.BatteryDAG`. When present,
+            every call accepts a ``node`` argument (a DAG node or its
+            directory name) and operates on that *virtual* battery:
+            ratio vectors are per-child shares that the DAG resolves
+            down to the physical vector, status queries roll up, and
+            profile selection applies to every leaf under the node.
     """
 
-    def __init__(self, controller: SDBMicrocontroller, transfer_step_s: float = 1.0):
+    def __init__(self, controller: SDBMicrocontroller, transfer_step_s: float = 1.0, dag=None):
         if transfer_step_s <= 0:
             raise ValueError("transfer step must be positive")
         self.controller = controller
         self.transfer_step_s = float(transfer_step_s)
+        self.dag = dag
 
     @property
     def n_batteries(self) -> int:
         """Number of batteries behind the controller."""
         return self.controller.n
 
+    def _require_dag(self, node):
+        if self.dag is None:
+            raise ValueError(
+                f"cannot address node {node!r}: this API has no virtual-battery DAG attached"
+            )
+        return self.dag
+
     # The paper spells these with capitals; keep that spelling here and
     # provide PEP 8 aliases below.
 
-    def Charge(self, *ratios: float) -> None:
-        """Charge N batteries in proportion to c1..cN from external power."""
+    def Charge(self, *ratios: float, node=None) -> None:
+        """Charge N batteries in proportion to c1..cN from external power.
+
+        With ``node``, the ratios are per-child shares of that virtual
+        battery, resolved to the physical vector by the DAG.
+        """
+        if node is not None:
+            ratios = self._require_dag(node).expand(node, ratios)
         self.controller.set_charge_ratios(list(ratios))
 
-    def Discharge(self, *ratios: float) -> None:
-        """Discharge N batteries in proportion to d1..dN."""
+    def Discharge(self, *ratios: float, node=None) -> None:
+        """Discharge N batteries in proportion to d1..dN.
+
+        With ``node``, the ratios are per-child shares of that virtual
+        battery; the DAG expands them over the node's leaves and gates
+        branches whose tenants have exhausted their reserves.
+        """
+        if node is not None:
+            dag = self._require_dag(node)
+            ratios = dag.gate_ratios(dag.expand(node, ratios))
         self.controller.set_discharge_ratios(list(ratios))
+
+    def SelectProfile(self, target, profile) -> None:
+        """Select a charge profile for a battery index or a DAG node.
+
+        An integer selects one physical battery (the original call); a
+        node or node name applies the profile to every physical leaf
+        beneath it.
+        """
+        if isinstance(target, int):
+            self.controller.select_profile(target, profile)
+            return
+        dag = self._require_dag(target)
+        for index in dag.node(target).leaf_indices():
+            self.controller.select_profile(index, profile)
 
     def ChargeOneFromAnother(self, x: int, y: int, w: float, t: float) -> List[TransferReport]:
         """Charge battery ``y`` from battery ``x`` at ``w`` watts for ``t`` s.
@@ -74,12 +123,22 @@ class SDBApi:
                 break  # source exhausted or destination full
         return reports
 
-    def QueryBatteryStatus(self) -> List[BatteryStatus]:
-        """State of charge, terminal voltage and cycle count per battery."""
-        return self.controller.query_status()
+    def QueryBatteryStatus(self, node=None):
+        """State of charge, terminal voltage and cycle count per battery.
+
+        Without ``node``: the physical per-battery list, as always. With
+        ``node``: one rolled-up :class:`~repro.core.vdag.NodeStatus` for
+        that virtual battery (capacity-weighted over its leaves; tenant
+        nodes report their contract accounting instead).
+        """
+        statuses: List[BatteryStatus] = self.controller.query_status()
+        if node is None:
+            return statuses
+        return self._require_dag(node).status(node, statuses)
 
     # PEP 8 aliases for library users who prefer conventional names.
     charge = Charge
     discharge = Discharge
     charge_one_from_another = ChargeOneFromAnother
     query_battery_status = QueryBatteryStatus
+    select_profile = SelectProfile

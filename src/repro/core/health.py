@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cell.fuel_gauge import BatteryStatus
+from repro.errors import RatioError
 
 
 @dataclass(frozen=True)
@@ -169,15 +170,25 @@ class HealthMonitor:
         self.incidents.append(Incident(t, "quarantine", index, reason))
         return True
 
-    def filter_ratios(self, ratios: Sequence[float]) -> List[float]:
+    def filter_ratios(self, ratios: Sequence[float], n: Optional[int] = None) -> List[float]:
         """Zero quarantined shares and renormalize onto the healthy set.
 
         If *every* battery with a nonzero share is quarantined the original
         vector passes through unchanged: serving the load from a suspect
         battery beats not serving it at all, and the hardware's own
         safeguards still apply.
+
+        Args:
+            ratios: the candidate ratio vector.
+            n: expected vector length (the pack size). When given, a
+                mismatched vector raises
+                :class:`~repro.errors.RatioError` instead of silently
+                renormalizing whatever it was handed — a wrong-length
+                vector is the caller's bug, never valid input.
         """
         ratios = list(ratios)
+        if n is not None and len(ratios) != n:
+            raise RatioError(f"ratio vector has {len(ratios)} entries for {n} batteries")
         if not self.quarantined:
             return ratios
         filtered = [0.0 if i in self.quarantined else r for i, r in enumerate(ratios)]

@@ -66,6 +66,11 @@ class RatioDecision:
     #: True when this decision fell back to a last-good vector because the
     #: policy raised (best-effort degradation instead of dying).
     degraded: bool = False
+    #: True when every pushed vector actually landed on the controller.
+    #: False means retries were exhausted and the controller kept its
+    #: previously installed ratios — the recorded ratios are what the
+    #: runtime *requested*, not what is installed.
+    installed: bool = True
 
 
 class SDBRuntime:
@@ -99,6 +104,13 @@ class SDBRuntime:
             the resulting derates/cutoffs reshape the ratio vectors the
             policies produced, so planning re-routes around protected
             batteries.
+        dag: optional :class:`~repro.core.vdag.BatteryDAG` placing the
+            physical cells behind virtual batteries (aggregates and
+            tenant splitters). The runtime gates policy output through
+            the DAG (shares under exhausted splitters are zeroed and
+            renormalized) *before* the health/protection filters, which
+            keep operating at the physical leaves exactly as without a
+            DAG; the trivial one-level DAG is bit-identical to ``None``.
     """
 
     def __init__(
@@ -111,10 +123,12 @@ class SDBRuntime:
         health_monitor: Optional[HealthMonitor] = None,
         tracer: Optional[Tracer] = None,
         protection=None,
+        dag=None,
     ):
         if update_interval_s <= 0:
             raise ValueError("update interval must be positive")
-        self.api = SDBApi(controller)
+        self.dag = dag
+        self.api = SDBApi(controller, dag=dag)
         self.controller = controller
         self.discharge_policy = discharge_policy if discharge_policy is not None else BlendedDischargePolicy()
         self.charge_policy = charge_policy if charge_policy is not None else BlendedChargePolicy()
@@ -125,7 +139,13 @@ class SDBRuntime:
         self.protection = protection
         if protection is not None:
             protection.bind(health_monitor, self.tracer)
+        if dag is not None:
+            # The tracer is read through a provider at event time: the
+            # emulator propagates an enabled tracer onto the runtime
+            # after construction, and DAG events must follow it.
+            dag.bind(controller, lambda: self.tracer)
         self._last_update_t: Optional[float] = None
+        self._last_profile_directive: Optional[float] = None
         self.ratio_updates = 0
         #: Ticks where a failing policy was degraded to a last-good vector.
         self.degraded_ticks = 0
@@ -189,6 +209,8 @@ class SDBRuntime:
             merged.extend(self.health.incidents)
         if self.protection is not None:
             merged.extend(self.protection.incidents)
+        if self.dag is not None:
+            merged.extend(self.dag.incidents)
         merged.sort(key=lambda inc: inc.t)
         return merged
 
@@ -268,9 +290,21 @@ class SDBRuntime:
             external_w: present external supply power (charge side).
 
         Returns:
-            True if new ratio vectors were pushed to the controller.
+            True if new ratio vectors were pushed *and installed* on the
+            controller. False when the interval has not elapsed, or when
+            retries were exhausted and the controller kept its previous
+            ratios (the attempt is still recorded in :attr:`history`
+            with ``installed=False``).
         """
         if self._last_update_t is not None and t - self._last_update_t < self.update_interval_s:
+            # A charging directive set between ticks (directly on the
+            # policy, without force_update) must still reselect charge
+            # profiles the moment the charger is attached — waiting out
+            # the ratio interval would charge on a stale profile.
+            if self.manage_profiles and external_w > 0.0:
+                directive = getattr(self.charge_policy, "directive", None)
+                if directive is not None and directive != self._last_profile_directive:
+                    self._select_profiles()
             return False
         tracer = self.tracer
         with tracer.timer("runtime.update"):
@@ -291,12 +325,21 @@ class SDBRuntime:
                     t,
                     "discharge",
                 )
+            if self.dag is not None:
+                # Virtual-battery gating happens before the physical-leaf
+                # filters: exhausted splitter branches shed their shares,
+                # then health/protection act exactly as without a DAG.
+                discharge = self.dag.gate_ratios(discharge)
+            n = self.controller.n
             if self.health is not None:
-                discharge = self.health.filter_ratios(discharge)
+                discharge = self.health.filter_ratios(discharge, n=n)
             if self.protection is not None:
                 discharge = self.protection.filter_ratios(discharge)
+            installed = True
             if self._push(self.api.Discharge, discharge, t, "discharge"):
                 self._last_good_discharge = list(discharge)
+            else:
+                installed = False
             charge = None
             if external_w > 0.0:
                 with tracer.timer("runtime.policy_eval"):
@@ -308,15 +351,18 @@ class SDBRuntime:
                     )
                 degraded = degraded or charge_degraded
                 if self.health is not None:
-                    charge = self.health.filter_ratios(charge)
+                    charge = self.health.filter_ratios(charge, n=n)
                 if self.protection is not None:
                     charge = self.protection.filter_ratios(charge)
                 if self._push(self.api.Charge, charge, t, "charge"):
                     self._last_good_charge = list(charge)
+                else:
+                    installed = False
                 if self.manage_profiles:
                     self._select_profiles()
             self._last_update_t = t
-            self.ratio_updates += 1
+            if installed:
+                self.ratio_updates += 1
             decision = RatioDecision(
                 t=t,
                 discharge_ratios=tuple(discharge),
@@ -324,9 +370,13 @@ class SDBRuntime:
                 load_w=load_w,
                 external_w=external_w,
                 degraded=degraded,
+                installed=installed,
             )
             self.history.append(decision)
-            tracer.count("runtime.ratio_updates")
+            if installed:
+                tracer.count("runtime.ratio_updates")
+            else:
+                tracer.count("runtime.dropped_updates")
             if degraded:
                 tracer.count("runtime.degraded_ticks")
             if tracer.enabled:
@@ -342,8 +392,9 @@ class SDBRuntime:
                     load_w=load_w,
                     external_w=external_w,
                     degraded=degraded,
+                    installed=installed,
                 )
-        return True
+        return installed
 
     def _select_profiles(self) -> None:
         """Map the charging directive to per-battery charge profiles."""
@@ -358,15 +409,20 @@ class SDBRuntime:
             else:
                 profile = STANDARD_PROFILE
             self.controller.select_profile(index, profile)
+        self._last_profile_directive = directive
 
-    def query_status(self) -> List[BatteryStatus]:
+    def query_status(self, node=None) -> List[BatteryStatus]:
         """QueryBatteryStatus for the rest of the OS.
 
         When a protection manager is attached, each status is annotated
         with the council's ``soc_confidence`` and the guard's
         ``protection_state`` (the monitor/health layers always see the
-        raw hardware response).
+        raw hardware response). With ``node`` set (a DAG node or its
+        name) the response is the rolled-up
+        :class:`~repro.core.vdag.NodeStatus` for that virtual battery.
         """
+        if node is not None:
+            return self.api.QueryBatteryStatus(node=node)
         statuses = self.api.QueryBatteryStatus()
         if self.protection is not None:
             statuses = self.protection.annotate(statuses)

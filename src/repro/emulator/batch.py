@@ -130,6 +130,11 @@ def batch_blockers(em) -> List[str]:
         blockers.append("health monitor")
     if runtime.protection is not None:
         blockers.append("protection manager")
+    dag = getattr(runtime, "dag", None)
+    if dag is not None and not dag.is_trivial:
+        # A splitter can gate ratios mid-run; the virtual tick cannot
+        # replicate that. Trivial DAGs never gate and stay batchable.
+        blockers.append("virtual-battery DAG")
     if runtime._last_update_t is not None:
         blockers.append("runtime already ticked")
     if not isinstance(runtime.discharge_policy, BATCHABLE_POLICIES):

@@ -199,7 +199,7 @@ class SDBEmulator:
             every stream the run consumes (hook noise, estimator noise,
             ...). Registered generators are captured in checkpoints and
             restored on resume so stochastic runs stay bit-reproducible.
-        checkpoint_path: when set, :meth:`run` persists a ``repro.ckpt/v2``
+        checkpoint_path: when set, :meth:`run` persists a ``repro.ckpt/v3``
             snapshot here every ``checkpoint_every_s`` simulated seconds
             (atomic write; a crash never leaves a torn file).
         checkpoint_every_s: periodic checkpoint cadence in simulated
@@ -210,6 +210,15 @@ class SDBEmulator:
             state consistent — the cooperative abort channel used by the
             supervisor watchdog off the main thread and by fleet workers
             being cancelled. Settable after construction too.
+        load_shaper: optional admission-control hook called as
+            ``load_shaper(t, dt, load) -> float`` once per step, after
+            fault perturbation and before anything consumes the load.
+            The multi-tenant scenarios use it to route the step's
+            per-tenant demands through
+            :meth:`~repro.core.vdag.BatteryDAG.account`, so the battery
+            only serves the power the contracts admit. A shaper forces
+            the vectorized engine onto the reference loop (it can mutate
+            arbitrary state between steps).
     """
 
     def __init__(
@@ -229,6 +238,7 @@ class SDBEmulator:
         checkpoint_path: Optional[str] = None,
         checkpoint_every_s: Optional[float] = None,
         abort_signal=None,
+        load_shaper: Optional[Callable[[float, float, float], float]] = None,
     ):
         if not math.isfinite(dt_s):
             raise ValueError(f"dt must be positive and finite, got {dt_s!r}")
@@ -263,6 +273,7 @@ class SDBEmulator:
             checkpoint_every_s = units.SECONDS_PER_HOUR
         self.checkpoint_every_s = checkpoint_every_s
         self.abort_signal = abort_signal
+        self.load_shaper = load_shaper
         #: Per-run fault-event sink; rebound by :meth:`run` so traced runs
         #: mirror the fault timeline into the tracer.
         self._fault_sink: Callable[[FaultEvent], None] = lambda event: None
@@ -317,7 +328,7 @@ class SDBEmulator:
     def run(self, resume_from: Optional[str] = None) -> EmulationResult:
         """Execute the full trace and return the collected bookkeeping.
 
-        With ``resume_from`` set to a ``repro.ckpt/v2`` file, the run
+        With ``resume_from`` set to a ``repro.ckpt/v3`` file, the run
         restores that snapshot and continues from its step cursor; the
         finished result is step-for-step identical to an uninterrupted
         run under both engines (see ``docs/checkpointing.md``).
@@ -410,7 +421,7 @@ class SDBEmulator:
         *,
         warm_current: Optional[List[float]] = None,
     ) -> str:
-        """Atomically persist the current emulation state as ``repro.ckpt/v2``.
+        """Atomically persist the current emulation state as ``repro.ckpt/v3``.
 
         ``result`` defaults to the in-flight result of the current
         :meth:`run`; ``warm_current`` is the vectorized engine's
@@ -432,7 +443,7 @@ class SDBEmulator:
         return path
 
     def load_checkpoint(self, path: str) -> EmulationResult:
-        """Restore a ``repro.ckpt/v2`` snapshot into this emulator.
+        """Restore a ``repro.ckpt/v3`` snapshot into this emulator.
 
         Returns the partial :class:`EmulationResult` and arms the resume
         cursor, so a following ``run(resume_from=path)`` — or a direct
@@ -492,6 +503,8 @@ class SDBEmulator:
         tracer.count("emulator.steps")
         if self.faults is not None:
             load = self.faults.perturb_load(t, load)
+        if self.load_shaper is not None:
+            load = self.load_shaper(t, self.dt_s, load)
         if self.strict and not math.isfinite(load):
             raise InvariantViolation(f"non-finite load power {load!r} at t={t:.1f} s")
         supply = self.plug.power_at(t)

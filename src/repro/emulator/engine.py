@@ -176,6 +176,8 @@ class VectorizedEngine:
         blockers = []
         if self.em.hooks:
             blockers.append("scenario hooks")
+        if getattr(self.em, "load_shaper", None) is not None:
+            blockers.append("load shaper")
         for cell in self.em.controller.cells:
             if cell.thermal is not None:
                 blockers.append(f"{cell.name}: thermal model")

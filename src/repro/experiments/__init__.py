@@ -32,6 +32,7 @@ EXPERIMENT_DESCRIPTIONS: Dict[str, str] = {
     "thermal": "Hot-ride thermal derating on the EV commute",
     "drift": "Coulomb-counter drift vs Kalman SoC estimation over a week",
     "chaos": "Chaos harness: injected faults vs the self-healing runtime",
+    "tenants": "Multi-tenant power contracts on a virtual-battery DAG",
 }
 
 
@@ -58,6 +59,7 @@ def experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.single_battery import run_single_battery
     from repro.experiments.tab01_characteristics import run_table1
     from repro.experiments.tab02_tradeoffs import run_table2
+    from repro.experiments.tenants import run_tenants
     from repro.experiments.thermal_derating import run_thermal_derating
 
     return {
@@ -80,6 +82,7 @@ def experiment_registry() -> Dict[str, Callable]:
         "thermal": run_thermal_derating,
         "drift": run_estimation_drift,
         "chaos": run_chaos,
+        "tenants": run_tenants,
     }
 
 

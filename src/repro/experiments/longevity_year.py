@@ -104,7 +104,7 @@ class LongevityResult:
 def _day_checkpoint_payload(
     controller, runtime, *, directive: float, days: int, dt_s: float, engine: str, next_day: int, breach_day: Optional[int]
 ) -> Dict[str, Any]:
-    """A day-boundary ``repro.ckpt/v2`` payload for the longevity loop.
+    """A day-boundary ``repro.ckpt/v3`` payload for the longevity loop.
 
     Unlike the in-run emulation checkpoints, this one captures state at
     a day boundary: the pack's electrical + aging state, the controller

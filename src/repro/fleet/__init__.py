@@ -5,7 +5,7 @@ fleets; this package is the robustness spine for that scale. A
 :class:`FleetSpec` (device population x per-device seed streams) is
 planned into :class:`ShardPlan` blocks; a pool of ``spawn``-started
 shard workers runs them with layered checkpoints (per-device
-``repro.ckpt/v2`` snapshots + per-shard completion maps); a
+``repro.ckpt/v3`` snapshots + per-shard completion maps); a
 :class:`FleetSupervisor` watches heartbeats, restarts dead or silent
 workers with exponential backoff, and quarantines shards that exhaust
 their retry budget instead of failing the fleet. See ``docs/fleet.md``.

@@ -18,7 +18,7 @@ every way a worker can die:
   run degrades; it does not crash.
 
 Because shard workers resume each in-flight device from its own
-``repro.ckpt/v2`` snapshot and every per-device seed derives from the
+``repro.ckpt/v3`` snapshot and every per-device seed derives from the
 fleet seed, a killed-and-resumed fleet produces **bit-identical**
 per-device metrics and rollups to an uninterrupted one — the property
 the chaos tests (and the ``fleet-chaos`` CI job) assert.

@@ -6,7 +6,7 @@ process boundary is picklable data, and the worker re-imports this
 module fresh) and runs its devices sequentially. Durability is layered:
 
 * **per-device** — each in-flight emulation writes periodic
-  ``repro.ckpt/v2`` snapshots through the existing
+  ``repro.ckpt/v3`` snapshots through the existing
   :mod:`repro.checkpoint` machinery, so a kill mid-device resumes that
   device bit-identically from its last snapshot;
 * **per-shard** — after every finished device the worker atomically
@@ -66,7 +66,7 @@ def shard_checkpoint_path(checkpoint_dir: str, shard_id: int) -> str:
 
 
 def device_checkpoint_path(checkpoint_dir: str, device_id: str) -> str:
-    """Where a device's in-flight ``repro.ckpt/v2`` snapshot lives."""
+    """Where a device's in-flight ``repro.ckpt/v3`` snapshot lives."""
     return os.path.join(checkpoint_dir, f"device-{device_id}.ckpt.json")
 
 

@@ -17,6 +17,13 @@ from typing import Callable, Dict, Optional
 
 from repro.core.health import HealthMonitor
 from repro.core.runtime import SDBRuntime
+from repro.core.vdag import (
+    AggregateBattery,
+    BatteryDAG,
+    PhysicalBattery,
+    SplitterBattery,
+    TenantContract,
+)
 from repro.emulator.devices import build_controller
 from repro.emulator.emulator import SDBEmulator
 from repro.faults.models import GaugeStuckFault
@@ -28,7 +35,7 @@ from repro.workloads.generators import (
     smartwatch_day_trace,
     two_in_one_workload_trace,
 )
-from repro.workloads.traces import PowerTrace
+from repro.workloads.traces import PowerTrace, Segment
 
 #: Scenario name -> builder returning the workload trace and device key.
 _SCENARIO_TRACES: Dict[str, Callable[[], "tuple[PowerTrace, str]"]] = {
@@ -51,7 +58,58 @@ _SCENARIO_TRACES: Dict[str, Callable[[], "tuple[PowerTrace, str]"]] = {
         two_in_one_workload_trace(mean_power_w=9.0, duration_s=24 * 3600.0, segment_s=300.0),
         "tablet",
     ),
+    "tenants-tablet": lambda: (_tenant_trace(), "tablet"),
 }
+
+#: The multi-tenant scenario's contracts. ``ui`` stays inside its claim
+#: all day; ``sync`` claimed 1.5 W but starts drawing 4.5 W an hour in
+#: (the misbehaving tenant) — it gets throttled to its claim within
+#: :data:`~repro.core.vdag.DEFAULT_OVERDRAW_CHECKS` samples and later
+#: spends its whole reserve, at which point its load is shed entirely.
+TENANT_CONTRACTS = (
+    TenantContract("ui", reserved_fraction=0.6, claimed_w=3.5),
+    TenantContract("sync", reserved_fraction=0.18, claimed_w=1.5),
+)
+
+#: When the ``sync`` tenant goes rogue, seconds into the scenario.
+TENANT_MISBEHAVE_S = 3600.0
+
+#: Total scenario length: six tablet hours resolve in well under a
+#: second of wall clock yet cover throttle, sustained over-draw, and
+#: reserve exhaustion.
+TENANT_DURATION_S = 6 * 3600.0
+
+
+def tenant_demands(t: float) -> Dict[str, float]:
+    """Per-tenant demanded power at time ``t`` for ``tenants-tablet``."""
+    return {
+        "ui": 3.0,
+        "sync": 1.2 if t < TENANT_MISBEHAVE_S else 4.5,
+    }
+
+
+def _tenant_trace() -> PowerTrace:
+    """The emulator-facing trace: the *sum of tenant demands* over time."""
+    first = sum(tenant_demands(0.0).values())
+    second = sum(tenant_demands(TENANT_MISBEHAVE_S).values())
+    return PowerTrace(
+        [
+            Segment(0.0, TENANT_MISBEHAVE_S, first),
+            Segment(TENANT_MISBEHAVE_S, TENANT_DURATION_S - TENANT_MISBEHAVE_S, second),
+        ]
+    )
+
+
+def build_tenant_dag(n: int) -> BatteryDAG:
+    """The two-cell aggregate + two-tenant splitter DAG of the scenario.
+
+    The physical cells fan in to one ``pack`` aggregate; a ``contracts``
+    splitter partitions that pack across :data:`TENANT_CONTRACTS`.
+    """
+    pack = AggregateBattery(
+        "pack", [PhysicalBattery(f"cell{i}", i) for i in range(n)]
+    )
+    return BatteryDAG(SplitterBattery("contracts", pack, TENANT_CONTRACTS), n)
 
 #: Names accepted by :func:`build_scenario` (and the CLI's ``trace`` command).
 SCENARIOS = tuple(sorted(_SCENARIO_TRACES))
@@ -98,6 +156,32 @@ def build_scenario(
             f"unknown scenario {name!r}; valid: {', '.join(SCENARIOS)}"
         ) from None
     controller = build_controller(device)
+    if name == "tenants-tablet":
+        # The multi-tenant power-contract scenario: the two tablet cells
+        # aggregate into one pack split across two tenants; the per-step
+        # load shaper routes each tenant's demand through the splitter's
+        # admission control, so the pack serves only contracted power.
+        health = HealthMonitor() if protection != "off" else None
+        manager = ProtectionManager(controller, mode=protection) if protection != "off" else None
+        dag = build_tenant_dag(controller.n)
+        runtime = SDBRuntime(controller, health_monitor=health, protection=manager, dag=dag)
+
+        def shaper(t: float, dt: float, load: float) -> float:
+            # The trace is the sum of tenant demands by construction;
+            # admission control recomputes the served total from the
+            # per-tenant breakdown (the argument is the pre-admission
+            # aggregate and is deliberately ignored).
+            return dag.account(t, dt, tenant_demands(t))
+
+        return SDBEmulator(
+            controller,
+            runtime,
+            trace,
+            dt_s=dt_s,
+            engine=engine,
+            tracer=tracer,
+            load_shaper=shaper,
+        )
     faults = None
     health: Optional[HealthMonitor] = None
     if name == "chaos-tablet":

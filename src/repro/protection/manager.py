@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence
 
 from repro.cell.fuel_gauge import BatteryStatus
 from repro.core.health import HealthMonitor, Incident
+from repro.errors import RatioError
 from repro.obs.tracer import NULL_TRACER
 from repro.protection.council import CouncilConfig, EstimatorCouncil
 from repro.protection.envelope import (
@@ -241,9 +242,16 @@ class ProtectionManager:
 
         Monitor mode passes ratios through untouched. Like the health
         monitor's filter, an all-zero outcome returns the original vector:
-        the hardware floor still serves the load as a last resort.
+        the hardware floor still serves the load as a last resort. A
+        vector whose length does not match the pack raises
+        :class:`~repro.errors.RatioError` in *both* modes — zipping a
+        malformed vector against the guards would silently truncate it.
         """
         ratios = list(ratios)
+        if len(ratios) != len(self.guards):
+            raise RatioError(
+                f"ratio vector has {len(ratios)} entries for {len(self.guards)} batteries"
+            )
         if not self.enforcing:
             return ratios
         factors = []

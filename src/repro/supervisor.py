@@ -6,7 +6,7 @@ fault parameter, a wedged process. :class:`RunSupervisor` wraps an
 emulation so none of those lose the run:
 
 * it arms periodic checkpointing (every N simulated seconds, atomic
-  ``repro.ckpt/v2`` snapshots — see :mod:`repro.checkpoint`);
+  ``repro.ckpt/v3`` snapshots — see :mod:`repro.checkpoint`);
 * it turns on strict invariants by default, so non-finite state raises a
   typed :class:`~repro.errors.InvariantViolation` at the offending step
   instead of corrupting hours of downstream bookkeeping;

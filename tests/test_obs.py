@@ -270,6 +270,7 @@ class TestScenarios:
             "phone-day",
             "chaos-tablet",
             "gauge-fault-tablet",
+            "tenants-tablet",
         }
 
     def test_unknown_scenario(self):

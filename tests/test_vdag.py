@@ -1,0 +1,289 @@
+"""Virtual-battery DAG: structure, rollups, contracts, ratio resolution."""
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core.vdag import (
+    DEFAULT_OVERDRAW_CHECKS,
+    AggregateBattery,
+    BatteryDAG,
+    PhysicalBattery,
+    SplitterBattery,
+    TenantContract,
+)
+from repro.errors import RatioError
+from repro.hardware import SDBMicrocontroller
+from repro.obs.tracer import Tracer
+
+
+def make_controller(socs=(0.8, 0.8), battery_id="B06"):
+    return SDBMicrocontroller([new_cell(battery_id, soc=s) for s in socs])
+
+
+def make_split_dag(n=2, contracts=None):
+    contracts = contracts or (
+        TenantContract("ui", reserved_fraction=0.5, claimed_w=3.0),
+        TenantContract("sync", reserved_fraction=0.2, claimed_w=1.0),
+    )
+    pack = AggregateBattery("pack", [PhysicalBattery(f"cell{i}", i) for i in range(n)])
+    return BatteryDAG(SplitterBattery("contracts", pack, contracts), n)
+
+
+class TestConstruction:
+    def test_trivial_dag_has_no_splitters(self):
+        dag = BatteryDAG.trivial(3)
+        assert dag.is_trivial
+        assert dag.node("pack").leaf_indices() == (0, 1, 2)
+
+    def test_split_dag_registers_every_node_by_name(self):
+        dag = make_split_dag()
+        for name in ("contracts", "pack", "cell0", "cell1", "ui", "sync"):
+            assert dag.node(name).name == name
+        assert not dag.is_trivial
+
+    def test_duplicate_node_names_rejected(self):
+        twins = AggregateBattery("pack", [PhysicalBattery("cell", 0), PhysicalBattery("cell", 1)])
+        with pytest.raises(ValueError, match="duplicate"):
+            BatteryDAG(twins, 2)
+
+    def test_leaves_must_cover_every_index(self):
+        sparse = AggregateBattery("pack", [PhysicalBattery("cell0", 0)])
+        with pytest.raises(ValueError, match="cover every battery index"):
+            BatteryDAG(sparse, 2)
+        doubled = AggregateBattery(
+            "pack", [PhysicalBattery("cell0", 0), PhysicalBattery("also0", 0)]
+        )
+        with pytest.raises(ValueError, match="cover every battery index"):
+            BatteryDAG(doubled, 2)
+
+    def test_node_reachable_twice_rejected(self):
+        shared = PhysicalBattery("cell0", 0)
+        root = AggregateBattery(
+            "pack", [AggregateBattery("a", [shared]), AggregateBattery("b", [shared])]
+        )
+        with pytest.raises(ValueError, match="reachable more than once"):
+            BatteryDAG(root, 1)
+
+    def test_contract_validation(self):
+        with pytest.raises(ValueError):
+            TenantContract("t", reserved_fraction=0.0, claimed_w=1.0)
+        with pytest.raises(ValueError):
+            TenantContract("t", reserved_fraction=1.5, claimed_w=1.0)
+        with pytest.raises(ValueError):
+            TenantContract("t", reserved_fraction=0.5, claimed_w=0.0)
+
+    def test_splitter_cannot_reserve_more_than_the_source(self):
+        pack = AggregateBattery("pack", [PhysicalBattery("cell0", 0)])
+        over = (
+            TenantContract("a", reserved_fraction=0.7, claimed_w=1.0),
+            TenantContract("b", reserved_fraction=0.5, claimed_w=1.0),
+        )
+        with pytest.raises(ValueError, match="more than the whole"):
+            SplitterBattery("s", pack, over)
+
+    def test_duplicate_tenant_names_rejected(self):
+        pack = AggregateBattery("pack", [PhysicalBattery("cell0", 0)])
+        twins = (
+            TenantContract("t", reserved_fraction=0.3, claimed_w=1.0),
+            TenantContract("t", reserved_fraction=0.3, claimed_w=1.0),
+        )
+        with pytest.raises(ValueError, match="duplicate tenant names"):
+            SplitterBattery("s", pack, twins)
+
+    def test_unknown_node_lookup(self):
+        dag = BatteryDAG.trivial(2)
+        with pytest.raises(KeyError, match="unknown battery node"):
+            dag.node("nope")
+        with pytest.raises(KeyError, match="not part of this DAG"):
+            dag.node(PhysicalBattery("cell0", 0))  # same name, foreign object
+
+
+class TestStatusRollup:
+    def test_aggregate_soc_is_capacity_weighted(self):
+        controller = make_controller(socs=(1.0, 0.5))
+        dag = BatteryDAG.trivial(2)
+        dag.bind(controller)
+        statuses = controller.query_status()
+        pack = dag.status("pack", statuses)
+        expected = sum(s.capacity_mah * s.soc for s in statuses) / sum(
+            s.capacity_mah for s in statuses
+        )
+        assert pack.soc == pytest.approx(expected)
+        assert pack.n_cells == 2
+        assert pack.capacity_mah == pytest.approx(sum(s.capacity_mah for s in statuses))
+
+    def test_tenant_status_reports_contract_view(self):
+        controller = make_controller()
+        dag = make_split_dag()
+        dag.bind(controller)
+        tenant = dag.node("ui")
+        tenant.consumed_j = 0.25 * tenant.reserved_j
+        status = dag.status("ui", controller.query_status())
+        assert status.kind == "tenant"
+        assert status.soc == pytest.approx(0.75)
+        assert status.claimed_w == 3.0
+        assert not status.throttled and not status.exhausted
+
+    def test_reserves_sized_from_source_energy_at_bind(self):
+        controller = make_controller()
+        dag = make_split_dag()
+        dag.bind(controller)
+        source = sum(cell.open_circuit_energy_j() for cell in controller.cells)
+        assert dag.node("ui").reserved_j == pytest.approx(0.5 * source)
+        assert dag.node("sync").reserved_j == pytest.approx(0.2 * source)
+
+
+class TestAccounting:
+    def setup_method(self):
+        self.controller = make_controller()
+        self.dag = make_split_dag()
+        self.dag.bind(self.controller)
+        self.tracer = Tracer()
+        self.dag._tracer_provider = lambda: self.tracer
+
+    def test_credit_integrates_claimed_minus_actual(self):
+        self.dag.account(0.0, 10.0, {"ui": 2.0, "sync": 1.0})
+        assert self.dag.node("ui").credit_j == pytest.approx((3.0 - 2.0) * 10.0)
+        assert self.dag.node("sync").credit_j == pytest.approx(0.0)
+
+    def test_overdraw_throttles_after_consecutive_samples(self):
+        sync = self.dag.node("sync")
+        for i in range(DEFAULT_OVERDRAW_CHECKS - 1):
+            admitted = self.dag.account(float(i), 1.0, {"ui": 1.0, "sync": 5.0})
+            assert admitted == pytest.approx(6.0)  # not throttled yet
+        assert not sync.throttled
+        admitted = self.dag.account(99.0, 1.0, {"ui": 1.0, "sync": 5.0})
+        assert sync.throttled
+        assert admitted == pytest.approx(1.0 + 1.0)  # capped at the claim
+        assert any(i.kind == "tenant-throttle" for i in self.dag.incidents)
+        assert self.tracer.counters["vdag.throttles"] >= 1
+
+    def test_one_clean_sample_resets_the_overdraw_streak(self):
+        sync = self.dag.node("sync")
+        for i in range(10):  # alternate over/under: never 3 consecutive
+            demand = 5.0 if i % 2 == 0 else 0.5
+            self.dag.account(float(i), 1.0, {"sync": demand})
+        assert not sync.throttled
+
+    def test_release_after_consecutive_clean_samples(self):
+        sync = self.dag.node("sync")
+        for i in range(DEFAULT_OVERDRAW_CHECKS):
+            self.dag.account(float(i), 1.0, {"sync": 5.0})
+        assert sync.throttled
+        for i in range(sync.contract.recovery_checks):
+            self.dag.account(10.0 + i, 1.0, {"sync": 0.5})
+        assert not sync.throttled
+        assert any(i.kind == "tenant-release" for i in self.dag.incidents)
+
+    def test_exhausted_tenant_admits_nothing(self):
+        sync = self.dag.node("sync")
+        dt = sync.reserved_j / 1.0  # one sample spends the whole reserve
+        self.dag.account(0.0, dt, {"sync": 1.0})
+        assert sync.remaining_j <= 1e-6
+        admitted = self.dag.account(dt, 1.0, {"sync": 1.0})
+        assert admitted == 0.0
+        assert sync.exhausted
+        assert not sync.dischargeable()
+        assert any(i.kind == "tenant-exhausted" for i in self.dag.incidents)
+
+    def test_final_sample_cannot_overshoot_the_reserve(self):
+        sync = self.dag.node("sync")
+        dt = sync.reserved_j  # demand 2 W for reserved_j seconds = 2x the reserve
+        self.dag.account(0.0, dt, {"sync": 1.0})
+        assert sync.consumed_j == pytest.approx(sync.reserved_j)
+
+    def test_unknown_tenant_demand_rejected(self):
+        with pytest.raises(KeyError, match="nobody"):
+            self.dag.account(0.0, 1.0, {"nobody": 1.0})
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            self.dag.account(0.0, 1.0, {"sync": -1.0})
+
+
+class TestRatioResolution:
+    def test_gate_passes_through_untouched_when_all_dischargeable(self):
+        dag = make_split_dag()
+        ratios = [0.3, 0.7]
+        assert dag.gate_ratios(ratios) == ratios
+
+    def test_gate_rejects_wrong_length(self):
+        dag = BatteryDAG.trivial(2)
+        with pytest.raises(RatioError):
+            dag.gate_ratios([1.0])
+
+    def test_exhausted_splitter_sheds_its_leaves(self):
+        inner = SplitterBattery(
+            "solo",
+            PhysicalBattery("cell0", 0),
+            (TenantContract("t", reserved_fraction=0.5, claimed_w=1.0),),
+        )
+        root = AggregateBattery("pack", [inner, PhysicalBattery("cell1", 1)])
+        dag = BatteryDAG(root, 2)
+        dag.node("t").exhausted = True
+        assert dag.gate_ratios([0.5, 0.5]) == pytest.approx([0.0, 1.0])
+
+    def test_all_gated_passes_original_through(self):
+        dag = make_split_dag()
+        for tenant in dag.splitters[0].tenants:
+            tenant.exhausted = True
+        assert dag.gate_ratios([0.4, 0.6]) == pytest.approx([0.4, 0.6])
+
+    def test_expand_distributes_by_usable_charge(self):
+        # A tenant has no children, so its one share spreads over the
+        # splitter's physical leaves proportionally to usable charge.
+        controller = make_controller(socs=(0.9, 0.3))
+        dag = make_split_dag()
+        dag.bind(controller)
+        expanded = dag.expand("ui", [1.0])
+        charges = [cell.usable_charge_c for cell in controller.cells]
+        total = sum(charges)
+        assert expanded == pytest.approx([c / total for c in charges])
+        assert sum(expanded) == pytest.approx(1.0)
+
+    def test_expand_physical_child_targets_its_index(self):
+        controller = make_controller()
+        pack = AggregateBattery(
+            "pack", [PhysicalBattery("cell0", 0), PhysicalBattery("cell1", 1)]
+        )
+        dag = BatteryDAG(pack, 2)
+        dag.bind(controller)
+        assert dag.expand("pack", [0.25, 0.75]) == pytest.approx([0.25, 0.75])
+
+    def test_expand_validates_child_count_and_sign(self):
+        controller = make_controller()
+        dag = BatteryDAG.trivial(2)
+        dag.bind(controller)
+        with pytest.raises(RatioError):
+            dag.expand("pack", [0.5])  # pack has two children, one per cell
+        with pytest.raises(RatioError):
+            dag.expand("pack", [-1.0, 2.0])
+
+
+class TestCaptureRestore:
+    def test_round_trip_preserves_tenant_state_and_incidents(self):
+        controller = make_controller()
+        dag = make_split_dag()
+        dag.bind(controller)
+        tracer = Tracer()
+        dag._tracer_provider = lambda: tracer
+        for i in range(DEFAULT_OVERDRAW_CHECKS):
+            dag.account(float(i), 1.0, {"ui": 1.0, "sync": 5.0})
+        saved = dag.capture()
+
+        fresh = make_split_dag()
+        fresh.bind(make_controller())
+        fresh.restore(saved)
+        for name in ("ui", "sync"):
+            a, b = dag.node(name), fresh.node(name)
+            assert (a.consumed_j, a.credit_j, a.throttled, a.exhausted) == (
+                b.consumed_j,
+                b.credit_j,
+                b.throttled,
+                b.exhausted,
+            )
+        assert [i.kind for i in fresh.incidents] == [i.kind for i in dag.incidents]
+
+    def test_signature_is_structural(self):
+        assert make_split_dag().signature() == make_split_dag().signature()
+        assert make_split_dag().signature() != BatteryDAG.trivial(2).signature()
