@@ -1,0 +1,329 @@
+#!/usr/bin/env python
+"""CI check: the serving front end degrades, fails fast, and recovers
+around a SIGKILLed shard worker — without ever mishandling a request.
+
+One in-process :class:`~repro.serve.ServingFleet` (one device per shard
+so the kill maps to exactly one served device), scripted HTTP traffic
+through the real ThreadingHTTPServer skin, and a real ``os.kill(pid,
+SIGKILL)`` of one shard's worker mid-traffic. Asserted:
+
+1. **degraded reads during the outage** — QueryBatteryStatus on the
+   killed shard's device keeps answering 200 from the status cache with
+   ``degraded: true`` and a growing ``stale_s``, while a healthy shard's
+   device still reads fresh;
+2. **fail-fast mutations** — SetCharge against the dead shard times out
+   at its deadline (504) until the circuit breaker opens, then is
+   rejected immediately (503 + Retry-After) instead of burning the
+   deadline budget;
+3. **recovery** — the supervisor restarts the worker, a half-open probe
+   closes the breaker, mutations succeed again, and reads return fresh;
+4. **zero unhandled errors** — every admitted in-deadline request gets a
+   typed JSON answer; HTTP 500 or a non-JSON body anywhere fails the
+   check;
+5. the breaker's closed -> open -> half_open -> closed lifecycle is
+   visible as ``serve.breaker`` events in the exported JSONL trace.
+
+Artifacts (trace + summary JSON) are left in ``--out`` for upload. See
+docs/serving.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import signal
+import sys
+import time
+import urllib.error
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import units  # noqa: E402
+from repro.fleet import FleetSpec, FleetSupervisor, parse_population  # noqa: E402
+from repro.obs import Tracer, export  # noqa: E402
+from repro.retry import RetryPolicy  # noqa: E402
+from repro.serve import ServeBridge, ServeConfig, ServingFleet  # noqa: E402
+
+#: One device per shard: the SIGKILL maps to exactly one served device,
+#: and the other shard stays up as the isolation witness.
+POPULATION = "watch-day=2"
+SHARDS = 2
+#: A full simulated day at a 10 ms step is minutes of emulation work per
+#: device on any machine: every device stays mid-flight for the whole
+#: (short) wall-clock life of this check, and ``stop()`` cancels the
+#: remainder.
+DURATION_H = 24.0
+DT_S = 0.01
+
+#: Counted across every scripted request; any 500 fails the check.
+http_counts: dict = {}
+unhandled: list = []
+
+
+def http_json(url: str, body: dict = None, timeout: float = 5.0):
+    """GET/POST one JSON request; every answer must parse as JSON."""
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"} if data else {}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            status, raw = resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        status, raw = exc.code, exc.read()
+    http_counts[status] = http_counts.get(status, 0) + 1
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError:
+        unhandled.append(f"non-JSON body from {url} (HTTP {status})")
+        payload = {}
+    if status == 500:
+        unhandled.append(f"HTTP 500 from {url}: {payload.get('message')}")
+    return status, payload
+
+
+def wait_for(what: str, predicate, deadline_s: float = 60.0, every_s: float = 0.1):
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline_s:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(every_s)
+    raise SystemExit(f"timed out after {deadline_s:.0f} s waiting for {what}")
+
+
+def shard_state(base: str, shard: int) -> dict:
+    _, health = http_json(f"{base}/healthz")
+    for entry in health.get("shards", ()):
+        if entry["shard"] == shard:
+            return entry
+    raise SystemExit(f"shard {shard} missing from /healthz")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="serve-chaos", help="artifact directory")
+    args = parser.parse_args()
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    # A fresh run every time: a stale checkpoint dir would mark devices
+    # completed before the scripted traffic ever reaches them.
+    shutil.rmtree(out_dir / "serve.ckpt.d", ignore_errors=True)
+
+    spec = FleetSpec(
+        population=parse_population(POPULATION),
+        seed=11,
+        duration_s=DURATION_H * units.SECONDS_PER_HOUR,
+        dt_s=DT_S,
+    )
+    tracer = Tracer()
+    supervisor = FleetSupervisor(
+        spec,
+        str(out_dir / "serve.ckpt.d"),
+        n_shards=SHARDS,
+        # Explicit: the default caps at os.cpu_count(), which would leave
+        # shards waiting (and never "healthy") on single-core CI runners.
+        max_workers=SHARDS,
+        # A real restart delay: with an instant relaunch the outage would
+        # be over before the breaker (2 failures at 0.4 s deadlines) ever
+        # opens, and the degraded-read window would be unobservable.
+        retry=RetryPolicy(max_restarts=3, base_delay_s=4.0, heartbeat_deadline_s=5.0),
+        checkpoint_every_s=3600.0,
+        heartbeat_every_s=0.2,
+        tracer=tracer,
+        bridge=ServeBridge(),
+    )
+    serving = ServingFleet(
+        supervisor,
+        config=ServeConfig(
+            capacity=32,
+            default_timeout_s=1.0,
+            stale_after_s=1.0,
+            breaker_failures=2,
+            breaker_reset_s=1.0,
+        ),
+        tracer=tracer,
+    )
+    serving.start()
+    base = serving.address
+    print(f"[serve] answering on {base}", flush=True)
+
+    try:
+        # ---- baseline: everything boots, reads go fresh, writes land ----
+        wait_for(
+            "all shards healthy",
+            lambda: all(
+                s["healthy"] for s in http_json(f"{base}/healthz")[1]["shards"]
+            ),
+        )
+        _, roster = http_json(f"{base}/v1/devices")
+        devices = roster["devices"]
+        if len(devices) != SHARDS:
+            raise SystemExit(f"expected {SHARDS} devices, got {devices}")
+        target_shard = 0
+        target = shard_state(base, target_shard)
+        victim_device = next(
+            d for d in devices if serving.bridge.shard_for(d) == target_shard
+        )
+        witness_device = next(
+            d for d in devices if serving.bridge.shard_for(d) != target_shard
+        )
+        for device in (victim_device, witness_device):
+            wait_for(
+                f"a fresh read of {device}",
+                lambda d=device: (
+                    lambda payload: payload.get("ok") and not payload.get("degraded")
+                )(http_json(f"{base}/v1/status/{d}")[1]),
+            )
+        status, payload = http_json(
+            f"{base}/v1/charge/{victim_device}", {"ratios": [0.5, 0.5]}
+        )
+        if status != 200 or not payload.get("ok"):
+            raise SystemExit(f"baseline SetCharge failed: HTTP {status} {payload}")
+        print(
+            f"[baseline] {len(devices)} devices fresh; SetCharge on "
+            f"{victim_device} ok",
+            flush=True,
+        )
+
+        # ---- outage: SIGKILL shard 0's worker mid-traffic ----
+        pid = target["pid"]
+        os.kill(pid, signal.SIGKILL)
+        print(f"[outage] SIGKILLed shard {target_shard} worker (pid {pid})", flush=True)
+
+        degraded_reads = 0
+        timeouts = 0
+        fast_fails = 0
+
+        def breaker_open() -> bool:
+            nonlocal degraded_reads, timeouts, fast_fails
+            # Mutations against the dead shard: 504 at the deadline while
+            # the breaker counts failures, then instant 503 once open.
+            status, payload = http_json(
+                f"{base}/v1/charge/{victim_device}",
+                {"ratios": [0.5, 0.5], "timeout_s": 0.4},
+            )
+            if status == 504:
+                timeouts += 1
+            elif status == 503 and payload.get("error") == "unavailable":
+                fast_fails += 1
+            # Reads keep answering from the cache, flagged degraded.
+            status, payload = http_json(f"{base}/v1/status/{victim_device}")
+            if status == 200 and payload.get("ok") and payload.get("degraded"):
+                degraded_reads += 1
+            return shard_state(base, target_shard)["breaker"]["state"] == "open"
+
+        wait_for("the circuit breaker to open", breaker_open, deadline_s=30.0)
+        if timeouts < 1:
+            raise SystemExit("breaker opened without any observed 504 deadline miss")
+        t0 = time.monotonic()
+        status, payload = http_json(
+            f"{base}/v1/charge/{victim_device}", {"ratios": [0.5, 0.5], "timeout_s": 5.0}
+        )
+        fast_fail_s = time.monotonic() - t0
+        if status != 503 or payload.get("error") != "unavailable":
+            raise SystemExit(f"open breaker did not fail fast: HTTP {status} {payload}")
+        if not payload.get("retryable") or payload.get("retry_after_s") is None:
+            raise SystemExit(f"fail-fast answer is not retryable advice: {payload}")
+        if fast_fail_s > 1.0:
+            raise SystemExit(f"fail-fast took {fast_fail_s:.2f} s — burned the deadline")
+        fast_fails += 1
+        status, payload = http_json(f"{base}/v1/status/{victim_device}")
+        if status == 200 and payload.get("ok") and payload.get("degraded"):
+            degraded_reads += 1
+        if degraded_reads < 1:
+            raise SystemExit("no degraded (stale-flagged) reads during the outage")
+        status, payload = http_json(f"{base}/v1/status/{witness_device}")
+        if status != 200 or not payload.get("ok"):
+            raise SystemExit(
+                f"healthy shard's read failed during the outage: HTTP {status}"
+            )
+        print(
+            f"[outage] {degraded_reads} degraded read(s), {timeouts} deadline "
+            f"miss(es), {fast_fails} fast-fail(s), fail-fast in {fast_fail_s*1000:.0f} ms",
+            flush=True,
+        )
+
+        # ---- recovery: restart, half-open probe, breaker closes ----
+        def recovered() -> bool:
+            status, payload = http_json(
+                f"{base}/v1/charge/{victim_device}",
+                {"ratios": [0.5, 0.5], "timeout_s": 1.0},
+            )
+            return status == 200 and payload.get("ok")
+
+        wait_for("SetCharge to succeed again", recovered, deadline_s=60.0, every_s=0.3)
+        wait_for(
+            "the breaker to close and the shard to report healthy",
+            lambda: (
+                lambda s: s["healthy"] and s["breaker"]["state"] == "closed"
+            )(shard_state(base, target_shard)),
+            deadline_s=30.0,
+        )
+        wait_for(
+            f"a fresh post-recovery read of {victim_device}",
+            lambda: (
+                lambda payload: payload.get("ok") and not payload.get("degraded")
+            )(http_json(f"{base}/v1/status/{victim_device}")[1]),
+            deadline_s=30.0,
+        )
+        print("[recovery] worker restarted, breaker closed, reads fresh again", flush=True)
+    finally:
+        serving.stop()
+
+    # ---- the contract on every answer: typed JSON, never a 500 ----
+    if unhandled:
+        for line in unhandled:
+            print(f"[unhandled] {line}", file=sys.stderr)
+        raise SystemExit(f"{len(unhandled)} unhandled error(s) across scripted traffic")
+
+    # ---- the breaker lifecycle must be visible in the JSONL trace ----
+    trace_path = out_dir / "serve-chaos.trace.jsonl"
+    export.write_jsonl(tracer, trace_path)
+    records = [
+        json.loads(line)
+        for line in trace_path.read_text().splitlines()
+        if line.strip()
+    ]
+    transitions = [
+        (r["fields"]["from_state"], r["fields"]["to_state"])
+        for r in records
+        if r.get("name") == "serve.breaker" and r["fields"]["shard"] == 0
+    ]
+    for leg in (("closed", "open"), ("open", "half_open"), ("half_open", "closed")):
+        if leg not in transitions:
+            raise SystemExit(
+                f"breaker transition {leg[0]} -> {leg[1]} missing from the trace "
+                f"(saw {transitions})"
+            )
+    restarts = [r for r in records if r.get("name") == "fleet.restart"]
+    if not restarts:
+        raise SystemExit("no fleet.restart recovery event in the trace")
+
+    summary = {
+        "devices": devices,
+        "victim_device": victim_device,
+        "killed_pid": pid,
+        "http_status_counts": {str(k): v for k, v in sorted(http_counts.items())},
+        "degraded_reads": degraded_reads,
+        "deadline_misses": timeouts,
+        "breaker_fast_fails": fast_fails,
+        "breaker_transitions": transitions,
+        "worker_restarts": len(restarts),
+    }
+    (out_dir / "serve-chaos.summary.json").write_text(json.dumps(summary, indent=2))
+    print(
+        f"serve chaos check passed: {sum(http_counts.values())} requests, "
+        f"statuses {summary['http_status_counts']}, breaker {transitions}",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

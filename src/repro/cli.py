@@ -15,6 +15,7 @@ Usage::
     python -m repro replay watch.replay.json
     python -m repro fleet watch-day --devices 200 --shards 8
     python -m repro fleet watch-day=100,phone-day=50 --chaos kill-worker
+    python -m repro serve watch-day --devices 8 --port 8464
     python -m repro sweep --scenarios tablet-day --policies even-split,proportional --seeds 32
 
 ``run`` prints each experiment's tables and optionally writes them to a
@@ -31,7 +32,11 @@ a recorded manifest and verifies bit-exact reproduction — see
 ``docs/checkpointing.md``. ``fleet`` runs a sharded multi-device
 population under the fault-tolerant fleet supervisor (worker processes,
 heartbeats, retry/backoff, shard quarantine) and prints fleet rollups —
-see ``docs/fleet.md``. ``sweep`` executes a scenario x policy x seed
+see ``docs/fleet.md``. ``serve`` exposes the paper's four SDB calls as
+an HTTP service over a live fleet run — per-request deadlines, bounded
+admission with 429 backpressure, per-shard circuit breakers, and
+cache-backed degraded reads (see ``docs/serving.md``). ``sweep``
+executes a scenario x policy x seed
 grid through the batched run-axis kernel — one NumPy kernel advancing
 every eligible run at once — and prints the grid rollup with aggregate
 ``runs_per_s`` (see ``docs/performance.md``).
@@ -538,6 +543,118 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the SDB API (the paper's four calls) over a live fleet run.
+
+    Starts the fault-tolerant fleet engine with a serving bridge
+    attached and answers HTTP on ``--host``/``--port`` until the fleet
+    run completes (or Ctrl-C): cache-backed QueryBatteryStatus with
+    explicit staleness, deadline-bounded mutations with per-shard
+    circuit breakers, and 429 backpressure under overload — see
+    ``docs/serving.md``.
+
+    Exit contract: 0 — fleet completed with full coverage; 1 — degraded
+    (quarantined shards, failed devices, or an interrupted run); 2 —
+    unusable configuration.
+    """
+    from repro.errors import FleetError, ServeError
+    from repro.fleet import ChaosSpec, FleetSpec, FleetSupervisor, parse_population
+    from repro.retry import RetryPolicy
+    from repro.serve import ServeBridge, ServeConfig, ServingFleet
+
+    try:
+        if args.duration_h <= 0:
+            raise FleetError("--duration-h must be positive")
+        if args.dt <= 0:
+            raise FleetError("--dt must be positive")
+        population = parse_population(args.population, default_count=args.devices)
+        spec = FleetSpec(
+            population=population,
+            seed=args.seed,
+            duration_s=args.duration_h * units.SECONDS_PER_HOUR,
+            dt_s=args.dt,
+            engine=args.engine,
+            protection=args.protection,
+        )
+        retry = RetryPolicy(
+            max_restarts=args.max_restarts,
+            base_delay_s=args.base_delay_s,
+            heartbeat_deadline_s=args.heartbeat_deadline_s,
+            boot_deadline_s=args.boot_deadline_s,
+        )
+        chaos = None
+        if args.chaos is not None:
+            chaos = ChaosSpec(
+                mode=args.chaos,
+                kills=args.chaos_kills,
+                target_shard=args.chaos_target,
+            )
+        serve_config = ServeConfig(
+            capacity=args.capacity,
+            retry_after_s=args.retry_after_s,
+            default_timeout_s=args.default_timeout_s,
+            max_timeout_s=args.max_timeout_s,
+            stale_after_s=args.stale_after_s,
+            breaker_failures=args.breaker_failures,
+            breaker_reset_s=args.breaker_reset_s,
+        )
+        supervisor_kwargs = dict(
+            n_shards=args.shards,
+            max_workers=args.workers,
+            retry=retry,
+            checkpoint_every_s=args.every_h * units.SECONDS_PER_HOUR,
+            heartbeat_every_s=args.heartbeat_every_s,
+            chaos=chaos,
+            bridge=ServeBridge(),
+        )
+    except (FleetError, ServeError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    tracer = None
+    trace_out: Optional[pathlib.Path] = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        trace_out = pathlib.Path(args.trace)
+        tracer = Tracer()
+
+    checkpoint_dir = args.checkpoint_dir or "fleet.ckpt.d"
+    try:
+        supervisor = FleetSupervisor(spec, checkpoint_dir, tracer=tracer, **supervisor_kwargs)
+    except FleetError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    serving_kwargs = dict(host=args.host, port=args.port, config=serve_config)
+    if tracer is not None:
+        serving_kwargs["tracer"] = tracer
+    serving = ServingFleet(supervisor, **serving_kwargs)
+    try:
+        serving.start()
+    except ServeError as exc:
+        print(str(exc), file=sys.stderr)
+        serving.stop()
+        return 2
+    print(f"serving SDB API at {serving.address} (Ctrl-C to stop)")
+    interrupted = False
+    try:
+        serving.wait()
+    except KeyboardInterrupt:
+        interrupted = True
+        print("interrupted; winding the fleet down", file=sys.stderr)
+    result = serving.stop()
+    if result is not None:
+        print(result.summary())
+    if tracer is not None:
+        status = _export_trace(tracer, args.trace_format, trace_out)
+        if status != 0:
+            return status
+    if result is None or interrupted:
+        return 1
+    return result.exit_code
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a batched parameter sweep over a scenario x policy x seed grid.
 
@@ -929,6 +1046,180 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace output format (default: jsonl)",
     )
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the SDB API over a live fleet run: deadline-bounded "
+        "HTTP front end with backpressure, circuit breakers, and "
+        "cache-backed degraded reads",
+    )
+    p_serve.add_argument(
+        "population",
+        help="fleet scenario (watch-day, phone-day, tablet-day) sized by "
+        "--devices, or an explicit mix like 'watch-day=100,phone-day=50'",
+    )
+    p_serve.add_argument(
+        "--devices",
+        type=int,
+        default=16,
+        help="device count for a bare scenario name (default 16)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=4, help="shards to plan (default 4)"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="concurrent worker processes (default: min(shards, cpu count))",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=0, help="fleet seed (default 0)"
+    )
+    p_serve.add_argument(
+        "--duration-h",
+        type=float,
+        default=24.0,
+        help="simulated hours per device (default 24)",
+    )
+    p_serve.add_argument(
+        "--dt", type=float, default=60.0, help="emulation step in seconds (default 60)"
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="emulation engine for every device run (default: reference)",
+    )
+    p_serve.add_argument(
+        "--protection",
+        choices=PROTECTION_MODES,
+        default="off",
+        help="battery protection mode armed on every device (default: off)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir",
+        help="shard/device checkpoint directory (default: fleet.ckpt.d)",
+    )
+    p_serve.add_argument(
+        "--every-h",
+        type=float,
+        default=1.0,
+        help="per-device checkpoint cadence in simulated hours (default 1)",
+    )
+    p_serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="per-shard restart budget before quarantine (default 3)",
+    )
+    p_serve.add_argument(
+        "--base-delay-s",
+        type=float,
+        default=0.5,
+        help="base restart backoff delay in seconds (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-deadline-s",
+        type=float,
+        default=10.0,
+        help="wall seconds of worker silence (measured from its first "
+        "heartbeat) before it is declared dead (default 10)",
+    )
+    p_serve.add_argument(
+        "--boot-deadline-s",
+        type=float,
+        default=None,
+        help="wall seconds a freshly launched worker gets to produce its "
+        "first heartbeat (default: 6x the heartbeat deadline)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-every-s",
+        type=float,
+        default=0.5,
+        help="worker heartbeat (and status-publish) cadence in wall "
+        "seconds — the serving cache's sample period (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        choices=("kill-worker", "stall-worker"),
+        default=None,
+        help="fleet-level fault injection while serving (see 'repro fleet')",
+    )
+    p_serve.add_argument(
+        "--chaos-kills", type=int, default=1, help="chaos attempts (default 1)"
+    )
+    p_serve.add_argument(
+        "--chaos-target", type=int, default=0, help="chaos target shard (default 0)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8464,
+        help="bind port; 0 picks a free one (default 8464)",
+    )
+    p_serve.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="admission queue size: concurrently in-flight requests "
+        "before oldest-deadline-first shedding (default 64)",
+    )
+    p_serve.add_argument(
+        "--retry-after-s",
+        type=float,
+        default=0.5,
+        help="backpressure hint handed to shed callers (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--default-timeout-s",
+        type=float,
+        default=2.0,
+        help="deadline budget for requests that name none (default 2)",
+    )
+    p_serve.add_argument(
+        "--max-timeout-s",
+        type=float,
+        default=30.0,
+        help="ceiling on client-requested deadline budgets (default 30)",
+    )
+    p_serve.add_argument(
+        "--stale-after-s",
+        type=float,
+        default=3.0,
+        help="cache age beyond which status reads are answered degraded "
+        "(default 3; pick a small multiple of --heartbeat-every-s)",
+    )
+    p_serve.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        help="consecutive transport failures tripping a shard's circuit "
+        "breaker open (default 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-reset-s",
+        type=float,
+        default=2.0,
+        help="seconds an open breaker holds before its half-open probe "
+        "(default 2)",
+    )
+    p_serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable structured tracing of serve.* and fleet.* events and "
+        "write the log to PATH",
+    )
+    p_serve.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace output format (default: jsonl)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_sweep = sub.add_parser(
         "sweep",

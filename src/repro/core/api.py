@@ -32,6 +32,16 @@ from repro.hardware.microcontroller import SDBMicrocontroller, TransferReport
 class SDBApi:
     """The OS <-> microcontroller command surface.
 
+    Thread safety: this class is the bare wire protocol and performs no
+    locking. Each individual controller command installs its vector
+    atomically (a single reference assignment after validation), but
+    call *sequences* — and any interleaving with a ticking
+    :class:`~repro.core.runtime.SDBRuntime` — must be serialized by the
+    caller, normally by holding ``runtime.lock`` (see the runtime's
+    thread-safety contract). The fleet serving path
+    (:mod:`repro.serve`) does exactly that via the runtime's
+    ``apply_*`` methods.
+
     Args:
         controller: the SDB microcontroller being commanded.
         transfer_step_s: integration step used to realize the time-boxed

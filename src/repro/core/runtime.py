@@ -15,6 +15,7 @@ rest of the OS influences it only through the two directive parameters and
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Sequence
@@ -75,6 +76,18 @@ class RatioDecision:
 
 class SDBRuntime:
     """OS-side scheduler: policies in, ratio vectors out.
+
+    Thread safety: a runtime may be ticked by an emulation loop while
+    other threads (the fleet serving path, a heartbeat snapshotter)
+    issue SDB calls against the same controller. The runtime serializes
+    its own compound read-modify-write sequences — :meth:`tick`,
+    :meth:`query_status`, and the external command surface
+    (:meth:`apply_charge` / :meth:`apply_discharge` /
+    :meth:`apply_profile`) — behind :attr:`lock`, a reentrant lock.
+    :class:`~repro.core.api.SDBApi` itself performs **no** locking (it is
+    the bare wire protocol); a thread bypassing the runtime to call the
+    api/controller directly while another thread may be ticking must
+    hold ``runtime.lock`` around the call.
 
     Args:
         controller: the SDB microcontroller (wrapped in an :class:`SDBApi`).
@@ -144,6 +157,10 @@ class SDBRuntime:
             # emulator propagates an enabled tracer onto the runtime
             # after construction, and DAG events must follow it.
             dag.bind(controller, lambda: self.tracer)
+        #: Serializes tick/query/apply_* against each other across threads
+        #: (see the class docstring's thread-safety contract). Reentrant so
+        #: locked helpers can compose.
+        self.lock = threading.RLock()
         self._last_update_t: Optional[float] = None
         self._last_profile_directive: Optional[float] = None
         self.ratio_updates = 0
@@ -284,6 +301,9 @@ class SDBRuntime:
         last-good ratio vectors, quarantines implausible batteries, and
         logs an :class:`~repro.core.health.Incident` for each deviation.
 
+        Serialized behind :attr:`lock` against :meth:`query_status` and
+        the ``apply_*`` external command surface.
+
         Args:
             t: current simulation time, seconds.
             load_w: present system load (discharge side).
@@ -296,6 +316,10 @@ class SDBRuntime:
             ratios (the attempt is still recorded in :attr:`history`
             with ``installed=False``).
         """
+        with self.lock:
+            return self._tick_locked(t, load_w, external_w)
+
+    def _tick_locked(self, t: float, load_w: float, external_w: float) -> bool:
         if self._last_update_t is not None and t - self._last_update_t < self.update_interval_s:
             # A charging directive set between ticks (directly on the
             # policy, without force_update) must still reselect charge
@@ -421,9 +445,72 @@ class SDBRuntime:
         name) the response is the rolled-up
         :class:`~repro.core.vdag.NodeStatus` for that virtual battery.
         """
-        if node is not None:
-            return self.api.QueryBatteryStatus(node=node)
-        statuses = self.api.QueryBatteryStatus()
+        with self.lock:
+            if node is not None:
+                return self.api.QueryBatteryStatus(node=node)
+            statuses = self.api.QueryBatteryStatus()
+            if self.protection is not None:
+                statuses = self.protection.annotate(statuses)
+            return statuses
+
+    # ------------------------------------------------------------------ #
+    # External command surface (the serving path)
+    # ------------------------------------------------------------------ #
+
+    def _filtered(self, ratios: Sequence[float]) -> List[float]:
+        """Route an externally supplied ratio vector through the same
+        gates a tick's policy output passes: DAG exhaustion shedding,
+        health quarantine, protection derates. Raises
+        :class:`~repro.errors.RatioError` on a malformed vector."""
+        ratios = list(ratios)
+        if self.dag is not None:
+            ratios = self.dag.gate_ratios(ratios)
+        if self.health is not None:
+            ratios = self.health.filter_ratios(ratios, n=self.controller.n)
         if self.protection is not None:
-            statuses = self.protection.annotate(statuses)
-        return statuses
+            ratios = self.protection.filter_ratios(ratios)
+        return ratios
+
+    def apply_discharge(self, ratios: Sequence[float], t: float = 0.0) -> bool:
+        """Install a discharge ratio vector on behalf of an external caller.
+
+        The serving front end's ``SetDischarge``: the vector passes the
+        same DAG/health/protection gates as policy output, then pushes
+        with the usual transient-loss retries. Returns True when the
+        vector landed on the controller; False when retries were
+        exhausted (resilient mode). :class:`~repro.errors.RatioError`
+        (a malformed vector — the caller's bug) always propagates.
+        """
+        with self.lock:
+            filtered = self._filtered(ratios)
+            if self._push(self.api.Discharge, filtered, t, "discharge"):
+                self._last_good_discharge = list(filtered)
+                return True
+            return False
+
+    def apply_charge(self, ratios: Sequence[float], t: float = 0.0) -> bool:
+        """Install a charge ratio vector on behalf of an external caller.
+
+        ``SetCharge`` over the serving path; same contract as
+        :meth:`apply_discharge`.
+        """
+        with self.lock:
+            filtered = self._filtered(ratios)
+            if self._push(self.api.Charge, filtered, t, "charge"):
+                self._last_good_charge = list(filtered)
+                return True
+            return False
+
+    def apply_profile(self, profile, battery_index: Optional[int] = None) -> None:
+        """Select a charging profile on behalf of an external caller.
+
+        ``SelectChargingProfile`` over the serving path: one battery when
+        ``battery_index`` is given, every battery otherwise (the serving
+        granularity is a whole device).
+        """
+        with self.lock:
+            if battery_index is not None:
+                self.api.SelectProfile(battery_index, profile)
+                return
+            for index in range(self.controller.n):
+                self.api.SelectProfile(index, profile)

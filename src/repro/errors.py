@@ -96,6 +96,17 @@ class FleetError(SDBError):
     *quarantined* and reported, not raised."""
 
 
+class ServeError(SDBError):
+    """The battery-service front end could not be configured or started.
+
+    Raised for unusable serve configurations (bad queue capacity,
+    non-positive deadlines, a port that cannot bind). A single *request*
+    that fails is never raised through this type — request failures are
+    typed wire responses (see :mod:`repro.serve.protocol`) with an
+    explicit retryable / non-retryable distinction, because at the
+    service boundary failure is an answer, not an exception."""
+
+
 class ReplayMismatch(SDBError):
     """A replayed run failed to reproduce its manifest's recorded results."""
 

@@ -10,7 +10,11 @@ every way a worker can die:
   dataclass :class:`~repro.supervisor.RunSupervisor` tunes with);
 * **silence** — a worker whose heartbeats stop for
   ``retry.heartbeat_deadline_s`` wall seconds is declared wedged,
-  SIGKILLed, and restarted the same way;
+  SIGKILLed, and restarted the same way. The silence clock starts at the
+  worker's *first heartbeat*, not at launch — spawn + interpreter import
+  time is charged against a separate, more generous boot deadline
+  (``retry.effective_boot_deadline_s``), so a tight liveness deadline
+  cannot misfire on a slow cold start;
 * **exhaustion** — a shard that burns its whole retry budget is
   *quarantined*: its already-completed devices (recovered from the
   last-good shard checkpoint) stay in the results, its remaining devices
@@ -34,6 +38,7 @@ import multiprocessing
 import os
 import queue as queue_mod
 import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -110,6 +115,8 @@ class _ShardState:
         "attempts",
         "proc",
         "last_beat",
+        "launched_t",
+        "booted",
         "next_start",
         "devices_done",
         "steps",
@@ -122,6 +129,11 @@ class _ShardState:
         self.attempts = 0
         self.proc = None
         self.last_beat = 0.0
+        #: When the current attempt's process was started (boot clock).
+        self.launched_t = 0.0
+        #: True once the current attempt's first heartbeat arrived; the
+        #: silence clock only runs from there.
+        self.booted = False
         self.next_start = 0.0
         self.devices_done = 0
         self.steps = 0
@@ -189,6 +201,12 @@ class FleetSupervisor:
         heartbeat_every_s: worker heartbeat cadence in wall seconds.
         chaos: optional :class:`ChaosSpec` fault injection.
         tracer: observability sink (default: the process default).
+        bridge: optional :class:`~repro.serve.bridge.ServeBridge`. When
+            set, the supervisor creates the serving queue pair, hands it
+            to every worker attempt, pushes shard health into the bridge
+            on every loop pass, and forwards heartbeat-carried battery
+            statuses into its cache — turning the run into a servable
+            fleet.
     """
 
     def __init__(
@@ -203,6 +221,7 @@ class FleetSupervisor:
         heartbeat_every_s: float = 0.5,
         chaos: Optional[ChaosSpec] = None,
         tracer: Optional[Tracer] = None,
+        bridge=None,
     ):
         if checkpoint_every_s <= 0:
             raise FleetError("checkpoint_every_s must be positive")
@@ -221,9 +240,15 @@ class FleetSupervisor:
         self.heartbeat_every_s = float(heartbeat_every_s)
         self.chaos = chaos
         self.tracer = tracer if tracer is not None else get_default_tracer()
+        self.bridge = bridge
         #: Seeded jitter stream: restart delays are reproducible per fleet seed.
         self._jitter_rng = resolve_rng(spec.seed)
         self._t0 = 0.0
+        #: Serving queue pair (created in run() when a bridge is attached).
+        self._request_queues: Dict[int, object] = {}
+        self._response_queue = None
+        #: Graceful early stop (request_stop()), distinct from worker death.
+        self._stop_requested = threading.Event()
 
     # ------------------------------------------------------------------ #
     # Trace helpers (timestamps = wall seconds since the fleet started)
@@ -253,24 +278,53 @@ class FleetSupervisor:
         )
         if self.chaos is not None and state.plan.shard_id == self.chaos.target_shard:
             config["chaos"] = self.chaos.to_dict()
+        if self.bridge is not None:
+            # Every attempt gets a fresh request queue: a worker SIGKILLed
+            # inside Queue.get() dies holding the reader lock, and a
+            # replacement sharing that queue would block on it forever.
+            stale = self._request_queues.get(state.plan.shard_id)
+            fresh = ctx.Queue()
+            self._request_queues[state.plan.shard_id] = fresh
+            self.bridge.rebind_queue(state.plan.shard_id, fresh)
+            if stale is not None:
+                stale.cancel_join_thread()
+                stale.close()
         proc = ctx.Process(
             target=worker_mod.worker_main,
-            args=(state.plan.to_dict(), config, heartbeats, stop),
+            args=(
+                state.plan.to_dict(),
+                config,
+                heartbeats,
+                stop,
+                self._request_queues.get(state.plan.shard_id),
+                self._response_queue,
+            ),
             name=f"fleet-shard-{state.plan.shard_id}",
         )
         proc.start()
         state.proc = proc
         state.status = _RUNNING
-        # The deadline clock starts at launch; spawn + import time counts
-        # against it, so deadlines must comfortably exceed interpreter
-        # startup (the default 10 s does).
-        state.last_beat = time.monotonic()
+        # The silence clock starts at the first heartbeat *received from
+        # this attempt's pid* — until then the attempt is "booting" and
+        # only the (more generous) boot deadline applies, so spawn +
+        # interpreter import time cannot eat the liveness budget.
+        state.launched_t = time.monotonic()
+        state.last_beat = state.launched_t
+        state.booted = False
         self._event(
             "fleet.worker_start",
             shard=state.plan.shard_id,
             attempt=state.attempts,
             pid=proc.pid,
         )
+        if self.bridge is not None:
+            self.bridge.update_shard(
+                state.plan.shard_id,
+                status=_RUNNING,
+                booted=False,
+                pid=proc.pid,
+                attempts=state.attempts,
+            )
 
     def _kill(self, state: _ShardState) -> None:
         proc = state.proc
@@ -280,7 +334,20 @@ class FleetSupervisor:
             os.kill(proc.pid, signal.SIGKILL)
         except (OSError, ProcessLookupError):
             pass
-        proc.join(timeout=10.0)
+        proc.join(timeout=self.retry.kill_join_timeout_s)
+        if proc.is_alive():
+            # SIGKILL is not refusable, so an unjoined process here means
+            # the kernel is holding it (uninterruptible sleep, dying
+            # cgroup, ...). Escalate to the trace — a zombie eating a
+            # worker slot is an operator problem, not a retry problem.
+            self.tracer.count("fleet.zombies")
+            self._event(
+                "fleet.zombie",
+                shard=state.plan.shard_id,
+                attempt=state.attempts,
+                pid=proc.pid,
+                waited_s=self.retry.kill_join_timeout_s,
+            )
 
     def _fail(self, state: _ShardState, reason: str) -> None:
         """A worker attempt died: retry with backoff, or quarantine."""
@@ -301,6 +368,8 @@ class FleetSupervisor:
             delay_s=delay,
             reason=reason,
         )
+        if self.bridge is not None:
+            self.bridge.update_shard(state.plan.shard_id, status=_WAITING, booted=False)
 
     def _quarantine(self, state: _ShardState, reason: str) -> None:
         state.status = _QUARANTINED
@@ -311,6 +380,10 @@ class FleetSupervisor:
             attempts=state.attempts,
             reason=reason,
         )
+        if self.bridge is not None:
+            self.bridge.update_shard(
+                state.plan.shard_id, status=_QUARANTINED, booted=False
+            )
 
     def _finalize_done(self, state: _ShardState) -> bool:
         """Validate a clean exit against the shard checkpoint's contents."""
@@ -329,11 +402,38 @@ class FleetSupervisor:
             attempts=state.attempts,
             devices=state.plan.n_devices,
         )
+        if self.bridge is not None:
+            self.bridge.update_shard(
+                state.plan.shard_id,
+                status=_DONE,
+                booted=False,
+                devices_done=state.plan.n_devices,
+            )
+            # Freeze anything the heartbeat stream never explicitly
+            # completed (e.g. the worker finished between beats).
+            completed = read_shard_completed(path)
+            for device in state.plan.devices:
+                if not self.bridge.cache.completed(device.device_id):
+                    metrics = completed.get(device.device_id)
+                    if metrics is not None and metrics.get("ok"):
+                        self.bridge.mark_completed(
+                            state.plan.shard_id, device.device_id
+                        )
         return True
 
     # ------------------------------------------------------------------ #
     # The main loop
     # ------------------------------------------------------------------ #
+
+    def request_stop(self) -> None:
+        """Ask the fleet to wind down gracefully (thread-safe).
+
+        Workers see the shared stop event, abort their in-flight device
+        at the next step boundary (its checkpoint stays durable), and
+        exit ``EXIT_CANCELLED``; the run returns with partial coverage.
+        This is how a serving front end tears the fleet down.
+        """
+        self._stop_requested.set()
 
     def run(self) -> FleetResult:
         """Drive every shard to ``done`` or ``quarantined``; never raise
@@ -343,6 +443,12 @@ class FleetSupervisor:
         heartbeats = ctx.Queue()
         stop = ctx.Event()
         states = {plan.shard_id: _ShardState(plan) for plan in self.plans}
+        if self.bridge is not None:
+            # Request queues are created per attempt in _launch (see the
+            # SIGKILL note there); bind starts with an empty mapping.
+            self._request_queues = {}
+            self._response_queue = ctx.Queue()
+            self.bridge.bind(self.plans, self._request_queues, self._response_queue)
         self._t0 = time.monotonic()
         self._event(
             "fleet.start",
@@ -354,6 +460,9 @@ class FleetSupervisor:
 
         try:
             while any(s.status in (_PENDING, _RUNNING, _WAITING) for s in states.values()):
+                if self._stop_requested.is_set():
+                    self._event("fleet.stop_requested")
+                    break
                 now = time.monotonic()
                 running = sum(1 for s in states.values() if s.status == _RUNNING)
                 for state in states.values():
@@ -370,9 +479,21 @@ class FleetSupervisor:
                 self._reap(states)
         finally:
             stop.set()
+            if self._stop_requested.is_set():
+                # Graceful wind-down: give workers a moment to notice the
+                # stop event and exit EXIT_CANCELLED with durable
+                # checkpoints before falling back to SIGKILL.
+                grace_deadline = time.monotonic() + 5.0
+                for state in states.values():
+                    if state.proc is not None and state.proc.is_alive():
+                        state.proc.join(
+                            timeout=max(0.0, grace_deadline - time.monotonic())
+                        )
             for state in states.values():
                 if state.proc is not None and state.proc.is_alive():
                     self._kill(state)
+            if self.bridge is not None:
+                self.bridge.close()
             heartbeats.close()
 
         return self._collect(states)
@@ -389,13 +510,62 @@ class FleetSupervisor:
             state = states.get(int(msg.get("shard", -1)))
             if state is None:
                 continue
+            # Beats from a *previous* attempt's pid (a straggler message
+            # queued before a kill) must not refresh the current
+            # attempt's liveness or mark it booted.
+            current_pid = state.proc.pid if state.proc is not None else None
+            if current_pid is not None and msg.get("pid") != current_pid:
+                continue
             state.last_beat = time.monotonic()
+            if not state.booted:
+                state.booted = True
+                self._event(
+                    "fleet.worker_booted",
+                    shard=state.plan.shard_id,
+                    attempt=state.attempts,
+                    boot_s=state.last_beat - state.launched_t,
+                )
             state.devices_done = int(msg.get("devices_done", state.devices_done))
             state.steps = int(msg.get("steps", state.steps))
+            if self.bridge is not None:
+                self.bridge.update_shard(
+                    state.plan.shard_id,
+                    beat=True,
+                    booted=True,
+                    devices_done=state.devices_done,
+                )
+                device_id = msg.get("device")
+                if msg.get("kind") == "device_done" and device_id is not None:
+                    self.bridge.mark_completed(
+                        state.plan.shard_id, device_id, msg.get("statuses") or None
+                    )
+                elif device_id is not None and msg.get("statuses"):
+                    self.bridge.publish_status(
+                        state.plan.shard_id, device_id, msg["statuses"]
+                    )
+
+    def _stall_reason(self, state: _ShardState, now: float) -> Optional[str]:
+        """Whether a running worker has breached its liveness deadline.
+
+        Before the first heartbeat only the boot deadline applies (spawn
+        and interpreter import time are not "silence"); afterwards the
+        heartbeat deadline runs from the last beat received.
+        """
+        if not state.booted:
+            boot_deadline = self.retry.effective_boot_deadline_s
+            if boot_deadline is not None and now - state.launched_t > boot_deadline:
+                return (
+                    f"boot deadline exceeded (no first heartbeat within "
+                    f"{boot_deadline:.1f} s of launch)"
+                )
+            return None
+        deadline = self.retry.heartbeat_deadline_s
+        if deadline is not None and now - state.last_beat > deadline:
+            return f"heartbeat deadline exceeded ({deadline:.1f} s of silence)"
+        return None
 
     def _reap(self, states: Dict[int, _ShardState]) -> None:
-        """Notice exits and heartbeat-deadline breaches; route to _fail."""
-        deadline = self.retry.heartbeat_deadline_s
+        """Notice exits and liveness-deadline breaches; route to _fail."""
         now = time.monotonic()
         for state in states.values():
             if state.status != _RUNNING:
@@ -418,18 +588,18 @@ class FleetSupervisor:
                     self._fail(state, "worker cancelled mid-run")
                 else:
                     self._fail(state, f"worker died (exit {code})")
-            elif deadline is not None and now - state.last_beat > deadline:
+                continue
+            stall = self._stall_reason(state, now)
+            if stall is not None:
                 self._event(
                     "fleet.worker_stalled",
                     shard=state.plan.shard_id,
                     attempt=state.attempts,
-                    silence_s=now - state.last_beat,
+                    booted=state.booted,
+                    silence_s=now - (state.last_beat if state.booted else state.launched_t),
                 )
                 self._kill(state)
-                self._fail(
-                    state,
-                    f"heartbeat deadline exceeded ({deadline:.1f} s of silence)",
-                )
+                self._fail(state, stall)
 
     # ------------------------------------------------------------------ #
     # Result assembly

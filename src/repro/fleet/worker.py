@@ -18,8 +18,19 @@ module fresh) and runs its devices sequentially. Durability is layered:
 
 Liveness is a daemon heartbeat thread: every ``heartbeat_every_s`` wall
 seconds it reports the shard's cumulative step count to the supervisor's
-queue. The emulation loop itself never blocks on the queue, so a slow or
-wedged supervisor cannot stall the physics.
+queue — and, when the in-flight device's runtime lock is uncontended, a
+JSON-safe snapshot of its battery statuses (the serving layer's status
+cache refreshes at exactly this cadence, the BatteryOS "sample period"
+pattern). The emulation loop itself never blocks on the queue, so a slow
+or wedged supervisor cannot stall the physics.
+
+Serving requests arrive on an optional per-shard request queue: a daemon
+*servicer* thread executes SetCharge / SetDischarge /
+SelectChargingProfile against the current device's
+:class:`~repro.core.runtime.SDBRuntime` (under its lock, interleaving
+safely with ticks) and answers on the shared response queue. Requests
+carry absolute wall-clock deadlines; one that is already blown is
+answered ``deadline_exceeded`` without touching the runtime.
 
 Chaos lives here too: when the supervisor arms ``kill-worker`` chaos for
 this shard and attempt, the worker SIGKILLs *itself* right after its
@@ -37,8 +48,9 @@ from typing import Dict, Optional
 
 from repro.checkpoint.format import read_checkpoint, write_checkpoint
 from repro.emulator.emulator import EmulationResult
-from repro.errors import CheckpointError, EmulationAborted, SDBError
+from repro.errors import CheckpointError, EmulationAborted, RatioError, SDBError
 from repro.fleet.spec import DeviceSpec, ShardPlan, build_device_emulator
+from repro.serve import protocol as serve_protocol
 
 __all__ = [
     "EXIT_OK",
@@ -151,6 +163,25 @@ def shard_is_done(path: str) -> bool:
         return False
 
 
+def _snapshot_statuses(emulator, *, timeout_s: float = 0.05):
+    """The in-flight device's statuses as wire dicts, or None.
+
+    Contends politely with the emulation loop: if the runtime lock is not
+    free within ``timeout_s`` this publish round is skipped — a status
+    snapshot is never worth stalling either the physics or a heartbeat.
+    """
+    if emulator is None:
+        return None
+    runtime = emulator.runtime
+    if not runtime.lock.acquire(timeout=timeout_s):
+        return None
+    try:
+        statuses = runtime.query_status()
+    finally:
+        runtime.lock.release()
+    return [serve_protocol.status_to_wire(status) for status in statuses]
+
+
 class _Heartbeat(threading.Thread):
     """Daemon thread streaming liveness to the supervisor's queue."""
 
@@ -162,19 +193,25 @@ class _Heartbeat(threading.Thread):
         self.every_s = float(every_s)
         self._halt = threading.Event()
 
-    def beat(self, kind: str = "heartbeat") -> None:
+    def beat(self, kind: str = "heartbeat", **extra) -> None:
         emulator = self.progress.get("emulator")
+        msg = {
+            "kind": kind,
+            "shard": self.shard_id,
+            "pid": os.getpid(),
+            "devices_done": self.progress.get("devices_done", 0),
+            "steps": self.progress.get("steps_base", 0)
+            + (emulator._steps_completed if emulator is not None else 0),
+        }
+        device_id = self.progress.get("device_id")
+        if device_id is not None and emulator is not None and "statuses" not in extra:
+            statuses = _snapshot_statuses(emulator)
+            if statuses is not None:
+                msg["device"] = device_id
+                msg["statuses"] = statuses
+        msg.update(extra)
         try:
-            self.queue.put_nowait(
-                {
-                    "kind": kind,
-                    "shard": self.shard_id,
-                    "pid": os.getpid(),
-                    "devices_done": self.progress.get("devices_done", 0),
-                    "steps": self.progress.get("steps_base", 0)
-                    + (emulator._steps_completed if emulator is not None else 0),
-                }
-            )
+            self.queue.put_nowait(msg)
         except Exception:  # noqa: BLE001 - a dead queue must not kill the physics
             pass
 
@@ -184,6 +221,147 @@ class _Heartbeat(threading.Thread):
 
     def stop(self) -> None:
         self._halt.set()
+
+
+class _Servicer(threading.Thread):
+    """Daemon thread executing serving requests against the live runtime.
+
+    Consumes wire dicts (see
+    :meth:`repro.serve.protocol.ServeRequest.to_wire`) from the shard's
+    request queue and answers every one on the shared response queue —
+    a typed error rather than silence in every failure mode. Mutations
+    only apply to the *current* device; completed devices answer
+    ``completed`` and not-yet-started ones ``not_running``.
+    """
+
+    _PROFILES = {"standard": None, "fast": None, "gentle": None}  # filled lazily
+
+    def __init__(self, requests, responses, shard_id: int, progress: dict, completed: dict):
+        super().__init__(daemon=True, name=f"fleet-servicer-{shard_id}")
+        self.requests = requests
+        self.responses = responses
+        self.shard_id = shard_id
+        self.progress = progress
+        self.completed = completed
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            try:
+                wire = self.requests.get(timeout=0.1)
+            except Exception:  # noqa: BLE001 - Empty, plus queue teardown races
+                continue
+            if not isinstance(wire, dict):
+                continue
+            try:
+                response = self._serve(wire)
+            except Exception as exc:  # noqa: BLE001 - always answer, never die
+                response = self._error(
+                    wire, serve_protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+            try:
+                self.responses.put_nowait(response)
+            except Exception:  # noqa: BLE001 - a dead queue must not kill the physics
+                pass
+
+    def _base(self, wire: dict) -> dict:
+        return {
+            "request_id": wire.get("request_id"),
+            "shard": self.shard_id,
+            "device": wire.get("device_id"),
+            "op": wire.get("op"),
+        }
+
+    def _error(self, wire: dict, code: str, message: str) -> dict:
+        out = self._base(wire)
+        out.update(ok=False, error=code, message=message)
+        return out
+
+    def _ok(self, wire: dict, **result) -> dict:
+        out = self._base(wire)
+        out.update(ok=True, result=result)
+        return out
+
+    def _serve(self, wire: dict) -> dict:
+        deadline_t = wire.get("deadline_t")
+        if deadline_t is not None and time.time() > float(deadline_t):
+            # The caller has already given up; do no work on its behalf.
+            return self._error(
+                wire, serve_protocol.ERR_DEADLINE, "deadline expired before execution"
+            )
+        device_id = wire.get("device_id")
+        if device_id in self.completed:
+            return self._error(
+                wire, serve_protocol.ERR_COMPLETED, f"{device_id!r} finished its run"
+            )
+        if device_id != self.progress.get("device_id"):
+            return self._error(
+                wire,
+                serve_protocol.ERR_NOT_RUNNING,
+                f"{device_id!r} is not the in-flight device on shard {self.shard_id}",
+            )
+        emulator = self.progress.get("emulator")
+        if emulator is None:
+            return self._error(
+                wire, serve_protocol.ERR_NOT_RUNNING, f"{device_id!r} is between runs"
+            )
+        runtime = emulator.runtime
+        op = wire.get("op")
+        if op in ("SetCharge", "SetDischarge"):
+            ratios = wire.get("ratios")
+            try:
+                parsed = serve_protocol.parse_ratios(ratios)
+            except ValueError as exc:
+                return self._error(wire, serve_protocol.ERR_BAD_REQUEST, str(exc))
+            apply = runtime.apply_charge if op == "SetCharge" else runtime.apply_discharge
+            try:
+                landed = apply(parsed)
+            except RatioError as exc:
+                return self._error(wire, serve_protocol.ERR_BAD_REQUEST, str(exc))
+            if not landed:
+                return self._error(
+                    wire,
+                    serve_protocol.ERR_UNAVAILABLE,
+                    "controller rejected the vector after transient-loss retries",
+                )
+            return self._ok(wire, applied=True, ratios=list(parsed))
+        if op == "SelectChargingProfile":
+            profile = self._profile(wire.get("profile"))
+            if profile is None:
+                return self._error(
+                    wire,
+                    serve_protocol.ERR_BAD_REQUEST,
+                    f"unknown charging profile {wire.get('profile')!r}",
+                )
+            battery_index = wire.get("battery_index")
+            if battery_index is not None:
+                battery_index = int(battery_index)
+                if not 0 <= battery_index < runtime.controller.n:
+                    return self._error(
+                        wire,
+                        serve_protocol.ERR_BAD_REQUEST,
+                        f"battery_index {battery_index} out of range",
+                    )
+            runtime.apply_profile(profile, battery_index)
+            return self._ok(wire, applied=True, profile=profile.name)
+        return self._error(
+            wire, serve_protocol.ERR_BAD_REQUEST, f"op {op!r} is not servable worker-side"
+        )
+
+    @classmethod
+    def _profile(cls, name):
+        if cls._PROFILES.get("standard") is None:
+            from repro.hardware.charge import FAST_PROFILE, GENTLE_PROFILE, STANDARD_PROFILE
+
+            cls._PROFILES = {
+                "standard": STANDARD_PROFILE,
+                "fast": FAST_PROFILE,
+                "gentle": GENTLE_PROFILE,
+            }
+        return cls._PROFILES.get(str(name)) if name is not None else None
 
 
 def _chaos_armed(config: dict, shard_id: int) -> Optional[str]:
@@ -201,12 +379,18 @@ def _chaos_armed(config: dict, shard_id: int) -> Optional[str]:
     return str(chaos.get("mode", "kill-worker"))
 
 
-def run_shard_worker(shard_dict: dict, config: dict, queue, stop_event) -> int:
+def run_shard_worker(
+    shard_dict: dict, config: dict, queue, stop_event, requests=None, responses=None
+) -> int:
     """Process entry point: run (or resume) one shard to completion.
 
     Returns/exits :data:`EXIT_OK` on success, :data:`EXIT_FAILED` on an
     emulation failure (the supervisor decides whether to retry), and
     :data:`EXIT_CANCELLED` when ``stop_event`` aborted the run.
+
+    When ``requests``/``responses`` queues are supplied (a serving fleet)
+    a :class:`_Servicer` daemon answers SDB mutation calls against the
+    in-flight device for as long as the worker lives.
     """
     shard = ShardPlan.from_dict(shard_dict)
     checkpoint_dir = str(config["checkpoint_dir"])
@@ -219,12 +403,17 @@ def run_shard_worker(shard_dict: dict, config: dict, queue, stop_event) -> int:
         "devices_done": len(completed),
         "steps_base": sum(int(m.get("n_steps", 0)) for m in completed.values() if m.get("ok")),
         "emulator": None,
+        "device_id": None,
     }
     heartbeat = _Heartbeat(
         queue, shard.shard_id, progress, float(config.get("heartbeat_every_s", 1.0))
     )
     heartbeat.beat("started")
     heartbeat.start()
+    servicer = None
+    if requests is not None and responses is not None:
+        servicer = _Servicer(requests, responses, shard.shard_id, progress, completed)
+        servicer.start()
 
     def chaos_trigger() -> None:
         """Fire the armed chaos once there is a durable checkpoint behind us."""
@@ -262,6 +451,7 @@ def run_shard_worker(shard_dict: dict, config: dict, queue, stop_event) -> int:
                 abort_signal=stop_event,
             )
             progress["emulator"] = emulator
+            progress["device_id"] = device.device_id
             resume_from = device_path if os.path.exists(device_path) else None
             try:
                 result = emulator.run(resume_from=resume_from)
@@ -284,12 +474,19 @@ def run_shard_worker(shard_dict: dict, config: dict, queue, stop_event) -> int:
                 progress["emulator"] = emulator
                 result = emulator.run()
             completed[device.device_id] = device_metrics(device, result)
+            final_statuses = _snapshot_statuses(emulator, timeout_s=1.0)
             progress["emulator"] = None
+            progress["device_id"] = None
             progress["devices_done"] = len(completed)
             progress["steps_base"] += len(result.times_s)
             _write_shard_state(shard_path, shard, completed, done=False)
             if os.path.exists(device_path):
                 os.remove(device_path)
+            heartbeat.beat(
+                "device_done",
+                device=device.device_id,
+                statuses=final_statuses if final_statuses is not None else [],
+            )
             heartbeat.beat("checkpoint")
             if chaos_mode is not None and len(completed) >= int(
                 config.get("chaos", {}).get("after_devices", 1)
@@ -302,12 +499,18 @@ def run_shard_worker(shard_dict: dict, config: dict, queue, stop_event) -> int:
         return EXIT_FAILED
     finally:
         heartbeat.stop()
+        if servicer is not None:
+            servicer.stop()
 
     _write_shard_state(shard_path, shard, completed, done=True)
     heartbeat.beat("done")
     return EXIT_OK
 
 
-def worker_main(shard_dict: dict, config: dict, queue, stop_event) -> None:
+def worker_main(
+    shard_dict: dict, config: dict, queue, stop_event, requests=None, responses=None
+) -> None:
     """``multiprocessing.Process`` target: propagate the exit code."""
-    raise SystemExit(run_shard_worker(shard_dict, config, queue, stop_event))
+    raise SystemExit(
+        run_shard_worker(shard_dict, config, queue, stop_event, requests, responses)
+    )

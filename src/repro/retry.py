@@ -48,7 +48,18 @@ class RetryPolicy:
         heartbeat_deadline_s: wall-clock seconds of silence after which a
             worker (fleet layer) or a stalled step loop (run layer's
             watchdog) is declared dead. ``None`` disables liveness
-            checking.
+            checking. The clock starts at the *first heartbeat received*,
+            not at process launch — cold starts are governed by the
+            separate boot deadline below.
+        boot_deadline_s: wall-clock seconds a freshly launched worker is
+            allowed before its first heartbeat arrives (spawn + interpreter
+            start + imports). ``None`` derives a generous default of
+            ``6 * heartbeat_deadline_s`` (or disables the check entirely
+            when liveness checking is off).
+        kill_join_timeout_s: how long a supervisor waits for a SIGKILLed
+            worker process to be reaped before declaring it a zombie and
+            moving on (logged as a ``fleet.zombie`` trace event rather
+            than silently ignored).
     """
 
     max_restarts: int = 3
@@ -57,6 +68,8 @@ class RetryPolicy:
     max_delay_s: float = 30.0
     jitter_frac: float = 0.2
     heartbeat_deadline_s: Optional[float] = None
+    boot_deadline_s: Optional[float] = None
+    kill_join_timeout_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
@@ -71,11 +84,30 @@ class RetryPolicy:
             raise ValueError("jitter_frac must be non-negative")
         if self.heartbeat_deadline_s is not None and self.heartbeat_deadline_s <= 0:
             raise ValueError("heartbeat_deadline_s must be positive")
+        if self.boot_deadline_s is not None and self.boot_deadline_s <= 0:
+            raise ValueError("boot_deadline_s must be positive")
+        if self.kill_join_timeout_s <= 0:
+            raise ValueError("kill_join_timeout_s must be positive")
 
     @property
     def max_attempts(self) -> int:
         """Total attempts the budget allows (initial try + restarts)."""
         return self.max_restarts + 1
+
+    @property
+    def effective_boot_deadline_s(self) -> Optional[float]:
+        """The boot deadline actually enforced on a just-launched worker.
+
+        Explicit ``boot_deadline_s`` wins; otherwise it derives as six
+        heartbeat deadlines — generous enough that interpreter startup
+        and imports never count as a stall — and ``None`` (no check)
+        when liveness checking is disabled altogether.
+        """
+        if self.boot_deadline_s is not None:
+            return self.boot_deadline_s
+        if self.heartbeat_deadline_s is None:
+            return None
+        return 6.0 * self.heartbeat_deadline_s
 
     def delay_for(
         self, attempt: int, rng: Optional[np.random.Generator] = None

@@ -1,0 +1,249 @@
+"""The battery-as-a-service wire protocol: requests, responses, errors.
+
+The SDB paper frames its four calls (QueryBatteryStatus / SetCharge /
+SetDischarge / SelectChargingProfile) as a *service* contract between the
+OS and applications. This module is that contract as plain JSON-safe
+data, designed around failure:
+
+* every request carries an absolute **deadline** (derived from the
+  client's ``timeout_s``) that propagates all the way into the shard
+  worker, so work is never done for a caller that has already given up;
+* every failure is a **typed error** with an explicit ``retryable``
+  flag — backpressure and transient outages invite a retry (with a
+  ``retry_after_s`` hint), caller bugs and permanent conditions do not;
+* every read answer carries ``degraded`` / ``stale_s`` so partial
+  availability is an *answer*, not an exception.
+
+Nothing here imports the server or the fleet — protocol objects are the
+seam between them (and what the wire tests exercise in isolation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "OPS",
+    "MUTATING_OPS",
+    "ERR_BAD_REQUEST",
+    "ERR_NOT_FOUND",
+    "ERR_COMPLETED",
+    "ERR_OVERLOADED",
+    "ERR_DEADLINE",
+    "ERR_UNAVAILABLE",
+    "ERR_QUARANTINED",
+    "ERR_NOT_RUNNING",
+    "ERR_INTERNAL",
+    "HTTP_STATUS",
+    "RETRYABLE",
+    "ServeRequest",
+    "ServeResponse",
+    "error_response",
+    "status_to_wire",
+    "parse_ratios",
+]
+
+#: The four SDB calls, service-side spelling (Section 3.3 / Figure 5).
+OPS = (
+    "QueryBatteryStatus",
+    "SetCharge",
+    "SetDischarge",
+    "SelectChargingProfile",
+)
+
+#: Ops that mutate device state and therefore must reach a live worker.
+MUTATING_OPS = ("SetCharge", "SetDischarge", "SelectChargingProfile")
+
+# --------------------------------------------------------------------- #
+# Error taxonomy
+# --------------------------------------------------------------------- #
+
+ERR_BAD_REQUEST = "bad_request"  # malformed op/args — the caller's bug
+ERR_NOT_FOUND = "not_found"  # unknown device id
+ERR_COMPLETED = "completed"  # device finished its run; mutations are moot
+ERR_OVERLOADED = "overloaded"  # admission queue full — backpressure
+ERR_DEADLINE = "deadline_exceeded"  # could not (or would not) finish in time
+ERR_UNAVAILABLE = "unavailable"  # shard down / breaker open / not started
+ERR_QUARANTINED = "quarantined"  # shard permanently failed for this run
+ERR_NOT_RUNNING = "not_running"  # device exists but is not emulating yet
+ERR_INTERNAL = "internal"  # unexpected server-side failure
+
+#: Which error codes invite a retry. The split is the degraded-mode
+#: contract: transient conditions (load, deadlines, a dead-but-restarting
+#: shard) are retryable; caller bugs and for-this-run-permanent states
+#: are not.
+RETRYABLE = {
+    ERR_BAD_REQUEST: False,
+    ERR_NOT_FOUND: False,
+    ERR_COMPLETED: False,
+    ERR_OVERLOADED: True,
+    ERR_DEADLINE: True,
+    ERR_UNAVAILABLE: True,
+    ERR_QUARANTINED: False,
+    ERR_NOT_RUNNING: True,
+    ERR_INTERNAL: False,
+}
+
+#: HTTP status each error code maps to (the server's only job is this
+#: mapping plus a ``Retry-After`` header when ``retry_after_s`` is set).
+HTTP_STATUS = {
+    ERR_BAD_REQUEST: 400,
+    ERR_NOT_FOUND: 404,
+    ERR_COMPLETED: 410,
+    ERR_OVERLOADED: 429,
+    ERR_DEADLINE: 504,
+    ERR_UNAVAILABLE: 503,
+    ERR_QUARANTINED: 503,
+    ERR_NOT_RUNNING: 503,
+    ERR_INTERNAL: 500,
+}
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One admitted-or-not service call, deadline attached.
+
+    ``deadline_t`` is absolute wall-clock time (``time.time()`` base —
+    comparable across the supervisor and worker processes), computed once
+    at the service edge from the client's ``timeout_s`` and carried with
+    the request everywhere it goes.
+    """
+
+    op: str
+    device_id: str
+    request_id: str
+    deadline_t: float
+    #: SetCharge / SetDischarge ratio vector (per-battery shares).
+    ratios: Optional[tuple] = None
+    #: SelectChargingProfile profile name (``fast``/``standard``/``gentle``).
+    profile: Optional[str] = None
+    #: Optional battery index for profile selection (default: whole device).
+    battery_index: Optional[int] = None
+
+    def remaining_s(self, now: Optional[float] = None) -> float:
+        """Seconds until the deadline (negative = already blown)."""
+        return self.deadline_t - (time.time() if now is None else now)
+
+    @property
+    def mutating(self) -> bool:
+        return self.op in MUTATING_OPS
+
+    def to_wire(self) -> dict:
+        """The JSON-safe form shipped to a shard worker."""
+        wire = {
+            "request_id": self.request_id,
+            "op": self.op,
+            "device_id": self.device_id,
+            "deadline_t": self.deadline_t,
+        }
+        if self.ratios is not None:
+            wire["ratios"] = list(self.ratios)
+        if self.profile is not None:
+            wire["profile"] = self.profile
+        if self.battery_index is not None:
+            wire["battery_index"] = self.battery_index
+        return wire
+
+
+@dataclass
+class ServeResponse:
+    """What every service call returns, success or failure.
+
+    ``ok`` answers carry ``result``; failures carry ``error`` (a code
+    from the taxonomy above), its ``retryable`` flag, and — for
+    backpressure — a ``retry_after_s`` hint. Read answers additionally
+    carry the degraded-read fields: ``degraded`` (the answer came from a
+    cache entry older than the freshness bound, or the owning shard is
+    down) and ``stale_s`` (the entry's age).
+    """
+
+    ok: bool
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    message: str = ""
+    retryable: Optional[bool] = None
+    retry_after_s: Optional[float] = None
+    degraded: Optional[bool] = None
+    stale_s: Optional[float] = None
+    fields: dict = field(default_factory=dict)
+
+    @property
+    def http_status(self) -> int:
+        if self.ok:
+            return 200
+        return HTTP_STATUS.get(self.error or ERR_INTERNAL, 500)
+
+    def to_wire(self) -> dict:
+        """The JSON body: only the fields this answer actually has."""
+        wire: dict = {"ok": self.ok}
+        if self.result is not None:
+            wire["result"] = self.result
+        if self.error is not None:
+            wire.update(
+                error=self.error,
+                message=self.message,
+                retryable=self.retryable
+                if self.retryable is not None
+                else RETRYABLE.get(self.error, False),
+            )
+        if self.retry_after_s is not None:
+            wire["retry_after_s"] = self.retry_after_s
+        if self.degraded is not None:
+            wire["degraded"] = self.degraded
+        if self.stale_s is not None:
+            wire["stale_s"] = self.stale_s
+        wire.update(self.fields)
+        return wire
+
+
+def error_response(
+    code: str, message: str, *, retry_after_s: Optional[float] = None
+) -> ServeResponse:
+    """A typed failure with its retryability looked up from the taxonomy."""
+    return ServeResponse(
+        ok=False,
+        error=code,
+        message=message,
+        retryable=RETRYABLE.get(code, False),
+        retry_after_s=retry_after_s,
+    )
+
+
+def status_to_wire(status) -> dict:
+    """One :class:`~repro.cell.fuel_gauge.BatteryStatus` as JSON-safe data.
+
+    The wire form is what the worker publishes at heartbeat cadence and
+    what the status cache stores — plain floats/strings only, so it
+    crosses the process boundary and serializes without ceremony.
+    """
+    return {
+        "name": status.name,
+        "soc": float(status.soc),
+        "estimated_soc": float(status.estimated_soc),
+        "terminal_voltage": float(status.terminal_voltage),
+        "cycle_count": int(status.cycle_count),
+        "capacity_mah": float(status.capacity_mah),
+        "is_empty": bool(status.is_empty),
+        "is_full": bool(status.is_full),
+        "soc_confidence": float(status.soc_confidence),
+        "protection_state": str(status.protection_state),
+    }
+
+
+def parse_ratios(raw, *, what: str = "ratios") -> tuple:
+    """Validate a client-supplied ratio vector shape (numbers only).
+
+    Only *shape* is checked here — normalization and length are the
+    controller's contract (:func:`repro.hardware.validate_ratios`), and
+    its verdict travels back as a typed ``bad_request``.
+    """
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ValueError(f"{what} must be a non-empty list of numbers")
+    out = []
+    for value in raw:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{what} must contain only numbers")
+        out.append(float(value))
+    return tuple(out)

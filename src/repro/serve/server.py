@@ -1,0 +1,266 @@
+"""The HTTP skin over the front end, and the serving-fleet orchestrator.
+
+Stdlib only: :class:`http.server.ThreadingHTTPServer` + JSON bodies. The
+HTTP layer is deliberately dumb — parse the route and body, build a
+:class:`~repro.serve.protocol.ServeRequest`, hand it to
+:class:`~repro.serve.service.FleetFrontEnd`, and translate the typed
+:class:`~repro.serve.protocol.ServeResponse` into a status code (plus a
+``Retry-After`` header when backpressure says so). All failure policy
+lives below this file.
+
+Routes::
+
+    GET  /healthz                      breaker + heartbeat state per shard
+    GET  /v1/devices                   the device roster
+    GET  /v1/status/<device>           QueryBatteryStatus (cache-backed)
+    POST /v1/charge/<device>           SetCharge      {"ratios": [...]}
+    POST /v1/discharge/<device>        SetDischarge   {"ratios": [...]}
+    POST /v1/profile/<device>          SelectChargingProfile
+                                       {"profile": "fast", "battery_index": 0}
+
+Every request may carry ``timeout_s`` (query param on GET, body field on
+POST) — its deadline budget, clamped to the configured maximum.
+
+:class:`ServingFleet` owns the whole assembly: the fleet supervisor on a
+background thread, the bridge between them, and the HTTP server — one
+``start()``/``stop()`` pair for the CLI and the chaos harness.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ServeError
+from repro.obs import NULL_TRACER, Tracer
+from repro.serve.bridge import ServeBridge
+from repro.serve.protocol import ERR_BAD_REQUEST, ServeResponse, error_response
+from repro.serve.service import FleetFrontEnd, ServeConfig
+
+__all__ = ["SDBRequestHandler", "make_http_server", "ServingFleet"]
+
+#: Route prefix -> the SDB op it invokes.
+_POST_OPS = {
+    "charge": "SetCharge",
+    "discharge": "SetDischarge",
+    "profile": "SelectChargingProfile",
+}
+
+_MAX_BODY_BYTES = 64 * 1024
+
+
+class SDBRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request in, one typed JSON answer out. Never raises."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def front_end(self) -> FleetFrontEnd:
+        return self.server.front_end  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # access logging is the tracer's job, not stderr's
+
+    # -------------------------------------------------------------- #
+
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        """Route ``/healthz``, ``/v1/devices``, and ``/v1/status/<device>``."""
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts == ["healthz"]:
+            payload = self.front_end.healthz()
+            self._send(200 if payload["ok"] else 503, payload)
+            return
+        if parts == ["v1", "devices"]:
+            self._send(200, {"ok": True, "devices": self.front_end.bridge.devices()})
+            return
+        if len(parts) == 3 and parts[:2] == ["v1", "status"]:
+            timeout_s = self._query_timeout(parsed.query)
+            request = self.front_end.make_request(
+                "QueryBatteryStatus", parts[2], timeout_s=timeout_s
+            )
+            self._respond(self.front_end.handle(request))
+            return
+        self._respond(error_response(ERR_BAD_REQUEST, f"no route {parsed.path!r}"))
+
+    def do_POST(self):  # noqa: N802 - stdlib casing
+        """Route the mutations: ``/v1/{charge,discharge,profile}/<device>``."""
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if len(parts) != 3 or parts[0] != "v1" or parts[1] not in _POST_OPS:
+            self._respond(error_response(ERR_BAD_REQUEST, f"no route {parsed.path!r}"))
+            return
+        body = self._read_body()
+        if body is None:
+            return  # _read_body already answered
+        op = _POST_OPS[parts[1]]
+        timeout_s = body.get("timeout_s")
+        if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+            self._respond(error_response(ERR_BAD_REQUEST, "timeout_s must be a number"))
+            return
+        request = self.front_end.make_request(
+            op,
+            parts[2],
+            timeout_s=timeout_s,
+            ratios=body.get("ratios"),
+            profile=body.get("profile"),
+            battery_index=body.get("battery_index"),
+        )
+        self._respond(self.front_end.handle(request))
+
+    # -------------------------------------------------------------- #
+
+    def _query_timeout(self, query: str) -> Optional[float]:
+        raw = parse_qs(query).get("timeout_s", [None])[0]
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            return None
+
+    def _read_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        if length > _MAX_BODY_BYTES:
+            self._respond(error_response(ERR_BAD_REQUEST, "request body too large"))
+            return None
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            self._respond(error_response(ERR_BAD_REQUEST, f"invalid JSON body: {exc}"))
+            return None
+        if not isinstance(body, dict):
+            self._respond(error_response(ERR_BAD_REQUEST, "body must be a JSON object"))
+            return None
+        return body
+
+    def _respond(self, response: ServeResponse) -> None:
+        headers = {}
+        if response.retry_after_s is not None:
+            # Ceil to a whole second: Retry-After is integer seconds, and
+            # rounding down to 0 would invite an instant retry storm.
+            headers["Retry-After"] = str(max(1, int(response.retry_after_s + 0.999)))
+        self._send(response.http_status, response.to_wire(), headers)
+
+    def _send(self, status: int, payload: dict, headers: Optional[dict] = None) -> None:
+        try:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client hung up; its deadline already accounted for it
+
+
+def make_http_server(front_end: FleetFrontEnd, host: str, port: int) -> ThreadingHTTPServer:
+    """Bind the HTTP skin to a front end (``port`` 0 picks a free one)."""
+    server = ThreadingHTTPServer((host, port), SDBRequestHandler)
+    server.daemon_threads = True
+    server.front_end = front_end  # type: ignore[attr-defined]
+    return server
+
+
+class ServingFleet:
+    """A live fleet run plus its battery-as-a-service front end.
+
+    Owns three moving parts and their shutdown order: the
+    :class:`~repro.fleet.FleetSupervisor` (on a background thread, bridge
+    attached), the :class:`FleetFrontEnd`, and the HTTP server. Built for
+    the ``repro serve`` CLI and the chaos harness; tests drive the front
+    end directly.
+    """
+
+    def __init__(
+        self,
+        supervisor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServeConfig] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        if supervisor.bridge is None:
+            supervisor.bridge = ServeBridge()
+        self.supervisor = supervisor
+        self.bridge: ServeBridge = supervisor.bridge
+        self.front_end = FleetFrontEnd(self.bridge, config, tracer=tracer)
+        self._host = host
+        self._port = port
+        self._http: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._fleet_thread: Optional[threading.Thread] = None
+        self._result = None
+        self._started = False
+
+    @property
+    def address(self) -> str:
+        if self._http is None:
+            raise ServeError("serving fleet is not started")
+        host, port = self._http.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def result(self):
+        """The :class:`~repro.fleet.FleetResult`, once the run finished."""
+        return self._result
+
+    def start(self, *, bind_timeout_s: float = 30.0) -> "ServingFleet":
+        """Launch the fleet and start answering HTTP once it is bound."""
+        if self._started:
+            raise ServeError("serving fleet already started")
+        self._started = True
+
+        def _run_fleet():
+            self._result = self.supervisor.run()
+
+        self._fleet_thread = threading.Thread(
+            target=_run_fleet, name="serve-fleet", daemon=True
+        )
+        self._fleet_thread.start()
+        if not self.bridge.bound.wait(timeout=bind_timeout_s):
+            self.supervisor.request_stop()
+            raise ServeError(
+                f"fleet did not bind its serving queues within {bind_timeout_s:.0f} s"
+            )
+        self._http = make_http_server(self.front_end, self._host, self._port)
+        self._http_thread = threading.Thread(
+            target=self._http.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serve-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def wait(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until the fleet run finishes; True when it did."""
+        if self._fleet_thread is None:
+            raise ServeError("serving fleet is not started")
+        self._fleet_thread.join(timeout_s)
+        return not self._fleet_thread.is_alive()
+
+    def stop(self, *, timeout_s: float = 30.0):
+        """Stop serving, wind the fleet down, and return its result."""
+        if self._http is not None:
+            self._http.shutdown()
+            self._http.server_close()
+            self._http = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
+        self.supervisor.request_stop()
+        if self._fleet_thread is not None:
+            self._fleet_thread.join(timeout=timeout_s)
+        return self._result

@@ -1,0 +1,415 @@
+"""The battery-as-a-service front end: deadlines in, typed answers out.
+
+:class:`FleetFrontEnd` is the transport-agnostic service layer — the HTTP
+server in :mod:`repro.serve.server` is a thin adapter over it, and the
+tests drive it directly. Every call follows the same resilient path:
+
+1. **validate** — unknown op or device is a typed, non-retryable error;
+2. **admit** — a bounded :class:`~repro.serve.admission.AdmissionQueue`
+   rejects already-blown deadlines at the door and sheds
+   oldest-deadline-first under overload (explicit 429 backpressure);
+3. **dispatch** — reads are answered from the
+   :class:`~repro.serve.cache.StatusCache` (never blocking on a worker;
+   staleness reported as data), mutations travel through the per-shard
+   :class:`~repro.serve.breaker.CircuitBreaker` and over the bridge's
+   queue pair to the shard worker, deadline attached;
+4. **account** — every decision emits ``serve.*`` counters and trace
+   events through the shared :class:`~repro.obs.Tracer`.
+
+The front end holds no battery state of its own: the cache is the read
+path, the workers are the write path, and the supervisor owns recovery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ServeError
+from repro.obs import NULL_TRACER, Tracer
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import OPEN, CircuitBreaker
+from repro.serve.bridge import ServeBridge
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_COMPLETED,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_NOT_FOUND,
+    ERR_NOT_RUNNING,
+    ERR_OVERLOADED,
+    ERR_QUARANTINED,
+    ERR_UNAVAILABLE,
+    MUTATING_OPS,
+    OPS,
+    ServeRequest,
+    ServeResponse,
+    error_response,
+)
+
+__all__ = ["ServeConfig", "FleetFrontEnd"]
+
+#: How often a mutation waiter re-checks its shed flag while blocked.
+_WAIT_SLICE_S = 0.05
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for the serving front end (all failure-policy, no transport).
+
+    Attributes:
+        capacity: admission queue size (concurrently in-flight requests).
+        min_service_s: requests with less deadline budget than this are
+            rejected at the door — they provably cannot be served.
+        retry_after_s: backpressure hint handed to shed/overloaded callers.
+        default_timeout_s: deadline budget for requests that name none.
+        max_timeout_s: ceiling on client-requested budgets (a client
+            cannot park a slot for minutes).
+        stale_after_s: cache-entry age beyond which reads are degraded;
+            pick a small multiple of the fleet heartbeat cadence.
+        breaker_failures: consecutive transport failures tripping a
+            shard's breaker open.
+        breaker_reset_s: OPEN hold time before the half-open probe.
+    """
+
+    capacity: int = 64
+    min_service_s: float = 0.0
+    retry_after_s: float = 0.5
+    default_timeout_s: float = 2.0
+    max_timeout_s: float = 30.0
+    stale_after_s: float = 3.0
+    breaker_failures: int = 3
+    breaker_reset_s: float = 2.0
+
+    def __post_init__(self):
+        if self.default_timeout_s <= 0 or self.max_timeout_s <= 0:
+            raise ServeError("serve timeouts must be positive")
+        if self.default_timeout_s > self.max_timeout_s:
+            raise ServeError("default_timeout_s must not exceed max_timeout_s")
+
+
+class _Waiter:
+    """One in-flight mutation's rendezvous with the response router."""
+
+    __slots__ = ("event", "message")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.message: Optional[dict] = None
+
+
+class FleetFrontEnd:
+    """Deadline-aware, backpressured service over a live fleet run."""
+
+    def __init__(
+        self,
+        bridge: ServeBridge,
+        config: Optional[ServeConfig] = None,
+        *,
+        tracer: Tracer = NULL_TRACER,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.bridge = bridge
+        self.config = config if config is not None else ServeConfig()
+        self.tracer = tracer
+        self._clock = clock
+        self._t0 = clock()
+        self.admission = AdmissionQueue(
+            self.config.capacity,
+            min_service_s=self.config.min_service_s,
+            retry_after_s=self.config.retry_after_s,
+            clock=clock,
+        )
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._waiters: Dict[str, _Waiter] = {}
+        self._waiter_lock = threading.Lock()
+        # The Tracer is single-writer by design; HTTP handler threads
+        # funnel through this lock instead of racing on it.
+        self._trace_lock = threading.Lock()
+        bridge.cache.stale_after_s = self.config.stale_after_s
+        bridge.set_response_handler(self._on_response)
+
+    # ------------------------------------------------------------------ #
+    # Request construction
+    # ------------------------------------------------------------------ #
+
+    def make_request(
+        self,
+        op: str,
+        device_id: str,
+        *,
+        timeout_s: Optional[float] = None,
+        ratios=None,
+        profile: Optional[str] = None,
+        battery_index: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> ServeRequest:
+        """Stamp a request with its absolute deadline at the service edge."""
+        budget = self.config.default_timeout_s if timeout_s is None else float(timeout_s)
+        budget = min(max(budget, 0.0), self.config.max_timeout_s)
+        return ServeRequest(
+            op=op,
+            device_id=device_id,
+            request_id=request_id or uuid.uuid4().hex,
+            deadline_t=self._clock() + budget,
+            ratios=tuple(ratios) if ratios is not None else None,
+            profile=profile,
+            battery_index=battery_index,
+        )
+
+    # ------------------------------------------------------------------ #
+    # The one entry point
+    # ------------------------------------------------------------------ #
+
+    def handle(self, request: ServeRequest) -> ServeResponse:
+        """Serve one call end to end; never raises, always answers typed."""
+        self._count("serve.requests_total")
+        if request.op not in OPS:
+            self._count("serve.bad_requests")
+            return error_response(ERR_BAD_REQUEST, f"unknown op {request.op!r}")
+        shard_id = self.bridge.shard_for(request.device_id)
+        if shard_id is None:
+            self._count("serve.not_found")
+            return error_response(
+                ERR_NOT_FOUND, f"unknown device {request.device_id!r}"
+            )
+
+        ticket = self.admission.admit(request.request_id, request.deadline_t)
+        if ticket is None:
+            if not self.admission.meets_deadline(request.deadline_t):
+                # Unservable within its budget: reject at the door rather
+                # than queue it to die.
+                self._count("serve.rejected_deadline")
+                self._event(
+                    "serve.reject", op=request.op, device=request.device_id,
+                    reason="deadline",
+                )
+                return error_response(
+                    ERR_DEADLINE,
+                    "deadline cannot be met (already expired or below the "
+                    "minimum service floor)",
+                )
+            self._count("serve.shed")
+            self._event(
+                "serve.shed", op=request.op, device=request.device_id,
+                reason="newcomer",
+            )
+            return error_response(
+                ERR_OVERLOADED,
+                "admission queue full and this request was the most "
+                "expendable; retry after backoff",
+                retry_after_s=self.config.retry_after_s,
+            )
+
+        try:
+            if request.op == "QueryBatteryStatus":
+                return self._read(request, shard_id)
+            return self._mutate(request, shard_id, ticket)
+        except Exception as exc:  # noqa: BLE001 - the contract is "always answers"
+            self._count("serve.internal_errors")
+            return error_response(ERR_INTERNAL, f"{type(exc).__name__}: {exc}")
+        finally:
+            self.admission.release(ticket)
+
+    # ------------------------------------------------------------------ #
+    # Read path: always from cache, staleness as data
+    # ------------------------------------------------------------------ #
+
+    def _shard_serving(self, shard_id: int) -> bool:
+        """Healthy heartbeat *and* breaker not open — the freshness input."""
+        health = self.bridge.shard_health(shard_id)
+        if health is None or not health.healthy:
+            return False
+        return self._breaker(shard_id).state != OPEN
+
+    def _read(self, request: ServeRequest, shard_id: int) -> ServeResponse:
+        entry = self.bridge.cache.read(
+            request.device_id, shard_healthy=self._shard_serving(shard_id)
+        )
+        if entry is None:
+            # Nothing ever published: the device exists but is not
+            # emulating yet (pending shard) — or its shard is gone for
+            # good and never got the chance.
+            health = self.bridge.shard_health(shard_id)
+            if health is not None and health.status == "quarantined":
+                self._count("serve.quarantined")
+                return error_response(
+                    ERR_QUARANTINED,
+                    f"shard {shard_id} is quarantined and "
+                    f"{request.device_id!r} never reported status",
+                )
+            self._count("serve.not_running")
+            return error_response(
+                ERR_NOT_RUNNING,
+                f"{request.device_id!r} has not started emulating yet",
+            )
+        self._count("serve.reads")
+        if entry["degraded"]:
+            self._count("serve.degraded_reads")
+            self._event(
+                "serve.degraded_read",
+                device=request.device_id,
+                shard=shard_id,
+                stale_s=round(entry["stale_s"], 3),
+            )
+        return ServeResponse(
+            ok=True,
+            result={
+                "device": entry["device"],
+                "shard": entry["shard"],
+                "statuses": entry["statuses"],
+                "completed": entry["completed"],
+            },
+            degraded=entry["degraded"],
+            stale_s=round(entry["stale_s"], 3),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mutation path: breaker -> worker -> typed answer, deadline carried
+    # ------------------------------------------------------------------ #
+
+    def _mutate(self, request: ServeRequest, shard_id: int, ticket) -> ServeResponse:
+        if self.bridge.cache.completed(request.device_id):
+            self._count("serve.completed_rejects")
+            return error_response(
+                ERR_COMPLETED,
+                f"{request.device_id!r} finished its run; mutations are moot",
+            )
+        health = self.bridge.shard_health(shard_id)
+        if health is not None and health.status == "quarantined":
+            self._count("serve.quarantined")
+            return error_response(
+                ERR_QUARANTINED, f"shard {shard_id} is quarantined for this run"
+            )
+
+        breaker = self._breaker(shard_id)
+        if not breaker.allow():
+            self._count("serve.breaker_fast_fails")
+            return error_response(
+                ERR_UNAVAILABLE,
+                f"shard {shard_id} breaker is open; failing fast",
+                retry_after_s=breaker.reset_after_s,
+            )
+
+        waiter = _Waiter()
+        with self._waiter_lock:
+            self._waiters[request.request_id] = waiter
+        try:
+            if not self.bridge.send(shard_id, request.to_wire()):
+                breaker.record_failure()
+                self._count("serve.send_failures")
+                return error_response(
+                    ERR_UNAVAILABLE,
+                    f"shard {shard_id} request queue is not accepting work",
+                    retry_after_s=self.config.retry_after_s,
+                )
+            self._count("serve.mutations_sent")
+            return self._await_response(request, shard_id, ticket, waiter, breaker)
+        finally:
+            with self._waiter_lock:
+                self._waiters.pop(request.request_id, None)
+
+    def _await_response(
+        self, request: ServeRequest, shard_id: int, ticket, waiter: _Waiter,
+        breaker: CircuitBreaker,
+    ) -> ServeResponse:
+        # Block until the worker answers, the deadline blows, or the
+        # admission queue sheds us to make room for a tighter deadline.
+        while True:
+            remaining = request.remaining_s(self._clock())
+            if remaining <= 0:
+                breaker.record_failure()
+                self._count("serve.deadline_timeouts")
+                self._event(
+                    "serve.deadline_timeout", op=request.op,
+                    device=request.device_id, shard=shard_id,
+                )
+                return error_response(
+                    ERR_DEADLINE,
+                    f"shard {shard_id} did not answer within the deadline",
+                )
+            if ticket.shed.is_set():
+                self._count("serve.shed")
+                self._event(
+                    "serve.shed", op=request.op, device=request.device_id,
+                    reason="victim",
+                )
+                return error_response(
+                    ERR_OVERLOADED,
+                    "shed mid-flight to admit a tighter deadline; retry "
+                    "after backoff",
+                    retry_after_s=self.config.retry_after_s,
+                )
+            if waiter.event.wait(timeout=min(_WAIT_SLICE_S, remaining)):
+                break
+        msg = waiter.message or {}
+        breaker.record_success()  # the shard answered: transport is healthy
+        if msg.get("ok"):
+            self._count("serve.mutations_ok")
+            return ServeResponse(ok=True, result=msg.get("result") or {})
+        code = msg.get("error", ERR_INTERNAL)
+        self._count(f"serve.worker_error.{code}")
+        return error_response(code, msg.get("message", "worker-side failure"))
+
+    def _on_response(self, msg: dict) -> None:
+        """Bridge router thread: hand a worker answer to its waiter."""
+        request_id = msg.get("request_id")
+        with self._waiter_lock:
+            waiter = self._waiters.get(request_id) if request_id else None
+        if waiter is None:
+            # The caller already timed out / was shed; the late answer is
+            # accounted and dropped.
+            self._count("serve.orphan_responses")
+            return
+        waiter.message = msg
+        waiter.event.set()
+
+    # ------------------------------------------------------------------ #
+    # Breakers, health, accounting
+    # ------------------------------------------------------------------ #
+
+    def _breaker(self, shard_id: int) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(shard_id)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.config.breaker_failures,
+                    self.config.breaker_reset_s,
+                    on_transition=lambda old, new, s=shard_id: (
+                        self._breaker_transition(s, old, new)
+                    ),
+                )
+                self._breakers[shard_id] = breaker
+            return breaker
+
+    def _breaker_transition(self, shard_id: int, old: str, new: str) -> None:
+        self._count(f"serve.breaker_{new}")
+        self._event("serve.breaker", shard=shard_id, from_state=old, to_state=new)
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` payload: breaker + heartbeat state per shard."""
+        shards = []
+        for snap in self.bridge.health_snapshot():
+            snap["breaker"] = self._breaker(snap["shard"]).snapshot()
+            shards.append(snap)
+        serving = any(s["healthy"] for s in shards)
+        return {
+            "ok": serving,
+            "serving": serving,
+            "bound": self.bridge.bound.is_set(),
+            "shards": shards,
+            "admission": self.admission.snapshot(),
+            "cache": self.bridge.cache.snapshot(),
+        }
+
+    def _count(self, name: str) -> None:
+        with self._trace_lock:
+            self.tracer.count(name)
+
+    def _event(self, name: str, **fields) -> None:
+        with self._trace_lock:
+            self.tracer.event(name, self._clock() - self._t0, **fields)

@@ -136,7 +136,46 @@ def test_retry_policy_validation():
     with pytest.raises(ValueError):
         RetryPolicy(heartbeat_deadline_s=0.0)
     with pytest.raises(ValueError):
+        RetryPolicy(boot_deadline_s=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(kill_join_timeout_s=0.0)
+    with pytest.raises(ValueError):
         RetryPolicy().delay_for(0)
+
+
+def test_retry_policy_boot_deadline_derives_from_heartbeat_deadline():
+    # Explicit wins; otherwise 6x the heartbeat deadline; disabled
+    # liveness disables the boot deadline too.
+    assert RetryPolicy(heartbeat_deadline_s=5.0, boot_deadline_s=42.0).effective_boot_deadline_s == 42.0
+    assert RetryPolicy(heartbeat_deadline_s=5.0).effective_boot_deadline_s == 30.0
+    assert RetryPolicy(heartbeat_deadline_s=None).effective_boot_deadline_s is None
+    assert RetryPolicy(heartbeat_deadline_s=None, boot_deadline_s=9.0).effective_boot_deadline_s == 9.0
+
+
+def test_supervisor_liveness_clock_starts_at_first_heartbeat():
+    """Satellite fix: a tight heartbeat deadline must not misfire on a
+    slow boot — silence only counts from the first heartbeat received."""
+    from repro.fleet.supervisor import _RUNNING, FleetSupervisor, _ShardState
+
+    spec = FleetSpec(population=(("watch-day", 2),), seed=0, **SMALL)
+    retry = RetryPolicy(heartbeat_deadline_s=0.5, boot_deadline_s=30.0)
+    supervisor = FleetSupervisor.__new__(FleetSupervisor)
+    supervisor.retry = retry
+    state = _ShardState(plan_shards(spec, 1)[0])
+    state.status = _RUNNING
+    state.launched_t = 100.0
+    state.last_beat = 100.0
+    state.booted = False
+    # 10 s after launch with no beat: way past the heartbeat deadline but
+    # inside the boot deadline — NOT a stall (pre-fix this killed boots).
+    assert supervisor._stall_reason(state, now=110.0) is None
+    # Past the boot deadline without a first beat: a boot stall.
+    assert "boot deadline" in supervisor._stall_reason(state, now=131.0)
+    # Once booted, the heartbeat deadline runs from the last beat.
+    state.booted = True
+    state.last_beat = 200.0
+    assert supervisor._stall_reason(state, now=200.4) is None
+    assert "heartbeat deadline" in supervisor._stall_reason(state, now=200.6)
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,174 @@
+"""Concurrent SDB API calls never corrupt runtime state (satellite of
+the serving front end): an emulation loop ticking an
+:class:`~repro.core.runtime.SDBRuntime` while serving threads issue
+QueryBatteryStatus / SetCharge / SetDischarge / SelectChargingProfile
+against the same controller must leave ratio state and tenant credit
+accounting exact — the thread-safety contract ``runtime.lock`` promises
+(and ``repro.core.api``'s docstring documents for the lock-free
+:class:`SDBApi` beneath it).
+"""
+
+import threading
+
+import pytest
+
+from repro.cell import new_cell
+from repro.core.runtime import SDBRuntime
+from repro.core.vdag import (
+    AggregateBattery,
+    BatteryDAG,
+    PhysicalBattery,
+    SplitterBattery,
+    TenantContract,
+)
+from repro.errors import RatioError
+from repro.hardware import SDBMicrocontroller
+from repro.hardware.charge import FAST_PROFILE, GENTLE_PROFILE, STANDARD_PROFILE
+
+N_THREADS = 8
+ITERATIONS = 60
+
+
+def make_runtime(n=3, dag=None):
+    controller = SDBMicrocontroller([new_cell("B06", soc=0.8) for _ in range(n)])
+    return SDBRuntime(controller, update_interval_s=1.0, dag=dag), controller
+
+
+def hammer(worker, n_threads=N_THREADS):
+    """Run ``worker(thread_index)`` on N threads; re-raise any failure."""
+    errors = []
+
+    def wrapped(i):
+        try:
+            worker(i)
+        except Exception as exc:  # noqa: BLE001 - collected and re-raised
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+    assert not any(t.is_alive() for t in threads), "a worker thread hung"
+    if errors:
+        raise errors[0]
+
+
+def assert_ratio_invariants(ratios, n):
+    """What a corrupt install would break: length, sign, normalization."""
+    assert len(ratios) == n
+    assert all(r >= 0.0 for r in ratios)
+    assert sum(ratios) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_concurrent_ticks_and_queries_never_torn():
+    runtime, controller = make_runtime()
+
+    def worker(i):
+        for step in range(ITERATIONS):
+            if i % 2 == 0:
+                runtime.tick(float(i * ITERATIONS + step), load_w=1.5)
+            else:
+                statuses = runtime.query_status()
+                assert len(statuses) == controller.n
+                for status in statuses:
+                    assert 0.0 <= status.soc <= 1.0
+
+    hammer(worker)
+    assert_ratio_invariants(controller.discharge_ratios, controller.n)
+
+
+def test_concurrent_apply_calls_always_leave_a_valid_vector():
+    runtime, controller = make_runtime()
+    vectors = [
+        (1.0, 0.0, 0.0),
+        (0.0, 1.0, 0.0),
+        (0.0, 0.0, 1.0),
+        (0.5, 0.25, 0.25),
+    ]
+
+    def worker(i):
+        for step in range(ITERATIONS):
+            vec = vectors[(i + step) % len(vectors)]
+            if i % 3 == 0:
+                runtime.tick(float(step), load_w=2.0)
+            elif i % 3 == 1:
+                assert runtime.apply_discharge(vec)
+            else:
+                assert runtime.apply_charge(vec)
+            # Whatever interleaving happened, the installed vectors are
+            # never torn: some complete install always won.
+            assert_ratio_invariants(controller.discharge_ratios, controller.n)
+            assert_ratio_invariants(controller.charge_ratios, controller.n)
+
+    hammer(worker)
+
+
+def test_concurrent_profile_selection_installs_whole_profiles():
+    runtime, controller = make_runtime()
+    profiles = (STANDARD_PROFILE, FAST_PROFILE, GENTLE_PROFILE)
+
+    def worker(i):
+        for step in range(ITERATIONS):
+            if i % 2 == 0:
+                runtime.apply_profile(profiles[(i + step) % 3])
+            else:
+                runtime.apply_profile(profiles[(i + step) % 3], battery_index=i % controller.n)
+
+    hammer(worker)
+    for profile in controller.profiles:
+        assert profile in profiles  # a whole profile object, never a blend
+
+
+def test_malformed_vectors_fail_atomically_under_contention():
+    runtime, controller = make_runtime()
+    runtime.apply_discharge((0.5, 0.25, 0.25))
+
+    def worker(i):
+        for _ in range(ITERATIONS):
+            with pytest.raises(RatioError):
+                runtime.apply_discharge((0.9, 0.9, 0.9))  # not normalized
+
+    hammer(worker)
+    # Every rejected install left the last good vector untouched.
+    assert list(controller.discharge_ratios) == pytest.approx([0.5, 0.25, 0.25])
+
+
+def test_tenant_credit_accounting_is_exact_under_contention():
+    contracts = (
+        TenantContract("ui", reserved_fraction=0.5, claimed_w=3.0),
+        TenantContract("sync", reserved_fraction=0.2, claimed_w=1.0),
+    )
+    pack = AggregateBattery("pack", [PhysicalBattery(f"cell{i}", i) for i in range(2)])
+    dag = BatteryDAG(SplitterBattery("contracts", pack, contracts), 2)
+    controller = SDBMicrocontroller([new_cell("B06", soc=0.8) for _ in range(2)])
+    runtime = SDBRuntime(controller, update_interval_s=1.0, dag=dag)
+
+    dt = 0.5
+    demands = {"ui": 2.0, "sync": 0.5}
+    admitted_total = [0.0] * N_THREADS
+
+    def worker(i):
+        for step in range(ITERATIONS):
+            # account() is a compound read-modify-write across tenant
+            # ledgers: the documented contract is to hold runtime.lock
+            # (as the serving/status threads do for their sequences).
+            with runtime.lock:
+                admitted_w = dag.account(float(step), dt, demands)
+            admitted_total[i] += admitted_w * dt
+            if step % 7 == 0:
+                runtime.tick(float(step), load_w=1.0)
+            if step % 11 == 0:
+                runtime.query_status()
+
+    hammer(worker)
+    consumed = sum(
+        dag.node(name).consumed_j for name in ("ui", "sync")
+    )
+    # Exact bookkeeping: every admitted joule is credited to exactly one
+    # tenant ledger — no lost updates, no double counting.
+    assert consumed == pytest.approx(sum(admitted_total), rel=1e-9)
+    assert consumed > 0.0
+    for name in ("ui", "sync"):
+        tenant = dag.node(name)
+        assert 0.0 <= tenant.consumed_j <= tenant.reserved_j + 1e-9

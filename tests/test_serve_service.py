@@ -1,0 +1,442 @@
+"""The serving front end against a fake bridge: deadline propagation,
+backpressure, degraded reads, breaker lifecycle, and the HTTP skin —
+no worker processes, no fleet. The real-fleet integration runs in
+``scripts/serve_chaos_check.py`` (the ``serve-chaos`` CI job).
+"""
+
+import json
+import queue
+import threading
+import time
+import urllib.error
+import urllib.request
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import Tracer
+from repro.serve import (
+    OPEN,
+    FleetFrontEnd,
+    ServeBridge,
+    ServeConfig,
+    make_http_server,
+)
+
+DEVICES = ("dev-a", "dev-b")
+
+
+def make_bridge():
+    """A bound bridge over in-process queues: shard 0 owns dev-a/dev-b."""
+    bridge = ServeBridge()
+    plan = SimpleNamespace(
+        shard_id=0, devices=[SimpleNamespace(device_id=d) for d in DEVICES]
+    )
+    requests: queue.Queue = queue.Queue()
+    responses: queue.Queue = queue.Queue()
+    bridge.bind([plan], {0: requests}, responses)
+    return bridge, requests, responses
+
+
+class FakeWorker(threading.Thread):
+    """Answers (or ignores) mutation requests like a shard servicer."""
+
+    def __init__(self, requests, responses, handler):
+        super().__init__(daemon=True)
+        self.requests = requests
+        self.responses = responses
+        self.handler = handler
+        self._halt = threading.Event()
+
+    def run(self):
+        while not self._halt.is_set():
+            try:
+                wire = self.requests.get(timeout=0.02)
+            except queue.Empty:
+                continue
+            reply = self.handler(wire)
+            if reply is not None:
+                self.responses.put(reply)
+
+    def stop(self):
+        self._halt.set()
+        self.join(timeout=2.0)
+
+
+def echo_ok(wire):
+    return {"request_id": wire["request_id"], "ok": True, "result": {"applied": True}}
+
+
+def front_end(bridge, **overrides) -> FleetFrontEnd:
+    config = ServeConfig(
+        capacity=overrides.pop("capacity", 8),
+        retry_after_s=0.2,
+        default_timeout_s=overrides.pop("default_timeout_s", 0.5),
+        stale_after_s=overrides.pop("stale_after_s", 5.0),
+        breaker_failures=overrides.pop("breaker_failures", 2),
+        breaker_reset_s=overrides.pop("breaker_reset_s", 0.1),
+        **overrides,
+    )
+    return FleetFrontEnd(bridge, config, tracer=Tracer())
+
+
+def healthy(bridge):
+    bridge.update_shard(0, status="running", booted=True, beat=True, pid=123)
+
+
+# --------------------------------------------------------------------- #
+# Reads
+# --------------------------------------------------------------------- #
+
+
+def test_read_answers_from_cache_and_flags_staleness():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge, stale_after_s=0.05)
+    healthy(bridge)
+    bridge.publish_status(0, "dev-a", [{"soc": 0.7}])
+    resp = fe.handle(fe.make_request("QueryBatteryStatus", "dev-a"))
+    assert resp.ok and resp.degraded is False
+    assert resp.result["statuses"] == [{"soc": 0.7}]
+    time.sleep(0.08)  # outlive the freshness bound
+    resp = fe.handle(fe.make_request("QueryBatteryStatus", "dev-a"))
+    assert resp.ok and resp.degraded is True and resp.stale_s > 0.05
+    assert fe.tracer.counters["serve.degraded_reads"] == 1
+
+
+def test_read_degrades_when_shard_is_down_even_if_entry_is_fresh():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge)
+    bridge.publish_status(0, "dev-a", [{"soc": 0.7}])
+    bridge.update_shard(0, status="waiting", booted=False)  # dead/restarting
+    resp = fe.handle(fe.make_request("QueryBatteryStatus", "dev-a"))
+    assert resp.ok and resp.degraded is True  # still an answer, flagged
+
+
+def test_read_before_any_publish_is_retryable_not_running():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge)
+    healthy(bridge)
+    resp = fe.handle(fe.make_request("QueryBatteryStatus", "dev-a"))
+    assert not resp.ok and resp.error == "not_running" and resp.retryable
+    bridge.update_shard(0, status="quarantined", booted=False)
+    resp = fe.handle(fe.make_request("QueryBatteryStatus", "dev-b"))
+    assert not resp.ok and resp.error == "quarantined" and not resp.retryable
+
+
+def test_unknown_device_and_op_are_non_retryable():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge)
+    resp = fe.handle(fe.make_request("QueryBatteryStatus", "nope"))
+    assert resp.error == "not_found" and resp.http_status == 404
+    resp = fe.handle(fe.make_request("EatBattery", "dev-a"))
+    assert resp.error == "bad_request" and resp.http_status == 400
+
+
+# --------------------------------------------------------------------- #
+# Mutations: deadline propagation and worker answers
+# --------------------------------------------------------------------- #
+
+
+def test_mutation_round_trip_carries_deadline_to_the_worker():
+    bridge, requests, responses = make_bridge()
+    fe = front_end(bridge)
+    healthy(bridge)
+    seen = {}
+
+    def handler(wire):
+        seen.update(wire)
+        return echo_ok(wire)
+
+    worker = FakeWorker(requests, responses, handler)
+    worker.start()
+    try:
+        before = time.time()
+        resp = fe.handle(
+            fe.make_request("SetCharge", "dev-a", ratios=(0.5, 0.5), timeout_s=2.0)
+        )
+        assert resp.ok and resp.result == {"applied": True}
+        assert seen["op"] == "SetCharge" and seen["ratios"] == [0.5, 0.5]
+        # The absolute deadline crossed the wire intact.
+        assert seen["deadline_t"] == pytest.approx(before + 2.0, abs=0.5)
+    finally:
+        worker.stop()
+
+
+def test_mutation_times_out_against_a_silent_worker():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge, default_timeout_s=0.15)
+    healthy(bridge)
+    t0 = time.monotonic()
+    resp = fe.handle(fe.make_request("SetDischarge", "dev-a", ratios=(1.0,)))
+    elapsed = time.monotonic() - t0
+    assert resp.error == "deadline_exceeded" and resp.retryable
+    assert elapsed < 1.0  # bounded by the deadline, not a hang
+    assert fe.tracer.counters["serve.deadline_timeouts"] == 1
+
+
+def test_mutation_on_completed_device_is_gone():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge)
+    healthy(bridge)
+    bridge.mark_completed(0, "dev-a", [{"soc": 0.0}])
+    resp = fe.handle(fe.make_request("SetCharge", "dev-a", ratios=(1.0,)))
+    assert resp.error == "completed" and resp.http_status == 410
+
+    resp = fe.handle(fe.make_request("QueryBatteryStatus", "dev-a"))
+    assert resp.ok and resp.result["completed"] and resp.degraded is False
+
+
+def test_worker_side_logical_errors_pass_through_typed():
+    bridge, requests, responses = make_bridge()
+    fe = front_end(bridge)
+    healthy(bridge)
+    worker = FakeWorker(
+        requests,
+        responses,
+        lambda wire: {
+            "request_id": wire["request_id"],
+            "ok": False,
+            "error": "not_running",
+            "message": "between devices",
+        },
+    )
+    worker.start()
+    try:
+        resp = fe.handle(fe.make_request("SetCharge", "dev-a", ratios=(1.0,)))
+        assert resp.error == "not_running" and resp.retryable
+        # A logical error is a *transport success*: no breaker damage.
+        assert fe._breaker(0).state != OPEN
+    finally:
+        worker.stop()
+
+
+# --------------------------------------------------------------------- #
+# Breaker lifecycle over the mutation path
+# --------------------------------------------------------------------- #
+
+
+def test_breaker_opens_after_timeouts_then_fast_fails_then_recovers():
+    bridge, requests, responses = make_bridge()
+    fe = front_end(bridge, default_timeout_s=0.1, breaker_failures=2, breaker_reset_s=0.15)
+    healthy(bridge)
+    # Two consecutive deadline timeouts trip the breaker.
+    for _ in range(2):
+        resp = fe.handle(fe.make_request("SetCharge", "dev-a", ratios=(1.0,)))
+        assert resp.error == "deadline_exceeded"
+    assert fe._breaker(0).state == OPEN
+    # While open: fail fast (no deadline burned) with a retry hint.
+    t0 = time.monotonic()
+    resp = fe.handle(fe.make_request("SetCharge", "dev-a", ratios=(1.0,)))
+    assert resp.error == "unavailable" and resp.retry_after_s is not None
+    assert time.monotonic() - t0 < 0.05
+    # Reads keep answering (degraded) while the breaker is open.
+    bridge.publish_status(0, "dev-a", [{"soc": 0.4}])
+    read = fe.handle(fe.make_request("QueryBatteryStatus", "dev-a"))
+    assert read.ok and read.degraded is True
+    # After reset_after_s a probe goes through; a healthy worker closes it.
+    worker = FakeWorker(requests, responses, echo_ok)
+    worker.start()
+    try:
+        time.sleep(0.2)
+        resp = fe.handle(fe.make_request("SetCharge", "dev-a", ratios=(1.0,)))
+        assert resp.ok
+        assert fe._breaker(0).state == "closed"
+    finally:
+        worker.stop()
+    events = [r.name for r in fe.tracer.records if r.name == "serve.breaker"]
+    assert len(events) >= 3  # closed->open, open->half_open, half_open->closed
+
+
+# --------------------------------------------------------------------- #
+# Overload and backpressure
+# --------------------------------------------------------------------- #
+
+
+def test_overload_sheds_oldest_deadline_first_with_429():
+    bridge, _requests, _responses = make_bridge()
+    fe = front_end(bridge, capacity=2, default_timeout_s=5.0)
+    healthy(bridge)
+    results = {}
+    started = threading.Barrier(3)
+
+    def call(name, timeout_s):
+        req = fe.make_request("SetCharge", "dev-a", ratios=(1.0,), timeout_s=timeout_s)
+        started.wait(timeout=2.0)
+        results[name] = fe.handle(req)
+
+    # Two in-flight mutations against a silent worker occupy the queue...
+    t_early = threading.Thread(target=call, args=("early", 1.2))
+    t_late = threading.Thread(target=call, args=("late", 5.0))
+    t_early.start()
+    t_late.start()
+    started.wait(timeout=2.0)
+    time.sleep(0.15)  # let both actually admit and block
+    # ...so a third with a mid deadline evicts the earliest-deadline one.
+    t0 = time.monotonic()
+    victim_resp_holder = {}
+
+    def third():
+        victim_resp_holder["resp"] = fe.handle(
+            fe.make_request("SetCharge", "dev-a", ratios=(1.0,), timeout_s=3.0)
+        )
+
+    t_third = threading.Thread(target=third)
+    t_third.start()
+    t_early.join(timeout=2.0)
+    shed_latency = time.monotonic() - t0
+    assert not t_early.is_alive(), "victim must unblock promptly when shed"
+    assert results["early"].error == "overloaded"
+    assert results["early"].http_status == 429
+    assert results["early"].retry_after_s is not None
+    assert shed_latency < 1.0  # bounded time, well before its 1.2 s deadline
+    # The other two eventually resolve by deadline; nothing hangs.
+    t_late.join(timeout=7.0)
+    t_third.join(timeout=5.0)
+    assert not t_late.is_alive() and not t_third.is_alive()
+    snap = fe.admission.snapshot()
+    assert snap["shed_total"] >= 1 and snap["in_flight"] == 0
+    assert fe.tracer.counters["serve.shed"] >= 1
+
+
+def test_saturated_queue_sheds_hopeless_newcomers_immediately():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge, capacity=1, default_timeout_s=5.0)
+    healthy(bridge)
+    blocker = threading.Thread(
+        target=lambda: fe.handle(
+            fe.make_request("SetCharge", "dev-a", ratios=(1.0,), timeout_s=1.0)
+        )
+    )
+    blocker.start()
+    time.sleep(0.1)
+    t0 = time.monotonic()
+    resp = fe.handle(
+        fe.make_request("SetCharge", "dev-a", ratios=(1.0,), timeout_s=0.5)
+    )
+    assert resp.error == "overloaded" and time.monotonic() - t0 < 0.2
+    blocker.join(timeout=3.0)
+
+
+def test_blown_deadline_rejected_at_the_door():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge)
+    healthy(bridge)
+    req = fe.make_request("SetCharge", "dev-a", ratios=(1.0,), timeout_s=0.0)
+    time.sleep(0.01)
+    resp = fe.handle(req)
+    assert resp.error == "deadline_exceeded"
+    assert fe.admission.snapshot()["rejected_total"] == 1
+
+
+# --------------------------------------------------------------------- #
+# healthz and the HTTP skin
+# --------------------------------------------------------------------- #
+
+
+def test_healthz_reports_breaker_and_heartbeat_state():
+    bridge, _, _ = make_bridge()
+    fe = front_end(bridge, default_timeout_s=0.05, breaker_failures=1)
+    healthy(bridge)
+    payload = fe.healthz()
+    assert payload["ok"] and payload["bound"]
+    (shard,) = payload["shards"]
+    assert shard["healthy"] and shard["breaker"]["state"] == "closed"
+    assert shard["last_beat_age_s"] is not None
+    fe.handle(fe.make_request("SetCharge", "dev-a", ratios=(1.0,)))  # trips breaker
+    payload = fe.healthz()
+    assert payload["shards"][0]["breaker"]["state"] == "open"
+    assert set(payload["admission"]) >= {"capacity", "in_flight", "shed_total"}
+    assert set(payload["cache"]) >= {"devices_cached", "stale_after_s"}
+
+
+def test_http_skin_maps_typed_errors_and_retry_after():
+    bridge, requests, responses = make_bridge()
+    fe = front_end(bridge, default_timeout_s=0.5)
+    healthy(bridge)
+    bridge.publish_status(0, "dev-a", [{"soc": 0.9}])
+    worker = FakeWorker(requests, responses, echo_ok)
+    worker.start()
+    server = make_http_server(fe, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, kwargs={"poll_interval": 0.05})
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    def get(path):
+        try:
+            with urllib.request.urlopen(base + path, timeout=5) as r:
+                return r.status, json.loads(r.read()), dict(r.headers)
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read()), dict(e.headers)
+
+    def post(path, body):
+        req = urllib.request.Request(
+            base + path, data=json.dumps(body).encode(), method="POST"
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=5) as r:
+                return r.status, json.loads(r.read()), dict(r.headers)
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read()), dict(e.headers)
+
+    try:
+        code, body, _ = get("/healthz")
+        assert code == 200 and body["ok"]
+        code, body, _ = get("/v1/devices")
+        assert code == 200 and body["devices"] == list(DEVICES)
+        code, body, _ = get("/v1/status/dev-a?timeout_s=2")
+        assert code == 200 and body["result"]["statuses"] == [{"soc": 0.9}]
+        assert body["degraded"] is False
+        code, body, _ = post("/v1/charge/dev-a", {"ratios": [0.5, 0.5]})
+        assert code == 200 and body["ok"]
+        code, body, _ = get("/v1/status/ghost")
+        assert code == 404 and body["error"] == "not_found"
+        code, body, _ = post("/v1/profile/dev-a", {"profile": 5, "timeout_s": "x"})
+        assert code == 400
+        code, body, _ = get("/v1/nope")
+        assert code == 400
+        # Backpressure surfaces as HTTP 429 + Retry-After: silence the
+        # worker and shrink admission to one slot.
+        worker.stop()
+        fe.admission.capacity = 1
+        blocker = threading.Thread(
+            target=lambda: post("/v1/charge/dev-a", {"ratios": [1.0], "timeout_s": 1.0})
+        )
+        blocker.start()
+        time.sleep(0.15)
+        code, body, headers = post(
+            "/v1/charge/dev-a", {"ratios": [1.0], "timeout_s": 0.5}
+        )
+        assert code == 429 and body["error"] == "overloaded"
+        assert int(headers["Retry-After"]) >= 1
+        blocker.join(timeout=3.0)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=2.0)
+        worker.stop()
+
+
+def test_orphan_responses_are_dropped_and_counted():
+    bridge, requests, responses = make_bridge()
+    fe = front_end(bridge, default_timeout_s=0.1)
+    healthy(bridge)
+
+    def late(wire):
+        time.sleep(0.3)  # past the caller's deadline
+        return echo_ok(wire)
+
+    worker = FakeWorker(requests, responses, late)
+    worker.start()
+    try:
+        resp = fe.handle(fe.make_request("SetCharge", "dev-a", ratios=(1.0,)))
+        assert resp.error == "deadline_exceeded"
+        deadline = time.monotonic() + 2.0
+        while (
+            fe.tracer.counters.get("serve.orphan_responses", 0) == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        assert fe.tracer.counters["serve.orphan_responses"] == 1
+    finally:
+        worker.stop()
