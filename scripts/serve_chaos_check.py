@@ -36,6 +36,7 @@ import pathlib
 import shutil
 import signal
 import sys
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -105,10 +106,35 @@ def shard_state(base: str, shard: int) -> dict:
     raise SystemExit(f"shard {shard} missing from /healthz")
 
 
+def arm_watchdog(budget_s: float) -> None:
+    """Kill the whole check if it outlives its wall-clock budget.
+
+    A hung ThreadingHTTPServer or a worker stuck in boot would otherwise
+    stall the CI job until the runner-level timeout; ``os._exit`` is
+    deliberate — a wedged accept loop cannot be joined politely, and a
+    fast red job beats a slow hung one.
+    """
+
+    def _fire() -> None:
+        print(f"WATCHDOG: serve chaos check exceeded {budget_s:.0f} s", flush=True)
+        os._exit(3)
+
+    timer = threading.Timer(budget_s, _fire)
+    timer.daemon = True
+    timer.start()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="serve-chaos", help="artifact directory")
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        default=300.0,
+        help="hard wall-clock budget before the watchdog kills the check",
+    )
     args = parser.parse_args()
+    arm_watchdog(args.budget_s)
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     # A fresh run every time: a stale checkpoint dir would mark devices

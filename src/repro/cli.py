@@ -655,6 +655,67 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def cmd_directory(args: argparse.Namespace) -> int:
+    """Drive a two-node battery directory through partition and heal.
+
+    Builds two emulated devices, exports each as a TCP battery node,
+    registers both in a :class:`~repro.net.BatteryDirectory`, and runs
+    the seeded partition-and-heal cycle: fresh reads while both nodes
+    are live, cache-backed degraded reads (explicit ``stale_s``) and
+    fail-fast ``unavailable`` mutations while one node is partitioned,
+    lease transitions (``live -> suspect -> live``) in the trace, and an
+    idempotency-key replay applied exactly once — see
+    ``docs/networking.md``.
+
+    Exit contract: 0 — every check passed; 1 — a check failed (the
+    summary says which); 2 — unusable configuration.
+    """
+    import json
+
+    from repro.errors import NetError
+    from repro.net.chaos import cycle_ok, run_partition_cycle
+
+    tracer = None
+    trace_out: Optional[pathlib.Path] = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        trace_out = pathlib.Path(args.trace)
+        tracer = Tracer()
+
+    try:
+        if args.partition_s <= 0:
+            raise NetError("--partition-s must be positive")
+        if args.tick_s <= 0:
+            raise NetError("--tick-s must be positive")
+        summary = run_partition_cycle(
+            seed=args.seed,
+            partition_s=args.partition_s,
+            tick_s=args.tick_s,
+            tracer=tracer,
+            scenario=args.scenario,
+        )
+    except (NetError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    for name, passed in summary["checks"].items():
+        print(f"  {'ok' if passed else 'FAIL':4s} {name}")
+    print(
+        f"  stale_s samples during partition: "
+        f"{', '.join(f'{s:.2f}' for s in summary['stale_samples'])}"
+    )
+    if args.summary is not None:
+        summary_path = pathlib.Path(args.summary)
+        summary_path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"wrote directory summary to {summary_path}")
+    if tracer is not None:
+        status = _export_trace(tracer, args.trace_format, trace_out)
+        if status != 0:
+            return status
+    return 0 if cycle_ok(summary) else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a batched parameter sweep over a scenario x policy x seed grid.
 
@@ -1220,6 +1281,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace output format (default: jsonl)",
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_directory = sub.add_parser(
+        "directory",
+        help="drive a two-node battery directory through a seeded "
+        "partition-and-heal cycle (degraded reads, fail-fast mutations, "
+        "lease lifecycle, idempotent replay)",
+    )
+    p_directory.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seeds the devices, retry jitter, and fault schedule (default 0)",
+    )
+    p_directory.add_argument(
+        "--partition-s",
+        type=float,
+        default=1.2,
+        help="how long the partitioned node stays unreachable (default 1.2)",
+    )
+    p_directory.add_argument(
+        "--tick-s",
+        type=float,
+        default=0.15,
+        help="driver cadence: heartbeats and probe reads per tick "
+        "(default 0.15)",
+    )
+    p_directory.add_argument(
+        "--scenario",
+        default="watch-day",
+        help="fleet scenario both node devices run (default watch-day)",
+    )
+    p_directory.add_argument(
+        "--summary",
+        metavar="PATH",
+        help="write the cycle summary (checks + evidence) as JSON to PATH",
+    )
+    p_directory.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable structured tracing of net.* events and write the log "
+        "to PATH",
+    )
+    p_directory.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="trace output format (default: jsonl)",
+    )
+    p_directory.set_defaults(func=cmd_directory)
 
     p_sweep = sub.add_parser(
         "sweep",

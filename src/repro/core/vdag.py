@@ -18,6 +18,13 @@ lineage (Stanford's ``AggregatorBattery``/``BALSplitter``, Ouyancheng's
   spends its whole reserve is cut off until recharge/reset.
 * :class:`TenantBattery` — the per-tenant handle a splitter exposes; its
   virtual state of charge is the unspent fraction of its reserve.
+* :class:`RemoteBattery` — a leafless node whose cells live on another
+  machine, seen through a :class:`~repro.net.directory.BatteryDirectory`
+  status provider. Remote children contribute capacity-weighted status
+  to any aggregate above them (with explicit ``degraded``/``stale_s``
+  honesty when the node is partitioned) but accept **no** local ratio
+  shares — local control of remote cells crosses the wire through the
+  directory's four SDB calls, never through a local vector.
 
 A :class:`BatteryDAG` roots the graph, validates that the physical leaves
 cover every controller index exactly once, and provides the resolution
@@ -61,6 +68,7 @@ __all__ = [
     "TenantContract",
     "BatteryNode",
     "PhysicalBattery",
+    "RemoteBattery",
     "AggregateBattery",
     "TenantBattery",
     "SplitterBattery",
@@ -100,6 +108,11 @@ class NodeStatus:
     is_empty: bool
     is_full: bool
     children: Tuple[str, ...] = ()
+    #: Remote fields — meaningful when the node (or a descendant) is a
+    #: :class:`RemoteBattery`: ``degraded`` marks a rollup built from a
+    #: stale or missing remote view, ``stale_s`` its worst staleness.
+    degraded: bool = False
+    stale_s: Optional[float] = None
     #: Contract fields — populated for ``kind == "tenant"`` only.
     claimed_w: Optional[float] = None
     reserved_j: Optional[float] = None
@@ -190,6 +203,71 @@ class PhysicalBattery(BatteryNode):
 
     def leaf_indices(self) -> Tuple[int, ...]:
         return (self.index,)
+
+
+class RemoteBattery(BatteryNode):
+    """A battery that lives on another machine, seen through a directory.
+
+    Contributes **no** physical leaf indices (its cells are behind
+    another controller) and is never dischargeable locally — routing a
+    local ratio share at it is a :class:`~repro.errors.RatioError`.
+    Status comes from ``status_provider``, a callable returning the
+    :meth:`repro.net.directory.BatteryDirectory.remote_status` rollup
+    dict (or None when nothing was ever cached). A missing or None
+    provider answers as a degraded empty battery rather than raising:
+    a partitioned remote must never break a local status walk.
+
+    Args:
+        name: node name in the DAG directory.
+        device_id: the remote device this node mirrors.
+        status_provider: zero-arg callable yielding the rollup dict;
+            attach later via :meth:`bind_provider` if unavailable at
+            construction.
+    """
+
+    kind = "remote"
+
+    def __init__(
+        self,
+        name: str,
+        device_id: str,
+        status_provider: Optional[Callable[[], Optional[Mapping]]] = None,
+    ):
+        super().__init__(name)
+        if not device_id:
+            raise ValueError(f"remote battery {name!r} needs a device id")
+        self.device_id = device_id
+        self.status_provider = status_provider
+
+    def bind_provider(self, status_provider: Callable[[], Optional[Mapping]]) -> None:
+        """Attach (or replace) the directory-backed status source."""
+        self.status_provider = status_provider
+
+    def leaf_indices(self) -> Tuple[int, ...]:
+        return ()
+
+    def dischargeable(self) -> bool:
+        return False
+
+    def view(self) -> dict:
+        """The remote rollup, degraded-empty when nothing is known."""
+        raw = self.status_provider() if self.status_provider is not None else None
+        if raw is None:
+            return {
+                "n_cells": 0, "soc": 0.0, "capacity_mah": 0.0,
+                "terminal_voltage": 0.0, "is_empty": True, "is_full": False,
+                "degraded": True, "stale_s": None,
+            }
+        return {
+            "n_cells": int(raw.get("n_cells", 0)),
+            "soc": float(raw.get("soc", 0.0)),
+            "capacity_mah": float(raw.get("capacity_mah", 0.0)),
+            "terminal_voltage": float(raw.get("terminal_voltage", 0.0)),
+            "is_empty": bool(raw.get("is_empty", True)),
+            "is_full": bool(raw.get("is_full", False)),
+            "degraded": bool(raw.get("degraded", False)),
+            "stale_s": raw.get("stale_s"),
+        }
 
 
 class AggregateBattery(BatteryNode):
@@ -434,6 +512,22 @@ class SplitterBattery(BatteryNode):
 NodeRef = Union[BatteryNode, str]
 
 
+def _remote_descendants(node: BatteryNode) -> List["RemoteBattery"]:
+    """Every :class:`RemoteBattery` at or below a node, DAG order."""
+    out: List[RemoteBattery] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, RemoteBattery):
+            out.append(current)
+        if isinstance(current, SplitterBattery):
+            stack.append(current.source)
+            stack.extend(current.tenants)
+        else:
+            stack.extend(current.children)
+    return out
+
+
 class BatteryDAG:
     """The virtual-battery directory: a rooted DAG over physical cells.
 
@@ -559,6 +653,10 @@ class BatteryDAG:
         leaves = node.leaf_indices()
         if len(statuses) != self.n:
             raise ValueError(f"expected {self.n} statuses, got {len(statuses)}")
+        remotes = _remote_descendants(node)
+        if remotes:
+            base = self._status_with_remotes(node, leaves, statuses, remotes)
+            return NodeStatus(**base)
         picked = [statuses[i] for i in leaves]
         capacity = sum(status.capacity_mah for status in picked)
         weights = (
@@ -592,6 +690,51 @@ class BatteryDAG:
                 exhausted=node.exhausted,
             )
         return NodeStatus(**base)
+
+    def _status_with_remotes(
+        self, node: BatteryNode, leaves: Tuple[int, ...], statuses: Sequence,
+        remotes: List["RemoteBattery"],
+    ) -> dict:
+        """Capacity-weighted merge of local leaves and remote views.
+
+        Only reached when the node has a remote descendant — the
+        remote-free rollup path stays untouched (and bit-identical).
+        """
+        parts = []
+        for index in leaves:
+            status = statuses[index]
+            parts.append(
+                dict(
+                    n_cells=1, soc=status.soc, capacity_mah=status.capacity_mah,
+                    terminal_voltage=status.terminal_voltage,
+                    is_empty=status.is_empty, is_full=status.is_full,
+                    degraded=False, stale_s=None,
+                )
+            )
+        views = [remote.view() for remote in remotes]
+        parts.extend(views)
+        capacity = sum(part["capacity_mah"] for part in parts)
+        weights = (
+            [part["capacity_mah"] / capacity for part in parts]
+            if capacity > 0.0
+            else [1.0 / len(parts)] * len(parts)
+        )
+        stales = [part["stale_s"] for part in parts if part["stale_s"] is not None]
+        return dict(
+            name=node.name,
+            kind=node.kind,
+            n_cells=len(leaves) + sum(view["n_cells"] for view in views),
+            soc=sum(w * part["soc"] for w, part in zip(weights, parts)),
+            capacity_mah=capacity,
+            terminal_voltage=sum(
+                w * part["terminal_voltage"] for w, part in zip(weights, parts)
+            ),
+            is_empty=all(part["is_empty"] for part in parts),
+            is_full=all(part["is_full"] for part in parts),
+            children=tuple(child.name for child in node.children),
+            degraded=any(part["degraded"] for part in parts),
+            stale_s=max(stales) if stales else None,
+        )
 
     # ------------------------------------------------------------------ #
     # Ratio resolution
@@ -644,6 +787,15 @@ class BatteryDAG:
                 raise RatioError(f"negative share {share!r} for child {child.name!r}")
             if share == 0.0:
                 continue
+            if _remote_descendants(child):
+                # A remote child has no local leaves — silently dropping
+                # its share would misreport where energy is drawn from.
+                # Control of remote cells goes through the directory's
+                # SDB calls, never through a local ratio vector.
+                raise RatioError(
+                    f"child {child.name!r} is (or contains) a remote battery; "
+                    f"local ratio shares cannot be routed to it"
+                )
             leaves = child.leaf_indices()
             weights = [cells[i].usable_charge_c for i in leaves]
             total = sum(weights)
@@ -686,6 +838,8 @@ class BatteryDAG:
             entry: Dict = {"name": node.name, "kind": node.kind}
             if isinstance(node, PhysicalBattery):
                 entry["index"] = node.index
+            elif isinstance(node, RemoteBattery):
+                entry["device"] = node.device_id
             elif isinstance(node, SplitterBattery):
                 entry["source"] = describe(node.source)
                 entry["contracts"] = [asdict(tenant.contract) for tenant in node.tenants]

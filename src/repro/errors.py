@@ -107,6 +107,28 @@ class ServeError(SDBError):
     service boundary failure is an answer, not an exception."""
 
 
+class NetError(SDBError):
+    """The networked battery directory could not be configured or driven.
+
+    Raised for unusable directory/node configurations (duplicate device
+    routes, a node that cannot bind, registering an unreachable node
+    without a device list). A single *call* that fails against a remote
+    node is never raised through this type — remote-call failures are
+    typed wire responses (the :mod:`repro.serve.protocol` taxonomy),
+    because across a network boundary failure is the common case, not
+    the exceptional one."""
+
+
+class TransportError(NetError):
+    """One wire-level exchange with a remote battery node failed.
+
+    Covers connection refusals, timeouts, torn/garbled frames, and
+    injected faults (drops, partitions, lost replies). Always caught by
+    the directory's retry loop — it is the *signal* the retry policy,
+    circuit breaker, and lease machinery act on, never an error surfaced
+    raw to a caller."""
+
+
 class ReplayMismatch(SDBError):
     """A replayed run failed to reproduce its manifest's recorded results."""
 

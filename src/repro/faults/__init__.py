@@ -9,7 +9,11 @@ drift. This package turns that claim into something the repo can test:
   gauge stuck/offset/dropout/drift, regulator collapse and hard failure,
   transient command loss, load spikes);
 * :mod:`repro.faults.schedule` — :class:`FaultSchedule`, replayable and
-  seedable, pluggable into the emulator via ``faults=`` or ``hooks=``.
+  seedable, pluggable into the emulator via ``faults=`` or ``hooks=``;
+* :mod:`repro.faults.net` — :class:`NetFaultSchedule`, the same
+  discipline for the *wire*: drops, delays, duplicates and partitions
+  between a battery directory and its remote nodes (consumed by the
+  :class:`~repro.net.transport.NetFaultInjector` transport decorator).
 
 The runtime-side counterpart — detection, quarantine and graceful
 degradation — lives in :mod:`repro.core.health`. The chaos harness
@@ -30,6 +34,12 @@ from repro.faults.models import (
     RegulatorCollapseFault,
     RegulatorFailureFault,
 )
+from repro.faults.net import (
+    NET_FAULT_KINDS,
+    NetFaultDecision,
+    NetFaultSchedule,
+    NetFaultWindow,
+)
 from repro.faults.schedule import FaultSchedule
 
 __all__ = [
@@ -48,4 +58,8 @@ __all__ = [
     "RegulatorCollapseFault",
     "RegulatorFailureFault",
     "FaultSchedule",
+    "NET_FAULT_KINDS",
+    "NetFaultDecision",
+    "NetFaultSchedule",
+    "NetFaultWindow",
 ]

@@ -1,0 +1,262 @@
+"""Wire-level fault schedules: deterministic chaos for the network boundary.
+
+:mod:`repro.faults` has always answered "what happens when a *battery*
+misbehaves"; this module extends the same replayable-schedule discipline
+to "what happens when the *network* does". A :class:`NetFaultSchedule`
+is an ordered bag of :class:`NetFaultWindow` entries — each one names a
+fault kind, a wall-clock window (relative to the moment the schedule is
+armed), an optional probability, and an optional node filter — and is
+consumed by :class:`repro.net.transport.NetFaultInjector`, the transport
+decorator that sits between a :class:`~repro.net.directory.BatteryDirectory`
+and a remote node.
+
+Fault kinds::
+
+    drop       the request never reaches the node (lost on the way out)
+    delay      the exchange is held for ``delay_s`` before delivery
+    duplicate  the request is delivered twice (the second reply discarded)
+    oneway     one-way partition: the request *reaches and executes* on
+               the node, but the reply is lost — the caller sees a
+               transport failure while the side effect landed (the case
+               idempotency keys exist for)
+    partition  full partition: nothing crosses in either direction
+
+Determinism mirrors :class:`~repro.faults.schedule.FaultSchedule`:
+explicit constructors take literal times, probabilistic windows draw
+from a generator resolved once from the schedule's seed, and
+:meth:`NetFaultSchedule.chaos` derives an entire partition-and-heal
+scenario from nothing but its seed — two runs of the same seed inject
+the same wire faults in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.determinism import SeedLike, resolve_rng
+
+__all__ = ["NET_FAULT_KINDS", "NetFaultWindow", "NetFaultDecision", "NetFaultSchedule"]
+
+#: The wire-fault vocabulary, in the order the injector applies them.
+NET_FAULT_KINDS = ("partition", "oneway", "drop", "delay", "duplicate")
+
+
+@dataclass(frozen=True)
+class NetFaultWindow:
+    """One scheduled wire fault: kind, window, probability, node filter.
+
+    Attributes:
+        kind: one of :data:`NET_FAULT_KINDS`.
+        t0_s: window start, seconds since the schedule was armed.
+        t1_s: window end (exclusive); ``inf`` keeps the fault forever.
+        probability: chance each call inside the window is affected
+            (partitions are sensibly always 1.0; drops/delays may flake).
+        delay_s: hold time for ``delay`` windows.
+        nodes: node names this window applies to; ``None`` means all.
+    """
+
+    kind: str
+    t0_s: float
+    t1_s: float
+    probability: float = 1.0
+    delay_s: float = 0.0
+    nodes: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_FAULT_KINDS:
+            raise ValueError(f"unknown net fault kind {self.kind!r}; valid: {NET_FAULT_KINDS}")
+        if self.t1_s < self.t0_s:
+            raise ValueError("fault window must not end before it starts")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault probability must be in [0, 1]")
+        if self.delay_s < 0.0:
+            raise ValueError("fault delay must be non-negative")
+
+    def applies(self, t_s: float, node: str) -> bool:
+        """Is this window active at ``t_s`` for calls to ``node``?"""
+        if not self.t0_s <= t_s < self.t1_s:
+            return False
+        return self.nodes is None or node in self.nodes
+
+
+@dataclass(frozen=True)
+class NetFaultDecision:
+    """What the injector should do to one wire exchange."""
+
+    partition: Optional[str] = None  # "partition" (full) or "oneway"
+    drop: bool = False
+    delay_s: float = 0.0
+    duplicate: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when the exchange passes through untouched."""
+        return (
+            self.partition is None
+            and not self.drop
+            and self.delay_s == 0.0
+            and not self.duplicate
+        )
+
+
+class NetFaultSchedule:
+    """A replayable set of wire-fault windows plus its seeded coin.
+
+    Fluent construction::
+
+        schedule = (
+            NetFaultSchedule(seed=7)
+            .partition(2.0, 5.0, nodes=("node-b",))
+            .drop(0.0, 10.0, probability=0.1)
+        )
+
+    The probability draws come from one generator resolved from ``seed``
+    at construction, so a single-threaded driver (the chaos scripts, the
+    CLI) replays bit-identical fault decisions.
+    """
+
+    def __init__(self, windows: Sequence[NetFaultWindow] = (), *, seed: SeedLike = 0):
+        self.windows: List[NetFaultWindow] = list(windows)
+        self._rng = resolve_rng(seed)
+
+    # -- fluent adders ------------------------------------------------- #
+
+    def add(self, window: NetFaultWindow) -> "NetFaultSchedule":
+        """Append a window; returns self for fluent construction."""
+        self.windows.append(window)
+        return self
+
+    def partition(
+        self, t0_s: float, t1_s: float, *, nodes: Optional[Sequence[str]] = None
+    ) -> "NetFaultSchedule":
+        """Full partition: nothing crosses in either direction."""
+        return self.add(
+            NetFaultWindow("partition", t0_s, t1_s, nodes=_node_tuple(nodes))
+        )
+
+    def oneway(
+        self, t0_s: float, t1_s: float, *, nodes: Optional[Sequence[str]] = None
+    ) -> "NetFaultSchedule":
+        """One-way partition: requests land, replies are lost."""
+        return self.add(NetFaultWindow("oneway", t0_s, t1_s, nodes=_node_tuple(nodes)))
+
+    def drop(
+        self,
+        t0_s: float,
+        t1_s: float,
+        *,
+        probability: float = 1.0,
+        nodes: Optional[Sequence[str]] = None,
+    ) -> "NetFaultSchedule":
+        """Lose requests on the way out with the given probability."""
+        return self.add(
+            NetFaultWindow("drop", t0_s, t1_s, probability, nodes=_node_tuple(nodes))
+        )
+
+    def delay(
+        self,
+        t0_s: float,
+        t1_s: float,
+        delay_s: float,
+        *,
+        probability: float = 1.0,
+        nodes: Optional[Sequence[str]] = None,
+    ) -> "NetFaultSchedule":
+        """Hold exchanges for ``delay_s`` (a slow or congested link)."""
+        return self.add(
+            NetFaultWindow(
+                "delay", t0_s, t1_s, probability, delay_s, nodes=_node_tuple(nodes)
+            )
+        )
+
+    def duplicate(
+        self,
+        t0_s: float,
+        t1_s: float,
+        *,
+        probability: float = 1.0,
+        nodes: Optional[Sequence[str]] = None,
+    ) -> "NetFaultSchedule":
+        """Deliver requests twice (a retransmitting link)."""
+        return self.add(
+            NetFaultWindow("duplicate", t0_s, t1_s, probability, nodes=_node_tuple(nodes))
+        )
+
+    # -- the injector's one question ----------------------------------- #
+
+    def decide(self, t_s: float, node: str) -> NetFaultDecision:
+        """Resolve every active window into one decision for this call.
+
+        A full partition dominates (nothing else can matter when nothing
+        crosses), then a one-way partition, then drop; delay and
+        duplicate compose with each other and with oneway.
+        """
+        partition: Optional[str] = None
+        drop = False
+        delay_s = 0.0
+        duplicate = False
+        for window in self.windows:
+            if not window.applies(t_s, node):
+                continue
+            if window.probability < 1.0 and float(self._rng.random()) >= window.probability:
+                continue
+            if window.kind == "partition":
+                partition = "partition"
+            elif window.kind == "oneway" and partition is None:
+                partition = "oneway"
+            elif window.kind == "drop":
+                drop = True
+            elif window.kind == "delay":
+                delay_s = max(delay_s, window.delay_s)
+            elif window.kind == "duplicate":
+                duplicate = True
+        if partition == "partition":
+            return NetFaultDecision(partition="partition")
+        return NetFaultDecision(
+            partition=partition, drop=drop, delay_s=delay_s, duplicate=duplicate
+        )
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: SeedLike,
+        *,
+        duration_s: float = 20.0,
+        nodes: Optional[Sequence[str]] = None,
+    ) -> "NetFaultSchedule":
+        """Derive a partition-and-heal scenario entirely from the seed.
+
+        One full-partition window somewhere in the middle third of the
+        duration, a flaky-drop window before it, and a delay window
+        after the heal — the canonical "link degrades, dies, and comes
+        back" arc, bit-reproducible per seed.
+        """
+        if duration_s <= 0:
+            raise ValueError("chaos duration must be positive")
+        rng = resolve_rng(seed)
+        third = duration_s / 3.0
+        partition_start = third + float(rng.uniform(0.0, third / 2.0))
+        partition_len = float(rng.uniform(third / 2.0, third))
+        drop_p = float(rng.uniform(0.1, 0.4))
+        delay_s = float(rng.uniform(0.05, 0.2))
+        schedule = cls(seed=rng)
+        node_filter = _node_tuple(nodes)
+        schedule.add(NetFaultWindow("drop", 0.0, partition_start, drop_p, nodes=node_filter))
+        schedule.add(
+            NetFaultWindow(
+                "partition", partition_start, partition_start + partition_len,
+                nodes=node_filter,
+            )
+        )
+        schedule.add(
+            NetFaultWindow(
+                "delay", partition_start + partition_len, duration_s,
+                probability=0.5, delay_s=delay_s, nodes=node_filter,
+            )
+        )
+        return schedule
+
+
+def _node_tuple(nodes: Optional[Sequence[str]]) -> Optional[Tuple[str, ...]]:
+    return None if nodes is None else tuple(nodes)

@@ -29,6 +29,7 @@ background thread, the bridge between them, and the HTTP server — one
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
@@ -80,6 +81,11 @@ class SDBRequestHandler(BaseHTTPRequestHandler):
             return
         if len(parts) == 3 and parts[:2] == ["v1", "status"]:
             timeout_s = self._query_timeout(parsed.query)
+            if timeout_s is not None and not math.isfinite(timeout_s):
+                self._respond(
+                    error_response(ERR_BAD_REQUEST, "timeout_s must be finite")
+                )
+                return
             request = self.front_end.make_request(
                 "QueryBatteryStatus", parts[2], timeout_s=timeout_s
             )
@@ -99,8 +105,15 @@ class SDBRequestHandler(BaseHTTPRequestHandler):
             return  # _read_body already answered
         op = _POST_OPS[parts[1]]
         timeout_s = body.get("timeout_s")
-        if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+        if timeout_s is not None and (
+            isinstance(timeout_s, bool) or not isinstance(timeout_s, (int, float))
+        ):
             self._respond(error_response(ERR_BAD_REQUEST, "timeout_s must be a number"))
+            return
+        if timeout_s is not None and not math.isfinite(timeout_s):
+            # NaN/inf must not reach the deadline arithmetic: NaN makes
+            # every comparison false and inf parks a slot forever.
+            self._respond(error_response(ERR_BAD_REQUEST, "timeout_s must be finite"))
             return
         request = self.front_end.make_request(
             op,
@@ -147,7 +160,7 @@ class SDBRequestHandler(BaseHTTPRequestHandler):
         if response.retry_after_s is not None:
             # Ceil to a whole second: Retry-After is integer seconds, and
             # rounding down to 0 would invite an instant retry storm.
-            headers["Retry-After"] = str(max(1, int(response.retry_after_s + 0.999)))
+            headers["Retry-After"] = str(max(1, math.ceil(response.retry_after_s)))
         self._send(response.http_status, response.to_wire(), headers)
 
     def _send(self, status: int, payload: dict, headers: Optional[dict] = None) -> None:
@@ -243,6 +256,25 @@ class ServingFleet:
         )
         self._http_thread.start()
         return self
+
+    def export_node(self, name: str, *, host: str = "127.0.0.1", port: int = 0):
+        """Export this whole fleet as one battery node on the TCP protocol.
+
+        Every device the supervisor serves becomes reachable through a
+        :class:`~repro.net.directory.BatteryDirectory` that registers
+        this node — the multi-machine story: one fleet, one node, its
+        shard/breaker/cache machinery intact behind the wire. Returns
+        the started :class:`~repro.net.node.BatteryNodeServer`; the
+        caller owns ``stop()``.
+        """
+        # Imported lazily: repro.net pulls serve submodules in, so a
+        # top-level import here would cycle through repro.serve.
+        from repro.net.node import BatteryNodeServer, FrontEndBackend, NodeDispatcher
+
+        dispatcher = NodeDispatcher(
+            name, FrontEndBackend(self.front_end), tracer=self.front_end.tracer
+        )
+        return BatteryNodeServer(dispatcher, host=host, port=port).start()
 
     def wait(self, timeout_s: Optional[float] = None) -> bool:
         """Block until the fleet run finishes; True when it did."""

@@ -111,9 +111,14 @@ class FleetFrontEnd:
         *,
         tracer: Tracer = NULL_TRACER,
         clock: Callable[[], float] = time.time,
+        directory=None,
     ):
         self.bridge = bridge
         self.config = config if config is not None else ServeConfig()
+        #: Optional :class:`~repro.net.directory.BatteryDirectory`:
+        #: devices no local shard owns are routed through it (a remote
+        #: node may serve them) before answering ``not_found``.
+        self.directory = directory
         self.tracer = tracer
         self._clock = clock
         self._t0 = clock()
@@ -173,6 +178,15 @@ class FleetFrontEnd:
             return error_response(ERR_BAD_REQUEST, f"unknown op {request.op!r}")
         shard_id = self.bridge.shard_for(request.device_id)
         if shard_id is None:
+            if (
+                self.directory is not None
+                and self.directory.route_for(request.device_id) is not None
+            ):
+                # Not ours, but the directory knows where it lives: hand
+                # the call across (its own retry/breaker/lease policy
+                # applies from here).
+                self._count("serve.directory_routed")
+                return self.directory.handle(request)
             self._count("serve.not_found")
             return error_response(
                 ERR_NOT_FOUND, f"unknown device {request.device_id!r}"

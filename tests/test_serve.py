@@ -133,6 +133,37 @@ def test_breaker_full_lifecycle():
     assert transitions == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
 
 
+def test_breaker_half_open_admits_exactly_one_probe_under_race():
+    """Two callers racing into a half-open breaker must not both probe:
+    the single-probe slot is the whole point of half-open (one request
+    risks the maybe-dead node, everyone else keeps failing fast)."""
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_after_s=1.0, clock=clock)
+    for _ in range(25):  # repeat the race; one lucky interleaving proves nothing
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(1.1)  # past reset_after_s: next allow() goes half-open
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+        admitted = []
+        lock = threading.Lock()
+
+        def probe():
+            barrier.wait()  # release every thread into allow() together
+            ok = breaker.allow()
+            with lock:
+                admitted.append(ok)
+
+        threads = [threading.Thread(target=probe) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert sum(admitted) == 1, f"{sum(admitted)} probes admitted, want exactly 1"
+        breaker.record_success()  # close it again for the next round
+        assert breaker.state == CLOSED
+
+
 def test_breaker_failed_probe_reopens():
     clock = FakeClock()
     breaker = CircuitBreaker(failure_threshold=1, reset_after_s=1.0, clock=clock)

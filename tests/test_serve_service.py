@@ -417,6 +417,61 @@ def test_http_skin_maps_typed_errors_and_retry_after():
         worker.stop()
 
 
+def test_http_skin_rejects_non_finite_timeouts_and_ceils_retry_after():
+    """Two HTTP-edge contracts: NaN/inf budgets never reach the deadline
+    arithmetic (NaN poisons every comparison, inf parks a slot forever),
+    and Retry-After is a *ceiling* — 1.0005 s must round to 2, because
+    rounding down invites the client back before the window opens."""
+
+    class StubFrontEnd:
+        """Answers every handled call with a fixed fractional backoff."""
+
+        def make_request(self, op, device_id, timeout_s=None, **kwargs):
+            from repro.serve import ServeRequest
+
+            return ServeRequest(op, device_id, "r", time.time() + 1.0)
+
+        def handle(self, request):
+            from repro.serve import error_response
+
+            return error_response("overloaded", "full", retry_after_s=1.0005)
+
+    server = make_http_server(StubFrontEnd(), "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, kwargs={"poll_interval": 0.05})
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    def fetch(path, body=None):
+        req = urllib.request.Request(
+            base + path,
+            data=json.dumps(body).encode() if body is not None else None,
+            method="GET" if body is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=5) as r:
+                return r.status, json.loads(r.read()), dict(r.headers)
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read()), dict(e.headers)
+
+    try:
+        for query in ("timeout_s=inf", "timeout_s=-inf", "timeout_s=nan"):
+            code, body, _ = fetch(f"/v1/status/dev-a?{query}")
+            assert code == 400 and body["error"] == "bad_request", query
+        for bad in (float("inf"), float("nan"), True, "2.0"):
+            code, body, _ = fetch("/v1/charge/dev-a", {"ratios": [1.0], "timeout_s": bad})
+            assert code == 400 and body["error"] == "bad_request", bad
+        # A well-formed budget reaches the stub, whose 429 carries the
+        # fractional retry_after_s: the header must ceil, never truncate.
+        code, body, headers = fetch("/v1/status/dev-a?timeout_s=2")
+        assert code == 429
+        assert headers["Retry-After"] == "2"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=2.0)
+
+
 def test_orphan_responses_are_dropped_and_counted():
     bridge, requests, responses = make_bridge()
     fe = front_end(bridge, default_timeout_s=0.1)
